@@ -1,0 +1,31 @@
+//===- bench/fig08_spec2000_st231.cpp - Paper Figure 8 --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 8: mean normalized allocation cost of GC/NL/FPL/BL/BFPL/Optimal on
+/// the SPEC CPU 2000int suite for the ST231, R in {1,2,4,8,16,32}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 8";
+  Spec.Title = "Allocation cost for the SPEC CPU 2000int benchmark suite on "
+               "ST231 (normalized to Optimal)";
+  Spec.SuiteName = "spec2000int";
+  Spec.Target = ST231;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "fpl", "bl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printAggregateFigure(measureFigure(Spec));
+  return 0;
+}

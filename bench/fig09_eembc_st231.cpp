@@ -1,0 +1,31 @@
+//===- bench/fig09_eembc.cpp - Paper Figure 9 ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 9: mean normalized allocation cost of GC/NL/FPL/BL/BFPL/Optimal
+/// on the EEMBC suite, R in {1,2,4,8,16,32}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 9";
+  Spec.Title = "Allocation cost for the EEMBC benchmark suite on "
+               "ST231 (normalized to Optimal)";
+  Spec.SuiteName = "eembc";
+  Spec.Target = ST231;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "fpl", "bl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printAggregateFigure(measureFigure(Spec));
+  return 0;
+}

@@ -1,0 +1,31 @@
+//===- bench/fig10_laokernels.cpp - Paper Figure 10 ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 10: mean normalized allocation cost of GC/NL/FPL/BL/BFPL/Optimal
+/// on the LAO-KERNELS suite, R in {1,2,4,8,16,32}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 10";
+  Spec.Title = "Allocation cost for the LAO-KERNELS benchmark suite on "
+               "ARMv7 (normalized to Optimal)";
+  Spec.SuiteName = "lao-kernels";
+  Spec.Target = ARMv7;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "fpl", "bl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printAggregateFigure(measureFigure(Spec));
+  return 0;
+}

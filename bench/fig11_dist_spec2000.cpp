@@ -1,0 +1,31 @@
+//===- bench/fig11_dist_spec2000.cpp - Paper Figure 11 --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 11: distribution over individual SPEC CPU 2000int programs of the
+/// allocation cost normalized to the per-program optimum, on ST231.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 11";
+  Spec.Title = "Distribution of normalized allocation costs over individual "
+               "programs of SPEC CPU 2000int on ST231";
+  Spec.SuiteName = "spec2000int";
+  Spec.Target = ST231;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "bl", "fpl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printDistributionFigure(measureFigure(Spec));
+  return 0;
+}

@@ -1,0 +1,31 @@
+//===- bench/fig12_dist_eembc.cpp - Paper Figure 12 --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 12: distribution over individual EEMBC programs of the
+/// allocation cost normalized to the per-program optimum, on ST231.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 12";
+  Spec.Title = "Distribution of normalized allocation costs over individual "
+               "programs of EEMBC on ST231";
+  Spec.SuiteName = "eembc";
+  Spec.Target = ST231;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "bl", "fpl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printDistributionFigure(measureFigure(Spec));
+  return 0;
+}

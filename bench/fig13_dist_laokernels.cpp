@@ -1,0 +1,31 @@
+//===- bench/fig13_dist_laokernels.cpp - Paper Figure 13 --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 13: distribution over individual lao-kernels programs of the
+/// allocation cost normalized to the per-program optimum, on ARMv7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 13";
+  Spec.Title = "Distribution of normalized allocation costs over individual "
+               "programs of lao-kernels on ARMv7";
+  Spec.SuiteName = "lao-kernels";
+  Spec.Target = ARMv7;
+  Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
+  Spec.Allocators = {"gc", "nl", "bl", "fpl", "bfpl"};
+  Spec.ChordalPipeline = true;
+  printDistributionFigure(measureFigure(Spec));
+  return 0;
+}

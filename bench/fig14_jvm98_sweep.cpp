@@ -1,0 +1,32 @@
+//===- bench/fig14_jvm98_sweep.cpp - Paper Figure 14 ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 14: the layered-heuristic allocator (LH) against the JIT baselines
+/// (DLS = default linear scan, BLS, GC) on the non-SSA SPEC JVM98 workload,
+/// normalized to the ILP optimum, R in {2,4,...,16}.
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 14";
+  Spec.Title = "Layered-heuristic allocator compared to other algorithms for "
+               "different register counts (SPEC JVM98, JIT pipeline)";
+  Spec.SuiteName = "specjvm98";
+  Spec.Target = ARMv7;
+  Spec.RegisterCounts = {2, 4, 6, 8, 10, 12, 14, 16};
+  Spec.Allocators = {"ls", "bls", "gc", "lh"};
+  Spec.ChordalPipeline = false;
+  printAggregateFigure(measureFigure(Spec));
+  return 0;
+}

@@ -1,0 +1,32 @@
+//===- bench/fig15_jvm98_perbench.cpp - Paper Figure 15 -------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 15: per-benchmark normalized allocation costs of the JVM98 apps
+/// at a register count of 6 (check, compress, jess, raytrace, db, javac,
+/// mpegaudio, mtrt, jack).
+///
+//===----------------------------------------------------------------------===//
+
+#include "Harness.h"
+
+using namespace layra;
+using namespace layra::bench;
+
+int main() {
+  FigureSpec Spec;
+  Spec.Id = "Figure 15";
+  Spec.Title = "Layered-heuristic compared to other allocators when the "
+               "register count is 6 (per SPEC JVM98 benchmark)";
+  Spec.SuiteName = "specjvm98";
+  Spec.Target = ARMv7;
+  Spec.RegisterCounts = {6};
+  Spec.Allocators = {"ls", "bls", "gc", "lh"};
+  Spec.ChordalPipeline = false;
+  printPerProgramFigure(measureFigure(Spec), 6);
+  return 0;
+}

@@ -1,0 +1,125 @@
+//===- bench/perf_lp.cpp - LP / ILP engine micro-benchmarks ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks of the exact-solver engine (src/lp): simplex solve time
+/// on clique-packing relaxations, and end-to-end ILP proof time on
+/// SSA-style sliding-window instances, swept over instance size and
+/// capacity.  These quantify why the "Optimal" baseline is affordable for
+/// a whole-suite sweep: relaxations are near-integral, so the measured ILP
+/// time is essentially one or two simplex solves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lp/Ilp.h"
+#include "lp/Simplex.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace layra;
+
+namespace {
+
+/// Sliding-window clique instance: N variables, window cliques of width W
+/// every S variables, capacity R.  This is the shape SSA live ranges
+/// produce along the dominance tree.
+IlpInstance windowInstance(Rng &R, unsigned N, unsigned Width,
+                           unsigned Stride, unsigned Capacity) {
+  IlpInstance I;
+  I.Weights.resize(N);
+  for (Weight &W : I.Weights)
+    W = R.nextInRange(1, 10000);
+  for (unsigned Start = 0; Start + Width <= N; Start += Stride) {
+    IlpConstraint K;
+    K.Capacity = Capacity;
+    for (unsigned V = Start; V < Start + Width; ++V)
+      K.Vars.push_back(V);
+    I.Constraints.push_back(std::move(K));
+  }
+  return I;
+}
+
+LinearProgram relaxationOf(const IlpInstance &I) {
+  LinearProgram LP;
+  for (unsigned V = 0; V < I.numVars(); ++V)
+    LP.addVariable(static_cast<double>(I.Weights[V]), 0.0, 1.0);
+  for (const IlpConstraint &K : I.Constraints) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned V : K.Vars)
+      Terms.push_back({V, 1.0});
+    LP.addRow(std::move(Terms), static_cast<double>(K.Capacity));
+  }
+  return LP;
+}
+
+void BM_SimplexCliqueRelaxation(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned Capacity = static_cast<unsigned>(State.range(1));
+  Rng R(42);
+  IlpInstance I = windowInstance(R, N, /*Width=*/16, /*Stride=*/3, Capacity);
+  LinearProgram LP = relaxationOf(I);
+  for (auto _ : State) {
+    LpSolution S = solveLp(LP);
+    benchmark::DoNotOptimize(S.Value);
+  }
+  State.SetLabel(std::to_string(LP.Rows.size()) + " rows");
+}
+
+void BM_IlpProveWindow(benchmark::State &State) {
+  unsigned N = static_cast<unsigned>(State.range(0));
+  unsigned Capacity = static_cast<unsigned>(State.range(1));
+  Rng R(43);
+  IlpInstance I = windowInstance(R, N, /*Width=*/16, /*Stride=*/3, Capacity);
+  uint64_t Nodes = 0;
+  for (auto _ : State) {
+    IlpResult Result = solveBinaryPackingBudgeted(I, nullptr, 1'000'000);
+    benchmark::DoNotOptimize(Result.Value);
+    Nodes += Result.Nodes;
+  }
+  State.counters["nodes/solve"] =
+      benchmark::Counter(static_cast<double>(Nodes) /
+                         static_cast<double>(State.iterations()));
+}
+
+void BM_IlpProveOddCycles(benchmark::State &State) {
+  // Pairwise odd-cycle constraints: the worst case for the relaxation
+  // (half-integral LP), forcing genuine branching.
+  unsigned Cycles = static_cast<unsigned>(State.range(0));
+  IlpInstance I;
+  I.Weights.assign(5 * Cycles, 3);
+  for (unsigned C = 0; C < Cycles; ++C)
+    for (unsigned V = 0; V < 5; ++V)
+      I.Constraints.push_back(
+          {{5 * C + V, 5 * C + (V + 1) % 5}, 1});
+  for (auto _ : State) {
+    IlpResult Result = solveBinaryPackingBudgeted(I, nullptr, 1'000'000);
+    benchmark::DoNotOptimize(Result.Value);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_SimplexCliqueRelaxation)
+    ->Args({64, 4})
+    ->Args({128, 4})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Args({512, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_IlpProveWindow)
+    ->Args({64, 4})
+    ->Args({128, 4})
+    ->Args({256, 4})
+    ->Args({256, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_IlpProveOddCycles)->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,201 @@
+//===- examples/layra_alloc_tool.cpp - Command-line allocator driver ------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small `llc`-style driver around the library: read a function in the
+/// textual IR syntax (ir/Parser.h) or generate a random one, run any of the
+/// paper's allocators at a chosen register count, and report the spill
+/// decision -- optionally materialising the spill code.
+///
+/// Usage:
+///   layra_alloc_tool [--input FILE | --seed N] [--allocator NAME]
+///                    [--regs R] [--target st231|armv7|x86-64]
+///                    [--compare] [--emit]
+///
+///   --input FILE   parse FILE (Function::toString() syntax; must be SSA)
+///   --seed N       generate a random function instead (default seed 1)
+///   --allocator    one of gc, nl, bl, fpl, bfpl, lh, ls, bls, optimal
+///                  (default bfpl)
+///   --regs R       register count (default 4)
+///   --target       cost model / addressing modes (default st231)
+///   --compare      additionally run every allocator and print a table
+///   --emit         print the function with spill code inserted
+///
+/// Examples:
+///   ./build/examples/layra_alloc_tool --seed 7 --regs 4 --compare
+///   ./build/examples/layra_alloc_tool --input f.lir --allocator optimal
+///
+//===----------------------------------------------------------------------===//
+
+#include "layra/Layra.h"
+
+#include "ir/Parser.h"
+#include "support/Table.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace layra;
+
+namespace {
+
+struct ToolOptions {
+  std::string InputFile;
+  uint64_t Seed = 1;
+  std::string AllocatorName = "bfpl";
+  unsigned Regs = 4;
+  std::string TargetName = "st231";
+  bool Compare = false;
+  bool Emit = false;
+};
+
+void printUsageAndExit(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--input FILE | --seed N] [--allocator NAME] "
+               "[--regs R] [--target st231|armv7|x86-64] [--compare] "
+               "[--emit]\n",
+               Argv0);
+  std::exit(2);
+}
+
+bool parseArgs(int Argc, char **Argv, ToolOptions &Opt) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        printUsageAndExit(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--input")
+      Opt.InputFile = Next();
+    else if (Arg == "--seed")
+      Opt.Seed = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--allocator")
+      Opt.AllocatorName = Next();
+    else if (Arg == "--regs")
+      Opt.Regs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--target")
+      Opt.TargetName = Next();
+    else if (Arg == "--compare")
+      Opt.Compare = true;
+    else if (Arg == "--emit")
+      Opt.Emit = true;
+    else
+      printUsageAndExit(Argv[0]);
+  }
+  return true;
+}
+
+const TargetDesc *targetByName(const std::string &Name) {
+  if (Name == "st231")
+    return &ST231;
+  if (Name == "armv7" || Name == "armv7-a8")
+    return &ARMv7;
+  if (Name == "x86-64" || Name == "x86")
+    return &X86_64;
+  return nullptr;
+}
+
+Function loadOrGenerate(const ToolOptions &Opt) {
+  if (!Opt.InputFile.empty()) {
+    std::ifstream In(Opt.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Opt.InputFile.c_str());
+      std::exit(1);
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    ParsedFunction P = parseFunction(Buffer.str());
+    if (!P.Ok) {
+      std::fprintf(stderr, "error: %s:%u: %s\n", Opt.InputFile.c_str(),
+                   P.Line, P.Error.c_str());
+      std::exit(1);
+    }
+    std::string VerifyError;
+    if (!verifyFunction(P.F, /*ExpectSsa=*/true, &VerifyError)) {
+      std::fprintf(stderr, "error: %s: not strict SSA: %s\n",
+                   Opt.InputFile.c_str(), VerifyError.c_str());
+      std::exit(1);
+    }
+    return P.F;
+  }
+  Rng R(Opt.Seed);
+  ProgramGenOptions Gen;
+  Gen.NumVars = 18;
+  Gen.MaxBlocks = 24;
+  Function Raw = generateFunction(R, Gen);
+  DominatorTree Dom(Raw);
+  LoopInfo Loops(Raw, Dom);
+  Loops.annotate(Raw);
+  return convertToSsa(Raw).Ssa;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ToolOptions Opt;
+  parseArgs(Argc, Argv, Opt);
+  const TargetDesc *Target = targetByName(Opt.TargetName);
+  if (!Target) {
+    std::fprintf(stderr, "error: unknown target '%s'\n",
+                 Opt.TargetName.c_str());
+    return 1;
+  }
+
+  Function F = loadOrGenerate(Opt);
+  AllocationProblem P = buildSsaProblem(F, *Target, Opt.Regs);
+  std::printf("function %s: %u blocks, %u values, MaxLive %u, R=%u (%s)\n",
+              F.name().c_str(), F.numBlocks(), F.numValues(), P.maxLive(),
+              Opt.Regs, Target->Name);
+
+  if (Opt.Compare) {
+    Table T({"allocator", "allocated", "spilled", "spill cost", "optimal?"});
+    for (const std::string &Name : allAllocatorNames()) {
+      if (Name == "brute")
+        continue; // Exponential; meant for unit tests only.
+      std::unique_ptr<Allocator> A = makeAllocator(Name);
+      AllocationResult Result = A->allocate(P);
+      T.addRow({Name, Table::num((long long)Result.allocated().size()),
+                Table::num((long long)Result.spilled().size()),
+                Table::num((long long)Result.SpillCost),
+                Result.Proven ? "proven" : ""});
+    }
+    T.print(stdout);
+    return 0;
+  }
+
+  std::unique_ptr<Allocator> A = makeAllocator(Opt.AllocatorName);
+  if (!A) {
+    std::fprintf(stderr, "error: unknown allocator '%s'\n",
+                 Opt.AllocatorName.c_str());
+    return 1;
+  }
+  AllocationResult Result = A->allocate(P);
+  std::printf("%s: spill cost %lld, %zu spilled of %u values%s\n",
+              A->name(), static_cast<long long>(Result.SpillCost),
+              Result.spilled().size(), P.G.numVertices(),
+              Result.Proven ? " (proven optimal)" : "");
+  for (VertexId V : Result.spilled())
+    std::printf("  spill %s (cost %lld)\n",
+                P.G.name(V).empty() ? ("%" + std::to_string(V)).c_str()
+                                    : P.G.name(V).c_str(),
+                static_cast<long long>(P.G.weight(V)));
+
+  if (Opt.Emit) {
+    std::vector<char> Spilled(F.numValues(), 0);
+    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+      Spilled[V] = Result.Allocated[V] ? 0 : 1;
+    rewriteSpills(F, Spilled);
+    foldMemoryOperands(F, *Target);
+    std::printf("\n%s", F.toString().c_str());
+  }
+  return 0;
+}

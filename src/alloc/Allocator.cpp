@@ -1,0 +1,78 @@
+//===- alloc/Allocator.cpp - Common allocator interface --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Allocator.h"
+
+#include "alloc/BruteForce.h"
+#include "alloc/GraphColoring.h"
+#include "alloc/LinearScan.h"
+#include "alloc/OptimalBnB.h"
+#include "core/Layered.h"
+#include "core/LayeredHeuristic.h"
+
+using namespace layra;
+
+Allocator::~Allocator() = default;
+
+namespace {
+/// Adapts the layered-optimal variants (free functions in core) to the
+/// Allocator interface.
+class LayeredAdapter : public Allocator {
+public:
+  LayeredAdapter(const char *Name, LayeredOptions Options)
+      : AdapterName(Name), Options(Options) {}
+
+  AllocationResult allocate(const AllocationProblem &P) override {
+    return layeredAllocate(P, Options);
+  }
+  const char *name() const override { return AdapterName; }
+
+private:
+  const char *AdapterName;
+  LayeredOptions Options;
+};
+
+/// Adapts the layered heuristic (general graphs).
+class LayeredHeuristicAdapter : public Allocator {
+public:
+  AllocationResult allocate(const AllocationProblem &P) override {
+    return layeredHeuristicAllocate(P).Allocation;
+  }
+  const char *name() const override { return "lh"; }
+};
+} // namespace
+
+std::unique_ptr<Allocator> layra::makeAllocator(const std::string &Name) {
+  if (Name == "gc")
+    return std::make_unique<GraphColoringAllocator>();
+  if (Name == "nl")
+    return std::make_unique<LayeredAdapter>("nl", LayeredOptions::nl());
+  if (Name == "bl")
+    return std::make_unique<LayeredAdapter>("bl", LayeredOptions::bl());
+  if (Name == "fpl")
+    return std::make_unique<LayeredAdapter>("fpl", LayeredOptions::fpl());
+  if (Name == "bfpl")
+    return std::make_unique<LayeredAdapter>("bfpl", LayeredOptions::bfpl());
+  if (Name == "lh")
+    return std::make_unique<LayeredHeuristicAdapter>();
+  if (Name == "ls")
+    return std::make_unique<LinearScanAllocator>(
+        LinearScanAllocator::PolicyKind::FurthestEnd);
+  if (Name == "bls")
+    return std::make_unique<LinearScanAllocator>(
+        LinearScanAllocator::PolicyKind::CostBelady);
+  if (Name == "optimal")
+    return std::make_unique<OptimalBnBAllocator>();
+  if (Name == "brute")
+    return std::make_unique<BruteForceAllocator>();
+  return nullptr;
+}
+
+std::vector<std::string> layra::allAllocatorNames() {
+  return {"gc", "nl", "bl", "fpl", "bfpl", "lh", "ls", "bls", "optimal",
+          "brute"};
+}

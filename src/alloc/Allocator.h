@@ -1,0 +1,57 @@
+//===- alloc/Allocator.h - Common allocator interface -----------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform interface the benchmark harness drives: every spilling
+/// algorithm of the paper's evaluation (§6) is an Allocator that maps an
+/// AllocationProblem to an AllocationResult.  makeAllocator() resolves the
+/// names used in the paper's figures ("gc", "nl", "bl", "fpl", "bfpl", "lh",
+/// "ls", "bls", "optimal", ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_ALLOC_ALLOCATOR_H
+#define LAYRA_ALLOC_ALLOCATOR_H
+
+#include "core/AllocationProblem.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Abstract spilling/allocation algorithm.
+class Allocator {
+public:
+  virtual ~Allocator();
+
+  /// Solves \p P.  Results of all allocators are feasible w.r.t. the point
+  /// constraints (isFeasibleAllocation); exact solvers set Result.Proven.
+  virtual AllocationResult allocate(const AllocationProblem &P) = 0;
+
+  /// Short name as used in the paper's figures.
+  virtual const char *name() const = 0;
+};
+
+/// Creates an allocator by figure name.  Known names:
+///   "gc"            Chaitin-Briggs optimistic graph coloring
+///   "nl","bl","fpl","bfpl"  the layered-optimal variants (chordal only)
+///   "lh"            layered heuristic (any graph)
+///   "ls"            linear scan, cost-blind furthest-end spilling ("DLS")
+///   "bls"           linear scan with cost/Belady threshold spilling
+///   "optimal"       exact branch-and-bound over the point constraints
+///   "brute"         exhaustive search (tiny instances; tests)
+/// Returns nullptr for unknown names.
+std::unique_ptr<Allocator> makeAllocator(const std::string &Name);
+
+/// All names makeAllocator accepts (in a stable presentation order).
+std::vector<std::string> allAllocatorNames();
+
+} // namespace layra
+
+#endif // LAYRA_ALLOC_ALLOCATOR_H

@@ -1,0 +1,62 @@
+//===- alloc/BruteForce.cpp - Exhaustive oracle for tests ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BruteForce.h"
+
+#include "support/Compiler.h"
+
+#include <bit>
+
+using namespace layra;
+
+AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
+  unsigned N = P.G.numVertices();
+  if (N > 24)
+    layraFatalError("brute-force allocator limited to 24 vertices");
+  unsigned R = P.NumRegisters;
+
+  std::vector<uint32_t> ConstraintMask;
+  ConstraintMask.reserve(P.Constraints.size());
+  for (const auto &K : P.Constraints) {
+    if (K.size() <= R)
+      continue; // Never binding.
+    uint32_t Mask = 0;
+    for (VertexId V : K)
+      Mask |= uint32_t(1) << V;
+    ConstraintMask.push_back(Mask);
+  }
+
+  uint32_t BestSet = 0;
+  Weight BestWeight = -1;
+  for (uint64_t Subset = 0; Subset < (uint64_t(1) << N); ++Subset) {
+    uint32_t Bits = static_cast<uint32_t>(Subset);
+    bool Feasible = true;
+    for (uint32_t Mask : ConstraintMask)
+      if (std::popcount(Bits & Mask) > static_cast<int>(R)) {
+        Feasible = false;
+        break;
+      }
+    if (!Feasible)
+      continue;
+    Weight W = 0;
+    for (unsigned V = 0; V < N; ++V)
+      if (Bits & (uint32_t(1) << V))
+        W += P.G.weight(V);
+    if (W > BestWeight) {
+      BestWeight = W;
+      BestSet = Bits;
+    }
+  }
+
+  std::vector<char> Flags(N, 0);
+  for (unsigned V = 0; V < N; ++V)
+    if (BestSet & (uint32_t(1) << V))
+      Flags[V] = 1;
+  AllocationResult Result = AllocationResult::fromFlags(P.G, std::move(Flags));
+  Result.Proven = true;
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- alloc/GraphColoring.h - Chaitin-Briggs baseline ----------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical Chaitin-Briggs optimistic graph-coloring allocator -- the
+/// paper's "GC" baseline.  Simplify removes low-degree nodes; when stuck, the
+/// node minimising cost/degree is pushed optimistically; select colors the
+/// stack top-down and spills optimistic nodes that find no color.  In the
+/// decoupled spill-everywhere cost model, spilled vertices are simply
+/// removed (their short reload ranges are not re-inserted), matching how the
+/// paper evaluates all allocators on a level field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_ALLOC_GRAPHCOLORING_H
+#define LAYRA_ALLOC_GRAPHCOLORING_H
+
+#include "alloc/Allocator.h"
+
+namespace layra {
+
+/// Chaitin-Briggs with optimistic coloring and cost/degree spill choice.
+class GraphColoringAllocator : public Allocator {
+public:
+  AllocationResult allocate(const AllocationProblem &P) override;
+  const char *name() const override { return "gc"; }
+
+  /// The coloring produced by the last allocate() call (register per vertex,
+  /// ~0u for spilled) -- GC performs allocation and assignment together.
+  const std::vector<unsigned> &lastColoring() const { return Colors; }
+
+private:
+  std::vector<unsigned> Colors;
+};
+
+} // namespace layra
+
+#endif // LAYRA_ALLOC_GRAPHCOLORING_H

@@ -1,0 +1,58 @@
+//===- alloc/OptimalInterval.cpp - Flow-exact interval solver --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/OptimalInterval.h"
+
+#include "flow/MinCostFlow.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+std::vector<char>
+layra::selectIntervalsOptimal(const std::vector<LiveInterval> &Intervals,
+                              unsigned NumRegisters) {
+  std::vector<char> Keep(Intervals.size(), 0);
+  if (Intervals.empty())
+    return Keep;
+  if (NumRegisters == 0)
+    return Keep;
+
+  // Coordinate compression over interval events.
+  std::vector<unsigned> Coords;
+  Coords.reserve(Intervals.size() * 2);
+  for (const LiveInterval &I : Intervals) {
+    assert(I.Start <= I.End && "malformed interval");
+    Coords.push_back(I.Start);
+    Coords.push_back(I.End + 1);
+  }
+  std::sort(Coords.begin(), Coords.end());
+  Coords.erase(std::unique(Coords.begin(), Coords.end()), Coords.end());
+  auto NodeOf = [&](unsigned Point) {
+    return static_cast<unsigned>(
+        std::lower_bound(Coords.begin(), Coords.end(), Point) -
+        Coords.begin());
+  };
+
+  unsigned NumNodes = static_cast<unsigned>(Coords.size());
+  MinCostFlow Net(NumNodes);
+  // Free chain carrying idle register capacity.
+  for (unsigned I = 0; I + 1 < NumNodes; ++I)
+    Net.addArc(I, I + 1, NumRegisters, 0);
+  // One bypass arc per interval; using it = keeping the interval.
+  std::vector<unsigned> ArcOf(Intervals.size());
+  for (size_t I = 0; I < Intervals.size(); ++I)
+    ArcOf[I] = Net.addArc(NodeOf(Intervals[I].Start),
+                          NodeOf(Intervals[I].End + 1), 1,
+                          -Intervals[I].Cost);
+
+  Net.run(0, NumNodes - 1, NumRegisters);
+  for (size_t I = 0; I < Intervals.size(); ++I)
+    if (Net.flowOn(ArcOf[I]) > 0)
+      Keep[I] = 1;
+  return Keep;
+}

@@ -1,0 +1,39 @@
+//===- alloc/OptimalInterval.h - Flow-exact interval solver -----*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Provably optimal spill-everywhere allocation for *interval* instances
+/// (straight-line/basic-block code, the classical linear-scan setting):
+/// selecting a maximum-weight set of intervals with at most R overlapping
+/// anywhere is a min-cost-flow problem.  Layra uses it as an independent
+/// oracle to cross-check the branch-and-bound solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_ALLOC_OPTIMALINTERVAL_H
+#define LAYRA_ALLOC_OPTIMALINTERVAL_H
+
+#include "ir/LiveIntervals.h"
+
+#include <vector>
+
+namespace layra {
+
+/// Selects a maximum-weight subset of \p Intervals such that at most
+/// \p NumRegisters of the chosen ones overlap at any point.
+/// \returns flags parallel to \p Intervals: 1 = keep in a register.
+///
+/// Exactness: the flow network (a capacity-R chain over event coordinates
+/// with a capacity-1 bypass arc per interval of cost -weight) has integral
+/// optima, and min-cost R-flows correspond exactly to feasible selections.
+std::vector<char>
+selectIntervalsOptimal(const std::vector<LiveInterval> &Intervals,
+                       unsigned NumRegisters);
+
+} // namespace layra
+
+#endif // LAYRA_ALLOC_OPTIMALINTERVAL_H

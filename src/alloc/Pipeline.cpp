@@ -1,0 +1,89 @@
+//===- alloc/Pipeline.cpp - Iterative allocation pipeline ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Pipeline.h"
+
+#include "core/Coalescing.h"
+#include "core/ProblemBuilder.h"
+#include "ir/Liveness.h"
+#include "ir/OperandFolding.h"
+#include "support/Compiler.h"
+
+using namespace layra;
+
+PipelineResult layra::runAllocationPipeline(const Function &F,
+                                            const TargetDesc &Target,
+                                            unsigned NumRegisters,
+                                            const PipelineOptions &Options) {
+  assert(verifyFunction(F, /*ExpectSsa=*/true) &&
+         "pipeline requires strict SSA input");
+  std::unique_ptr<Allocator> Alloc = makeAllocator(Options.AllocatorName);
+  if (!Alloc)
+    layraFatalError("unknown allocator name in pipeline options");
+
+  PipelineResult Out;
+  Out.Rewritten = F;
+
+  // Values spilled in an earlier round live only from def to the adjacent
+  // store; spilling them again would be wasted motion, so they are pinned.
+  std::vector<char> Pinned(F.numValues(), 0);
+
+  for (unsigned Round = 0; Round < Options.MaxRounds; ++Round) {
+    ++Out.Rounds;
+    AllocationProblem P =
+        buildSsaProblem(Out.Rewritten, Target, NumRegisters);
+    if (P.maxLive() <= NumRegisters)
+      break; // Fits already; nothing to spill this round.
+
+    AllocationResult Result = Alloc->allocate(P);
+    // Pin-aware spill set: never re-spill a pinned value.
+    std::vector<char> Spilled(Out.Rewritten.numValues(), 0);
+    unsigned NumSpilled = 0;
+    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+      if (Result.Allocated[V] || (V < Pinned.size() && Pinned[V]))
+        continue;
+      Spilled[V] = 1;
+      Out.TotalSpillCost += P.G.weight(V);
+      ++NumSpilled;
+    }
+    if (NumSpilled == 0)
+      break; // Allocator found nothing (more) to spill.
+
+    SpillRewriteStats Stats = rewriteSpills(Out.Rewritten, Spilled);
+    Out.Spills.NumLoads += Stats.NumLoads;
+    Out.Spills.NumStores += Stats.NumStores;
+    Out.Spills.NumSlots += Stats.NumSlots;
+
+    // CISC targets absorb single-use reloads into addressing modes, which
+    // removes their temporaries before the next round measures pressure.
+    if (Options.FoldMemoryOperands && Target.MaxMemOperands > 0)
+      Out.LoadsFolded +=
+          foldMemoryOperands(Out.Rewritten, Target).LoadsFolded;
+
+    Pinned.resize(Out.Rewritten.numValues(), 0);
+    for (VertexId V = 0; V < Spilled.size(); ++V)
+      if (Spilled[V])
+        Pinned[V] = 1;
+  }
+
+  // Final assignment over whatever still lives in registers.
+  AllocationProblem P = buildSsaProblem(Out.Rewritten, Target, NumRegisters);
+  AllocationResult Final = Alloc->allocate(P);
+  Out.FinalMaxLive = P.maxLive();
+
+  std::vector<Affinity> Affinities = collectAffinities(Out.Rewritten);
+  Out.Regs = Options.AffinityBias
+                 ? assignRegistersBiased(P, Final.Allocated, Affinities)
+                 : assignRegisters(P, Final.Allocated);
+  Out.TotalSpillCost += Final.SpillCost;
+  Out.RemainingCopyCost =
+      remainingCopyCost(Affinities, Final.Allocated, Out.Regs.RegisterOf);
+  Out.Fits = Out.FinalMaxLive <= NumRegisters ||
+             (Final.SpillCost == 0 && Out.Regs.Success);
+  Out.Fits = Out.Fits && Out.Regs.Success;
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- alloc/Pipeline.h - Iterative allocation pipeline ---------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end driver a backend would call: allocate, materialise spill
+/// code, and -- because reload temporaries themselves occupy registers
+/// (paper §4.3: "we can iteratively update the interferences after
+/// allocation") -- re-derive the interference graph and iterate until the
+/// function's register pressure fits the machine.  Optionally coalesces
+/// copies conservatively first and biases the final assignment so affine
+/// values share registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_ALLOC_PIPELINE_H
+#define LAYRA_ALLOC_PIPELINE_H
+
+#include "alloc/Allocator.h"
+#include "core/Assignment.h"
+#include "ir/Program.h"
+#include "ir/SpillRewriter.h"
+#include "ir/Target.h"
+
+#include <string>
+
+namespace layra {
+
+/// Configuration of one pipeline run.
+struct PipelineOptions {
+  /// Allocator name (makeAllocator) used each round.
+  std::string AllocatorName = "bfpl";
+  /// Bias the final assignment toward removing copies.
+  bool AffinityBias = true;
+  /// Safety cap on allocate/rewrite rounds.
+  unsigned MaxRounds = 4;
+  /// On targets with addressing modes (TargetDesc::MaxMemOperands > 0),
+  /// fold single-use reloads into their consumers after each rewrite
+  /// round (paper §4.3).  Folding deletes reload temporaries, so it only
+  /// ever lowers the pressure the next round sees.
+  bool FoldMemoryOperands = true;
+};
+
+/// Outcome of the pipeline.
+struct PipelineResult {
+  /// The function with all spill code inserted (SSA is preserved).
+  Function Rewritten{"<empty>"};
+  /// Final register assignment over the rewritten function's values.
+  Assignment Regs;
+  /// Total static spill cost across rounds (weights of spilled values).
+  Weight TotalSpillCost = 0;
+  /// Aggregate spill-code statistics.  NumLoads counts reloads as inserted;
+  /// LoadsFolded of them were later absorbed into memory operands.
+  SpillRewriteStats Spills;
+  /// Reloads folded into consuming instructions (CISC targets only).
+  unsigned LoadsFolded = 0;
+  /// Static cost of copies left after assignment (affinities not unified).
+  Weight RemainingCopyCost = 0;
+  /// Rounds executed (1 = no reload pressure correction was needed).
+  unsigned Rounds = 0;
+  /// MaxLive of the rewritten function.
+  unsigned FinalMaxLive = 0;
+  /// True when the final pressure fits NumRegisters and the assignment
+  /// succeeded within the register budget.
+  bool Fits = false;
+};
+
+/// Runs the full decoupled pipeline on strict-SSA \p F.
+/// \pre verifyFunction(F, /*ExpectSsa=*/true).
+PipelineResult runAllocationPipeline(const Function &F,
+                                     const TargetDesc &Target,
+                                     unsigned NumRegisters,
+                                     const PipelineOptions &Options = {});
+
+} // namespace layra
+
+#endif // LAYRA_ALLOC_PIPELINE_H

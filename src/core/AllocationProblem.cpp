@@ -1,0 +1,113 @@
+//===- core/AllocationProblem.cpp - Spill-everywhere instances -------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AllocationProblem.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+AllocationProblem AllocationProblem::fromChordalGraph(Graph G,
+                                                      unsigned NumRegisters) {
+  AllocationProblem P;
+  P.NumRegisters = NumRegisters;
+  P.Peo = maximumCardinalitySearch(G);
+  if (!isPerfectEliminationOrder(G, P.Peo))
+    layraFatalError("fromChordalGraph called with a non-chordal graph");
+  P.Cliques = maximalCliquesChordal(G, P.Peo);
+  P.Constraints = P.Cliques.Cliques;
+  P.Chordal = true;
+  P.G = std::move(G);
+  return P;
+}
+
+AllocationProblem AllocationProblem::fromGeneralGraph(
+    Graph G, unsigned NumRegisters,
+    std::vector<std::vector<VertexId>> PointLiveSets) {
+  AllocationProblem P;
+  P.NumRegisters = NumRegisters;
+  P.Constraints = std::move(PointLiveSets);
+  P.Chordal = false;
+
+  // Give uncovered vertices a singleton constraint so that "appears in some
+  // constraint" holds for every vertex (solvers rely on it).
+  std::vector<char> Covered(G.numVertices(), 0);
+  for (const auto &C : P.Constraints)
+    for (VertexId V : C) {
+      assert(V < G.numVertices() && "constraint mentions unknown vertex");
+      Covered[V] = 1;
+    }
+  for (VertexId V = 0; V < G.numVertices(); ++V)
+    if (!Covered[V])
+      P.Constraints.push_back({V});
+
+  P.G = std::move(G);
+  return P;
+}
+
+unsigned AllocationProblem::maxLive() const {
+  size_t Max = 0;
+  for (const auto &C : Constraints)
+    Max = std::max(Max, C.size());
+  return static_cast<unsigned>(Max);
+}
+
+AllocationProblem AllocationProblem::withRegisters(unsigned NewR) const {
+  AllocationProblem Copy = *this;
+  Copy.NumRegisters = NewR;
+  return Copy;
+}
+
+std::vector<VertexId> AllocationResult::spilled() const {
+  std::vector<VertexId> Out;
+  for (VertexId V = 0; V < Allocated.size(); ++V)
+    if (!Allocated[V])
+      Out.push_back(V);
+  return Out;
+}
+
+std::vector<VertexId> AllocationResult::allocated() const {
+  std::vector<VertexId> Out;
+  for (VertexId V = 0; V < Allocated.size(); ++V)
+    if (Allocated[V])
+      Out.push_back(V);
+  return Out;
+}
+
+AllocationResult
+AllocationResult::fromAllocatedSet(const Graph &G,
+                                   const std::vector<VertexId> &Set) {
+  std::vector<char> Flags(G.numVertices(), 0);
+  for (VertexId V : Set)
+    Flags[V] = 1;
+  return fromFlags(G, std::move(Flags));
+}
+
+AllocationResult AllocationResult::fromFlags(const Graph &G,
+                                             std::vector<char> Flags) {
+  assert(Flags.size() == G.numVertices() && "one flag per vertex required");
+  AllocationResult R;
+  for (VertexId V = 0; V < G.numVertices(); ++V)
+    (Flags[V] ? R.AllocatedWeight : R.SpillCost) += G.weight(V);
+  R.Allocated = std::move(Flags);
+  return R;
+}
+
+bool layra::isFeasibleAllocation(const AllocationProblem &P,
+                                 const std::vector<char> &Allocated) {
+  assert(Allocated.size() == P.G.numVertices() && "flag vector size mismatch");
+  for (const auto &C : P.Constraints) {
+    unsigned Kept = 0;
+    for (VertexId V : C)
+      Kept += Allocated[V] ? 1 : 0;
+    if (Kept > P.NumRegisters)
+      return false;
+  }
+  return true;
+}

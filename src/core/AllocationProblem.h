@@ -1,0 +1,105 @@
+//===- core/AllocationProblem.h - Spill-everywhere instances ----*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decoupled spill-everywhere allocation problem (paper §2): given an
+/// interference graph with spill-cost weights and R registers, choose the
+/// maximum-weight set of variables to *keep in registers* such that no more
+/// than R of them are simultaneously live anywhere.  "Simultaneously live"
+/// is captured by point constraints: the maximal cliques for chordal (SSA)
+/// instances, the per-program-point live sets for general instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_CORE_ALLOCATIONPROBLEM_H
+#define LAYRA_CORE_ALLOCATIONPROBLEM_H
+
+#include "graph/Chordal.h"
+#include "graph/Graph.h"
+#include "ir/LiveIntervals.h"
+
+#include <optional>
+#include <vector>
+
+namespace layra {
+
+/// One spill-everywhere instance.
+struct AllocationProblem {
+  /// Interference graph; vertex weights are spill costs.
+  Graph G;
+  /// Number of machine registers.
+  unsigned NumRegisters = 0;
+  /// Point constraints: each lists vertices that are simultaneously live at
+  /// some program point; a feasible allocation keeps at most NumRegisters of
+  /// each.  For chordal instances these are exactly the maximal cliques of
+  /// G.  Every vertex appears in at least one constraint.
+  std::vector<std::vector<VertexId>> Constraints;
+  /// True when G is chordal and Constraints are its maximal cliques.
+  bool Chordal = false;
+  /// Perfect elimination order (chordal instances only).
+  EliminationOrder Peo;
+  /// Clique bookkeeping (chordal instances only): Cliques.Cliques mirrors
+  /// Constraints; CliquesOf supports the fixed-point allocator.
+  CliqueCover Cliques;
+  /// Flattened live intervals (instances derived from a function); linear
+  /// scan allocators require these.
+  std::optional<LiveIntervalTable> Intervals;
+
+  /// Builds a chordal instance from a chordal graph: computes the PEO (MCS)
+  /// and the maximal cliques.  Aborts if \p G is not chordal.
+  static AllocationProblem fromChordalGraph(Graph G, unsigned NumRegisters);
+
+  /// Builds a general instance: \p PointLiveSets become the constraints
+  /// (vertices missing from every set get a singleton constraint so the
+  /// problem covers them).
+  static AllocationProblem
+  fromGeneralGraph(Graph G, unsigned NumRegisters,
+                   std::vector<std::vector<VertexId>> PointLiveSets);
+
+  /// MaxLive of the instance: the size of the largest constraint.
+  unsigned maxLive() const;
+
+  /// Returns a copy of this problem with a different register count
+  /// (constraint structure is R-independent, so this is cheap apart from
+  /// the graph copy).
+  AllocationProblem withRegisters(unsigned NewR) const;
+};
+
+/// Outcome of an allocator run.
+struct AllocationResult {
+  /// Per-vertex flag: kept in a register?
+  std::vector<char> Allocated;
+  /// Sum of weights of allocated vertices.
+  Weight AllocatedWeight = 0;
+  /// Sum of weights of spilled vertices (the paper's "allocation cost").
+  Weight SpillCost = 0;
+  /// For exact solvers: true when optimality was proven (search completed
+  /// within its node budget).  Heuristics leave it false.
+  bool Proven = false;
+
+  /// Collects the spilled vertex ids.
+  std::vector<VertexId> spilled() const;
+  /// Collects the allocated vertex ids.
+  std::vector<VertexId> allocated() const;
+
+  /// Builds a result from an allocated-vertex list, computing both weights
+  /// against \p G.
+  static AllocationResult fromAllocatedSet(const Graph &G,
+                                           const std::vector<VertexId> &Set);
+  /// Builds a result from per-vertex flags.
+  static AllocationResult fromFlags(const Graph &G, std::vector<char> Flags);
+};
+
+/// Checks feasibility: every constraint keeps at most NumRegisters allocated
+/// vertices.  For chordal instances this is exactly R-colorability of the
+/// induced subgraph.
+bool isFeasibleAllocation(const AllocationProblem &P,
+                          const std::vector<char> &Allocated);
+
+} // namespace layra
+
+#endif // LAYRA_CORE_ALLOCATIONPROBLEM_H

@@ -1,0 +1,59 @@
+//===- core/Assignment.cpp - Register assignment (coloring) ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Assignment.h"
+
+#include "graph/Coloring.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+Assignment layra::assignRegisters(const AllocationProblem &P,
+                                  const std::vector<char> &Allocated) {
+  assert(Allocated.size() == P.G.numVertices() && "flag size mismatch");
+  Assignment Out;
+  Out.RegisterOf.assign(P.G.numVertices(), Assignment::kNoRegister);
+
+  // Color allocated vertices greedily in reverse elimination order.  For a
+  // chordal instance P.Peo restricted to the allocated set is a PEO of the
+  // induced subgraph, so the scan is optimal there; for general instances we
+  // fall back to a max-degree-first order.
+  std::vector<VertexId> Sequence;
+  if (P.Chordal) {
+    for (auto It = P.Peo.Order.rbegin(); It != P.Peo.Order.rend(); ++It)
+      if (Allocated[*It])
+        Sequence.push_back(*It);
+  } else {
+    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+      if (Allocated[V])
+        Sequence.push_back(V);
+    std::sort(Sequence.begin(), Sequence.end(), [&](VertexId A, VertexId B) {
+      if (P.G.degree(A) != P.G.degree(B))
+        return P.G.degree(A) > P.G.degree(B);
+      return A < B;
+    });
+  }
+
+  std::vector<char> Used;
+  Out.Success = true;
+  for (VertexId V : Sequence) {
+    Used.assign(P.G.degree(V) + 1, 0);
+    for (VertexId U : P.G.neighbors(V)) {
+      unsigned Reg = Out.RegisterOf[U];
+      if (Reg != Assignment::kNoRegister && Reg < Used.size())
+        Used[Reg] = 1;
+    }
+    unsigned Reg = 0;
+    while (Used[Reg])
+      ++Reg;
+    Out.RegisterOf[V] = Reg;
+    Out.RegistersUsed = std::max(Out.RegistersUsed, Reg + 1);
+    Out.Success &= Reg < P.NumRegisters;
+  }
+  return Out;
+}

@@ -1,0 +1,87 @@
+//===- core/Coalescing.h - Affinities and conservative coalescing -*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register coalescing support -- the companion problem the paper's
+/// conclusion singles out ("studying the interactions with the register
+/// coalescing").  Copy instructions and phi operands induce *affinities*
+/// (value pairs that would like the same register); this module extracts
+/// them, performs conservative (Briggs-test) coalescing on the interference
+/// graph before allocation, and biases the tree-scan assignment so that
+/// affinity-related values share registers when the coloring allows it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_CORE_COALESCING_H
+#define LAYRA_CORE_COALESCING_H
+
+#include "core/AllocationProblem.h"
+#include "core/Assignment.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace layra {
+
+/// A move-related value pair with the frequency-weighted benefit of
+/// assigning both to one register (the cost of the copy otherwise).
+struct Affinity {
+  ValueId A = kNoValue;
+  ValueId B = kNoValue;
+  Weight Benefit = 0;
+};
+
+/// Extracts affinities from \p F: one per Copy instruction (def, src) with
+/// benefit = block frequency, and one per phi operand (def, operand) with
+/// benefit = predecessor frequency (a phi is a parallel copy on the edge).
+/// Pairs that appear multiple times are merged, benefits summed.
+std::vector<Affinity> collectAffinities(const Function &F);
+
+/// Result of coalescing a graph.
+struct CoalescingResult {
+  /// Representative[v] = the vertex v was merged into (itself if none);
+  /// fully path-compressed.
+  std::vector<VertexId> Representative;
+  /// Number of affinity pairs merged.
+  unsigned Merged = 0;
+  /// Total benefit of the merged pairs (copy cost removed).
+  Weight BenefitRealized = 0;
+  /// The coalesced graph: one vertex per representative, weights summed,
+  /// edges unioned.  CoalescedIndex[rep] gives the vertex id in this graph.
+  Graph Coalesced;
+  std::vector<VertexId> CoalescedIndex;
+};
+
+/// Conservative (Briggs) coalescing: merges an affinity pair {a, b} only if
+/// a and b do not interfere and the merged node would have fewer than
+/// \p NumRegisters neighbors of degree >= NumRegisters -- the classical
+/// test guaranteeing colorability is never hurt.  Pairs are taken in
+/// decreasing benefit order.
+CoalescingResult coalesceConservative(const Graph &G,
+                                      const std::vector<Affinity> &Affinities,
+                                      unsigned NumRegisters);
+
+/// Tree-scan assignment with affinity bias: like assignRegisters, but when
+/// several registers are free for a vertex, prefers one already used by an
+/// affinity-related neighbor-in-spirit (same-register preference), which
+/// removes copies without ever adding spills.
+Assignment assignRegistersBiased(const AllocationProblem &P,
+                                 const std::vector<char> &Allocated,
+                                 const std::vector<Affinity> &Affinities);
+
+/// Static cost of the copies that remain after assignment: the summed
+/// benefit of affinities whose endpoints are both allocated but received
+/// different registers (plus those with a spilled endpoint, which always
+/// cost their benefit).  The metric assignRegistersBiased minimizes
+/// greedily.
+Weight remainingCopyCost(const std::vector<Affinity> &Affinities,
+                         const std::vector<char> &Allocated,
+                         const std::vector<unsigned> &RegisterOf);
+
+} // namespace layra
+
+#endif // LAYRA_CORE_COALESCING_H

@@ -1,0 +1,87 @@
+//===- core/LayeredHeuristic.cpp - LH for general graphs -------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LayeredHeuristic.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace layra;
+
+std::vector<Cluster> layra::clusterVertices(const Graph &G) {
+  unsigned N = G.numVertices();
+  // Candidates ordered by decreasing weight; the degree tie-break prefers
+  // removing more interference early (same intuition as the paper's §4.1
+  // biasing), and the id tie-break keeps runs deterministic.
+  std::vector<VertexId> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::sort(Order.begin(), Order.end(), [&](VertexId A, VertexId B) {
+    if (G.weight(A) != G.weight(B))
+      return G.weight(A) > G.weight(B);
+    if (G.degree(A) != G.degree(B))
+      return G.degree(A) > G.degree(B);
+    return A < B;
+  });
+
+  std::vector<char> Clustered(N, 0);
+  // Per-round scratch: vertices excluded from the cluster being built
+  // because they are adjacent to a chosen member.  Epoch-stamped to avoid
+  // re-clearing.
+  std::vector<unsigned> BlockedAt(N, ~0u);
+  std::vector<Cluster> Clusters;
+
+  unsigned Remaining = N;
+  unsigned Round = 0;
+  while (Remaining > 0) {
+    Cluster C;
+    // Walk candidates in weight order; greedily absorb every vertex not
+    // adjacent to the cluster so far (paper Algorithm 5's inner loop).
+    for (VertexId V : Order) {
+      if (Clustered[V] || BlockedAt[V] == Round)
+        continue;
+      C.Members.push_back(V);
+      C.TotalWeight += G.weight(V);
+      Clustered[V] = 1;
+      --Remaining;
+      for (VertexId U : G.neighbors(V))
+        BlockedAt[U] = Round;
+    }
+    assert(!C.Members.empty() && "cluster round made no progress");
+    assert(G.isStableSet(C.Members) && "cluster is not a stable set");
+    Clusters.push_back(std::move(C));
+    ++Round;
+  }
+  return Clusters;
+}
+
+LayeredHeuristicResult
+layra::layeredHeuristicAllocate(const AllocationProblem &P) {
+  std::vector<Cluster> Clusters = clusterVertices(P.G);
+
+  LayeredHeuristicResult Out;
+  Out.NumClusters = static_cast<unsigned>(Clusters.size());
+
+  // Paper Algorithm 6: keep the R heaviest clusters.  Stable sort on weight
+  // keeps earlier (greedier, typically larger) clusters on ties.
+  std::stable_sort(Clusters.begin(), Clusters.end(),
+                   [](const Cluster &A, const Cluster &B) {
+                     return A.TotalWeight > B.TotalWeight;
+                   });
+  if (Clusters.size() > P.NumRegisters)
+    Clusters.resize(P.NumRegisters);
+
+  std::vector<char> Flags(P.G.numVertices(), 0);
+  Out.RegisterOf.assign(P.G.numVertices(),
+                        LayeredHeuristicResult::kNoRegister);
+  for (unsigned Reg = 0; Reg < Clusters.size(); ++Reg)
+    for (VertexId V : Clusters[Reg].Members) {
+      Flags[V] = 1;
+      Out.RegisterOf[V] = Reg;
+    }
+  Out.Allocation = AllocationResult::fromFlags(P.G, std::move(Flags));
+  return Out;
+}

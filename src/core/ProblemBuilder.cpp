@@ -1,0 +1,40 @@
+//===- core/ProblemBuilder.cpp - Function -> allocation problem ------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProblemBuilder.h"
+
+#include "ir/Interference.h"
+#include "ir/Liveness.h"
+
+using namespace layra;
+
+AllocationProblem layra::buildSsaProblem(const Function &F,
+                                         const TargetDesc &Target,
+                                         unsigned NumRegisters) {
+  assert(verifyFunction(F, /*ExpectSsa=*/true) &&
+         "buildSsaProblem requires a strict SSA function");
+  Liveness Live(F);
+  std::vector<Weight> Costs = computeSpillCosts(F, Target);
+  InterferenceInfo Info = buildInterference(F, Live, Costs);
+  AllocationProblem P =
+      AllocationProblem::fromChordalGraph(std::move(Info.G), NumRegisters);
+  P.Intervals = computeLiveIntervals(F, Live, Costs);
+  return P;
+}
+
+AllocationProblem layra::buildGeneralProblem(const Function &F,
+                                             const TargetDesc &Target,
+                                             unsigned NumRegisters) {
+  assert(verifyFunction(F) && "buildGeneralProblem requires a valid function");
+  Liveness Live(F);
+  std::vector<Weight> Costs = computeSpillCosts(F, Target);
+  InterferenceInfo Info = buildInterference(F, Live, Costs);
+  AllocationProblem P = AllocationProblem::fromGeneralGraph(
+      std::move(Info.G), NumRegisters, std::move(Info.PointLiveSets));
+  P.Intervals = computeLiveIntervals(F, Live, Costs);
+  return P;
+}

@@ -1,0 +1,40 @@
+//===- core/ProblemBuilder.h - Function -> allocation problem ---*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds AllocationProblems from IR functions: liveness, spill costs,
+/// interference graph, point constraints and live intervals in one call.
+/// This is the front door of the library for compiler-derived instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_CORE_PROBLEMBUILDER_H
+#define LAYRA_CORE_PROBLEMBUILDER_H
+
+#include "core/AllocationProblem.h"
+#include "ir/Program.h"
+#include "ir/Target.h"
+
+namespace layra {
+
+/// Builds a *chordal* instance from a strict-SSA function: the interference
+/// graph of SSA code is chordal and its maximal cliques are the maximal live
+/// sets.  Aborts (via the chordality check) if \p F is not in SSA form.
+AllocationProblem buildSsaProblem(const Function &F, const TargetDesc &Target,
+                                  unsigned NumRegisters);
+
+/// Builds a *general* instance from any function (typically non-SSA, as in
+/// the paper's JikesRVM evaluation): point live sets become the ILP
+/// constraints; flattened live intervals are attached for the linear-scan
+/// baselines.
+AllocationProblem buildGeneralProblem(const Function &F,
+                                      const TargetDesc &Target,
+                                      unsigned NumRegisters);
+
+} // namespace layra
+
+#endif // LAYRA_CORE_PROBLEMBUILDER_H

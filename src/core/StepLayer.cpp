@@ -1,0 +1,251 @@
+//===- core/StepLayer.cpp - Optimal bounded layers (step >= 2) -------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes: the DP over the clique tree stores, per node, the
+// subsets of the (masked) bag with at most Bound vertices.  Subsets are
+// encoded as 64-bit masks over the bag's local ordering, which keeps the
+// per-state footprint small enough for the exact solver to afford R ~ 8 on
+// suite-sized cliques.  Consistency between a node and its children is
+// enforced through the separator: child states are grouped by their
+// projection onto the separator, keyed by a mask over the separator's
+// canonical vertex order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StepLayer.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cstdint>
+
+using namespace layra;
+
+double layra::estimateBoundedLayerStates(const AllocationProblem &P,
+                                         const std::vector<char> &Mask,
+                                         unsigned Bound) {
+  double Total = 0;
+  for (const auto &K : P.Cliques.Cliques) {
+    unsigned M = 0;
+    for (VertexId V : K)
+      M += (Mask.empty() || Mask[V]) ? 1 : 0;
+    // Sum of binomials C(M, 0..Bound), saturating.
+    double Count = 1, Term = 1;
+    for (unsigned J = 1; J <= std::min(Bound, M); ++J) {
+      Term *= static_cast<double>(M - J + 1) / static_cast<double>(J);
+      Count += Term;
+      if (Count > 1e18)
+        return 1e18;
+    }
+    Total += Count;
+    if (Total > 1e18)
+      return 1e18;
+  }
+  return Total;
+}
+
+namespace {
+/// Best (value, state index) per separator projection, stored as parallel
+/// sorted vectors (cheaper than a hash map at millions of states).
+struct ProjectionIndex {
+  std::vector<uint64_t> Keys; // Sorted projection masks.
+  std::vector<std::pair<Weight, uint32_t>> Best;
+
+  const std::pair<Weight, uint32_t> *find(uint64_t Key) const {
+    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
+    if (It == Keys.end() || *It != Key)
+      return nullptr;
+    return &Best[static_cast<size_t>(It - Keys.begin())];
+  }
+};
+
+/// Per-clique-tree-node DP table with bitmask-encoded subsets.
+struct NodeTable {
+  std::vector<VertexId> Bag;        // Masked bag, sorted by vertex id.
+  std::vector<uint64_t> States;     // Subset masks over Bag, |subset|<=Bound.
+  std::vector<Weight> Value;        // Best subtree weight per state.
+  ProjectionIndex BestByProjection; // Keyed over the parent separator.
+};
+
+/// Enumerates all subsets of {0..M-1} with at most Bound bits, in a
+/// deterministic order with the empty set first.
+void enumerateSubsets(unsigned M, unsigned Bound,
+                      std::vector<uint64_t> &Out) {
+  Out.clear();
+  Out.push_back(0);
+  std::vector<uint64_t> Current{0};
+  for (unsigned Size = 1; Size <= std::min(Bound, M); ++Size) {
+    std::vector<uint64_t> Next;
+    for (uint64_t S : Current) {
+      unsigned Lowest =
+          S == 0 ? M : static_cast<unsigned>(__builtin_ctzll(S));
+      for (unsigned B = 0; B < Lowest; ++B)
+        Next.push_back(S | (uint64_t(1) << B));
+    }
+    for (uint64_t S : Next)
+      Out.push_back(S);
+    Current = std::move(Next);
+  }
+}
+} // namespace
+
+std::vector<VertexId>
+layra::optimalBoundedLayer(const AllocationProblem &P,
+                           const std::vector<char> &Mask,
+                           const std::vector<Weight> &Weights,
+                           unsigned Bound) {
+  assert(P.Chordal && "bounded layers require a chordal instance");
+  assert(Bound >= 1 && "bound must be positive");
+  assert(Mask.size() == P.G.numVertices() && "mask size mismatch");
+  assert(Weights.size() == P.G.numVertices() && "weights size mismatch");
+
+  const CliqueCover &Cover = P.Cliques;
+  CliqueTree Tree = buildCliqueTree(P.G, Cover);
+  unsigned NumNodes = Cover.numCliques();
+
+  std::vector<NodeTable> Tables(NumNodes);
+  // Masked bags and separators, both sorted by vertex id (canonical order).
+  std::vector<std::vector<VertexId>> Sep(NumNodes);
+  for (unsigned C = 0; C < NumNodes; ++C) {
+    for (VertexId V : Cover.Cliques[C])
+      if (Mask[V])
+        Tables[C].Bag.push_back(V);
+    std::sort(Tables[C].Bag.begin(), Tables[C].Bag.end());
+    if (Tables[C].Bag.size() > 64)
+      layraFatalError("optimalBoundedLayer: clique exceeds 64 live values");
+    for (VertexId V : Tree.Separator[C])
+      if (Mask[V])
+        Sep[C].push_back(V);
+    std::sort(Sep[C].begin(), Sep[C].end());
+  }
+
+  // Projection of a bag-subset mask onto a separator, as a mask over the
+  // separator's canonical order.  Both lists are sorted by vertex id.
+  auto Project = [](const std::vector<VertexId> &Bag, uint64_t SubsetMask,
+                    const std::vector<VertexId> &Separator) {
+    uint64_t Out = 0;
+    size_t BagIdx = 0;
+    for (size_t SepIdx = 0; SepIdx < Separator.size(); ++SepIdx) {
+      while (BagIdx < Bag.size() && Bag[BagIdx] < Separator[SepIdx])
+        ++BagIdx;
+      assert(BagIdx < Bag.size() && Bag[BagIdx] == Separator[SepIdx] &&
+             "separator vertex missing from bag");
+      if (SubsetMask & (uint64_t(1) << BagIdx))
+        Out |= uint64_t(1) << SepIdx;
+    }
+    return Out;
+  };
+
+  // Bottom-up sweep (children before parents).
+  for (auto It = Tree.TopoOrder.rbegin(); It != Tree.TopoOrder.rend(); ++It) {
+    unsigned C = *It;
+    NodeTable &T = Tables[C];
+    enumerateSubsets(static_cast<unsigned>(T.Bag.size()), Bound, T.States);
+    T.Value.assign(T.States.size(), 0);
+
+    // Weight of each bag vertex.
+    std::vector<Weight> BagWeight(T.Bag.size());
+    for (size_t I = 0; I < T.Bag.size(); ++I)
+      BagWeight[I] = Weights[T.Bag[I]];
+
+    for (size_t S = 0; S < T.States.size(); ++S) {
+      uint64_t StateMask = T.States[S];
+      Weight Total = 0;
+      uint64_t Bits = StateMask;
+      while (Bits) {
+        Total += BagWeight[static_cast<unsigned>(__builtin_ctzll(Bits))];
+        Bits &= Bits - 1;
+      }
+      for (unsigned D : Tree.Children[C]) {
+        uint64_t Proj = Project(T.Bag, StateMask, Sep[D]);
+        const auto *Found = Tables[D].BestByProjection.find(Proj);
+        assert(Found && "separator projection missing from child table");
+        Total += Found->first;
+      }
+      T.Value[S] = Total;
+    }
+
+    // Group this node's states by projection onto its parent separator,
+    // with the separator weight removed (counted at the parent).
+    {
+      std::vector<std::pair<uint64_t, std::pair<Weight, uint32_t>>> Agg;
+      Agg.reserve(T.States.size());
+      for (size_t S = 0; S < T.States.size(); ++S) {
+        uint64_t Proj = Project(T.Bag, T.States[S], Sep[C]);
+        Weight SepWeight = 0;
+        uint64_t Bits = Proj;
+        while (Bits) {
+          SepWeight += Weights[Sep[C][static_cast<unsigned>(
+              __builtin_ctzll(Bits))]];
+          Bits &= Bits - 1;
+        }
+        Agg.push_back(
+            {Proj, {T.Value[S] - SepWeight, static_cast<uint32_t>(S)}});
+      }
+      std::sort(Agg.begin(), Agg.end(),
+                [](const auto &A, const auto &B) {
+                  if (A.first != B.first)
+                    return A.first < B.first;
+                  return A.second.first > B.second.first;
+                });
+      ProjectionIndex &Index = T.BestByProjection;
+      Index.Keys.clear();
+      Index.Best.clear();
+      for (const auto &[Key, ValueIdx] : Agg)
+        if (Index.Keys.empty() || Index.Keys.back() != Key) {
+          Index.Keys.push_back(Key);
+          Index.Best.push_back(ValueIdx);
+        }
+    }
+
+    // Children's big tables are no longer needed once the parent consumed
+    // them -- but reconstruction walks down through BestByProjection and
+    // States, so keep those and only drop Value for children.
+    for (unsigned D : Tree.Children[C]) {
+      Tables[D].Value.clear();
+      Tables[D].Value.shrink_to_fit();
+    }
+  }
+
+  // Reconstruction: pick the best root states and walk choices down via the
+  // projection maps.
+  std::vector<char> Selected(P.G.numVertices(), 0);
+  std::vector<std::pair<unsigned, uint64_t>> Work; // (node, chosen mask)
+  for (unsigned C = 0; C < NumNodes; ++C) {
+    if (Tree.Parent[C] != ~0u)
+      continue;
+    const NodeTable &T = Tables[C];
+    // Roots keep their Value arrays (nothing consumed them).
+    size_t Best = 0;
+    for (size_t S = 1; S < T.States.size(); ++S)
+      if (T.Value[S] > T.Value[Best])
+        Best = S;
+    Work.push_back({C, T.States[Best]});
+  }
+  while (!Work.empty()) {
+    auto [C, StateMask] = Work.back();
+    Work.pop_back();
+    const NodeTable &T = Tables[C];
+    uint64_t Bits = StateMask;
+    while (Bits) {
+      Selected[T.Bag[static_cast<unsigned>(__builtin_ctzll(Bits))]] = 1;
+      Bits &= Bits - 1;
+    }
+    for (unsigned D : Tree.Children[C]) {
+      uint64_t Proj = Project(T.Bag, StateMask, Sep[D]);
+      const auto *Found = Tables[D].BestByProjection.find(Proj);
+      assert(Found && "projection lost during reconstruction");
+      Work.push_back({D, Tables[D].States[Found->second]});
+    }
+  }
+
+  std::vector<VertexId> Out;
+  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    if (Selected[V])
+      Out.push_back(V);
+  return Out;
+}

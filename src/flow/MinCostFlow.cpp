@@ -1,0 +1,120 @@
+//===- flow/MinCostFlow.cpp - Min-cost max-flow ----------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/MinCostFlow.h"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+
+using namespace layra;
+
+unsigned MinCostFlow::addArc(NodeId From, NodeId To, FlowAmount Cap,
+                             Cost ArcCost) {
+  assert(From < numNodes() && To < numNodes() && "node id out of range");
+  assert(Cap >= 0 && "arc capacity must be non-negative");
+  unsigned Id = static_cast<unsigned>(Arcs.size());
+  Arcs.push_back({To, FirstArc[From], Cap, ArcCost});
+  FirstArc[From] = Id;
+  Arcs.push_back({From, FirstArc[To], 0, -ArcCost});
+  FirstArc[To] = Id + 1;
+  Capacity.push_back(Cap);
+  return Id;
+}
+
+MinCostFlow::FlowAmount MinCostFlow::flowOn(unsigned ArcId) const {
+  assert(ArcId % 2 == 0 && ArcId < Arcs.size() && "not a forward arc id");
+  return Capacity[ArcId / 2] - Arcs[ArcId].Residual;
+}
+
+MinCostFlow::Result MinCostFlow::run(NodeId Source, NodeId Sink,
+                                     FlowAmount MaxFlow) {
+  assert(Source < numNodes() && Sink < numNodes() && Source != Sink);
+  constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;
+  unsigned N = numNodes();
+  std::vector<Cost> Potential(N, 0);
+
+  // Bellman-Ford to initialise potentials if any arc cost is negative.
+  bool HasNegative = false;
+  for (const Arc &A : Arcs)
+    HasNegative |= A.Residual > 0 && A.ArcCost < 0;
+  if (HasNegative) {
+    std::vector<Cost> Dist(N, kInf);
+    Dist[Source] = 0;
+    for (unsigned Round = 0; Round + 1 < N; ++Round) {
+      bool Changed = false;
+      for (NodeId U = 0; U < N; ++U) {
+        if (Dist[U] == kInf)
+          continue;
+        for (unsigned A = FirstArc[U]; A != kNoArc; A = Arcs[A].NextArc) {
+          if (Arcs[A].Residual <= 0)
+            continue;
+          Cost Candidate = Dist[U] + Arcs[A].ArcCost;
+          if (Candidate < Dist[Arcs[A].To]) {
+            Dist[Arcs[A].To] = Candidate;
+            Changed = true;
+          }
+        }
+      }
+      if (!Changed)
+        break;
+    }
+    for (NodeId U = 0; U < N; ++U)
+      Potential[U] = Dist[U] == kInf ? 0 : Dist[U];
+  }
+
+  Result Out;
+  std::vector<Cost> Dist(N);
+  std::vector<unsigned> InArc(N);
+  using QueueEntry = std::pair<Cost, NodeId>;
+  while (Out.Flow < MaxFlow) {
+    // Dijkstra on reduced costs.
+    Dist.assign(N, kInf);
+    InArc.assign(N, kNoArc);
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        Queue;
+    Dist[Source] = 0;
+    Queue.push({0, Source});
+    while (!Queue.empty()) {
+      auto [D, U] = Queue.top();
+      Queue.pop();
+      if (D > Dist[U])
+        continue;
+      for (unsigned A = FirstArc[U]; A != kNoArc; A = Arcs[A].NextArc) {
+        if (Arcs[A].Residual <= 0)
+          continue;
+        NodeId V = Arcs[A].To;
+        Cost Reduced = Arcs[A].ArcCost + Potential[U] - Potential[V];
+        assert(Reduced >= 0 && "negative reduced cost: bad potentials");
+        if (Dist[U] + Reduced < Dist[V]) {
+          Dist[V] = Dist[U] + Reduced;
+          InArc[V] = A;
+          Queue.push({Dist[V], V});
+        }
+      }
+    }
+    if (Dist[Sink] == kInf)
+      break; // Sink unreachable: max flow reached.
+
+    for (NodeId U = 0; U < N; ++U)
+      if (Dist[U] < kInf)
+        Potential[U] += Dist[U];
+
+    // Bottleneck along the found path.
+    FlowAmount Push = MaxFlow - Out.Flow;
+    for (NodeId V = Sink; V != Source; V = Arcs[InArc[V] ^ 1].To)
+      Push = std::min(Push, Arcs[InArc[V]].Residual);
+    for (NodeId V = Sink; V != Source; V = Arcs[InArc[V] ^ 1].To) {
+      Arcs[InArc[V]].Residual -= Push;
+      Arcs[InArc[V] ^ 1].Residual += Push;
+      Out.TotalCost += Push * Arcs[InArc[V]].ArcCost;
+    }
+    Out.Flow += Push;
+  }
+  return Out;
+}

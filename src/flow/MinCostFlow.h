@@ -1,0 +1,77 @@
+//===- flow/MinCostFlow.h - Min-cost max-flow --------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A successive-shortest-paths min-cost max-flow solver (Dijkstra with
+/// Johnson potentials).  Layra uses it for the provably optimal
+/// spill-everywhere allocator on *interval* instances: choosing a
+/// maximum-weight R-colorable set of intervals is a classical min-cost-flow
+/// problem, which cross-checks the branch-and-bound "Optimal" baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FLOW_MINCOSTFLOW_H
+#define LAYRA_FLOW_MINCOSTFLOW_H
+
+#include <cstdint>
+#include <vector>
+
+namespace layra {
+
+/// Min-cost max-flow network on dense node ids.
+class MinCostFlow {
+public:
+  using NodeId = unsigned;
+  using FlowAmount = long long;
+  using Cost = long long;
+
+  explicit MinCostFlow(unsigned NumNodes) : FirstArc(NumNodes, kNoArc) {}
+
+  /// Adds a directed arc and its residual twin; returns the arc id, with
+  /// which the caller can query flowOn() after solving.
+  /// \pre Capacity >= 0.  Negative costs are allowed as long as the graph
+  /// has no negative cycle (our constructions are DAGs).
+  unsigned addArc(NodeId From, NodeId To, FlowAmount Capacity, Cost ArcCost);
+
+  /// Result of a run.
+  struct Result {
+    FlowAmount Flow = 0;
+    Cost TotalCost = 0;
+  };
+
+  /// Sends up to \p MaxFlow units from \p Source to \p Sink along
+  /// successively cheapest paths, stopping early when the sink becomes
+  /// unreachable.  With negative arc costs present, the first potentials are
+  /// initialised by Bellman-Ford; later iterations use Dijkstra.
+  Result run(NodeId Source, NodeId Sink,
+             FlowAmount MaxFlow = kInfiniteFlow);
+
+  /// Flow currently on arc \p ArcId (as returned by addArc).
+  FlowAmount flowOn(unsigned ArcId) const;
+
+  static constexpr FlowAmount kInfiniteFlow = INT64_MAX / 4;
+
+private:
+  static constexpr unsigned kNoArc = ~0u;
+
+  struct Arc {
+    NodeId To;
+    unsigned NextArc;   // Intrusive adjacency list.
+    FlowAmount Residual;
+    Cost ArcCost;
+  };
+
+  unsigned numNodes() const { return static_cast<unsigned>(FirstArc.size()); }
+
+  std::vector<unsigned> FirstArc;
+  std::vector<Arc> Arcs;
+  std::vector<FlowAmount> Capacity; // Original capacity per even arc id.
+};
+
+} // namespace layra
+
+#endif // LAYRA_FLOW_MINCOSTFLOW_H

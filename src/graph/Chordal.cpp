@@ -1,0 +1,348 @@
+//===- graph/Chordal.cpp - Chordal graph machinery ------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Chordal.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <list>
+#include <numeric>
+#include <unordered_map>
+
+using namespace layra;
+
+EliminationOrder EliminationOrder::fromOrder(std::vector<VertexId> Order) {
+  EliminationOrder Result;
+  Result.Position.resize(Order.size(), ~0u);
+  for (unsigned I = 0; I < Order.size(); ++I) {
+    assert(Order[I] < Order.size() && "order mentions unknown vertex");
+    assert(Result.Position[Order[I]] == ~0u && "duplicate vertex in order");
+    Result.Position[Order[I]] = I;
+  }
+  Result.Order = std::move(Order);
+  return Result;
+}
+
+EliminationOrder layra::maximumCardinalitySearch(const Graph &G) {
+  unsigned N = G.numVertices();
+  // Bucketed MCS: Buckets[c] holds unvisited vertices with c visited
+  // neighbors; we repeatedly visit from the highest non-empty bucket.
+  std::vector<std::vector<VertexId>> Buckets(N + 1);
+  std::vector<unsigned> Count(N, 0);
+  std::vector<char> Visited(N, 0);
+  for (VertexId V = 0; V < N; ++V)
+    Buckets[0].push_back(V);
+
+  std::vector<VertexId> Visit;
+  Visit.reserve(N);
+  unsigned Top = 0;
+  while (Visit.size() < N) {
+    while (Buckets[Top].empty()) {
+      assert(Top > 0 && "MCS ran out of vertices before visiting all");
+      --Top;
+    }
+    VertexId V = Buckets[Top].back();
+    Buckets[Top].pop_back();
+    if (Visited[V])
+      continue; // Stale bucket entry; the vertex moved to a higher bucket.
+    if (Count[V] != Top)
+      continue; // Stale: superseded by a later push at the correct level.
+    Visited[V] = 1;
+    Visit.push_back(V);
+    for (VertexId U : G.neighbors(V)) {
+      if (Visited[U])
+        continue;
+      ++Count[U];
+      Buckets[Count[U]].push_back(U);
+      Top = std::max(Top, Count[U]);
+    }
+  }
+
+  // The reverse of the MCS visit order is a PEO on chordal graphs.
+  std::reverse(Visit.begin(), Visit.end());
+  return EliminationOrder::fromOrder(std::move(Visit));
+}
+
+EliminationOrder layra::lexBfs(const Graph &G) {
+  unsigned N = G.numVertices();
+  // Partition refinement: Slices is an ordered list of vertex groups; the
+  // next visited vertex is the front of the first slice, and visiting splits
+  // every slice into (neighbors, non-neighbors), neighbors first.
+  std::list<std::vector<VertexId>> Slices;
+  if (N > 0) {
+    std::vector<VertexId> All(N);
+    std::iota(All.begin(), All.end(), 0);
+    Slices.push_back(std::move(All));
+  }
+
+  std::vector<char> IsNeighbor(N, 0);
+  std::vector<VertexId> Visit;
+  Visit.reserve(N);
+  while (!Slices.empty()) {
+    std::vector<VertexId> &First = Slices.front();
+    VertexId V = First.back();
+    First.pop_back();
+    if (First.empty())
+      Slices.pop_front();
+    Visit.push_back(V);
+
+    for (VertexId U : G.neighbors(V))
+      IsNeighbor[U] = 1;
+    for (auto It = Slices.begin(); It != Slices.end();) {
+      std::vector<VertexId> Hit, Miss;
+      for (VertexId U : *It)
+        (IsNeighbor[U] ? Hit : Miss).push_back(U);
+      if (Hit.empty() || Miss.empty()) {
+        ++It;
+        continue;
+      }
+      *It = std::move(Miss);
+      Slices.insert(It, std::move(Hit));
+      ++It;
+    }
+    for (VertexId U : G.neighbors(V))
+      IsNeighbor[U] = 0;
+  }
+
+  std::reverse(Visit.begin(), Visit.end());
+  return EliminationOrder::fromOrder(std::move(Visit));
+}
+
+/// Later neighbors of Order[I] (the "monotone adjacency set" of the RTL
+/// chordality literature).
+static std::vector<VertexId> laterNeighbors(const Graph &G,
+                                            const EliminationOrder &Peo,
+                                            VertexId V) {
+  std::vector<VertexId> Result;
+  for (VertexId U : G.neighbors(V))
+    if (Peo.Position[U] > Peo.Position[V])
+      Result.push_back(U);
+  return Result;
+}
+
+bool layra::isPerfectEliminationOrder(const Graph &G,
+                                      const EliminationOrder &Order) {
+  unsigned N = G.numVertices();
+  if (Order.Order.size() != N)
+    return false;
+  // Rose-Tarjan-Lueker test: for each vertex v, let u be the earliest later
+  // neighbor; all other later neighbors of v must be adjacent to u.  We
+  // batch the membership checks per u.
+  std::vector<std::vector<VertexId>> MustBeAdjacentTo(N);
+  for (VertexId V : Order.Order) {
+    std::vector<VertexId> Later = laterNeighbors(G, Order, V);
+    if (Later.empty())
+      continue;
+    VertexId Parent = *std::min_element(
+        Later.begin(), Later.end(), [&](VertexId A, VertexId B) {
+          return Order.Position[A] < Order.Position[B];
+        });
+    for (VertexId U : Later)
+      if (U != Parent)
+        MustBeAdjacentTo[Parent].push_back(U);
+  }
+  std::vector<char> Mark(N, 0);
+  for (VertexId U = 0; U < N; ++U) {
+    if (MustBeAdjacentTo[U].empty())
+      continue;
+    for (VertexId W : G.neighbors(U))
+      Mark[W] = 1;
+    for (VertexId W : MustBeAdjacentTo[U])
+      if (!Mark[W])
+        return false;
+    for (VertexId W : G.neighbors(U))
+      Mark[W] = 0;
+  }
+  return true;
+}
+
+bool layra::isChordal(const Graph &G) {
+  return isPerfectEliminationOrder(G, maximumCardinalitySearch(G));
+}
+
+unsigned CliqueCover::maxCliqueSize() const {
+  size_t Max = 0;
+  for (const auto &K : Cliques)
+    Max = std::max(Max, K.size());
+  return static_cast<unsigned>(Max);
+}
+
+CliqueCover layra::maximalCliquesChordal(const Graph &G,
+                                         const EliminationOrder &Peo) {
+  assert(isPerfectEliminationOrder(G, Peo) &&
+         "maximalCliquesChordal requires a PEO (is the graph chordal?)");
+  unsigned N = G.numVertices();
+  // Fulkerson-Gross: every maximal clique is C_v = {v} + laterNeighbors(v)
+  // for some v.  C_v is NON-maximal iff some u with parent(u) == v satisfies
+  // |later(u)| == |later(v)| + 1 (then C_v is a subset of C_u); this is the
+  // Blair-Peyton detection used in clique-tree construction.
+  std::vector<unsigned> LaterCount(N, 0);
+  std::vector<VertexId> Parent(N, ~0u);
+  for (VertexId V = 0; V < N; ++V) {
+    std::vector<VertexId> Later = laterNeighbors(G, Peo, V);
+    LaterCount[V] = static_cast<unsigned>(Later.size());
+    if (!Later.empty())
+      Parent[V] = *std::min_element(
+          Later.begin(), Later.end(), [&](VertexId A, VertexId B) {
+            return Peo.Position[A] < Peo.Position[B];
+          });
+  }
+
+  std::vector<char> Absorbed(N, 0);
+  for (VertexId U = 0; U < N; ++U)
+    if (Parent[U] != ~0u && LaterCount[U] == LaterCount[Parent[U]] + 1)
+      Absorbed[Parent[U]] = 1;
+
+  CliqueCover Cover;
+  Cover.CliquesOf.resize(N);
+  for (VertexId V : Peo.Order) {
+    if (Absorbed[V])
+      continue;
+    std::vector<VertexId> Clique = laterNeighbors(G, Peo, V);
+    Clique.push_back(V);
+    unsigned Index = Cover.numCliques();
+    for (VertexId U : Clique)
+      Cover.CliquesOf[U].push_back(Index);
+    Cover.Cliques.push_back(std::move(Clique));
+  }
+  return Cover;
+}
+
+namespace {
+/// Disjoint-set union for the Kruskal run in buildCliqueTree.
+class UnionFind {
+public:
+  explicit UnionFind(unsigned N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  unsigned find(unsigned X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  bool unite(unsigned A, unsigned B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return false;
+    Parent[B] = A;
+    return true;
+  }
+
+private:
+  std::vector<unsigned> Parent;
+};
+} // namespace
+
+CliqueTree layra::buildCliqueTree(const Graph &G, const CliqueCover &Cover) {
+  unsigned K = Cover.numCliques();
+  CliqueTree Tree;
+  Tree.Parent.assign(K, ~0u);
+  Tree.Children.resize(K);
+  Tree.Separator.resize(K);
+
+  // Weight of the clique-intersection edge (i, j) = |K_i intersect K_j|.
+  // Only pairs sharing a vertex matter; enumerate them via CliquesOf.
+  std::unordered_map<uint64_t, unsigned> Shared;
+  for (VertexId V = 0; V < G.numVertices(); ++V) {
+    const std::vector<unsigned> &In = Cover.CliquesOf[V];
+    for (size_t A = 0; A < In.size(); ++A)
+      for (size_t B = A + 1; B < In.size(); ++B) {
+        unsigned I = std::min(In[A], In[B]), J = std::max(In[A], In[B]);
+        ++Shared[(static_cast<uint64_t>(I) << 32) | J];
+      }
+  }
+
+  struct CandidateEdge {
+    unsigned Weight, I, J;
+  };
+  std::vector<CandidateEdge> Edges;
+  Edges.reserve(Shared.size());
+  for (const auto &[Key, W] : Shared)
+    Edges.push_back({W, static_cast<unsigned>(Key >> 32),
+                     static_cast<unsigned>(Key & 0xffffffffu)});
+  // Sort by descending weight, tie-broken by indices for determinism.
+  std::sort(Edges.begin(), Edges.end(),
+            [](const CandidateEdge &A, const CandidateEdge &B) {
+              if (A.Weight != B.Weight)
+                return A.Weight > B.Weight;
+              if (A.I != B.I)
+                return A.I < B.I;
+              return A.J < B.J;
+            });
+
+  UnionFind Dsu(K);
+  std::vector<std::vector<unsigned>> TreeAdj(K);
+  for (const CandidateEdge &E : Edges)
+    if (Dsu.unite(E.I, E.J)) {
+      TreeAdj[E.I].push_back(E.J);
+      TreeAdj[E.J].push_back(E.I);
+    }
+
+  // Root every component at its smallest clique index and orient.
+  std::vector<char> Seen(K, 0);
+  for (unsigned Root = 0; Root < K; ++Root) {
+    if (Seen[Root])
+      continue;
+    std::vector<unsigned> Stack{Root};
+    Seen[Root] = 1;
+    while (!Stack.empty()) {
+      unsigned C = Stack.back();
+      Stack.pop_back();
+      Tree.TopoOrder.push_back(C);
+      for (unsigned D : TreeAdj[C]) {
+        if (Seen[D])
+          continue;
+        Seen[D] = 1;
+        Tree.Parent[D] = C;
+        Tree.Children[C].push_back(D);
+        Stack.push_back(D);
+      }
+    }
+  }
+
+  // Separators: child clique intersected with its parent clique.
+  std::vector<char> Mark(G.numVertices(), 0);
+  for (unsigned C = 0; C < K; ++C) {
+    unsigned P = Tree.Parent[C];
+    if (P == ~0u)
+      continue;
+    for (VertexId V : Cover.Cliques[P])
+      Mark[V] = 1;
+    for (VertexId V : Cover.Cliques[C])
+      if (Mark[V])
+        Tree.Separator[C].push_back(V);
+    for (VertexId V : Cover.Cliques[P])
+      Mark[V] = 0;
+  }
+  return Tree;
+}
+
+bool layra::isValidCliqueTree(const Graph &G, const CliqueCover &Cover,
+                              const CliqueTree &Tree) {
+  unsigned K = Cover.numCliques();
+  if (Tree.Parent.size() != K || Tree.Separator.size() != K)
+    return false;
+  // Induced-subtree property: for each vertex v the number of tree edges
+  // with both endpoints containing v must be |CliquesOf(v)| - 1.
+  std::vector<unsigned> EdgesContaining(G.numVertices(), 0);
+  for (unsigned C = 0; C < K; ++C)
+    for (VertexId V : Tree.Separator[C])
+      ++EdgesContaining[V];
+  for (VertexId V = 0; V < G.numVertices(); ++V) {
+    if (Cover.CliquesOf[V].empty())
+      return false; // Every vertex lies in at least one maximal clique.
+    if (EdgesContaining[V] != Cover.CliquesOf[V].size() - 1)
+      return false;
+  }
+  return true;
+}

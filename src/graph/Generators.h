@@ -1,0 +1,58 @@
+//===- graph/Generators.h - Random graph generators -------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random-graph generators used by property tests and the
+/// micro-benchmarks.  The chordal generator samples *subtrees of a random
+/// tree*, which is exactly the structural characterisation of chordal graphs
+/// (Gavril; paper §3.2) -- so chordality holds by construction, mirroring how
+/// SSA live ranges are subtrees of the dominance tree.
+///
+/// The *benchmark-suite* workloads do not use these generators: they derive
+/// interference graphs from real (synthetic) programs via src/ir.  These are
+/// for unit/property tests and scaling studies only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_GRAPH_GENERATORS_H
+#define LAYRA_GRAPH_GENERATORS_H
+
+#include "graph/Graph.h"
+#include "support/Random.h"
+
+namespace layra {
+
+/// Options for randomChordalGraph.
+struct ChordalGenOptions {
+  /// Number of vertices (live ranges).
+  unsigned NumVertices = 50;
+  /// Number of nodes of the host tree (program points).
+  unsigned TreeSize = 40;
+  /// Expected subtree size as a fraction of the tree (controls density).
+  double SubtreeSpread = 0.25;
+  /// Maximum vertex weight; weights are sampled uniformly in [1, MaxWeight].
+  Weight MaxWeight = 100;
+};
+
+/// Generates a random chordal graph by intersecting random connected
+/// subtrees of a random host tree.
+Graph randomChordalGraph(Rng &R, const ChordalGenOptions &Options);
+
+/// Generates a random interval graph: each vertex is a random interval on
+/// [0, Horizon); vertices interfere iff their intervals overlap.
+/// Interval graphs model straight-line (single basic block) SSA code.
+Graph randomIntervalGraph(Rng &R, unsigned NumVertices, unsigned Horizon,
+                          unsigned MaxLength, Weight MaxWeight);
+
+/// Erdős–Rényi G(n, p) with uniform weights in [1, MaxWeight].  Generally
+/// *not* chordal: models non-SSA interference graphs in stress tests.
+Graph randomGraph(Rng &R, unsigned NumVertices, double EdgeProbability,
+                  Weight MaxWeight);
+
+} // namespace layra
+
+#endif // LAYRA_GRAPH_GENERATORS_H

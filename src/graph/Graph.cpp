@@ -1,0 +1,125 @@
+//===- graph/Graph.cpp - Weighted undirected interference graph ----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+VertexId Graph::addVertex(Weight W, std::string Name) {
+  assert(W >= 0 && "spill costs are non-negative");
+  VertexId Id = numVertices();
+  Adjacency.emplace_back();
+  Weights.push_back(W);
+  if (!Name.empty()) {
+    Names.resize(Id + 1);
+    Names[Id] = std::move(Name);
+  }
+  return Id;
+}
+
+bool Graph::addEdge(VertexId U, VertexId V) {
+  assert(U < numVertices() && V < numVertices() && "vertex out of range");
+  assert(U != V && "self-loops are not interference edges");
+  if (hasEdge(U, V))
+    return false;
+  Adjacency[U].push_back(V);
+  Adjacency[V].push_back(U);
+  ++EdgeCount;
+  return true;
+}
+
+bool Graph::hasEdge(VertexId U, VertexId V) const {
+  assert(U < numVertices() && V < numVertices() && "vertex out of range");
+  // Scan the smaller adjacency list.
+  const std::vector<VertexId> &Smaller =
+      degree(U) <= degree(V) ? Adjacency[U] : Adjacency[V];
+  VertexId Target = degree(U) <= degree(V) ? V : U;
+  return std::find(Smaller.begin(), Smaller.end(), Target) != Smaller.end();
+}
+
+const std::string &Graph::name(VertexId V) const {
+  assert(V < numVertices() && "vertex out of range");
+  static const std::string Empty;
+  return V < Names.size() ? Names[V] : Empty;
+}
+
+void Graph::setName(VertexId V, std::string Name) {
+  assert(V < numVertices() && "vertex out of range");
+  if (Names.size() <= V)
+    Names.resize(V + 1);
+  Names[V] = std::move(Name);
+}
+
+Weight Graph::totalWeight() const {
+  Weight Sum = 0;
+  for (Weight W : Weights)
+    Sum += W;
+  return Sum;
+}
+
+Weight Graph::weightOf(const std::vector<VertexId> &Subset) const {
+  Weight Sum = 0;
+  for (VertexId V : Subset)
+    Sum += weight(V);
+  return Sum;
+}
+
+bool Graph::isStableSet(const std::vector<VertexId> &Subset) const {
+  std::vector<char> InSet(numVertices(), 0);
+  for (VertexId V : Subset) {
+    assert(V < numVertices() && "vertex out of range");
+    InSet[V] = 1;
+  }
+  for (VertexId V : Subset)
+    for (VertexId U : neighbors(V))
+      if (InSet[U])
+        return false;
+  return true;
+}
+
+Graph Graph::inducedSubgraph(const std::vector<VertexId> &Keep,
+                             std::vector<VertexId> *OldToNew) const {
+  std::vector<VertexId> Map(numVertices(), ~0u);
+  Graph Sub;
+  for (VertexId V : Keep) {
+    assert(V < numVertices() && "vertex out of range");
+    assert(Map[V] == ~0u && "duplicate vertex in induced subgraph request");
+    Map[V] = Sub.addVertex(weight(V), name(V));
+  }
+  for (VertexId V : Keep)
+    for (VertexId U : neighbors(V))
+      if (Map[U] != ~0u && V < U)
+        Sub.addEdge(Map[V], Map[U]);
+  if (OldToNew)
+    *OldToNew = std::move(Map);
+  return Sub;
+}
+
+std::string Graph::toDot(const std::vector<VertexId> &Highlight) const {
+  std::vector<char> Hot(numVertices(), 0);
+  for (VertexId V : Highlight)
+    Hot[V] = 1;
+  std::string Dot = "graph interference {\n  node [shape=circle];\n";
+  for (VertexId V = 0; V < numVertices(); ++V) {
+    Dot += "  n" + std::to_string(V) + " [label=\"";
+    Dot += name(V).empty() ? ("v" + std::to_string(V)) : name(V);
+    Dot += ':';
+    Dot += std::to_string(weight(V));
+    Dot += '"';
+    if (Hot[V])
+      Dot += ", style=filled, fillcolor=lightblue";
+    Dot += "];\n";
+  }
+  for (VertexId V = 0; V < numVertices(); ++V)
+    for (VertexId U : neighbors(V))
+      if (V < U)
+        Dot += "  n" + std::to_string(V) + " -- n" + std::to_string(U) + ";\n";
+  Dot += "}\n";
+  return Dot;
+}

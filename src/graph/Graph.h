@@ -1,0 +1,115 @@
+//===- graph/Graph.h - Weighted undirected interference graph ---*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The weighted undirected graph all Layra allocators operate on.  Vertices
+/// are dense ids 0..N-1; each vertex carries a non-negative integer weight,
+/// interpreted as its estimated spill cost (paper §3: "A spill cost
+/// represents the access frequency of a variable").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_GRAPH_GRAPH_H
+#define LAYRA_GRAPH_GRAPH_H
+
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Dense vertex identifier.
+using VertexId = unsigned;
+
+/// Spill-cost weight.  Integer so that optimal/heuristic comparisons are
+/// exact; the IR cost model produces integers (accesses x block frequency).
+using Weight = long long;
+
+/// An undirected graph with per-vertex weights and optional vertex names.
+///
+/// The representation is a plain adjacency list.  Edges are deduplicated on
+/// insertion; self-loops are rejected.  Adjacency lists are kept in insertion
+/// order -- algorithms that need determinism across runs get it because the
+/// whole library is deterministic (no pointer ordering anywhere).
+class Graph {
+public:
+  Graph() = default;
+
+  /// Creates a graph with \p NumVertices vertices of weight 0.
+  explicit Graph(unsigned NumVertices)
+      : Adjacency(NumVertices), Weights(NumVertices, 0) {}
+
+  /// Adds a vertex with weight \p W and returns its id.
+  VertexId addVertex(Weight W = 0, std::string Name = {});
+
+  /// Adds the undirected edge {U, V} unless it already exists.
+  /// \returns true if the edge was inserted, false if it was present.
+  /// \pre U != V and both are valid vertex ids.
+  bool addEdge(VertexId U, VertexId V);
+
+  /// Returns true if the undirected edge {U, V} exists.
+  bool hasEdge(VertexId U, VertexId V) const;
+
+  unsigned numVertices() const {
+    return static_cast<unsigned>(Adjacency.size());
+  }
+  size_t numEdges() const { return EdgeCount; }
+
+  const std::vector<VertexId> &neighbors(VertexId V) const {
+    assert(V < numVertices() && "vertex out of range");
+    return Adjacency[V];
+  }
+
+  unsigned degree(VertexId V) const {
+    return static_cast<unsigned>(neighbors(V).size());
+  }
+
+  Weight weight(VertexId V) const {
+    assert(V < numVertices() && "vertex out of range");
+    return Weights[V];
+  }
+
+  void setWeight(VertexId V, Weight W) {
+    assert(V < numVertices() && "vertex out of range");
+    assert(W >= 0 && "spill costs are non-negative");
+    Weights[V] = W;
+  }
+
+  /// Optional human-readable name; empty when never set.
+  const std::string &name(VertexId V) const;
+  void setName(VertexId V, std::string Name);
+
+  /// Sum of all vertex weights (the cost of spilling everything).
+  Weight totalWeight() const;
+
+  /// Sum of weights over \p Subset.
+  Weight weightOf(const std::vector<VertexId> &Subset) const;
+
+  /// Returns true if \p Subset contains no two adjacent vertices.
+  bool isStableSet(const std::vector<VertexId> &Subset) const;
+
+  /// Builds the subgraph induced by \p Keep (weights and names carried over).
+  /// \param [out] OldToNew if non-null, receives a map of size numVertices()
+  ///   with the new id of each kept vertex and ~0u for dropped ones.
+  Graph inducedSubgraph(const std::vector<VertexId> &Keep,
+                        std::vector<VertexId> *OldToNew = nullptr) const;
+
+  /// Renders the graph in Graphviz DOT syntax (used by the examples).
+  /// Vertices in \p Highlight are drawn filled.
+  std::string toDot(const std::vector<VertexId> &Highlight = {}) const;
+
+private:
+  std::vector<std::vector<VertexId>> Adjacency;
+  std::vector<Weight> Weights;
+  std::vector<std::string> Names;
+  size_t EdgeCount = 0;
+};
+
+} // namespace layra
+
+#endif // LAYRA_GRAPH_GRAPH_H

@@ -1,0 +1,100 @@
+//===- graph/StableSet.cpp - Maximum weighted stable sets -----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/StableSet.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+StableSetResult layra::maximumWeightedStableSetChordal(
+    const Graph &G, const EliminationOrder &Peo,
+    const std::vector<Weight> &Weights, const std::vector<char> &Mask) {
+  unsigned N = G.numVertices();
+  assert(Weights.size() == N && "one weight per vertex required");
+  assert((Mask.empty() || Mask.size() == N) && "mask size mismatch");
+  auto InMask = [&](VertexId V) { return Mask.empty() || Mask[V]; };
+
+  // Phase 1 (paper Algorithm 1, first loops): sweep the PEO with residual
+  // weights; greedily "mark red" every vertex whose residual weight is still
+  // positive, charging its weight to all later (residual) neighbors.
+  std::vector<Weight> Residual(N, 0);
+  for (VertexId V = 0; V < N; ++V)
+    if (InMask(V)) {
+      assert(Weights[V] >= 0 && "stable-set weights must be non-negative");
+      Residual[V] = Weights[V];
+    }
+
+  std::vector<VertexId> RedStack; // LIFO, as required by phase 2.
+  for (VertexId V : Peo.Order) {
+    if (!InMask(V) || Residual[V] <= 0)
+      continue;
+    RedStack.push_back(V);
+    Weight Charge = Residual[V];
+    for (VertexId U : G.neighbors(V)) {
+      if (!InMask(U))
+        continue;
+      Residual[U] = std::max<Weight>(0, Residual[U] - Charge);
+    }
+    Residual[V] = 0;
+  }
+
+  // Phase 2: pop red vertices in reverse order; keep ("mark blue") each one
+  // that is not adjacent to an already blue vertex.  The result is a maximum
+  // weighted stable set by LP duality of Frank's charging argument.
+  std::vector<char> BlueAdjacent(N, 0);
+  StableSetResult Result;
+  for (auto It = RedStack.rbegin(); It != RedStack.rend(); ++It) {
+    VertexId V = *It;
+    if (BlueAdjacent[V])
+      continue;
+    Result.Set.push_back(V);
+    Result.TotalWeight += Weights[V];
+    for (VertexId U : G.neighbors(V))
+      BlueAdjacent[U] = 1;
+  }
+  assert(G.isStableSet(Result.Set) && "Frank's algorithm produced non-stable");
+  return Result;
+}
+
+StableSetResult layra::maximumWeightedStableSetBruteForce(
+    const Graph &G, const std::vector<Weight> &Weights) {
+  unsigned N = G.numVertices();
+  assert(N <= 30 && "brute force is exponential; use small graphs only");
+  assert(Weights.size() == N && "one weight per vertex required");
+
+  std::vector<uint32_t> NeighborBits(N, 0);
+  for (VertexId V = 0; V < N; ++V)
+    for (VertexId U : G.neighbors(V))
+      NeighborBits[V] |= 1u << U;
+
+  uint32_t BestSet = 0;
+  Weight BestWeight = 0;
+  for (uint32_t Subset = 0; Subset < (1u << N); ++Subset) {
+    Weight W = 0;
+    bool Stable = true;
+    for (VertexId V = 0; V < N && Stable; ++V) {
+      if (!(Subset & (1u << V)))
+        continue;
+      if (NeighborBits[V] & Subset)
+        Stable = false;
+      else
+        W += Weights[V];
+    }
+    if (Stable && W > BestWeight) {
+      BestWeight = W;
+      BestSet = Subset;
+    }
+  }
+
+  StableSetResult Result;
+  Result.TotalWeight = BestWeight;
+  for (VertexId V = 0; V < N; ++V)
+    if (BestSet & (1u << V))
+      Result.Set.push_back(V);
+  return Result;
+}

@@ -1,0 +1,59 @@
+//===- graph/StableSet.h - Maximum weighted stable sets ---------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maximum weighted stable (independent) sets.  On a chordal graph Frank's
+/// algorithm (the paper's Algorithm 1) finds an optimum in O(|V| + |E|); a
+/// maximum weighted stable set is exactly the optimal allocation for a single
+/// register, which is the layer primitive of the layered-optimal allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_GRAPH_STABLESET_H
+#define LAYRA_GRAPH_STABLESET_H
+
+#include "graph/Chordal.h"
+#include "graph/Graph.h"
+
+#include <vector>
+
+namespace layra {
+
+/// Result of a stable-set computation.
+struct StableSetResult {
+  /// The chosen vertices; always a stable set of the input graph.
+  std::vector<VertexId> Set;
+  /// Total weight of Set under the weights the query was made with.
+  Weight TotalWeight = 0;
+};
+
+/// Frank's algorithm: maximum weighted stable set of a chordal graph.
+///
+/// \param G the graph; only its adjacency is used.
+/// \param Peo a perfect elimination order of \p G.
+/// \param Weights per-vertex weights (may differ from G's weights, e.g. the
+///        biased weights of paper §4.1); entries must be non-negative.
+/// \param Mask if non-empty, restricts the computation to vertices V with
+///        Mask[V] != 0 (the induced subgraph on the mask, whose PEO is the
+///        restriction of \p Peo).
+///
+/// Vertices of weight zero are never selected (selecting them is always
+/// allowed but never increases the weight; excluding them matches paper
+/// Algorithm 1, whose red marking requires w' > 0).
+StableSetResult maximumWeightedStableSetChordal(
+    const Graph &G, const EliminationOrder &Peo,
+    const std::vector<Weight> &Weights, const std::vector<char> &Mask = {});
+
+/// Exhaustive maximum weighted stable set for arbitrary graphs; exponential,
+/// only for cross-validation in tests.
+/// \pre G.numVertices() <= 30.
+StableSetResult maximumWeightedStableSetBruteForce(
+    const Graph &G, const std::vector<Weight> &Weights);
+
+} // namespace layra
+
+#endif // LAYRA_GRAPH_STABLESET_H

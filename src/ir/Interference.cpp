@@ -1,0 +1,111 @@
+//===- ir/Interference.cpp - Interference graph construction ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Interference.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace layra;
+
+std::vector<Weight> layra::computeSpillCosts(const Function &F,
+                                             const TargetDesc &Target) {
+  std::vector<Weight> Costs(F.numValues(), 0);
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (const Instruction &I : BB.Instrs) {
+      if (I.isPhi()) {
+        // The def is materialised at the top of this block; each operand is
+        // consumed on the incoming edge, i.e. at the predecessor's end.
+        for (ValueId V : I.Defs)
+          Costs[V] += Target.StoreCost * BB.Frequency;
+        for (size_t P = 0; P < I.Uses.size(); ++P)
+          if (I.Uses[P] != kNoValue)
+            Costs[I.Uses[P]] +=
+                Target.LoadCost * F.block(BB.Preds[P]).Frequency;
+        continue;
+      }
+      for (ValueId V : I.Defs)
+        Costs[V] += Target.StoreCost * BB.Frequency;
+      for (ValueId V : I.Uses)
+        Costs[V] += Target.LoadCost * BB.Frequency;
+    }
+  }
+  return Costs;
+}
+
+namespace {
+/// Hash for sorted vertex lists, to deduplicate point live sets.
+struct LiveSetHash {
+  size_t operator()(const std::vector<VertexId> &Set) const {
+    uint64_t H = 0x9e3779b97f4a7c15ULL;
+    for (VertexId V : Set) {
+      H ^= V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+    }
+    return static_cast<size_t>(H);
+  }
+};
+} // namespace
+
+InterferenceInfo layra::buildInterference(const Function &F,
+                                          const Liveness &Live,
+                                          const std::vector<Weight> &Costs) {
+  assert(Costs.size() == F.numValues() && "one cost per value required");
+  InterferenceInfo Info;
+  for (ValueId V = 0; V < F.numValues(); ++V)
+    Info.G.addVertex(Costs[V], F.valueName(V));
+
+  std::unordered_set<std::vector<VertexId>, LiveSetHash> SeenSets;
+  auto RecordPoint = [&](std::vector<VertexId> Set) {
+    std::sort(Set.begin(), Set.end());
+    Info.MaxLive = std::max(Info.MaxLive, static_cast<unsigned>(Set.size()));
+    if (SeenSets.insert(Set).second)
+      Info.PointLiveSets.push_back(std::move(Set));
+  };
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+
+    // Block entry: everything in LiveIn (which includes phi defs) is
+    // simultaneously live.  Phi defs are born here, so they interfere with
+    // all other live-in values (Chaitin edges at the def point).
+    std::vector<VertexId> EntrySet = Live.liveIn(B).toIndices();
+    for (const Instruction &I : BB.Instrs) {
+      if (!I.isPhi())
+        break;
+      for (ValueId D : I.Defs)
+        for (VertexId X : EntrySet)
+          if (X != D)
+            Info.G.addEdge(D, X);
+    }
+    RecordPoint(std::move(EntrySet));
+
+    // Body: at each instruction, defs interfere with everything live right
+    // after it (and with each other).
+    Live.walkBlockBackward(F, B, [&](unsigned I, const BitVector &LiveAfter) {
+      const Instruction &Instr = BB.Instrs[I];
+      std::vector<VertexId> Point = LiveAfter.toIndices();
+      for (ValueId D : Instr.Defs) {
+        for (VertexId X : Point)
+          if (X != D)
+            Info.G.addEdge(D, X);
+        for (ValueId D2 : Instr.Defs)
+          if (D2 != D)
+            Info.G.addEdge(D, D2);
+        // A dead def still occupies a register at its definition point.
+        if (!LiveAfter.test(D))
+          Point.push_back(D);
+      }
+      RecordPoint(std::move(Point));
+
+      unsigned Operands =
+          static_cast<unsigned>(Instr.Defs.size() + Instr.Uses.size());
+      Info.MinRegisters = std::max(Info.MinRegisters, Operands);
+    });
+  }
+  return Info;
+}

@@ -1,0 +1,58 @@
+//===- ir/Interference.h - Interference graph construction ------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the interference graph and the program-point live sets of a
+/// function.  For strict-SSA functions the graph is chordal and its maximal
+/// cliques are exactly the maximal live sets (paper §3.2); for non-SSA
+/// functions the same construction yields the general (Chaitin-style) graph
+/// the paper's JikesRVM evaluation uses.  Spill costs become vertex weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_INTERFERENCE_H
+#define LAYRA_IR_INTERFERENCE_H
+
+#include "graph/Graph.h"
+#include "ir/Liveness.h"
+#include "ir/Program.h"
+#include "ir/Target.h"
+
+#include <vector>
+
+namespace layra {
+
+/// Interference graph plus the pressure facts the allocators need.
+/// Vertex V of the graph corresponds 1:1 to ValueId V of the function.
+struct InterferenceInfo {
+  Graph G;
+  /// Deduplicated live sets, one per distinct program point (sorted vertex
+  /// lists).  For SSA functions every maximal clique of G appears among
+  /// these; they double as the ILP packing constraints on general graphs.
+  std::vector<std::vector<VertexId>> PointLiveSets;
+  /// max |PointLiveSets[i]| -- the paper's MaxLive.
+  unsigned MaxLive = 0;
+  /// Largest operand count of a single instruction: a lower bound on the
+  /// registers required to emit code even when everything is spilled.
+  unsigned MinRegisters = 0;
+};
+
+/// Estimated spill-everywhere cost of each value: for every definition,
+/// StoreCost x block frequency; for every use, LoadCost x block frequency
+/// (phi operands are charged to the predecessor they flow from; phi defs to
+/// the block holding the phi).
+std::vector<Weight> computeSpillCosts(const Function &F,
+                                      const TargetDesc &Target);
+
+/// Builds the interference graph of \p F with \p Costs as vertex weights.
+/// Vertex names are taken from value names.
+InterferenceInfo buildInterference(const Function &F, const Liveness &Live,
+                                   const std::vector<Weight> &Costs);
+
+} // namespace layra
+
+#endif // LAYRA_IR_INTERFERENCE_H

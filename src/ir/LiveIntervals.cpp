@@ -1,0 +1,108 @@
+//===- ir/LiveIntervals.cpp - Linearized live intervals --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LiveIntervals.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+unsigned LiveIntervalTable::maxOverlap() const {
+  // Sweep the start/end events.
+  std::vector<std::pair<unsigned, int>> Events;
+  Events.reserve(Intervals.size() * 2);
+  for (const LiveInterval &I : Intervals) {
+    Events.push_back({I.Start, +1});
+    Events.push_back({I.End + 1, -1});
+  }
+  std::sort(Events.begin(), Events.end());
+  unsigned Max = 0;
+  int Current = 0;
+  for (auto &[Point, Delta] : Events) {
+    Current += Delta;
+    Max = std::max(Max, static_cast<unsigned>(std::max(0, Current)));
+  }
+  return Max;
+}
+
+LiveIntervalTable layra::computeLiveIntervals(const Function &F,
+                                              const Liveness &Live,
+                                              const std::vector<Weight> &Costs) {
+  assert(Costs.size() == F.numValues() && "one cost per value required");
+  LiveIntervalTable Table;
+  Table.BlockStart.resize(F.numBlocks());
+  unsigned Point = 0;
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    Table.BlockStart[B] = Point;
+    Point += static_cast<unsigned>(F.block(B).Instrs.size()) + 1;
+  }
+  Table.NumPoints = Point;
+
+  constexpr unsigned kUnset = ~0u;
+  std::vector<unsigned> First(F.numValues(), kUnset);
+  std::vector<unsigned> Last(F.numValues(), 0);
+  auto Touch = [&](ValueId V, unsigned P) {
+    if (First[V] == kUnset)
+      First[V] = P;
+    else
+      First[V] = std::min(First[V], P);
+    Last[V] = std::max(Last[V], P);
+  };
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    unsigned Start = Table.BlockStart[B];
+    unsigned End = Start + static_cast<unsigned>(BB.Instrs.size());
+    // Boundary liveness pins values crossing the block.
+    Live.liveIn(B).forEach([&](size_t V) {
+      Touch(static_cast<ValueId>(V), Start);
+    });
+    Live.liveOut(B).forEach([&](size_t V) {
+      Touch(static_cast<ValueId>(V), End);
+    });
+    // Local defs/uses pin interior endpoints.
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I) {
+      const Instruction &Instr = BB.Instrs[I];
+      unsigned P = Instr.isPhi() ? Start : Start + I + 1;
+      for (ValueId V : Instr.Defs)
+        Touch(V, P);
+      for (size_t U = 0; U < Instr.Uses.size(); ++U) {
+        ValueId V = Instr.Uses[U];
+        if (V == kNoValue)
+          continue;
+        if (!Instr.isPhi()) {
+          Touch(V, P);
+          continue;
+        }
+        // Phi operands are consumed at the end of the predecessor block.
+        BlockId Pred = BB.Preds[U];
+        Touch(V, Table.BlockStart[Pred] +
+                     static_cast<unsigned>(F.block(Pred).Instrs.size()));
+      }
+    }
+  }
+
+  for (ValueId V = 0; V < F.numValues(); ++V) {
+    if (First[V] == kUnset)
+      continue;
+    LiveInterval LI;
+    LI.V = V;
+    LI.Start = First[V];
+    LI.End = Last[V];
+    LI.Cost = Costs[V];
+    Table.Intervals.push_back(LI);
+  }
+  std::sort(Table.Intervals.begin(), Table.Intervals.end(),
+            [](const LiveInterval &A, const LiveInterval &B) {
+              if (A.Start != B.Start)
+                return A.Start < B.Start;
+              if (A.End != B.End)
+                return A.End < B.End;
+              return A.V < B.V;
+            });
+  return Table;
+}

@@ -1,0 +1,61 @@
+//===- ir/LiveIntervals.h - Linearized live intervals -----------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flattened live intervals over a linearized block layout -- the program
+/// representation linear-scan allocators consume (Poletto & Sarkar; the
+/// JikesRVM allocator of the paper's §6.2 baselines).  Lifetime holes are
+/// deliberately not modelled: classic linear scan conservatively treats an
+/// interval as occupied from first to last live point, which is part of why
+/// it trails graph-based allocators in the paper's Figure 14.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_LIVEINTERVALS_H
+#define LAYRA_IR_LIVEINTERVALS_H
+
+#include "ir/Liveness.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace layra {
+
+/// One flattened live interval [Start, End] (inclusive, in program points).
+struct LiveInterval {
+  ValueId V = kNoValue;
+  unsigned Start = 0;
+  unsigned End = 0;
+  Weight Cost = 0;
+
+  bool overlaps(const LiveInterval &Other) const {
+    return Start <= Other.End && Other.Start <= End;
+  }
+};
+
+/// Live intervals of every value of \p F, in increasing Start order.
+/// Program points: block \p B occupies points
+/// [BlockStart[B], BlockStart[B] + #instrs], point 0 of a block being the
+/// block boundary (phi defs live there) and point i+1 following
+/// instruction i.  Values that are never live produce no interval.
+struct LiveIntervalTable {
+  std::vector<LiveInterval> Intervals;
+  std::vector<unsigned> BlockStart;
+  unsigned NumPoints = 0;
+
+  /// Maximum number of intervals covering one point.
+  unsigned maxOverlap() const;
+};
+
+/// Computes flattened intervals using \p Live for boundary liveness and
+/// \p Costs for interval spill weights.  Blocks are laid out in id order.
+LiveIntervalTable computeLiveIntervals(const Function &F, const Liveness &Live,
+                                       const std::vector<Weight> &Costs);
+
+} // namespace layra
+
+#endif // LAYRA_IR_LIVEINTERVALS_H

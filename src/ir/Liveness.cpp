@@ -1,0 +1,111 @@
+//===- ir/Liveness.cpp - Iterative backward liveness -----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Liveness.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+Liveness::Liveness(const Function &F) {
+  unsigned NumBlocks = F.numBlocks();
+  unsigned NumValues = F.numValues();
+  LiveInSets.assign(NumBlocks, BitVector(NumValues));
+  LiveOutSets.assign(NumBlocks, BitVector(NumValues));
+
+  // Per-block summaries.
+  std::vector<BitVector> UpwardExposed(NumBlocks, BitVector(NumValues));
+  std::vector<BitVector> Kill(NumBlocks, BitVector(NumValues));
+  std::vector<BitVector> PhiDefs(NumBlocks, BitVector(NumValues));
+  // PhiUsesFrom[B][P]: values consumed by phis of B along predecessor #P.
+  std::vector<std::vector<BitVector>> PhiUsesFrom(NumBlocks);
+
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = F.block(B);
+    PhiUsesFrom[B].assign(BB.Preds.size(), BitVector(NumValues));
+    for (const Instruction &I : BB.Instrs) {
+      if (I.isPhi()) {
+        for (ValueId V : I.Defs)
+          PhiDefs[B].set(V);
+        for (size_t P = 0; P < I.Uses.size(); ++P)
+          if (I.Uses[P] != kNoValue)
+            PhiUsesFrom[B][P].set(I.Uses[P]);
+        continue;
+      }
+      for (ValueId V : I.Uses)
+        if (V != kNoValue && !Kill[B].test(V))
+          UpwardExposed[B].set(V);
+      for (ValueId V : I.Defs)
+        Kill[B].set(V);
+    }
+  }
+
+  // Position of B in the pred list of each successor (for phi flows).
+  auto PredIndexIn = [&](BlockId Succ, BlockId B) -> size_t {
+    const std::vector<BlockId> &Preds = F.block(Succ).Preds;
+    auto It = std::find(Preds.begin(), Preds.end(), B);
+    assert(It != Preds.end() && "CFG edge without matching pred entry");
+    return static_cast<size_t>(It - Preds.begin());
+  };
+
+  // Round-robin iteration to the fixed point; block count is small enough
+  // that a worklist brings no measurable benefit at our scales.
+  bool Changed = true;
+  BitVector Tmp(NumValues);
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = NumBlocks; I-- > 0;) {
+      BlockId B = I;
+      const BasicBlock &BB = F.block(B);
+      // LiveOut(B) = union over successors S of
+      //   (LiveIn(S) \ PhiDefs(S)) + PhiUsesFrom(S, edge B->S).
+      for (BlockId S : BB.Succs) {
+        Tmp = LiveInSets[S];
+        Tmp.subtract(PhiDefs[S]);
+        Changed |= LiveOutSets[B].unionWith(Tmp);
+        Changed |= LiveOutSets[B].unionWith(PhiUsesFrom[S][PredIndexIn(S, B)]);
+      }
+      // LiveIn(B) = PhiDefs(B) + UpwardExposed(B) + (LiveOut(B) \ Kill(B)).
+      Tmp = LiveOutSets[B];
+      Tmp.subtract(Kill[B]);
+      Tmp.unionWith(UpwardExposed[B]);
+      Tmp.unionWith(PhiDefs[B]);
+      Changed |= LiveInSets[B].unionWith(Tmp);
+    }
+  }
+}
+
+unsigned Liveness::maxLive(const Function &F) const {
+  unsigned Max = 0;
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    Max = std::max(Max, static_cast<unsigned>(liveIn(B).count()));
+    walkBlockBackward(F, B, [&](unsigned I, const BitVector &Live) {
+      // A def that is never used still occupies a register at its def point.
+      unsigned DeadDefs = 0;
+      for (ValueId V : F.block(B).Instrs[I].Defs)
+        if (!Live.test(V))
+          ++DeadDefs;
+      Max = std::max(Max, static_cast<unsigned>(Live.count()) + DeadDefs);
+    });
+  }
+  return Max;
+}
+
+unsigned Liveness::pressureAfter(const Function &F, BlockId B,
+                                 unsigned Index) const {
+  unsigned Result = 0;
+  bool Found = false;
+  walkBlockBackward(F, B, [&](unsigned I, const BitVector &Live) {
+    if (I == Index) {
+      Result = static_cast<unsigned>(Live.count());
+      Found = true;
+    }
+  });
+  assert(Found && "pressureAfter: no such instruction (phi or out of range)");
+  (void)Found;
+  return Result;
+}

@@ -1,0 +1,69 @@
+//===- ir/LoopInfo.cpp - Natural loop detection ----------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace layra;
+
+LoopInfo::LoopInfo(const Function &F, const DominatorTree &Dom) {
+  Depth.assign(F.numBlocks(), 0);
+
+  // Collect back edges per header, then flood each loop body backwards from
+  // the latches without crossing the header.
+  std::map<BlockId, std::vector<BlockId>> LatchesOf;
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    if (!Dom.isReachable(B))
+      continue;
+    for (BlockId S : F.block(B).Succs)
+      if (Dom.isReachable(S) && Dom.dominates(S, B))
+        LatchesOf[S].push_back(B);
+  }
+
+  for (const auto &[Header, Latches] : LatchesOf) {
+    Loop L;
+    L.Header = Header;
+    L.Latch = Latches.front();
+    std::vector<char> InLoop(F.numBlocks(), 0);
+    InLoop[Header] = 1;
+    std::vector<BlockId> Work;
+    for (BlockId Latch : Latches)
+      if (!InLoop[Latch]) {
+        InLoop[Latch] = 1;
+        Work.push_back(Latch);
+      }
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      for (BlockId P : F.block(B).Preds)
+        if (Dom.isReachable(P) && !InLoop[P]) {
+          InLoop[P] = 1;
+          Work.push_back(P);
+        }
+    }
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      if (InLoop[B]) {
+        L.Body.push_back(B);
+        ++Depth[B];
+      }
+    Loops.push_back(std::move(L));
+  }
+}
+
+void LoopInfo::annotate(Function &F, Weight FreqBase,
+                        unsigned MaxDepth) const {
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    BB.LoopDepth = Depth[B];
+    Weight Freq = 1;
+    for (unsigned D = 0; D < std::min(Depth[B], MaxDepth); ++D)
+      Freq *= FreqBase;
+    BB.Frequency = Freq;
+  }
+}

@@ -1,0 +1,60 @@
+//===- ir/LoopInfo.h - Natural loop detection -------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection and loop-depth annotation.  The spill-cost model of
+/// the paper weights variable accesses by basic-block frequency; following
+/// standard static-estimation practice we set frequency = 10^loopdepth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_LOOPINFO_H
+#define LAYRA_IR_LOOPINFO_H
+
+#include "ir/Dominators.h"
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace layra {
+
+/// One natural loop: a back edge Latch -> Header plus its body.
+struct Loop {
+  BlockId Header = kNoBlock;
+  BlockId Latch = kNoBlock;
+  /// All blocks of the loop, header included.
+  std::vector<BlockId> Body;
+};
+
+/// Finds natural loops and annotates blocks with depth and frequency.
+class LoopInfo {
+public:
+  /// Detects loops of \p F using \p Dom (back edge = edge whose target
+  /// dominates its source).  Loops sharing a header are merged.
+  LoopInfo(const Function &F, const DominatorTree &Dom);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Loop nesting depth of \p B (0 = not in any loop).
+  unsigned depth(BlockId B) const {
+    assert(B < Depth.size() && "block id out of range");
+    return Depth[B];
+  }
+
+  /// Writes LoopDepth and Frequency (= FreqBase^depth, saturated at
+  /// \p MaxDepth) into the function's blocks.
+  void annotate(Function &F, Weight FreqBase = 10,
+                unsigned MaxDepth = 6) const;
+
+private:
+  std::vector<Loop> Loops;
+  std::vector<unsigned> Depth;
+};
+
+} // namespace layra
+
+#endif // LAYRA_IR_LOOPINFO_H

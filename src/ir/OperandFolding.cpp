@@ -1,0 +1,104 @@
+//===- ir/OperandFolding.cpp - CISC memory-operand folding -----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/OperandFolding.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+namespace {
+/// Where a value is consumed: number of using instructions and, when that
+/// number is exactly one, the site itself.
+struct UseSite {
+  unsigned NumUsingInstrs = 0;
+  BlockId Block = kNoBlock;
+  unsigned Index = 0;
+};
+} // namespace
+
+OperandFoldStats layra::foldMemoryOperands(Function &F,
+                                           const TargetDesc &Target) {
+  OperandFoldStats Stats;
+  if (Target.MaxMemOperands == 0)
+    return Stats;
+
+  // One pass to locate, for every value, its unique consuming instruction
+  // (if unique).  Phi uses count like any other use: a reload consumed by a
+  // phi is simply never foldable.
+  std::vector<UseSite> Sites(F.numValues());
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I) {
+      ValueId Previous = kNoValue; // Collapse duplicate operands per instr.
+      for (ValueId V : BB.Instrs[I].Uses) {
+        if (V == kNoValue || V == Previous)
+          continue;
+        Previous = V;
+        UseSite &S = Sites[V];
+        if (S.NumUsingInstrs == 0 || S.Block != B || S.Index != I)
+          ++S.NumUsingInstrs;
+        S.Block = B;
+        S.Index = I;
+      }
+    }
+  }
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    std::vector<char> Erase(BB.Instrs.size(), 0);
+
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I) {
+      const Instruction &Load = BB.Instrs[I];
+      if (Load.Op != Opcode::Load || Load.Defs.size() != 1)
+        continue;
+      ValueId Temp = Load.Defs[0];
+      const UseSite &Site = Sites[Temp];
+      if (Site.NumUsingInstrs != 1 || Site.Block != B || Site.Index <= I)
+        continue;
+      Instruction &Consumer = BB.Instrs[Site.Index];
+      if (Consumer.isPhi() || Consumer.Op == Opcode::Load ||
+          Consumer.Op == Opcode::Store || Consumer.Op == Opcode::Copy)
+        continue;
+
+      // The slot must still hold the same value at the consumer.
+      bool Clobbered = false;
+      for (unsigned J = I + 1; J < Site.Index && !Clobbered; ++J)
+        Clobbered = BB.Instrs[J].Op == Opcode::Store &&
+                    BB.Instrs[J].SpillSlot == Load.SpillSlot;
+      if (Clobbered)
+        continue;
+
+      unsigned Occurrences = static_cast<unsigned>(
+          std::count(Consumer.Uses.begin(), Consumer.Uses.end(), Temp));
+      assert(Occurrences > 0 && "use site without the operand");
+      if (Consumer.MemUseSlots.size() + Occurrences > Target.MaxMemOperands)
+        continue;
+
+      // Fold: drop the operand(s), record the slot(s), erase the load.
+      Consumer.Uses.erase(
+          std::remove(Consumer.Uses.begin(), Consumer.Uses.end(), Temp),
+          Consumer.Uses.end());
+      Consumer.MemUseSlots.insert(Consumer.MemUseSlots.end(), Occurrences,
+                                  Load.SpillSlot);
+      Erase[I] = 1;
+      ++Stats.LoadsFolded;
+      Stats.CostSaved +=
+          BB.Frequency * (Target.LoadCost - Target.MemOperandCost);
+    }
+
+    if (std::find(Erase.begin(), Erase.end(), 1) == Erase.end())
+      continue;
+    std::vector<Instruction> Kept;
+    Kept.reserve(BB.Instrs.size());
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I)
+      if (!Erase[I])
+        Kept.push_back(std::move(BB.Instrs[I]));
+    BB.Instrs = std::move(Kept);
+  }
+  return Stats;
+}

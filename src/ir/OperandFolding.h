@@ -1,0 +1,52 @@
+//===- ir/OperandFolding.h - CISC memory-operand folding --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Folds spill reloads into the instructions that consume them on targets
+/// with memory addressing modes (paper §4.3: "On CISC architectures like
+/// the x86, we also can take advantage of complex addressing modes to get
+/// operands directly from memory (at most one such operand on x86)").
+///
+/// A reload `t = load [s]` is folded into its consumer when
+///   - the consumer is the only instruction using `t`, sits later in the
+///     same block, and is a plain Op or a Branch (phis read on edges,
+///     stores would become memory-to-memory moves, copies would just be
+///     loads again);
+///   - no store to slot `s` intervenes between the load and the consumer;
+///   - the consumer still has memory-operand budget
+///     (TargetDesc::MaxMemOperands) left for every occurrence of `t`.
+///
+/// Folding deletes the load, drops `t` from the consumer's operand list and
+/// records the slot in Instruction::MemUseSlots.  The reload temporary
+/// disappears entirely, so register pressure can only decrease.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_OPERANDFOLDING_H
+#define LAYRA_IR_OPERANDFOLDING_H
+
+#include "ir/Program.h"
+#include "ir/Target.h"
+
+namespace layra {
+
+/// Statistics of one folding run.
+struct OperandFoldStats {
+  /// Reload instructions deleted.
+  unsigned LoadsFolded = 0;
+  /// Static cost saved: sum over folded reloads of
+  /// Frequency * (LoadCost - MemOperandCost).
+  Weight CostSaved = 0;
+};
+
+/// Folds eligible reloads of \p F in place for \p Target; no-op (and zero
+/// stats) when the target has no memory operands.
+OperandFoldStats foldMemoryOperands(Function &F, const TargetDesc &Target);
+
+} // namespace layra
+
+#endif // LAYRA_IR_OPERANDFOLDING_H

@@ -1,0 +1,77 @@
+//===- ir/Parser.h - Textual IR parser ---------------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by Function::toString(), so programs
+/// can be written by hand, stored in files and fed to the allocators (see
+/// examples/layra_alloc_tool.cpp):
+///
+/// \code
+///   function scale {
+///   entry:  ; depth=0 freq=1
+///     %n = op
+///     %acc = op %n
+///     br %acc
+///     ; succs=loop,exit
+///   loop:  ; depth=1 freq=10 preds=entry,loop
+///     %i = phi %acc, %i2
+///     %i2 = op %i
+///     br %i2
+///     ; succs=loop,exit
+///   exit:  ; depth=0 freq=1 preds=entry,loop
+///     ret
+///   }
+/// \endcode
+///
+/// Grammar notes:
+///  - blocks appear as `name:` with an optional `; depth=D freq=W
+///    preds=a,b` annotation; `preds` order is significant (it is the phi
+///    operand order) and must be consistent with the `succs` lists;
+///  - instructions are `%d1, %d2 = opcode %u1, %u2 [slot N] [mem slot M]`
+///    with every part optional except the opcode; `<undef>` is the
+///    placeholder phi operand;
+///  - `; succs=...` lines and all other `;` comments are annotations; the
+///    CFG is rebuilt from preds/succs, and an interleaving of edge
+///    insertions reproducing *both* orders is computed (a parse error is
+///    reported when none exists);
+///  - value names are rebuilt from first textual appearance.  Anonymous
+///    values (printed `%7`) get fresh ids, so a parse-print round trip is
+///    stable from the second print onward rather than byte-identical to
+///    arbitrary input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_PARSER_H
+#define LAYRA_IR_PARSER_H
+
+#include "ir/Program.h"
+
+#include <string>
+
+namespace layra {
+
+/// Outcome of parseFunction().
+struct ParsedFunction {
+  /// True when parsing succeeded; the other fields are meaningful only
+  /// then (on failure, Error/Line describe the first problem).
+  bool Ok = false;
+  Function F{"<parse-error>"};
+  std::string Error;
+  /// 1-based line of the error.
+  unsigned Line = 0;
+};
+
+/// Parses one function in Function::toString() syntax from \p Text.
+///
+/// The parser checks syntax and referential consistency (every pred has a
+/// matching succ and vice versa); run verifyFunction() afterwards for the
+/// full structural/SSA invariants.
+ParsedFunction parseFunction(const std::string &Text);
+
+} // namespace layra
+
+#endif // LAYRA_IR_PARSER_H

@@ -1,0 +1,275 @@
+//===- ir/Program.cpp - Mini compiler IR -----------------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "ir/Dominators.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+const char *layra::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Op:
+    return "op";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Branch:
+    return "br";
+  case Opcode::Return:
+    return "ret";
+  }
+  LAYRA_UNREACHABLE("unknown opcode");
+}
+
+BlockId Function::makeBlock(std::string Name) {
+  BlockId Id = numBlocks();
+  Blocks.emplace_back();
+  Blocks.back().Name = Name.empty() ? "bb" + std::to_string(Id)
+                                    : std::move(Name);
+  return Id;
+}
+
+ValueId Function::makeValue(std::string Name) {
+  ValueId Id = NumValues++;
+  if (!Name.empty()) {
+    ValueNames.resize(NumValues);
+    ValueNames[Id] = std::move(Name);
+  }
+  return Id;
+}
+
+void Function::addEdge(BlockId From, BlockId To) {
+  assert(From < numBlocks() && To < numBlocks() && "block id out of range");
+  BasicBlock &FromBlock = Blocks[From];
+  BasicBlock &ToBlock = Blocks[To];
+  assert(std::find(FromBlock.Succs.begin(), FromBlock.Succs.end(), To) ==
+             FromBlock.Succs.end() &&
+         "duplicate CFG edge");
+  FromBlock.Succs.push_back(To);
+  ToBlock.Preds.push_back(From);
+  for (Instruction &I : ToBlock.Instrs)
+    if (I.isPhi())
+      I.Uses.push_back(kNoValue);
+}
+
+const std::string &Function::valueName(ValueId V) const {
+  assert(V < NumValues && "value id out of range");
+  static const std::string Empty;
+  return V < ValueNames.size() ? ValueNames[V] : Empty;
+}
+
+void Function::setValueName(ValueId V, std::string Name) {
+  assert(V < NumValues && "value id out of range");
+  if (ValueNames.size() <= V)
+    ValueNames.resize(V + 1);
+  ValueNames[V] = std::move(Name);
+}
+
+/// Formats a value as its name or "%<id>".
+static std::string formatValue(const Function &F, ValueId V) {
+  if (V == kNoValue)
+    return "<undef>";
+  const std::string &Name = F.valueName(V);
+  return Name.empty() ? "%" + std::to_string(V) : "%" + Name;
+}
+
+std::string Function::toString() const {
+  std::string Out = "function " + FuncName + " {\n";
+  for (BlockId B = 0; B < numBlocks(); ++B) {
+    const BasicBlock &BB = Blocks[B];
+    Out += BB.Name + ":  ; depth=" + std::to_string(BB.LoopDepth) +
+           " freq=" + std::to_string(BB.Frequency);
+    if (!BB.Preds.empty()) {
+      Out += " preds=";
+      for (size_t I = 0; I < BB.Preds.size(); ++I)
+        Out += (I ? "," : "") + Blocks[BB.Preds[I]].Name;
+    }
+    Out += "\n";
+    for (const Instruction &I : BB.Instrs) {
+      Out += "  ";
+      for (size_t D = 0; D < I.Defs.size(); ++D)
+        Out += (D ? ", " : "") + formatValue(*this, I.Defs[D]);
+      if (!I.Defs.empty())
+        Out += " = ";
+      Out += opcodeName(I.Op);
+      for (size_t U = 0; U < I.Uses.size(); ++U)
+        Out += (U ? "," : "") + std::string(" ") + formatValue(*this, I.Uses[U]);
+      if (I.SpillSlot >= 0)
+        Out += " [slot " + std::to_string(I.SpillSlot) + "]";
+      for (int Slot : I.MemUseSlots)
+        Out += " [mem slot " + std::to_string(Slot) + "]";
+      Out += "\n";
+    }
+    if (!BB.Succs.empty()) {
+      Out += "  ; succs=";
+      for (size_t I = 0; I < BB.Succs.size(); ++I)
+        Out += (I ? "," : "") + Blocks[BB.Succs[I]].Name;
+      Out += "\n";
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+namespace {
+/// Collects verification state so the checks below stay readable.
+struct VerifyContext {
+  const Function &F;
+  std::string *Error;
+
+  bool fail(const std::string &Message) const {
+    if (Error)
+      *Error = Message;
+    return false;
+  }
+};
+} // namespace
+
+static bool checkStructure(const VerifyContext &Ctx) {
+  const Function &F = Ctx.F;
+  if (F.numBlocks() == 0)
+    return Ctx.fail("function has no blocks");
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    // Pred/succ symmetry.
+    for (BlockId S : BB.Succs) {
+      if (S >= F.numBlocks())
+        return Ctx.fail("successor id out of range in " + BB.Name);
+      const std::vector<BlockId> &Preds = F.block(S).Preds;
+      if (std::count(Preds.begin(), Preds.end(), B) != 1)
+        return Ctx.fail("asymmetric CFG edge " + BB.Name + " -> " +
+                        F.block(S).Name);
+    }
+    for (BlockId P : BB.Preds) {
+      if (P >= F.numBlocks())
+        return Ctx.fail("predecessor id out of range in " + BB.Name);
+      const std::vector<BlockId> &Succs = F.block(P).Succs;
+      if (std::count(Succs.begin(), Succs.end(), B) != 1)
+        return Ctx.fail("asymmetric CFG edge into " + BB.Name);
+    }
+    // Instruction layout: phis, body, one terminator.
+    if (BB.Instrs.empty())
+      return Ctx.fail("block " + BB.Name + " is empty (needs a terminator)");
+    bool SeenNonPhi = false;
+    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+      const Instruction &Instr = BB.Instrs[I];
+      if (Instr.isPhi()) {
+        if (SeenNonPhi)
+          return Ctx.fail("phi after non-phi in " + BB.Name);
+        if (Instr.Uses.size() != BB.Preds.size())
+          return Ctx.fail("phi operand count mismatch in " + BB.Name);
+        if (Instr.Defs.size() != 1)
+          return Ctx.fail("phi must define exactly one value in " + BB.Name);
+      } else {
+        SeenNonPhi = true;
+      }
+      bool IsLast = I + 1 == BB.Instrs.size();
+      if (Instr.isTerminator() != IsLast)
+        return Ctx.fail("terminator placement wrong in " + BB.Name);
+      for (ValueId V : Instr.Defs)
+        if (V >= F.numValues())
+          return Ctx.fail("def id out of range in " + BB.Name);
+      for (ValueId V : Instr.Uses)
+        if (V != kNoValue && V >= F.numValues())
+          return Ctx.fail("use id out of range in " + BB.Name);
+      if (!Instr.isPhi())
+        for (ValueId V : Instr.Uses)
+          if (V == kNoValue)
+            return Ctx.fail("undef operand outside phi in " + BB.Name);
+      if (!Instr.MemUseSlots.empty()) {
+        if (Instr.isPhi() || Instr.Op == Opcode::Load ||
+            Instr.Op == Opcode::Store)
+          return Ctx.fail("memory operand on phi/load/store in " + BB.Name);
+        for (int Slot : Instr.MemUseSlots)
+          if (Slot < 0)
+            return Ctx.fail("negative memory-operand slot in " + BB.Name);
+      }
+    }
+    if (BB.Succs.empty() && BB.Instrs.back().Op != Opcode::Return)
+      return Ctx.fail("block " + BB.Name + " falls off the function");
+  }
+  if (!F.block(F.entry()).Preds.empty())
+    return Ctx.fail("entry block has predecessors");
+  return true;
+}
+
+static bool checkSsa(const VerifyContext &Ctx) {
+  const Function &F = Ctx.F;
+  // Single def per value.
+  std::vector<BlockId> DefBlock(F.numValues(), kNoBlock);
+  std::vector<unsigned> DefIndex(F.numValues(), 0);
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I)
+      for (ValueId V : BB.Instrs[I].Defs) {
+        if (DefBlock[V] != kNoBlock)
+          return Ctx.fail("value " + formatValue(F, V) + " defined twice");
+        DefBlock[V] = B;
+        DefIndex[V] = I;
+      }
+  }
+
+  DominatorTree Dom(F);
+  auto DefReaches = [&](ValueId V, BlockId UseBlock,
+                        unsigned UseIndex) -> bool {
+    if (DefBlock[V] == kNoBlock)
+      return false;
+    if (DefBlock[V] == UseBlock)
+      return DefIndex[V] < UseIndex;
+    return Dom.dominates(DefBlock[V], UseBlock);
+  };
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    if (!Dom.isReachable(B))
+      continue;
+    const BasicBlock &BB = F.block(B);
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I) {
+      const Instruction &Instr = BB.Instrs[I];
+      if (Instr.isPhi()) {
+        for (size_t P = 0; P < Instr.Uses.size(); ++P) {
+          ValueId V = Instr.Uses[P];
+          if (V == kNoValue)
+            continue;
+          BlockId Pred = BB.Preds[P];
+          if (!Dom.isReachable(Pred))
+            continue;
+          // The def must reach the end of the predecessor.
+          unsigned PredEnd =
+              static_cast<unsigned>(F.block(Pred).Instrs.size());
+          if (!DefReaches(V, Pred, PredEnd))
+            return Ctx.fail("phi operand " + formatValue(F, V) +
+                            " does not dominate edge into " + BB.Name);
+        }
+        continue;
+      }
+      for (ValueId V : Instr.Uses)
+        if (!DefReaches(V, B, I))
+          return Ctx.fail("use of " + formatValue(F, V) +
+                          " not dominated by its def in " + BB.Name);
+    }
+  }
+  return true;
+}
+
+bool layra::verifyFunction(const Function &F, bool ExpectSsa,
+                           std::string *Error) {
+  VerifyContext Ctx{F, Error};
+  if (!checkStructure(Ctx))
+    return false;
+  if (ExpectSsa && !checkSsa(Ctx))
+    return false;
+  return true;
+}

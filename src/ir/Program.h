@@ -1,0 +1,159 @@
+//===- ir/Program.h - Mini compiler IR ---------------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature register-allocation-oriented compiler IR.  The paper evaluates
+/// on interference graphs dumped from Open64 (SSA, chordal) and from the
+/// JikesRVM JIT (non-SSA, general); this IR is the substrate that produces
+/// both kinds of graphs from (synthetic) programs: a CFG of basic blocks
+/// whose instructions define and use virtual registers, with optional phi
+/// instructions when the function is in SSA form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_PROGRAM_H
+#define LAYRA_IR_PROGRAM_H
+
+#include "graph/Graph.h" // for Weight
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// A virtual register (the paper's "temporary variable").
+using ValueId = unsigned;
+inline constexpr ValueId kNoValue = ~0u;
+
+/// Block identifier (index into Function::Blocks).
+using BlockId = unsigned;
+inline constexpr BlockId kNoBlock = ~0u;
+
+/// Instruction kinds.  The IR is deliberately opcode-poor: register
+/// allocation only cares about def/use structure, control flow and access
+/// frequencies.
+enum class Opcode {
+  Op,     ///< Generic computation: defines Defs from Uses.
+  Copy,   ///< Register-to-register move (coalescing candidate).
+  Phi,    ///< SSA phi; Uses[i] flows in from predecessor i.
+  Load,   ///< Reload of a spilled value from its spill slot.
+  Store,  ///< Spill store of a value to its spill slot.
+  Branch, ///< Terminator; uses may encode a condition.
+  Return, ///< Terminator; uses encode returned values.
+};
+
+/// Returns a short mnemonic for \p Op ("op", "phi", ...).
+const char *opcodeName(Opcode Op);
+
+/// One IR instruction.
+struct Instruction {
+  Opcode Op = Opcode::Op;
+  /// Values defined here (0 or 1 for all opcodes in practice).
+  std::vector<ValueId> Defs;
+  /// Values read here.  For Phi, Uses.size() equals the predecessor count of
+  /// the parent block and Uses[i] is the value flowing from predecessor i.
+  std::vector<ValueId> Uses;
+  /// Spill slot for Load/Store; -1 otherwise.
+  int SpillSlot = -1;
+  /// Spill slots read directly as memory operands (CISC addressing modes,
+  /// paper §4.3: "get operands directly from memory").  Produced by
+  /// foldMemoryOperands(); at most TargetDesc::MaxMemOperands entries.
+  /// Only meaningful on Op/Copy/Branch/Return instructions.
+  std::vector<int> MemUseSlots;
+
+  bool isTerminator() const {
+    return Op == Opcode::Branch || Op == Opcode::Return;
+  }
+  bool isPhi() const { return Op == Opcode::Phi; }
+};
+
+/// A basic block: phis first, then ordinary instructions, then exactly one
+/// terminator (enforced by the verifier, not the type).
+struct BasicBlock {
+  std::string Name;
+  std::vector<Instruction> Instrs;
+  std::vector<BlockId> Preds;
+  std::vector<BlockId> Succs;
+  /// Loop nesting depth; 0 outside any loop.  Filled by LoopInfo::annotate.
+  unsigned LoopDepth = 0;
+  /// Estimated execution frequency (the cost model multiplies access counts
+  /// by this).  Defaults to 1; LoopInfo::annotate sets 10^LoopDepth.
+  Weight Frequency = 1;
+};
+
+/// A function: an entry block plus a CFG.  Values are dense ids; the
+/// function only records how many exist and their optional names.
+class Function {
+public:
+  explicit Function(std::string Name = "f") : FuncName(std::move(Name)) {}
+
+  const std::string &name() const { return FuncName; }
+
+  /// Creates an empty block and returns its id.  The first created block is
+  /// the entry block.
+  BlockId makeBlock(std::string Name = {});
+
+  /// Creates a fresh value id.
+  ValueId makeValue(std::string Name = {});
+
+  /// Adds a CFG edge and keeps Preds/Succs consistent.
+  /// Phi instructions already present in \p To are extended with a
+  /// kNoValue operand slot for the new predecessor.
+  void addEdge(BlockId From, BlockId To);
+
+  unsigned numBlocks() const { return static_cast<unsigned>(Blocks.size()); }
+  unsigned numValues() const { return NumValues; }
+
+  BasicBlock &block(BlockId B) {
+    assert(B < Blocks.size() && "block id out of range");
+    return Blocks[B];
+  }
+  const BasicBlock &block(BlockId B) const {
+    assert(B < Blocks.size() && "block id out of range");
+    return Blocks[B];
+  }
+
+  BlockId entry() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return 0;
+  }
+
+  const std::string &valueName(ValueId V) const;
+  void setValueName(ValueId V, std::string Name);
+
+  /// All blocks, for range-for convenience.
+  std::vector<BasicBlock> &blocks() { return Blocks; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+
+  /// Pretty-prints the function to a string (tests and examples).
+  std::string toString() const;
+
+private:
+  std::string FuncName;
+  std::vector<BasicBlock> Blocks;
+  std::vector<std::string> ValueNames;
+  unsigned NumValues = 0;
+};
+
+/// Verifies structural invariants of \p F:
+///  - pred/succ lists are symmetric and duplicate-free;
+///  - every block ends with exactly one terminator and contains none before;
+///  - phis appear only at the start of a block and have one operand per
+///    predecessor;
+///  - all value ids are within range; no kNoValue outside phi operands.
+/// \param ExpectSsa additionally checks the SSA invariants: every value has
+///   exactly one def, and every def dominates all its uses (phi uses are
+///   checked at the end of the corresponding predecessor).
+/// \param [out] Error if non-null, receives a description of the first
+///   violation found.
+bool verifyFunction(const Function &F, bool ExpectSsa = false,
+                    std::string *Error = nullptr);
+
+} // namespace layra
+
+#endif // LAYRA_IR_PROGRAM_H

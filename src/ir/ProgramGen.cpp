@@ -1,0 +1,194 @@
+//===- ir/ProgramGen.cpp - Structured random program generator -------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramGen.h"
+
+#include <algorithm>
+#include <string>
+
+using namespace layra;
+
+namespace {
+/// Generation state: the function under construction plus the set of
+/// variables guaranteed to be defined on every path to the current point.
+struct GenState {
+  Rng &R;
+  const ProgramGenOptions &Opt;
+  Function F;
+  std::vector<ValueId> Vars;    // The variable pool.
+  std::vector<char> Defined;    // Defined-on-all-paths flags, by pool index.
+  unsigned BlocksLeft;
+
+  explicit GenState(Rng &R, const ProgramGenOptions &Opt, std::string Name)
+      : R(R), Opt(Opt), F(std::move(Name)),
+        BlocksLeft(std::max(4u, Opt.MaxBlocks)) {}
+
+  BlockId newBlock() {
+    assert(BlocksLeft > 0 && "block budget exhausted");
+    --BlocksLeft;
+    return F.makeBlock();
+  }
+
+  /// Picks a defined variable uniformly.
+  ValueId pickDefined() {
+    std::vector<unsigned> Candidates;
+    for (unsigned I = 0; I < Vars.size(); ++I)
+      if (Defined[I])
+        Candidates.push_back(I);
+    assert(!Candidates.empty() && "no defined variables to use");
+    return Vars[Candidates[R.nextBelow(Candidates.size())]];
+  }
+
+  /// Emits a non-terminator instruction into \p B defining a pool variable.
+  void emitExpr(BlockId B) {
+    Instruction I;
+    bool IsCopy = R.nextBool(Opt.CopyProb);
+    I.Op = IsCopy ? Opcode::Copy : Opcode::Op;
+    unsigned NumUses = IsCopy ? 1 : 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned U = 0; U < NumUses; ++U)
+      I.Uses.push_back(pickDefined());
+    unsigned Target = static_cast<unsigned>(R.nextBelow(Vars.size()));
+    I.Defs.push_back(Vars[Target]);
+    F.block(B).Instrs.push_back(std::move(I));
+    Defined[Target] = 1;
+  }
+
+  /// Fills \p B with a random number of expressions.
+  void fillBlock(BlockId B) {
+    unsigned Count = Opt.ExprsPerBlockMin +
+                     static_cast<unsigned>(R.nextBelow(
+                         Opt.ExprsPerBlockMax - Opt.ExprsPerBlockMin + 1));
+    for (unsigned I = 0; I < Count; ++I)
+      emitExpr(B);
+  }
+
+  /// Appends a conditional branch using a defined variable.  No-op if the
+  /// block is already terminated (an if-else head is branched once but
+  /// flows into both arms).
+  void emitBranch(BlockId B) {
+    std::vector<Instruction> &Instrs = F.block(B).Instrs;
+    if (!Instrs.empty() && Instrs.back().isTerminator())
+      return;
+    Instruction I;
+    I.Op = Opcode::Branch;
+    I.Uses.push_back(pickDefined());
+    Instrs.push_back(std::move(I));
+  }
+
+  /// Emits a sequence of regions starting in a fresh block reached from
+  /// \p From; returns the open exit block of the sequence (no terminator).
+  BlockId emitSeq(BlockId From, unsigned Depth);
+
+  /// Emits one region (plain block / if-else / do-while); returns its open
+  /// exit block.
+  BlockId emitRegion(BlockId From, unsigned Depth);
+};
+
+BlockId GenState::emitRegion(BlockId From, unsigned Depth) {
+  // Region head: a fresh block linked from the predecessor.
+  BlockId Head = newBlock();
+  emitBranch(From);
+  F.addEdge(From, Head);
+  fillBlock(Head);
+
+  // Leaf if the budget or nesting depth is exhausted.
+  bool CanNest = Depth < Opt.MaxNesting && BlocksLeft >= 6;
+  if (!CanNest)
+    return Head;
+
+  double Dice = R.nextDouble();
+  if (Dice < Opt.LoopProb) {
+    // Do-while loop: Head -> body... -> Latch; Latch branches back to Head
+    // and out to a fresh exit.  (Body always executes at least once, so
+    // variables defined inside count as defined afterwards.)  One block is
+    // reserved for the loop exit while the body spends the budget.
+    --BlocksLeft;
+    BlockId BodyExit = emitSeq(Head, Depth + 1);
+    ++BlocksLeft;
+    emitBranch(BodyExit);
+    F.addEdge(BodyExit, Head); // Back edge.
+    BlockId Exit = newBlock();
+    F.addEdge(BodyExit, Exit);
+    fillBlock(Exit);
+    return Exit;
+  }
+  if (Dice < Opt.LoopProb + Opt.IfProb && BlocksLeft >= 8) {
+    // If-else: Head branches to Then-seq and Else-seq, joining in a merge
+    // block (reserved up front).  Only variables defined on both arms stay
+    // defined.
+    --BlocksLeft;
+    std::vector<char> Before = Defined;
+    BlockId ThenExit = emitSeq(Head, Depth + 1);
+    std::vector<char> AfterThen = Defined;
+    Defined = Before;
+    BlockId ElseExit = emitSeq(Head, Depth + 1);
+    for (size_t I = 0; I < Defined.size(); ++I)
+      Defined[I] = Defined[I] && AfterThen[I];
+    ++BlocksLeft;
+
+    BlockId Merge = newBlock();
+    emitBranch(ThenExit);
+    F.addEdge(ThenExit, Merge);
+    emitBranch(ElseExit);
+    F.addEdge(ElseExit, Merge);
+    fillBlock(Merge);
+    return Merge;
+  }
+  return Head;
+}
+
+BlockId GenState::emitSeq(BlockId From, unsigned Depth) {
+  unsigned Regions =
+      1 + static_cast<unsigned>(R.nextBelow(Opt.MaxRegionsPerSeq));
+  BlockId Current = From;
+  for (unsigned I = 0; I < Regions; ++I) {
+    if (BlocksLeft < 4)
+      break;
+    Current = emitRegion(Current, Depth);
+  }
+  // emitRegion always opens a fresh block, so Current != From here unless
+  // the budget was exhausted immediately; either way Current is open.
+  return Current;
+}
+} // namespace
+
+Function layra::generateFunction(Rng &R, const ProgramGenOptions &Options,
+                                 std::string Name) {
+  assert(Options.NumVars > 0 && "need at least one variable");
+  assert(Options.ExprsPerBlockMin <= Options.ExprsPerBlockMax &&
+         "bad expression count range");
+  GenState S(R, Options, std::move(Name));
+
+  // Entry block defines the parameters.
+  BlockId Entry = S.newBlock();
+  S.Vars.reserve(Options.NumVars);
+  S.Defined.assign(Options.NumVars, 0);
+  for (unsigned I = 0; I < Options.NumVars; ++I)
+    S.Vars.push_back(S.F.makeValue("t" + std::to_string(I)));
+  unsigned NumParams = std::min(std::max(1u, Options.NumParams),
+                                Options.NumVars);
+  for (unsigned I = 0; I < NumParams; ++I) {
+    Instruction Def;
+    Def.Op = Opcode::Op; // Parameter materialisation / constant.
+    Def.Defs.push_back(S.Vars[I]);
+    S.F.block(Entry).Instrs.push_back(std::move(Def));
+    S.Defined[I] = 1;
+  }
+  S.fillBlock(Entry);
+
+  BlockId Exit = S.emitSeq(Entry, 0);
+
+  // Return a couple of live results.
+  Instruction Ret;
+  Ret.Op = Opcode::Return;
+  Ret.Uses.push_back(S.pickDefined());
+  Ret.Uses.push_back(S.pickDefined());
+  S.F.block(Exit).Instrs.push_back(std::move(Ret));
+
+  assert(verifyFunction(S.F) && "generator produced an invalid function");
+  return std::move(S.F);
+}

@@ -1,0 +1,59 @@
+//===- ir/ProgramGen.h - Structured random program generator ----*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random *structured* programs (nested if/else and do-while
+/// regions over a pool of variables).  This is the stand-in for the paper's
+/// proprietary benchmark inputs: the generated functions are reducible,
+/// define every variable before any use on every path, and exhibit the loop
+/// nesting the spill-cost model feeds on.  SSA conversion of these functions
+/// yields the chordal interference graphs of the paper's §6.1; the raw
+/// non-SSA form yields the general graphs of §6.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_PROGRAMGEN_H
+#define LAYRA_IR_PROGRAMGEN_H
+
+#include "ir/Program.h"
+#include "support/Random.h"
+
+#include <string>
+
+namespace layra {
+
+/// Shape parameters of a generated function.
+struct ProgramGenOptions {
+  /// Size of the variable pool; redefinitions make the non-SSA form
+  /// interesting and multiply SSA values.
+  unsigned NumVars = 24;
+  /// Number of variables defined as "parameters" in the entry block.
+  unsigned NumParams = 4;
+  /// Hard cap on generated basic blocks.
+  unsigned MaxBlocks = 48;
+  /// Maximum loop/if nesting depth.
+  unsigned MaxNesting = 3;
+  /// Instructions per straight-line block: uniform in [Min, Max].
+  unsigned ExprsPerBlockMin = 2;
+  unsigned ExprsPerBlockMax = 6;
+  /// Probability that the next region is a do-while loop / an if-else.
+  double LoopProb = 0.30;
+  double IfProb = 0.35;
+  /// Probability that an instruction is a copy rather than an op.
+  double CopyProb = 0.10;
+  /// Regions chained in sequence at each nesting level: uniform [1, Max].
+  unsigned MaxRegionsPerSeq = 3;
+};
+
+/// Generates a verified, fully reachable, non-SSA function.
+/// Deterministic given \p R's state.
+Function generateFunction(Rng &R, const ProgramGenOptions &Options,
+                          std::string Name = "f");
+
+} // namespace layra
+
+#endif // LAYRA_IR_PROGRAMGEN_H

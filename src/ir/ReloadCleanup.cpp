@@ -1,0 +1,79 @@
+//===- ir/ReloadCleanup.cpp - Redundant reload elimination ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ReloadCleanup.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace layra;
+
+ReloadCleanupStats layra::eliminateRedundantReloads(Function &F) {
+  ReloadCleanupStats Stats;
+  // Global substitution map (removed reload temp -> available value);
+  // applied to phi operands afterwards, where the key is (pred, temp).
+  std::map<ValueId, ValueId> Replacement;
+  std::vector<BlockId> RemovedIn(F.numValues(), kNoBlock);
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    std::map<int, ValueId> Available; // Slot -> value currently holding it.
+    std::vector<Instruction> Kept;
+    Kept.reserve(BB.Instrs.size());
+
+    auto RewriteUses = [&](Instruction &I) {
+      if (I.isPhi())
+        return; // Phi operands belong to edges; handled below.
+      for (ValueId &V : I.Uses) {
+        auto It = Replacement.find(V);
+        if (It != Replacement.end() && RemovedIn[V] == B)
+          V = It->second;
+      }
+    };
+
+    for (Instruction &I : BB.Instrs) {
+      RewriteUses(I);
+      if (I.Op == Opcode::Load && I.SpillSlot >= 0) {
+        auto It = Available.find(I.SpillSlot);
+        if (It != Available.end()) {
+          // Redundant: the slot's value is already in a register.
+          ValueId Temp = I.Defs[0];
+          Replacement[Temp] = It->second;
+          RemovedIn[Temp] = B;
+          Stats.LoadsRemoved += 1;
+          Stats.CostSaved += BB.Frequency;
+          continue; // Drop the instruction.
+        }
+        Available[I.SpillSlot] = I.Defs[0];
+      } else if (I.Op == Opcode::Store && I.SpillSlot >= 0) {
+        // After the store, the stored register still holds the value.
+        Available[I.SpillSlot] = I.Uses[0];
+      }
+      Kept.push_back(std::move(I));
+    }
+    BB.Instrs = std::move(Kept);
+  }
+
+  // Rewrite phi operands whose reload was removed in the matching
+  // predecessor.
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    for (Instruction &I : BB.Instrs) {
+      if (!I.isPhi())
+        break;
+      for (size_t P = 0; P < I.Uses.size(); ++P) {
+        ValueId V = I.Uses[P];
+        if (V == kNoValue || V >= RemovedIn.size())
+          continue;
+        auto It = Replacement.find(V);
+        if (It != Replacement.end() && RemovedIn[V] == BB.Preds[P])
+          I.Uses[P] = It->second;
+      }
+    }
+  }
+  return Stats;
+}

@@ -1,0 +1,46 @@
+//===- ir/ReloadCleanup.h - Redundant reload elimination --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local load-store optimization over spill code (paper §2.1: "if the
+/// variable can stay in a register between two consecutive uses, a load is
+/// saved").  After the spill-everywhere rewriter has placed one reload per
+/// use, this pass removes reloads whose slot value is already available in
+/// a register within the same block -- quantifying how far the
+/// spill-everywhere cost model is from a load-store-optimized one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_RELOADCLEANUP_H
+#define LAYRA_IR_RELOADCLEANUP_H
+
+#include "ir/Program.h"
+
+namespace layra {
+
+/// Statistics of one cleanup run.
+struct ReloadCleanupStats {
+  /// Reload instructions removed.
+  unsigned LoadsRemoved = 0;
+  /// Static cost saved (removed loads weighted by block frequency).
+  Weight CostSaved = 0;
+};
+
+/// Removes block-locally redundant reloads from \p F in place.
+///
+/// A reload `t2 = load [s]` is redundant when the same block already holds
+/// the slot's current value in a register: either an earlier reload
+/// `t1 = load [s]` or a `store v [s]` with no intervening store to `s`.
+/// Uses of `t2` (including phi operands fed from this block) are rewritten
+/// to the available value.  SSA form is preserved; note that reusing a
+/// value extends its live range, which is exactly the pressure trade-off
+/// the paper discusses.
+ReloadCleanupStats eliminateRedundantReloads(Function &F);
+
+} // namespace layra
+
+#endif // LAYRA_IR_RELOADCLEANUP_H

@@ -1,0 +1,124 @@
+//===- ir/SpillRewriter.cpp - Spill-everywhere code insertion --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SpillRewriter.h"
+
+#include <string>
+
+using namespace layra;
+
+SpillRewriteStats layra::rewriteSpills(Function &F,
+                                       const std::vector<char> &Spilled) {
+  assert(Spilled.size() >= F.numValues() && "one flag per value required");
+  SpillRewriteStats Stats;
+
+  // Assign slots densely.
+  std::vector<int> SlotOf(F.numValues(), -1);
+  for (ValueId V = 0; V < F.numValues(); ++V)
+    if (Spilled[V])
+      SlotOf[V] = static_cast<int>(Stats.NumSlots++);
+
+  auto MakeReload = [&](ValueId V) {
+    Instruction Load;
+    Load.Op = Opcode::Load;
+    Load.SpillSlot = SlotOf[V];
+    ValueId Temp = F.makeValue("rl." + std::to_string(Stats.NumLoads));
+    Load.Defs.push_back(Temp);
+    ++Stats.NumLoads;
+    return std::pair(Load, Temp);
+  };
+  auto MakeStore = [&](ValueId V) {
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.SpillSlot = SlotOf[V];
+    Store.Uses.push_back(V);
+    ++Stats.NumStores;
+    return Store;
+  };
+
+  // Reloads to append at the end of a predecessor for phi operands; filled
+  // while scanning phis, applied afterwards so instruction indices in the
+  // main loop stay stable.
+  struct PendingEdgeReload {
+    BlockId Pred;
+    Instruction Load;
+  };
+  std::vector<PendingEdgeReload> EdgeReloads;
+
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    std::vector<Instruction> NewInstrs;
+    NewInstrs.reserve(BB.Instrs.size());
+
+    for (Instruction &I : BB.Instrs) {
+      if (I.isPhi()) {
+        for (size_t U = 0; U < I.Uses.size(); ++U) {
+          ValueId V = I.Uses[U];
+          if (V == kNoValue || !Spilled[V])
+            continue;
+          auto [Load, Temp] = MakeReload(V);
+          EdgeReloads.push_back({BB.Preds[U], std::move(Load)});
+          I.Uses[U] = Temp;
+        }
+        NewInstrs.push_back(std::move(I));
+        continue;
+      }
+
+      // Reload spilled operands; one reload per distinct value.
+      ValueId ReloadedValue = kNoValue, ReloadedTemp = kNoValue;
+      for (ValueId &V : I.Uses) {
+        if (V == kNoValue || !Spilled[V])
+          continue;
+        if (V == ReloadedValue) {
+          V = ReloadedTemp;
+          continue;
+        }
+        auto [Load, Temp] = MakeReload(V);
+        NewInstrs.push_back(std::move(Load));
+        ReloadedValue = V;
+        ReloadedTemp = Temp;
+        V = Temp;
+      }
+
+      bool NeedsStore = false;
+      for (ValueId V : I.Defs)
+        NeedsStore |= Spilled[V] != 0;
+      std::vector<ValueId> DefsCopy = I.Defs;
+      NewInstrs.push_back(std::move(I));
+      if (NeedsStore)
+        for (ValueId V : DefsCopy)
+          if (Spilled[V])
+            NewInstrs.push_back(MakeStore(V));
+    }
+    BB.Instrs = std::move(NewInstrs);
+  }
+
+  // Stores after spilled phi defs (phis must stay a prefix of the block).
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    BasicBlock &BB = F.block(B);
+    std::vector<Instruction> Stores;
+    size_t PhiEnd = 0;
+    while (PhiEnd < BB.Instrs.size() && BB.Instrs[PhiEnd].isPhi()) {
+      for (ValueId V : BB.Instrs[PhiEnd].Defs)
+        if (Spilled[V])
+          Stores.push_back(MakeStore(V));
+      ++PhiEnd;
+    }
+    BB.Instrs.insert(BB.Instrs.begin() + static_cast<long>(PhiEnd),
+                     Stores.begin(), Stores.end());
+  }
+
+  // Apply edge reloads before each predecessor's terminator.
+  for (PendingEdgeReload &R : EdgeReloads) {
+    BasicBlock &Pred = F.block(R.Pred);
+    assert(!Pred.Instrs.empty() && Pred.Instrs.back().isTerminator() &&
+           "predecessor must end in a terminator");
+    Pred.Instrs.insert(Pred.Instrs.end() - 1, std::move(R.Load));
+  }
+
+  return Stats;
+}

@@ -1,0 +1,50 @@
+//===- ir/SpillRewriter.h - Spill-everywhere code insertion -----*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Materialises a spill-everywhere decision as IR: every spilled value gets a
+/// stack slot, a store after each definition and a reload into a fresh
+/// short-lived temporary before each use (paper §4.3).  Reload temporaries
+/// transiently raise pressure around spilled uses; the paper notes real
+/// backends handle this with local repair -- here the verifier bound accounts
+/// for the operand count of the widest instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_SPILLREWRITER_H
+#define LAYRA_IR_SPILLREWRITER_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace layra {
+
+/// Statistics of a rewrite.
+struct SpillRewriteStats {
+  unsigned NumStores = 0;
+  unsigned NumLoads = 0;
+  unsigned NumSlots = 0;
+};
+
+/// Rewrites \p F in place, spilling every value V with Spilled[V] != 0.
+///
+/// - after each def of V: `store V [slot]`;
+/// - before each non-phi use: `T = load [slot]`, the use renamed to T;
+/// - phi operands: the reload is placed at the end of the predecessor (before
+///   its terminator) and the operand renamed;
+/// - a spilled phi def keeps its phi, immediately followed by a store (the
+///   phi's register lives only for that instant).
+///
+/// Uses inside a single instruction share one reload.  The function remains
+/// verifiable (SSA-ness is preserved when \p F was in SSA form: each reload
+/// defines a fresh value).
+SpillRewriteStats rewriteSpills(Function &F, const std::vector<char> &Spilled);
+
+} // namespace layra
+
+#endif // LAYRA_IR_SPILLREWRITER_H

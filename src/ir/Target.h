@@ -1,0 +1,62 @@
+//===- ir/Target.h - Target machine descriptors ------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal target descriptions.  The paper evaluates on the STMicro ST231
+/// (4-issue VLIW) and the ARM Cortex-A8 (ARMv7); hardware enters the
+/// experiment only through (a) the register count swept in the harness and
+/// (b) the relative cost of spill loads/stores in the cost model, so a
+/// target here is exactly those parameters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_IR_TARGET_H
+#define LAYRA_IR_TARGET_H
+
+#include "graph/Graph.h" // for Weight
+
+namespace layra {
+
+/// Cost/geometry parameters of a target machine.
+struct TargetDesc {
+  const char *Name;
+  /// Architectural number of general-purpose registers (upper bound for
+  /// register-count sweeps).
+  unsigned NumRegisters;
+  /// Cost charged per spill *load* executed once (relative units).
+  Weight LoadCost;
+  /// Cost charged per spill *store* executed once.
+  Weight StoreCost;
+  /// Memory operands a single instruction may read directly (paper §4.3:
+  /// "at most one such operand on x86"); 0 on RISC targets.
+  unsigned MaxMemOperands = 0;
+  /// Cost charged per folded memory operand executed once; meaningful only
+  /// when MaxMemOperands > 0 and normally below LoadCost (the access rides
+  /// on the consuming instruction instead of occupying an issue slot).
+  Weight MemOperandCost = 0;
+};
+
+/// STMicroelectronics ST231 VLIW: 64 GPRs; loads have a 3-cycle exposed
+/// latency while stores are fire-and-forget, so reloads dominate spill cost.
+inline constexpr TargetDesc ST231{"st231", 64, /*LoadCost=*/3,
+                                  /*StoreCost=*/1};
+
+/// ARM Cortex-A8 (ARMv7): 16 GPRs; L1 hits cost about one extra cycle on
+/// the dual-issue pipeline for both directions.
+inline constexpr TargetDesc ARMv7{"armv7-a8", 16, /*LoadCost=*/2,
+                                  /*StoreCost=*/2};
+
+/// An x86-64-like CISC: 16 GPRs and complex addressing modes that let one
+/// operand per instruction come straight from memory (paper §4.3), at a
+/// cost below a standalone reload.
+inline constexpr TargetDesc X86_64{"x86-64", 16, /*LoadCost=*/3,
+                                   /*StoreCost=*/2, /*MaxMemOperands=*/1,
+                                   /*MemOperandCost=*/1};
+
+} // namespace layra
+
+#endif // LAYRA_IR_TARGET_H

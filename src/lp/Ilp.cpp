@@ -1,0 +1,459 @@
+//===- lp/Ilp.cpp - Exact 0/1 packing ILP solver ---------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes.  The search keeps a trail-based partial assignment
+// (Fixed / CapLeft) with unit propagation: fixing a variable to 1 decrements
+// the remaining capacity of its constraints, and a constraint that reaches
+// zero capacity zero-fixes all of its still-free members.  Free variables
+// therefore always have strictly positive remaining capacity in every
+// constraint, so the allocate branch never needs a feasibility check.
+//
+// Each node solves the LP relaxation over the free variables (only rows
+// that can still bind are materialised).  The bound is floor(LP) with a
+// magnitude-scaled tolerance -- objective weights are integers, so any LP
+// value strictly below incumbent+1 closes the node.  Every LP point is also
+// rounded into a feasible incumbent (select the ~1 variables, then greedily
+// add by weight), which keeps the incumbent tight even when the node budget
+// expires.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Ilp.h"
+
+#include "lp/Simplex.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace layra;
+
+namespace {
+
+/// Integral tolerance for LP values: errors scale with the cost magnitude
+/// (spill costs reach ~1e7), so the slack does too.
+Weight floorWithTolerance(double V) {
+  return static_cast<Weight>(std::floor(V + 1e-6 + 1e-9 * std::abs(V)));
+}
+
+class PackingSearch {
+public:
+  PackingSearch(const IlpInstance &I, uint64_t &Budget)
+      : I(I), Budget(Budget), Fixed(I.numVars(), -1),
+        RowsOf(I.numVars()), CapLeft(I.Constraints.size(), 0),
+        FreeInRow(I.Constraints.size(), 0) {
+    for (unsigned K = 0; K < I.Constraints.size(); ++K) {
+      CapLeft[K] = static_cast<int>(I.Constraints[K].Capacity);
+      FreeInRow[K] = static_cast<unsigned>(I.Constraints[K].Vars.size());
+      for (unsigned V : I.Constraints[K].Vars) {
+        assert(V < I.numVars() && "constraint references unknown variable");
+        RowsOf[V].push_back(K);
+      }
+    }
+    Incumbent.assign(I.numVars(), 0);
+  }
+
+  void seedIncumbent(const std::vector<char> &Warm) {
+    assert(Warm.size() == I.numVars() && "warm start size mismatch");
+    Weight Value = 0;
+    for (unsigned V = 0; V < I.numVars(); ++V)
+      if (Warm[V])
+        Value += I.Weights[V];
+#ifndef NDEBUG
+    for (const IlpConstraint &K : I.Constraints) {
+      unsigned Used = 0;
+      for (unsigned V : K.Vars)
+        Used += Warm[V] ? 1 : 0;
+      assert(Used <= K.Capacity && "warm start is infeasible");
+    }
+#endif
+    if (Value > IncumbentValue) {
+      IncumbentValue = Value;
+      Incumbent = Warm;
+    }
+  }
+
+  IlpResult run() {
+    // Root propagation: capacity-zero constraints zero-fix their members.
+    std::vector<unsigned> Trail;
+    for (unsigned K = 0; K < I.Constraints.size(); ++K)
+      if (CapLeft[K] == 0)
+        for (unsigned V : I.Constraints[K].Vars)
+          if (Fixed[V] < 0)
+            fixToZero(V, Trail);
+
+    Proven = dfs();
+
+    IlpResult Result;
+    Result.X = Incumbent;
+    Result.Value = IncumbentValue;
+    Result.Proven = Proven;
+    Result.Nodes = Nodes;
+    return Result;
+  }
+
+private:
+  /// Fixes free \p V to zero (no propagation beyond bookkeeping).
+  void fixToZero(unsigned V, std::vector<unsigned> &Trail) {
+    assert(Fixed[V] < 0 && "variable already fixed");
+    Fixed[V] = 0;
+    for (unsigned K : RowsOf[V])
+      --FreeInRow[K];
+    Trail.push_back(V);
+  }
+
+  /// Fixes free \p V to one and propagates saturated constraints.
+  void fixToOne(unsigned V, std::vector<unsigned> &Trail) {
+    assert(Fixed[V] < 0 && "variable already fixed");
+    Fixed[V] = 1;
+    PathValue += I.Weights[V];
+    Trail.push_back(V);
+    for (unsigned K : RowsOf[V]) {
+      --FreeInRow[K];
+      assert(CapLeft[K] > 0 && "free variable in a saturated constraint");
+      if (--CapLeft[K] > 0)
+        continue;
+      // Saturated: everything still free in K is forced out.
+      for (unsigned U : I.Constraints[K].Vars)
+        if (Fixed[U] < 0)
+          fixToZero(U, Trail);
+    }
+  }
+
+  void undo(const std::vector<unsigned> &Trail) {
+    // Unwind in reverse so CapLeft asserts stay meaningful.
+    for (auto It = Trail.rbegin(); It != Trail.rend(); ++It) {
+      unsigned V = *It;
+      if (Fixed[V] == 1) {
+        PathValue -= I.Weights[V];
+        for (unsigned K : RowsOf[V]) {
+          ++FreeInRow[K];
+          ++CapLeft[K];
+        }
+      } else {
+        for (unsigned K : RowsOf[V])
+          ++FreeInRow[K];
+      }
+      Fixed[V] = -1;
+    }
+  }
+
+  /// Builds the LP relaxation over the free variables.  Returns the LP and
+  /// the free-variable ids in LP-column order.
+  LinearProgram buildRelaxation(std::vector<unsigned> &FreeVars) const {
+    LinearProgram LP;
+    FreeVars.clear();
+    std::vector<unsigned> Column(I.numVars(), ~0u);
+    for (unsigned V = 0; V < I.numVars(); ++V)
+      if (Fixed[V] < 0) {
+        Column[V] = LP.addVariable(static_cast<double>(I.Weights[V]),
+                                   /*Lo=*/0.0, /*Hi=*/1.0);
+        FreeVars.push_back(V);
+      }
+    for (unsigned K = 0; K < I.Constraints.size(); ++K) {
+      // Rows with enough capacity for all their free members cannot bind.
+      if (FreeInRow[K] <= static_cast<unsigned>(CapLeft[K]))
+        continue;
+      std::vector<std::pair<unsigned, double>> Terms;
+      Terms.reserve(FreeInRow[K]);
+      for (unsigned V : I.Constraints[K].Vars)
+        if (Column[V] != ~0u)
+          Terms.push_back({Column[V], 1.0});
+      std::sort(Terms.begin(), Terms.end());
+      LP.addRow(std::move(Terms), static_cast<double>(CapLeft[K]));
+    }
+    return LP;
+  }
+
+  /// Rounds an LP point into a feasible selection and updates the
+  /// incumbent: take the ~1 variables, then greedily add what still fits.
+  void harvestIncumbent(const std::vector<unsigned> &FreeVars,
+                        const std::vector<double> &X) {
+    std::vector<int> Used(I.Constraints.size(), 0);
+    Weight Value = PathValue;
+    std::vector<char> Selection(I.numVars());
+    for (unsigned V = 0; V < I.numVars(); ++V)
+      Selection[V] = Fixed[V] == 1;
+
+    std::vector<unsigned> Leftover;
+    for (unsigned Idx = 0; Idx < FreeVars.size(); ++Idx) {
+      if (X[Idx] >= 1.0 - 1e-6) {
+        Selection[FreeVars[Idx]] = 1;
+        Value += I.Weights[FreeVars[Idx]];
+        for (unsigned K : RowsOf[FreeVars[Idx]])
+          ++Used[K];
+      } else {
+        Leftover.push_back(FreeVars[Idx]);
+      }
+    }
+    std::sort(Leftover.begin(), Leftover.end(), [&](unsigned A, unsigned B) {
+      if (I.Weights[A] != I.Weights[B])
+        return I.Weights[A] > I.Weights[B];
+      return A < B;
+    });
+    for (unsigned V : Leftover) {
+      bool Fits = true;
+      for (unsigned K : RowsOf[V])
+        Fits &= Used[K] < CapLeft[K];
+      if (!Fits)
+        continue;
+      Selection[V] = 1;
+      Value += I.Weights[V];
+      for (unsigned K : RowsOf[V])
+        ++Used[K];
+    }
+    if (Value > IncumbentValue) {
+      IncumbentValue = Value;
+      Incumbent = std::move(Selection);
+    }
+  }
+
+  /// Explores the current node; returns false when the node budget expired
+  /// somewhere below (the incumbent is still valid, just unproven).
+  bool dfs() {
+    if (Budget == 0)
+      return false;
+    --Budget;
+    ++Nodes;
+
+    std::vector<unsigned> FreeVars;
+    LinearProgram LP = buildRelaxation(FreeVars);
+    if (FreeVars.empty()) {
+      if (PathValue > IncumbentValue) {
+        IncumbentValue = PathValue;
+        for (unsigned V = 0; V < I.numVars(); ++V)
+          Incumbent[V] = Fixed[V] == 1;
+      }
+      return true;
+    }
+    if (LP.Rows.empty()) {
+      // Nothing binds: take every free variable.
+      Weight Value = PathValue;
+      for (unsigned V : FreeVars)
+        Value += I.Weights[V];
+      if (Value > IncumbentValue) {
+        IncumbentValue = Value;
+        for (unsigned V = 0; V < I.numVars(); ++V)
+          Incumbent[V] = Fixed[V] == 1;
+        for (unsigned V : FreeVars)
+          Incumbent[V] = 1;
+      }
+      return true;
+    }
+
+    LpSolution Relaxed = solveLp(LP);
+    if (Relaxed.Status != LpStatus::Optimal) {
+      // Numerical trouble: no usable bound here.  The subtree stays
+      // unproven; keep whatever the incumbent already has.
+      return false;
+    }
+    Weight UpperBound = PathValue + floorWithTolerance(Relaxed.Value);
+    if (UpperBound <= IncumbentValue)
+      return true; // Bound: this subtree cannot beat the incumbent.
+
+    harvestIncumbent(FreeVars, Relaxed.X);
+    if (UpperBound <= IncumbentValue)
+      return true; // The rounded point already meets the bound.
+
+    // Reduced-cost fixing: forcing a nonbasic variable off its bound costs
+    // at least |reduced cost| of LP value, so any variable whose flip
+    // cannot reach incumbent+1 is frozen at its bound.  Each criterion is a
+    // necessary condition for *any* improving solution, so all fixings
+    // apply simultaneously; a saturation cascade overriding one of them
+    // merely weakens the set (still exact).  Objective weights are
+    // integral, hence the floors.  The fixings are applied in place and
+    // the node proceeds straight to branching -- no extra LP solve.
+    std::vector<unsigned> FixTrail;
+    for (unsigned Idx = 0; Idx < FreeVars.size(); ++Idx) {
+      unsigned V = FreeVars[Idx];
+      if (Fixed[V] >= 0)
+        continue; // Fixed by an earlier cascade in this loop.
+      double RC = Relaxed.ReducedCosts[Idx];
+      if (Relaxed.X[Idx] <= 1e-7 && RC < 0) {
+        if (PathValue + floorWithTolerance(Relaxed.Value + RC) <=
+            IncumbentValue)
+          fixToZero(V, FixTrail);
+      } else if (Relaxed.X[Idx] >= 1.0 - 1e-7 && RC > 0) {
+        if (PathValue + floorWithTolerance(Relaxed.Value - RC) <=
+            IncumbentValue)
+          fixToOne(V, FixTrail);
+      }
+    }
+
+    // Branch on the most fractional still-free variable (ties: heavier
+    // first).
+    unsigned BranchVar = ~0u;
+    double BestDistance = 2.0;
+    for (unsigned Idx = 0; Idx < FreeVars.size(); ++Idx) {
+      if (Fixed[FreeVars[Idx]] >= 0)
+        continue;
+      double Distance = std::abs(Relaxed.X[Idx] - 0.5);
+      if (Distance > 0.5 - 1e-6)
+        continue; // Integral.
+      if (Distance < BestDistance - 1e-12 ||
+          (Distance < BestDistance + 1e-12 && BranchVar != ~0u &&
+           I.Weights[FreeVars[Idx]] > I.Weights[BranchVar])) {
+        BestDistance = Distance;
+        BranchVar = FreeVars[Idx];
+      }
+    }
+
+    bool Complete = true;
+    if (BranchVar == ~0u) {
+      // Every fractional variable was just fixed (or the LP point was
+      // integral, in which case the incumbent already matched the bound and
+      // the node would have closed above).  Re-evaluate under the fixings.
+      if (!FixTrail.empty())
+        Complete = dfs();
+    } else {
+      {
+        std::vector<unsigned> Trail;
+        fixToOne(BranchVar, Trail);
+        Complete &= dfs();
+        undo(Trail);
+      }
+      {
+        std::vector<unsigned> Trail;
+        fixToZero(BranchVar, Trail);
+        Complete &= dfs();
+        undo(Trail);
+      }
+    }
+    undo(FixTrail);
+    return Complete;
+  }
+
+  const IlpInstance &I;
+  uint64_t &Budget;
+
+  std::vector<signed char> Fixed; // -1 free / 0 / 1.
+  std::vector<std::vector<unsigned>> RowsOf;
+  std::vector<int> CapLeft;
+  std::vector<unsigned> FreeInRow;
+  Weight PathValue = 0;
+
+  std::vector<char> Incumbent;
+  Weight IncumbentValue = 0;
+  bool Proven = false;
+  uint64_t Nodes = 0;
+};
+
+} // namespace
+
+namespace {
+
+/// Solves one already-connected instance.
+IlpResult solveConnected(const IlpInstance &Instance,
+                         const std::vector<char> *WarmStart,
+                         uint64_t &NodeBudget) {
+  PackingSearch Search(Instance, NodeBudget);
+  if (WarmStart)
+    Search.seedIncumbent(*WarmStart);
+  return Search.run();
+}
+
+} // namespace
+
+IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
+                                    const std::vector<char> *WarmStart,
+                                    uint64_t &NodeBudget) {
+#ifndef NDEBUG
+  for (Weight W : Instance.Weights)
+    assert(W >= 0 && "packing weights must be non-negative");
+#endif
+
+  // Presolve: decompose into connected components of the constraint
+  // hypergraph.  Branching decisions in one component are irrelevant to
+  // every other, so solving them jointly multiplies search trees that
+  // should add (disjoint odd cycles are exponential joint, linear split).
+  unsigned N = Instance.numVars();
+  std::vector<int> CompOfVar(N, -1);
+  int NumComponents = 0;
+  {
+    std::vector<std::vector<unsigned>> RowsOf(N);
+    for (unsigned K = 0; K < Instance.Constraints.size(); ++K)
+      for (unsigned V : Instance.Constraints[K].Vars)
+        RowsOf[V].push_back(K);
+    std::vector<int> CompOfRow(Instance.Constraints.size(), -1);
+    for (unsigned Seed = 0; Seed < N; ++Seed) {
+      if (CompOfVar[Seed] != -1 || RowsOf[Seed].empty())
+        continue;
+      int Comp = NumComponents++;
+      std::vector<unsigned> Work{Seed};
+      CompOfVar[Seed] = Comp;
+      while (!Work.empty()) {
+        unsigned V = Work.back();
+        Work.pop_back();
+        for (unsigned K : RowsOf[V]) {
+          if (CompOfRow[K] == Comp)
+            continue;
+          CompOfRow[K] = Comp;
+          for (unsigned U : Instance.Constraints[K].Vars)
+            if (CompOfVar[U] == -1) {
+              CompOfVar[U] = Comp;
+              Work.push_back(U);
+            }
+        }
+      }
+    }
+  }
+
+  if (NumComponents <= 1 &&
+      std::count(CompOfVar.begin(), CompOfVar.end(), -1) == 0)
+    return solveConnected(Instance, WarmStart, NodeBudget);
+
+  IlpResult Result;
+  Result.X.assign(N, 0);
+  Result.Proven = true;
+  // Unconstrained variables are taken outright (weights are non-negative).
+  for (unsigned V = 0; V < N; ++V)
+    if (CompOfVar[V] == -1) {
+      Result.X[V] = 1;
+      Result.Value += Instance.Weights[V];
+    }
+
+  for (int Comp = 0; Comp < NumComponents; ++Comp) {
+    IlpInstance Sub;
+    std::vector<unsigned> Local(N, ~0u), Vars;
+    for (unsigned V = 0; V < N; ++V)
+      if (CompOfVar[V] == Comp) {
+        Local[V] = static_cast<unsigned>(Vars.size());
+        Vars.push_back(V);
+        Sub.Weights.push_back(Instance.Weights[V]);
+      }
+    for (const IlpConstraint &K : Instance.Constraints)
+      if (!K.Vars.empty() && CompOfVar[K.Vars.front()] == Comp) {
+        IlpConstraint Row;
+        Row.Capacity = K.Capacity;
+        for (unsigned V : K.Vars)
+          Row.Vars.push_back(Local[V]);
+        Sub.Constraints.push_back(std::move(Row));
+      }
+    std::vector<char> SubWarm;
+    if (WarmStart) {
+      SubWarm.resize(Vars.size());
+      for (unsigned I = 0; I < Vars.size(); ++I)
+        SubWarm[I] = (*WarmStart)[Vars[I]];
+    }
+    IlpResult SubResult =
+        solveConnected(Sub, WarmStart ? &SubWarm : nullptr, NodeBudget);
+    Result.Proven &= SubResult.Proven;
+    Result.Nodes += SubResult.Nodes;
+    Result.Value += SubResult.Value;
+    for (unsigned I = 0; I < Vars.size(); ++I)
+      Result.X[Vars[I]] = SubResult.X[I];
+  }
+  return Result;
+}
+
+IlpResult layra::solveBinaryPackingBudgeted(const IlpInstance &Instance,
+                                            const std::vector<char> *WarmStart,
+                                            uint64_t NodeBudget) {
+  uint64_t Budget = NodeBudget;
+  return solveBinaryPacking(Instance, WarmStart, Budget);
+}

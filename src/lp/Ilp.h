@@ -1,0 +1,80 @@
+//===- lp/Ilp.h - Exact 0/1 packing ILP solver -------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An exact branch-and-bound solver for 0/1 packing integer programs
+///
+///     maximise   sum_v Weights[v] x_v
+///     subject to sum_{v in K} x_v <= Capacity_K   for every constraint K
+///                x binary
+///
+/// which is precisely the spill-everywhere allocation model the paper's
+/// "Optimal" baseline solves with CPLEX (Diouf et al. [11]): constraints
+/// are the maximal cliques / program-point live sets, capacities are the
+/// register count.  Bounds come from the LP relaxation (lp/Simplex.h);
+/// clique-constraint matrices of SSA programs are so close to integral that
+/// the warm-started search almost always proves optimality at the root.
+///
+/// Branching fixes the most fractional variable, allocate-branch first; a
+/// rounding pass turns every LP point into a feasible incumbent, so the
+/// solver improves monotonically even when the node budget runs out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_LP_ILP_H
+#define LAYRA_LP_ILP_H
+
+#include "graph/Graph.h" // For Weight.
+
+#include <cstdint>
+#include <vector>
+
+namespace layra {
+
+/// One packing constraint: at most Capacity of Vars may be selected.
+struct IlpConstraint {
+  std::vector<unsigned> Vars;
+  unsigned Capacity = 0;
+};
+
+/// A 0/1 packing instance (see file comment).
+struct IlpInstance {
+  /// Objective weight per variable; must be non-negative.
+  std::vector<Weight> Weights;
+  std::vector<IlpConstraint> Constraints;
+
+  unsigned numVars() const { return static_cast<unsigned>(Weights.size()); }
+};
+
+/// Outcome of a solveBinaryPacking() run.
+struct IlpResult {
+  /// Selected variables (1 = in the packing).
+  std::vector<char> X;
+  /// Objective value of X.
+  Weight Value = 0;
+  /// True when the search proved optimality within its node budget.
+  bool Proven = false;
+  /// Branch-and-bound nodes expanded.
+  uint64_t Nodes = 0;
+};
+
+/// Solves \p Instance to proven optimality unless \p NodeBudget runs out
+/// (the budget is decremented in place so callers can share one budget
+/// across subproblems).  \p WarmStart, when non-null, seeds the incumbent:
+/// it must be feasible.
+IlpResult solveBinaryPacking(const IlpInstance &Instance,
+                             const std::vector<char> *WarmStart,
+                             uint64_t &NodeBudget);
+
+/// Convenience wrapper with a private node budget.
+IlpResult solveBinaryPackingBudgeted(const IlpInstance &Instance,
+                                     const std::vector<char> *WarmStart = nullptr,
+                                     uint64_t NodeBudget = 1'000'000);
+
+} // namespace layra
+
+#endif // LAYRA_LP_ILP_H

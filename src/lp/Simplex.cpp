@@ -1,0 +1,348 @@
+//===- lp/Simplex.cpp - Bounded-variable primal simplex --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+//
+// Implementation notes.  The solver works on the bound-shifted problem
+// y = x - Lower (so every variable has lower bound 0) with one slack per
+// row; the initial basis is the slack basis, which is feasible because the
+// precondition guarantees the shifted right-hand sides are non-negative.
+//
+// The tableau B^-1 [A | I] is kept densely and updated by Gauss-Jordan
+// pivots.  Basic-variable values are maintained incrementally (they are not
+// a tableau column: with nonbasic variables sitting at either bound the
+// classical RHS column would be wrong).  Entering variables are priced with
+// Dantzig's rule; after a run of degenerate pivots the solver switches to
+// Bland's rule, which cannot cycle, and switches back on the first real
+// progress.  The objective is scaled by max|c| up front so the optimality
+// tolerance is meaningful for any cost magnitude, and the reported value is
+// recomputed from the primal point in unscaled space.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace layra;
+
+unsigned LinearProgram::addVariable(double Obj, double Lo, double Hi) {
+  assert(Lo <= Hi && "variable bounds crossed");
+  unsigned Index = NumVars++;
+  Objective.resize(NumVars, 0.0);
+  Lower.resize(NumVars, 0.0);
+  Upper.resize(NumVars, kInfinity);
+  Objective[Index] = Obj;
+  Lower[Index] = Lo;
+  Upper[Index] = Hi;
+  return Index;
+}
+
+void LinearProgram::addRow(std::vector<std::pair<unsigned, double>> Terms,
+                           double Rhs) {
+#ifndef NDEBUG
+  for (size_t I = 0; I < Terms.size(); ++I) {
+    assert(Terms[I].first < NumVars && "row references unknown variable");
+    assert((I == 0 || Terms[I - 1].first < Terms[I].first) &&
+           "row terms must have strictly increasing variable indices");
+  }
+#endif
+  Rows.push_back(LpRow{std::move(Terms), Rhs});
+}
+
+namespace {
+
+/// Where a variable currently lives.
+enum class VarState : unsigned char { Basic, AtLower, AtUpper };
+
+/// The full-tableau solver state; see the file comment for the method.
+class Tableau {
+public:
+  explicit Tableau(const LinearProgram &LP)
+      : NumStructural(LP.NumVars),
+        NumRows(static_cast<unsigned>(LP.Rows.size())),
+        NumColumns(NumStructural + NumRows) {
+    // Objective scaling keeps the optimality tolerance commensurate with
+    // the cost magnitudes (spill costs reach ~1e7 on deep loops).
+    for (unsigned J = 0; J < NumStructural; ++J)
+      Scale = std::max(Scale, std::abs(LP.Objective[J]));
+    if (Scale == 0.0)
+      Scale = 1.0;
+
+    ShiftedUpper.assign(NumColumns, LinearProgram::kInfinity);
+    for (unsigned J = 0; J < NumStructural; ++J)
+      ShiftedUpper[J] = LP.Upper[J] - LP.Lower[J];
+
+    Tab.assign(static_cast<size_t>(NumRows) * NumColumns, 0.0);
+    BasicValue.assign(NumRows, 0.0);
+    for (unsigned R = 0; R < NumRows; ++R) {
+      const LpRow &Row = LP.Rows[R];
+      double Shift = 0;
+      for (const auto &[Var, Coeff] : Row.Terms) {
+        Tab[static_cast<size_t>(R) * NumColumns + Var] = Coeff;
+        Shift += Coeff * LP.Lower[Var];
+      }
+      Tab[static_cast<size_t>(R) * NumColumns + NumStructural + R] = 1.0;
+      BasicValue[R] = Row.Rhs - Shift;
+      if (BasicValue[R] < -1e-7)
+        layraFatalError("solveLp: x = Lower is infeasible (missing phase-1 "
+                        "by design; see lp/Simplex.h)");
+      BasicValue[R] = std::max(BasicValue[R], 0.0);
+    }
+
+    ReducedCost.assign(NumColumns, 0.0);
+    for (unsigned J = 0; J < NumStructural; ++J)
+      ReducedCost[J] = LP.Objective[J] / Scale;
+
+    State.assign(NumColumns, VarState::AtLower);
+    BasicOfRow.resize(NumRows);
+    for (unsigned R = 0; R < NumRows; ++R) {
+      State[NumStructural + R] = VarState::Basic;
+      BasicOfRow[R] = NumStructural + R;
+    }
+  }
+
+  /// Runs the simplex; fills \p Out (everything except Value / X, which the
+  /// caller recomputes in unscaled space).
+  LpStatus run(unsigned IterationLimit, unsigned &IterationsOut) {
+    unsigned Stalled = 0;
+    bool Bland = false;
+    for (unsigned Iter = 0; Iter < IterationLimit; ++Iter) {
+      unsigned Entering = pickEntering(Bland);
+      if (Entering == kNone) {
+        IterationsOut = Iter;
+        return LpStatus::Optimal;
+      }
+      double Sigma = State[Entering] == VarState::AtLower ? 1.0 : -1.0;
+
+      // Ratio test: the first basic variable to hit a bound, or the
+      // entering variable's own opposite bound.
+      unsigned LeavingRow = kNone;
+      bool LeavingAtUpper = false;
+      double Limit = ShiftedUpper[Entering]; // Own-bound flip distance.
+      for (unsigned R = 0; R < NumRows; ++R) {
+        double Y = Tab[static_cast<size_t>(R) * NumColumns + Entering];
+        if (std::abs(Y) <= kPivotTol)
+          continue;
+        double Rate = Sigma * Y; // BasicValue[R] decreases at this rate.
+        double Ratio;
+        bool HitsUpper;
+        if (Rate > 0) {
+          Ratio = BasicValue[R] / Rate;
+          HitsUpper = false;
+        } else {
+          double UpperR = ShiftedUpper[BasicOfRow[R]];
+          if (UpperR == LinearProgram::kInfinity)
+            continue;
+          Ratio = (UpperR - BasicValue[R]) / -Rate;
+          HitsUpper = true;
+        }
+        Ratio = std::max(Ratio, 0.0);
+        if (Ratio < Limit - kRatioTol) {
+          // Strictly tighter than anything seen so far.
+          Limit = Ratio;
+          LeavingRow = R;
+          LeavingAtUpper = HitsUpper;
+        } else if (LeavingRow != kNone && Ratio <= Limit + kRatioTol) {
+          // Near-tie: prefer the larger pivot magnitude for numerical
+          // stability; under Bland's rule the smallest variable index.
+          double OldY = std::abs(
+              Tab[static_cast<size_t>(LeavingRow) * NumColumns + Entering]);
+          bool Better = Bland ? BasicOfRow[R] < BasicOfRow[LeavingRow]
+                              : std::abs(Y) > OldY;
+          if (Better) {
+            Limit = std::min(Limit, Ratio);
+            LeavingRow = R;
+            LeavingAtUpper = HitsUpper;
+          }
+        }
+      }
+
+      if (Limit == LinearProgram::kInfinity) {
+        IterationsOut = Iter;
+        return LpStatus::Unbounded;
+      }
+
+      // Track degeneracy; switch to Bland's anti-cycling rule on a stall.
+      if (Limit <= kRatioTol) {
+        if (++Stalled > kStallThreshold)
+          Bland = true;
+      } else {
+        Stalled = 0;
+        Bland = false;
+      }
+
+      if (LeavingRow == kNone) {
+        boundFlip(Entering, Sigma, Limit);
+        continue;
+      }
+      pivot(Entering, Sigma, Limit, LeavingRow, LeavingAtUpper);
+    }
+    IterationsOut = IterationLimit;
+    return LpStatus::IterationLimit;
+  }
+
+  /// Shifted value of (structural) variable \p J in the current point.
+  double shiftedValue(unsigned J) const {
+    switch (State[J]) {
+    case VarState::AtLower:
+      return 0.0;
+    case VarState::AtUpper:
+      return ShiftedUpper[J];
+    case VarState::Basic:
+      for (unsigned R = 0; R < NumRows; ++R)
+        if (BasicOfRow[R] == J)
+          return BasicValue[R];
+      LAYRA_UNREACHABLE("basic variable missing from basis rows");
+    }
+    LAYRA_UNREACHABLE("covered switch");
+  }
+
+  /// Unscaled dual multiplier of row \p R.
+  double rowDual(unsigned R) const {
+    return -ReducedCost[NumStructural + R] * Scale;
+  }
+
+  /// Unscaled reduced cost of structural variable \p J.
+  double reducedCost(unsigned J) const { return ReducedCost[J] * Scale; }
+
+private:
+  static constexpr unsigned kNone = ~0u;
+  static constexpr double kOptTol = 1e-9;
+  static constexpr double kPivotTol = 1e-9;
+  static constexpr double kRatioTol = 1e-9;
+  static constexpr unsigned kStallThreshold = 40;
+
+  /// Dantzig pricing (steepest reduced cost), or Bland's smallest-index
+  /// rule while anti-cycling; kNone when the current point is optimal.
+  unsigned pickEntering(bool Bland) const {
+    unsigned Best = kNone;
+    double BestScore = kOptTol;
+    for (unsigned J = 0; J < NumColumns; ++J) {
+      double Score;
+      if (State[J] == VarState::AtLower)
+        Score = ReducedCost[J];
+      else if (State[J] == VarState::AtUpper)
+        Score = -ReducedCost[J];
+      else
+        continue;
+      if (Score <= (Bland ? kOptTol : BestScore))
+        continue;
+      Best = J;
+      BestScore = Score;
+      if (Bland)
+        break;
+    }
+    return Best;
+  }
+
+  /// The entering variable travels to its opposite bound; no basis change.
+  void boundFlip(unsigned Entering, double Sigma, double Distance) {
+    for (unsigned R = 0; R < NumRows; ++R) {
+      double Y = Tab[static_cast<size_t>(R) * NumColumns + Entering];
+      if (std::abs(Y) > kPivotTol)
+        BasicValue[R] =
+            std::max(0.0, BasicValue[R] - Sigma * Distance * Y);
+    }
+    State[Entering] = State[Entering] == VarState::AtLower
+                          ? VarState::AtUpper
+                          : VarState::AtLower;
+  }
+
+  /// Gauss-Jordan pivot: \p Entering joins the basis in \p LeavingRow.
+  void pivot(unsigned Entering, double Sigma, double Distance,
+             unsigned LeavingRow, bool LeavingAtUpper) {
+    for (unsigned R = 0; R < NumRows; ++R) {
+      if (R == LeavingRow)
+        continue;
+      double Y = Tab[static_cast<size_t>(R) * NumColumns + Entering];
+      if (std::abs(Y) > kPivotTol)
+        BasicValue[R] =
+            std::max(0.0, BasicValue[R] - Sigma * Distance * Y);
+    }
+    double EnteringStart =
+        State[Entering] == VarState::AtLower ? 0.0 : ShiftedUpper[Entering];
+    double EnteringValue = EnteringStart + Sigma * Distance;
+
+    unsigned Leaving = BasicOfRow[LeavingRow];
+    State[Leaving] = LeavingAtUpper ? VarState::AtUpper : VarState::AtLower;
+    State[Entering] = VarState::Basic;
+    BasicOfRow[LeavingRow] = Entering;
+    BasicValue[LeavingRow] = EnteringValue;
+
+    // Normalise the pivot row, then eliminate the entering column from the
+    // other rows and the reduced-cost row.
+    double *PivotRow = &Tab[static_cast<size_t>(LeavingRow) * NumColumns];
+    double Pivot = PivotRow[Entering];
+    assert(std::abs(Pivot) > kPivotTol && "pivot on a zero element");
+    for (unsigned J = 0; J < NumColumns; ++J)
+      PivotRow[J] /= Pivot;
+    PivotRow[Entering] = 1.0;
+
+    for (unsigned R = 0; R < NumRows; ++R) {
+      if (R == LeavingRow)
+        continue;
+      double *Row = &Tab[static_cast<size_t>(R) * NumColumns];
+      double Factor = Row[Entering];
+      if (std::abs(Factor) <= kPivotTol) {
+        Row[Entering] = 0.0;
+        continue;
+      }
+      for (unsigned J = 0; J < NumColumns; ++J)
+        Row[J] -= Factor * PivotRow[J];
+      Row[Entering] = 0.0;
+    }
+    double Factor = ReducedCost[Entering];
+    if (std::abs(Factor) > kPivotTol)
+      for (unsigned J = 0; J < NumColumns; ++J)
+        ReducedCost[J] -= Factor * PivotRow[J];
+    ReducedCost[Entering] = 0.0;
+  }
+
+  unsigned NumStructural, NumRows, NumColumns;
+  double Scale = 0.0;
+  std::vector<double> Tab;          // NumRows x NumColumns, row-major.
+  std::vector<double> BasicValue;   // Shifted value of each row's basic var.
+  std::vector<double> ReducedCost;  // Scaled objective row.
+  std::vector<double> ShiftedUpper; // Upper - Lower; infinity for slacks.
+  std::vector<VarState> State;
+  std::vector<unsigned> BasicOfRow;
+};
+
+} // namespace
+
+LpSolution layra::solveLp(const LinearProgram &LP) {
+  assert(LP.Objective.size() == LP.NumVars && "objective size mismatch");
+  assert(LP.Lower.size() == LP.NumVars && LP.Upper.size() == LP.NumVars &&
+         "bounds size mismatch");
+
+  LpSolution Solution;
+  Tableau T(LP);
+  unsigned Columns = LP.NumVars + static_cast<unsigned>(LP.Rows.size());
+  Solution.Status = T.run(/*IterationLimit=*/200 + 50 * Columns,
+                          Solution.Iterations);
+  if (Solution.Status != LpStatus::Optimal)
+    return Solution;
+
+  Solution.X.resize(LP.NumVars);
+  for (unsigned J = 0; J < LP.NumVars; ++J) {
+    double V = LP.Lower[J] + T.shiftedValue(J);
+    // Clamp tiny tableau noise back into the box.
+    V = std::min(std::max(V, LP.Lower[J]), LP.Upper[J]);
+    Solution.X[J] = V;
+    Solution.Value += LP.Objective[J] * V;
+  }
+  Solution.RowDuals.resize(LP.Rows.size());
+  for (unsigned R = 0; R < LP.Rows.size(); ++R)
+    Solution.RowDuals[R] = T.rowDual(R);
+  Solution.ReducedCosts.resize(LP.NumVars);
+  for (unsigned J = 0; J < LP.NumVars; ++J)
+    Solution.ReducedCosts[J] = T.reducedCost(J);
+  return Solution;
+}

@@ -1,0 +1,109 @@
+//===- lp/Simplex.h - Bounded-variable primal simplex -----------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bounded-variable primal simplex solver for small linear programs
+/// of the form
+///
+///     maximise   Obj . x
+///     subject to sum_j Terms[r][j] x_j <= Rhs[r]   for every row r
+///                Lower[j] <= x_j <= Upper[j]
+///
+/// Layra uses it to compute the LP-relaxation bounds that drive the exact
+/// ILP solver behind the "Optimal" baseline (the paper evaluates against a
+/// CPLEX-style ILP; lp/Ilp.h is our from-scratch equivalent).  The
+/// register-allocation LPs are tiny -- a few hundred variables, clique rows
+/// with 0/1 coefficients -- so a full-tableau method is both simple and more
+/// than fast enough.
+///
+/// The solver requires x = Lower to be feasible (after shifting variables to
+/// their lower bounds every right-hand side must be non-negative).  All
+/// packing relaxations Layra builds satisfy this by construction, which is
+/// why there is deliberately no phase-1: a violated precondition aborts
+/// rather than silently mis-optimizing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_LP_SIMPLEX_H
+#define LAYRA_LP_SIMPLEX_H
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace layra {
+
+/// One `<=` row of a linear program, stored sparsely.
+struct LpRow {
+  /// (variable index, coefficient) pairs; indices must be strictly
+  /// increasing.
+  std::vector<std::pair<unsigned, double>> Terms;
+  /// Right-hand side of the `<=` constraint.
+  double Rhs = 0;
+};
+
+/// A small dense LP, maximised by solveLp().
+struct LinearProgram {
+  /// Upper bound value meaning "unbounded above".
+  static constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+  unsigned NumVars = 0;
+  /// Objective coefficients (maximised); size NumVars.
+  std::vector<double> Objective;
+  /// Per-variable bounds; Lower defaults to 0, Upper to kInfinity when the
+  /// vectors are left shorter than NumVars.
+  std::vector<double> Lower, Upper;
+  /// The `<=` constraint rows.
+  std::vector<LpRow> Rows;
+
+  /// Appends a variable with the given objective coefficient and bounds;
+  /// returns its index.
+  unsigned addVariable(double Obj, double Lo = 0, double Hi = kInfinity);
+
+  /// Appends a row `sum coeff * x <= Rhs`; Terms must use valid variable
+  /// indices in strictly increasing order.
+  void addRow(std::vector<std::pair<unsigned, double>> Terms, double Rhs);
+};
+
+/// Solver outcome classification.
+enum class LpStatus {
+  /// An optimal basic solution was found.
+  Optimal,
+  /// The objective is unbounded above over the feasible region.
+  Unbounded,
+  /// The iteration limit was hit (numerical trouble); treat the result as
+  /// unusable.
+  IterationLimit,
+};
+
+/// A solved LP: primal values, duals and reduced costs for verification.
+struct LpSolution {
+  LpStatus Status = LpStatus::IterationLimit;
+  /// Objective value, recomputed exactly from X at termination.
+  double Value = 0;
+  /// Primal variable values; size NumVars.
+  std::vector<double> X;
+  /// Dual multiplier per row (non-negative at optimality of a `<=` row
+  /// in a maximisation problem).
+  std::vector<double> RowDuals;
+  /// Reduced cost per variable: at optimality a variable strictly between
+  /// its bounds has reduced cost ~0, one at its lower bound has <= 0, one at
+  /// its upper bound has >= 0.
+  std::vector<double> ReducedCosts;
+  /// Simplex pivots performed.
+  unsigned Iterations = 0;
+};
+
+/// Maximises \p LP with a bounded-variable full-tableau primal simplex.
+///
+/// \pre Every row satisfies its constraint at x = Lower (no phase-1; see
+/// file comment).  Aborts otherwise.
+LpSolution solveLp(const LinearProgram &LP);
+
+} // namespace layra
+
+#endif // LAYRA_LP_SIMPLEX_H

@@ -1,0 +1,25 @@
+//===- support/Compiler.cpp - Compiler portability helpers ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Compiler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace layra;
+
+void layra::layraUnreachableInternal(const char *Msg, const char *File,
+                                     unsigned Line) {
+  std::fprintf(stderr, "layra: UNREACHABLE executed at %s:%u: %s\n", File,
+               Line, Msg);
+  std::abort();
+}
+
+void layra::layraFatalError(const char *Msg) {
+  std::fprintf(stderr, "layra: fatal error: %s\n", Msg);
+  std::abort();
+}

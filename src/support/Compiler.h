@@ -1,0 +1,37 @@
+//===- support/Compiler.h - Compiler portability helpers --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability and diagnostics helpers shared by every Layra library.
+/// Layra follows the LLVM convention of not using exceptions or RTTI; fatal
+/// conditions are reported through \c layraUnreachable / \c layraFatalError.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_COMPILER_H
+#define LAYRA_SUPPORT_COMPILER_H
+
+namespace layra {
+
+/// Reports a fatal internal error and aborts.  Used by LAYRA_UNREACHABLE;
+/// never returns.
+[[noreturn]] void layraUnreachableInternal(const char *Msg, const char *File,
+                                           unsigned Line);
+
+/// Reports an unrecoverable error caused by invalid input and aborts.  Unlike
+/// LAYRA_UNREACHABLE this is for conditions a user can trigger.
+[[noreturn]] void layraFatalError(const char *Msg);
+
+} // namespace layra
+
+/// Marks a point in code which should never be reached.  Prints \p msg and
+/// aborts in all build modes: Layra is a research-measurement library, so we
+/// always prefer loud failure over undefined behaviour.
+#define LAYRA_UNREACHABLE(msg)                                                 \
+  ::layra::layraUnreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // LAYRA_SUPPORT_COMPILER_H

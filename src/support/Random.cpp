@@ -1,0 +1,100 @@
+//===- support/Random.cpp - Deterministic pseudo-random numbers ----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace layra;
+
+uint64_t layra::splitMix64(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  // Expand the seed with SplitMix64 as recommended by the xoshiro authors;
+  // this avoids the all-zero state and decorrelates nearby seeds.
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow bound must be positive");
+  // Unbiased rejection sampling: draw until the value falls inside the
+  // largest multiple of Bound representable in 64 bits.
+  uint64_t Threshold = (0 - Bound) % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextInRange requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  // Span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  uint64_t Offset = Span == 0 ? next() : nextBelow(Span);
+  return Lo + static_cast<int64_t>(Offset);
+}
+
+double Rng::nextDouble() {
+  // 53 high bits scaled to [0,1); the standard trick, exact in binary64.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+std::size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "cannot sample from an empty weight vector");
+  double Total = 0;
+  for (double W : Weights) {
+    assert(W >= 0 && "weights must be non-negative");
+    Total += W;
+  }
+  if (Total <= 0)
+    return static_cast<std::size_t>(nextBelow(Weights.size()));
+  double Point = nextDouble() * Total;
+  double Acc = 0;
+  for (std::size_t I = 0; I + 1 < Weights.size(); ++I) {
+    Acc += Weights[I];
+    if (Point < Acc)
+      return I;
+  }
+  return Weights.size() - 1;
+}
+
+Rng Rng::fork() {
+  return Rng(next() ^ 0xa0761d6478bd642fULL);
+}

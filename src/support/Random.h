@@ -1,0 +1,92 @@
+//===- support/Random.h - Deterministic pseudo-random numbers ---*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG used by the synthetic-workload generators and
+/// the randomized property tests.  All Layra experiments must be perfectly
+/// reproducible across platforms, so we roll our own generator (xoshiro256**
+/// seeded through SplitMix64) instead of relying on std::mt19937 /
+/// std::uniform_int_distribution whose exact streams the standard does not
+/// pin down for distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_RANDOM_H
+#define LAYRA_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace layra {
+
+/// SplitMix64 step; used to expand a 64-bit seed into xoshiro state.
+/// Public because tests use it as a cheap avalanche/hash function too.
+uint64_t splitMix64(uint64_t &State);
+
+/// Deterministic xoshiro256** generator with convenience sampling helpers.
+///
+/// The raw stream matches the reference implementation by Blackman & Vigna.
+/// All helper distributions are implemented on top of the raw stream with
+/// fixed, documented algorithms so their results never depend on the C++
+/// standard library implementation.
+class Rng {
+public:
+  /// Seeds the generator; equal seeds yield equal streams forever.
+  explicit Rng(uint64_t Seed);
+
+  /// Returns the next raw 64 random bits.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound), using Lemire-style rejection.
+  /// \pre Bound > 0.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in the inclusive range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.empty())
+      return;
+    for (std::size_t I = Values.size() - 1; I > 0; --I) {
+      std::size_t J = static_cast<std::size_t>(nextBelow(I + 1));
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+  /// Returns a uniformly chosen element of \p Values.
+  /// \pre Values is not empty.
+  template <typename T> const T &pick(const std::vector<T> &Values) {
+    assert(!Values.empty() && "cannot pick from an empty vector");
+    return Values[static_cast<std::size_t>(nextBelow(Values.size()))];
+  }
+
+  /// Samples an index in [0, Weights.size()) proportionally to Weights.
+  /// Zero-weight entries are never selected unless all weights are zero, in
+  /// which case the distribution degrades to uniform.
+  std::size_t pickWeighted(const std::vector<double> &Weights);
+
+  /// Forks an independent child generator; the child stream is a pure
+  /// function of this generator's current state.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_RANDOM_H

@@ -1,0 +1,60 @@
+//===- support/Statistics.cpp - Descriptive statistics -------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace layra;
+
+double layra::quantileOfSorted(const std::vector<double> &Sorted, double Q) {
+  assert(!Sorted.empty() && "quantile of an empty sample");
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be within [0,1]");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = Q * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(std::floor(Rank));
+  size_t Hi = static_cast<size_t>(std::ceil(Rank));
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + Frac * (Sorted[Hi] - Sorted[Lo]);
+}
+
+SampleSummary layra::summarize(std::vector<double> Values) {
+  SampleSummary S;
+  if (Values.empty())
+    return S;
+  std::sort(Values.begin(), Values.end());
+  S.Count = Values.size();
+  S.Min = Values.front();
+  S.Max = Values.back();
+  S.Q1 = quantileOfSorted(Values, 0.25);
+  S.Median = quantileOfSorted(Values, 0.50);
+  S.Q3 = quantileOfSorted(Values, 0.75);
+  S.P95 = quantileOfSorted(Values, 0.95);
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(S.Count);
+  double Var = 0;
+  for (double V : Values)
+    Var += (V - S.Mean) * (V - S.Mean);
+  S.StdDev =
+      S.Count > 1 ? std::sqrt(Var / static_cast<double>(S.Count - 1)) : 0.0;
+  return S;
+}
+
+double layra::geometricMean(const std::vector<double> &Values) {
+  assert(!Values.empty() && "geometric mean of an empty sample");
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geometric mean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}

@@ -1,0 +1,50 @@
+//===- support/Statistics.h - Descriptive statistics ------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics used by the benchmark harness to summarise
+/// distributions of normalized allocation costs (the paper's Figures 11-13
+/// and 15 report per-program distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_STATISTICS_H
+#define LAYRA_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace layra {
+
+/// A five-number-plus summary of a sample: the quantities a box plot shows.
+struct SampleSummary {
+  size_t Count = 0;
+  double Min = 0;
+  double Q1 = 0;
+  double Median = 0;
+  double Q3 = 0;
+  double P95 = 0;
+  double Max = 0;
+  double Mean = 0;
+  double StdDev = 0;
+};
+
+/// Computes the summary of \p Values.  Quantiles use linear interpolation
+/// between closest ranks (type-7 in Hyndman-Fan terms, the common default).
+/// Returns an all-zero summary for an empty sample.
+SampleSummary summarize(std::vector<double> Values);
+
+/// Computes the \p Q quantile (in [0,1]) of \p Sorted, which must be sorted
+/// ascending and non-empty.
+double quantileOfSorted(const std::vector<double> &Sorted, double Q);
+
+/// Geometric mean of \p Values; entries must be positive.
+double geometricMean(const std::vector<double> &Values);
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_STATISTICS_H

@@ -1,0 +1,77 @@
+//===- support/Table.cpp - Fixed-width table printing --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cinttypes>
+
+using namespace layra;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row arity mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string Table::num(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return Buf;
+}
+
+std::string Table::num(long long Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", Value);
+  return Buf;
+}
+
+std::string Table::percent(double Part, double Whole) {
+  if (Whole == 0)
+    return "-";
+  return num(100.0 * Part / Whole, 1) + "%";
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C)
+      std::fprintf(Out, "%s%-*s", C == 0 ? "" : "  ",
+                   static_cast<int>(Widths[C]), Cells[C].c_str());
+    std::fputc('\n', Out);
+  };
+
+  PrintRow(Headers);
+  size_t Total = Headers.size() - 1;
+  for (size_t W : Widths)
+    Total += W + 1;
+  for (size_t I = 0; I < Total; ++I)
+    std::fputc('-', Out);
+  std::fputc('\n', Out);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void Table::printCsv(std::FILE *Out) const {
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C)
+      std::fprintf(Out, "%s%s", C == 0 ? "" : ",", Cells[C].c_str());
+    std::fputc('\n', Out);
+  };
+  PrintRow(Headers);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,61 @@
+//===- support/Table.h - Fixed-width table printing -------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny fixed-width table builder.  The benchmark harness uses it to print
+/// the rows/series of each paper figure in a form that is both pleasant in a
+/// terminal and trivially machine-readable (a `--csv`-style dump is also
+/// provided).  We deliberately avoid <iostream> in line with the LLVM coding
+/// standards; output goes through std::FILE*.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_TABLE_H
+#define LAYRA_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one row; the number of cells must match the header count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Convenience: formats a double with \p Precision digits after the point.
+  static std::string num(double Value, int Precision = 3);
+
+  /// Convenience: formats an integer cell.
+  static std::string num(long long Value);
+
+  /// Convenience: formats Part/Whole as a percentage with one decimal
+  /// ("42.0%"); "-" when Whole is zero.
+  static std::string percent(double Part, double Whole);
+
+  /// Renders the table with aligned columns to \p Out.
+  void print(std::FILE *Out) const;
+
+  /// Renders the table as CSV to \p Out.
+  void printCsv(std::FILE *Out) const;
+
+  /// Number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_TABLE_H

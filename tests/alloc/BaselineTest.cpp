@@ -1,0 +1,186 @@
+//===- tests/alloc/BaselineTest.cpp - GC / LS / BLS tests -----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/GraphColoring.h"
+#include "alloc/LinearScan.h"
+
+#include "alloc/Allocator.h"
+#include "alloc/OptimalBnB.h"
+#include "core/ProblemBuilder.h"
+#include "graph/Coloring.h"
+#include "graph/Generators.h"
+#include "ir/ProgramGen.h"
+#include "ir/SsaBuilder.h"
+#include "suites/Suites.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(GraphColoringTest, ProducesProperColoringWithinR) {
+  Rng R(61);
+  for (int Round = 0; Round < 25; ++Round) {
+    Graph G = randomGraph(R, 20 + static_cast<unsigned>(R.nextBelow(30)),
+                          0.25, 30);
+    unsigned Regs = 2 + static_cast<unsigned>(R.nextBelow(6));
+    AllocationProblem P =
+        AllocationProblem::fromGeneralGraph(G, Regs, {});
+    GraphColoringAllocator GC;
+    AllocationResult Result = GC.allocate(P);
+    const std::vector<unsigned> &Colors = GC.lastColoring();
+    EXPECT_TRUE(isProperColoring(P.G, Colors));
+    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+      if (Result.Allocated[V]) {
+        EXPECT_LT(Colors[V], Regs);
+      } else {
+        EXPECT_EQ(Colors[V], ~0u);
+      }
+    }
+  }
+}
+
+TEST(GraphColoringTest, ColorsEverythingWhenDegreesAreLow) {
+  // A tree has degeneracy 1: 2 registers always suffice.
+  Graph G(10);
+  for (VertexId V = 1; V < 10; ++V) {
+    G.addEdge(V, (V - 1) / 2);
+    G.setWeight(V, 5);
+  }
+  G.setWeight(0, 5);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+  GraphColoringAllocator GC;
+  EXPECT_EQ(GC.allocate(P).SpillCost, 0);
+}
+
+TEST(GraphColoringTest, SpillsOnKPlusOneClique) {
+  // K4 with 3 registers: exactly one vertex must spill, the cheapest one
+  // by cost/degree (all degrees equal => cheapest cost).
+  Graph G(4);
+  G.setWeight(0, 10);
+  G.setWeight(1, 2);
+  G.setWeight(2, 8);
+  G.setWeight(3, 9);
+  for (VertexId A = 0; A < 4; ++A)
+    for (VertexId B = A + 1; B < 4; ++B)
+      G.addEdge(A, B);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 3);
+  GraphColoringAllocator GC;
+  AllocationResult Result = GC.allocate(P);
+  EXPECT_EQ(Result.SpillCost, 2);
+  EXPECT_FALSE(Result.Allocated[1]);
+}
+
+TEST(GraphColoringTest, OptimisticColoringBeatsPessimism) {
+  // Diamond (C4 + no chord is 2-colorable but Chaitin's rule would push a
+  // node at R=2 since all degrees are 2): optimism must color everything.
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 0);
+  for (VertexId V = 0; V < 4; ++V)
+    G.setWeight(V, 7);
+  AllocationProblem P = AllocationProblem::fromGeneralGraph(G, 2, {});
+  GraphColoringAllocator GC;
+  EXPECT_EQ(GC.allocate(P).SpillCost, 0);
+}
+
+namespace {
+AllocationProblem ssaProblem(Rng &R, unsigned Regs) {
+  ProgramGenOptions Opt;
+  Opt.NumVars = 14;
+  Opt.MaxBlocks = 28;
+  Function F = generateFunction(R, Opt);
+  SsaConversion Conv = convertToSsa(F);
+  return buildSsaProblem(Conv.Ssa, ST231, Regs);
+}
+} // namespace
+
+TEST(LinearScanTest, RespectsIntervalCapacity) {
+  Rng R(62);
+  for (int Round = 0; Round < 15; ++Round) {
+    unsigned Regs = 2 + static_cast<unsigned>(R.nextBelow(6));
+    AllocationProblem P = ssaProblem(R, Regs);
+    ASSERT_TRUE(P.Intervals.has_value());
+    for (const char *Name : {"ls", "bls"}) {
+      auto LS = makeAllocator(Name);
+      AllocationResult Result = LS->allocate(P);
+      // Allocated intervals never exceed R simultaneously.
+      std::vector<LiveInterval> Kept;
+      for (const LiveInterval &I : P.Intervals->Intervals)
+        if (Result.Allocated[I.V])
+          Kept.push_back(I);
+      LiveIntervalTable Sub;
+      Sub.Intervals = Kept;
+      EXPECT_LE(Sub.maxOverlap(), Regs) << Name << " round " << Round;
+    }
+  }
+}
+
+TEST(LinearScanTest, CostAwareBlsBeatsBlindLsOnJitWorkload) {
+  // On the JIT-shaped workload (the paper's Figure 14 setting) cost-aware
+  // BLS clearly beats the cost-blind policy, and the gap widens with the
+  // register count (DLS keeps spilling hot intervals it should not).
+  Suite S = makeSpecJvm98();
+  for (unsigned Regs : {4u, 8u}) {
+    Weight TotalLs = 0, TotalBls = 0;
+    for (const NamedProblem &NP : generalProblems(S, ARMv7, Regs)) {
+      TotalLs += makeAllocator("ls")->allocate(NP.P).SpillCost;
+      TotalBls += makeAllocator("bls")->allocate(NP.P).SpillCost;
+    }
+    EXPECT_LT(TotalBls, TotalLs) << "R=" << Regs;
+  }
+}
+
+TEST(LinearScanTest, EnoughRegistersSpillNothing) {
+  Rng R(64);
+  AllocationProblem P = ssaProblem(R, 64);
+  EXPECT_EQ(makeAllocator("ls")->allocate(P).SpillCost, 0);
+  EXPECT_EQ(makeAllocator("bls")->allocate(P).SpillCost, 0);
+}
+
+TEST(AllocatorRegistryTest, AllNamesResolve) {
+  for (const std::string &Name : allAllocatorNames()) {
+    auto A = makeAllocator(Name);
+    ASSERT_NE(A, nullptr) << Name;
+    EXPECT_EQ(Name, A->name());
+  }
+  EXPECT_EQ(makeAllocator("nope"), nullptr);
+}
+
+TEST(AllocatorRegistryTest, EveryAllocatorIsFeasibleOnAnSsaInstance) {
+  Rng R(65);
+  AllocationProblem P = ssaProblem(R, 4);
+  for (const std::string &Name : allAllocatorNames()) {
+    if (Name == "brute" && P.G.numVertices() > 24)
+      continue;
+    auto A = makeAllocator(Name);
+    AllocationResult Result = A->allocate(P);
+    EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated)) << Name;
+    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.G.totalWeight())
+        << Name;
+  }
+}
+
+TEST(AllocatorRegistryTest, HeuristicsNeverBeatOptimal) {
+  Rng R(66);
+  for (int Round = 0; Round < 10; ++Round) {
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(8));
+    AllocationProblem P = ssaProblem(R, Regs);
+    OptimalBnBAllocator BnB;
+    AllocationResult Optimal = BnB.allocate(P);
+    ASSERT_TRUE(Optimal.Proven);
+    for (const std::string &Name :
+         {std::string("gc"), std::string("nl"), std::string("bl"),
+          std::string("fpl"), std::string("bfpl"), std::string("lh"),
+          std::string("ls"), std::string("bls")}) {
+      AllocationResult Result = makeAllocator(Name)->allocate(P);
+      EXPECT_GE(Result.SpillCost, Optimal.SpillCost)
+          << Name << " round " << Round;
+    }
+  }
+}

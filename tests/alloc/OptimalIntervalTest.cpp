@@ -1,0 +1,66 @@
+//===- tests/alloc/OptimalIntervalTest.cpp - Flow-exact solver tests ------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/OptimalInterval.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+LiveInterval iv(ValueId V, unsigned Start, unsigned End, Weight Cost) {
+  LiveInterval I;
+  I.V = V;
+  I.Start = Start;
+  I.End = End;
+  I.Cost = Cost;
+  return I;
+}
+} // namespace
+
+TEST(OptimalIntervalTest, EmptyInput) {
+  EXPECT_TRUE(selectIntervalsOptimal({}, 4).empty());
+}
+
+TEST(OptimalIntervalTest, ZeroRegistersKeepNothing) {
+  std::vector<LiveInterval> Is{iv(0, 0, 5, 10)};
+  std::vector<char> Keep = selectIntervalsOptimal(Is, 0);
+  EXPECT_EQ(Keep, std::vector<char>{0});
+}
+
+TEST(OptimalIntervalTest, DisjointIntervalsAllKept) {
+  std::vector<LiveInterval> Is{iv(0, 0, 1, 5), iv(1, 2, 3, 5),
+                               iv(2, 4, 5, 5)};
+  std::vector<char> Keep = selectIntervalsOptimal(Is, 1);
+  EXPECT_EQ(Keep, (std::vector<char>{1, 1, 1}));
+}
+
+TEST(OptimalIntervalTest, OverlapForcesCheapestOut) {
+  // Three intervals all overlapping at [2,3], R = 2: drop the cheapest.
+  std::vector<LiveInterval> Is{iv(0, 0, 4, 10), iv(1, 1, 5, 2),
+                               iv(2, 2, 3, 7)};
+  std::vector<char> Keep = selectIntervalsOptimal(Is, 2);
+  EXPECT_EQ(Keep, (std::vector<char>{1, 0, 1}));
+}
+
+TEST(OptimalIntervalTest, PrefersTwoSmallOverOneLarge) {
+  // One long expensive interval vs two short ones that together outweigh
+  // it; R = 1 and all three share a point? No: the two short ones do not
+  // overlap each other, so keeping both (4+4=8) beats the long one (5).
+  std::vector<LiveInterval> Is{iv(0, 0, 9, 5), iv(1, 0, 3, 4),
+                               iv(2, 5, 9, 4)};
+  std::vector<char> Keep = selectIntervalsOptimal(Is, 1);
+  EXPECT_EQ(Keep, (std::vector<char>{0, 1, 1}));
+}
+
+TEST(OptimalIntervalTest, TouchingEndpointsOverlap) {
+  // End is inclusive: [0,2] and [2,4] DO overlap at point 2.
+  std::vector<LiveInterval> Is{iv(0, 0, 2, 5), iv(1, 2, 4, 6)};
+  std::vector<char> Keep = selectIntervalsOptimal(Is, 1);
+  EXPECT_EQ(Keep[0] + Keep[1], 1); // Only one fits.
+  EXPECT_EQ(Keep[1], 1);           // The heavier one.
+}

@@ -1,0 +1,78 @@
+//===- tests/core/AssignmentTest.cpp - Register assignment tests ----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Assignment.h"
+
+#include "core/Layered.h"
+#include "graph/Coloring.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(AssignmentTest, FeasibleChordalAllocationAlwaysColorsWithinR) {
+  // The decoupling theorem in action: whatever BFPL allocates can be
+  // assigned with R registers by the tree scan, with zero extra spill.
+  Rng R(21);
+  for (int Round = 0; Round < 25; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 10 + static_cast<unsigned>(R.nextBelow(50));
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(8));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    AllocationResult Alloc = layeredAllocate(P, LayeredOptions::bfpl());
+    Assignment Regs2 = assignRegisters(P, Alloc.Allocated);
+    EXPECT_TRUE(Regs2.Success) << "round " << Round;
+    EXPECT_LE(Regs2.RegistersUsed, Regs);
+    EXPECT_TRUE(isProperColoring(P.G, Regs2.RegisterOf));
+  }
+}
+
+TEST(AssignmentTest, SpilledVerticesGetNoRegister) {
+  Rng R(22);
+  ChordalGenOptions Opt;
+  Opt.NumVertices = 20;
+  Graph G = randomChordalGraph(R, Opt);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+  AllocationResult Alloc = layeredAllocate(P, LayeredOptions::bfpl());
+  Assignment A = assignRegisters(P, Alloc.Allocated);
+  for (VertexId V = 0; V < G.numVertices(); ++V) {
+    if (Alloc.Allocated[V]) {
+      EXPECT_NE(A.RegisterOf[V], Assignment::kNoRegister);
+    } else {
+      EXPECT_EQ(A.RegisterOf[V], Assignment::kNoRegister);
+    }
+  }
+}
+
+TEST(AssignmentTest, EmptyAllocationUsesNoRegisters) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+  Assignment A = assignRegisters(P, std::vector<char>(4, 0));
+  EXPECT_EQ(A.RegistersUsed, 0u);
+  EXPECT_TRUE(A.Success);
+}
+
+TEST(AssignmentTest, GeneralGraphsMayNeedMoreThanRAndReportIt) {
+  // C5 is 3-chromatic; keeping all of it with R = 2 must report failure.
+  Graph C5(5);
+  for (unsigned I = 0; I < 5; ++I) {
+    C5.addEdge(I, (I + 1) % 5);
+    C5.setWeight(I, 1);
+  }
+  std::vector<std::vector<VertexId>> Sets;
+  for (VertexId V = 0; V < 5; ++V)
+    Sets.push_back({V, (V + 1) % 5});
+  AllocationProblem P =
+      AllocationProblem::fromGeneralGraph(std::move(C5), 2, std::move(Sets));
+  Assignment A = assignRegisters(P, std::vector<char>(5, 1));
+  EXPECT_FALSE(A.Success);
+  EXPECT_GT(A.RegistersUsed, 2u);
+  EXPECT_TRUE(isProperColoring(P.G, A.RegisterOf));
+}

@@ -1,0 +1,224 @@
+//===- tests/core/LayeredTest.cpp - Layered-optimal allocator tests -------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Layered.h"
+
+#include "alloc/BruteForce.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace layra;
+
+namespace {
+/// The paper's Figure 5/6 graph (vertices a..g = 0..6, weights
+/// 1,2,2,5,2,6,1).
+Graph figure6Graph() {
+  Graph G;
+  G.addVertex(1, "a");
+  G.addVertex(2, "b");
+  G.addVertex(2, "c");
+  G.addVertex(5, "d");
+  G.addVertex(2, "e");
+  G.addVertex(6, "f");
+  G.addVertex(1, "g");
+  G.addEdge(0, 3);
+  G.addEdge(0, 5);
+  G.addEdge(3, 5);
+  G.addEdge(3, 4);
+  G.addEdge(4, 5);
+  G.addEdge(2, 3);
+  G.addEdge(2, 4);
+  G.addEdge(1, 2);
+  G.addEdge(1, 6);
+  G.addEdge(6, 2);
+  return G;
+}
+
+/// The paper's Figure 7 graph: six vertices a..f with maximal cliques
+/// {a,d,f}, {b,c,e}, {c,d,e}, {d,e,f}.  Weights chosen so NL allocates
+/// {a,b,d} and stops, while the fixed point can still add c or e.
+Graph figure7Graph() {
+  Graph G;
+  G.addVertex(4, "a"); // 0
+  G.addVertex(5, "b"); // 1
+  G.addVertex(1, "c"); // 2
+  G.addVertex(3, "d"); // 3
+  G.addVertex(1, "e"); // 4
+  G.addVertex(1, "f"); // 5
+  G.addEdge(0, 3);
+  G.addEdge(0, 5);
+  G.addEdge(3, 5);
+  G.addEdge(1, 2);
+  G.addEdge(1, 4);
+  G.addEdge(2, 4);
+  G.addEdge(2, 3);
+  G.addEdge(3, 4);
+  G.addEdge(4, 5);
+  return G;
+}
+} // namespace
+
+TEST(LayeredTest, SingleRegisterEqualsMaximumWeightedStableSet) {
+  // With R == 1 and step == 1 the layered allocator IS optimal: one layer,
+  // which is the maximum weighted stable set.
+  Rng R(42);
+  for (int Round = 0; Round < 20; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 4 + static_cast<unsigned>(R.nextBelow(16));
+    Graph G = randomChordalGraph(R, Opt);
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
+    AllocationResult Layered = layeredAllocate(P, LayeredOptions::nl());
+    BruteForceAllocator Brute;
+    AllocationResult Optimal = Brute.allocate(P);
+    EXPECT_EQ(Layered.SpillCost, Optimal.SpillCost) << "round " << Round;
+  }
+}
+
+TEST(LayeredTest, PaperFigure6BiasingSavesOne) {
+  // §4.1: on the Figure 5 graph with R = 2, the biased choice {c,f} leads
+  // to total spill 4 while the unlucky unbiased tie-break {b,f} leads to 5.
+  // (The paper's prose says 3 and 4; its own figure weights give 4 and 5 --
+  // the *delta* of 1 is what the example demonstrates.  See DESIGN.md.)
+  Graph G = figure6Graph();
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+
+  AllocationResult Biased = layeredAllocate(P, LayeredOptions::bl());
+  EXPECT_EQ(Biased.SpillCost, 4);
+  // Biased layer 1 must be {c, f}; the allocation then also takes {b, d}.
+  std::vector<VertexId> AllocatedVec = Biased.allocated();
+  std::set<VertexId> Allocated(AllocatedVec.begin(), AllocatedVec.end());
+  EXPECT_EQ(Allocated, (std::set<VertexId>{1, 2, 3, 5})); // b, c, d, f
+
+  AllocationResult Plain = layeredAllocate(P, LayeredOptions::nl());
+  EXPECT_GE(Plain.SpillCost, 4);
+  EXPECT_LE(Plain.SpillCost, 5);
+  EXPECT_LE(Biased.SpillCost, Plain.SpillCost);
+}
+
+TEST(LayeredTest, PaperFigure7FixedPointAllocatesMore) {
+  // §4.2: after the R = 2 layers {a,b} and {d}, vertex f sits in the full
+  // clique {a,d,f} but c and e are still allocatable; the fixed point takes
+  // one of them.
+  Graph G = figure7Graph();
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+
+  AllocationResult Plain = layeredAllocate(P, LayeredOptions::nl());
+  EXPECT_EQ(Plain.SpillCost, 3); // Spills c, e, f (1+1+1).
+  std::vector<VertexId> PlainVec = Plain.allocated();
+  std::set<VertexId> PlainSet(PlainVec.begin(), PlainVec.end());
+  EXPECT_EQ(PlainSet, (std::set<VertexId>{0, 1, 3})); // a, b, d
+
+  AllocationResult Fixed = layeredAllocate(P, LayeredOptions::fpl());
+  EXPECT_EQ(Fixed.SpillCost, 2); // One of c/e joins; f never can.
+  EXPECT_FALSE(Fixed.Allocated[5]) << "f cannot join: clique {a,d,f} full";
+  // FPL matches the true optimum here.
+  BruteForceAllocator Brute;
+  EXPECT_EQ(Fixed.SpillCost, Brute.allocate(P).SpillCost);
+}
+
+TEST(LayeredTest, AllVariantsAreFeasibleOnRandomChordalGraphs) {
+  Rng R(4242);
+  for (int Round = 0; Round < 20; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 10 + static_cast<unsigned>(R.nextBelow(60));
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(8));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    for (auto Opts : {LayeredOptions::nl(), LayeredOptions::bl(),
+                      LayeredOptions::fpl(), LayeredOptions::bfpl()}) {
+      AllocationResult Result = layeredAllocate(P, Opts);
+      EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated));
+      EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, G.totalWeight());
+    }
+  }
+}
+
+TEST(LayeredTest, FixedPointDominatesPlainLayered) {
+  // FPL only ever adds allocations on top of the NL layers, so its spill
+  // cost is never worse.
+  Rng R(777);
+  for (int Round = 0; Round < 30; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 8 + static_cast<unsigned>(R.nextBelow(50));
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(6));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    AllocationResult Plain = layeredAllocate(P, LayeredOptions::nl());
+    AllocationResult Fixed = layeredAllocate(P, LayeredOptions::fpl());
+    EXPECT_LE(Fixed.SpillCost, Plain.SpillCost) << "round " << Round;
+  }
+}
+
+TEST(LayeredTest, QuasiOptimalOnSmallChordalGraphs) {
+  // The paper's headline claim, in miniature: BFPL stays within a few
+  // percent of the optimum.  On 60 random small instances we allow 10%
+  // aggregate and check the aggregate gap.
+  Rng R(31337);
+  Weight TotalOpt = 0, TotalBfpl = 0;
+  for (int Round = 0; Round < 60; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 6 + static_cast<unsigned>(R.nextBelow(12));
+    Opt.MaxWeight = 30;
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(4));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    AllocationResult Bfpl = layeredAllocate(P, LayeredOptions::bfpl());
+    BruteForceAllocator Brute;
+    AllocationResult Optimal = Brute.allocate(P);
+    EXPECT_GE(Bfpl.SpillCost, Optimal.SpillCost);
+    TotalOpt += Optimal.SpillCost;
+    TotalBfpl += Bfpl.SpillCost;
+  }
+  ASSERT_GT(TotalOpt, 0);
+  double Ratio = static_cast<double>(TotalBfpl) / static_cast<double>(TotalOpt);
+  EXPECT_LT(Ratio, 1.10) << "BFPL lost quasi-optimality: " << Ratio;
+}
+
+TEST(LayeredTest, LargeRegisterCountAllocatesEverything) {
+  Rng R(55);
+  ChordalGenOptions Opt;
+  Opt.NumVertices = 40;
+  Graph G = randomChordalGraph(R, Opt);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 64);
+  for (auto Opts : {LayeredOptions::nl(), LayeredOptions::bfpl()}) {
+    AllocationResult Result = layeredAllocate(P, Opts);
+    EXPECT_EQ(Result.SpillCost, 0);
+  }
+}
+
+TEST(LayeredTest, StepTwoIsFeasibleAndNoWorseAggregate) {
+  // step == 2 layers are optimal for two registers at a time; per §2.3 the
+  // result should stay close to (and never beat) the optimum but must
+  // always be feasible.
+  Rng R(808);
+  for (int Round = 0; Round < 15; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 8 + static_cast<unsigned>(R.nextBelow(20));
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = 2 + static_cast<unsigned>(R.nextBelow(4));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    LayeredOptions Step2;
+    Step2.Step = 2;
+    AllocationResult Result = layeredAllocate(P, Step2);
+    EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated));
+  }
+}
+
+TEST(LayeredTest, ZeroWeightVerticesSpillForFree) {
+  Graph G(3);
+  G.setWeight(0, 0);
+  G.setWeight(1, 0);
+  G.setWeight(2, 0);
+  G.addEdge(0, 1);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
+  AllocationResult Result = layeredAllocate(P, LayeredOptions::bfpl());
+  EXPECT_EQ(Result.SpillCost, 0);
+  EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated));
+}

@@ -1,0 +1,133 @@
+//===- tests/core/PropertySweepTest.cpp - Parameterized invariants --------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized property sweeps over (seed, register count) grids: the
+/// invariants every allocator must satisfy on every instance, exercised
+/// across a matrix of random chordal instances.
+///
+//===----------------------------------------------------------------------===//
+
+#include "alloc/Allocator.h"
+#include "alloc/OptimalBnB.h"
+#include "core/Assignment.h"
+#include "core/Layered.h"
+#include "core/LayeredHeuristic.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+/// (seed, register count) sweep parameter.
+struct SweepParam {
+  uint64_t Seed;
+  unsigned Regs;
+
+  friend std::ostream &operator<<(std::ostream &Os, const SweepParam &P) {
+    return Os << "seed" << P.Seed << "_R" << P.Regs;
+  }
+};
+
+class ChordalSweep : public ::testing::TestWithParam<SweepParam> {
+protected:
+  AllocationProblem makeInstance() const {
+    Rng R(GetParam().Seed);
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 20 + static_cast<unsigned>(R.nextBelow(60));
+    Opt.TreeSize = 20 + static_cast<unsigned>(R.nextBelow(40));
+    Opt.MaxWeight = 50;
+    Graph G = randomChordalGraph(R, Opt);
+    return AllocationProblem::fromChordalGraph(std::move(G),
+                                               GetParam().Regs);
+  }
+};
+} // namespace
+
+TEST_P(ChordalSweep, EveryLayeredVariantIsFeasible) {
+  AllocationProblem P = makeInstance();
+  for (auto Opts : {LayeredOptions::nl(), LayeredOptions::bl(),
+                    LayeredOptions::fpl(), LayeredOptions::bfpl()}) {
+    AllocationResult Result = layeredAllocate(P, Opts);
+    EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated));
+    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.G.totalWeight());
+  }
+}
+
+TEST_P(ChordalSweep, FixedPointNeverHurtsAndOptimalNeverLoses) {
+  AllocationProblem P = makeInstance();
+  Weight Nl = layeredAllocate(P, LayeredOptions::nl()).SpillCost;
+  Weight Fpl = layeredAllocate(P, LayeredOptions::fpl()).SpillCost;
+  Weight Bl = layeredAllocate(P, LayeredOptions::bl()).SpillCost;
+  Weight Bfpl = layeredAllocate(P, LayeredOptions::bfpl()).SpillCost;
+  EXPECT_LE(Fpl, Nl);
+  EXPECT_LE(Bfpl, Bl);
+  OptimalBnBAllocator BnB;
+  AllocationResult Optimal = BnB.allocate(P);
+  if (Optimal.Proven) {
+    EXPECT_LE(Optimal.SpillCost, Nl);
+    EXPECT_LE(Optimal.SpillCost, Bfpl);
+    EXPECT_LE(Optimal.SpillCost,
+              layeredHeuristicAllocate(P).Allocation.SpillCost);
+    EXPECT_LE(Optimal.SpillCost, makeAllocator("gc")->allocate(P).SpillCost);
+  }
+}
+
+TEST_P(ChordalSweep, AssignmentSucceedsForFeasibleAllocations) {
+  AllocationProblem P = makeInstance();
+  AllocationResult Result = layeredAllocate(P, LayeredOptions::bfpl());
+  Assignment A = assignRegisters(P, Result.Allocated);
+  EXPECT_TRUE(A.Success);
+  EXPECT_LE(A.RegistersUsed, P.NumRegisters);
+}
+
+TEST_P(ChordalSweep, LayeredIsDeterministic) {
+  AllocationProblem P = makeInstance();
+  AllocationResult A = layeredAllocate(P, LayeredOptions::bfpl());
+  AllocationResult B = layeredAllocate(P, LayeredOptions::bfpl());
+  EXPECT_EQ(A.Allocated, B.Allocated);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedByRegisterGrid, ChordalSweep,
+    ::testing::ValuesIn([] {
+      std::vector<SweepParam> Params;
+      for (uint64_t Seed : {11u, 22u, 33u, 44u, 55u, 66u})
+        for (unsigned Regs : {1u, 2u, 3u, 5u, 8u, 13u})
+          Params.push_back({Seed, Regs});
+      return Params;
+    }()),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      return "seed" + std::to_string(Info.param.Seed) + "_R" +
+             std::to_string(Info.param.Regs);
+    });
+
+namespace {
+/// Step parameter sweep: the step-k layer primitive must stay feasible and
+/// monotonically use up register capacity.
+class StepSweep : public ::testing::TestWithParam<unsigned> {};
+} // namespace
+
+TEST_P(StepSweep, SteppedLayeredIsFeasibleAcrossSeeds) {
+  unsigned Step = GetParam();
+  Rng R(1000 + Step);
+  for (int Round = 0; Round < 8; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 15 + static_cast<unsigned>(R.nextBelow(25));
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Regs = Step + static_cast<unsigned>(R.nextBelow(6));
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Regs);
+    LayeredOptions Opts;
+    Opts.Step = Step;
+    AllocationResult Result = layeredAllocate(P, Opts);
+    EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated))
+        << "step=" << Step << " round=" << Round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, StepSweep, ::testing::Values(1u, 2u, 3u));

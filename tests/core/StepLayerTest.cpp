@@ -1,0 +1,114 @@
+//===- tests/core/StepLayerTest.cpp - Clique-tree DP tests ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/StepLayer.h"
+
+#include "alloc/BruteForce.h"
+#include "graph/Generators.h"
+#include "graph/StableSet.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+std::vector<Weight> rawWeights(const Graph &G) {
+  std::vector<Weight> W(G.numVertices());
+  for (VertexId V = 0; V < G.numVertices(); ++V)
+    W[V] = G.weight(V);
+  return W;
+}
+} // namespace
+
+TEST(StepLayerTest, BoundOneMatchesFranksAlgorithm) {
+  Rng R(1001);
+  for (int Round = 0; Round < 40; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 3 + static_cast<unsigned>(R.nextBelow(25));
+    Graph G = randomChordalGraph(R, Opt);
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
+    std::vector<char> Mask(G.numVertices(), 1);
+    std::vector<Weight> W = rawWeights(G);
+    std::vector<VertexId> Layer = optimalBoundedLayer(P, Mask, W, 1);
+    StableSetResult Frank =
+        maximumWeightedStableSetChordal(G, P.Peo, W);
+    EXPECT_EQ(G.weightOf(Layer), Frank.TotalWeight) << "round " << Round;
+    EXPECT_TRUE(G.isStableSet(Layer));
+  }
+}
+
+TEST(StepLayerTest, MatchesBruteForceForBoundTwoAndThree) {
+  // The DP result for bound k is the optimal allocation with k registers
+  // (paper §2.2 / Bouchez et al.): certify against exhaustive search.
+  Rng R(2002);
+  for (int Round = 0; Round < 40; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 4 + static_cast<unsigned>(R.nextBelow(14));
+    Opt.MaxWeight = 25;
+    Graph G = randomChordalGraph(R, Opt);
+    unsigned Bound = 2 + static_cast<unsigned>(R.nextBelow(2)); // 2 or 3.
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, Bound);
+    std::vector<char> Mask(G.numVertices(), 1);
+    std::vector<VertexId> Layer =
+        optimalBoundedLayer(P, Mask, rawWeights(G), Bound);
+
+    BruteForceAllocator Brute;
+    AllocationResult Optimal = Brute.allocate(P);
+    EXPECT_EQ(G.weightOf(Layer), Optimal.AllocatedWeight)
+        << "round " << Round << " bound " << Bound;
+    // Feasibility of the DP's own set.
+    AllocationResult AsResult = AllocationResult::fromAllocatedSet(G, Layer);
+    EXPECT_TRUE(isFeasibleAllocation(P, AsResult.Allocated));
+  }
+}
+
+TEST(StepLayerTest, MaskExcludesVertices) {
+  // Triangle with one masked vertex: the layer may only use the others.
+  Graph G(3);
+  G.setWeight(0, 10);
+  G.setWeight(1, 5);
+  G.setWeight(2, 3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(0, 2);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
+  std::vector<char> Mask{0, 1, 1}; // Vertex 0 not a candidate.
+  std::vector<VertexId> Layer =
+      optimalBoundedLayer(P, Mask, {10, 5, 3}, 1);
+  EXPECT_EQ(Layer, std::vector<VertexId>{1});
+}
+
+TEST(StepLayerTest, DisconnectedComponentsAllContribute) {
+  // Two disjoint edges: bound 1 takes the heavier endpoint of each.
+  Graph G(4);
+  G.setWeight(0, 2);
+  G.setWeight(1, 9);
+  G.setWeight(2, 7);
+  G.setWeight(3, 1);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
+  std::vector<char> Mask(4, 1);
+  std::vector<VertexId> Layer =
+      optimalBoundedLayer(P, Mask, {2, 9, 7, 1}, 1);
+  EXPECT_EQ(Layer, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(StepLayerTest, BoundLargerThanCliquesTakesEverything) {
+  Rng R(3003);
+  ChordalGenOptions Opt;
+  Opt.NumVertices = 15;
+  Opt.SubtreeSpread = 0.1; // Sparse: small cliques.
+  Graph G = randomChordalGraph(R, Opt);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 3);
+  if (P.maxLive() <= 3) {
+    std::vector<char> Mask(G.numVertices(), 1);
+    std::vector<VertexId> Layer =
+        optimalBoundedLayer(P, Mask, rawWeights(G), 3);
+    EXPECT_EQ(Layer.size(), G.numVertices());
+  }
+}

@@ -1,0 +1,88 @@
+//===- tests/flow/MinCostFlowTest.cpp - Min-cost flow tests ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "flow/MinCostFlow.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(MinCostFlowTest, SingleArc) {
+  MinCostFlow Net(2);
+  Net.addArc(0, 1, 5, 3);
+  auto R = Net.run(0, 1);
+  EXPECT_EQ(R.Flow, 5);
+  EXPECT_EQ(R.TotalCost, 15);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperParallelPath) {
+  // Two parallel 0->1 arcs: cheap cap 2, expensive cap 10.
+  MinCostFlow Net(2);
+  unsigned Cheap = Net.addArc(0, 1, 2, 1);
+  unsigned Expensive = Net.addArc(0, 1, 10, 5);
+  auto R = Net.run(0, 1, 4);
+  EXPECT_EQ(R.Flow, 4);
+  EXPECT_EQ(R.TotalCost, 2 * 1 + 2 * 5);
+  EXPECT_EQ(Net.flowOn(Cheap), 2);
+  EXPECT_EQ(Net.flowOn(Expensive), 2);
+}
+
+TEST(MinCostFlowTest, RespectsMaxFlowCap) {
+  MinCostFlow Net(2);
+  Net.addArc(0, 1, 100, 1);
+  auto R = Net.run(0, 1, 7);
+  EXPECT_EQ(R.Flow, 7);
+  EXPECT_EQ(R.TotalCost, 7);
+}
+
+TEST(MinCostFlowTest, DisconnectedSinkGivesZeroFlow) {
+  MinCostFlow Net(3);
+  Net.addArc(0, 1, 4, 1);
+  auto R = Net.run(0, 2);
+  EXPECT_EQ(R.Flow, 0);
+  EXPECT_EQ(R.TotalCost, 0);
+}
+
+TEST(MinCostFlowTest, BottleneckLimitsFlow) {
+  // 0 -> 1 -> 2 with middle capacity 3.
+  MinCostFlow Net(3);
+  Net.addArc(0, 1, 10, 0);
+  Net.addArc(1, 2, 3, 2);
+  auto R = Net.run(0, 2);
+  EXPECT_EQ(R.Flow, 3);
+  EXPECT_EQ(R.TotalCost, 6);
+}
+
+TEST(MinCostFlowTest, NegativeCostArcsViaBellmanFordPotentials) {
+  // Diamond where the negative-cost detour must be taken first.
+  //   0 -> 1 (cap 1, cost -10), 1 -> 3 (cap 1, cost 1)
+  //   0 -> 2 (cap 2, cost 2),   2 -> 3 (cap 2, cost 2)
+  MinCostFlow Net(4);
+  unsigned Detour = Net.addArc(0, 1, 1, -10);
+  Net.addArc(1, 3, 1, 1);
+  Net.addArc(0, 2, 2, 2);
+  Net.addArc(2, 3, 2, 2);
+  auto R = Net.run(0, 3, 2);
+  EXPECT_EQ(R.Flow, 2);
+  EXPECT_EQ(R.TotalCost, (-10 + 1) + (2 + 2));
+  EXPECT_EQ(Net.flowOn(Detour), 1);
+}
+
+TEST(MinCostFlowTest, ChooseCheapestSubsetOfNegativeArcs) {
+  // The interval-selection pattern: chain with cap 1 and two bypasses
+  // competing for it; only the more negative one should be used.
+  MinCostFlow Net(3);
+  Net.addArc(0, 1, 1, 0);
+  Net.addArc(1, 2, 1, 0);
+  unsigned Weak = Net.addArc(0, 2, 1, -3);
+  unsigned Strong = Net.addArc(0, 2, 1, -8);
+  auto R = Net.run(0, 2, 1);
+  EXPECT_EQ(R.Flow, 1);
+  EXPECT_EQ(R.TotalCost, -8);
+  EXPECT_EQ(Net.flowOn(Strong), 1);
+  EXPECT_EQ(Net.flowOn(Weak), 0);
+}

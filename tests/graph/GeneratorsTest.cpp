@@ -1,0 +1,79 @@
+//===- tests/graph/GeneratorsTest.cpp - Graph generator tests -------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Chordal.h"
+#include "graph/Generators.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(GeneratorsTest, ChordalByConstruction) {
+  Rng R(31);
+  for (int Round = 0; Round < 40; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 1 + static_cast<unsigned>(R.nextBelow(80));
+    Opt.TreeSize = 1 + static_cast<unsigned>(R.nextBelow(60));
+    Opt.SubtreeSpread = 0.05 + 0.5 * R.nextDouble();
+    Graph G = randomChordalGraph(R, Opt);
+    EXPECT_EQ(G.numVertices(), Opt.NumVertices);
+    EXPECT_TRUE(isChordal(G)) << "round " << Round;
+  }
+}
+
+TEST(GeneratorsTest, WeightsWithinBounds) {
+  Rng R(32);
+  ChordalGenOptions Opt;
+  Opt.NumVertices = 60;
+  Opt.MaxWeight = 17;
+  Graph G = randomChordalGraph(R, Opt);
+  for (VertexId V = 0; V < G.numVertices(); ++V) {
+    EXPECT_GE(G.weight(V), 1);
+    EXPECT_LE(G.weight(V), 17);
+  }
+}
+
+TEST(GeneratorsTest, DeterministicGivenSeed) {
+  ChordalGenOptions Opt;
+  Opt.NumVertices = 25;
+  Rng A(777), B(777);
+  Graph G1 = randomChordalGraph(A, Opt);
+  Graph G2 = randomChordalGraph(B, Opt);
+  ASSERT_EQ(G1.numVertices(), G2.numVertices());
+  EXPECT_EQ(G1.numEdges(), G2.numEdges());
+  for (VertexId V = 0; V < G1.numVertices(); ++V) {
+    EXPECT_EQ(G1.weight(V), G2.weight(V));
+    EXPECT_EQ(G1.neighbors(V), G2.neighbors(V));
+  }
+}
+
+TEST(GeneratorsTest, ErdosRenyiDensityTracksProbability) {
+  Rng R(33);
+  unsigned N = 60;
+  Graph Sparse = randomGraph(R, N, 0.05, 10);
+  Graph Dense = randomGraph(R, N, 0.5, 10);
+  size_t MaxEdges = static_cast<size_t>(N) * (N - 1) / 2;
+  EXPECT_LT(Sparse.numEdges(), MaxEdges / 8);
+  EXPECT_GT(Dense.numEdges(), MaxEdges / 3);
+}
+
+TEST(GeneratorsTest, DenseRandomGraphsAreUsuallyNonChordal) {
+  Rng R(34);
+  unsigned NonChordal = 0;
+  for (int Round = 0; Round < 10; ++Round)
+    NonChordal += isChordal(randomGraph(R, 20, 0.3, 10)) ? 0 : 1;
+  EXPECT_GE(NonChordal, 8u);
+}
+
+TEST(GeneratorsTest, IntervalGraphEdgesMatchOverlaps) {
+  // Structural spot check: interval graphs are chordal and edge count is
+  // plausible; full chordality is asserted in ChordalTest.
+  Rng R(35);
+  Graph G = randomIntervalGraph(R, 30, 60, 20, 9);
+  EXPECT_EQ(G.numVertices(), 30u);
+  EXPECT_TRUE(isChordal(G));
+}

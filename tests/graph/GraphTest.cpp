@@ -1,0 +1,98 @@
+//===- tests/graph/GraphTest.cpp - Graph unit tests -----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(GraphTest, AddVertexAssignsDenseIds) {
+  Graph G;
+  EXPECT_EQ(G.addVertex(1), 0u);
+  EXPECT_EQ(G.addVertex(2), 1u);
+  EXPECT_EQ(G.numVertices(), 2u);
+  EXPECT_EQ(G.weight(0), 1);
+  EXPECT_EQ(G.weight(1), 2);
+}
+
+TEST(GraphTest, AddEdgeIsIdempotent) {
+  Graph G(3);
+  EXPECT_TRUE(G.addEdge(0, 1));
+  EXPECT_FALSE(G.addEdge(1, 0)); // Same undirected edge.
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_FALSE(G.hasEdge(0, 2));
+}
+
+TEST(GraphTest, DegreeTracksNeighbors) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(0, 3);
+  EXPECT_EQ(G.degree(0), 3u);
+  EXPECT_EQ(G.degree(1), 1u);
+}
+
+TEST(GraphTest, TotalAndSubsetWeight) {
+  Graph G;
+  G.addVertex(5);
+  G.addVertex(7);
+  G.addVertex(11);
+  EXPECT_EQ(G.totalWeight(), 23);
+  EXPECT_EQ(G.weightOf({0, 2}), 16);
+}
+
+TEST(GraphTest, StableSetDetection) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  EXPECT_TRUE(G.isStableSet({0, 2}));
+  EXPECT_TRUE(G.isStableSet({1, 3}));
+  EXPECT_FALSE(G.isStableSet({0, 1}));
+  EXPECT_TRUE(G.isStableSet({}));
+}
+
+TEST(GraphTest, InducedSubgraphKeepsWeightsAndEdges) {
+  Graph G;
+  for (Weight W : {1, 2, 3, 4})
+    G.addVertex(W);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+
+  std::vector<VertexId> Map;
+  Graph Sub = G.inducedSubgraph({1, 2, 3}, &Map);
+  EXPECT_EQ(Sub.numVertices(), 3u);
+  EXPECT_EQ(Sub.numEdges(), 2u); // 1-2 and 2-3 survive; 0-1 dropped.
+  EXPECT_EQ(Map[0], ~0u);
+  EXPECT_EQ(Sub.weight(Map[1]), 2);
+  EXPECT_TRUE(Sub.hasEdge(Map[1], Map[2]));
+  EXPECT_FALSE(Sub.hasEdge(Map[1], Map[3]));
+}
+
+TEST(GraphTest, NamesRoundTrip) {
+  Graph G;
+  G.addVertex(1, "x");
+  G.addVertex(2);
+  EXPECT_EQ(G.name(0), "x");
+  EXPECT_EQ(G.name(1), "");
+  G.setName(1, "y");
+  EXPECT_EQ(G.name(1), "y");
+}
+
+TEST(GraphTest, ToDotMentionsVerticesAndEdges) {
+  Graph G;
+  G.addVertex(1, "a");
+  G.addVertex(2, "b");
+  G.addEdge(0, 1);
+  std::string Dot = G.toDot({0});
+  EXPECT_NE(Dot.find("a:1"), std::string::npos);
+  EXPECT_NE(Dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(Dot.find("filled"), std::string::npos);
+}

@@ -1,0 +1,67 @@
+//===- tests/ir/IrTestHelpers.h - Hand-built IR helpers ---------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_TESTS_IR_IRTESTHELPERS_H
+#define LAYRA_TESTS_IR_IRTESTHELPERS_H
+
+#include "ir/Program.h"
+
+#include <vector>
+
+namespace layra {
+namespace irtest {
+
+/// Appends `Def = op Uses...` to block \p B.
+inline void op(Function &F, BlockId B, ValueId Def,
+               std::vector<ValueId> Uses = {}) {
+  Instruction I;
+  I.Op = Opcode::Op;
+  I.Defs.push_back(Def);
+  I.Uses = std::move(Uses);
+  F.block(B).Instrs.push_back(std::move(I));
+}
+
+/// Appends `Def = copy Src`.
+inline void copy(Function &F, BlockId B, ValueId Def, ValueId Src) {
+  Instruction I;
+  I.Op = Opcode::Copy;
+  I.Defs.push_back(Def);
+  I.Uses.push_back(Src);
+  F.block(B).Instrs.push_back(std::move(I));
+}
+
+/// Appends a phi defining \p Def; operand count must equal the block's
+/// predecessor count at the time of the call.
+inline void phi(Function &F, BlockId B, ValueId Def,
+                std::vector<ValueId> Incoming) {
+  Instruction I;
+  I.Op = Opcode::Phi;
+  I.Defs.push_back(Def);
+  I.Uses = std::move(Incoming);
+  F.block(B).Instrs.push_back(std::move(I));
+}
+
+/// Appends a branch terminator using \p Cond.
+inline void br(Function &F, BlockId B, ValueId Cond) {
+  Instruction I;
+  I.Op = Opcode::Branch;
+  I.Uses.push_back(Cond);
+  F.block(B).Instrs.push_back(std::move(I));
+}
+
+/// Appends a return terminator using \p Values.
+inline void ret(Function &F, BlockId B, std::vector<ValueId> Values = {}) {
+  Instruction I;
+  I.Op = Opcode::Return;
+  I.Uses = std::move(Values);
+  F.block(B).Instrs.push_back(std::move(I));
+}
+
+} // namespace irtest
+} // namespace layra
+
+#endif // LAYRA_TESTS_IR_IRTESTHELPERS_H

@@ -1,0 +1,130 @@
+//===- tests/ir/LivenessTest.cpp - Liveness analysis tests ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Liveness.h"
+
+#include "IrTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+using namespace layra::irtest;
+
+TEST(LivenessTest, StraightLineMaxLive) {
+  // a = op; b = op; c = op a, b; ret c      -- a and b overlap.
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), Bv = F.makeValue("b"), C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, Bv);
+  op(F, B, C, {A, Bv});
+  ret(F, B, {C});
+
+  Liveness Live(F);
+  EXPECT_EQ(Live.liveIn(B).count(), 0u);
+  EXPECT_EQ(Live.liveOut(B).count(), 0u);
+  EXPECT_EQ(Live.maxLive(F), 2u);
+  EXPECT_EQ(Live.pressureAfter(F, B, 0), 1u); // Only a.
+  EXPECT_EQ(Live.pressureAfter(F, B, 1), 2u); // a and b.
+  EXPECT_EQ(Live.pressureAfter(F, B, 2), 1u); // c.
+}
+
+TEST(LivenessTest, ValueLiveAcrossBlocks) {
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Next = F.makeBlock();
+  ValueId A = F.makeValue("a"), C = F.makeValue("c");
+  op(F, Entry, A);
+  br(F, Entry, A);
+  op(F, Next, C, {A});
+  ret(F, Next, {C});
+  F.addEdge(Entry, Next);
+
+  Liveness Live(F);
+  EXPECT_TRUE(Live.liveOut(Entry).test(A));
+  EXPECT_TRUE(Live.liveIn(Next).test(A));
+  EXPECT_FALSE(Live.liveOut(Next).test(A));
+}
+
+TEST(LivenessTest, LoopCarriedValueLiveThroughLoop) {
+  // i is defined before the loop, used inside: live throughout the loop.
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Header = F.makeBlock(),
+          Exit = F.makeBlock();
+  ValueId I = F.makeValue("i"), T = F.makeValue("t");
+  op(F, Entry, I);
+  br(F, Entry, I);
+  op(F, Header, T, {I});
+  br(F, Header, T);
+  ret(F, Exit, {I});
+  F.addEdge(Entry, Header);
+  F.addEdge(Header, Header); // Self-loop back edge.
+  F.addEdge(Header, Exit);
+
+  Liveness Live(F);
+  EXPECT_TRUE(Live.liveIn(Header).test(I));
+  EXPECT_TRUE(Live.liveOut(Header).test(I)); // Needed by next iteration/exit.
+}
+
+TEST(LivenessTest, PhiUsesAreLiveOutOfPredsNotLiveInOfBlock) {
+  // entry -> {left, right} -> merge with phi m = (l from left, r from right)
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Left = F.makeBlock(),
+          Right = F.makeBlock(), Merge = F.makeBlock();
+  ValueId C = F.makeValue("c"), L = F.makeValue("l"), R = F.makeValue("r"),
+          M = F.makeValue("m");
+  op(F, Entry, C);
+  br(F, Entry, C);
+  op(F, Left, L);
+  br(F, Left, L);
+  op(F, Right, R);
+  br(F, Right, R);
+  F.addEdge(Entry, Left);
+  F.addEdge(Entry, Right);
+  F.addEdge(Left, Merge);
+  F.addEdge(Right, Merge);
+  phi(F, Merge, M, {L, R});
+  ret(F, Merge, {M});
+  ASSERT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+
+  Liveness Live(F);
+  EXPECT_TRUE(Live.liveOut(Left).test(L));
+  EXPECT_TRUE(Live.liveOut(Right).test(R));
+  // Phi operands are *not* live-in of the merge block...
+  EXPECT_FALSE(Live.liveIn(Merge).test(L));
+  EXPECT_FALSE(Live.liveIn(Merge).test(R));
+  // ...but the phi def is.
+  EXPECT_TRUE(Live.liveIn(Merge).test(M));
+  // L does not leak into the right arm and vice versa.
+  EXPECT_FALSE(Live.liveOut(Right).test(L));
+  EXPECT_FALSE(Live.liveOut(Left).test(R));
+}
+
+TEST(LivenessTest, DeadDefCountsAtItsDefPoint) {
+  // d = op (never used): MaxLive must still count it at its def point.
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId D = F.makeValue("d"), E = F.makeValue("e");
+  op(F, B, D);
+  op(F, B, E);
+  ret(F, B, {E});
+
+  Liveness Live(F);
+  EXPECT_EQ(Live.maxLive(F), 1u); // d dead at once, e live after def.
+}
+
+TEST(LivenessTest, MaxLiveCountsOverlappingDeadDefs) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), D = F.makeValue("d");
+  op(F, B, A);
+  op(F, B, D); // d dead, but a is live across this point.
+  op(F, B, F.makeValue("u"), {A});
+  ret(F, B);
+  Liveness Live(F);
+  // At d's def point both a (live) and d (dead def) occupy registers.
+  EXPECT_EQ(Live.maxLive(F), 2u);
+}

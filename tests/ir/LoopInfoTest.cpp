@@ -1,0 +1,125 @@
+//===- tests/ir/LoopInfoTest.cpp - Loop detection tests -------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopInfo.h"
+
+#include "IrTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+using namespace layra::irtest;
+
+TEST(LoopInfoTest, StraightLineHasNoLoops) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId V = F.makeValue();
+  op(F, B, V);
+  ret(F, B, {V});
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  EXPECT_TRUE(Loops.loops().empty());
+  EXPECT_EQ(Loops.depth(B), 0u);
+}
+
+TEST(LoopInfoTest, SimpleLoopDetected) {
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Body = F.makeBlock(), Exit = F.makeBlock();
+  ValueId V = F.makeValue();
+  op(F, Entry, V);
+  br(F, Entry, V);
+  br(F, Body, V);
+  ret(F, Exit, {V});
+  F.addEdge(Entry, Body);
+  F.addEdge(Body, Body); // Self loop.
+  F.addEdge(Body, Exit);
+
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  ASSERT_EQ(Loops.loops().size(), 1u);
+  EXPECT_EQ(Loops.loops()[0].Header, Body);
+  EXPECT_EQ(Loops.depth(Body), 1u);
+  EXPECT_EQ(Loops.depth(Entry), 0u);
+  EXPECT_EQ(Loops.depth(Exit), 0u);
+}
+
+TEST(LoopInfoTest, NestedLoopsAccumulateDepth) {
+  // entry -> outer; outer -> inner; inner -> inner (self);
+  // inner -> outerLatch; outerLatch -> outer (back); outerLatch -> exit.
+  Function F("f");
+  BlockId Entry = F.makeBlock("entry"), Outer = F.makeBlock("outer"),
+          Inner = F.makeBlock("inner"), Latch = F.makeBlock("latch"),
+          Exit = F.makeBlock("exit");
+  ValueId V = F.makeValue();
+  op(F, Entry, V);
+  br(F, Entry, V);
+  br(F, Outer, V);
+  br(F, Inner, V);
+  br(F, Latch, V);
+  ret(F, Exit, {V});
+  F.addEdge(Entry, Outer);
+  F.addEdge(Outer, Inner);
+  F.addEdge(Inner, Inner);
+  F.addEdge(Inner, Latch);
+  F.addEdge(Latch, Outer);
+  F.addEdge(Latch, Exit);
+
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  EXPECT_EQ(Loops.loops().size(), 2u);
+  EXPECT_EQ(Loops.depth(Inner), 2u); // In both loops.
+  EXPECT_EQ(Loops.depth(Outer), 1u);
+  EXPECT_EQ(Loops.depth(Latch), 1u);
+  EXPECT_EQ(Loops.depth(Exit), 0u);
+
+  LoopInfo(F, Dom).annotate(F, 10);
+  EXPECT_EQ(F.block(Inner).Frequency, 100);
+  EXPECT_EQ(F.block(Outer).Frequency, 10);
+  EXPECT_EQ(F.block(Exit).Frequency, 1);
+}
+
+TEST(LoopInfoTest, FrequencySaturatesAtMaxDepth) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId V = F.makeValue();
+  op(F, B, V);
+  ret(F, B, {V});
+  F.block(B).LoopDepth = 0;
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  Loops.annotate(F, 10, /*MaxDepth=*/2);
+  EXPECT_EQ(F.block(B).Frequency, 1);
+}
+
+TEST(LoopInfoTest, MultipleLatchesMergeIntoOneLoop) {
+  // Two back edges to the same header form one loop (Chaitin-style
+  // natural-loop merging).
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Header = F.makeBlock(),
+          LatchA = F.makeBlock(), LatchB = F.makeBlock(),
+          Exit = F.makeBlock();
+  ValueId V = F.makeValue();
+  op(F, Entry, V);
+  br(F, Entry, V);
+  br(F, Header, V);
+  br(F, LatchA, V);
+  br(F, LatchB, V);
+  ret(F, Exit, {V});
+  F.addEdge(Entry, Header);
+  F.addEdge(Header, LatchA);
+  F.addEdge(Header, LatchB);
+  F.addEdge(LatchA, Header);
+  F.addEdge(LatchB, Header);
+  F.addEdge(LatchA, Exit);
+
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  ASSERT_EQ(Loops.loops().size(), 1u);
+  EXPECT_EQ(Loops.depth(Header), 1u);
+  EXPECT_EQ(Loops.depth(LatchA), 1u);
+  EXPECT_EQ(Loops.depth(LatchB), 1u);
+}

@@ -1,0 +1,272 @@
+//===- tests/ir/OperandFoldingTest.cpp - CISC folding tests ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/OperandFolding.h"
+
+#include "IrTestHelpers.h"
+#include "ir/Dominators.h"
+#include "ir/Liveness.h"
+#include "ir/LoopInfo.h"
+#include "ir/ProgramGen.h"
+#include "ir/SpillRewriter.h"
+#include "ir/SsaBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+using namespace layra::irtest;
+
+namespace {
+/// Counts instructions with the given opcode.
+unsigned countOpcode(const Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (BlockId B = 0; B < F.numBlocks(); ++B)
+    for (const Instruction &I : F.block(B).Instrs)
+      N += I.Op == Op ? 1 : 0;
+  return N;
+}
+
+/// Builds `a = op; store a; t = load; c = op t; ret c` via the rewriter.
+Function spilledStraightLine(ValueId &A, ValueId &C) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  A = F.makeValue("a");
+  C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, C, {A});
+  ret(F, B, {C});
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = 1;
+  rewriteSpills(F, Spilled);
+  return F;
+}
+} // namespace
+
+TEST(OperandFoldingTest, FoldsSingleUseReload) {
+  ValueId A, C;
+  Function F = spilledStraightLine(A, C);
+  ASSERT_EQ(countOpcode(F, Opcode::Load), 1u);
+
+  OperandFoldStats Stats = foldMemoryOperands(F, X86_64);
+  EXPECT_EQ(Stats.LoadsFolded, 1u);
+  EXPECT_EQ(Stats.CostSaved, X86_64.LoadCost - X86_64.MemOperandCost);
+  EXPECT_EQ(countOpcode(F, Opcode::Load), 0u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+
+  // The consumer reads the slot directly and no longer reads the temp.
+  const Instruction &Consumer = F.block(0).Instrs[2];
+  EXPECT_EQ(Consumer.Op, Opcode::Op);
+  EXPECT_TRUE(Consumer.Uses.empty());
+  ASSERT_EQ(Consumer.MemUseSlots.size(), 1u);
+  EXPECT_EQ(Consumer.MemUseSlots[0], 0);
+}
+
+TEST(OperandFoldingTest, RiscTargetFoldsNothing) {
+  ValueId A, C;
+  Function F = spilledStraightLine(A, C);
+  OperandFoldStats Stats = foldMemoryOperands(F, ST231);
+  EXPECT_EQ(Stats.LoadsFolded, 0u);
+  EXPECT_EQ(Stats.CostSaved, 0);
+  EXPECT_EQ(countOpcode(F, Opcode::Load), 1u);
+}
+
+TEST(OperandFoldingTest, RespectsOneMemOperandLimit) {
+  // Two spilled operands feeding one instruction: x86 folds exactly one.
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), B2 = F.makeValue("b"), C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, B2);
+  op(F, B, C, {A, B2});
+  ret(F, B, {C});
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = Spilled[B2] = 1;
+  rewriteSpills(F, Spilled);
+  ASSERT_EQ(countOpcode(F, Opcode::Load), 2u);
+
+  OperandFoldStats Stats = foldMemoryOperands(F, X86_64);
+  EXPECT_EQ(Stats.LoadsFolded, 1u);
+  EXPECT_EQ(countOpcode(F, Opcode::Load), 1u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, WiderBudgetFoldsBoth) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), B2 = F.makeValue("b"), C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, B2);
+  op(F, B, C, {A, B2});
+  ret(F, B, {C});
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = Spilled[B2] = 1;
+  rewriteSpills(F, Spilled);
+
+  TargetDesc TwoOps = X86_64;
+  TwoOps.MaxMemOperands = 2;
+  OperandFoldStats Stats = foldMemoryOperands(F, TwoOps);
+  EXPECT_EQ(Stats.LoadsFolded, 2u);
+  EXPECT_EQ(countOpcode(F, Opcode::Load), 0u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, DoesNotFoldIntoStore) {
+  // `store t [s2]` where t is itself a reload would be a memory-to-memory
+  // move; it must stay a load + store pair.
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), C = F.makeValue("c");
+  op(F, B, A);
+  copy(F, B, C, A); // C spilled: store follows; A spilled: reload precedes.
+  ret(F, B, {});
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = Spilled[C] = 1;
+  rewriteSpills(F, Spilled);
+
+  OperandFoldStats Stats = foldMemoryOperands(F, X86_64);
+  // The reload feeds a Copy (excluded) and the store uses C (defined by the
+  // copy, not single-use-reload): nothing folds.
+  EXPECT_EQ(Stats.LoadsFolded, 0u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, DoesNotFoldMultiUseReload) {
+  // A reload with two consuming instructions stays materialised.
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a");
+  ValueId T = F.makeValue("t"), U = F.makeValue("u");
+  op(F, B, A);
+  {
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.SpillSlot = 0;
+    Store.Uses.push_back(A);
+    F.block(B).Instrs.push_back(Store);
+  }
+  ValueId Reload = F.makeValue("rl");
+  {
+    Instruction Load;
+    Load.Op = Opcode::Load;
+    Load.SpillSlot = 0;
+    Load.Defs.push_back(Reload);
+    F.block(B).Instrs.push_back(Load);
+  }
+  op(F, B, T, {Reload});
+  op(F, B, U, {Reload});
+  ret(F, B, {T, U});
+
+  OperandFoldStats Stats = foldMemoryOperands(F, X86_64);
+  EXPECT_EQ(Stats.LoadsFolded, 0u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, InterveningStoreToSameSlotBlocksFolding) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), W = F.makeValue("w"), T = F.makeValue("t");
+  op(F, B, A);
+  {
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.SpillSlot = 0;
+    Store.Uses.push_back(A);
+    F.block(B).Instrs.push_back(Store);
+  }
+  ValueId Reload = F.makeValue("rl");
+  {
+    Instruction Load;
+    Load.Op = Opcode::Load;
+    Load.SpillSlot = 0;
+    Load.Defs.push_back(Reload);
+    F.block(B).Instrs.push_back(Load);
+  }
+  op(F, B, W, {}); // Redefine the slot between load and use.
+  {
+    Instruction Store;
+    Store.Op = Opcode::Store;
+    Store.SpillSlot = 0;
+    Store.Uses.push_back(W);
+    F.block(B).Instrs.push_back(Store);
+  }
+  op(F, B, T, {Reload});
+  ret(F, B, {T});
+
+  OperandFoldStats Stats = foldMemoryOperands(F, X86_64);
+  EXPECT_EQ(Stats.LoadsFolded, 0u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, PhiEdgeReloadsStayMaterialised) {
+  // Reloads feeding phi operands sit at predecessor ends; phis cannot read
+  // memory, so they must survive folding.
+  Function F("f");
+  BlockId Entry = F.makeBlock("entry");
+  BlockId Left = F.makeBlock("left");
+  BlockId Right = F.makeBlock("right");
+  BlockId Join = F.makeBlock("join");
+  ValueId A = F.makeValue("a"), L = F.makeValue("l"), R = F.makeValue("r");
+  ValueId P = F.makeValue("p");
+  op(F, Entry, A);
+  br(F, Entry, A);
+  F.addEdge(Entry, Left);
+  F.addEdge(Entry, Right);
+  op(F, Left, L, {A});
+  br(F, Left, L);
+  op(F, Right, R, {A});
+  br(F, Right, R);
+  F.addEdge(Left, Join);
+  F.addEdge(Right, Join);
+  phi(F, Join, P, {L, R});
+  ret(F, Join, {P});
+  ASSERT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[L] = Spilled[R] = 1;
+  rewriteSpills(F, Spilled);
+  unsigned LoadsBefore = countOpcode(F, Opcode::Load);
+  ASSERT_GE(LoadsBefore, 2u);
+
+  foldMemoryOperands(F, X86_64);
+  // The two phi-edge reloads must still be there.
+  EXPECT_GE(countOpcode(F, Opcode::Load), 2u);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(OperandFoldingTest, PressureNeverIncreasesOnRandomPrograms) {
+  // Folding deletes reload temporaries, so MaxLive can only go down.
+  for (uint64_t Seed : {3u, 5u, 8u, 13u, 21u}) {
+    Rng Rand(Seed);
+    ProgramGenOptions Opt;
+    Opt.NumVars = 18;
+    Opt.MaxBlocks = 24;
+    Function F = generateFunction(Rand, Opt);
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    Loops.annotate(F);
+    Function Ssa = convertToSsa(F).Ssa;
+
+    // Spill roughly a third of the values.
+    std::vector<char> Spilled(Ssa.numValues(), 0);
+    for (ValueId V = 0; V < Ssa.numValues(); ++V)
+      Spilled[V] = Rand.nextBool(0.33);
+    rewriteSpills(Ssa, Spilled);
+    ASSERT_TRUE(verifyFunction(Ssa, /*ExpectSsa=*/true)) << "seed " << Seed;
+
+    Liveness Before(Ssa);
+    unsigned PressureBefore = Before.maxLive(Ssa);
+    unsigned LoadsBefore = countOpcode(Ssa, Opcode::Load);
+
+    OperandFoldStats Stats = foldMemoryOperands(Ssa, X86_64);
+    ASSERT_TRUE(verifyFunction(Ssa, /*ExpectSsa=*/true)) << "seed " << Seed;
+    EXPECT_EQ(countOpcode(Ssa, Opcode::Load),
+              LoadsBefore - Stats.LoadsFolded);
+
+    Liveness After(Ssa);
+    EXPECT_LE(After.maxLive(Ssa), PressureBefore) << "seed " << Seed;
+  }
+}

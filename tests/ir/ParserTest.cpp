@@ -1,0 +1,216 @@
+//===- tests/ir/ParserTest.cpp - Textual IR parser tests ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "ir/Dominators.h"
+#include "ir/Liveness.h"
+#include "ir/LoopInfo.h"
+#include "ir/ProgramGen.h"
+#include "ir/SsaBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(ParserTest, StraightLineFunction) {
+  ParsedFunction P = parseFunction("function f {\n"
+                                   "entry:\n"
+                                   "  %a = op\n"
+                                   "  %b = op %a\n"
+                                   "  ret %b\n"
+                                   "}\n");
+  ASSERT_TRUE(P.Ok) << P.Error << " at line " << P.Line;
+  EXPECT_EQ(P.F.name(), "f");
+  EXPECT_EQ(P.F.numBlocks(), 1u);
+  EXPECT_EQ(P.F.numValues(), 2u);
+  ASSERT_EQ(P.F.block(0).Instrs.size(), 3u);
+  EXPECT_EQ(P.F.block(0).Instrs[2].Op, Opcode::Return);
+  EXPECT_TRUE(verifyFunction(P.F, /*ExpectSsa=*/true));
+}
+
+TEST(ParserTest, DiamondWithAnnotationsAndPhi) {
+  ParsedFunction P = parseFunction(
+      "function diamond {\n"
+      "entry:  ; depth=0 freq=1\n"
+      "  %c = op\n"
+      "  br %c\n"
+      "  ; succs=left,right\n"
+      "left:  ; depth=0 freq=1 preds=entry\n"
+      "  %x = op %c\n"
+      "  br %x\n"
+      "  ; succs=join\n"
+      "right:  ; depth=0 freq=1 preds=entry\n"
+      "  %y = op %c\n"
+      "  br %y\n"
+      "  ; succs=join\n"
+      "join:  ; depth=0 freq=1 preds=left,right\n"
+      "  %m = phi %x, %y\n"
+      "  ret %m\n"
+      "}\n");
+  ASSERT_TRUE(P.Ok) << P.Error << " at line " << P.Line;
+  ASSERT_EQ(P.F.numBlocks(), 4u);
+  // Phi operand order must follow the preds order.
+  const BasicBlock &Join = P.F.block(3);
+  ASSERT_EQ(Join.Preds.size(), 2u);
+  EXPECT_EQ(P.F.block(Join.Preds[0]).Name, "left");
+  EXPECT_EQ(P.F.block(Join.Preds[1]).Name, "right");
+  const Instruction &Phi = Join.Instrs[0];
+  ASSERT_TRUE(Phi.isPhi());
+  EXPECT_EQ(P.F.valueName(Phi.Uses[0]), "x");
+  EXPECT_EQ(P.F.valueName(Phi.Uses[1]), "y");
+  EXPECT_TRUE(verifyFunction(P.F, /*ExpectSsa=*/true));
+}
+
+TEST(ParserTest, LoopHeaderAnnotationsSurvive) {
+  ParsedFunction P = parseFunction("function lp {\n"
+                                   "entry:\n"
+                                   "  %i0 = op\n"
+                                   "  br %i0\n"
+                                   "  ; succs=loop\n"
+                                   "loop:  ; depth=1 freq=10 preds=entry,loop\n"
+                                   "  %i = phi %i0, %i2\n"
+                                   "  %i2 = op %i\n"
+                                   "  br %i2\n"
+                                   "  ; succs=loop,exit\n"
+                                   "exit:  ; preds=loop\n"
+                                   "  ret\n"
+                                   "}\n");
+  ASSERT_TRUE(P.Ok) << P.Error << " at line " << P.Line;
+  EXPECT_EQ(P.F.block(1).LoopDepth, 1u);
+  EXPECT_EQ(P.F.block(1).Frequency, 10);
+  EXPECT_TRUE(verifyFunction(P.F, /*ExpectSsa=*/true));
+}
+
+TEST(ParserTest, SpillAnnotationsRoundTrip) {
+  ParsedFunction P = parseFunction("function sp {\n"
+                                   "entry:\n"
+                                   "  %a = op\n"
+                                   "  store %a [slot 3]\n"
+                                   "  %t = load [slot 3]\n"
+                                   "  %b = op [mem slot 1]\n"
+                                   "  ret %t, %b\n"
+                                   "}\n");
+  ASSERT_TRUE(P.Ok) << P.Error << " at line " << P.Line;
+  const std::vector<Instruction> &Is = P.F.block(0).Instrs;
+  EXPECT_EQ(Is[1].SpillSlot, 3);
+  EXPECT_EQ(Is[2].SpillSlot, 3);
+  ASSERT_EQ(Is[3].MemUseSlots.size(), 1u);
+  EXPECT_EQ(Is[3].MemUseSlots[0], 1);
+}
+
+TEST(ParserTest, UndefPhiOperand) {
+  ParsedFunction P = parseFunction("function u {\n"
+                                   "entry:\n"
+                                   "  %a = op\n"
+                                   "  br %a\n"
+                                   "  ; succs=join,join2\n"
+                                   "join:  ; preds=entry\n"
+                                   "  %p = phi <undef>\n"
+                                   "  ret %p\n"
+                                   "join2:  ; preds=entry\n"
+                                   "  ret\n"
+                                   "}\n");
+  ASSERT_TRUE(P.Ok) << P.Error << " at line " << P.Line;
+  EXPECT_EQ(P.F.block(1).Instrs[0].Uses[0], kNoValue);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  struct Case {
+    const char *Text;
+    const char *ExpectSubstring;
+  };
+  const Case Cases[] = {
+      {"", "empty input"},
+      {"function f {\n}\n", "no blocks"},
+      {"function f {\nentry:\n  %a = op\n", "closing '}'"},
+      {"function f {\nentry:\n  %a = frobnicate\n}\n", "unknown opcode"},
+      {"function f {\nentry:\n  %a = op\n  ; succs=nowhere\n}\n",
+       "unknown successor"},
+      {"function f {\nentry:  ; preds=ghost\n  ret\n}\n",
+       "unknown predecessor"},
+      {"function f {\nentry:\n  %a = op trailing!\n}\n", "trailing"},
+      {"function f {\nentry:  ; preds=entry\n  ret\n}\n",
+       "no matching succs"},
+  };
+  for (const Case &C : Cases) {
+    ParsedFunction P = parseFunction(C.Text);
+    EXPECT_FALSE(P.Ok) << C.Text;
+    EXPECT_NE(P.Error.find(C.ExpectSubstring), std::string::npos)
+        << "got error: " << P.Error;
+    EXPECT_GE(P.Line, 1u);
+  }
+}
+
+TEST(ParserTest, MismatchedSuccsWithoutPreds) {
+  ParsedFunction P = parseFunction("function f {\n"
+                                   "a:\n"
+                                   "  br %v\n"
+                                   "  ; succs=b\n"
+                                   "b:\n"
+                                   "  ret\n"
+                                   "}\n");
+  // succs says a->b but b has no preds annotation: inconsistent.
+  EXPECT_FALSE(P.Ok);
+  EXPECT_NE(P.Error.find("missing from the target's preds"),
+            std::string::npos)
+      << P.Error;
+}
+
+namespace {
+/// Generates, annotates and SSA-converts a random function.
+Function randomSsaFunction(uint64_t Seed) {
+  Rng R(Seed);
+  ProgramGenOptions Opt;
+  Opt.NumVars = 14;
+  Opt.MaxBlocks = 18;
+  Function F = generateFunction(R, Opt);
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  Loops.annotate(F);
+  return convertToSsa(F).Ssa;
+}
+} // namespace
+
+class ParserRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserRoundTrip, PrintParsePrintIsStable) {
+  // print(parse(print(F))) must equal print(parse(...)) again: one parse
+  // normalizes anonymous value numbering, after which the textual form is
+  // a fixpoint.  The reparsed function must also stay verifiable and keep
+  // the CFG/liveness structure.
+  Function F = randomSsaFunction(GetParam());
+  std::string First = F.toString();
+
+  ParsedFunction P1 = parseFunction(First);
+  ASSERT_TRUE(P1.Ok) << P1.Error << " at line " << P1.Line;
+  ASSERT_TRUE(verifyFunction(P1.F, /*ExpectSsa=*/true));
+  std::string Second = P1.F.toString();
+
+  ParsedFunction P2 = parseFunction(Second);
+  ASSERT_TRUE(P2.Ok) << P2.Error << " at line " << P2.Line;
+  EXPECT_EQ(Second, P2.F.toString());
+
+  // Structure is preserved exactly.
+  ASSERT_EQ(F.numBlocks(), P1.F.numBlocks());
+  EXPECT_EQ(F.numValues(), P1.F.numValues());
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    EXPECT_EQ(F.block(B).Preds.size(), P1.F.block(B).Preds.size());
+    EXPECT_EQ(F.block(B).Succs.size(), P1.F.block(B).Succs.size());
+    EXPECT_EQ(F.block(B).Frequency, P1.F.block(B).Frequency);
+    ASSERT_EQ(F.block(B).Instrs.size(), P1.F.block(B).Instrs.size());
+    for (size_t I = 0; I < F.block(B).Instrs.size(); ++I)
+      EXPECT_EQ(F.block(B).Instrs[I].Op, P1.F.block(B).Instrs[I].Op);
+  }
+  Liveness LiveOrig(F), LiveParsed(P1.F);
+  EXPECT_EQ(LiveOrig.maxLive(F), LiveParsed.maxLive(P1.F));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16, 17, 18, 19,
+                                           20));

@@ -1,0 +1,122 @@
+//===- tests/ir/ProgramGenTest.cpp - Program generator tests --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/ProgramGen.h"
+
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(ProgramGenTest, GeneratesVerifiedReachableFunctions) {
+  Rng R(1);
+  for (int Round = 0; Round < 50; ++Round) {
+    ProgramGenOptions Opt;
+    Opt.NumVars = 4 + static_cast<unsigned>(R.nextBelow(30));
+    Opt.MaxBlocks = 6 + static_cast<unsigned>(R.nextBelow(60));
+    Opt.MaxNesting = 1 + static_cast<unsigned>(R.nextBelow(4));
+    Function F = generateFunction(R, Opt);
+    std::string Error;
+    ASSERT_TRUE(verifyFunction(F, false, &Error)) << Error;
+    DominatorTree Dom(F);
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      EXPECT_TRUE(Dom.isReachable(B)) << "round " << Round;
+    EXPECT_LE(F.numBlocks(), Opt.MaxBlocks);
+  }
+}
+
+TEST(ProgramGenTest, DeterministicGivenSeed) {
+  ProgramGenOptions Opt;
+  Rng A(99), B(99);
+  Function F1 = generateFunction(A, Opt, "x");
+  Function F2 = generateFunction(B, Opt, "x");
+  EXPECT_EQ(F1.toString(), F2.toString());
+}
+
+TEST(ProgramGenTest, RespectsLooplessConfiguration) {
+  Rng R(5);
+  ProgramGenOptions Opt;
+  Opt.LoopProb = 0.0;
+  Opt.IfProb = 0.0;
+  for (int Round = 0; Round < 10; ++Round) {
+    Function F = generateFunction(R, Opt);
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    EXPECT_TRUE(Loops.loops().empty());
+  }
+}
+
+TEST(ProgramGenTest, LoopHeavyConfigurationsProduceLoops) {
+  Rng R(6);
+  ProgramGenOptions Opt;
+  Opt.LoopProb = 0.8;
+  Opt.IfProb = 0.1;
+  Opt.MaxBlocks = 40;
+  unsigned TotalLoops = 0;
+  for (int Round = 0; Round < 10; ++Round) {
+    Function F = generateFunction(R, Opt);
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    TotalLoops += static_cast<unsigned>(Loops.loops().size());
+  }
+  EXPECT_GT(TotalLoops, 10u);
+}
+
+TEST(ProgramGenTest, LoopDepthRespectsNestingBound) {
+  Rng R(7);
+  ProgramGenOptions Opt;
+  Opt.LoopProb = 0.7;
+  Opt.IfProb = 0.0;
+  Opt.MaxNesting = 2;
+  Opt.MaxBlocks = 60;
+  for (int Round = 0; Round < 10; ++Round) {
+    Function F = generateFunction(R, Opt);
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    Loops.annotate(F);
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      EXPECT_LE(F.block(B).LoopDepth, Opt.MaxNesting);
+  }
+}
+
+TEST(ProgramGenTest, FrequenciesFollowLoopDepth) {
+  Rng R(8);
+  ProgramGenOptions Opt;
+  Opt.LoopProb = 0.6;
+  Opt.MaxBlocks = 40;
+  Function F = generateFunction(R, Opt);
+  DominatorTree Dom(F);
+  LoopInfo Loops(F, Dom);
+  Loops.annotate(F, /*FreqBase=*/10);
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    Weight Expected = 1;
+    for (unsigned D = 0; D < F.block(B).LoopDepth; ++D)
+      Expected *= 10;
+    EXPECT_EQ(F.block(B).Frequency, Expected);
+  }
+}
+
+TEST(ProgramGenTest, NonSsaRedefinitionsArePresent) {
+  // The generator must produce multiple defs per variable, otherwise the
+  // "general graph" evaluation would silently degenerate to SSA.
+  Rng R(9);
+  ProgramGenOptions Opt;
+  Opt.NumVars = 10;
+  Opt.MaxBlocks = 40;
+  Function F = generateFunction(R, Opt);
+  std::vector<unsigned> Defs(F.numValues(), 0);
+  for (BlockId B = 0; B < F.numBlocks(); ++B)
+    for (const Instruction &I : F.block(B).Instrs)
+      for (ValueId V : I.Defs)
+        ++Defs[V];
+  unsigned MultiDef = 0;
+  for (unsigned D : Defs)
+    MultiDef += D > 1 ? 1 : 0;
+  EXPECT_GT(MultiDef, 2u);
+}

@@ -1,0 +1,142 @@
+//===- tests/ir/ProgramTest.cpp - IR and verifier tests -------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include "IrTestHelpers.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+using namespace layra::irtest;
+
+namespace {
+/// Straight-line a = op; b = op a; ret b.
+Function straightLine() {
+  Function F("straight");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), Bv = F.makeValue("b");
+  op(F, B, A);
+  op(F, B, Bv, {A});
+  ret(F, B, {Bv});
+  return F;
+}
+} // namespace
+
+TEST(ProgramTest, StraightLineVerifies) {
+  Function F = straightLine();
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true, &Error)) << Error;
+}
+
+TEST(ProgramTest, EmptyFunctionFailsVerification) {
+  Function F;
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, false, &Error));
+  EXPECT_NE(Error.find("no blocks"), std::string::npos);
+}
+
+TEST(ProgramTest, MissingTerminatorFails) {
+  Function F;
+  BlockId B = F.makeBlock();
+  op(F, B, F.makeValue());
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, false, &Error));
+}
+
+TEST(ProgramTest, TerminatorInMiddleFails) {
+  Function F;
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue();
+  op(F, B, A);
+  ret(F, B, {A});
+  op(F, B, F.makeValue()); // After the terminator.
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(ProgramTest, PhiOperandArityMustMatchPreds) {
+  Function F;
+  BlockId Entry = F.makeBlock();
+  BlockId Join = F.makeBlock();
+  ValueId A = F.makeValue();
+  op(F, Entry, A);
+  br(F, Entry, A);
+  F.addEdge(Entry, Join);
+  // Phi with two operands but one predecessor.
+  phi(F, Join, F.makeValue(), {A, A});
+  ret(F, Join);
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(ProgramTest, PhiAfterNonPhiFails) {
+  Function F;
+  BlockId Entry = F.makeBlock();
+  BlockId Next = F.makeBlock();
+  ValueId A = F.makeValue();
+  op(F, Entry, A);
+  br(F, Entry, A);
+  F.addEdge(Entry, Next);
+  op(F, Next, F.makeValue(), {A});
+  phi(F, Next, F.makeValue(), {A});
+  ret(F, Next);
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(ProgramTest, AddEdgeExtendsPhis) {
+  Function F;
+  BlockId Entry = F.makeBlock();
+  BlockId Mid = F.makeBlock();
+  BlockId Join = F.makeBlock();
+  ValueId A = F.makeValue();
+  op(F, Entry, A);
+  br(F, Entry, A);
+  F.addEdge(Entry, Join);
+  phi(F, Join, F.makeValue(), {A}); // One pred so far.
+  ret(F, Join);
+  br(F, Mid, A); // Mid is unreachable but structurally fine.
+  F.addEdge(Mid, Join);
+  EXPECT_EQ(F.block(Join).Instrs.front().Uses.size(), 2u);
+  EXPECT_EQ(F.block(Join).Instrs.front().Uses[1], kNoValue);
+}
+
+TEST(ProgramTest, DoubleDefFailsSsaVerification) {
+  Function F;
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue();
+  op(F, B, A);
+  op(F, B, A); // Second def of A.
+  ret(F, B, {A});
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/false));
+  std::string Error;
+  EXPECT_FALSE(verifyFunction(F, /*ExpectSsa=*/true, &Error));
+  EXPECT_NE(Error.find("defined twice"), std::string::npos);
+}
+
+TEST(ProgramTest, UseBeforeDefFailsSsaVerification) {
+  Function F;
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue(), C = F.makeValue();
+  op(F, B, C, {A}); // A used before its def.
+  op(F, B, A);
+  ret(F, B, {C});
+  EXPECT_FALSE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(ProgramTest, ToStringMentionsNamesAndOpcodes) {
+  Function F = straightLine();
+  std::string Text = F.toString();
+  EXPECT_NE(Text.find("%a"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+  EXPECT_NE(Text.find("op"), std::string::npos);
+}
+
+TEST(ProgramTest, OpcodeNames) {
+  EXPECT_STREQ(opcodeName(Opcode::Phi), "phi");
+  EXPECT_STREQ(opcodeName(Opcode::Load), "load");
+  EXPECT_STREQ(opcodeName(Opcode::Store), "store");
+  EXPECT_STREQ(opcodeName(Opcode::Return), "ret");
+}

@@ -1,0 +1,144 @@
+//===- tests/ir/SpillRewriterTest.cpp - Spill code insertion tests --------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SpillRewriter.h"
+
+#include "IrTestHelpers.h"
+#include "ir/Liveness.h"
+#include "ir/ProgramGen.h"
+#include "ir/SsaBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+using namespace layra::irtest;
+
+TEST(SpillRewriterTest, StoreAfterDefLoadBeforeUse) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, C, {A});
+  ret(F, B, {C});
+
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = 1;
+  SpillRewriteStats Stats = rewriteSpills(F, Spilled);
+  EXPECT_EQ(Stats.NumSlots, 1u);
+  EXPECT_EQ(Stats.NumStores, 1u);
+  EXPECT_EQ(Stats.NumLoads, 1u);
+
+  // Expected layout: a = op; store a; t = load; c = op t; ret c.
+  const std::vector<Instruction> &Is = F.block(B).Instrs;
+  ASSERT_EQ(Is.size(), 5u);
+  EXPECT_EQ(Is[0].Op, Opcode::Op);
+  EXPECT_EQ(Is[1].Op, Opcode::Store);
+  EXPECT_EQ(Is[1].Uses[0], A);
+  EXPECT_EQ(Is[2].Op, Opcode::Load);
+  EXPECT_EQ(Is[3].Uses[0], Is[2].Defs[0]); // Use renamed to the reload.
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(SpillRewriterTest, SharedReloadWithinOneInstruction) {
+  Function F("f");
+  BlockId B = F.makeBlock();
+  ValueId A = F.makeValue("a"), C = F.makeValue("c");
+  op(F, B, A);
+  op(F, B, C, {A, A}); // Two uses of the same spilled value.
+  ret(F, B, {C});
+
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[A] = 1;
+  SpillRewriteStats Stats = rewriteSpills(F, Spilled);
+  EXPECT_EQ(Stats.NumLoads, 1u); // One reload feeds both operands.
+  const std::vector<Instruction> &Is = F.block(B).Instrs;
+  EXPECT_EQ(Is[3].Uses[0], Is[3].Uses[1]);
+}
+
+TEST(SpillRewriterTest, PhiOperandReloadedInPredecessor) {
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Left = F.makeBlock(),
+          Right = F.makeBlock(), Merge = F.makeBlock();
+  ValueId C = F.makeValue("c"), L = F.makeValue("l"), R = F.makeValue("r"),
+          M = F.makeValue("m");
+  op(F, Entry, C);
+  br(F, Entry, C);
+  op(F, Left, L);
+  br(F, Left, C); // Condition uses c so the only use of l is the phi.
+  op(F, Right, R);
+  br(F, Right, C);
+  F.addEdge(Entry, Left);
+  F.addEdge(Entry, Right);
+  F.addEdge(Left, Merge);
+  F.addEdge(Right, Merge);
+  phi(F, Merge, M, {L, R});
+  ret(F, Merge, {M});
+  ASSERT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[L] = 1;
+  SpillRewriteStats Stats = rewriteSpills(F, Spilled);
+  EXPECT_EQ(Stats.NumStores, 1u);
+  EXPECT_EQ(Stats.NumLoads, 1u);
+  // The reload sits in Left before its terminator, not in Merge.
+  const std::vector<Instruction> &LeftIs = F.block(Left).Instrs;
+  ASSERT_EQ(LeftIs.size(), 4u); // op, store, load, br.
+  EXPECT_EQ(LeftIs[2].Op, Opcode::Load);
+  EXPECT_TRUE(LeftIs.back().isTerminator());
+  // The phi operand was renamed to the reload.
+  EXPECT_EQ(F.block(Merge).Instrs.front().Uses[0], LeftIs[2].Defs[0]);
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(SpillRewriterTest, SpilledPhiDefStoredAfterPhis) {
+  Function F("f");
+  BlockId Entry = F.makeBlock(), Body = F.makeBlock(), Exit = F.makeBlock();
+  ValueId I0 = F.makeValue("i0"), I1 = F.makeValue("i1"),
+          Iphi = F.makeValue("i");
+  op(F, Entry, I0);
+  br(F, Entry, I0);
+  F.addEdge(Entry, Body);
+  phi(F, Body, Iphi, {I0});
+  op(F, Body, I1, {Iphi});
+  br(F, Body, I1);
+  F.addEdge(Body, Body); // Extends the phi with a self-loop operand.
+  F.block(Body).Instrs.front().Uses[1] = I1;
+  F.addEdge(Body, Exit);
+  ret(F, Exit, {I1});
+  ASSERT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+
+  std::vector<char> Spilled(F.numValues(), 0);
+  Spilled[Iphi] = 1;
+  rewriteSpills(F, Spilled);
+  const std::vector<Instruction> &Is = F.block(Body).Instrs;
+  ASSERT_GE(Is.size(), 3u);
+  EXPECT_TRUE(Is[0].isPhi());
+  EXPECT_EQ(Is[1].Op, Opcode::Store); // Store right after the phi block.
+  EXPECT_TRUE(verifyFunction(F, /*ExpectSsa=*/true));
+}
+
+TEST(SpillRewriterTest, MassSpillKeepsFunctionValidOnGeneratedPrograms) {
+  Rng Rand(161803);
+  for (int Round = 0; Round < 10; ++Round) {
+    ProgramGenOptions Opt;
+    Opt.NumVars = 8 + static_cast<unsigned>(Rand.nextBelow(12));
+    Function F = generateFunction(Rand, Opt);
+    SsaConversion Conv = convertToSsa(F);
+    Function &Ssa = Conv.Ssa;
+
+    // Spill every third value.
+    std::vector<char> Spilled(Ssa.numValues(), 0);
+    for (ValueId V = 0; V < Ssa.numValues(); V += 3)
+      Spilled[V] = 1;
+    // Pad the flag vector for values created by the rewriter itself.
+    Spilled.resize(Ssa.numValues() + 4096, 0);
+    rewriteSpills(Ssa, Spilled);
+    std::string Error;
+    EXPECT_TRUE(verifyFunction(Ssa, /*ExpectSsa=*/true, &Error))
+        << "round " << Round << ": " << Error;
+  }
+}

@@ -1,0 +1,257 @@
+//===- tests/lp/IlpTest.cpp - Exact packing ILP solver tests --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Ilp.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+
+/// Exhaustive reference solver for instances with <= 20 variables.
+Weight bruteForcePacking(const IlpInstance &I) {
+  unsigned N = I.numVars();
+  Weight Best = 0;
+  for (uint64_t Mask = 0; Mask < (uint64_t(1) << N); ++Mask) {
+    bool Feasible = true;
+    for (const IlpConstraint &K : I.Constraints) {
+      unsigned Used = 0;
+      for (unsigned V : K.Vars)
+        Used += (Mask >> V) & 1;
+      if (Used > K.Capacity) {
+        Feasible = false;
+        break;
+      }
+    }
+    if (!Feasible)
+      continue;
+    Weight Value = 0;
+    for (unsigned V = 0; V < N; ++V)
+      if ((Mask >> V) & 1)
+        Value += I.Weights[V];
+    Best = std::max(Best, Value);
+  }
+  return Best;
+}
+
+bool isFeasible(const IlpInstance &I, const std::vector<char> &X) {
+  for (const IlpConstraint &K : I.Constraints) {
+    unsigned Used = 0;
+    for (unsigned V : K.Vars)
+      Used += X[V] ? 1 : 0;
+    if (Used > K.Capacity)
+      return false;
+  }
+  return true;
+}
+
+IlpInstance randomInstance(Rng &R, unsigned N, unsigned NumRows,
+                           unsigned MaxCap) {
+  IlpInstance I;
+  I.Weights.resize(N);
+  for (Weight &W : I.Weights)
+    W = R.nextInRange(0, 30);
+  for (unsigned Row = 0; Row < NumRows; ++Row) {
+    IlpConstraint K;
+    for (unsigned V = 0; V < N; ++V)
+      if (R.nextBool(0.45))
+        K.Vars.push_back(V);
+    if (K.Vars.empty())
+      continue;
+    K.Capacity = static_cast<unsigned>(R.nextBelow(MaxCap + 1));
+    I.Constraints.push_back(std::move(K));
+  }
+  return I;
+}
+
+} // namespace
+
+TEST(IlpTest, EmptyInstance) {
+  IlpInstance I;
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 0);
+}
+
+TEST(IlpTest, NoConstraintsTakesEverything) {
+  IlpInstance I;
+  I.Weights = {5, 0, 7, 3};
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 15);
+  EXPECT_TRUE(Result.X[0] && Result.X[2] && Result.X[3]);
+}
+
+TEST(IlpTest, SingleCliquePicksHeaviest) {
+  // One clique of capacity 2 over four variables: the two heaviest win.
+  IlpInstance I;
+  I.Weights = {4, 9, 1, 6};
+  I.Constraints.push_back({{0, 1, 2, 3}, 2});
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 15);
+  EXPECT_TRUE(Result.X[1] && Result.X[3]);
+}
+
+TEST(IlpTest, ZeroCapacityForcesAllOut) {
+  IlpInstance I;
+  I.Weights = {3, 8};
+  I.Constraints.push_back({{0, 1}, 0});
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 0);
+  EXPECT_FALSE(Result.X[0] || Result.X[1]);
+}
+
+TEST(IlpTest, FractionalLpNeedsBranching) {
+  // Odd-cycle pairwise constraints with capacity 1 and weight 3: the LP
+  // relaxation is half-integral with value 15/2, whose floor (7) exceeds
+  // the ILP optimum (6) -- the root bound cannot close this, so the solver
+  // must genuinely branch to prove optimality.
+  IlpInstance I;
+  I.Weights = {3, 3, 3, 3, 3};
+  for (unsigned V = 0; V < 5; ++V)
+    I.Constraints.push_back({{V, (V + 1) % 5}, 1});
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 6);
+  EXPECT_GT(Result.Nodes, 1u) << "expected actual branching on C5";
+}
+
+TEST(IlpTest, WarmStartNeverDegrades) {
+  Rng R(42);
+  for (int Round = 0; Round < 20; ++Round) {
+    IlpInstance I = randomInstance(R, 12, 6, 3);
+    // Greedy warm start: heaviest-first.
+    std::vector<unsigned> Order(12);
+    for (unsigned V = 0; V < 12; ++V)
+      Order[V] = V;
+    std::sort(Order.begin(), Order.end(), [&](unsigned A, unsigned B) {
+      return I.Weights[A] > I.Weights[B];
+    });
+    std::vector<char> Warm(12, 0);
+    Weight WarmValue = 0;
+    for (unsigned V : Order) {
+      Warm[V] = 1;
+      if (isFeasible(I, Warm)) {
+        WarmValue += I.Weights[V];
+      } else {
+        Warm[V] = 0;
+      }
+    }
+    IlpResult Result = solveBinaryPackingBudgeted(I, &Warm);
+    EXPECT_TRUE(Result.Proven);
+    EXPECT_GE(Result.Value, WarmValue);
+    EXPECT_TRUE(isFeasible(I, Result.X));
+  }
+}
+
+TEST(IlpTest, ZeroBudgetKeepsWarmStartUnproven) {
+  IlpInstance I;
+  I.Weights = {4, 9, 1, 6};
+  I.Constraints.push_back({{0, 1, 2, 3}, 2});
+  std::vector<char> Warm = {1, 0, 1, 0}; // Feasible, value 5, suboptimal.
+  uint64_t Budget = 0;
+  IlpResult Result = solveBinaryPacking(I, &Warm, Budget);
+  EXPECT_FALSE(Result.Proven);
+  EXPECT_EQ(Result.Value, 5);
+  EXPECT_TRUE(isFeasible(I, Result.X));
+}
+
+TEST(IlpTest, SharedBudgetIsDecremented) {
+  IlpInstance I;
+  I.Weights = {4, 9, 1, 6};
+  I.Constraints.push_back({{0, 1, 2, 3}, 2});
+  uint64_t Budget = 1000;
+  IlpResult Result = solveBinaryPacking(I, nullptr, Budget);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_LT(Budget, 1000u);
+  EXPECT_EQ(1000 - Budget, Result.Nodes);
+}
+
+class IlpBruteForceSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IlpBruteForceSweep, MatchesExhaustiveSearch) {
+  Rng R(GetParam());
+  for (int Round = 0; Round < 25; ++Round) {
+    unsigned N = 4 + static_cast<unsigned>(R.nextBelow(11));
+    unsigned Rows = 2 + static_cast<unsigned>(R.nextBelow(7));
+    unsigned MaxCap = 1 + static_cast<unsigned>(R.nextBelow(4));
+    IlpInstance I = randomInstance(R, N, Rows, MaxCap);
+    IlpResult Result = solveBinaryPackingBudgeted(I);
+    ASSERT_TRUE(Result.Proven) << "seed " << GetParam() << " round " << Round;
+    EXPECT_TRUE(isFeasible(I, Result.X));
+    EXPECT_EQ(Result.Value, bruteForcePacking(I))
+        << "seed " << GetParam() << " round " << Round;
+    // The reported value must match the reported selection.
+    Weight Recount = 0;
+    for (unsigned V = 0; V < N; ++V)
+      if (Result.X[V])
+        Recount += I.Weights[V];
+    EXPECT_EQ(Recount, Result.Value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpBruteForceSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(IlpTest, DisjointComponentsDecompose) {
+  // Eight disjoint weighted C5s: joint branching would be exponential, the
+  // presolve decomposition solves them in a linear number of nodes.  The
+  // optimum is 2 heaviest-compatible picks per cycle.
+  IlpInstance I;
+  unsigned Cycles = 8;
+  I.Weights.assign(5 * Cycles, 3);
+  for (unsigned C = 0; C < Cycles; ++C)
+    for (unsigned V = 0; V < 5; ++V)
+      I.Constraints.push_back({{5 * C + V, 5 * C + (V + 1) % 5}, 1});
+  uint64_t Budget = 10'000;
+  IlpResult Result = solveBinaryPacking(I, nullptr, Budget);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_EQ(Result.Value, 6 * static_cast<Weight>(Cycles));
+  EXPECT_TRUE(isFeasible(I, Result.X));
+  EXPECT_LT(Result.Nodes, 20u * Cycles) << "decomposition failed to kick in";
+}
+
+TEST(IlpTest, UnconstrainedVariablesSurviveDecomposition) {
+  // Variables outside every constraint must be selected even when the
+  // constrained part decomposes into components.
+  IlpInstance I;
+  I.Weights = {7, 1, 2, 9, 4};
+  I.Constraints.push_back({{1, 2}, 1}); // One component: {1,2}.
+  I.Constraints.push_back({{3, 4}, 1}); // Another: {3,4}.
+  IlpResult Result = solveBinaryPackingBudgeted(I);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_TRUE(Result.X[0]);
+  EXPECT_EQ(Result.Value, 7 + 2 + 9);
+}
+
+TEST(IlpTest, LargeNearIntegralInstanceSolvesAtRoot) {
+  // Clique rows from a sliding window mimic SSA-style instances: the LP is
+  // near-integral, so the warm-started search should stay tiny.
+  Rng R(7);
+  unsigned N = 220;
+  IlpInstance I;
+  I.Weights.resize(N);
+  for (Weight &W : I.Weights)
+    W = R.nextInRange(1, 1000);
+  for (unsigned Start = 0; Start + 16 <= N; Start += 3) {
+    IlpConstraint K;
+    for (unsigned V = Start; V < Start + 16; ++V)
+      K.Vars.push_back(V);
+    K.Capacity = 6;
+    I.Constraints.push_back(std::move(K));
+  }
+  uint64_t Budget = 100'000;
+  IlpResult Result = solveBinaryPacking(I, nullptr, Budget);
+  EXPECT_TRUE(Result.Proven);
+  EXPECT_TRUE(isFeasible(I, Result.X));
+  EXPECT_LT(Result.Nodes, 2000u);
+}

@@ -1,0 +1,266 @@
+//===- tests/lp/SimplexTest.cpp - Bounded-variable simplex tests ----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "lp/Simplex.h"
+
+#include "alloc/OptimalInterval.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace layra;
+
+namespace {
+constexpr double kTol = 1e-6;
+
+/// Builds an LP over \p N 0/1-box variables.
+LinearProgram boxLp(unsigned N) {
+  LinearProgram LP;
+  for (unsigned J = 0; J < N; ++J)
+    LP.addVariable(0.0, 0.0, 1.0);
+  return LP;
+}
+} // namespace
+
+TEST(SimplexTest, BoundsOnlyMaximization) {
+  // With no rows, every positive-cost variable goes to its upper bound and
+  // every negative-cost variable stays at its lower bound.
+  LinearProgram LP;
+  LP.addVariable(3.0, 0.0, 2.0);
+  LP.addVariable(-1.0, 0.0, 5.0);
+  LP.addVariable(0.0, 0.0, 1.0);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Value, 6.0, kTol);
+  EXPECT_NEAR(S.X[0], 2.0, kTol);
+  EXPECT_NEAR(S.X[1], 0.0, kTol);
+}
+
+TEST(SimplexTest, TextbookTwoVariable) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic Dantzig
+  // example): optimum 36 at (2, 6).
+  LinearProgram LP;
+  LP.addVariable(3.0);
+  LP.addVariable(5.0);
+  LP.addRow({{0, 1.0}}, 4.0);
+  LP.addRow({{1, 2.0}}, 12.0);
+  LP.addRow({{0, 3.0}, {1, 2.0}}, 18.0);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Value, 36.0, kTol);
+  EXPECT_NEAR(S.X[0], 2.0, kTol);
+  EXPECT_NEAR(S.X[1], 6.0, kTol);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LinearProgram LP;
+  LP.addVariable(1.0); // No upper bound.
+  LP.addVariable(1.0, 0.0, 1.0);
+  LP.addRow({{1, 1.0}}, 1.0); // Constrains only the bounded variable.
+  LpSolution S = solveLp(LP);
+  EXPECT_EQ(S.Status, LpStatus::Unbounded);
+}
+
+TEST(SimplexTest, FractionalCliqueRelaxation) {
+  // Triangle with capacity 1 and equal weights: the LP optimum is the
+  // fractional point (1/2, 1/2, 1/2) pattern's value, i.e. 3/2 -- the
+  // classic integrality gap of the stable-set relaxation on odd cliques
+  // when the clique row is missing.  With the clique row present the
+  // optimum is exactly 1.
+  LinearProgram Pairwise = boxLp(3);
+  for (unsigned J = 0; J < 3; ++J)
+    Pairwise.Objective[J] = 1.0;
+  Pairwise.addRow({{0, 1.0}, {1, 1.0}}, 1.0);
+  Pairwise.addRow({{0, 1.0}, {2, 1.0}}, 1.0);
+  Pairwise.addRow({{1, 1.0}, {2, 1.0}}, 1.0);
+  LpSolution Half = solveLp(Pairwise);
+  ASSERT_EQ(Half.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Half.Value, 1.5, kTol);
+
+  LinearProgram Clique = boxLp(3);
+  for (unsigned J = 0; J < 3; ++J)
+    Clique.Objective[J] = 1.0;
+  Clique.addRow({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 1.0);
+  LpSolution Tight = solveLp(Clique);
+  ASSERT_EQ(Tight.Status, LpStatus::Optimal);
+  EXPECT_NEAR(Tight.Value, 1.0, kTol);
+}
+
+TEST(SimplexTest, NonzeroLowerBoundsShiftCorrectly) {
+  // max x + y with 1 <= x <= 3, 2 <= y, x + y <= 6: optimum 6.
+  LinearProgram LP;
+  LP.addVariable(1.0, 1.0, 3.0);
+  LP.addVariable(1.0, 2.0, LinearProgram::kInfinity);
+  LP.addRow({{0, 1.0}, {1, 1.0}}, 6.0);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Value, 6.0, kTol);
+  EXPECT_GE(S.X[0], 1.0 - kTol);
+  EXPECT_GE(S.X[1], 2.0 - kTol);
+}
+
+TEST(SimplexTest, FixedVariableByEqualBounds) {
+  // A variable with Lower == Upper is frozen; the rest optimises around it.
+  LinearProgram LP;
+  LP.addVariable(10.0, 1.0, 1.0); // Fixed to 1.
+  LP.addVariable(1.0, 0.0, 1.0);
+  LP.addRow({{0, 1.0}, {1, 1.0}}, 1.0);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.X[0], 1.0, kTol);
+  EXPECT_NEAR(S.X[1], 0.0, kTol);
+  EXPECT_NEAR(S.Value, 10.0, kTol);
+}
+
+TEST(SimplexTest, DegenerateTiesTerminate) {
+  // Many identical rows force degenerate pivots; the solver must still
+  // terminate at the optimum (anti-cycling safeguard).
+  LinearProgram LP = boxLp(6);
+  for (unsigned J = 0; J < 6; ++J)
+    LP.Objective[J] = 1.0;
+  for (unsigned R = 0; R < 12; ++R) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J < 6; ++J)
+      Terms.push_back({J, 1.0});
+    LP.addRow(std::move(Terms), 2.0);
+  }
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Value, 2.0, kTol);
+}
+
+TEST(SimplexTest, ZeroCapacityRowPinsEverythingDown) {
+  LinearProgram LP = boxLp(3);
+  for (unsigned J = 0; J < 3; ++J)
+    LP.Objective[J] = 1.0 + J;
+  LP.addRow({{0, 1.0}, {1, 1.0}, {2, 1.0}}, 0.0);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+  EXPECT_NEAR(S.Value, 0.0, kTol);
+}
+
+namespace {
+/// Random packing LP: N variables in [0,1], clique-style 0/1 rows.
+LinearProgram randomPackingLp(Rng &R, unsigned N, unsigned NumRows,
+                              unsigned MaxCap) {
+  LinearProgram LP = boxLp(N);
+  for (unsigned J = 0; J < N; ++J)
+    LP.Objective[J] = static_cast<double>(R.nextInRange(0, 40));
+  for (unsigned Row = 0; Row < NumRows; ++Row) {
+    std::vector<std::pair<unsigned, double>> Terms;
+    for (unsigned J = 0; J < N; ++J)
+      if (R.nextBool(0.4))
+        Terms.push_back({J, 1.0});
+    if (Terms.empty())
+      continue;
+    LP.addRow(std::move(Terms),
+              static_cast<double>(1 + R.nextBelow(MaxCap)));
+  }
+  return LP;
+}
+} // namespace
+
+class SimplexKktSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexKktSweep, OptimalityConditionsHold) {
+  // Property test: every reported optimum satisfies the KKT conditions of
+  // the bounded LP -- primal feasibility, dual feasibility, complementary
+  // slackness, and strong duality via c.x = y.b + sum max(rc, 0) * upper.
+  Rng R(GetParam());
+  LinearProgram LP =
+      randomPackingLp(R, 6 + static_cast<unsigned>(R.nextBelow(18)),
+                      2 + static_cast<unsigned>(R.nextBelow(10)), 4);
+  LpSolution S = solveLp(LP);
+  ASSERT_EQ(S.Status, LpStatus::Optimal);
+
+  // Primal feasibility.
+  for (unsigned J = 0; J < LP.NumVars; ++J) {
+    EXPECT_GE(S.X[J], LP.Lower[J] - kTol);
+    EXPECT_LE(S.X[J], LP.Upper[J] + kTol);
+  }
+  for (unsigned Row = 0; Row < LP.Rows.size(); ++Row) {
+    double Lhs = 0;
+    for (auto [Var, Coeff] : LP.Rows[Row].Terms)
+      Lhs += Coeff * S.X[Var];
+    EXPECT_LE(Lhs, LP.Rows[Row].Rhs + kTol);
+
+    // Dual feasibility + complementary slackness.
+    EXPECT_GE(S.RowDuals[Row], -kTol);
+    if (S.RowDuals[Row] > kTol) {
+      EXPECT_NEAR(Lhs, LP.Rows[Row].Rhs, 1e-5);
+    }
+  }
+
+  // Reduced-cost signs: interior variables have ~0 reduced cost, variables
+  // at lower have <= 0, variables at upper have >= 0 (maximisation).
+  for (unsigned J = 0; J < LP.NumVars; ++J) {
+    bool AtLower = S.X[J] <= LP.Lower[J] + kTol;
+    bool AtUpper = S.X[J] >= LP.Upper[J] - kTol;
+    if (!AtLower && !AtUpper) {
+      EXPECT_NEAR(S.ReducedCosts[J], 0.0, 1e-5) << "var " << J;
+    } else if (AtLower && !AtUpper) {
+      EXPECT_LE(S.ReducedCosts[J], kTol) << "var " << J;
+    } else if (AtUpper && !AtLower) {
+      EXPECT_GE(S.ReducedCosts[J], -kTol) << "var " << J;
+    }
+  }
+
+  // Strong duality for the bounded problem.
+  double Dual = 0;
+  for (unsigned Row = 0; Row < LP.Rows.size(); ++Row)
+    Dual += S.RowDuals[Row] * LP.Rows[Row].Rhs;
+  for (unsigned J = 0; J < LP.NumVars; ++J)
+    Dual += std::max(S.ReducedCosts[J], 0.0) * LP.Upper[J];
+  EXPECT_NEAR(S.Value, Dual, 1e-4 * (1.0 + std::abs(S.Value)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexKktSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+TEST(SimplexTest, IntervalLpIsIntegralAndMatchesFlowSolver) {
+  // Interval clique matrices have the consecutive-ones property, so the
+  // packing LP is integral: the simplex value must equal the exact
+  // min-cost-flow interval allocator on the same instance.
+  Rng R(909);
+  for (int Round = 0; Round < 25; ++Round) {
+    unsigned N = 4 + static_cast<unsigned>(R.nextBelow(20));
+    std::vector<LiveInterval> Intervals(N);
+    for (unsigned I = 0; I < N; ++I) {
+      Intervals[I].V = I;
+      Intervals[I].Start = static_cast<unsigned>(R.nextBelow(30));
+      Intervals[I].End =
+          Intervals[I].Start + static_cast<unsigned>(R.nextBelow(10));
+      Intervals[I].Cost = static_cast<Weight>(R.nextInRange(1, 30));
+    }
+    unsigned Regs = 1 + static_cast<unsigned>(R.nextBelow(4));
+
+    std::vector<char> Keep = selectIntervalsOptimal(Intervals, Regs);
+    Weight FlowValue = 0;
+    for (unsigned I = 0; I < N; ++I)
+      if (Keep[I])
+        FlowValue += Intervals[I].Cost;
+
+    LinearProgram LP = boxLp(N);
+    for (unsigned I = 0; I < N; ++I)
+      LP.Objective[I] = static_cast<double>(Intervals[I].Cost);
+    for (unsigned Point = 0; Point < 40; ++Point) {
+      std::vector<std::pair<unsigned, double>> Terms;
+      for (unsigned I = 0; I < N; ++I)
+        if (Intervals[I].Start <= Point && Point <= Intervals[I].End)
+          Terms.push_back({I, 1.0});
+      if (Terms.size() > Regs)
+        LP.addRow(std::move(Terms), static_cast<double>(Regs));
+    }
+    LpSolution S = solveLp(LP);
+    ASSERT_EQ(S.Status, LpStatus::Optimal);
+    EXPECT_NEAR(S.Value, static_cast<double>(FlowValue), 1e-5)
+        << "round " << Round;
+  }
+}

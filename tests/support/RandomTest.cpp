@@ -1,0 +1,123 @@
+//===- tests/support/RandomTest.cpp - PRNG unit tests ---------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace layra;
+
+TEST(RandomTest, DeterministicStreams) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Equal = 0;
+  for (int I = 0; I < 1000; ++I)
+    Equal += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Equal, 5u);
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Rng R(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int I = 0; I < 200; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(RandomTest, NextBelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(RandomTest, NextInRangeInclusiveBounds) {
+  Rng R(3);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng R(5);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBoolExtremes) {
+  Rng R(9);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(RandomTest, NextBoolRoughFrequency) {
+  Rng R(13);
+  int Hits = 0;
+  for (int I = 0; I < 10000; ++I)
+    Hits += R.nextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(Hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Rng R(17);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Sorted = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Sorted);
+}
+
+TEST(RandomTest, PickWeightedRespectsZeroWeights) {
+  Rng R(19);
+  std::vector<double> W{0.0, 1.0, 0.0, 3.0};
+  std::map<size_t, int> Counts;
+  for (int I = 0; I < 4000; ++I)
+    ++Counts[R.pickWeighted(W)];
+  EXPECT_EQ(Counts.count(0), 0u);
+  EXPECT_EQ(Counts.count(2), 0u);
+  // Index 3 should be roughly three times as frequent as index 1.
+  EXPECT_GT(Counts[3], 2 * Counts[1]);
+}
+
+TEST(RandomTest, ForkDecorrelates) {
+  Rng A(23);
+  Rng B = A.fork();
+  unsigned Equal = 0;
+  for (int I = 0; I < 1000; ++I)
+    Equal += A.next() == B.next() ? 1 : 0;
+  EXPECT_LT(Equal, 5u);
+}
+
+TEST(RandomTest, SplitMix64KnownAvalanche) {
+  // Two consecutive outputs from the same state differ in many bits.
+  uint64_t S = 0;
+  uint64_t A = splitMix64(S);
+  uint64_t B = splitMix64(S);
+  EXPECT_NE(A, B);
+  EXPECT_GT(__builtin_popcountll(A ^ B), 10);
+}

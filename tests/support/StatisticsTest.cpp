@@ -1,0 +1,68 @@
+//===- tests/support/StatisticsTest.cpp - Statistics unit tests -----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(StatisticsTest, EmptySampleIsAllZero) {
+  SampleSummary S = summarize({});
+  EXPECT_EQ(S.Count, 0u);
+  EXPECT_EQ(S.Mean, 0.0);
+  EXPECT_EQ(S.Max, 0.0);
+}
+
+TEST(StatisticsTest, SingleValue) {
+  SampleSummary S = summarize({4.0});
+  EXPECT_EQ(S.Count, 1u);
+  EXPECT_EQ(S.Min, 4.0);
+  EXPECT_EQ(S.Median, 4.0);
+  EXPECT_EQ(S.Max, 4.0);
+  EXPECT_EQ(S.StdDev, 0.0);
+}
+
+TEST(StatisticsTest, KnownQuartiles) {
+  SampleSummary S = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Q1, 2.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  EXPECT_DOUBLE_EQ(S.Q3, 4.0);
+  EXPECT_DOUBLE_EQ(S.Max, 5.0);
+  EXPECT_DOUBLE_EQ(S.Mean, 3.0);
+}
+
+TEST(StatisticsTest, MedianInterpolatesEvenSamples) {
+  SampleSummary S = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(S.Median, 2.5);
+}
+
+TEST(StatisticsTest, OrderIndependent) {
+  SampleSummary A = summarize({5, 1, 4, 2, 3});
+  SampleSummary B = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(A.Median, B.Median);
+  EXPECT_DOUBLE_EQ(A.Q1, B.Q1);
+  EXPECT_DOUBLE_EQ(A.StdDev, B.StdDev);
+}
+
+TEST(StatisticsTest, QuantileEndpoints) {
+  std::vector<double> Sorted{1, 2, 3, 4, 10};
+  EXPECT_DOUBLE_EQ(quantileOfSorted(Sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantileOfSorted(Sorted, 1.0), 10.0);
+}
+
+TEST(StatisticsTest, StdDevOfConstantSampleIsZero) {
+  SampleSummary S = summarize({2, 2, 2, 2});
+  EXPECT_DOUBLE_EQ(S.StdDev, 0.0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0}), 4.0);
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}

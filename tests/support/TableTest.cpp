@@ -1,0 +1,67 @@
+//===- tests/support/TableTest.cpp - Table printer tests ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+using namespace layra;
+
+namespace {
+std::string render(const Table &T, bool Csv = false) {
+  char Buffer[4096];
+  std::FILE *Mem = fmemopen(Buffer, sizeof(Buffer), "w");
+  if (Csv)
+    T.printCsv(Mem);
+  else
+    T.print(Mem);
+  std::fclose(Mem);
+  return Buffer;
+}
+} // namespace
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = render(T);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // Separator line present.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table T({"a", "b"});
+  T.addRow({"1", "2"});
+  EXPECT_EQ(render(T, /*Csv=*/true), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::num(2.0, 1), "2.0");
+  EXPECT_EQ(Table::num(static_cast<long long>(42)), "42");
+  EXPECT_EQ(Table::num(static_cast<long long>(-7)), "-7");
+}
+
+TEST(TableTest, RowCount) {
+  Table T({"x"});
+  EXPECT_EQ(T.numRows(), 0u);
+  T.addRow({"1"});
+  T.addRow({"2"});
+  EXPECT_EQ(T.numRows(), 2u);
+}
+
+TEST(TableTest, PercentFormatting) {
+  EXPECT_EQ(Table::percent(1, 2), "50.0%");
+  EXPECT_EQ(Table::percent(2, 3), "66.7%");
+  EXPECT_EQ(Table::percent(0, 5), "0.0%");
+  // Zero denominator renders as a placeholder, not a division.
+  EXPECT_EQ(Table::percent(3, 0), "-");
+}
