@@ -8,11 +8,14 @@
 #include "Harness.h"
 
 #include "alloc/Allocator.h"
-#include "alloc/OptimalBnB.h"
+#include "driver/BatchDriver.h"
+#include "support/ParseUtil.h"
 #include "support/Statistics.h"
 #include "support/Table.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 using namespace layra;
@@ -46,31 +49,62 @@ FigureData layra::bench::measureFigure(const FigureSpec &Spec) {
   Suite S = makeSuite(Spec.SuiteName);
   Data.Costs.assign(Data.AllocatorNames.size(), {});
 
+  // One driver for the whole figure: instances are fanned over its pool,
+  // and identical instances *within* one (allocator, register count) batch
+  // are solved once.  (Keys mix allocator and R, so distinct sweep points
+  // never share results.)
+  BatchDriver Driver(Spec.Threads);
+
   for (unsigned RIndex = 0; RIndex < Spec.RegisterCounts.size(); ++RIndex) {
     unsigned Regs = Spec.RegisterCounts[RIndex];
     std::vector<NamedProblem> Problems =
         Spec.ChordalPipeline ? chordalProblems(S, Spec.Target, Regs)
                              : generalProblems(S, Spec.Target, Regs);
+    std::vector<const AllocationProblem *> Instances;
+    Instances.reserve(Problems.size());
+    for (const NamedProblem &P : Problems)
+      Instances.push_back(&P.P);
 
     for (size_t A = 0; A < Data.AllocatorNames.size(); ++A) {
       const std::string &Name = Data.AllocatorNames[A];
+      bool IsOptimal = Name == "optimal";
+      std::vector<AllocationResult> Results =
+          Driver.solveProblems(Instances, Name, Spec.OptimalNodeLimit);
       std::vector<Weight> FunctionCosts(Problems.size(), 0);
       for (size_t I = 0; I < Problems.size(); ++I) {
-        AllocationResult Result;
-        if (Name == "optimal") {
-          OptimalBnBAllocator BnB(Spec.OptimalNodeLimit);
-          Result = BnB.allocate(Problems[I].P);
+        FunctionCosts[I] = Results[I].SpillCost;
+        if (IsOptimal) {
           ++Data.OptimalTotal;
-          Data.OptimalProven += Result.Proven ? 1 : 0;
-        } else {
-          Result = makeAllocator(Name)->allocate(Problems[I].P);
+          Data.OptimalProven += Results[I].Proven ? 1 : 0;
         }
-        FunctionCosts[I] = Result.SpillCost;
       }
       Data.Costs[A].push_back(sumByProgram(S, Problems, FunctionCosts));
     }
   }
   return Data;
+}
+
+unsigned layra::bench::parseThreadsFlag(int Argc, char **Argv) {
+  unsigned Result = 0;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strncmp(Argv[I], "--threads=", 10) == 0) {
+      if (!parseBoundedUnsigned(Argv[I] + 10, 1024, Result)) {
+        std::fprintf(stderr,
+                     "error: --threads must be an integer in [0, 1024]\n");
+        std::exit(2);
+      }
+      continue;
+    }
+    // --threads=N is the only flag the figure binaries take; anything else
+    // (misspellings, the space-separated form) must not silently run the
+    // benchmark with default settings.
+    std::fprintf(stderr,
+                 "error: unknown argument '%s' (only --threads=N is "
+                 "supported)\n",
+                 Argv[I]);
+    std::exit(2);
+  }
+  return Result;
 }
 
 /// Index of "optimal" in Data.AllocatorNames (always the last entry).

@@ -48,6 +48,9 @@ struct FigureSpec {
   bool ChordalPipeline = true;
   /// Branch-and-bound node budget per instance for the Optimal baseline.
   uint64_t OptimalNodeLimit = 20'000'000;
+  /// Batch-driver thread count; 0 = hardware concurrency.  The figure data
+  /// is deterministic, so any thread count reproduces the same tables.
+  unsigned Threads = 0;
 };
 
 /// Per-program spill costs of one allocator at one register count.
@@ -66,8 +69,13 @@ struct FigureData {
   unsigned OptimalProven = 0, OptimalTotal = 0;
 };
 
-/// Runs every allocator of \p Spec (plus "optimal") over the suite.
+/// Runs every allocator of \p Spec (plus "optimal") over the suite, batched
+/// through the parallel driver (driver/BatchDriver.h).
 FigureData measureFigure(const FigureSpec &Spec);
+
+/// Parses an optional `--threads=N` argument for the per-figure binaries;
+/// returns 0 (hardware concurrency) when absent.
+unsigned parseThreadsFlag(int Argc, char **Argv);
 
 /// Prints the aggregate-ratio table (paper Figures 8, 9, 10, 14):
 /// one row per allocator, one column per register count, entries

@@ -16,7 +16,7 @@
 using namespace layra;
 using namespace layra::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   FigureSpec Spec;
   Spec.Id = "Figure 10";
   Spec.Title = "Allocation cost for the LAO-KERNELS benchmark suite on "
@@ -26,6 +26,7 @@ int main() {
   Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
   Spec.Allocators = {"gc", "nl", "fpl", "bl", "bfpl"};
   Spec.ChordalPipeline = true;
+  Spec.Threads = parseThreadsFlag(Argc, Argv);
   printAggregateFigure(measureFigure(Spec));
   return 0;
 }

@@ -16,7 +16,7 @@
 using namespace layra;
 using namespace layra::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   FigureSpec Spec;
   Spec.Id = "Figure 13";
   Spec.Title = "Distribution of normalized allocation costs over individual "
@@ -26,6 +26,7 @@ int main() {
   Spec.RegisterCounts = {1, 2, 4, 8, 16, 32};
   Spec.Allocators = {"gc", "nl", "bl", "fpl", "bfpl"};
   Spec.ChordalPipeline = true;
+  Spec.Threads = parseThreadsFlag(Argc, Argv);
   printDistributionFigure(measureFigure(Spec));
   return 0;
 }

@@ -17,7 +17,7 @@
 using namespace layra;
 using namespace layra::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   FigureSpec Spec;
   Spec.Id = "Figure 14";
   Spec.Title = "Layered-heuristic allocator compared to other algorithms for "
@@ -27,6 +27,7 @@ int main() {
   Spec.RegisterCounts = {2, 4, 6, 8, 10, 12, 14, 16};
   Spec.Allocators = {"ls", "bls", "gc", "lh"};
   Spec.ChordalPipeline = false;
+  Spec.Threads = parseThreadsFlag(Argc, Argv);
   printAggregateFigure(measureFigure(Spec));
   return 0;
 }

@@ -17,7 +17,7 @@
 using namespace layra;
 using namespace layra::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
   FigureSpec Spec;
   Spec.Id = "Figure 15";
   Spec.Title = "Layered-heuristic compared to other allocators when the "
@@ -27,6 +27,7 @@ int main() {
   Spec.RegisterCounts = {6};
   Spec.Allocators = {"ls", "bls", "gc", "lh"};
   Spec.ChordalPipeline = false;
+  Spec.Threads = parseThreadsFlag(Argc, Argv);
   printPerProgramFigure(measureFigure(Spec), 6);
   return 0;
 }

@@ -1,0 +1,317 @@
+//===- examples/layra_bench_cli.cpp - Batch benchmark CLI -----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `layra-bench`: the command-line front end of the batch-allocation driver
+/// (driver/BatchDriver.h).  Expands suite x register-count sweeps into
+/// per-function pipeline jobs, runs them on the work-stealing pool, and
+/// reports aggregates as a table, JSON and/or CSV.
+///
+/// Usage:
+///   layra-bench [--suite=NAME[,NAME...]] [--regs=LO..HI | --regs=A,B,C]
+///               [--threads=N] [--target=st231|armv7|x86-64]
+///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
+///               [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]
+///               [--details] [--no-timing] [--quiet]
+///
+///   --suite      suites to run (default eembc); names as in makeSuite()
+///   --regs       register counts, a range `4..16` or a list `1,2,4`
+///                (default 4..16)
+///   --threads    pool size; 0 = hardware concurrency (default 0)
+///   --allocator  pipeline spiller per round (default bfpl)
+///   --json/--csv write the DriverReport in that format ("-" = stdout)
+///   --details    include per-function tasks in the JSON report
+///   --no-timing  omit wall-clock fields: output is then byte-identical
+///                across runs and thread counts
+///   --quiet      suppress the stdout summary table
+///
+/// Examples:
+///   layra-bench --suite=eembc --regs=4..16 --threads=8 --json=out.json
+///   layra-bench --suite=eembc,lao-kernels --regs=2,4,8 --no-timing --json=-
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+#include "driver/ReportIO.h"
+#include "support/ParseUtil.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace layra;
+
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> Suites{"eembc"};
+  std::vector<unsigned> Regs;
+  unsigned Threads = 0;
+  std::string TargetName = "st231";
+  PipelineOptions Pipeline;
+  std::string JsonPath;
+  std::string CsvPath;
+  std::string TasksCsvPath;
+  bool Details = false;
+  bool Timing = true;
+  bool Quiet = false;
+};
+
+[[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
+  if (Error)
+    std::fprintf(stderr, "error: %s\n", Error);
+  std::fprintf(
+      stderr,
+      "usage: %s [--suite=NAME[,NAME...]] [--regs=LO..HI|--regs=A,B,C]\n"
+      "          [--threads=N] [--target=st231|armv7|x86-64]\n"
+      "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
+      "          [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]\n"
+      "          [--details] [--no-timing] [--quiet]\n",
+      Argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t Comma = Text.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    if (Comma > Start)
+      Out.push_back(Text.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+/// Largest register count / thread count / round count the CLI accepts;
+/// generous for any real machine, small enough to make typos errors
+/// instead of resource exhaustion.
+constexpr unsigned kMaxCliValue = 1024;
+
+/// Parses `4..16` (inclusive range) or `1,2,4` (list) into register counts.
+std::vector<unsigned> parseRegs(const char *Argv0, const std::string &Text) {
+  std::vector<unsigned> Out;
+  size_t Dots = Text.find("..");
+  if (Dots != std::string::npos) {
+    unsigned Lo = 0, Hi = 0;
+    if (!parseBoundedUnsigned(Text.substr(0, Dots).c_str(), kMaxCliValue,
+                              Lo) ||
+        !parseBoundedUnsigned(Text.substr(Dots + 2).c_str(), kMaxCliValue,
+                              Hi) ||
+        Lo == 0 || Hi < Lo)
+      usage(Argv0, "--regs range must be LO..HI with 1 <= LO <= HI <= 1024");
+    for (unsigned R = Lo; R <= Hi; ++R)
+      Out.push_back(R);
+    return Out;
+  }
+  for (const std::string &Item : splitList(Text)) {
+    unsigned R = 0;
+    if (!parseBoundedUnsigned(Item.c_str(), kMaxCliValue, R) || R == 0)
+      usage(Argv0, "--regs entries must be integers in [1, 1024]");
+    Out.push_back(R);
+  }
+  if (Out.empty())
+    usage(Argv0, "--regs must name at least one register count");
+  return Out;
+}
+
+const TargetDesc *targetByName(const std::string &Name) {
+  if (Name == "st231")
+    return &ST231;
+  if (Name == "armv7" || Name == "armv7-a8")
+    return &ARMv7;
+  if (Name == "x86-64" || Name == "x86")
+    return &X86_64;
+  return nullptr;
+}
+
+CliOptions parseArgs(int Argc, char **Argv) {
+  CliOptions Opt;
+  Opt.Regs = {4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) != 0)
+        return nullptr;
+      return Arg.c_str() + Len;
+    };
+    if (const char *V = Value("--suite=")) {
+      Opt.Suites = splitList(V);
+      if (Opt.Suites.empty())
+        usage(Argv[0], "--suite must name at least one suite");
+    } else if (const char *V = Value("--regs=")) {
+      Opt.Regs = parseRegs(Argv[0], V);
+    } else if (const char *V = Value("--threads=")) {
+      if (!parseBoundedUnsigned(V, kMaxCliValue, Opt.Threads))
+        usage(Argv[0], "--threads must be an integer in [0, 1024]");
+    } else if (const char *V = Value("--target=")) {
+      Opt.TargetName = V;
+    } else if (const char *V = Value("--allocator=")) {
+      Opt.Pipeline.AllocatorName = V;
+    } else if (const char *V = Value("--max-rounds=")) {
+      if (!parseBoundedUnsigned(V, kMaxCliValue, Opt.Pipeline.MaxRounds) ||
+          Opt.Pipeline.MaxRounds == 0)
+        usage(Argv[0], "--max-rounds must be an integer in [1, 1024]");
+    } else if (Arg == "--no-affinity") {
+      Opt.Pipeline.AffinityBias = false;
+    } else if (Arg == "--no-fold") {
+      Opt.Pipeline.FoldMemoryOperands = false;
+    } else if (const char *V = Value("--json=")) {
+      if (!*V)
+        usage(Argv[0], "--json needs a file path (or '-' for stdout)");
+      Opt.JsonPath = V;
+    } else if (const char *V = Value("--csv=")) {
+      if (!*V)
+        usage(Argv[0], "--csv needs a file path (or '-' for stdout)");
+      Opt.CsvPath = V;
+    } else if (const char *V = Value("--tasks-csv=")) {
+      if (!*V)
+        usage(Argv[0], "--tasks-csv needs a file path (or '-' for stdout)");
+      Opt.TasksCsvPath = V;
+    } else if (Arg == "--details") {
+      Opt.Details = true;
+    } else if (Arg == "--no-timing") {
+      Opt.Timing = false;
+    } else if (Arg == "--quiet") {
+      Opt.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+    } else {
+      usage(Argv[0], ("unknown argument '" + Arg + "'").c_str());
+    }
+  }
+  // A report written to stdout must be the only thing on stdout, or
+  // downstream parsers choke.
+  int StdoutReports = (Opt.JsonPath == "-" ? 1 : 0) +
+                      (Opt.CsvPath == "-" ? 1 : 0) +
+                      (Opt.TasksCsvPath == "-" ? 1 : 0);
+  if (StdoutReports > 1)
+    usage(Argv[0], "at most one of --json/--csv/--tasks-csv may be '-'");
+  if (StdoutReports == 1)
+    Opt.Quiet = true;
+  return Opt;
+}
+
+/// Opens \p Path for writing; "-" means stdout.
+std::FILE *openOutput(const std::string &Path) {
+  if (Path == "-")
+    return stdout;
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  return Out;
+}
+
+void closeOutput(std::FILE *Out) {
+  if (Out != stdout)
+    std::fclose(Out);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opt = parseArgs(Argc, Argv);
+  const TargetDesc *Target = targetByName(Opt.TargetName);
+  if (!Target)
+    usage(Argv[0], "unknown target");
+  if (!makeAllocator(Opt.Pipeline.AllocatorName))
+    usage(Argv[0], "unknown allocator");
+
+  std::vector<std::string> Known = allSuiteNames();
+  for (const std::string &Name : Opt.Suites)
+    if (std::find(Known.begin(), Known.end(), Name) == Known.end()) {
+      std::string Error = "unknown suite '" + Name + "' (known:";
+      for (const std::string &K : Known)
+        Error += " " + K;
+      Error += ")";
+      usage(Argv[0], Error.c_str());
+    }
+
+  // Generate each suite once and share it across the register sweep.
+  std::vector<Suite> Suites;
+  Suites.reserve(Opt.Suites.size());
+  for (const std::string &Name : Opt.Suites)
+    Suites.push_back(makeSuite(Name));
+
+  std::vector<BatchJob> Jobs;
+  for (const Suite &S : Suites)
+    for (unsigned Regs : Opt.Regs) {
+      BatchJob Job;
+      Job.SuiteName = S.Name;
+      Job.SuiteData = &S;
+      Job.Target = *Target;
+      Job.NumRegisters = Regs;
+      Job.Options = Opt.Pipeline;
+      Jobs.push_back(Job);
+    }
+
+  // Open report outputs before the (potentially long) run so an unwritable
+  // path fails fast instead of discarding the results.
+  std::FILE *JsonOut = Opt.JsonPath.empty() ? nullptr : openOutput(Opt.JsonPath);
+  std::FILE *CsvOut = Opt.CsvPath.empty() ? nullptr : openOutput(Opt.CsvPath);
+  std::FILE *TasksCsvOut =
+      Opt.TasksCsvPath.empty() ? nullptr : openOutput(Opt.TasksCsvPath);
+
+  BatchDriver Driver(Opt.Threads);
+  DriverReport Report = Driver.run(Jobs);
+
+  if (!Opt.Quiet) {
+    std::printf("layra-bench: %zu jobs (%zu suites x %zu register counts), "
+                "%u threads, allocator %s on %s\n",
+                Jobs.size(), Suites.size(), Opt.Regs.size(), Report.Threads,
+                Opt.Pipeline.AllocatorName.c_str(), Target->Name);
+    std::vector<std::string> Headers{"suite",      "regs",  "functions",
+                                     "fit",        "spill cost", "loads",
+                                     "stores",     "cache hits"};
+    if (Opt.Timing)
+      Headers.push_back("wall ms");
+    Table T(std::move(Headers));
+    for (const JobReport &JR : Report.Jobs) {
+      std::vector<std::string> Row{
+          JR.Job.SuiteName,
+          std::to_string(JR.Job.NumRegisters),
+          std::to_string(JR.Tasks.size()),
+          std::to_string(JR.FunctionsFit),
+          std::to_string(JR.TotalSpillCost),
+          std::to_string(JR.TotalLoads),
+          std::to_string(JR.TotalStores),
+          std::to_string(JR.CacheHits)};
+      if (Opt.Timing)
+        Row.push_back(Table::num(JR.WallMsTotal));
+      T.addRow(std::move(Row));
+    }
+    T.print(stdout);
+    if (Opt.Timing)
+      std::printf("total wall time: %s ms (cache: %llu entries, %llu hits)\n",
+                  Table::num(Report.WallMs).c_str(),
+                  static_cast<unsigned long long>(Report.CacheEntries),
+                  static_cast<unsigned long long>(Report.CacheHits));
+  }
+
+  if (JsonOut) {
+    writeDriverReportJson(JsonOut, Report, Opt.Timing, Opt.Details);
+    closeOutput(JsonOut);
+  }
+  if (CsvOut) {
+    writeDriverReportCsv(CsvOut, Report, Opt.Timing);
+    closeOutput(CsvOut);
+  }
+  if (TasksCsvOut) {
+    writeDriverTasksCsv(TasksCsvOut, Report, Opt.Timing);
+    closeOutput(TasksCsvOut);
+  }
+  return 0;
+}

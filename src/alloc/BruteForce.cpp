@@ -9,8 +9,6 @@
 
 #include "support/Compiler.h"
 
-#include <bit>
-
 using namespace layra;
 
 AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
@@ -36,7 +34,7 @@ AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
     uint32_t Bits = static_cast<uint32_t>(Subset);
     bool Feasible = true;
     for (uint32_t Mask : ConstraintMask)
-      if (std::popcount(Bits & Mask) > static_cast<int>(R)) {
+      if (layraPopcount(Bits & Mask) > static_cast<int>(R)) {
         Feasible = false;
         break;
       }

@@ -1,0 +1,332 @@
+//===- driver/BatchDriver.cpp - Parallel batch allocation ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "alloc/OptimalBnB.h"
+#include "ir/SsaBuilder.h"
+#include "support/Compiler.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <map>
+
+using namespace layra;
+
+//===----------------------------------------------------------------------===//
+// Content hashing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Mixes \p Value into running hash \p H (SplitMix64 avalanche; same
+/// primitive the suite generators use for seed derivation).
+uint64_t mix(uint64_t H, uint64_t Value) {
+  uint64_t State = H ^ (Value + 0x9e3779b97f4a7c15ULL);
+  return splitMix64(State);
+}
+
+uint64_t mixString(uint64_t H, const std::string &S) {
+  H = mix(H, S.size());
+  for (unsigned char C : S)
+    H = mix(H, C);
+  return H;
+}
+
+double toMs(std::chrono::steady_clock::duration D) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             D)
+      .count();
+}
+
+} // namespace
+
+uint64_t layra::hashFunction(const Function &F) {
+  uint64_t H = 0x6c617972612d6866ULL; // "layra-hf"
+  H = mix(H, F.numValues());
+  H = mix(H, F.numBlocks());
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &Block = F.block(B);
+    H = mix(H, Block.LoopDepth);
+    H = mix(H, static_cast<uint64_t>(Block.Frequency));
+    H = mix(H, Block.Preds.size());
+    for (BlockId P : Block.Preds)
+      H = mix(H, P);
+    H = mix(H, Block.Succs.size());
+    for (BlockId S : Block.Succs)
+      H = mix(H, S);
+    H = mix(H, Block.Instrs.size());
+    for (const Instruction &I : Block.Instrs) {
+      H = mix(H, static_cast<uint64_t>(I.Op));
+      H = mix(H, I.Defs.size());
+      for (ValueId V : I.Defs)
+        H = mix(H, V);
+      H = mix(H, I.Uses.size());
+      for (ValueId V : I.Uses)
+        H = mix(H, V);
+      H = mix(H, static_cast<uint64_t>(static_cast<int64_t>(I.SpillSlot)));
+      H = mix(H, I.MemUseSlots.size());
+      for (int Slot : I.MemUseSlots)
+        H = mix(H, static_cast<uint64_t>(static_cast<int64_t>(Slot)));
+    }
+  }
+  return H;
+}
+
+uint64_t layra::hashPipelineTask(const Function &F, const TargetDesc &Target,
+                                 unsigned NumRegisters,
+                                 const PipelineOptions &Options) {
+  return hashPipelineTask(hashFunction(F), Target, NumRegisters, Options);
+}
+
+uint64_t layra::hashPipelineTask(uint64_t FunctionHash,
+                                 const TargetDesc &Target,
+                                 unsigned NumRegisters,
+                                 const PipelineOptions &Options) {
+  uint64_t H = FunctionHash;
+  // The target enters the pipeline only through its cost model and
+  // addressing-mode geometry; the name is cosmetic.
+  H = mix(H, static_cast<uint64_t>(Target.LoadCost));
+  H = mix(H, static_cast<uint64_t>(Target.StoreCost));
+  H = mix(H, Target.MaxMemOperands);
+  H = mix(H, static_cast<uint64_t>(Target.MemOperandCost));
+  H = mix(H, NumRegisters);
+  H = mixString(H, Options.AllocatorName);
+  H = mix(H, Options.AffinityBias ? 1 : 0);
+  H = mix(H, Options.MaxRounds);
+  H = mix(H, Options.FoldMemoryOperands ? 1 : 0);
+  return H;
+}
+
+uint64_t layra::hashProblem(const AllocationProblem &P) {
+  uint64_t H = 0x6c617972612d6870ULL; // "layra-hp"
+  H = mix(H, P.NumRegisters);
+  H = mix(H, P.Chordal ? 1 : 0);
+  H = mix(H, P.G.numVertices());
+  for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+    H = mix(H, static_cast<uint64_t>(P.G.weight(V)));
+    const std::vector<VertexId> &Neighbors = P.G.neighbors(V);
+    H = mix(H, Neighbors.size());
+    for (VertexId N : Neighbors)
+      H = mix(H, N);
+  }
+  H = mix(H, P.Constraints.size());
+  for (const std::vector<VertexId> &K : P.Constraints) {
+    H = mix(H, K.size());
+    for (VertexId V : K)
+      H = mix(H, V);
+  }
+  // Linear-scan allocators consume the interval layout, which is not
+  // derivable from the graph, so it is part of the instance identity.
+  if (P.Intervals) {
+    H = mix(H, P.Intervals->NumPoints);
+    H = mix(H, P.Intervals->Intervals.size());
+    for (const LiveInterval &I : P.Intervals->Intervals) {
+      H = mix(H, I.V);
+      H = mix(H, I.Start);
+      H = mix(H, I.End);
+      H = mix(H, static_cast<uint64_t>(I.Cost));
+    }
+  } else {
+    H = mix(H, 0xdeadULL);
+  }
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// BatchDriver
+//===----------------------------------------------------------------------===//
+
+BatchDriver::BatchDriver(unsigned Threads) : Pool(Threads) {}
+
+DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
+  auto BatchStart = std::chrono::steady_clock::now();
+
+  DriverReport Report;
+  Report.Threads = Pool.numThreads();
+
+  // Phase 1 (serial): generate each distinct named suite once.
+  std::map<std::string, Suite> GeneratedSuites;
+  for (const BatchJob &Job : Jobs)
+    if (!Job.SuiteData && !GeneratedSuites.count(Job.SuiteName))
+      GeneratedSuites.emplace(Job.SuiteName, makeSuite(Job.SuiteName));
+
+  // Phase 2 (serial): expand jobs into tasks and classify hit/miss against
+  // the persistent cache plus this batch's first occurrences.  Doing this
+  // before any parallel work keeps the classification thread-independent.
+  struct PendingTask {
+    size_t JobIndex;
+    const Function *F;
+    const std::string *Program;
+    uint64_t Key;
+    bool CacheHit;
+    size_t UniqueIndex; ///< Slot in the unique-solve arrays.
+  };
+  std::vector<PendingTask> Pending;
+  std::unordered_map<uint64_t, size_t> UniqueOf; // Key -> unique slot.
+  std::vector<size_t> UniqueToPending;
+
+  // Function pointers are stable for the duration of run() (suites live in
+  // GeneratedSuites or in the caller's SuiteData), so each function's IR is
+  // hashed once even when a sweep references it from many jobs.
+  std::unordered_map<const Function *, uint64_t> FunctionHashes;
+  auto HashOf = [&](const Function &F) {
+    auto It = FunctionHashes.find(&F);
+    if (It != FunctionHashes.end())
+      return It->second;
+    uint64_t H = hashFunction(F);
+    FunctionHashes.emplace(&F, H);
+    return H;
+  };
+
+  Report.Jobs.resize(Jobs.size());
+  for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+    const BatchJob &Job = Jobs[JI];
+    const Suite &S =
+        Job.SuiteData ? *Job.SuiteData : GeneratedSuites.at(Job.SuiteName);
+    // The report must stay valid after the caller's Suite dies: snapshot
+    // the resolved label and drop the borrowed pointer.
+    Report.Jobs[JI].Job = Job;
+    Report.Jobs[JI].Job.SuiteData = nullptr;
+    if (Report.Jobs[JI].Job.SuiteName.empty())
+      Report.Jobs[JI].Job.SuiteName = S.Name;
+    for (const SuiteProgram &Prog : S.Programs)
+      for (const Function &F : Prog.Functions) {
+        PendingTask T;
+        T.JobIndex = JI;
+        T.F = &F;
+        T.Program = &Prog.Name;
+        // Instances are equated purely by 64-bit content hash: at n tasks
+        // the collision odds are ~n^2/2^65 (~1e-13 for n = 100k), which we
+        // accept rather than storing canonical instances for re-check.
+        T.Key = hashPipelineTask(HashOf(F), Job.Target, Job.NumRegisters,
+                                 Job.Options);
+        auto Known = UniqueOf.find(T.Key);
+        if (PipelineCache.count(T.Key)) {
+          T.CacheHit = true;
+          T.UniqueIndex = ~size_t(0);
+        } else if (Known != UniqueOf.end()) {
+          T.CacheHit = true;
+          T.UniqueIndex = Known->second;
+        } else {
+          T.CacheHit = false;
+          T.UniqueIndex = UniqueOf.size();
+          UniqueOf.emplace(T.Key, T.UniqueIndex);
+          UniqueToPending.push_back(Pending.size());
+        }
+        Pending.push_back(T);
+      }
+  }
+
+  // Phase 3 (parallel): solve each unique instance once.  Every worker
+  // writes only its own slot; the library itself is deterministic.
+  std::vector<TaskOutcome> Outcomes(UniqueToPending.size());
+  std::vector<double> SolveMs(UniqueToPending.size(), 0);
+  Pool.parallelFor(UniqueToPending.size(), [&](size_t I) {
+    const PendingTask &T = Pending[UniqueToPending[I]];
+    const BatchJob &Job = Jobs[T.JobIndex];
+    auto Start = std::chrono::steady_clock::now();
+    SsaConversion Ssa = convertToSsa(*T.F);
+    PipelineResult R = runAllocationPipeline(Ssa.Ssa, Job.Target,
+                                             Job.NumRegisters, Job.Options);
+    TaskOutcome &Out = Outcomes[I];
+    Out.SpillCost = R.TotalSpillCost;
+    Out.NumLoads = R.Spills.NumLoads;
+    Out.NumStores = R.Spills.NumStores;
+    Out.LoadsFolded = R.LoadsFolded;
+    Out.Rounds = R.Rounds;
+    Out.FinalMaxLive = R.FinalMaxLive;
+    Out.Fits = R.Fits;
+    SolveMs[I] = toMs(std::chrono::steady_clock::now() - Start);
+  });
+
+  // Phase 4 (serial): commit outcomes to the cache and assemble the
+  // reports in expansion order.
+  for (size_t I = 0; I < UniqueToPending.size(); ++I)
+    PipelineCache.emplace(Pending[UniqueToPending[I]].Key, Outcomes[I]);
+
+  std::vector<std::vector<double>> JobSolveMs(Jobs.size());
+  for (const PendingTask &T : Pending) {
+    JobReport &JR = Report.Jobs[T.JobIndex];
+    TaskResult Result;
+    Result.Program = *T.Program;
+    Result.Function = T.F->name();
+    Result.Key = T.Key;
+    Result.CacheHit = T.CacheHit;
+    Result.Out = PipelineCache.at(T.Key);
+    if (!T.CacheHit) {
+      Result.WallMs = SolveMs[T.UniqueIndex];
+      JobSolveMs[T.JobIndex].push_back(Result.WallMs);
+    }
+    JR.TotalSpillCost += Result.Out.SpillCost;
+    JR.TotalLoads += Result.Out.NumLoads;
+    JR.TotalStores += Result.Out.NumStores;
+    JR.TotalFolded += Result.Out.LoadsFolded;
+    JR.TotalRounds += Result.Out.Rounds;
+    JR.FunctionsFit += Result.Out.Fits ? 1 : 0;
+    JR.CacheHits += T.CacheHit ? 1 : 0;
+    JR.WallMsTotal += Result.WallMs;
+    JR.Tasks.push_back(std::move(Result));
+  }
+  for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+    SampleSummary Summary = summarize(std::move(JobSolveMs[JI]));
+    Report.Jobs[JI].WallMsP50 = Summary.Median;
+    Report.Jobs[JI].WallMsP95 = Summary.P95;
+    Report.Jobs[JI].WallMsMax = Summary.Max;
+    Report.CacheHits += Report.Jobs[JI].CacheHits;
+  }
+  Report.CacheEntries = PipelineCache.size();
+  Report.WallMs = toMs(std::chrono::steady_clock::now() - BatchStart);
+  return Report;
+}
+
+std::vector<AllocationResult>
+BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problems,
+                           const std::string &AllocatorName,
+                           uint64_t OptimalNodeLimit) {
+  // Serial classification, exactly as in run(): first occurrence of a key
+  // solves, later ones share.
+  bool IsOptimal = AllocatorName == "optimal";
+  uint64_t Salt = mixString(0x6c617972612d7370ULL, AllocatorName); // "la-sp"
+  // The node limit shapes results only for the branch-and-bound solver;
+  // keying it for other allocators would needlessly split their caches.
+  Salt = mix(Salt, IsOptimal ? OptimalNodeLimit : 0);
+  std::vector<uint64_t> Keys(Problems.size());
+  std::vector<size_t> UniqueToInput;
+  std::unordered_map<uint64_t, size_t> UniqueOf;
+  for (size_t I = 0; I < Problems.size(); ++I) {
+    // Same accepted hash-collision tradeoff as the pipeline cache above.
+    Keys[I] = mix(Salt, hashProblem(*Problems[I]));
+    if (!ProblemCache.count(Keys[I]) && !UniqueOf.count(Keys[I])) {
+      UniqueOf.emplace(Keys[I], UniqueToInput.size());
+      UniqueToInput.push_back(I);
+    }
+  }
+
+  std::vector<AllocationResult> Unique(UniqueToInput.size());
+  Pool.parallelFor(UniqueToInput.size(), [&](size_t U) {
+    const AllocationProblem &P = *Problems[UniqueToInput[U]];
+    if (IsOptimal) {
+      OptimalBnBAllocator BnB(OptimalNodeLimit);
+      Unique[U] = BnB.allocate(P);
+      return;
+    }
+    std::unique_ptr<Allocator> A = makeAllocator(AllocatorName);
+    if (!A)
+      layraFatalError("unknown allocator name in solveProblems");
+    Unique[U] = A->allocate(P);
+  });
+
+  for (size_t U = 0; U < UniqueToInput.size(); ++U)
+    ProblemCache.emplace(Keys[UniqueToInput[U]], std::move(Unique[U]));
+
+  std::vector<AllocationResult> Results(Problems.size());
+  for (size_t I = 0; I < Problems.size(); ++I)
+    Results[I] = ProblemCache.at(Keys[I]);
+  return Results;
+}

@@ -1,0 +1,183 @@
+//===- driver/BatchDriver.h - Parallel batch allocation ---------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The batch-allocation subsystem: expands jobs (suite x target x register
+/// count x pipeline options) into per-function allocation tasks, dedupes
+/// repeated instances through a content-hash cache, and executes the unique
+/// ones on a work-stealing thread pool (support/ThreadPool.h).
+///
+/// Determinism contract: report contents other than wall-clock timings are
+/// a pure function of the jobs -- independent of the thread count and of the
+/// steal schedule.  This holds because (a) every task writes only its own
+/// result slot, (b) the library itself is deterministic, and (c) cache
+/// hit/miss classification happens in a serial expansion pass *before* any
+/// parallel work, so which instance of a duplicate pair is "the hit" never
+/// depends on a race.
+///
+/// The cache persists across run() calls: sweeping the same suite at a new
+/// register count re-solves (keys include R), but re-running an identical
+/// job -- or meeting the same function again in another suite -- is free.
+/// In the decoupled spill-everywhere view (Bouchez, Darte, Rastello) the
+/// spill decision is a pure function of the instance, which is what makes
+/// memoizing it sound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_DRIVER_BATCHDRIVER_H
+#define LAYRA_DRIVER_BATCHDRIVER_H
+
+#include "alloc/Pipeline.h"
+#include "core/AllocationProblem.h"
+#include "ir/Target.h"
+#include "suites/Suites.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace layra {
+
+/// One batch job: every function of one suite, run through the allocation
+/// pipeline at one register count with one option set.
+struct BatchJob {
+  /// Suite name; resolved through makeSuite() unless SuiteData is set.
+  std::string SuiteName;
+  /// Optional pre-built suite (must outlive the run() call).  Lets callers
+  /// expand a generated suite once across a whole register sweep and lets
+  /// tests drive hand-built functions.  SuiteName is then just the label.
+  const Suite *SuiteData = nullptr;
+  /// Target cost model.
+  TargetDesc Target = ST231;
+  /// Register count for this job.
+  unsigned NumRegisters = 0;
+  /// Pipeline configuration (allocator, rounds, folding, ...).
+  PipelineOptions Options;
+};
+
+/// Deterministic outcome of one function's pipeline run.  This is the unit
+/// the cache stores and shares between duplicate instances.
+struct TaskOutcome {
+  Weight SpillCost = 0;
+  unsigned NumLoads = 0;
+  unsigned NumStores = 0;
+  unsigned LoadsFolded = 0;
+  unsigned Rounds = 0;
+  unsigned FinalMaxLive = 0;
+  bool Fits = false;
+};
+
+/// One function's record within a job report.
+struct TaskResult {
+  std::string Program;  ///< Owning suite program.
+  std::string Function; ///< Function name.
+  uint64_t Key = 0;     ///< Content hash (IR + target + R + options).
+  bool CacheHit = false;///< Shared a previously solved identical instance.
+  TaskOutcome Out;
+  double WallMs = 0;    ///< Solve time; 0 for cache hits.  Timing field.
+};
+
+/// Aggregates over one job.  Every field except the WallMs* ones is
+/// deterministic across thread counts.
+struct JobReport {
+  /// The job as configured, with SuiteName resolved and SuiteData cleared
+  /// so the report never borrows the caller's suite storage.
+  BatchJob Job;
+  std::vector<TaskResult> Tasks; ///< Suite order, thread-independent.
+  Weight TotalSpillCost = 0;
+  uint64_t TotalLoads = 0;
+  uint64_t TotalStores = 0;
+  uint64_t TotalFolded = 0;
+  uint64_t TotalRounds = 0;
+  unsigned FunctionsFit = 0;
+  unsigned CacheHits = 0;
+  /// Wall-time aggregate/percentiles over this job's solved (non-hit)
+  /// tasks.  Timing fields: excluded from determinism comparisons.
+  double WallMsTotal = 0;
+  double WallMsP50 = 0;
+  double WallMsP95 = 0;
+  double WallMsMax = 0;
+};
+
+/// Everything one run() produced.
+struct DriverReport {
+  std::vector<JobReport> Jobs;
+  unsigned Threads = 1;
+  uint64_t CacheEntries = 0; ///< Pipeline-cache size after the run.
+  uint64_t CacheHits = 0;    ///< Hits across this run's jobs.
+  double WallMs = 0;         ///< Whole-batch wall clock.  Timing field.
+};
+
+/// Stable structural hash of a function's IR: blocks, edges, instructions,
+/// operands, spill slots and frequencies.  Value/block/function *names* are
+/// excluded, so two structurally identical functions hash equal.
+uint64_t hashFunction(const Function &F);
+
+/// Cache key of one pipeline task: hashFunction(F) mixed with the target
+/// cost model, the register count and every PipelineOptions field.
+uint64_t hashPipelineTask(const Function &F, const TargetDesc &Target,
+                          unsigned NumRegisters,
+                          const PipelineOptions &Options);
+
+/// Same key from a precomputed hashFunction(F) value; lets a register
+/// sweep hash each function's IR once instead of once per job.
+uint64_t hashPipelineTask(uint64_t FunctionHash, const TargetDesc &Target,
+                          unsigned NumRegisters,
+                          const PipelineOptions &Options);
+
+/// Stable content hash of a spill-everywhere instance: graph weights and
+/// adjacency, register count, point constraints, and (when present) the
+/// flattened live intervals.  Vertex names are excluded.
+uint64_t hashProblem(const AllocationProblem &P);
+
+/// Schedules per-function allocation problems over a work-stealing pool.
+class BatchDriver {
+public:
+  /// \p Threads = 0 picks ThreadPool::defaultThreadCount().
+  explicit BatchDriver(unsigned Threads = 0);
+
+  unsigned numThreads() const { return Pool.numThreads(); }
+
+  /// Expands \p Jobs, solves unique instances in parallel, and returns the
+  /// per-job reports in job order (task order within a job is suite order).
+  DriverReport run(const std::vector<BatchJob> &Jobs);
+
+  /// Lower-level batch entry used by the figure harness: solves every
+  /// problem with allocator \p AllocatorName in parallel and returns the
+  /// results in input order.  Duplicate instances (by content hash) are
+  /// solved once.  \p OptimalNodeLimit bounds the "optimal"
+  /// branch-and-bound search (always honored for that allocator, zero
+  /// meaning a zero node budget; the default matches OptimalBnBAllocator's
+  /// own); other allocators ignore it.
+  std::vector<AllocationResult>
+  solveProblems(const std::vector<const AllocationProblem *> &Problems,
+                const std::string &AllocatorName,
+                uint64_t OptimalNodeLimit = 50'000'000);
+
+  /// Number of memoized pipeline outcomes.
+  size_t pipelineCacheSize() const { return PipelineCache.size(); }
+  /// Number of memoized problem results (solveProblems side).
+  size_t problemCacheSize() const { return ProblemCache.size(); }
+
+private:
+  ThreadPool Pool;
+  /// hashPipelineTask key -> outcome.  Touched only from the serial
+  /// expansion/commit phases, never from pool workers.
+  std::unordered_map<uint64_t, TaskOutcome> PipelineCache;
+  /// hashProblem+allocator key -> result, for solveProblems.  Entries are
+  /// retained for the driver's lifetime so a (problem, allocator, R) pair
+  /// recurring in a later call is free; the cost is O(vertices) bytes per
+  /// unique instance, a few MB across the largest figure sweep.  Callers
+  /// for whom that never pays can simply use a shorter-lived driver.
+  std::unordered_map<uint64_t, AllocationResult> ProblemCache;
+};
+
+} // namespace layra
+
+#endif // LAYRA_DRIVER_BATCHDRIVER_H

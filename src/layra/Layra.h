@@ -41,6 +41,8 @@
 #include "core/LayeredHeuristic.h"
 #include "core/ProblemBuilder.h"
 #include "core/StepLayer.h"
+#include "driver/BatchDriver.h"
+#include "driver/ReportIO.h"
 #include "flow/MinCostFlow.h"
 #include "graph/Chordal.h"
 #include "graph/Coloring.h"

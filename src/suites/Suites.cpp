@@ -199,15 +199,32 @@ Suite layra::makeSpecJvm98() {
   return S;
 }
 
+namespace {
+/// The single name -> factory table both makeSuite and allSuiteNames
+/// derive from, so the two can never drift apart.
+struct SuiteEntry {
+  const char *Name;
+  Suite (*Factory)();
+};
+constexpr SuiteEntry kSuiteTable[] = {
+    {"spec2000int", makeSpec2000Int},
+    {"eembc", makeEembc},
+    {"lao-kernels", makeLaoKernels},
+    {"specjvm98", makeSpecJvm98},
+};
+} // namespace
+
+std::vector<std::string> layra::allSuiteNames() {
+  std::vector<std::string> Names;
+  for (const SuiteEntry &Entry : kSuiteTable)
+    Names.push_back(Entry.Name);
+  return Names;
+}
+
 Suite layra::makeSuite(const std::string &Name) {
-  if (Name == "spec2000int")
-    return makeSpec2000Int();
-  if (Name == "eembc")
-    return makeEembc();
-  if (Name == "lao-kernels")
-    return makeLaoKernels();
-  if (Name == "specjvm98")
-    return makeSpecJvm98();
+  for (const SuiteEntry &Entry : kSuiteTable)
+    if (Name == Entry.Name)
+      return Entry.Factory();
   layraFatalError("unknown suite name");
 }
 

@@ -53,6 +53,10 @@ Suite makeSpecJvm98();
 /// "specjvm98"); aborts on unknown names.
 Suite makeSuite(const std::string &Name);
 
+/// All names makeSuite accepts (in a stable presentation order).  Lets
+/// front ends validate user input before makeSuite's fatal-error path.
+std::vector<std::string> allSuiteNames();
+
 /// An allocation problem labelled with its origin.
 struct NamedProblem {
   std::string Program;

@@ -17,6 +17,19 @@
 
 namespace layra {
 
+/// Portable 32-bit population count (std::popcount is C++20; Layra builds
+/// as C++17).
+inline int layraPopcount(unsigned Value) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcount(Value);
+#else
+  int Count = 0;
+  for (; Value; Value &= Value - 1)
+    ++Count;
+  return Count;
+#endif
+}
+
 /// Reports a fatal internal error and aborts.  Used by LAYRA_UNREACHABLE;
 /// never returns.
 [[noreturn]] void layraUnreachableInternal(const char *Msg, const char *File,

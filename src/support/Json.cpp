@@ -1,0 +1,166 @@
+//===- support/Json.cpp - Minimal ordered JSON emitter ---------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <clocale>
+#include <cmath>
+#include <cstring>
+
+using namespace layra;
+
+JsonValue &JsonValue::push(JsonValue V) {
+  assert(K == Kind::Array && "push on a non-array JSON value");
+  ArrayV.push_back(std::move(V));
+  return *this;
+}
+
+JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
+  assert(K == Kind::Object && "set on a non-object JSON value");
+  for (auto &Entry : ObjectV)
+    if (Entry.first == Key) {
+      Entry.second = std::move(V);
+      return *this;
+    }
+  ObjectV.emplace_back(Key, std::move(V));
+  return *this;
+}
+
+std::string JsonValue::escape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x", C);
+        Out += Buffer;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+/// Formats \p D deterministically: %.17g round-trips every double, then the
+/// precision is trimmed to the shortest form that still parses back equal.
+/// JSON is locale-free, so a host application's LC_NUMERIC decimal point
+/// (e.g. ',' under de_DE) is normalized back to '.'.
+static std::string formatDouble(double D) {
+  if (!std::isfinite(D))
+    return "null"; // JSON has no Inf/NaN; reports never produce them.
+  for (int Precision = 1; Precision <= 17; ++Precision) {
+    char Buffer[40];
+    std::snprintf(Buffer, sizeof(Buffer), "%.*g", Precision, D);
+    // strtod honors the same locale as snprintf, so round-trip first.
+    if (std::strtod(Buffer, nullptr) == D) {
+      char Point = std::localeconv()->decimal_point[0];
+      if (Point != '.')
+        for (char *P = Buffer; *P; ++P)
+          if (*P == Point)
+            *P = '.';
+      return Buffer;
+    }
+  }
+  LAYRA_UNREACHABLE("%.17g must round-trip a finite double");
+}
+
+void JsonValue::dumpTo(std::string &Out, unsigned Indent,
+                       unsigned Depth) const {
+  auto NewlineIndent = [&](unsigned D) {
+    if (Indent == 0)
+      return;
+    Out += '\n';
+    Out.append(static_cast<size_t>(Indent) * D, ' ');
+  };
+  switch (K) {
+  case Kind::Null:
+    Out += "null";
+    break;
+  case Kind::Bool:
+    Out += BoolV ? "true" : "false";
+    break;
+  case Kind::Int:
+    Out += std::to_string(IntV);
+    break;
+  case Kind::Double:
+    Out += formatDouble(DoubleV);
+    break;
+  case Kind::String:
+    Out += '"';
+    Out += escape(StringV);
+    Out += '"';
+    break;
+  case Kind::Array: {
+    if (ArrayV.empty()) {
+      Out += "[]";
+      break;
+    }
+    Out += '[';
+    for (size_t I = 0; I < ArrayV.size(); ++I) {
+      if (I)
+        Out += ',';
+      NewlineIndent(Depth + 1);
+      ArrayV[I].dumpTo(Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += ']';
+    break;
+  }
+  case Kind::Object: {
+    if (ObjectV.empty()) {
+      Out += "{}";
+      break;
+    }
+    Out += '{';
+    for (size_t I = 0; I < ObjectV.size(); ++I) {
+      if (I)
+        Out += ",";
+      NewlineIndent(Depth + 1);
+      Out += '"';
+      Out += escape(ObjectV[I].first);
+      Out += Indent == 0 ? "\":" : "\": ";
+      ObjectV[I].second.dumpTo(Out, Indent, Depth + 1);
+    }
+    NewlineIndent(Depth);
+    Out += '}';
+    break;
+  }
+  }
+}
+
+std::string JsonValue::dump(unsigned Indent) const {
+  std::string Out;
+  dumpTo(Out, Indent, 0);
+  return Out;
+}
+
+void JsonValue::write(std::FILE *Out, unsigned Indent) const {
+  std::string Text = dump(Indent);
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fputc('\n', Out);
+}

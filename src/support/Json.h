@@ -1,0 +1,83 @@
+//===- support/Json.h - Minimal ordered JSON emitter ------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small write-only JSON document builder for benchmark reports.  Object
+/// keys keep insertion order and numbers format deterministically, so two
+/// runs producing the same values serialize to byte-identical text -- the
+/// property the batch driver's determinism checks (and the BENCH_*.json
+/// trajectory files) rely on.  No parsing: Layra emits reports, it does not
+/// consume them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_JSON_H
+#define LAYRA_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace layra {
+
+/// One JSON value; a tree of these is a document.
+class JsonValue {
+public:
+  enum class Kind { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() : K(Kind::Null) {}
+  JsonValue(bool B) : K(Kind::Bool), BoolV(B) {}
+  JsonValue(long long I) : K(Kind::Int), IntV(I) {}
+  JsonValue(unsigned long long I)
+      : K(Kind::Int), IntV(static_cast<long long>(I)) {}
+  JsonValue(int I) : K(Kind::Int), IntV(I) {}
+  JsonValue(unsigned I) : K(Kind::Int), IntV(I) {}
+  JsonValue(double D) : K(Kind::Double), DoubleV(D) {}
+  JsonValue(std::string S) : K(Kind::String), StringV(std::move(S)) {}
+  JsonValue(const char *S) : K(Kind::String), StringV(S) {}
+
+  static JsonValue array() { return JsonValue(Kind::Array); }
+  static JsonValue object() { return JsonValue(Kind::Object); }
+
+  Kind kind() const { return K; }
+
+  /// Appends \p V to an array value.
+  JsonValue &push(JsonValue V);
+
+  /// Sets \p Key of an object value (insertion order preserved; setting an
+  /// existing key overwrites in place).
+  JsonValue &set(const std::string &Key, JsonValue V);
+
+  /// Serializes the document.  \p Indent > 0 pretty-prints with that many
+  /// spaces per level; 0 emits compact single-line JSON.
+  std::string dump(unsigned Indent = 2) const;
+
+  /// Serializes to \p Out followed by a newline.
+  void write(std::FILE *Out, unsigned Indent = 2) const;
+
+  /// JSON string escaping of \p S (quotes not included).
+  static std::string escape(const std::string &S);
+
+private:
+  explicit JsonValue(Kind Which) : K(Which) {}
+  void dumpTo(std::string &Out, unsigned Indent, unsigned Depth) const;
+
+  Kind K;
+  bool BoolV = false;
+  long long IntV = 0;
+  double DoubleV = 0;
+  std::string StringV;
+  std::vector<JsonValue> ArrayV;
+  std::vector<std::pair<std::string, JsonValue>> ObjectV;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_JSON_H

@@ -1,0 +1,42 @@
+//===- support/ParseUtil.h - Command-line number parsing --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict bounded integer parsing shared by the command-line front ends
+/// (layra-bench, the fig* binaries).  Raw strtoul silently accepts signs,
+/// trailing garbage and wrap-around ("-1" becomes ULONG_MAX), all of which
+/// have turned typos into resource exhaustion or silently-wrong reports;
+/// this helper rejects them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_PARSEUTIL_H
+#define LAYRA_SUPPORT_PARSEUTIL_H
+
+#include <cctype>
+#include <cstdlib>
+
+namespace layra {
+
+/// Parses \p Text as a base-10 unsigned integer in [0, Max] into \p Out.
+/// Returns false for empty input, signs, whitespace, trailing garbage or
+/// out-of-range values; \p Out is untouched on failure.
+inline bool parseBoundedUnsigned(const char *Text, unsigned long Max,
+                                 unsigned &Out) {
+  if (!Text || !std::isdigit(static_cast<unsigned char>(*Text)))
+    return false;
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text, &End, 10);
+  if ((End && *End) || Value > Max)
+    return false;
+  Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_PARSEUTIL_H

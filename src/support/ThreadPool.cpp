@@ -1,0 +1,185 @@
+//===- support/ThreadPool.cpp - Work-stealing thread pool ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace layra;
+
+namespace {
+
+/// One participant's task queue.  The owner pops from the front, thieves
+/// pop from the back, so owner traversal stays contiguous.
+struct TaskDeque {
+  std::mutex M;
+  std::deque<std::size_t> Tasks;
+
+  bool popFront(std::size_t &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Tasks.empty())
+      return false;
+    Out = Tasks.front();
+    Tasks.pop_front();
+    return true;
+  }
+
+  bool popBack(std::size_t &Out) {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Tasks.empty())
+      return false;
+    Out = Tasks.back();
+    Tasks.pop_back();
+    return true;
+  }
+};
+
+/// One parallelFor batch: the body, per-participant deques, and the count
+/// of indices not yet executed.
+struct Batch {
+  const std::function<void(std::size_t)> *Body = nullptr;
+  std::vector<std::unique_ptr<TaskDeque>> Queues;
+  std::atomic<std::size_t> Remaining{0};
+};
+
+} // namespace
+
+struct ThreadPool::Impl {
+  unsigned NumThreads;
+  std::vector<std::thread> Workers;
+
+  std::mutex M;
+  std::condition_variable WakeCV; // Workers wait here between batches.
+  std::condition_variable DoneCV; // parallelFor waits here for completion.
+  Batch *Current = nullptr;       // Non-null while a batch is running.
+  std::uint64_t Generation = 0;   // Bumped per batch to wake workers.
+  unsigned ActiveWorkers = 0;     // Workers inside participate().
+  bool Shutdown = false;
+
+  explicit Impl(unsigned Threads) : NumThreads(Threads) {
+    for (unsigned I = 1; I < NumThreads; ++I)
+      Workers.emplace_back([this, I] { workerLoop(I); });
+  }
+
+  /// Drains \p B as participant \p Slot: own queue first, then steal.
+  void participate(Batch &B, unsigned Slot) {
+    std::size_t NumQueues = B.Queues.size();
+    std::size_t Index;
+    for (;;) {
+      if (B.Queues[Slot]->popFront(Index)) {
+        (*B.Body)(Index);
+        B.Remaining.fetch_sub(1, std::memory_order_release);
+        continue;
+      }
+      bool Stole = false;
+      for (std::size_t Off = 1; Off < NumQueues && !Stole; ++Off)
+        Stole = B.Queues[(Slot + Off) % NumQueues]->popBack(Index);
+      if (!Stole)
+        return; // Every queue is empty; in-flight tasks belong to others.
+      (*B.Body)(Index);
+      B.Remaining.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  void workerLoop(unsigned Slot) {
+    std::uint64_t SeenGeneration = 0;
+    for (;;) {
+      Batch *B = nullptr;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WakeCV.wait(Lock, [&] {
+          return Shutdown || (Current && Generation != SeenGeneration);
+        });
+        if (Shutdown)
+          return;
+        SeenGeneration = Generation;
+        B = Current;
+        ++ActiveWorkers;
+      }
+      participate(*B, Slot);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        --ActiveWorkers;
+      }
+      DoneCV.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : State(std::make_unique<Impl>(NumThreads == 0 ? defaultThreadCount()
+                                                   : NumThreads)) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(State->M);
+    State->Shutdown = true;
+  }
+  State->WakeCV.notify_all();
+  for (std::thread &T : State->Workers)
+    T.join();
+}
+
+unsigned ThreadPool::numThreads() const { return State->NumThreads; }
+
+unsigned ThreadPool::defaultThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void ThreadPool::parallelFor(std::size_t N,
+                             const std::function<void(std::size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (State->NumThreads == 1 || N == 1) {
+    for (std::size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  Batch B;
+  B.Body = &Body;
+  std::size_t NumQueues = State->NumThreads;
+  B.Queues.reserve(NumQueues);
+  for (std::size_t Q = 0; Q < NumQueues; ++Q)
+    B.Queues.push_back(std::make_unique<TaskDeque>());
+  // Contiguous chunks, the first N % NumQueues one element longer.
+  std::size_t Next = 0;
+  for (std::size_t Q = 0; Q < NumQueues; ++Q) {
+    std::size_t Len = N / NumQueues + (Q < N % NumQueues ? 1 : 0);
+    for (std::size_t I = 0; I < Len; ++I)
+      B.Queues[Q]->Tasks.push_back(Next++);
+  }
+  B.Remaining.store(N, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> Lock(State->M);
+    State->Current = &B;
+    ++State->Generation;
+  }
+  State->WakeCV.notify_all();
+
+  // The calling thread is participant 0.
+  State->participate(B, 0);
+
+  // Wait until every task ran *and* no worker still holds a reference to
+  // the batch (a worker that stole the last task may briefly keep scanning
+  // the queues after Remaining hits zero).
+  {
+    std::unique_lock<std::mutex> Lock(State->M);
+    State->DoneCV.wait(Lock, [&] {
+      return B.Remaining.load(std::memory_order_acquire) == 0 &&
+             State->ActiveWorkers == 0;
+    });
+    State->Current = nullptr;
+  }
+}

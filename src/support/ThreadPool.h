@@ -1,0 +1,67 @@
+//===- support/ThreadPool.h - Work-stealing thread pool ---------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small work-stealing thread pool for batch allocation.  The driver
+/// (driver/BatchDriver.h) fans thousands of independent per-function
+/// allocation problems over it; tasks are index-addressed so every result
+/// lands in its own slot and batch output is deterministic regardless of
+/// the thread count or the steal schedule.
+///
+/// Design: parallelFor splits [0, N) into one contiguous chunk per
+/// participant (the calling thread plus NumThreads-1 workers).  Each
+/// participant drains its own chunk front-to-back (cache-friendly) and,
+/// when empty, steals from the back of a victim's deque.  Workers are
+/// persistent and sleep between batches.  With one thread, parallelFor
+/// degenerates to an inline loop on the calling thread -- no pool traffic
+/// at all.
+///
+/// Tasks must not throw: Layra follows the LLVM convention of aborting on
+/// fatal conditions instead of unwinding (support/Compiler.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_THREADPOOL_H
+#define LAYRA_SUPPORT_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace layra {
+
+class ThreadPool {
+public:
+  /// Creates a pool executing loops on \p NumThreads participants in total
+  /// (the calling thread counts as one); 0 means defaultThreadCount().
+  explicit ThreadPool(unsigned NumThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total participants, including the calling thread.  Always >= 1.
+  unsigned numThreads() const;
+
+  /// Runs Body(I) once for every I in [0, N), distributed over the pool.
+  /// Returns when all N calls have completed.  Body must be safe to call
+  /// concurrently from different threads for different indices; two calls
+  /// never share an index.  Not reentrant: Body must not call parallelFor
+  /// on the same pool.
+  void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Body);
+
+  /// std::thread::hardware_concurrency clamped to at least 1.
+  static unsigned defaultThreadCount();
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> State;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_THREADPOOL_H

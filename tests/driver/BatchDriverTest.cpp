@@ -1,0 +1,229 @@
+//===- tests/driver/BatchDriverTest.cpp - Batch driver tests --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchDriver.h"
+
+#include "alloc/Allocator.h"
+#include "driver/ReportIO.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+#include "ir/ProgramGen.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+
+/// The eembc jobs used by the determinism checks: full suite, two register
+/// counts, default pipeline options.
+std::vector<BatchJob> eembcJobs() {
+  std::vector<BatchJob> Jobs;
+  for (unsigned Regs : {4u, 8u}) {
+    BatchJob Job;
+    Job.SuiteName = "eembc";
+    Job.NumRegisters = Regs;
+    Jobs.push_back(Job);
+  }
+  return Jobs;
+}
+
+/// A tiny hand-built suite of generated functions (faster than the real
+/// suites for cache-focused tests).
+Suite tinySuite(unsigned NumFunctions, uint64_t Seed) {
+  Suite S;
+  S.Name = "tiny";
+  SuiteProgram Prog;
+  Prog.Name = "prog";
+  Rng R(Seed);
+  for (unsigned I = 0; I < NumFunctions; ++I) {
+    ProgramGenOptions Opt;
+    Opt.NumVars = 10;
+    Opt.MaxBlocks = 12;
+    Function F = generateFunction(R, Opt, "f" + std::to_string(I));
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    Loops.annotate(F);
+    Prog.Functions.push_back(std::move(F));
+  }
+  S.Programs.push_back(std::move(Prog));
+  return S;
+}
+
+} // namespace
+
+TEST(BatchDriverTest, EembcResultsAreBitIdenticalAcrossThreadCounts) {
+  BatchDriver Serial(1), Parallel(8);
+  DriverReport A = Serial.run(eembcJobs());
+  DriverReport B = Parallel.run(eembcJobs());
+
+  ASSERT_EQ(A.Jobs.size(), B.Jobs.size());
+  EXPECT_EQ(A.Threads, 1u);
+  EXPECT_EQ(B.Threads, 8u);
+
+  // Field-level equality of every deterministic quantity.
+  for (size_t J = 0; J < A.Jobs.size(); ++J) {
+    const JobReport &JA = A.Jobs[J], &JB = B.Jobs[J];
+    EXPECT_EQ(JA.TotalSpillCost, JB.TotalSpillCost);
+    EXPECT_EQ(JA.TotalLoads, JB.TotalLoads);
+    EXPECT_EQ(JA.TotalStores, JB.TotalStores);
+    EXPECT_EQ(JA.TotalRounds, JB.TotalRounds);
+    EXPECT_EQ(JA.FunctionsFit, JB.FunctionsFit);
+    EXPECT_EQ(JA.CacheHits, JB.CacheHits);
+    ASSERT_EQ(JA.Tasks.size(), JB.Tasks.size());
+    for (size_t T = 0; T < JA.Tasks.size(); ++T) {
+      EXPECT_EQ(JA.Tasks[T].Program, JB.Tasks[T].Program);
+      EXPECT_EQ(JA.Tasks[T].Function, JB.Tasks[T].Function);
+      EXPECT_EQ(JA.Tasks[T].Key, JB.Tasks[T].Key);
+      EXPECT_EQ(JA.Tasks[T].CacheHit, JB.Tasks[T].CacheHit);
+      EXPECT_EQ(JA.Tasks[T].Out.SpillCost, JB.Tasks[T].Out.SpillCost);
+      EXPECT_EQ(JA.Tasks[T].Out.Rounds, JB.Tasks[T].Out.Rounds);
+    }
+  }
+
+  // The acceptance-criterion form: serialized JSON without timing fields is
+  // byte-identical (per-task detail included).
+  std::string TextA = driverReportToJson(A, /*IncludeTiming=*/false,
+                                         /*IncludeTasks=*/true)
+                          .dump();
+  std::string TextB = driverReportToJson(B, /*IncludeTiming=*/false,
+                                         /*IncludeTasks=*/true)
+                          .dump();
+  // threads is configuration, not a measurement; normalize it away.
+  size_t PosA = TextA.find("\"threads\": 1");
+  size_t PosB = TextB.find("\"threads\": 8");
+  ASSERT_NE(PosA, std::string::npos);
+  ASSERT_NE(PosB, std::string::npos);
+  TextA.replace(PosA, 12, "\"threads\": N");
+  TextB.replace(PosB, 12, "\"threads\": N");
+  EXPECT_EQ(TextA, TextB);
+}
+
+TEST(BatchDriverTest, DuplicateJobHitsCacheWithoutChangingTotals) {
+  Suite S = tinySuite(6, 99);
+  BatchJob Job;
+  Job.SuiteName = "tiny";
+  Job.SuiteData = &S;
+  Job.NumRegisters = 4;
+
+  BatchDriver Driver(4);
+  DriverReport Report = Driver.run({Job, Job});
+  ASSERT_EQ(Report.Jobs.size(), 2u);
+  const JobReport &First = Report.Jobs[0], &Second = Report.Jobs[1];
+
+  // Second job is served entirely from the cache...
+  EXPECT_EQ(Second.CacheHits, 6u);
+  for (const TaskResult &T : Second.Tasks)
+    EXPECT_TRUE(T.CacheHit);
+  // ...without changing any totals.
+  EXPECT_EQ(First.TotalSpillCost, Second.TotalSpillCost);
+  EXPECT_EQ(First.TotalLoads, Second.TotalLoads);
+  EXPECT_EQ(First.TotalStores, Second.TotalStores);
+  EXPECT_EQ(First.TotalRounds, Second.TotalRounds);
+  // Only the unique instances were solved and memoized.
+  EXPECT_EQ(Driver.pipelineCacheSize(), 6u);
+}
+
+TEST(BatchDriverTest, CachePersistsAcrossRuns) {
+  Suite S = tinySuite(5, 7);
+  BatchJob Job;
+  Job.SuiteName = "tiny";
+  Job.SuiteData = &S;
+  Job.NumRegisters = 3;
+
+  BatchDriver Driver(2);
+  DriverReport First = Driver.run({Job});
+  EXPECT_EQ(First.Jobs[0].CacheHits, 0u);
+  DriverReport Second = Driver.run({Job});
+  EXPECT_EQ(Second.Jobs[0].CacheHits, 5u);
+  EXPECT_EQ(First.Jobs[0].TotalSpillCost, Second.Jobs[0].TotalSpillCost);
+  // A different register count is a different instance: no hits.
+  Job.NumRegisters = 5;
+  DriverReport Third = Driver.run({Job});
+  EXPECT_EQ(Third.Jobs[0].CacheHits, 0u);
+}
+
+TEST(BatchDriverTest, HashDistinguishesInstancesButIgnoresNames) {
+  Suite S = tinySuite(2, 11);
+  const Function &F = S.Programs[0].Functions[0];
+  const Function &G = S.Programs[0].Functions[1];
+
+  PipelineOptions Opt;
+  uint64_t Base = hashPipelineTask(F, ST231, 4, Opt);
+  EXPECT_EQ(Base, hashPipelineTask(F, ST231, 4, Opt));
+  EXPECT_NE(Base, hashPipelineTask(G, ST231, 4, Opt));
+  EXPECT_NE(Base, hashPipelineTask(F, ST231, 5, Opt));
+  EXPECT_NE(Base, hashPipelineTask(F, ARMv7, 4, Opt));
+  PipelineOptions NoFold = Opt;
+  NoFold.FoldMemoryOperands = false;
+  EXPECT_NE(Base, hashPipelineTask(F, ST231, 4, NoFold));
+
+  // Renaming values does not change the structural hash.
+  Function Renamed = F;
+  for (ValueId V = 0; V < Renamed.numValues(); ++V)
+    Renamed.setValueName(V, "renamed" + std::to_string(V));
+  EXPECT_EQ(hashFunction(F), hashFunction(Renamed));
+}
+
+TEST(BatchDriverTest, SolveProblemsMatchesDirectAllocation) {
+  Suite S = tinySuite(4, 21);
+  std::vector<NamedProblem> Problems = chordalProblems(S, ST231, 4);
+  std::vector<const AllocationProblem *> Ptrs;
+  for (const NamedProblem &P : Problems)
+    Ptrs.push_back(&P.P);
+
+  BatchDriver Driver(4);
+  for (const char *Name : {"bfpl", "gc", "lh"}) {
+    std::vector<AllocationResult> Batch = Driver.solveProblems(Ptrs, Name);
+    ASSERT_EQ(Batch.size(), Problems.size());
+    for (size_t I = 0; I < Problems.size(); ++I) {
+      AllocationResult Direct = makeAllocator(Name)->allocate(Problems[I].P);
+      EXPECT_EQ(Batch[I].SpillCost, Direct.SpillCost) << Name;
+      EXPECT_EQ(Batch[I].Allocated, Direct.Allocated) << Name;
+    }
+  }
+  EXPECT_GT(Driver.problemCacheSize(), 0u);
+}
+
+TEST(BatchDriverTest, ReportSerializersProduceParseableShapes) {
+  Suite S = tinySuite(3, 33);
+  BatchJob Job;
+  Job.SuiteName = "tiny";
+  Job.SuiteData = &S;
+  Job.NumRegisters = 4;
+  BatchDriver Driver(2);
+  DriverReport Report = Driver.run({Job});
+
+  std::string Json = driverReportToJson(Report).dump();
+  EXPECT_NE(Json.find("\"schema\": \"layra-driver-report/v1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"total_spill_cost\""), std::string::npos);
+  EXPECT_NE(Json.find("\"wall_ms\""), std::string::npos);
+  std::string NoTiming =
+      driverReportToJson(Report, /*IncludeTiming=*/false).dump();
+  EXPECT_EQ(NoTiming.find("wall_ms"), std::string::npos);
+
+  char Buffer[16384];
+  std::FILE *Mem = fmemopen(Buffer, sizeof(Buffer), "w");
+  writeDriverReportCsv(Mem, Report);
+  std::fclose(Mem);
+  std::string Csv = Buffer;
+  EXPECT_EQ(Csv.compare(0, 5, "suite"), 0);
+  // suite,target,regs,allocator,affinity,fold,max_rounds,functions,...
+  EXPECT_NE(Csv.find("tiny,st231,4,bfpl,1,1,4,3"), std::string::npos);
+
+  Mem = fmemopen(Buffer, sizeof(Buffer), "w");
+  writeDriverTasksCsv(Mem, Report);
+  std::fclose(Mem);
+  std::string TasksCsv = Buffer;
+  // Header plus one row per function.
+  size_t Lines = 0;
+  for (char C : TasksCsv)
+    Lines += C == '\n' ? 1 : 0;
+  EXPECT_EQ(Lines, 1u + 3u);
+}

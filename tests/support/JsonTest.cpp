@@ -1,0 +1,70 @@
+//===- tests/support/JsonTest.cpp - JSON emitter tests --------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(JsonTest, Scalars) {
+  EXPECT_EQ(JsonValue().dump(0), "null");
+  EXPECT_EQ(JsonValue(true).dump(0), "true");
+  EXPECT_EQ(JsonValue(false).dump(0), "false");
+  EXPECT_EQ(JsonValue(42).dump(0), "42");
+  EXPECT_EQ(JsonValue(-7LL).dump(0), "-7");
+  EXPECT_EQ(JsonValue("hi").dump(0), "\"hi\"");
+}
+
+TEST(JsonTest, DoublesFormatShortestRoundTrip) {
+  EXPECT_EQ(JsonValue(0.5).dump(0), "0.5");
+  EXPECT_EQ(JsonValue(1.0).dump(0), "1");
+  EXPECT_EQ(JsonValue(0.1).dump(0), "0.1");
+  EXPECT_EQ(JsonValue(3.14159).dump(0), "3.14159");
+}
+
+TEST(JsonTest, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b").dump(0), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("a\\b").dump(0), "\"a\\\\b\"");
+  EXPECT_EQ(JsonValue("a\nb\tc").dump(0), "\"a\\nb\\tc\"");
+  EXPECT_EQ(JsonValue(std::string("a\x01z")).dump(0), "\"a\\u0001z\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue Obj = JsonValue::object();
+  Obj.set("zebra", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(Obj.dump(0), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original position.
+  Obj.set("alpha", 9);
+  EXPECT_EQ(Obj.dump(0), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonTest, NestedStructure) {
+  JsonValue Root = JsonValue::object();
+  JsonValue Arr = JsonValue::array();
+  Arr.push(1).push("two").push(JsonValue::object().set("k", false));
+  Root.set("items", std::move(Arr));
+  EXPECT_EQ(Root.dump(0), "{\"items\":[1,\"two\",{\"k\":false}]}");
+}
+
+TEST(JsonTest, PrettyPrinting) {
+  JsonValue Root = JsonValue::object();
+  Root.set("a", 1);
+  Root.set("b", JsonValue::array().push(2));
+  EXPECT_EQ(Root.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_EQ(JsonValue::object().dump(2), "{}");
+  EXPECT_EQ(JsonValue::array().dump(2), "[]");
+}
+
+TEST(JsonTest, DumpIsDeterministic) {
+  auto Build = [] {
+    JsonValue Root = JsonValue::object();
+    Root.set("suite", "eembc").set("regs", 8).set("cost", 1234.5);
+    return Root.dump();
+  };
+  EXPECT_EQ(Build(), Build());
+}

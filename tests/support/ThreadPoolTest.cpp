@@ -1,0 +1,87 @@
+//===- tests/support/ThreadPoolTest.cpp - Thread pool tests ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace layra;
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Threads);
+    EXPECT_EQ(Pool.numThreads(), Threads);
+    constexpr std::size_t N = 10'000;
+    std::vector<std::atomic<int>> Hits(N);
+    Pool.parallelFor(N, [&](std::size_t I) { ++Hits[I]; });
+    for (std::size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1) << "index " << I << ", " << Threads
+                                   << " threads";
+  }
+}
+
+TEST(ThreadPoolTest, EmptyAndSingletonLoops) {
+  ThreadPool Pool(4);
+  std::atomic<int> Count{0};
+  Pool.parallelFor(0, [&](std::size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 0);
+  Pool.parallelFor(1, [&](std::size_t I) {
+    EXPECT_EQ(I, 0u);
+    ++Count;
+  });
+  EXPECT_EQ(Count.load(), 1);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossBatches) {
+  ThreadPool Pool(3);
+  std::atomic<std::size_t> Total{0};
+  for (int Round = 0; Round < 50; ++Round)
+    Pool.parallelFor(17, [&](std::size_t) { ++Total; });
+  EXPECT_EQ(Total.load(), 50u * 17u);
+}
+
+TEST(ThreadPoolTest, StealsImbalancedWork) {
+  // Front-load all the slow tasks into the first chunk: with stealing the
+  // batch still terminates and covers every index.
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 64;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](std::size_t I) {
+    if (I < N / 4)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ++Hits[I];
+  });
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::defaultThreadCount(), 1u);
+  ThreadPool Pool; // Default-constructed pool uses the hardware count.
+  EXPECT_GE(Pool.numThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
+  // Each index computes a deterministic value into its own slot; any two
+  // pools must produce identical result vectors.
+  auto Run = [](unsigned Threads) {
+    ThreadPool Pool(Threads);
+    std::vector<std::uint64_t> Out(1000);
+    Pool.parallelFor(Out.size(), [&](std::size_t I) {
+      std::uint64_t H = I * 0x9e3779b97f4a7c15ULL;
+      H ^= H >> 32;
+      Out[I] = H;
+    });
+    return Out;
+  };
+  EXPECT_EQ(Run(1), Run(8));
+}
