@@ -16,6 +16,7 @@
 #include "alloc/OptimalBnB.h"
 #include "core/Layered.h"
 #include "core/LayeredHeuristic.h"
+#include "core/SolverWorkspace.h"
 #include "graph/Generators.h"
 
 #include <benchmark/benchmark.h>
@@ -46,6 +47,26 @@ static void BM_LayeredBfpl(benchmark::State &State) {
   State.SetComplexityN(State.range(0));
 }
 BENCHMARK(BM_LayeredBfpl)
+    ->ArgsProduct({{64, 128, 256, 512, 1024}, {4, 8, 16}})
+    ->Unit(benchmark::kMicrosecond)
+    ->Complexity(benchmark::oN);
+
+// Same allocator with a long-lived SolverWorkspace: the delta against
+// BM_LayeredBfpl is the per-layer allocation churn the arena removes
+// (every iteration reuses the previous iteration's buffers, the
+// steady-state of a BatchDriver worker).
+static void BM_LayeredBfplWorkspace(benchmark::State &State) {
+  AllocationProblem P = makeProblem(
+      static_cast<unsigned>(State.range(0)),
+      static_cast<unsigned>(State.range(1)));
+  SolverWorkspace WS;
+  for (auto _ : State) {
+    AllocationResult R = layeredAllocate(P, LayeredOptions::bfpl(), &WS);
+    benchmark::DoNotOptimize(R.SpillCost);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_LayeredBfplWorkspace)
     ->ArgsProduct({{64, 128, 256, 512, 1024}, {4, 8, 16}})
     ->Unit(benchmark::kMicrosecond)
     ->Complexity(benchmark::oN);

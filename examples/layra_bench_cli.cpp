@@ -16,7 +16,7 @@
 ///               [--threads=N] [--target=st231|armv7|x86-64]
 ///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
 ///               [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]
-///               [--details] [--no-timing] [--quiet]
+///               [--details] [--no-timing] [--workspace-stats] [--quiet]
 ///
 ///   --suite      suites to run (default eembc); names as in makeSuite()
 ///   --regs       register counts, a range `4..16` or a list `1,2,4`
@@ -27,6 +27,9 @@
 ///   --details    include per-function tasks in the JSON report
 ///   --no-timing  omit wall-clock fields: output is then byte-identical
 ///                across runs and thread counts
+///   --workspace-stats  print per-worker SolverWorkspace reuse accounting
+///                (bytes served from retained capacity vs. freshly
+///                allocated) to stderr; never part of the reports
 ///   --quiet      suppress the stdout summary table
 ///
 /// Examples:
@@ -62,6 +65,7 @@ struct CliOptions {
   std::string TasksCsvPath;
   bool Details = false;
   bool Timing = true;
+  bool WorkspaceStats = false;
   bool Quiet = false;
 };
 
@@ -74,7 +78,7 @@ struct CliOptions {
       "          [--threads=N] [--target=st231|armv7|x86-64]\n"
       "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
       "          [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]\n"
-      "          [--details] [--no-timing] [--quiet]\n",
+      "          [--details] [--no-timing] [--workspace-stats] [--quiet]\n",
       Argv0);
   std::exit(2);
 }
@@ -183,6 +187,8 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opt.Details = true;
     } else if (Arg == "--no-timing") {
       Opt.Timing = false;
+    } else if (Arg == "--workspace-stats") {
+      Opt.WorkspaceStats = true;
     } else if (Arg == "--quiet") {
       Opt.Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -299,6 +305,19 @@ int main(int Argc, char **Argv) {
                   Table::num(Report.WallMs).c_str(),
                   static_cast<unsigned long long>(Report.CacheEntries),
                   static_cast<unsigned long long>(Report.CacheHits));
+  }
+
+  if (Opt.WorkspaceStats) {
+    // Stderr, so a report streamed to stdout stays parseable.  The split is
+    // thread-count dependent (per-worker arenas), hence never in reports.
+    WorkspaceStats Stats = Driver.workspaceStats();
+    std::fprintf(stderr,
+                 "workspace: %.1f MiB reused, %.1f MiB freshly allocated "
+                 "(%.1f%% reuse over %llu checkouts)\n",
+                 static_cast<double>(Stats.BytesReused) / (1024.0 * 1024.0),
+                 static_cast<double>(Stats.BytesAllocated) / (1024.0 * 1024.0),
+                 100.0 * Stats.reuseFraction(),
+                 static_cast<unsigned long long>(Stats.Acquires));
   }
 
   if (JsonOut) {

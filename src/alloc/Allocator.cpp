@@ -27,7 +27,11 @@ public:
       : AdapterName(Name), Options(Options) {}
 
   AllocationResult allocate(const AllocationProblem &P) override {
-    return layeredAllocate(P, Options);
+    return allocate(P, nullptr);
+  }
+  AllocationResult allocate(const AllocationProblem &P,
+                            SolverWorkspace *WS) override {
+    return layeredAllocate(P, Options, WS);
   }
   const char *name() const override { return AdapterName; }
 
@@ -40,7 +44,11 @@ private:
 class LayeredHeuristicAdapter : public Allocator {
 public:
   AllocationResult allocate(const AllocationProblem &P) override {
-    return layeredHeuristicAllocate(P).Allocation;
+    return allocate(P, nullptr);
+  }
+  AllocationResult allocate(const AllocationProblem &P,
+                            SolverWorkspace *WS) override {
+    return layeredHeuristicAllocate(P, WS).Allocation;
   }
   const char *name() const override { return "lh"; }
 };

@@ -25,6 +25,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Abstract spilling/allocation algorithm.
 class Allocator {
 public:
@@ -33,6 +35,17 @@ public:
   /// Solves \p P.  Results of all allocators are feasible w.r.t. the point
   /// constraints (isFeasibleAllocation); exact solvers set Result.Proven.
   virtual AllocationResult allocate(const AllocationProblem &P) = 0;
+
+  /// Workspace-aware entry point: solves \p P reusing \p WS's scratch
+  /// arenas (core/SolverWorkspace.h).  The default forwards to the plain
+  /// overload; allocators with reusable scratch override it.  Results are
+  /// bit-identical across the two entry points and across workspace
+  /// histories -- a workspace only carries capacity, never state.
+  virtual AllocationResult allocate(const AllocationProblem &P,
+                                    SolverWorkspace *WS) {
+    (void)WS;
+    return allocate(P);
+  }
 
   /// Short name as used in the paper's figures.
   virtual const char *name() const = 0;

@@ -232,6 +232,11 @@ private:
 } // namespace
 
 AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P) {
+  return allocate(P, nullptr);
+}
+
+AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
+                                               SolverWorkspace *WS) {
   const Graph &G = P.G;
   unsigned N = G.numVertices();
   unsigned R = P.NumRegisters;
@@ -312,9 +317,9 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P) {
   // paper's very point) keeps the exactness proof shallow.
   std::vector<char> Warm;
   if (P.Chordal)
-    Warm = layeredAllocate(P, LayeredOptions::bfpl()).Allocated;
+    Warm = layeredAllocate(P, LayeredOptions::bfpl(), WS).Allocated;
   else
-    Warm = layeredHeuristicAllocate(P).Allocation.Allocated;
+    Warm = layeredHeuristicAllocate(P, WS).Allocation.Allocated;
 
   // Program-order locality key: PEO position for chordal instances, index
   // of the first containing constraint otherwise (the interference builder
@@ -347,13 +352,13 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P) {
     if (P.Chordal) {
       Graph Sub = G.inducedSubgraph(CompVertices);
       AllocationProblem SubP =
-          AllocationProblem::fromChordalGraph(std::move(Sub), R);
+          AllocationProblem::fromChordalGraph(std::move(Sub), R, WS);
       std::vector<char> FullMask(SubP.G.numVertices(), 1);
       if (estimateBoundedLayerStates(SubP, FullMask, R) <= kDpStateLimit) {
         std::vector<Weight> W(SubP.G.numVertices());
         for (VertexId V = 0; V < SubP.G.numVertices(); ++V)
           W[V] = SubP.G.weight(V);
-        for (VertexId Local : optimalBoundedLayer(SubP, FullMask, W, R))
+        for (VertexId Local : optimalBoundedLayer(SubP, FullMask, W, R, WS))
           Flags[CompVertices[Local]] = 1;
         continue;
       }
@@ -383,7 +388,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P) {
       std::vector<char> LocalWarm(CompVertices.size(), 0);
       for (unsigned I = 0; I < CompVertices.size(); ++I)
         LocalWarm[I] = Warm[CompVertices[I]];
-      IlpResult Ilp = solveBinaryPacking(Instance, &LocalWarm, Budget);
+      IlpResult Ilp = solveBinaryPacking(Instance, &LocalWarm, Budget, WS);
       Proven &= Ilp.Proven;
       for (unsigned I = 0; I < CompVertices.size(); ++I)
         if (Ilp.X[I])

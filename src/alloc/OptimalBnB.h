@@ -41,6 +41,10 @@ public:
   /// Solves to proven optimality unless the node budget is exhausted, in
   /// which case the best incumbent is returned with Proven == false.
   AllocationResult allocate(const AllocationProblem &P) override;
+  /// Workspace-aware entry: the warm-start heuristics, the exact clique-tree
+  /// DP and the ILP relaxations all reuse \p WS's arenas.
+  AllocationResult allocate(const AllocationProblem &P,
+                            SolverWorkspace *WS) override;
   const char *name() const override { return "optimal"; }
 
   /// Search nodes expanded by the last allocate() call.

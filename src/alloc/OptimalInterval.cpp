@@ -15,7 +15,7 @@ using namespace layra;
 
 std::vector<char>
 layra::selectIntervalsOptimal(const std::vector<LiveInterval> &Intervals,
-                              unsigned NumRegisters) {
+                              unsigned NumRegisters, SolverWorkspace *WS) {
   std::vector<char> Keep(Intervals.size(), 0);
   if (Intervals.empty())
     return Keep;
@@ -50,7 +50,7 @@ layra::selectIntervalsOptimal(const std::vector<LiveInterval> &Intervals,
                           NodeOf(Intervals[I].End + 1), 1,
                           -Intervals[I].Cost);
 
-  Net.run(0, NumNodes - 1, NumRegisters);
+  Net.run(0, NumNodes - 1, NumRegisters, WS);
   for (size_t I = 0; I < Intervals.size(); ++I)
     if (Net.flowOn(ArcOf[I]) > 0)
       Keep[I] = 1;

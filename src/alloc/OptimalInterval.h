@@ -23,6 +23,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Selects a maximum-weight subset of \p Intervals such that at most
 /// \p NumRegisters of the chosen ones overlap at any point.
 /// \returns flags parallel to \p Intervals: 1 = keep in a register.
@@ -32,7 +34,7 @@ namespace layra {
 /// optima, and min-cost R-flows correspond exactly to feasible selections.
 std::vector<char>
 selectIntervalsOptimal(const std::vector<LiveInterval> &Intervals,
-                       unsigned NumRegisters);
+                       unsigned NumRegisters, SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

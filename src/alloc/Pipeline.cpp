@@ -9,6 +9,7 @@
 
 #include "core/Coalescing.h"
 #include "core/ProblemBuilder.h"
+#include "core/SolverWorkspace.h"
 #include "ir/Liveness.h"
 #include "ir/OperandFolding.h"
 #include "support/Compiler.h"
@@ -18,9 +19,12 @@ using namespace layra;
 PipelineResult layra::runAllocationPipeline(const Function &F,
                                             const TargetDesc &Target,
                                             unsigned NumRegisters,
-                                            const PipelineOptions &Options) {
+                                            const PipelineOptions &Options,
+                                            SolverWorkspace *WS) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "pipeline requires strict SSA input");
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   std::unique_ptr<Allocator> Alloc = makeAllocator(Options.AllocatorName);
   if (!Alloc)
     layraFatalError("unknown allocator name in pipeline options");
@@ -30,18 +34,20 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
 
   // Values spilled in an earlier round live only from def to the adjacent
   // store; spilling them again would be wasted motion, so they are pinned.
-  std::vector<char> Pinned(F.numValues(), 0);
+  std::vector<char> &Pinned =
+      WS->acquire(WS->Pipeline.Pinned, F.numValues(), char(0));
 
   for (unsigned Round = 0; Round < Options.MaxRounds; ++Round) {
     ++Out.Rounds;
     AllocationProblem P =
-        buildSsaProblem(Out.Rewritten, Target, NumRegisters);
+        buildSsaProblem(Out.Rewritten, Target, NumRegisters, WS);
     if (P.maxLive() <= NumRegisters)
       break; // Fits already; nothing to spill this round.
 
-    AllocationResult Result = Alloc->allocate(P);
+    AllocationResult Result = Alloc->allocate(P, WS);
     // Pin-aware spill set: never re-spill a pinned value.
-    std::vector<char> Spilled(Out.Rewritten.numValues(), 0);
+    std::vector<char> &Spilled =
+        WS->acquire(WS->Pipeline.Spilled, Out.Rewritten.numValues(), char(0));
     unsigned NumSpilled = 0;
     for (VertexId V = 0; V < P.G.numVertices(); ++V) {
       if (Result.Allocated[V] || (V < Pinned.size() && Pinned[V]))
@@ -71,8 +77,9 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
   }
 
   // Final assignment over whatever still lives in registers.
-  AllocationProblem P = buildSsaProblem(Out.Rewritten, Target, NumRegisters);
-  AllocationResult Final = Alloc->allocate(P);
+  AllocationProblem P =
+      buildSsaProblem(Out.Rewritten, Target, NumRegisters, WS);
+  AllocationResult Final = Alloc->allocate(P, WS);
   Out.FinalMaxLive = P.maxLive();
 
   std::vector<Affinity> Affinities = collectAffinities(Out.Rewritten);

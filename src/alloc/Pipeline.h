@@ -29,6 +29,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Configuration of one pipeline run.
 struct PipelineOptions {
   /// Allocator name (makeAllocator) used each round.
@@ -70,10 +72,17 @@ struct PipelineResult {
 
 /// Runs the full decoupled pipeline on strict-SSA \p F.
 /// \pre verifyFunction(F, /*ExpectSsa=*/true).
+///
+/// \p WS optionally supplies the solver scratch shared by every round's
+/// problem construction and allocation (core/SolverWorkspace.h).  The
+/// BatchDriver passes one workspace per pool worker, so consecutive tasks
+/// on a worker reuse the same arenas; results are bit-identical with and
+/// without a workspace.
 PipelineResult runAllocationPipeline(const Function &F,
                                      const TargetDesc &Target,
                                      unsigned NumRegisters,
-                                     const PipelineOptions &Options = {});
+                                     const PipelineOptions &Options = {},
+                                     SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

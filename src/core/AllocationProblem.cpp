@@ -7,6 +7,7 @@
 
 #include "core/AllocationProblem.h"
 
+#include "core/SolverWorkspace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -14,13 +15,14 @@
 using namespace layra;
 
 AllocationProblem AllocationProblem::fromChordalGraph(Graph G,
-                                                      unsigned NumRegisters) {
+                                                      unsigned NumRegisters,
+                                                      SolverWorkspace *WS) {
   AllocationProblem P;
   P.NumRegisters = NumRegisters;
-  P.Peo = maximumCardinalitySearch(G);
-  if (!isPerfectEliminationOrder(G, P.Peo))
+  P.Peo = maximumCardinalitySearch(G, WS);
+  if (!isPerfectEliminationOrder(G, P.Peo, WS))
     layraFatalError("fromChordalGraph called with a non-chordal graph");
-  P.Cliques = maximalCliquesChordal(G, P.Peo);
+  P.Cliques = maximalCliquesChordal(G, P.Peo, WS);
   P.Constraints = P.Cliques.Cliques;
   P.Chordal = true;
   P.G = std::move(G);

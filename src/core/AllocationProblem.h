@@ -27,6 +27,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// One spill-everywhere instance.
 struct AllocationProblem {
   /// Interference graph; vertex weights are spill costs.
@@ -50,8 +52,11 @@ struct AllocationProblem {
   std::optional<LiveIntervalTable> Intervals;
 
   /// Builds a chordal instance from a chordal graph: computes the PEO (MCS)
-  /// and the maximal cliques.  Aborts if \p G is not chordal.
-  static AllocationProblem fromChordalGraph(Graph G, unsigned NumRegisters);
+  /// and the maximal cliques.  Aborts if \p G is not chordal.  \p WS
+  /// optionally supplies the chordal-machinery scratch; the built problem
+  /// never aliases workspace memory.
+  static AllocationProblem fromChordalGraph(Graph G, unsigned NumRegisters,
+                                            SolverWorkspace *WS = nullptr);
 
   /// Builds a general instance: \p PointLiveSets become the constraints
   /// (vertices missing from every set get a singleton constraint so the

@@ -7,6 +7,7 @@
 
 #include "core/Layered.h"
 
+#include "core/SolverWorkspace.h"
 #include "core/StepLayer.h"
 #include "graph/StableSet.h"
 #include "support/Compiler.h"
@@ -16,28 +17,41 @@
 using namespace layra;
 
 namespace {
-/// Working state of one layered run.
+/// Working state of one layered run.  All buffers are checked out of the
+/// workspace, so consecutive layers (and consecutive runs sharing one
+/// workspace) reuse the same arenas.
 struct LayeredState {
   const AllocationProblem &P;
   const LayeredOptions &Opt;
-  std::vector<char> Candidates;        // Still eligible for allocation.
-  std::vector<char> Allocated;         // Result flags.
-  std::vector<unsigned> PerClique;     // Allocated count per maximal clique.
-  std::vector<char> CliqueClosed;      // Clique reached R allocated vertices.
+  SolverWorkspace &WS;
+  std::vector<char> &Candidates;       // Still eligible for allocation.
+  std::vector<char> &Allocated;        // Result flags.
+  std::vector<unsigned> &PerClique;    // Allocated count per maximal clique.
+  std::vector<char> &CliqueClosed;     // Clique reached R allocated vertices.
+  /// Clique tree for the step >= 2 DP; built once per run on first use so
+  /// every layer shares it.
+  CliqueTree StepTree;
+  bool StepTreeBuilt = false;
 
-  LayeredState(const AllocationProblem &P, const LayeredOptions &Opt)
-      : P(P), Opt(Opt), Candidates(P.G.numVertices(), 1),
-        Allocated(P.G.numVertices(), 0),
-        PerClique(P.Cliques.numCliques(), 0),
-        CliqueClosed(P.Cliques.numCliques(), 0) {}
+  LayeredState(const AllocationProblem &P, const LayeredOptions &Opt,
+               SolverWorkspace &WS)
+      : P(P), Opt(Opt), WS(WS),
+        Candidates(
+            WS.acquire(WS.Layered.Candidates, P.G.numVertices(), char(1))),
+        Allocated(
+            WS.acquire(WS.Layered.Allocated, P.G.numVertices(), char(0))),
+        PerClique(WS.acquire(WS.Layered.PerClique, P.Cliques.numCliques(), 0u)),
+        CliqueClosed(WS.acquire(WS.Layered.CliqueClosed,
+                                P.Cliques.numCliques(), char(0))) {}
 
   /// Weights for the next layer: raw, or biased by the remaining
   /// interference degree (paper §4.1).  Biasing w -> w*|V| + |adj| preserves
   /// the order of distinct weights and breaks ties toward vertices whose
   /// allocation removes more interference among the remaining candidates.
-  std::vector<Weight> layerWeights() const {
+  /// Fills the workspace weight buffer in place.
+  const std::vector<Weight> &layerWeights() {
     unsigned N = P.G.numVertices();
-    std::vector<Weight> W(N, 0);
+    std::vector<Weight> &W = WS.acquire(WS.Layered.LayerWeights, N, Weight(0));
     for (VertexId V = 0; V < N; ++V) {
       if (!Candidates[V])
         continue;
@@ -56,11 +70,16 @@ struct LayeredState {
   /// Computes one optimal layer of at most \p Bound registers over the
   /// current candidates.  Empty result means no remaining candidate has
   /// positive weight.
-  std::vector<VertexId> computeLayer(unsigned Bound) const {
-    std::vector<Weight> W = layerWeights();
+  std::vector<VertexId> computeLayer(unsigned Bound) {
+    const std::vector<Weight> &W = layerWeights();
     if (Bound == 1)
-      return maximumWeightedStableSetChordal(P.G, P.Peo, W, Candidates).Set;
-    return optimalBoundedLayer(P, Candidates, W, Bound);
+      return maximumWeightedStableSetChordal(P.G, P.Peo, W, Candidates, &WS)
+          .Set;
+    if (!StepTreeBuilt) {
+      StepTree = buildCliqueTree(P.G, P.Cliques);
+      StepTreeBuilt = true;
+    }
+    return optimalBoundedLayer(P, Candidates, W, Bound, &WS, &StepTree);
   }
 
   /// Marks \p Layer allocated and removes it from the candidates.
@@ -91,14 +110,17 @@ struct LayeredState {
 } // namespace
 
 AllocationResult layra::layeredAllocate(const AllocationProblem &P,
-                                        const LayeredOptions &Options) {
+                                        const LayeredOptions &Options,
+                                        SolverWorkspace *WS) {
   if (!P.Chordal)
     layraFatalError("layeredAllocate requires a chordal instance; "
                     "use layeredHeuristicAllocate for general graphs");
   assert(Options.Step >= 1 && Options.Step <= kMaxLayerStep &&
          "unsupported step");
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
 
-  LayeredState S(P, Options);
+  LayeredState S(P, Options, *WS);
   unsigned R = P.NumRegisters;
 
   // Phase 1 (paper Algorithm 2): stack optimal layers until R registers are
@@ -138,8 +160,10 @@ AllocationResult layra::layeredAllocate(const AllocationProblem &P,
     }
   }
 
-  AllocationResult Result =
-      AllocationResult::fromFlags(P.G, std::move(S.Allocated));
+  // The result owns its flags: copy them out of the workspace buffer at
+  // exact size so the arena keeps its capacity for the next run.
+  AllocationResult Result = AllocationResult::fromFlags(
+      P.G, std::vector<char>(S.Allocated.begin(), S.Allocated.end()));
   assert(isFeasibleAllocation(P, Result.Allocated) &&
          "layered allocation violated a clique constraint");
   return Result;

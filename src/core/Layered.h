@@ -31,6 +31,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Configuration of the layered-optimal allocator.
 struct LayeredOptions {
   /// Bias weights by interference degree (the paper's "B").
@@ -53,8 +55,14 @@ struct LayeredOptions {
 /// every maximal clique, hence the allocated set is R-colorable.
 /// Complexity with step == 1: O(R * (|V| + |E|)) plus the fixed-point
 /// iterations, each also O(|V| + |E|).
+///
+/// \p WS optionally supplies the per-layer scratch (candidate masks, layer
+/// weights, Frank's-algorithm state, the step DP tables); each layer then
+/// reuses the previous layer's buffers instead of reallocating them.
+/// Results are bit-identical with and without a workspace.
 AllocationResult layeredAllocate(const AllocationProblem &P,
-                                 const LayeredOptions &Options = {});
+                                 const LayeredOptions &Options = {},
+                                 SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

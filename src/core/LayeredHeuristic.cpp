@@ -7,17 +7,23 @@
 
 #include "core/LayeredHeuristic.h"
 
+#include "core/SolverWorkspace.h"
+
 #include <algorithm>
 #include <numeric>
 
 using namespace layra;
 
-std::vector<Cluster> layra::clusterVertices(const Graph &G) {
+std::vector<Cluster> layra::clusterVertices(const Graph &G,
+                                            SolverWorkspace *WS) {
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   unsigned N = G.numVertices();
   // Candidates ordered by decreasing weight; the degree tie-break prefers
   // removing more interference early (same intuition as the paper's §4.1
   // biasing), and the id tie-break keeps runs deterministic.
-  std::vector<VertexId> Order(N);
+  std::vector<VertexId> &Order =
+      WS->acquire(WS->Cluster.Order, N, VertexId(0));
   std::iota(Order.begin(), Order.end(), 0);
   std::sort(Order.begin(), Order.end(), [&](VertexId A, VertexId B) {
     if (G.weight(A) != G.weight(B))
@@ -27,11 +33,12 @@ std::vector<Cluster> layra::clusterVertices(const Graph &G) {
     return A < B;
   });
 
-  std::vector<char> Clustered(N, 0);
+  std::vector<char> &Clustered = WS->acquire(WS->Cluster.Clustered, N, char(0));
   // Per-round scratch: vertices excluded from the cluster being built
   // because they are adjacent to a chosen member.  Epoch-stamped to avoid
   // re-clearing.
-  std::vector<unsigned> BlockedAt(N, ~0u);
+  std::vector<unsigned> &BlockedAt =
+      WS->acquire(WS->Cluster.BlockedAt, N, ~0u);
   std::vector<Cluster> Clusters;
 
   unsigned Remaining = N;
@@ -59,8 +66,9 @@ std::vector<Cluster> layra::clusterVertices(const Graph &G) {
 }
 
 LayeredHeuristicResult
-layra::layeredHeuristicAllocate(const AllocationProblem &P) {
-  std::vector<Cluster> Clusters = clusterVertices(P.G);
+layra::layeredHeuristicAllocate(const AllocationProblem &P,
+                                SolverWorkspace *WS) {
+  std::vector<Cluster> Clusters = clusterVertices(P.G, WS);
 
   LayeredHeuristicResult Out;
   Out.NumClusters = static_cast<unsigned>(Clusters.size());

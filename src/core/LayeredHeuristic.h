@@ -23,6 +23,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// A cluster: a stable set of the interference graph plus its weight.
 struct Cluster {
   std::vector<VertexId> Members;
@@ -32,8 +34,10 @@ struct Cluster {
 /// Paper Algorithm 5: partitions all vertices of \p G into stable clusters.
 /// Vertices are considered in decreasing weight order (ties: higher degree
 /// first, then lower id); each cluster greedily absorbs every candidate not
-/// adjacent to it.  Every vertex ends up in exactly one cluster.
-std::vector<Cluster> clusterVertices(const Graph &G);
+/// adjacent to it.  Every vertex ends up in exactly one cluster.  \p WS
+/// optionally supplies the order/blocked scratch buffers.
+std::vector<Cluster> clusterVertices(const Graph &G,
+                                     SolverWorkspace *WS = nullptr);
 
 /// Result of the layered-heuristic allocator, including the register
 /// assignment its cluster structure implies.
@@ -50,7 +54,9 @@ struct LayeredHeuristicResult {
 /// Paper Algorithm 6 on top of Algorithm 5: keeps the R clusters of largest
 /// total weight and spills the rest.  Works on chordal and non-chordal
 /// instances alike (the paper's LH baseline).  Complexity O(R*(|V|+|E|)).
-LayeredHeuristicResult layeredHeuristicAllocate(const AllocationProblem &P);
+/// Results are bit-identical with and without a workspace.
+LayeredHeuristicResult layeredHeuristicAllocate(const AllocationProblem &P,
+                                                SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

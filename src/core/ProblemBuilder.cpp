@@ -14,14 +14,18 @@ using namespace layra;
 
 AllocationProblem layra::buildSsaProblem(const Function &F,
                                          const TargetDesc &Target,
-                                         unsigned NumRegisters) {
+                                         unsigned NumRegisters,
+                                         SolverWorkspace *WS) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "buildSsaProblem requires a strict SSA function");
   Liveness Live(F);
   std::vector<Weight> Costs = computeSpillCosts(F, Target);
-  InterferenceInfo Info = buildInterference(F, Live, Costs);
+  // Chordal constraints come from the maximal cliques, so the per-point
+  // live-set dedup is skipped (CollectPointSets = false).
+  InterferenceInfo Info =
+      buildInterference(F, Live, Costs, WS, /*CollectPointSets=*/false);
   AllocationProblem P =
-      AllocationProblem::fromChordalGraph(std::move(Info.G), NumRegisters);
+      AllocationProblem::fromChordalGraph(std::move(Info.G), NumRegisters, WS);
   P.Intervals = computeLiveIntervals(F, Live, Costs);
   return P;
 }

@@ -21,11 +21,14 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Builds a *chordal* instance from a strict-SSA function: the interference
 /// graph of SSA code is chordal and its maximal cliques are the maximal live
 /// sets.  Aborts (via the chordality check) if \p F is not in SSA form.
 AllocationProblem buildSsaProblem(const Function &F, const TargetDesc &Target,
-                                  unsigned NumRegisters);
+                                  unsigned NumRegisters,
+                                  SolverWorkspace *WS = nullptr);
 
 /// Builds a *general* instance from any function (typically non-SSA, as in
 /// the paper's JikesRVM evaluation): point live sets become the ILP

@@ -1,0 +1,288 @@
+//===- core/SolverWorkspace.h - Reusable solver scratch state ---*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SolverWorkspace owns every piece of scratch state the allocation hot
+/// path would otherwise reallocate per layer and per task: candidate masks
+/// and weight vectors (core/Layered), Frank's-algorithm residuals
+/// (graph/StableSet), MCS buckets and later-neighbor buffers
+/// (graph/Chordal), clique-tree DP tables (core/StepLayer), shortest-path
+/// state of the residual network (flow/MinCostFlow), the simplex tableau
+/// (lp/Simplex), cluster buffers (core/LayeredHeuristic) and the pipeline's
+/// pin/spill flags (alloc/Pipeline).
+///
+/// The layered allocator is polynomial precisely because it re-solves a
+/// bounded subproblem per layer; without reuse, each of those R solves --
+/// and each of the thousands of per-function tasks a BatchDriver worker
+/// executes -- rebuilds the same vectors from cold heap memory.  The
+/// workspace applies the clear-don't-free discipline: buffers are
+/// `assign`ed or `clear`ed to a defined state on every checkout, so results
+/// are bit-identical to fresh-allocation runs, but the capacity (and the
+/// warm cache lines under it) survives from one layer or task to the next.
+///
+/// Usage contract:
+///  - A workspace is *not* thread-safe: one workspace per thread.  The
+///    BatchDriver keeps one per pool worker so consecutive tasks on a
+///    worker reuse the same arenas.
+///  - Every entry point that accepts a `SolverWorkspace *` treats `nullptr`
+///    as "use a private local workspace", so results never depend on
+///    whether a workspace was supplied.
+///  - Scratch members are namespaced per subsystem; a subsystem must leave
+///    no dangling references into another's buffers.  Nested solver calls
+///    that share one workspace (layered -> stable set, BnB -> ILP -> LP)
+///    only ever touch their own sections.
+///
+/// The Stats block feeds `layra-bench --workspace-stats`: BytesReused
+/// counts checkout bytes served from retained capacity, BytesAllocated
+/// those that forced fresh heap growth (for push_back-filled buffers the
+/// growth is attributed at the *next* checkout of the same buffer, when
+/// the final capacity is known).  The split is a capacity-based accounting
+/// estimate, not a malloc trace, and with multiple threads it varies run
+/// to run with the steal schedule -- which is why it is reported out of
+/// band and never part of a DriverReport.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_CORE_SOLVERWORKSPACE_H
+#define LAYRA_CORE_SOLVERWORKSPACE_H
+
+#include "graph/Graph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace layra {
+
+/// Buffer-checkout accounting of one workspace (see file comment).
+struct WorkspaceStats {
+  uint64_t BytesReused = 0;    ///< Checkout bytes served from capacity.
+  uint64_t BytesAllocated = 0; ///< Checkout bytes requiring heap growth.
+  uint64_t Acquires = 0;       ///< Buffer checkouts performed.
+
+  uint64_t bytesTotal() const { return BytesReused + BytesAllocated; }
+  /// Fraction of checkout bytes served from retained capacity, in [0, 1].
+  double reuseFraction() const {
+    uint64_t Total = bytesTotal();
+    return Total == 0 ? 0.0 : static_cast<double>(BytesReused) /
+                                  static_cast<double>(Total);
+  }
+  void merge(const WorkspaceStats &Other) {
+    BytesReused += Other.BytesReused;
+    BytesAllocated += Other.BytesAllocated;
+    Acquires += Other.Acquires;
+  }
+};
+
+/// Owns reusable scratch buffers for the whole solver stack.  Cheap to
+/// construct (no allocation until first use); intended to live for many
+/// solves.
+class SolverWorkspace {
+public:
+  SolverWorkspace() = default;
+  // One workspace per thread; copying would silently duplicate arenas.
+  SolverWorkspace(const SolverWorkspace &) = delete;
+  SolverWorkspace &operator=(const SolverWorkspace &) = delete;
+
+  /// Checks a buffer out of the workspace with exactly \p N elements, each
+  /// set to \p Init.  Reuses retained capacity; never shrinks it.
+  template <typename T>
+  std::vector<T> &acquire(std::vector<T> &Buffer, size_t N, const T &Init) {
+    account(Buffer.capacity(), N, sizeof(T));
+    Buffer.assign(N, Init);
+    return Buffer;
+  }
+
+  /// Checks out an empty buffer that keeps its capacity (for push_back
+  /// fills whose final size is unknown).  The fill's heap growth is only
+  /// observable at the *next* checkout of the same buffer, so capacity
+  /// gained since the previous checkout is attributed to BytesAllocated
+  /// then, and only capacity already present last time counts as reused.
+  template <typename T>
+  std::vector<T> &acquireCleared(std::vector<T> &Buffer) {
+    size_t &Prev = LastClearedCapacity[&Buffer];
+    size_t Now = Buffer.capacity();
+    account(/*Capacity=*/Prev, /*Requested=*/Now, sizeof(T));
+    Prev = Now;
+    Buffer.clear();
+    return Buffer;
+  }
+
+  /// Checks out a vector-of-vectors with \p N empty inner vectors, each
+  /// keeping its capacity.  (A plain `Outer.assign(N, {})` would free every
+  /// inner buffer -- exactly the churn this class exists to avoid.)  Inner
+  /// growth is attributed like acquireCleared: capacity gained since a
+  /// buffer's previous checkout counts as freshly allocated.
+  template <typename T>
+  std::vector<std::vector<T>> &
+  acquireNested(std::vector<std::vector<T>> &Outer, size_t N) {
+    if (Outer.size() > N)
+      Outer.resize(N);
+    for (std::vector<T> &Inner : Outer) {
+      size_t &Prev = LastClearedCapacity[&Inner];
+      account(/*Capacity=*/Prev, /*Requested=*/Inner.capacity(), sizeof(T));
+      Prev = Inner.capacity();
+      Inner.clear();
+    }
+    Outer.resize(N);
+    return Outer;
+  }
+
+  /// Checkout accounting.
+  WorkspaceStats Stats;
+
+  //===--------------------------------------------------------------------===//
+  // Per-subsystem scratch sections.  Members are plain buffers; the owning
+  // subsystem defines their meaning and must not rely on contents across
+  // checkouts (only on capacity).
+  //===--------------------------------------------------------------------===//
+
+  /// Frank's algorithm (graph/StableSet.cpp).
+  struct StableSetScratch {
+    std::vector<Weight> Residual;
+    std::vector<VertexId> RedStack;
+    std::vector<char> BlueAdjacent;
+  } Stable;
+
+  /// Chordal machinery (graph/Chordal.cpp): MCS buckets, the shared
+  /// later-neighbors buffer, and the RTL PEO-check batches.
+  struct ChordalScratch {
+    std::vector<std::vector<VertexId>> Buckets;
+    std::vector<unsigned> Count;
+    std::vector<char> Visited;
+    std::vector<VertexId> Later;
+    std::vector<unsigned> LaterCount;
+    std::vector<VertexId> Parent;
+    std::vector<char> Flags;
+    std::vector<std::vector<VertexId>> MustBeAdjacentTo;
+  } Chordal;
+
+  /// Layered allocator per-run state (core/Layered.cpp).
+  struct LayeredScratch {
+    std::vector<char> Candidates;
+    std::vector<char> Allocated;
+    std::vector<char> CliqueClosed;
+    std::vector<unsigned> PerClique;
+    std::vector<Weight> LayerWeights;
+  } Layered;
+
+  /// One clique-tree node's DP table (core/StepLayer.cpp).  ProjKeys /
+  /// ProjBest are the parallel sorted projection index over the parent
+  /// separator.
+  struct StepDpNode {
+    std::vector<VertexId> Bag;
+    std::vector<uint64_t> States;
+    std::vector<Weight> Value;
+    std::vector<uint64_t> ProjKeys;
+    std::vector<std::pair<Weight, uint32_t>> ProjBest;
+    std::vector<VertexId> Sep;
+  };
+
+  /// Clique-tree DP scratch (core/StepLayer.cpp).
+  struct StepLayerScratch {
+    std::vector<StepDpNode> Nodes;
+    std::vector<Weight> BagWeight;
+    std::vector<uint64_t> SubsetsCurrent;
+    std::vector<uint64_t> SubsetsNext;
+    std::vector<char> Selected;
+    std::vector<std::pair<unsigned, uint64_t>> Work;
+    std::vector<std::pair<uint64_t, std::pair<Weight, uint32_t>>> Agg;
+  } Step;
+
+  /// Cluster construction (core/LayeredHeuristic.cpp).
+  struct ClusterScratch {
+    std::vector<VertexId> Order;
+    std::vector<char> Clustered;
+    std::vector<unsigned> BlockedAt;
+  } Cluster;
+
+  /// Successive-shortest-paths state (flow/MinCostFlow.cpp).  Heap is the
+  /// binary-heap storage of the Dijkstra priority queue.
+  struct FlowScratch {
+    std::vector<long long> Potential;
+    std::vector<long long> Dist;
+    std::vector<unsigned> InArc;
+    std::vector<std::pair<long long, unsigned>> Heap;
+  } Flow;
+
+  /// Simplex tableau (lp/Simplex.cpp).  Tab is the dense NumRows x
+  /// NumColumns working matrix -- by far the largest buffer in this class.
+  struct LpScratch {
+    std::vector<double> Tab;
+    std::vector<double> BasicValue;
+    std::vector<double> ReducedCost;
+    std::vector<double> ShiftedUpper;
+    std::vector<unsigned char> State;
+    std::vector<unsigned> BasicOfRow;
+  } Lp;
+
+  /// Iterative pipeline flags (alloc/Pipeline.cpp).
+  struct PipelineScratch {
+    std::vector<char> Pinned;
+    std::vector<char> Spilled;
+  } Pipeline;
+
+  /// Interference-graph construction (ir/Interference.cpp): the per-point
+  /// live-index buffers the backward walk re-fills per instruction.
+  struct InterferenceScratch {
+    std::vector<VertexId> Point;
+    std::vector<VertexId> Entry;
+  } Interference;
+
+  /// Frees every retained buffer (capacity included) and zeroes the stats.
+  /// For long-lived owners that want to give arena memory back between
+  /// batches; never required for correctness.
+  void releaseMemory();
+
+private:
+  void account(size_t Capacity, size_t Requested, size_t ElemSize) {
+    uint64_t Need = static_cast<uint64_t>(Requested) * ElemSize;
+    uint64_t Have = static_cast<uint64_t>(Capacity) * ElemSize;
+    Stats.BytesReused += std::min(Need, Have);
+    Stats.BytesAllocated += Need > Have ? Need - Have : 0;
+    ++Stats.Acquires;
+  }
+
+  /// Capacity each acquireCleared/acquireNested buffer had at its previous
+  /// checkout, keyed by buffer address.  Direct members have stable
+  /// addresses; pooled inner vectors (Step.Nodes, Chordal.Buckets) can
+  /// move when their pool grows, which merely re-classifies their retained
+  /// capacity as cold once.  Pure accounting state -- never affects buffer
+  /// contents.
+  std::unordered_map<const void *, size_t> LastClearedCapacity;
+};
+
+/// Resolves an optional caller-supplied workspace to a usable one without
+/// paying for a fallback that is not needed: the private workspace is only
+/// constructed when the caller passed nullptr.  Entry points use
+///
+///   WorkspaceOrLocal Scope(WS);
+///   WS = Scope.get();
+///
+/// instead of unconditionally constructing a local SolverWorkspace (~40
+/// empty vectors zero-initialized per call on paths that run per layer or
+/// per branch-and-bound node).
+class WorkspaceOrLocal {
+public:
+  explicit WorkspaceOrLocal(SolverWorkspace *WS)
+      : Ptr(WS ? WS : &Own.emplace()) {}
+
+  SolverWorkspace *get() { return Ptr; }
+  SolverWorkspace &operator*() { return *Ptr; }
+  SolverWorkspace *operator->() { return Ptr; }
+
+private:
+  std::optional<SolverWorkspace> Own; // Engaged only on the nullptr path.
+  SolverWorkspace *Ptr;
+};
+
+} // namespace layra
+
+#endif // LAYRA_CORE_SOLVERWORKSPACE_H

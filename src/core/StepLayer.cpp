@@ -14,10 +14,16 @@
 // projection onto the separator, keyed by a mask over the separator's
 // canonical vertex order.
 //
+// All per-node tables live in SolverWorkspace::StepLayerScratch
+// (clear-don't-free), so the repeated layers of one layered run -- and
+// consecutive runs sharing a workspace -- re-fill warm buffers instead of
+// reallocating them.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/StepLayer.h"
 
+#include "core/SolverWorkspace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -49,37 +55,29 @@ double layra::estimateBoundedLayerStates(const AllocationProblem &P,
 }
 
 namespace {
-/// Best (value, state index) per separator projection, stored as parallel
-/// sorted vectors (cheaper than a hash map at millions of states).
-struct ProjectionIndex {
-  std::vector<uint64_t> Keys; // Sorted projection masks.
-  std::vector<std::pair<Weight, uint32_t>> Best;
-
-  const std::pair<Weight, uint32_t> *find(uint64_t Key) const {
-    auto It = std::lower_bound(Keys.begin(), Keys.end(), Key);
-    if (It == Keys.end() || *It != Key)
-      return nullptr;
-    return &Best[static_cast<size_t>(It - Keys.begin())];
-  }
-};
-
-/// Per-clique-tree-node DP table with bitmask-encoded subsets.
-struct NodeTable {
-  std::vector<VertexId> Bag;        // Masked bag, sorted by vertex id.
-  std::vector<uint64_t> States;     // Subset masks over Bag, |subset|<=Bound.
-  std::vector<Weight> Value;        // Best subtree weight per state.
-  ProjectionIndex BestByProjection; // Keyed over the parent separator.
-};
+/// Best (value, state index) for \p Key in a node's projection index -- the
+/// parallel sorted (ProjKeys, ProjBest) arrays of a StepDpNode (cheaper
+/// than a hash map at millions of states).
+const std::pair<Weight, uint32_t> *
+findProjection(const SolverWorkspace::StepDpNode &Node, uint64_t Key) {
+  auto It = std::lower_bound(Node.ProjKeys.begin(), Node.ProjKeys.end(), Key);
+  if (It == Node.ProjKeys.end() || *It != Key)
+    return nullptr;
+  return &Node.ProjBest[static_cast<size_t>(It - Node.ProjKeys.begin())];
+}
 
 /// Enumerates all subsets of {0..M-1} with at most Bound bits, in a
-/// deterministic order with the empty set first.
-void enumerateSubsets(unsigned M, unsigned Bound,
-                      std::vector<uint64_t> &Out) {
+/// deterministic order with the empty set first.  \p Current and \p Next
+/// are caller-owned scratch (kept warm across nodes).
+void enumerateSubsets(unsigned M, unsigned Bound, std::vector<uint64_t> &Out,
+                      std::vector<uint64_t> &Current,
+                      std::vector<uint64_t> &Next) {
   Out.clear();
   Out.push_back(0);
-  std::vector<uint64_t> Current{0};
+  Current.clear();
+  Current.push_back(0);
   for (unsigned Size = 1; Size <= std::min(Bound, M); ++Size) {
-    std::vector<uint64_t> Next;
+    Next.clear();
     for (uint64_t S : Current) {
       unsigned Lowest =
           S == 0 ? M : static_cast<unsigned>(__builtin_ctzll(S));
@@ -88,7 +86,7 @@ void enumerateSubsets(unsigned M, unsigned Bound,
     }
     for (uint64_t S : Next)
       Out.push_back(S);
-    Current = std::move(Next);
+    std::swap(Current, Next);
   }
 }
 } // namespace
@@ -96,31 +94,55 @@ void enumerateSubsets(unsigned M, unsigned Bound,
 std::vector<VertexId>
 layra::optimalBoundedLayer(const AllocationProblem &P,
                            const std::vector<char> &Mask,
-                           const std::vector<Weight> &Weights,
-                           unsigned Bound) {
+                           const std::vector<Weight> &Weights, unsigned Bound,
+                           SolverWorkspace *WS, const CliqueTree *Tree) {
   assert(P.Chordal && "bounded layers require a chordal instance");
   assert(Bound >= 1 && "bound must be positive");
   assert(Mask.size() == P.G.numVertices() && "mask size mismatch");
   assert(Weights.size() == P.G.numVertices() && "weights size mismatch");
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
 
   const CliqueCover &Cover = P.Cliques;
-  CliqueTree Tree = buildCliqueTree(P.G, Cover);
+  CliqueTree OwnTree;
+  if (!Tree) {
+    OwnTree = buildCliqueTree(P.G, Cover);
+    Tree = &OwnTree;
+  }
   unsigned NumNodes = Cover.numCliques();
 
-  std::vector<NodeTable> Tables(NumNodes);
-  // Masked bags and separators, both sorted by vertex id (canonical order).
-  std::vector<std::vector<VertexId>> Sep(NumNodes);
+  // Per-node DP tables out of the workspace pool; inner buffers keep their
+  // capacity from the previous layer.  Checked out through acquireCleared
+  // so the DP tables -- the step path's largest arenas -- show up in the
+  // workspace accounting like every other buffer.
+  std::vector<SolverWorkspace::StepDpNode> &Tables = WS->Step.Nodes;
+  if (Tables.size() < NumNodes)
+    Tables.resize(NumNodes);
   for (unsigned C = 0; C < NumNodes; ++C) {
+    SolverWorkspace::StepDpNode &T = Tables[C];
+    WS->acquireCleared(T.Bag);
+    WS->acquireCleared(T.States);
+    WS->acquireCleared(T.Value);
+    WS->acquireCleared(T.ProjKeys);
+    WS->acquireCleared(T.ProjBest);
+    WS->acquireCleared(T.Sep);
+  }
+  WS->acquireCleared(WS->Step.SubsetsCurrent);
+  WS->acquireCleared(WS->Step.SubsetsNext);
+
+  // Masked bags and separators, both sorted by vertex id (canonical order).
+  for (unsigned C = 0; C < NumNodes; ++C) {
+    SolverWorkspace::StepDpNode &T = Tables[C];
     for (VertexId V : Cover.Cliques[C])
       if (Mask[V])
-        Tables[C].Bag.push_back(V);
-    std::sort(Tables[C].Bag.begin(), Tables[C].Bag.end());
-    if (Tables[C].Bag.size() > 64)
+        T.Bag.push_back(V);
+    std::sort(T.Bag.begin(), T.Bag.end());
+    if (T.Bag.size() > 64)
       layraFatalError("optimalBoundedLayer: clique exceeds 64 live values");
-    for (VertexId V : Tree.Separator[C])
+    for (VertexId V : Tree->Separator[C])
       if (Mask[V])
-        Sep[C].push_back(V);
-    std::sort(Sep[C].begin(), Sep[C].end());
+        T.Sep.push_back(V);
+    std::sort(T.Sep.begin(), T.Sep.end());
   }
 
   // Projection of a bag-subset mask onto a separator, as a mask over the
@@ -141,14 +163,17 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
   };
 
   // Bottom-up sweep (children before parents).
-  for (auto It = Tree.TopoOrder.rbegin(); It != Tree.TopoOrder.rend(); ++It) {
+  for (auto It = Tree->TopoOrder.rbegin(); It != Tree->TopoOrder.rend();
+       ++It) {
     unsigned C = *It;
-    NodeTable &T = Tables[C];
-    enumerateSubsets(static_cast<unsigned>(T.Bag.size()), Bound, T.States);
+    SolverWorkspace::StepDpNode &T = Tables[C];
+    enumerateSubsets(static_cast<unsigned>(T.Bag.size()), Bound, T.States,
+                     WS->Step.SubsetsCurrent, WS->Step.SubsetsNext);
     T.Value.assign(T.States.size(), 0);
 
     // Weight of each bag vertex.
-    std::vector<Weight> BagWeight(T.Bag.size());
+    std::vector<Weight> &BagWeight =
+        WS->acquire(WS->Step.BagWeight, T.Bag.size(), Weight(0));
     for (size_t I = 0; I < T.Bag.size(); ++I)
       BagWeight[I] = Weights[T.Bag[I]];
 
@@ -160,9 +185,9 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
         Total += BagWeight[static_cast<unsigned>(__builtin_ctzll(Bits))];
         Bits &= Bits - 1;
       }
-      for (unsigned D : Tree.Children[C]) {
-        uint64_t Proj = Project(T.Bag, StateMask, Sep[D]);
-        const auto *Found = Tables[D].BestByProjection.find(Proj);
+      for (unsigned D : Tree->Children[C]) {
+        uint64_t Proj = Project(T.Bag, StateMask, Tables[D].Sep);
+        const auto *Found = findProjection(Tables[D], Proj);
         assert(Found && "separator projection missing from child table");
         Total += Found->first;
       }
@@ -172,15 +197,15 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
     // Group this node's states by projection onto its parent separator,
     // with the separator weight removed (counted at the parent).
     {
-      std::vector<std::pair<uint64_t, std::pair<Weight, uint32_t>>> Agg;
+      auto &Agg = WS->acquireCleared(WS->Step.Agg);
       Agg.reserve(T.States.size());
       for (size_t S = 0; S < T.States.size(); ++S) {
-        uint64_t Proj = Project(T.Bag, T.States[S], Sep[C]);
+        uint64_t Proj = Project(T.Bag, T.States[S], T.Sep);
         Weight SepWeight = 0;
         uint64_t Bits = Proj;
         while (Bits) {
-          SepWeight += Weights[Sep[C][static_cast<unsigned>(
-              __builtin_ctzll(Bits))]];
+          SepWeight +=
+              Weights[T.Sep[static_cast<unsigned>(__builtin_ctzll(Bits))]];
           Bits &= Bits - 1;
         }
         Agg.push_back(
@@ -192,33 +217,30 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
                     return A.first < B.first;
                   return A.second.first > B.second.first;
                 });
-      ProjectionIndex &Index = T.BestByProjection;
-      Index.Keys.clear();
-      Index.Best.clear();
       for (const auto &[Key, ValueIdx] : Agg)
-        if (Index.Keys.empty() || Index.Keys.back() != Key) {
-          Index.Keys.push_back(Key);
-          Index.Best.push_back(ValueIdx);
+        if (T.ProjKeys.empty() || T.ProjKeys.back() != Key) {
+          T.ProjKeys.push_back(Key);
+          T.ProjBest.push_back(ValueIdx);
         }
     }
 
     // Children's big tables are no longer needed once the parent consumed
-    // them -- but reconstruction walks down through BestByProjection and
-    // States, so keep those and only drop Value for children.
-    for (unsigned D : Tree.Children[C]) {
+    // them -- but reconstruction walks down through the projection index
+    // and States, so only drop Value for children (capacity is retained by
+    // the pool for the next layer).
+    for (unsigned D : Tree->Children[C])
       Tables[D].Value.clear();
-      Tables[D].Value.shrink_to_fit();
-    }
   }
 
   // Reconstruction: pick the best root states and walk choices down via the
   // projection maps.
-  std::vector<char> Selected(P.G.numVertices(), 0);
-  std::vector<std::pair<unsigned, uint64_t>> Work; // (node, chosen mask)
+  std::vector<char> &Selected =
+      WS->acquire(WS->Step.Selected, P.G.numVertices(), char(0));
+  auto &Work = WS->acquireCleared(WS->Step.Work); // (node, chosen mask)
   for (unsigned C = 0; C < NumNodes; ++C) {
-    if (Tree.Parent[C] != ~0u)
+    if (Tree->Parent[C] != ~0u)
       continue;
-    const NodeTable &T = Tables[C];
+    const SolverWorkspace::StepDpNode &T = Tables[C];
     // Roots keep their Value arrays (nothing consumed them).
     size_t Best = 0;
     for (size_t S = 1; S < T.States.size(); ++S)
@@ -229,15 +251,15 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
   while (!Work.empty()) {
     auto [C, StateMask] = Work.back();
     Work.pop_back();
-    const NodeTable &T = Tables[C];
+    const SolverWorkspace::StepDpNode &T = Tables[C];
     uint64_t Bits = StateMask;
     while (Bits) {
       Selected[T.Bag[static_cast<unsigned>(__builtin_ctzll(Bits))]] = 1;
       Bits &= Bits - 1;
     }
-    for (unsigned D : Tree.Children[C]) {
-      uint64_t Proj = Project(T.Bag, StateMask, Sep[D]);
-      const auto *Found = Tables[D].BestByProjection.find(Proj);
+    for (unsigned D : Tree->Children[C]) {
+      uint64_t Proj = Project(T.Bag, StateMask, Tables[D].Sep);
+      const auto *Found = findProjection(Tables[D], Proj);
       assert(Found && "projection lost during reconstruction");
       Work.push_back({D, Tables[D].States[Found->second]});
     }

@@ -25,6 +25,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Maximum step the *layered allocator* uses per layer (the state space
 /// grows as |clique|^step).  The DP itself accepts any bound whose state
 /// space the caller has checked with estimateBoundedLayerStates().
@@ -47,6 +49,12 @@ double estimateBoundedLayerStates(const AllocationProblem &P,
 /// \param Mask vertex filter: only vertices V with Mask[V] != 0 participate.
 /// \param Weights per-vertex objective weights (may be biased).
 /// \param Bound pressure increment per clique, in [1, kMaxLayerStep].
+/// \param WS optional scratch workspace: the per-node DP tables (bags,
+///        subset states, values, projection indices) are checked out of it,
+///        so repeated layers over one problem reuse the same arenas.
+/// \param Tree optional precomputed clique tree of (P.G, P.Cliques); when
+///        null, one is built per call.  The layered allocator builds it
+///        once per run and shares it across layers.
 ///
 /// For Bound == 1 this equals the maximum weighted stable set; callers use
 /// Frank's algorithm for that case instead (it is linear), but the DP accepts
@@ -54,7 +62,9 @@ double estimateBoundedLayerStates(const AllocationProblem &P,
 std::vector<VertexId> optimalBoundedLayer(const AllocationProblem &P,
                                           const std::vector<char> &Mask,
                                           const std::vector<Weight> &Weights,
-                                          unsigned Bound);
+                                          unsigned Bound,
+                                          SolverWorkspace *WS = nullptr,
+                                          const CliqueTree *Tree = nullptr);
 
 } // namespace layra
 

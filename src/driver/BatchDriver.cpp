@@ -142,7 +142,18 @@ uint64_t layra::hashProblem(const AllocationProblem &P) {
 // BatchDriver
 //===----------------------------------------------------------------------===//
 
-BatchDriver::BatchDriver(unsigned Threads) : Pool(Threads) {}
+BatchDriver::BatchDriver(unsigned Threads) : Pool(Threads) {
+  Workspaces.reserve(Pool.numThreads());
+  for (unsigned W = 0; W < Pool.numThreads(); ++W)
+    Workspaces.push_back(std::make_unique<SolverWorkspace>());
+}
+
+WorkspaceStats BatchDriver::workspaceStats() const {
+  WorkspaceStats Total;
+  for (const auto &WS : Workspaces)
+    Total.merge(WS->Stats);
+  return Total;
+}
 
 DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
   auto BatchStart = std::chrono::steady_clock::now();
@@ -224,16 +235,20 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
   }
 
   // Phase 3 (parallel): solve each unique instance once.  Every worker
-  // writes only its own slot; the library itself is deterministic.
+  // writes only its own slot; the library itself is deterministic, and a
+  // workspace carries only buffer capacity, never state, so slot-local
+  // workspace reuse cannot leak one task's results into another's.
   std::vector<TaskOutcome> Outcomes(UniqueToPending.size());
   std::vector<double> SolveMs(UniqueToPending.size(), 0);
-  Pool.parallelFor(UniqueToPending.size(), [&](size_t I) {
+  Pool.parallelForWorker(UniqueToPending.size(), [&](size_t I,
+                                                     unsigned Slot) {
     const PendingTask &T = Pending[UniqueToPending[I]];
     const BatchJob &Job = Jobs[T.JobIndex];
     auto Start = std::chrono::steady_clock::now();
     SsaConversion Ssa = convertToSsa(*T.F);
-    PipelineResult R = runAllocationPipeline(Ssa.Ssa, Job.Target,
-                                             Job.NumRegisters, Job.Options);
+    PipelineResult R =
+        runAllocationPipeline(Ssa.Ssa, Job.Target, Job.NumRegisters,
+                              Job.Options, Workspaces[Slot].get());
     TaskOutcome &Out = Outcomes[I];
     Out.SpillCost = R.TotalSpillCost;
     Out.NumLoads = R.Spills.NumLoads;
@@ -309,17 +324,18 @@ BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problem
   }
 
   std::vector<AllocationResult> Unique(UniqueToInput.size());
-  Pool.parallelFor(UniqueToInput.size(), [&](size_t U) {
+  Pool.parallelForWorker(UniqueToInput.size(), [&](size_t U, unsigned Slot) {
     const AllocationProblem &P = *Problems[UniqueToInput[U]];
+    SolverWorkspace *WS = Workspaces[Slot].get();
     if (IsOptimal) {
       OptimalBnBAllocator BnB(OptimalNodeLimit);
-      Unique[U] = BnB.allocate(P);
+      Unique[U] = BnB.allocate(P, WS);
       return;
     }
     std::unique_ptr<Allocator> A = makeAllocator(AllocatorName);
     if (!A)
       layraFatalError("unknown allocator name in solveProblems");
-    Unique[U] = A->allocate(P);
+    Unique[U] = A->allocate(P, WS);
   });
 
   for (size_t U = 0; U < UniqueToInput.size(); ++U)

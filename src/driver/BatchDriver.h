@@ -33,11 +33,13 @@
 
 #include "alloc/Pipeline.h"
 #include "core/AllocationProblem.h"
+#include "core/SolverWorkspace.h"
 #include "ir/Target.h"
 #include "suites/Suites.h"
 #include "support/ThreadPool.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -165,8 +167,19 @@ public:
   /// Number of memoized problem results (solveProblems side).
   size_t problemCacheSize() const { return ProblemCache.size(); }
 
+  /// Aggregated buffer-checkout accounting over every per-worker
+  /// workspace, cumulative across run()/solveProblems() calls.  Feeds
+  /// `layra-bench --workspace-stats`.  NOT part of the determinism
+  /// contract: the reuse/allocated split depends on the thread count and
+  /// the steal schedule, which is why it lives outside DriverReport.
+  WorkspaceStats workspaceStats() const;
+
 private:
   ThreadPool Pool;
+  /// One workspace per pool participant (slot-indexed, see
+  /// ThreadPool::parallelForWorker): consecutive tasks on a worker reuse
+  /// the same arenas.  Workspaces persist across run() calls.
+  std::vector<std::unique_ptr<SolverWorkspace>> Workspaces;
   /// hashPipelineTask key -> outcome.  Touched only from the serial
   /// expansion/commit phases, never from pool workers.
   std::unordered_map<uint64_t, TaskOutcome> PipelineCache;

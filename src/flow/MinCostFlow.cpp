@@ -7,9 +7,11 @@
 
 #include "flow/MinCostFlow.h"
 
+#include "core/SolverWorkspace.h"
+
+#include <algorithm>
 #include <cassert>
 #include <limits>
-#include <queue>
 
 using namespace layra;
 
@@ -32,11 +34,15 @@ MinCostFlow::FlowAmount MinCostFlow::flowOn(unsigned ArcId) const {
 }
 
 MinCostFlow::Result MinCostFlow::run(NodeId Source, NodeId Sink,
-                                     FlowAmount MaxFlow) {
+                                     FlowAmount MaxFlow,
+                                     SolverWorkspace *WS) {
   assert(Source < numNodes() && Sink < numNodes() && Source != Sink);
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;
   unsigned N = numNodes();
-  std::vector<Cost> Potential(N, 0);
+  std::vector<Cost> &Potential =
+      WS->acquire(WS->Flow.Potential, N, Cost(0));
 
   // Bellman-Ford to initialise potentials if any arc cost is negative.
   bool HasNegative = false;
@@ -68,21 +74,25 @@ MinCostFlow::Result MinCostFlow::run(NodeId Source, NodeId Sink,
   }
 
   Result Out;
-  std::vector<Cost> Dist(N);
-  std::vector<unsigned> InArc(N);
+  // Dijkstra state out of the workspace; Heap is a min-heap over
+  // (distance, node) maintained with push_heap/pop_heap so its storage
+  // survives between augmentations and runs.
   using QueueEntry = std::pair<Cost, NodeId>;
+  std::vector<QueueEntry> &Heap = WS->acquireCleared(WS->Flow.Heap);
+  auto MinHeapOrder = [](const QueueEntry &A, const QueueEntry &B) {
+    return A > B; // std::*_heap build max-heaps; invert for a min-heap.
+  };
   while (Out.Flow < MaxFlow) {
     // Dijkstra on reduced costs.
-    Dist.assign(N, kInf);
-    InArc.assign(N, kNoArc);
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        Queue;
+    std::vector<Cost> &Dist = WS->acquire(WS->Flow.Dist, N, kInf);
+    std::vector<unsigned> &InArc = WS->acquire(WS->Flow.InArc, N, kNoArc);
+    Heap.clear();
     Dist[Source] = 0;
-    Queue.push({0, Source});
-    while (!Queue.empty()) {
-      auto [D, U] = Queue.top();
-      Queue.pop();
+    Heap.push_back({0, Source});
+    while (!Heap.empty()) {
+      std::pop_heap(Heap.begin(), Heap.end(), MinHeapOrder);
+      auto [D, U] = Heap.back();
+      Heap.pop_back();
       if (D > Dist[U])
         continue;
       for (unsigned A = FirstArc[U]; A != kNoArc; A = Arcs[A].NextArc) {
@@ -94,7 +104,8 @@ MinCostFlow::Result MinCostFlow::run(NodeId Source, NodeId Sink,
         if (Dist[U] + Reduced < Dist[V]) {
           Dist[V] = Dist[U] + Reduced;
           InArc[V] = A;
-          Queue.push({Dist[V], V});
+          Heap.push_back({Dist[V], V});
+          std::push_heap(Heap.begin(), Heap.end(), MinHeapOrder);
         }
       }
     }

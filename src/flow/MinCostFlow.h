@@ -22,6 +22,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Min-cost max-flow network on dense node ids.
 class MinCostFlow {
 public:
@@ -47,8 +49,12 @@ public:
   /// successively cheapest paths, stopping early when the sink becomes
   /// unreachable.  With negative arc costs present, the first potentials are
   /// initialised by Bellman-Ford; later iterations use Dijkstra.
-  Result run(NodeId Source, NodeId Sink,
-             FlowAmount MaxFlow = kInfiniteFlow);
+  ///
+  /// \p WS optionally supplies the shortest-path scratch (potentials,
+  /// distances, predecessor arcs and the Dijkstra heap) so repeated solves
+  /// reuse warm buffers; results are identical either way.
+  Result run(NodeId Source, NodeId Sink, FlowAmount MaxFlow = kInfiniteFlow,
+             SolverWorkspace *WS = nullptr);
 
   /// Flow currently on arc \p ArcId (as returned by addArc).
   FlowAmount flowOn(unsigned ArcId) const;

@@ -7,6 +7,7 @@
 
 #include "graph/Chordal.h"
 
+#include "core/SolverWorkspace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -28,13 +29,17 @@ EliminationOrder EliminationOrder::fromOrder(std::vector<VertexId> Order) {
   return Result;
 }
 
-EliminationOrder layra::maximumCardinalitySearch(const Graph &G) {
+EliminationOrder layra::maximumCardinalitySearch(const Graph &G,
+                                                 SolverWorkspace *WS) {
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   unsigned N = G.numVertices();
   // Bucketed MCS: Buckets[c] holds unvisited vertices with c visited
   // neighbors; we repeatedly visit from the highest non-empty bucket.
-  std::vector<std::vector<VertexId>> Buckets(N + 1);
-  std::vector<unsigned> Count(N, 0);
-  std::vector<char> Visited(N, 0);
+  std::vector<std::vector<VertexId>> &Buckets =
+      WS->acquireNested(WS->Chordal.Buckets, N + 1);
+  std::vector<unsigned> &Count = WS->acquire(WS->Chordal.Count, N, 0u);
+  std::vector<char> &Visited = WS->acquire(WS->Chordal.Visited, N, char(0));
   for (VertexId V = 0; V < N; ++V)
     Buckets[0].push_back(V);
 
@@ -113,29 +118,33 @@ EliminationOrder layra::lexBfs(const Graph &G) {
   return EliminationOrder::fromOrder(std::move(Visit));
 }
 
-/// Later neighbors of Order[I] (the "monotone adjacency set" of the RTL
-/// chordality literature).
-static std::vector<VertexId> laterNeighbors(const Graph &G,
-                                            const EliminationOrder &Peo,
-                                            VertexId V) {
-  std::vector<VertexId> Result;
+/// Later neighbors of \p V (the "monotone adjacency set" of the RTL
+/// chordality literature), collected into the caller's scratch buffer
+/// (cleared first) so tight loops do not allocate per vertex.
+static void laterNeighbors(const Graph &G, const EliminationOrder &Peo,
+                           VertexId V, std::vector<VertexId> &Out) {
+  Out.clear();
   for (VertexId U : G.neighbors(V))
     if (Peo.Position[U] > Peo.Position[V])
-      Result.push_back(U);
-  return Result;
+      Out.push_back(U);
 }
 
 bool layra::isPerfectEliminationOrder(const Graph &G,
-                                      const EliminationOrder &Order) {
+                                      const EliminationOrder &Order,
+                                      SolverWorkspace *WS) {
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   unsigned N = G.numVertices();
   if (Order.Order.size() != N)
     return false;
   // Rose-Tarjan-Lueker test: for each vertex v, let u be the earliest later
   // neighbor; all other later neighbors of v must be adjacent to u.  We
   // batch the membership checks per u.
-  std::vector<std::vector<VertexId>> MustBeAdjacentTo(N);
+  std::vector<std::vector<VertexId>> &MustBeAdjacentTo =
+      WS->acquireNested(WS->Chordal.MustBeAdjacentTo, N);
+  std::vector<VertexId> &Later = WS->acquireCleared(WS->Chordal.Later);
   for (VertexId V : Order.Order) {
-    std::vector<VertexId> Later = laterNeighbors(G, Order, V);
+    laterNeighbors(G, Order, V, Later);
     if (Later.empty())
       continue;
     VertexId Parent = *std::min_element(
@@ -146,17 +155,19 @@ bool layra::isPerfectEliminationOrder(const Graph &G,
       if (U != Parent)
         MustBeAdjacentTo[Parent].push_back(U);
   }
-  std::vector<char> Mark(N, 0);
+  std::vector<char> &Mark = WS->acquire(WS->Chordal.Flags, N, char(0));
   for (VertexId U = 0; U < N; ++U) {
     if (MustBeAdjacentTo[U].empty())
       continue;
     for (VertexId W : G.neighbors(U))
       Mark[W] = 1;
+    bool Ok = true;
     for (VertexId W : MustBeAdjacentTo[U])
-      if (!Mark[W])
-        return false;
+      Ok = Ok && Mark[W];
     for (VertexId W : G.neighbors(U))
       Mark[W] = 0;
+    if (!Ok)
+      return false;
   }
   return true;
 }
@@ -173,7 +184,10 @@ unsigned CliqueCover::maxCliqueSize() const {
 }
 
 CliqueCover layra::maximalCliquesChordal(const Graph &G,
-                                         const EliminationOrder &Peo) {
+                                         const EliminationOrder &Peo,
+                                         SolverWorkspace *WS) {
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   assert(isPerfectEliminationOrder(G, Peo) &&
          "maximalCliquesChordal requires a PEO (is the graph chordal?)");
   unsigned N = G.numVertices();
@@ -181,10 +195,13 @@ CliqueCover layra::maximalCliquesChordal(const Graph &G,
   // for some v.  C_v is NON-maximal iff some u with parent(u) == v satisfies
   // |later(u)| == |later(v)| + 1 (then C_v is a subset of C_u); this is the
   // Blair-Peyton detection used in clique-tree construction.
-  std::vector<unsigned> LaterCount(N, 0);
-  std::vector<VertexId> Parent(N, ~0u);
+  std::vector<unsigned> &LaterCount =
+      WS->acquire(WS->Chordal.LaterCount, N, 0u);
+  std::vector<VertexId> &Parent =
+      WS->acquire(WS->Chordal.Parent, N, VertexId(~0u));
+  std::vector<VertexId> &Later = WS->acquireCleared(WS->Chordal.Later);
   for (VertexId V = 0; V < N; ++V) {
-    std::vector<VertexId> Later = laterNeighbors(G, Peo, V);
+    laterNeighbors(G, Peo, V, Later);
     LaterCount[V] = static_cast<unsigned>(Later.size());
     if (!Later.empty())
       Parent[V] = *std::min_element(
@@ -193,7 +210,7 @@ CliqueCover layra::maximalCliquesChordal(const Graph &G,
           });
   }
 
-  std::vector<char> Absorbed(N, 0);
+  std::vector<char> &Absorbed = WS->acquire(WS->Chordal.Flags, N, char(0));
   for (VertexId U = 0; U < N; ++U)
     if (Parent[U] != ~0u && LaterCount[U] == LaterCount[Parent[U]] + 1)
       Absorbed[Parent[U]] = 1;
@@ -203,7 +220,11 @@ CliqueCover layra::maximalCliquesChordal(const Graph &G,
   for (VertexId V : Peo.Order) {
     if (Absorbed[V])
       continue;
-    std::vector<VertexId> Clique = laterNeighbors(G, Peo, V);
+    laterNeighbors(G, Peo, V, Later);
+    // The clique itself is output, not scratch: copy at exact size.
+    std::vector<VertexId> Clique;
+    Clique.reserve(Later.size() + 1);
+    Clique.assign(Later.begin(), Later.end());
     Clique.push_back(V);
     unsigned Index = Cover.numCliques();
     for (VertexId U : Clique)

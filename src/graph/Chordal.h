@@ -25,6 +25,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// A vertex elimination order together with its inverse permutation.
 /// Order[i] is the i-th vertex eliminated; Position[v] is v's index in Order.
 struct EliminationOrder {
@@ -38,8 +40,10 @@ struct EliminationOrder {
 /// Computes an elimination order via Maximum Cardinality Search.
 /// For a chordal graph the *reverse* of the MCS visit order is a perfect
 /// elimination order; the returned order is already reversed, i.e. it is a
-/// PEO whenever \p G is chordal.
-EliminationOrder maximumCardinalitySearch(const Graph &G);
+/// PEO whenever \p G is chordal.  \p WS optionally supplies the bucket
+/// scratch (core/SolverWorkspace.h); results are identical either way.
+EliminationOrder maximumCardinalitySearch(const Graph &G,
+                                          SolverWorkspace *WS = nullptr);
 
 /// Computes an elimination order via lexicographic BFS (Rose-Tarjan-Lueker).
 /// As with MCS, the returned order is a PEO whenever \p G is chordal.
@@ -47,7 +51,8 @@ EliminationOrder lexBfs(const Graph &G);
 
 /// Returns true if \p Order is a perfect elimination order of \p G: each
 /// vertex's later neighbors form a clique.  Linear-time RTL check.
-bool isPerfectEliminationOrder(const Graph &G, const EliminationOrder &Order);
+bool isPerfectEliminationOrder(const Graph &G, const EliminationOrder &Order,
+                               SolverWorkspace *WS = nullptr);
 
 /// Returns true if \p G is chordal (every cycle of length >= 4 has a chord).
 bool isChordal(const Graph &G);
@@ -73,7 +78,8 @@ struct CliqueCover {
 /// Enumerates all maximal cliques of chordal \p G given a PEO.
 /// Runs in O(V + E) time plus output size.
 /// \pre \p Peo is a perfect elimination order of \p G.
-CliqueCover maximalCliquesChordal(const Graph &G, const EliminationOrder &Peo);
+CliqueCover maximalCliquesChordal(const Graph &G, const EliminationOrder &Peo,
+                                  SolverWorkspace *WS = nullptr);
 
 /// A clique tree of a chordal graph: a tree on the maximal cliques such that
 /// for every vertex the cliques containing it induce a subtree.  Built as a

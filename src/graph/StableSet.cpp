@@ -7,13 +7,18 @@
 
 #include "graph/StableSet.h"
 
+#include "core/SolverWorkspace.h"
+
 #include <algorithm>
 
 using namespace layra;
 
 StableSetResult layra::maximumWeightedStableSetChordal(
     const Graph &G, const EliminationOrder &Peo,
-    const std::vector<Weight> &Weights, const std::vector<char> &Mask) {
+    const std::vector<Weight> &Weights, const std::vector<char> &Mask,
+    SolverWorkspace *WS) {
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   unsigned N = G.numVertices();
   assert(Weights.size() == N && "one weight per vertex required");
   assert((Mask.empty() || Mask.size() == N) && "mask size mismatch");
@@ -22,14 +27,15 @@ StableSetResult layra::maximumWeightedStableSetChordal(
   // Phase 1 (paper Algorithm 1, first loops): sweep the PEO with residual
   // weights; greedily "mark red" every vertex whose residual weight is still
   // positive, charging its weight to all later (residual) neighbors.
-  std::vector<Weight> Residual(N, 0);
+  std::vector<Weight> &Residual = WS->acquire(WS->Stable.Residual, N, Weight(0));
   for (VertexId V = 0; V < N; ++V)
     if (InMask(V)) {
       assert(Weights[V] >= 0 && "stable-set weights must be non-negative");
       Residual[V] = Weights[V];
     }
 
-  std::vector<VertexId> RedStack; // LIFO, as required by phase 2.
+  // LIFO, as required by phase 2.
+  std::vector<VertexId> &RedStack = WS->acquireCleared(WS->Stable.RedStack);
   for (VertexId V : Peo.Order) {
     if (!InMask(V) || Residual[V] <= 0)
       continue;
@@ -46,7 +52,8 @@ StableSetResult layra::maximumWeightedStableSetChordal(
   // Phase 2: pop red vertices in reverse order; keep ("mark blue") each one
   // that is not adjacent to an already blue vertex.  The result is a maximum
   // weighted stable set by LP duality of Frank's charging argument.
-  std::vector<char> BlueAdjacent(N, 0);
+  std::vector<char> &BlueAdjacent =
+      WS->acquire(WS->Stable.BlueAdjacent, N, char(0));
   StableSetResult Result;
   for (auto It = RedStack.rbegin(); It != RedStack.rend(); ++It) {
     VertexId V = *It;

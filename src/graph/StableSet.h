@@ -23,6 +23,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Result of a stable-set computation.
 struct StableSetResult {
   /// The chosen vertices; always a stable set of the input graph.
@@ -40,13 +42,17 @@ struct StableSetResult {
 /// \param Mask if non-empty, restricts the computation to vertices V with
 ///        Mask[V] != 0 (the induced subgraph on the mask, whose PEO is the
 ///        restriction of \p Peo).
+/// \param WS optional scratch workspace (residual weights, red stack, blue
+///        marks); nullptr solves with private buffers.  Results are
+///        identical either way.
 ///
 /// Vertices of weight zero are never selected (selecting them is always
 /// allowed but never increases the weight; excluding them matches paper
 /// Algorithm 1, whose red marking requires w' > 0).
 StableSetResult maximumWeightedStableSetChordal(
     const Graph &G, const EliminationOrder &Peo,
-    const std::vector<Weight> &Weights, const std::vector<char> &Mask = {});
+    const std::vector<Weight> &Weights, const std::vector<char> &Mask = {},
+    SolverWorkspace *WS = nullptr);
 
 /// Exhaustive maximum weighted stable set for arbitrary graphs; exponential,
 /// only for cross-validation in tests.

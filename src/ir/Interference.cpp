@@ -7,6 +7,8 @@
 
 #include "ir/Interference.h"
 
+#include "core/SolverWorkspace.h"
+
 #include <algorithm>
 #include <unordered_set>
 
@@ -53,27 +55,41 @@ struct LiveSetHash {
 
 InterferenceInfo layra::buildInterference(const Function &F,
                                           const Liveness &Live,
-                                          const std::vector<Weight> &Costs) {
+                                          const std::vector<Weight> &Costs,
+                                          SolverWorkspace *WS,
+                                          bool CollectPointSets) {
   assert(Costs.size() == F.numValues() && "one cost per value required");
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   InterferenceInfo Info;
   for (ValueId V = 0; V < F.numValues(); ++V)
     Info.G.addVertex(Costs[V], F.valueName(V));
 
+  // With CollectPointSets off only the pressure maximum is tracked; the
+  // per-point sort/hash/dedup is what the SSA fast path skips.
   std::unordered_set<std::vector<VertexId>, LiveSetHash> SeenSets;
-  auto RecordPoint = [&](std::vector<VertexId> Set) {
-    std::sort(Set.begin(), Set.end());
+  auto RecordPoint = [&](std::vector<VertexId> &Set) {
     Info.MaxLive = std::max(Info.MaxLive, static_cast<unsigned>(Set.size()));
-    if (SeenSets.insert(Set).second)
-      Info.PointLiveSets.push_back(std::move(Set));
+    if (!CollectPointSets)
+      return;
+    std::vector<VertexId> Sorted(Set.begin(), Set.end());
+    std::sort(Sorted.begin(), Sorted.end());
+    if (SeenSets.insert(Sorted).second)
+      Info.PointLiveSets.push_back(std::move(Sorted));
   };
 
+  std::vector<VertexId> &EntrySet = WS->acquireCleared(WS->Interference.Entry);
+  std::vector<VertexId> &Point = WS->acquireCleared(WS->Interference.Point);
   for (BlockId B = 0; B < F.numBlocks(); ++B) {
     const BasicBlock &BB = F.block(B);
 
     // Block entry: everything in LiveIn (which includes phi defs) is
     // simultaneously live.  Phi defs are born here, so they interfere with
     // all other live-in values (Chaitin edges at the def point).
-    std::vector<VertexId> EntrySet = Live.liveIn(B).toIndices();
+    EntrySet.clear();
+    Live.liveIn(B).forEach([&](std::size_t Bit) {
+      EntrySet.push_back(static_cast<VertexId>(Bit));
+    });
     for (const Instruction &I : BB.Instrs) {
       if (!I.isPhi())
         break;
@@ -82,13 +98,16 @@ InterferenceInfo layra::buildInterference(const Function &F,
           if (X != D)
             Info.G.addEdge(D, X);
     }
-    RecordPoint(std::move(EntrySet));
+    RecordPoint(EntrySet);
 
     // Body: at each instruction, defs interfere with everything live right
     // after it (and with each other).
     Live.walkBlockBackward(F, B, [&](unsigned I, const BitVector &LiveAfter) {
       const Instruction &Instr = BB.Instrs[I];
-      std::vector<VertexId> Point = LiveAfter.toIndices();
+      Point.clear();
+      LiveAfter.forEach([&](std::size_t Bit) {
+        Point.push_back(static_cast<VertexId>(Bit));
+      });
       for (ValueId D : Instr.Defs) {
         for (VertexId X : Point)
           if (X != D)
@@ -100,7 +119,7 @@ InterferenceInfo layra::buildInterference(const Function &F,
         if (!LiveAfter.test(D))
           Point.push_back(D);
       }
-      RecordPoint(std::move(Point));
+      RecordPoint(Point);
 
       unsigned Operands =
           static_cast<unsigned>(Instr.Defs.size() + Instr.Uses.size());

@@ -26,6 +26,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// Interference graph plus the pressure facts the allocators need.
 /// Vertex V of the graph corresponds 1:1 to ValueId V of the function.
 struct InterferenceInfo {
@@ -50,8 +52,16 @@ std::vector<Weight> computeSpillCosts(const Function &F,
 
 /// Builds the interference graph of \p F with \p Costs as vertex weights.
 /// Vertex names are taken from value names.
+///
+/// \p WS optionally supplies the per-point scratch of the backward walk.
+/// \p CollectPointSets controls whether PointLiveSets is filled: chordal
+/// (SSA) consumers derive the constraints from the maximal cliques instead
+/// and can skip the per-point sort/dedup entirely -- G, MaxLive and
+/// MinRegisters are computed either way.
 InterferenceInfo buildInterference(const Function &F, const Liveness &Live,
-                                   const std::vector<Weight> &Costs);
+                                   const std::vector<Weight> &Costs,
+                                   SolverWorkspace *WS = nullptr,
+                                   bool CollectPointSets = true);
 
 } // namespace layra
 

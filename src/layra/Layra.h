@@ -40,6 +40,7 @@
 #include "core/Layered.h"
 #include "core/LayeredHeuristic.h"
 #include "core/ProblemBuilder.h"
+#include "core/SolverWorkspace.h"
 #include "core/StepLayer.h"
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"

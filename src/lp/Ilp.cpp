@@ -24,6 +24,7 @@
 
 #include "lp/Ilp.h"
 
+#include "core/SolverWorkspace.h"
 #include "lp/Simplex.h"
 #include "support/Compiler.h"
 
@@ -43,8 +44,8 @@ Weight floorWithTolerance(double V) {
 
 class PackingSearch {
 public:
-  PackingSearch(const IlpInstance &I, uint64_t &Budget)
-      : I(I), Budget(Budget), Fixed(I.numVars(), -1),
+  PackingSearch(const IlpInstance &I, uint64_t &Budget, SolverWorkspace *WS)
+      : I(I), Budget(Budget), WS(WS), Fixed(I.numVars(), -1),
         RowsOf(I.numVars()), CapLeft(I.Constraints.size(), 0),
         FreeInRow(I.Constraints.size(), 0) {
     for (unsigned K = 0; K < I.Constraints.size(); ++K) {
@@ -246,7 +247,7 @@ private:
       return true;
     }
 
-    LpSolution Relaxed = solveLp(LP);
+    LpSolution Relaxed = solveLp(LP, WS);
     if (Relaxed.Status != LpStatus::Optimal) {
       // Numerical trouble: no usable bound here.  The subtree stays
       // unproven; keep whatever the incumbent already has.
@@ -330,6 +331,7 @@ private:
 
   const IlpInstance &I;
   uint64_t &Budget;
+  SolverWorkspace *WS;
 
   std::vector<signed char> Fixed; // -1 free / 0 / 1.
   std::vector<std::vector<unsigned>> RowsOf;
@@ -350,8 +352,8 @@ namespace {
 /// Solves one already-connected instance.
 IlpResult solveConnected(const IlpInstance &Instance,
                          const std::vector<char> *WarmStart,
-                         uint64_t &NodeBudget) {
-  PackingSearch Search(Instance, NodeBudget);
+                         uint64_t &NodeBudget, SolverWorkspace *WS) {
+  PackingSearch Search(Instance, NodeBudget, WS);
   if (WarmStart)
     Search.seedIncumbent(*WarmStart);
   return Search.run();
@@ -361,7 +363,8 @@ IlpResult solveConnected(const IlpInstance &Instance,
 
 IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
                                     const std::vector<char> *WarmStart,
-                                    uint64_t &NodeBudget) {
+                                    uint64_t &NodeBudget,
+                                    SolverWorkspace *WS) {
 #ifndef NDEBUG
   for (Weight W : Instance.Weights)
     assert(W >= 0 && "packing weights must be non-negative");
@@ -405,7 +408,7 @@ IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
 
   if (NumComponents <= 1 &&
       std::count(CompOfVar.begin(), CompOfVar.end(), -1) == 0)
-    return solveConnected(Instance, WarmStart, NodeBudget);
+    return solveConnected(Instance, WarmStart, NodeBudget, WS);
 
   IlpResult Result;
   Result.X.assign(N, 0);
@@ -441,7 +444,7 @@ IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
         SubWarm[I] = (*WarmStart)[Vars[I]];
     }
     IlpResult SubResult =
-        solveConnected(Sub, WarmStart ? &SubWarm : nullptr, NodeBudget);
+        solveConnected(Sub, WarmStart ? &SubWarm : nullptr, NodeBudget, WS);
     Result.Proven &= SubResult.Proven;
     Result.Nodes += SubResult.Nodes;
     Result.Value += SubResult.Value;
@@ -453,7 +456,8 @@ IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
 
 IlpResult layra::solveBinaryPackingBudgeted(const IlpInstance &Instance,
                                             const std::vector<char> *WarmStart,
-                                            uint64_t NodeBudget) {
+                                            uint64_t NodeBudget,
+                                            SolverWorkspace *WS) {
   uint64_t Budget = NodeBudget;
-  return solveBinaryPacking(Instance, WarmStart, Budget);
+  return solveBinaryPacking(Instance, WarmStart, Budget, WS);
 }

@@ -35,6 +35,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// One packing constraint: at most Capacity of Vars may be selected.
 struct IlpConstraint {
   std::vector<unsigned> Vars;
@@ -65,15 +67,18 @@ struct IlpResult {
 /// Solves \p Instance to proven optimality unless \p NodeBudget runs out
 /// (the budget is decremented in place so callers can share one budget
 /// across subproblems).  \p WarmStart, when non-null, seeds the incumbent:
-/// it must be feasible.
+/// it must be feasible.  \p WS optionally supplies the LP-relaxation
+/// scratch (the simplex tableau) every node re-solve reuses.
 IlpResult solveBinaryPacking(const IlpInstance &Instance,
                              const std::vector<char> *WarmStart,
-                             uint64_t &NodeBudget);
+                             uint64_t &NodeBudget,
+                             SolverWorkspace *WS = nullptr);
 
 /// Convenience wrapper with a private node budget.
 IlpResult solveBinaryPackingBudgeted(const IlpInstance &Instance,
                                      const std::vector<char> *WarmStart = nullptr,
-                                     uint64_t NodeBudget = 1'000'000);
+                                     uint64_t NodeBudget = 1'000'000,
+                                     SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

@@ -24,6 +24,7 @@
 
 #include "lp/Simplex.h"
 
+#include "core/SolverWorkspace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -58,16 +59,29 @@ void LinearProgram::addRow(std::vector<std::pair<unsigned, double>> Terms,
 
 namespace {
 
-/// Where a variable currently lives.
-enum class VarState : unsigned char { Basic, AtLower, AtUpper };
+/// Where a variable currently lives.  Stored as a raw byte so the state
+/// vector can live in the (type-erased) workspace pool.
+enum VarState : unsigned char { Basic, AtLower, AtUpper };
 
 /// The full-tableau solver state; see the file comment for the method.
+/// Every large array is checked out of the caller's workspace: the dense
+/// working matrix is by far the biggest allocation in the ILP stack, and
+/// branch-and-bound re-solves relaxations with identical shapes.
 class Tableau {
 public:
-  explicit Tableau(const LinearProgram &LP)
+  Tableau(const LinearProgram &LP, SolverWorkspace &WS)
       : NumStructural(LP.NumVars),
         NumRows(static_cast<unsigned>(LP.Rows.size())),
-        NumColumns(NumStructural + NumRows) {
+        NumColumns(NumStructural + NumRows),
+        Tab(WS.acquire(WS.Lp.Tab, static_cast<size_t>(NumRows) * NumColumns,
+                       0.0)),
+        BasicValue(WS.acquire(WS.Lp.BasicValue, NumRows, 0.0)),
+        ReducedCost(WS.acquire(WS.Lp.ReducedCost, NumColumns, 0.0)),
+        ShiftedUpper(WS.acquire(WS.Lp.ShiftedUpper, NumColumns,
+                                LinearProgram::kInfinity)),
+        State(WS.acquire(WS.Lp.State, NumColumns,
+                         static_cast<unsigned char>(AtLower))),
+        BasicOfRow(WS.acquire(WS.Lp.BasicOfRow, NumRows, 0u)) {
     // Objective scaling keeps the optimality tolerance commensurate with
     // the cost magnitudes (spill costs reach ~1e7 on deep loops).
     for (unsigned J = 0; J < NumStructural; ++J)
@@ -75,12 +89,8 @@ public:
     if (Scale == 0.0)
       Scale = 1.0;
 
-    ShiftedUpper.assign(NumColumns, LinearProgram::kInfinity);
     for (unsigned J = 0; J < NumStructural; ++J)
       ShiftedUpper[J] = LP.Upper[J] - LP.Lower[J];
-
-    Tab.assign(static_cast<size_t>(NumRows) * NumColumns, 0.0);
-    BasicValue.assign(NumRows, 0.0);
     for (unsigned R = 0; R < NumRows; ++R) {
       const LpRow &Row = LP.Rows[R];
       double Shift = 0;
@@ -96,12 +106,9 @@ public:
       BasicValue[R] = std::max(BasicValue[R], 0.0);
     }
 
-    ReducedCost.assign(NumColumns, 0.0);
     for (unsigned J = 0; J < NumStructural; ++J)
       ReducedCost[J] = LP.Objective[J] / Scale;
 
-    State.assign(NumColumns, VarState::AtLower);
-    BasicOfRow.resize(NumRows);
     for (unsigned R = 0; R < NumRows; ++R) {
       State[NumStructural + R] = VarState::Basic;
       BasicOfRow[R] = NumStructural + R;
@@ -307,23 +314,26 @@ private:
 
   unsigned NumStructural, NumRows, NumColumns;
   double Scale = 0.0;
-  std::vector<double> Tab;          // NumRows x NumColumns, row-major.
-  std::vector<double> BasicValue;   // Shifted value of each row's basic var.
-  std::vector<double> ReducedCost;  // Scaled objective row.
-  std::vector<double> ShiftedUpper; // Upper - Lower; infinity for slacks.
-  std::vector<VarState> State;
-  std::vector<unsigned> BasicOfRow;
+  // Workspace-owned storage (checked out in the constructor).
+  std::vector<double> &Tab;          // NumRows x NumColumns, row-major.
+  std::vector<double> &BasicValue;   // Shifted value of each row's basic var.
+  std::vector<double> &ReducedCost;  // Scaled objective row.
+  std::vector<double> &ShiftedUpper; // Upper - Lower; infinity for slacks.
+  std::vector<unsigned char> &State; // VarState per column.
+  std::vector<unsigned> &BasicOfRow;
 };
 
 } // namespace
 
-LpSolution layra::solveLp(const LinearProgram &LP) {
+LpSolution layra::solveLp(const LinearProgram &LP, SolverWorkspace *WS) {
   assert(LP.Objective.size() == LP.NumVars && "objective size mismatch");
   assert(LP.Lower.size() == LP.NumVars && LP.Upper.size() == LP.NumVars &&
          "bounds size mismatch");
 
+  WorkspaceOrLocal LocalScope(WS);
+  WS = LocalScope.get();
   LpSolution Solution;
-  Tableau T(LP);
+  Tableau T(LP, *WS);
   unsigned Columns = LP.NumVars + static_cast<unsigned>(LP.Rows.size());
   Solution.Status = T.run(/*IterationLimit=*/200 + 50 * Columns,
                           Solution.Iterations);

@@ -37,6 +37,8 @@
 
 namespace layra {
 
+class SolverWorkspace;
+
 /// One `<=` row of a linear program, stored sparsely.
 struct LpRow {
   /// (variable index, coefficient) pairs; indices must be strictly
@@ -100,9 +102,13 @@ struct LpSolution {
 
 /// Maximises \p LP with a bounded-variable full-tableau primal simplex.
 ///
+/// \p WS optionally supplies the tableau storage (the dense working matrix
+/// dominates the solver's allocation cost); repeated solves sharing a
+/// workspace reuse it.  Results are identical with and without one.
+///
 /// \pre Every row satisfies its constraint at x = Lower (no phase-1; see
 /// file comment).  Aborts otherwise.
-LpSolution solveLp(const LinearProgram &LP);
+LpSolution solveLp(const LinearProgram &LP, SolverWorkspace *WS = nullptr);
 
 } // namespace layra
 

@@ -46,7 +46,7 @@ struct TaskDeque {
 /// One parallelFor batch: the body, per-participant deques, and the count
 /// of indices not yet executed.
 struct Batch {
-  const std::function<void(std::size_t)> *Body = nullptr;
+  const std::function<void(std::size_t, unsigned)> *Body = nullptr;
   std::vector<std::unique_ptr<TaskDeque>> Queues;
   std::atomic<std::size_t> Remaining{0};
 };
@@ -76,7 +76,7 @@ struct ThreadPool::Impl {
     std::size_t Index;
     for (;;) {
       if (B.Queues[Slot]->popFront(Index)) {
-        (*B.Body)(Index);
+        (*B.Body)(Index, Slot);
         B.Remaining.fetch_sub(1, std::memory_order_release);
         continue;
       }
@@ -85,7 +85,7 @@ struct ThreadPool::Impl {
         Stole = B.Queues[(Slot + Off) % NumQueues]->popBack(Index);
       if (!Stole)
         return; // Every queue is empty; in-flight tasks belong to others.
-      (*B.Body)(Index);
+      (*B.Body)(Index, Slot);
       B.Remaining.fetch_sub(1, std::memory_order_release);
     }
   }
@@ -138,11 +138,18 @@ unsigned ThreadPool::defaultThreadCount() {
 
 void ThreadPool::parallelFor(std::size_t N,
                              const std::function<void(std::size_t)> &Body) {
+  parallelForWorker(N,
+                    [&Body](std::size_t I, unsigned /*Slot*/) { Body(I); });
+}
+
+void ThreadPool::parallelForWorker(
+    std::size_t N, const std::function<void(std::size_t, unsigned)> &Body) {
   if (N == 0)
     return;
   if (State->NumThreads == 1 || N == 1) {
+    // Degenerate inline loop on the calling thread (slot 0).
     for (std::size_t I = 0; I < N; ++I)
-      Body(I);
+      Body(I, 0);
     return;
   }
 

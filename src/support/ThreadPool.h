@@ -54,6 +54,17 @@ public:
   /// on the same pool.
   void parallelFor(std::size_t N, const std::function<void(std::size_t)> &Body);
 
+  /// Like parallelFor, but Body additionally receives the executing
+  /// participant's slot in [0, numThreads()); slot 0 is the calling thread.
+  /// At any moment at most one task runs per slot, so Body may use the slot
+  /// to index per-worker state (e.g. a SolverWorkspace) without locking.
+  /// Which *indices* land on which slot depends on the steal schedule; only
+  /// state whose contents never alter results (scratch arenas, counters)
+  /// should be keyed this way.
+  void parallelForWorker(
+      std::size_t N,
+      const std::function<void(std::size_t, unsigned)> &Body);
+
   /// std::thread::hardware_concurrency clamped to at least 1.
   static unsigned defaultThreadCount();
 

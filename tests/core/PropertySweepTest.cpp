@@ -15,11 +15,16 @@
 #include "alloc/Allocator.h"
 #include "alloc/OptimalBnB.h"
 #include "core/Assignment.h"
+#include "core/Coalescing.h"
 #include "core/Layered.h"
 #include "core/LayeredHeuristic.h"
+#include "core/StepLayer.h"
 #include "graph/Generators.h"
+#include "graph/StableSet.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
 
 using namespace layra;
 
@@ -45,6 +50,26 @@ protected:
     Graph G = randomChordalGraph(R, Opt);
     return AllocationProblem::fromChordalGraph(std::move(G),
                                                GetParam().Regs);
+  }
+
+  /// Synthetic affinities for the coalescing sweeps: random non-adjacent
+  /// pairs with positive benefits (move-related values never interfere).
+  std::vector<Affinity> makeAffinities(const AllocationProblem &P) const {
+    Rng R(GetParam().Seed ^ 0xaff1u);
+    std::vector<Affinity> Out;
+    unsigned N = P.G.numVertices();
+    for (unsigned Trial = 0; Trial < N; ++Trial) {
+      VertexId A = static_cast<VertexId>(R.nextBelow(N));
+      VertexId B = static_cast<VertexId>(R.nextBelow(N));
+      if (A == B || P.G.hasEdge(A, B))
+        continue;
+      Affinity Aff;
+      Aff.A = A;
+      Aff.B = B;
+      Aff.Benefit = 1 + static_cast<Weight>(R.nextBelow(20));
+      Out.push_back(Aff);
+    }
+    return Out;
   }
 };
 } // namespace
@@ -93,6 +118,54 @@ TEST_P(ChordalSweep, LayeredIsDeterministic) {
   EXPECT_EQ(A.Allocated, B.Allocated);
 }
 
+TEST_P(ChordalSweep, CoalescingOffAndOnBothAssignValidly) {
+  AllocationProblem P = makeInstance();
+  AllocationResult Result = layeredAllocate(P, LayeredOptions::bfpl());
+  std::vector<Affinity> Affinities = makeAffinities(P);
+
+  // Coalescing off (plain tree-scan) and on (affinity-biased): both must
+  // produce proper colorings within the register budget...
+  Assignment Plain = assignRegisters(P, Result.Allocated);
+  Assignment Biased = assignRegistersBiased(P, Result.Allocated, Affinities);
+  for (const Assignment *A : {&Plain, &Biased}) {
+    EXPECT_TRUE(A->Success);
+    EXPECT_LE(A->RegistersUsed, P.NumRegisters);
+    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+      if (!Result.Allocated[V])
+        continue;
+      for (VertexId U : P.G.neighbors(V))
+        if (Result.Allocated[U]) {
+          EXPECT_NE(A->RegisterOf[V], A->RegisterOf[U])
+              << "interfering pair shares a register";
+        }
+    }
+  }
+  // ...and the bias may only reduce the leftover copy cost, never spill
+  // more (it does not touch the allocation at all).
+  EXPECT_LE(remainingCopyCost(Affinities, Result.Allocated,
+                              Biased.RegisterOf),
+            remainingCopyCost(Affinities, Result.Allocated,
+                              Plain.RegisterOf));
+}
+
+TEST_P(ChordalSweep, ConservativeCoalescingPreservesStructure) {
+  AllocationProblem P = makeInstance();
+  std::vector<Affinity> Affinities = makeAffinities(P);
+  CoalescingResult C =
+      coalesceConservative(P.G, Affinities, P.NumRegisters);
+
+  // Representatives are path-compressed roots.
+  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    EXPECT_EQ(C.Representative[C.Representative[V]], C.Representative[V]);
+  // Interfering vertices are never merged (only affinity pairs are, and
+  // move-related values do not interfere).
+  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId U : P.G.neighbors(V))
+      EXPECT_NE(C.Representative[V], C.Representative[U]);
+  // Weights are conserved: merging sums them, nothing is dropped.
+  EXPECT_EQ(C.Coalesced.totalWeight(), P.G.totalWeight());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     SeedByRegisterGrid, ChordalSweep,
     ::testing::ValuesIn([] {
@@ -127,6 +200,81 @@ TEST_P(StepSweep, SteppedLayeredIsFeasibleAcrossSeeds) {
     AllocationResult Result = layeredAllocate(P, Opts);
     EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated))
         << "step=" << Step << " round=" << Round;
+  }
+}
+
+TEST_P(StepSweep, BoundedLayerRespectsBoundAndGrowsWithIt) {
+  unsigned Step = GetParam();
+  Rng R(5000 + Step);
+  for (int Round = 0; Round < 6; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 12 + static_cast<unsigned>(R.nextBelow(20));
+    Graph G = randomChordalGraph(R, Opt);
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, /*R=*/1);
+    unsigned N = P.G.numVertices();
+    std::vector<char> Mask(N, 1);
+    std::vector<Weight> W(N);
+    for (VertexId V = 0; V < N; ++V)
+      W[V] = P.G.weight(V);
+
+    auto LayerWeight = [&](const std::vector<VertexId> &Layer) {
+      Weight Total = 0;
+      for (VertexId V : Layer)
+        Total += W[V];
+      return Total;
+    };
+
+    std::vector<VertexId> Layer = optimalBoundedLayer(P, Mask, W, Step);
+    // Every maximal clique gains at most Step vertices.
+    for (const auto &K : P.Cliques.Cliques) {
+      unsigned Hit = 0;
+      for (VertexId V : K)
+        Hit += std::count(Layer.begin(), Layer.end(), V) ? 1 : 0;
+      EXPECT_LE(Hit, Step) << "step=" << Step << " round=" << Round;
+    }
+    // A looser bound can only improve the optimal layer weight.
+    if (Step > 1) {
+      std::vector<VertexId> Tighter =
+          optimalBoundedLayer(P, Mask, W, Step - 1);
+      EXPECT_LE(LayerWeight(Tighter), LayerWeight(Layer))
+          << "step=" << Step << " round=" << Round;
+    }
+  }
+}
+
+TEST_P(StepSweep, BoundOneMatchesFranksStableSetPath) {
+  // Cross-validation of the two Bound == 1 solvers: the clique-tree DP and
+  // Frank's linear-time algorithm optimize the same objective, so their
+  // layer *weights* must agree exactly -- on the full vertex set and on
+  // masked subsets (the mid-run candidate sets of the layered allocator).
+  unsigned Seed = 7000 + GetParam(); // Sweep seeds via the step parameter.
+  Rng R(Seed);
+  for (int Round = 0; Round < 6; ++Round) {
+    ChordalGenOptions Opt;
+    Opt.NumVertices = 12 + static_cast<unsigned>(R.nextBelow(20));
+    Graph G = randomChordalGraph(R, Opt);
+    AllocationProblem P = AllocationProblem::fromChordalGraph(G, /*R=*/1);
+    unsigned N = P.G.numVertices();
+    std::vector<Weight> W(N);
+    for (VertexId V = 0; V < N; ++V)
+      W[V] = P.G.weight(V);
+
+    std::vector<char> Mask(N, 1);
+    for (int MaskRound = 0; MaskRound < 3; ++MaskRound) {
+      std::vector<VertexId> Dp = optimalBoundedLayer(P, Mask, W, 1);
+      StableSetResult Frank =
+          maximumWeightedStableSetChordal(P.G, P.Peo, W, Mask);
+      Weight DpWeight = 0;
+      for (VertexId V : Dp) {
+        EXPECT_TRUE(Mask[V]) << "DP selected a masked-out vertex";
+        DpWeight += W[V];
+      }
+      EXPECT_TRUE(P.G.isStableSet(Dp)) << "seed=" << Seed;
+      EXPECT_EQ(DpWeight, Frank.TotalWeight) << "seed=" << Seed;
+      // Knock random vertices out of the mask for the next round.
+      for (unsigned Knock = 0; Knock < N / 4; ++Knock)
+        Mask[R.nextBelow(N)] = 0;
+    }
   }
 }
 

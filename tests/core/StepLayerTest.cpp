@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace layra;
 
 namespace {
@@ -111,4 +113,44 @@ TEST(StepLayerTest, BoundLargerThanCliquesTakesEverything) {
         optimalBoundedLayer(P, Mask, rawWeights(G), 3);
     EXPECT_EQ(Layer.size(), G.numVertices());
   }
+}
+
+TEST(StepLayerTest, EstimateSaturatesOnHugeCliquesInsteadOfOverflowing) {
+  // estimateBoundedLayerStates only reads the clique cover, so a huge
+  // clique can be declared directly without materialising its O(M^2)
+  // edges.  C(20000, 8) is ~3e25: without the saturation clamp the
+  // accumulating double would sail past any sensible threshold and the
+  // exact solver's DP-vs-ILP dispatch would misbehave.
+  AllocationProblem P;
+  P.Chordal = true;
+  std::vector<VertexId> Huge(20000);
+  for (VertexId V = 0; V < Huge.size(); ++V)
+    Huge[V] = V;
+  P.Cliques.Cliques.push_back(Huge);
+
+  double Estimate = estimateBoundedLayerStates(P, /*Mask=*/{}, /*Bound=*/8);
+  EXPECT_EQ(Estimate, 1e18);
+
+  // The per-clique Term/Count loop must saturate, not overflow to inf.
+  EXPECT_TRUE(std::isfinite(Estimate));
+
+  // Saturation also triggers on *accumulated* totals: many moderate
+  // cliques whose individual counts stay below the cap.
+  AllocationProblem Many;
+  Many.Chordal = true;
+  std::vector<VertexId> Mid(400);
+  for (VertexId V = 0; V < Mid.size(); ++V)
+    Mid[V] = V;
+  // C(400, 8) ~ 1.6e16 per clique; 100 cliques push the sum over 1e18.
+  for (int K = 0; K < 100; ++K)
+    Many.Cliques.Cliques.push_back(Mid);
+  EXPECT_EQ(estimateBoundedLayerStates(Many, {}, 8), 1e18);
+
+  // A respected mask keeps the same clique affordable.
+  std::vector<char> Mask(20000, 0);
+  for (VertexId V = 0; V < 10; ++V)
+    Mask[V] = 1;
+  double Small = estimateBoundedLayerStates(P, Mask, 8);
+  EXPECT_LT(Small, 2048.0); // Sum of C(10, 0..8) < 2^10.
+  EXPECT_GT(Small, 1.0);
 }

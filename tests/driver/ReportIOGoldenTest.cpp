@@ -1,0 +1,146 @@
+//===- tests/driver/ReportIOGoldenTest.cpp - Serializer golden files ------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden-file tests for the DriverReport serializers: the timing-free
+/// JSON/CSV output of a fixed deterministic batch is compared byte-for-byte
+/// against fixtures committed under tests/driver/golden/.  Any schema or
+/// formatting drift then shows up as a reviewable fixture diff instead of
+/// silently breaking BENCH_*.json trajectory tooling.
+///
+/// Regenerating after an *intentional* schema change:
+///   LAYRA_UPDATE_GOLDEN=1 ./tests_driver_ReportIOGoldenTest
+/// then commit the rewritten fixtures.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ReportIO.h"
+
+#include "driver/BatchDriver.h"
+#include "ir/Dominators.h"
+#include "ir/LoopInfo.h"
+#include "ir/ProgramGen.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace layra;
+
+namespace {
+
+/// The fixed batch behind every fixture: two deterministic generated
+/// programs at two register counts.  Changing this function invalidates
+/// the fixtures by design -- regenerate and review the diff.
+DriverReport goldenReport() {
+  Suite S;
+  S.Name = "golden";
+  SuiteProgram Prog;
+  Prog.Name = "prog";
+  Rng R(20240717);
+  for (unsigned I = 0; I < 3; ++I) {
+    ProgramGenOptions Opt;
+    Opt.NumVars = 10;
+    Opt.MaxBlocks = 12;
+    Function F = generateFunction(R, Opt, "f" + std::to_string(I));
+    DominatorTree Dom(F);
+    LoopInfo Loops(F, Dom);
+    Loops.annotate(F);
+    Prog.Functions.push_back(std::move(F));
+  }
+  S.Programs.push_back(std::move(Prog));
+
+  std::vector<BatchJob> Jobs;
+  for (unsigned Regs : {3u, 5u}) {
+    BatchJob Job;
+    Job.SuiteName = S.Name;
+    Job.SuiteData = &S;
+    Job.NumRegisters = Regs;
+    Jobs.push_back(Job);
+  }
+  BatchDriver Driver(1);
+  return Driver.run(Jobs);
+}
+
+std::string goldenDir() {
+  return std::string(LAYRA_SOURCE_DIR) + "/tests/driver/golden";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+/// Captures what \p Write emits into a FILE* as a string.
+template <typename WriterT> std::string capture(WriterT Write) {
+  std::FILE *Tmp = std::tmpfile();
+  EXPECT_NE(Tmp, nullptr) << "tmpfile() unavailable in this environment";
+  if (!Tmp)
+    return {}; // Comparison below then fails cleanly, without a null deref.
+  Write(Tmp);
+  long Size = std::ftell(Tmp);
+  std::rewind(Tmp);
+  std::string Out(static_cast<size_t>(Size), '\0');
+  size_t ReadCount = std::fread(Out.data(), 1, Out.size(), Tmp);
+  EXPECT_EQ(ReadCount, Out.size());
+  std::fclose(Tmp);
+  return Out;
+}
+
+void compareToGolden(const std::string &Actual, const std::string &File) {
+  std::string Path = goldenDir() + "/" + File;
+  if (std::getenv("LAYRA_UPDATE_GOLDEN")) {
+    std::ofstream Out(Path, std::ios::binary);
+    ASSERT_TRUE(Out.good()) << "cannot rewrite fixture " << Path;
+    Out << Actual;
+    return;
+  }
+  std::string Expected = readFile(Path);
+  ASSERT_FALSE(Expected.empty())
+      << "missing fixture " << Path
+      << " (run with LAYRA_UPDATE_GOLDEN=1 to create it)";
+  EXPECT_EQ(Expected, Actual)
+      << "serializer drift vs. " << Path
+      << "; if intentional, regenerate with LAYRA_UPDATE_GOLDEN=1 and "
+         "review the fixture diff";
+}
+
+} // namespace
+
+TEST(ReportIOGolden, JsonWithoutTimingMatchesFixture) {
+  DriverReport Report = goldenReport();
+  compareToGolden(capture([&](std::FILE *Out) {
+                    writeDriverReportJson(Out, Report, /*IncludeTiming=*/false,
+                                          /*IncludeTasks=*/true);
+                  }),
+                  "report.json");
+}
+
+TEST(ReportIOGolden, CsvWithoutTimingMatchesFixture) {
+  DriverReport Report = goldenReport();
+  compareToGolden(capture([&](std::FILE *Out) {
+                    writeDriverReportCsv(Out, Report,
+                                         /*IncludeTiming=*/false);
+                  }),
+                  "report.csv");
+}
+
+TEST(ReportIOGolden, TasksCsvWithoutTimingMatchesFixture) {
+  DriverReport Report = goldenReport();
+  compareToGolden(capture([&](std::FILE *Out) {
+                    writeDriverTasksCsv(Out, Report,
+                                        /*IncludeTiming=*/false);
+                  }),
+                  "tasks.csv");
+}

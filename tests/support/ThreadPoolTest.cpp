@@ -85,3 +85,35 @@ TEST(ThreadPoolTest, ResultsIndependentOfThreadCount) {
   };
   EXPECT_EQ(Run(1), Run(8));
 }
+
+TEST(ThreadPoolTest, ParallelForWorkerSlotsAreExclusiveAndComplete) {
+  // parallelForWorker's contract: every index runs exactly once, slots lie
+  // in [0, numThreads()), and no two tasks share a slot *concurrently* --
+  // the property per-worker SolverWorkspaces rely on.
+  ThreadPool Pool(4);
+  constexpr std::size_t N = 2000;
+  std::vector<std::atomic<int>> Hits(N);
+  std::vector<std::atomic<int>> InSlot(Pool.numThreads());
+  std::atomic<bool> Overlap{false};
+  Pool.parallelForWorker(N, [&](std::size_t I, unsigned Slot) {
+    ASSERT_LT(Slot, Pool.numThreads());
+    if (InSlot[Slot].fetch_add(1) != 0)
+      Overlap = true;
+    ++Hits[I];
+    InSlot[Slot].fetch_sub(1);
+  });
+  EXPECT_FALSE(Overlap.load());
+  for (std::size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Hits[I].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForWorkerSingleThreadUsesSlotZero) {
+  ThreadPool Pool(1);
+  std::vector<unsigned> Slots;
+  Pool.parallelForWorker(16, [&](std::size_t, unsigned Slot) {
+    Slots.push_back(Slot); // Single-threaded: no synchronization needed.
+  });
+  EXPECT_EQ(Slots.size(), 16u);
+  for (unsigned S : Slots)
+    EXPECT_EQ(S, 0u);
+}
