@@ -14,7 +14,7 @@
 /// Usage:
 ///   layra_alloc_tool [--input FILE | --seed N] [--allocator NAME]
 ///                    [--regs R] [--target st231|armv7|x86-64]
-///                    [--compare] [--emit]
+///                    [--compare] [--emit] [--connect SPEC]
 ///
 ///   --input FILE   parse FILE (Function::toString() syntax; must be SSA)
 ///   --seed N       generate a random function instead (default seed 1)
@@ -24,16 +24,21 @@
 ///   --target       cost model / addressing modes (default st231)
 ///   --compare      additionally run every allocator and print a table
 ///   --emit         print the function with spill code inserted
+///   --connect SPEC submit the function to a running layra-serve instead
+///                  of allocating in-process; SPEC is unix:PATH or
+///                  tcp:HOST:PORT.  Prints the server's report payload.
 ///
 /// Examples:
 ///   ./build/examples/layra_alloc_tool --seed 7 --regs 4 --compare
 ///   ./build/examples/layra_alloc_tool --input f.lir --allocator optimal
+///   ./build/layra_alloc_tool --input f.lir --connect unix:/tmp/layra.sock
 ///
 //===----------------------------------------------------------------------===//
 
 #include "layra/Layra.h"
 
 #include "ir/Parser.h"
+#include "service/Client.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -54,13 +59,14 @@ struct ToolOptions {
   std::string TargetName = "st231";
   bool Compare = false;
   bool Emit = false;
+  std::string ConnectSpec;
 };
 
 void printUsageAndExit(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--input FILE | --seed N] [--allocator NAME] "
                "[--regs R] [--target st231|armv7|x86-64] [--compare] "
-               "[--emit]\n",
+               "[--emit] [--connect unix:PATH|tcp:HOST:PORT]\n",
                Argv0);
   std::exit(2);
 }
@@ -87,20 +93,21 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opt) {
       Opt.Compare = true;
     else if (Arg == "--emit")
       Opt.Emit = true;
+    else if (Arg == "--connect")
+      Opt.ConnectSpec = Next();
     else
       printUsageAndExit(Argv[0]);
   }
+  // Client mode ships the function to a server, which runs exactly one
+  // allocator and returns a report; the local-only modes would be
+  // silently dropped, so reject the combination outright.
+  if (!Opt.ConnectSpec.empty() && (Opt.Compare || Opt.Emit)) {
+    std::fprintf(stderr,
+                 "error: --connect cannot be combined with --compare or "
+                 "--emit (they run locally)\n");
+    std::exit(2);
+  }
   return true;
-}
-
-const TargetDesc *targetByName(const std::string &Name) {
-  if (Name == "st231")
-    return &ST231;
-  if (Name == "armv7" || Name == "armv7-a8")
-    return &ARMv7;
-  if (Name == "x86-64" || Name == "x86")
-    return &X86_64;
-  return nullptr;
 }
 
 Function loadOrGenerate(const ToolOptions &Opt) {
@@ -151,6 +158,35 @@ int main(int Argc, char **Argv) {
   }
 
   Function F = loadOrGenerate(Opt);
+
+  if (!Opt.ConnectSpec.empty()) {
+    // Client mode: ship the function (in its textual form) to a running
+    // layra-serve and print the report the server sends back.  Both
+    // hand-written --input files and generated --seed functions take this
+    // path; toString() output is exactly what ir/Parser.h accepts.
+    std::string Error;
+    Client Conn = Client::connectToSpec(Opt.ConnectSpec, &Error);
+    if (!Conn.valid()) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    ServiceRequest Req;
+    Req.K = ServiceRequest::Kind::SubmitIr;
+    Req.IrText = F.toString();
+    Req.Regs = {Opt.Regs};
+    Req.TargetName = Opt.TargetName;
+    Req.Options.AllocatorName = Opt.AllocatorName;
+    Req.Details = true;
+    std::string Response;
+    if (!Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::fputs(Response.c_str(), stdout);
+    // Propagate a server-side rejection as a failing exit code.
+    return Client::isErrorResponse(Response) ? 1 : 0;
+  }
+
   AllocationProblem P = buildSsaProblem(F, *Target, Opt.Regs);
   std::printf("function %s: %u blocks, %u values, MaxLive %u, R=%u (%s)\n",
               F.name().c_str(), F.numBlocks(), F.numValues(), P.maxLive(),

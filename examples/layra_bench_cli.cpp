@@ -15,21 +15,26 @@
 ///   layra-bench [--suite=NAME[,NAME...]] [--regs=LO..HI | --regs=A,B,C]
 ///               [--threads=N] [--target=st231|armv7|x86-64]
 ///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
-///               [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]
-///               [--details] [--no-timing] [--workspace-stats] [--quiet]
+///               [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]
+///               [--tasks-csv=FILE] [--details] [--no-timing]
+///               [--workspace-stats] [--quiet]
 ///
 ///   --suite      suites to run (default eembc); names as in makeSuite()
 ///   --regs       register counts, a range `4..16` or a list `1,2,4`
 ///                (default 4..16)
 ///   --threads    pool size; 0 = hardware concurrency (default 0)
 ///   --allocator  pipeline spiller per round (default bfpl)
+///   --cache-cap  bound the driver's content-hash caches to N entries each
+///                with LRU eviction (default 0 = unbounded; eviction counts
+///                appear as cache_evictions in the reports)
 ///   --json/--csv write the DriverReport in that format ("-" = stdout)
 ///   --details    include per-function tasks in the JSON report
 ///   --no-timing  omit wall-clock fields: output is then byte-identical
 ///                across runs and thread counts
 ///   --workspace-stats  print per-worker SolverWorkspace reuse accounting
 ///                (bytes served from retained capacity vs. freshly
-///                allocated) to stderr; never part of the reports
+///                allocated) and cache hit/miss/eviction counters to
+///                stderr; never part of the reports
 ///   --quiet      suppress the stdout summary table
 ///
 /// Examples:
@@ -60,6 +65,7 @@ struct CliOptions {
   unsigned Threads = 0;
   std::string TargetName = "st231";
   PipelineOptions Pipeline;
+  unsigned CacheCapacity = 0;
   std::string JsonPath;
   std::string CsvPath;
   std::string TasksCsvPath;
@@ -77,67 +83,17 @@ struct CliOptions {
       "usage: %s [--suite=NAME[,NAME...]] [--regs=LO..HI|--regs=A,B,C]\n"
       "          [--threads=N] [--target=st231|armv7|x86-64]\n"
       "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
-      "          [--no-fold] [--json=FILE] [--csv=FILE] [--tasks-csv=FILE]\n"
-      "          [--details] [--no-timing] [--workspace-stats] [--quiet]\n",
+      "          [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]\n"
+      "          [--tasks-csv=FILE] [--details] [--no-timing]\n"
+      "          [--workspace-stats] [--quiet]\n",
       Argv0);
   std::exit(2);
-}
-
-std::vector<std::string> splitList(const std::string &Text) {
-  std::vector<std::string> Out;
-  size_t Start = 0;
-  while (Start <= Text.size()) {
-    size_t Comma = Text.find(',', Start);
-    if (Comma == std::string::npos)
-      Comma = Text.size();
-    if (Comma > Start)
-      Out.push_back(Text.substr(Start, Comma - Start));
-    Start = Comma + 1;
-  }
-  return Out;
 }
 
 /// Largest register count / thread count / round count the CLI accepts;
 /// generous for any real machine, small enough to make typos errors
 /// instead of resource exhaustion.
 constexpr unsigned kMaxCliValue = 1024;
-
-/// Parses `4..16` (inclusive range) or `1,2,4` (list) into register counts.
-std::vector<unsigned> parseRegs(const char *Argv0, const std::string &Text) {
-  std::vector<unsigned> Out;
-  size_t Dots = Text.find("..");
-  if (Dots != std::string::npos) {
-    unsigned Lo = 0, Hi = 0;
-    if (!parseBoundedUnsigned(Text.substr(0, Dots).c_str(), kMaxCliValue,
-                              Lo) ||
-        !parseBoundedUnsigned(Text.substr(Dots + 2).c_str(), kMaxCliValue,
-                              Hi) ||
-        Lo == 0 || Hi < Lo)
-      usage(Argv0, "--regs range must be LO..HI with 1 <= LO <= HI <= 1024");
-    for (unsigned R = Lo; R <= Hi; ++R)
-      Out.push_back(R);
-    return Out;
-  }
-  for (const std::string &Item : splitList(Text)) {
-    unsigned R = 0;
-    if (!parseBoundedUnsigned(Item.c_str(), kMaxCliValue, R) || R == 0)
-      usage(Argv0, "--regs entries must be integers in [1, 1024]");
-    Out.push_back(R);
-  }
-  if (Out.empty())
-    usage(Argv0, "--regs must name at least one register count");
-  return Out;
-}
-
-const TargetDesc *targetByName(const std::string &Name) {
-  if (Name == "st231")
-    return &ST231;
-  if (Name == "armv7" || Name == "armv7-a8")
-    return &ARMv7;
-  if (Name == "x86-64" || Name == "x86")
-    return &X86_64;
-  return nullptr;
-}
 
 CliOptions parseArgs(int Argc, char **Argv) {
   CliOptions Opt;
@@ -151,11 +107,13 @@ CliOptions parseArgs(int Argc, char **Argv) {
       return Arg.c_str() + Len;
     };
     if (const char *V = Value("--suite=")) {
-      Opt.Suites = splitList(V);
+      Opt.Suites = splitCommaList(V);
       if (Opt.Suites.empty())
         usage(Argv[0], "--suite must name at least one suite");
     } else if (const char *V = Value("--regs=")) {
-      Opt.Regs = parseRegs(Argv[0], V);
+      std::string Error;
+      if (!parseRegList(V, kMaxCliValue, Opt.Regs, Error))
+        usage(Argv[0], Error.c_str());
     } else if (const char *V = Value("--threads=")) {
       if (!parseBoundedUnsigned(V, kMaxCliValue, Opt.Threads))
         usage(Argv[0], "--threads must be an integer in [0, 1024]");
@@ -167,6 +125,11 @@ CliOptions parseArgs(int Argc, char **Argv) {
       if (!parseBoundedUnsigned(V, kMaxCliValue, Opt.Pipeline.MaxRounds) ||
           Opt.Pipeline.MaxRounds == 0)
         usage(Argv[0], "--max-rounds must be an integer in [1, 1024]");
+    } else if (const char *V = Value("--cache-cap=")) {
+      // Capacities are entry counts, not CLI-sized small numbers; allow
+      // anything that fits comfortably in memory accounting.
+      if (!parseBoundedUnsigned(V, 1u << 30, Opt.CacheCapacity))
+        usage(Argv[0], "--cache-cap must be an integer in [0, 2^30]");
     } else if (Arg == "--no-affinity") {
       Opt.Pipeline.AffinityBias = false;
     } else if (Arg == "--no-fold") {
@@ -272,6 +235,8 @@ int main(int Argc, char **Argv) {
       Opt.TasksCsvPath.empty() ? nullptr : openOutput(Opt.TasksCsvPath);
 
   BatchDriver Driver(Opt.Threads);
+  if (Opt.CacheCapacity)
+    Driver.setCacheCapacity(Opt.CacheCapacity);
   DriverReport Report = Driver.run(Jobs);
 
   if (!Opt.Quiet) {
@@ -301,10 +266,12 @@ int main(int Argc, char **Argv) {
     }
     T.print(stdout);
     if (Opt.Timing)
-      std::printf("total wall time: %s ms (cache: %llu entries, %llu hits)\n",
+      std::printf("total wall time: %s ms (cache: %llu entries, %llu hits, "
+                  "%llu evicted)\n",
                   Table::num(Report.WallMs).c_str(),
                   static_cast<unsigned long long>(Report.CacheEntries),
-                  static_cast<unsigned long long>(Report.CacheHits));
+                  static_cast<unsigned long long>(Report.CacheHits),
+                  static_cast<unsigned long long>(Report.CacheEvictions));
   }
 
   if (Opt.WorkspaceStats) {
@@ -318,6 +285,15 @@ int main(int Argc, char **Argv) {
                  static_cast<double>(Stats.BytesAllocated) / (1024.0 * 1024.0),
                  100.0 * Stats.reuseFraction(),
                  static_cast<unsigned long long>(Stats.Acquires));
+    DriverCacheCounters Cache = Driver.pipelineCacheCounters();
+    std::fprintf(stderr,
+                 "pipeline cache: %llu entries (capacity %llu), %llu hits, "
+                 "%llu misses, %llu evictions\n",
+                 static_cast<unsigned long long>(Cache.Entries),
+                 static_cast<unsigned long long>(Cache.Capacity),
+                 static_cast<unsigned long long>(Cache.Hits),
+                 static_cast<unsigned long long>(Cache.Misses),
+                 static_cast<unsigned long long>(Cache.Evictions));
   }
 
   if (JsonOut) {

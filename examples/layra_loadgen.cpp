@@ -1,0 +1,258 @@
+//===- examples/layra_loadgen.cpp - Allocation-server load generator ------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `layra-loadgen`: drives a running `layra-serve` with N concurrent client
+/// connections replaying allocate requests, then reports throughput and
+/// client-observed latency percentiles.  Doubles as the CI smoke driver:
+/// the exit status is nonzero unless every request completed and -- because
+/// responses are deterministic -- every client saw byte-identical answers
+/// to the identical request.
+///
+/// Usage:
+///   layra-loadgen (--unix=PATH | --tcp=PORT [--host=ADDR])
+///                 [--clients=N] [--requests=M] [--suite=NAME[,NAME...]]
+///                 [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]
+///                 [--target=NAME] [--details] [--timing] [--stats]
+///                 [--quiet]
+///
+///   --clients     concurrent connections (default 4)
+///   --requests    requests per client (default 8)
+///   --suite       suites named in each request (default eembc)
+///   --regs        register counts per request (default 4..8)
+///   --stats       fetch and print the server's stats payload at the end
+///
+/// Example:
+///   layra-loadgen --unix=/tmp/layra.sock --clients=8 --requests=32
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "support/ParseUtil.h"
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace layra;
+
+namespace {
+
+struct LoadOptions {
+  std::string UnixPath;
+  bool UseTcp = false;
+  std::string Host = "127.0.0.1";
+  uint16_t Port = 0;
+  unsigned Clients = 4;
+  unsigned Requests = 8;
+  std::vector<std::string> Suites{"eembc"};
+  std::vector<unsigned> Regs{4, 5, 6, 7, 8};
+  std::string Allocator = "bfpl";
+  std::string Target = "st231";
+  bool Details = false;
+  bool Timing = false;
+  bool FetchStats = false;
+  bool Quiet = false;
+};
+
+[[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
+  if (Error)
+    std::fprintf(stderr, "error: %s\n", Error);
+  std::fprintf(
+      stderr,
+      "usage: %s (--unix=PATH | --tcp=PORT [--host=ADDR])\n"
+      "          [--clients=N] [--requests=M] [--suite=NAME[,NAME...]]\n"
+      "          [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]\n"
+      "          [--target=NAME] [--details] [--timing] [--stats] [--quiet]\n",
+      Argv0);
+  std::exit(2);
+}
+
+LoadOptions parseArgs(int Argc, char **Argv) {
+  LoadOptions Opt;
+  unsigned Parsed = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) != 0)
+        return nullptr;
+      return Arg.c_str() + Len;
+    };
+    if (const char *V = Value("--unix=")) {
+      Opt.UnixPath = V;
+    } else if (const char *V = Value("--tcp=")) {
+      if (!parseBoundedUnsigned(V, 65535, Parsed) || Parsed == 0)
+        usage(Argv[0], "--tcp must be a port in [1, 65535]");
+      Opt.UseTcp = true;
+      Opt.Port = static_cast<uint16_t>(Parsed);
+    } else if (const char *V = Value("--host=")) {
+      Opt.Host = V;
+    } else if (const char *V = Value("--clients=")) {
+      if (!parseBoundedUnsigned(V, 4096, Opt.Clients) || Opt.Clients == 0)
+        usage(Argv[0], "--clients must be an integer in [1, 4096]");
+    } else if (const char *V = Value("--requests=")) {
+      if (!parseBoundedUnsigned(V, 1u << 20, Opt.Requests) ||
+          Opt.Requests == 0)
+        usage(Argv[0], "--requests must be an integer in [1, 2^20]");
+    } else if (const char *V = Value("--suite=")) {
+      Opt.Suites = splitCommaList(V);
+      if (Opt.Suites.empty())
+        usage(Argv[0], "--suite must name at least one suite");
+    } else if (const char *V = Value("--regs=")) {
+      std::string Error;
+      if (!parseRegList(V, 1024, Opt.Regs, Error))
+        usage(Argv[0], Error.c_str());
+    } else if (const char *V = Value("--allocator=")) {
+      Opt.Allocator = V;
+    } else if (const char *V = Value("--target=")) {
+      Opt.Target = V;
+    } else if (Arg == "--details") {
+      Opt.Details = true;
+    } else if (Arg == "--timing") {
+      Opt.Timing = true;
+    } else if (Arg == "--stats") {
+      Opt.FetchStats = true;
+    } else if (Arg == "--quiet") {
+      Opt.Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+    } else {
+      usage(Argv[0], ("unknown argument '" + Arg + "'").c_str());
+    }
+  }
+  if (Opt.UnixPath.empty() && !Opt.UseTcp)
+    usage(Argv[0], "pass --unix=PATH or --tcp=PORT");
+  if (!Opt.UnixPath.empty() && Opt.UseTcp)
+    usage(Argv[0], "pass only one of --unix / --tcp");
+  return Opt;
+}
+
+Client connect(const LoadOptions &Opt, std::string *Error) {
+  if (Opt.UseTcp)
+    return Client::connectToTcp(Opt.Host, Opt.Port, Error);
+  return Client::connectToUnix(Opt.UnixPath, Error);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LoadOptions Opt = parseArgs(Argc, Argv);
+
+  ServiceRequest Req;
+  Req.K = ServiceRequest::Kind::Allocate;
+  Req.Suites = Opt.Suites;
+  Req.Regs = Opt.Regs;
+  Req.TargetName = Opt.Target;
+  Req.Options.AllocatorName = Opt.Allocator;
+  Req.Timing = Opt.Timing;
+  Req.Details = Opt.Details;
+  std::string Request = Client::makeAllocateRequest(Req);
+
+  std::atomic<uint64_t> Completed{0}, Failed{0}, Mismatched{0};
+  std::mutex ReferenceMutex;
+  std::string ReferenceResponse; // First response; all others must match.
+  std::mutex LatencyMutex;
+  std::vector<double> LatenciesMs;
+  LatenciesMs.reserve(static_cast<size_t>(Opt.Clients) * Opt.Requests);
+
+  auto Begin = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  Threads.reserve(Opt.Clients);
+  for (unsigned C = 0; C < Opt.Clients; ++C)
+    Threads.emplace_back([&, C] {
+      std::string Error;
+      Client Conn = connect(Opt, &Error);
+      if (!Conn.valid()) {
+        std::fprintf(stderr, "client %u: %s\n", C, Error.c_str());
+        Failed += Opt.Requests;
+        return;
+      }
+      std::string Response;
+      for (unsigned R = 0; R < Opt.Requests; ++R) {
+        auto Start = std::chrono::steady_clock::now();
+        if (!Conn.call(Request, Response, &Error)) {
+          std::fprintf(stderr, "client %u request %u: %s\n", C, R,
+                       Error.c_str());
+          ++Failed;
+          continue;
+        }
+        double Ms = std::chrono::duration_cast<
+                        std::chrono::duration<double, std::milli>>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+        // A server-side error payload is a failed request here.
+        if (Client::isErrorResponse(Response)) {
+          std::fprintf(stderr, "client %u request %u: server error: %s\n", C,
+                       R, Response.c_str());
+          ++Failed;
+          continue;
+        }
+        ++Completed;
+        {
+          std::lock_guard<std::mutex> L(LatencyMutex);
+          LatenciesMs.push_back(Ms);
+        }
+        // Deterministic protocol: when timing is off, every response to
+        // the identical request must be byte-identical across clients.
+        if (!Opt.Timing) {
+          std::lock_guard<std::mutex> L(ReferenceMutex);
+          if (ReferenceResponse.empty())
+            ReferenceResponse = Response;
+          else if (Response != ReferenceResponse)
+            ++Mismatched;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  double TotalMs = std::chrono::duration_cast<
+                       std::chrono::duration<double, std::milli>>(
+                       std::chrono::steady_clock::now() - Begin)
+                       .count();
+
+  if (!Opt.Quiet) {
+    SampleSummary Latency;
+    {
+      std::lock_guard<std::mutex> L(LatencyMutex);
+      Latency = summarize(std::move(LatenciesMs));
+    }
+    std::printf("layra-loadgen: %llu/%llu requests completed over %u "
+                "clients in %.1f ms (%.1f req/s)\n",
+                static_cast<unsigned long long>(Completed.load()),
+                static_cast<unsigned long long>(
+                    static_cast<uint64_t>(Opt.Clients) * Opt.Requests),
+                Opt.Clients, TotalMs,
+                Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
+                                     : 0.0);
+    if (Latency.Count > 0)
+      std::printf("latency ms: p50 %.3f  p95 %.3f  max %.3f\n",
+                  Latency.Median, Latency.P95, Latency.Max);
+    if (Mismatched.load() > 0)
+      std::printf("DETERMINISM VIOLATION: %llu responses differed\n",
+                  static_cast<unsigned long long>(Mismatched.load()));
+  }
+
+  if (Opt.FetchStats) {
+    std::string Error, Stats;
+    Client Conn = connect(Opt, &Error);
+    if (Conn.valid() && Conn.stats(Stats, &Error))
+      std::fputs(Stats.c_str(), stdout);
+    else
+      std::fprintf(stderr, "stats fetch failed: %s\n", Error.c_str());
+  }
+
+  bool Ok = Completed.load() > 0 && Failed.load() == 0 &&
+            Mismatched.load() == 0;
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,196 @@
+//===- examples/layra_serve.cpp - Allocation server binary ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `layra-serve`: the long-running allocation server (service/Server.h).
+/// Clients connect over TCP and/or a Unix-domain socket and speak the
+/// framed JSON protocol of docs/PROTOCOL.md; suite construction, the
+/// solver thread pool, per-worker workspaces and the bounded result cache
+/// all persist across requests.
+///
+/// Usage:
+///   layra-serve [--unix=PATH] [--tcp=PORT] [--host=ADDR] [--threads=N]
+///               [--cache-cap=N] [--queue-cap=N] [--max-conns=N]
+///               [--max-frame=BYTES] [--quiet]
+///
+///   --unix=PATH   listen on a Unix-domain socket at PATH
+///   --tcp=PORT    listen on ADDR:PORT (0 = pick an ephemeral port; the
+///                 chosen port is printed on startup)
+///   --host=ADDR   TCP bind address (default 127.0.0.1; the protocol is
+///                 unauthenticated, so keep it on loopback or a trusted
+///                 network)
+///   --threads     solver pool size; 0 = hardware concurrency (default)
+///   --cache-cap   bound on the shared result cache, entries (default
+///                 65536).  0 removes the bound entirely -- the cache then
+///                 grows for the life of the server, so reserve it for
+///                 short-lived test instances
+
+///   --queue-cap   request-queue depth before backpressure (default 64)
+///   --max-conns   concurrent connection cap (default 256)
+///   --max-frame   largest accepted frame payload in bytes (default 16 MiB)
+///   --quiet       suppress the startup/shutdown summary lines
+///
+/// SIGINT/SIGTERM drain gracefully: accepted requests finish, their
+/// responses are written, then the process exits 0.
+///
+/// Example session:
+///   $ layra-serve --unix=/tmp/layra.sock &
+///   $ layra-loadgen --unix=/tmp/layra.sock --clients=4 --requests=16
+///   $ kill %1   # graceful drain
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+#include "support/ParseUtil.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unistd.h>
+
+using namespace layra;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
+  if (Error)
+    std::fprintf(stderr, "error: %s\n", Error);
+  std::fprintf(stderr,
+               "usage: %s [--unix=PATH] [--tcp=PORT] [--host=ADDR]\n"
+               "          [--threads=N] [--cache-cap=N] [--queue-cap=N]\n"
+               "          [--max-conns=N] [--max-frame=BYTES] [--quiet]\n",
+               Argv0);
+  std::exit(2);
+}
+
+/// Self-pipe carrying SIGINT/SIGTERM to the main thread: a handler may
+/// only touch async-signal-safe calls, so it writes one byte and main()
+/// does the actual drain.
+int StopPipe[2] = {-1, -1};
+
+void onStopSignal(int) {
+  char Byte = 1;
+  // A full pipe means a stop is already pending; nothing to do.
+  (void)!write(StopPipe[1], &Byte, 1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opt;
+  bool Quiet = false;
+  unsigned Parsed = 0;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      if (Arg.compare(0, Len, Prefix) != 0)
+        return nullptr;
+      return Arg.c_str() + Len;
+    };
+    if (const char *V = Value("--unix=")) {
+      Opt.UnixPath = V;
+      if (Opt.UnixPath.empty())
+        usage(Argv[0], "--unix needs a path");
+    } else if (const char *V = Value("--tcp=")) {
+      if (!parseBoundedUnsigned(V, 65535, Parsed))
+        usage(Argv[0], "--tcp must be a port in [0, 65535]");
+      Opt.EnableTcp = true;
+      Opt.TcpPort = static_cast<uint16_t>(Parsed);
+    } else if (const char *V = Value("--host=")) {
+      Opt.TcpHost = V;
+    } else if (const char *V = Value("--threads=")) {
+      if (!parseBoundedUnsigned(V, 1024, Opt.Threads))
+        usage(Argv[0], "--threads must be an integer in [0, 1024]");
+    } else if (const char *V = Value("--cache-cap=")) {
+      if (!parseBoundedUnsigned(V, 1u << 30, Parsed))
+        usage(Argv[0],
+              "--cache-cap must be an integer in [0, 2^30] (0 = unbounded; "
+              "a long-lived server should keep a bound)");
+      Opt.CacheCapacity = Parsed;
+      if (Parsed == 0)
+        std::fprintf(stderr, "layra-serve: warning: --cache-cap=0 removes "
+                             "the cache bound; memory will grow with the "
+                             "number of distinct instances served\n");
+    } else if (const char *V = Value("--queue-cap=")) {
+      if (!parseBoundedUnsigned(V, 1u << 20, Parsed) || Parsed == 0)
+        usage(Argv[0], "--queue-cap must be an integer in [1, 2^20]");
+      Opt.QueueCapacity = Parsed;
+    } else if (const char *V = Value("--max-conns=")) {
+      if (!parseBoundedUnsigned(V, 1u << 20, Parsed) || Parsed == 0)
+        usage(Argv[0], "--max-conns must be an integer in [1, 2^20]");
+      Opt.MaxConnections = Parsed;
+    } else if (const char *V = Value("--max-frame=")) {
+      if (!parseBoundedUnsigned(V, 1u << 30, Parsed) || Parsed == 0)
+        usage(Argv[0], "--max-frame must be an integer in [1, 2^30]");
+      Opt.MaxFrameBytes = Parsed;
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+    } else {
+      usage(Argv[0], ("unknown argument '" + Arg + "'").c_str());
+    }
+  }
+  if (Opt.UnixPath.empty() && !Opt.EnableTcp)
+    usage(Argv[0], "nothing to listen on: pass --unix=PATH and/or --tcp=PORT");
+
+  if (pipe(StopPipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  // A client that disconnects mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  Server S(Opt);
+  std::string Error;
+  if (!S.start(&Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  if (!Quiet) {
+    if (Opt.EnableTcp)
+      std::printf("layra-serve: listening on %s:%u\n", Opt.TcpHost.c_str(),
+                  S.tcpPort());
+    if (!Opt.UnixPath.empty())
+      std::printf("layra-serve: listening on unix:%s\n",
+                  Opt.UnixPath.c_str());
+    std::printf("layra-serve: %u solver threads, cache capacity %zu, "
+                "queue capacity %zu\n",
+                S.stats().Threads, Opt.CacheCapacity, Opt.QueueCapacity);
+    std::fflush(stdout);
+  }
+
+  // Block until a stop signal arrives (retrying interrupted reads).
+  char Byte;
+  while (read(StopPipe[0], &Byte, 1) < 0 && errno == EINTR) {
+  }
+
+  S.requestStop();
+  S.wait();
+  if (!Quiet) {
+    ServerStats Stats = S.stats();
+    std::fprintf(stderr,
+                 "layra-serve: drained after %.0f ms: %llu requests "
+                 "(%llu allocate, %llu submit_ir, %llu failed), "
+                 "cache %llu/%llu entries, %llu hits, %llu evictions\n",
+                 Stats.UptimeMs,
+                 static_cast<unsigned long long>(Stats.RequestsTotal),
+                 static_cast<unsigned long long>(Stats.RequestsAllocate),
+                 static_cast<unsigned long long>(Stats.RequestsSubmitIr),
+                 static_cast<unsigned long long>(Stats.RequestsFailed),
+                 static_cast<unsigned long long>(Stats.CacheEntries),
+                 static_cast<unsigned long long>(Stats.CacheCapacity),
+                 static_cast<unsigned long long>(Stats.CacheHits),
+                 static_cast<unsigned long long>(Stats.CacheEvictions));
+  }
+  return 0;
+}

@@ -15,6 +15,8 @@
 
 #include <chrono>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace layra;
 
@@ -155,7 +157,33 @@ WorkspaceStats BatchDriver::workspaceStats() const {
   return Total;
 }
 
-DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
+void BatchDriver::setCacheCapacity(size_t MaxEntries) {
+  PipelineCache.setCapacity(MaxEntries);
+  ProblemCache.setCapacity(MaxEntries);
+}
+
+DriverCacheCounters BatchDriver::pipelineCacheCounters() const {
+  DriverCacheCounters C;
+  C.Hits = PipelineHits;
+  C.Misses = PipelineMisses;
+  C.Evictions = PipelineCache.evictions();
+  C.Entries = PipelineCache.size();
+  C.Capacity = PipelineCache.capacity();
+  return C;
+}
+
+DriverCacheCounters BatchDriver::problemCacheCounters() const {
+  DriverCacheCounters C;
+  C.Hits = ProblemHits;
+  C.Misses = ProblemMisses;
+  C.Evictions = ProblemCache.evictions();
+  C.Entries = ProblemCache.size();
+  C.Capacity = ProblemCache.capacity();
+  return C;
+}
+
+DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
+                              bool CacheTransparent) {
   auto BatchStart = std::chrono::steady_clock::now();
 
   DriverReport Report;
@@ -170,17 +198,22 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
   // Phase 2 (serial): expand jobs into tasks and classify hit/miss against
   // the persistent cache plus this batch's first occurrences.  Doing this
   // before any parallel work keeps the classification thread-independent.
+  // Outcomes of persistent hits are copied out *now*: by the time phase 4
+  // assembles results, a bounded cache may already have evicted them.
   struct PendingTask {
     size_t JobIndex;
     const Function *F;
     const std::string *Program;
     uint64_t Key;
-    bool CacheHit;
+    bool PersistentHit; ///< Key was in the cache before this run.
+    bool BatchDup;      ///< An earlier task of this run has the same key.
+    TaskOutcome CachedOut; ///< Meaningful only when PersistentHit.
     size_t UniqueIndex; ///< Slot in the unique-solve arrays.
   };
   std::vector<PendingTask> Pending;
   std::unordered_map<uint64_t, size_t> UniqueOf; // Key -> unique slot.
   std::vector<size_t> UniqueToPending;
+  std::unordered_set<uint64_t> BatchSeen; // Every key met this run.
 
   // Function pointers are stable for the duration of run() (suites live in
   // GeneratedSuites or in the caller's SuiteData), so each function's IR is
@@ -217,19 +250,28 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
         // accept rather than storing canonical instances for re-check.
         T.Key = hashPipelineTask(HashOf(F), Job.Target, Job.NumRegisters,
                                  Job.Options);
-        auto Known = UniqueOf.find(T.Key);
-        if (PipelineCache.count(T.Key)) {
-          T.CacheHit = true;
-          T.UniqueIndex = ~size_t(0);
-        } else if (Known != UniqueOf.end()) {
-          T.CacheHit = true;
-          T.UniqueIndex = Known->second;
+        T.BatchDup = !BatchSeen.insert(T.Key).second;
+        T.UniqueIndex = ~size_t(0);
+        // find() marks the entry most recently used; lookups never insert,
+        // so no eviction can happen before the phase-4 commit.
+        if (const TaskOutcome *Hit = PipelineCache.find(T.Key)) {
+          T.PersistentHit = true;
+          T.CachedOut = *Hit;
         } else {
-          T.CacheHit = false;
-          T.UniqueIndex = UniqueOf.size();
-          UniqueOf.emplace(T.Key, T.UniqueIndex);
-          UniqueToPending.push_back(Pending.size());
+          T.PersistentHit = false;
+          auto Known = UniqueOf.find(T.Key);
+          if (Known != UniqueOf.end()) {
+            T.UniqueIndex = Known->second;
+          } else {
+            T.UniqueIndex = UniqueOf.size();
+            UniqueOf.emplace(T.Key, T.UniqueIndex);
+            UniqueToPending.push_back(Pending.size());
+          }
         }
+        if (T.PersistentHit || T.BatchDup)
+          ++PipelineHits;
+        else
+          ++PipelineMisses;
         Pending.push_back(T);
       }
   }
@@ -261,9 +303,12 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
   });
 
   // Phase 4 (serial): commit outcomes to the cache and assemble the
-  // reports in expansion order.
+  // reports in expansion order.  Results are read from the phase-2/3
+  // snapshots, never from the cache, so a small capacity bound can evict
+  // entries this very batch produced without corrupting the report.
+  uint64_t EvictionsBefore = PipelineCache.evictions();
   for (size_t I = 0; I < UniqueToPending.size(); ++I)
-    PipelineCache.emplace(Pending[UniqueToPending[I]].Key, Outcomes[I]);
+    PipelineCache.insert(Pending[UniqueToPending[I]].Key, Outcomes[I]);
 
   std::vector<std::vector<double>> JobSolveMs(Jobs.size());
   for (const PendingTask &T : Pending) {
@@ -272,9 +317,12 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
     Result.Program = *T.Program;
     Result.Function = T.F->name();
     Result.Key = T.Key;
-    Result.CacheHit = T.CacheHit;
-    Result.Out = PipelineCache.at(T.Key);
-    if (!T.CacheHit) {
+    // A transparent report describes what a fresh driver would have said:
+    // only duplicates *within* this run count as hits.
+    Result.CacheHit =
+        CacheTransparent ? T.BatchDup : (T.PersistentHit || T.BatchDup);
+    Result.Out = T.PersistentHit ? T.CachedOut : Outcomes[T.UniqueIndex];
+    if (!T.PersistentHit && !T.BatchDup) {
       Result.WallMs = SolveMs[T.UniqueIndex];
       JobSolveMs[T.JobIndex].push_back(Result.WallMs);
     }
@@ -284,7 +332,7 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
     JR.TotalFolded += Result.Out.LoadsFolded;
     JR.TotalRounds += Result.Out.Rounds;
     JR.FunctionsFit += Result.Out.Fits ? 1 : 0;
-    JR.CacheHits += T.CacheHit ? 1 : 0;
+    JR.CacheHits += Result.CacheHit ? 1 : 0;
     JR.WallMsTotal += Result.WallMs;
     JR.Tasks.push_back(std::move(Result));
   }
@@ -295,7 +343,12 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs) {
     Report.Jobs[JI].WallMsMax = Summary.Max;
     Report.CacheHits += Report.Jobs[JI].CacheHits;
   }
-  Report.CacheEntries = PipelineCache.size();
+  // Transparent mode reports the cache a fresh unbounded driver would end
+  // up with: one entry per distinct key, nothing evicted.
+  Report.CacheEntries =
+      CacheTransparent ? BatchSeen.size() : PipelineCache.size();
+  Report.CacheEvictions =
+      CacheTransparent ? 0 : PipelineCache.evictions() - EvictionsBefore;
   Report.WallMs = toMs(std::chrono::steady_clock::now() - BatchStart);
   return Report;
 }
@@ -311,15 +364,30 @@ BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problem
   // The node limit shapes results only for the branch-and-bound solver;
   // keying it for other allocators would needlessly split their caches.
   Salt = mix(Salt, IsOptimal ? OptimalNodeLimit : 0);
+  // Persistent-cache hits are copied out during classification: a bounded
+  // cache may evict them before the final assembly below.
+  std::vector<AllocationResult> Results(Problems.size());
   std::vector<uint64_t> Keys(Problems.size());
+  std::vector<size_t> ResultUnique(Problems.size(), ~size_t(0));
   std::vector<size_t> UniqueToInput;
   std::unordered_map<uint64_t, size_t> UniqueOf;
   for (size_t I = 0; I < Problems.size(); ++I) {
     // Same accepted hash-collision tradeoff as the pipeline cache above.
     Keys[I] = mix(Salt, hashProblem(*Problems[I]));
-    if (!ProblemCache.count(Keys[I]) && !UniqueOf.count(Keys[I])) {
+    if (const AllocationResult *Hit = ProblemCache.find(Keys[I])) {
+      Results[I] = *Hit;
+      ++ProblemHits;
+      continue;
+    }
+    auto Known = UniqueOf.find(Keys[I]);
+    if (Known != UniqueOf.end()) {
+      ResultUnique[I] = Known->second;
+      ++ProblemHits;
+    } else {
+      ResultUnique[I] = UniqueToInput.size();
       UniqueOf.emplace(Keys[I], UniqueToInput.size());
       UniqueToInput.push_back(I);
+      ++ProblemMisses;
     }
   }
 
@@ -338,11 +406,10 @@ BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problem
     Unique[U] = A->allocate(P, WS);
   });
 
-  for (size_t U = 0; U < UniqueToInput.size(); ++U)
-    ProblemCache.emplace(Keys[UniqueToInput[U]], std::move(Unique[U]));
-
-  std::vector<AllocationResult> Results(Problems.size());
   for (size_t I = 0; I < Problems.size(); ++I)
-    Results[I] = ProblemCache.at(Keys[I]);
+    if (ResultUnique[I] != ~size_t(0))
+      Results[I] = Unique[ResultUnique[I]];
+  for (size_t U = 0; U < UniqueToInput.size(); ++U)
+    ProblemCache.insert(Keys[UniqueToInput[U]], std::move(Unique[U]));
   return Results;
 }

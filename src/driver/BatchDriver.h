@@ -36,12 +36,12 @@
 #include "core/SolverWorkspace.h"
 #include "ir/Target.h"
 #include "suites/Suites.h"
+#include "support/LruCache.h"
 #include "support/ThreadPool.h"
 
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace layra {
@@ -111,9 +111,22 @@ struct JobReport {
 struct DriverReport {
   std::vector<JobReport> Jobs;
   unsigned Threads = 1;
-  uint64_t CacheEntries = 0; ///< Pipeline-cache size after the run.
-  uint64_t CacheHits = 0;    ///< Hits across this run's jobs.
-  double WallMs = 0;         ///< Whole-batch wall clock.  Timing field.
+  uint64_t CacheEntries = 0;   ///< Pipeline-cache size after the run.
+  uint64_t CacheHits = 0;      ///< Hits across this run's jobs.
+  uint64_t CacheEvictions = 0; ///< Entries evicted during this run.
+  double WallMs = 0;           ///< Whole-batch wall clock.  Timing field.
+};
+
+/// Lifetime counters of one BatchDriver cache (pipeline or problem side).
+/// Cumulative across run()/solveProblems() calls; the allocation server
+/// surfaces them through its `stats` request, and `layra-bench
+/// --workspace-stats` prints them alongside the arena accounting.
+struct DriverCacheCounters {
+  uint64_t Hits = 0;      ///< Tasks served from the cache or a batch twin.
+  uint64_t Misses = 0;    ///< Tasks that required a solve.
+  uint64_t Evictions = 0; ///< Entries dropped by the capacity bound.
+  uint64_t Entries = 0;   ///< Entries currently held.
+  uint64_t Capacity = 0;  ///< Configured bound; 0 = unbounded.
 };
 
 /// Stable structural hash of a function's IR: blocks, edges, instructions,
@@ -148,7 +161,17 @@ public:
 
   /// Expands \p Jobs, solves unique instances in parallel, and returns the
   /// per-job reports in job order (task order within a job is suite order).
-  DriverReport run(const std::vector<BatchJob> &Jobs);
+  ///
+  /// With \p CacheTransparent the report's cache-related content (per-task
+  /// CacheHit flags, the hit counters, cache_entries/evictions) describes
+  /// what a *fresh, unbounded* driver running the same jobs would report,
+  /// while the persistent cache is still consulted to skip repeated solves.
+  /// Outcome fields are pure functions of each instance either way, so a
+  /// transparent timing-free report is byte-identical no matter how warm
+  /// the cache is -- the property the allocation server's responses rely
+  /// on (tests/service/ServerLoopbackTest.cpp asserts it).
+  DriverReport run(const std::vector<BatchJob> &Jobs,
+                   bool CacheTransparent = false);
 
   /// Lower-level batch entry used by the figure harness: solves every
   /// problem with allocator \p AllocatorName in parallel and returns the
@@ -167,6 +190,20 @@ public:
   /// Number of memoized problem results (solveProblems side).
   size_t problemCacheSize() const { return ProblemCache.size(); }
 
+  /// Bounds both content-hash caches to \p MaxEntries each, evicting the
+  /// least recently used overflow immediately.  0 (the default) removes the
+  /// bound.  Recency updates and evictions happen only in the serial
+  /// classification/commit phases, so eviction order -- and with it every
+  /// report -- remains deterministic across thread counts.  A long-lived
+  /// process (service/Server.h) must set a bound: entries are O(vertices)
+  /// bytes each and otherwise accumulate forever.
+  void setCacheCapacity(size_t MaxEntries);
+
+  /// Lifetime hit/miss/eviction counters of the pipeline-outcome cache.
+  DriverCacheCounters pipelineCacheCounters() const;
+  /// Lifetime hit/miss/eviction counters of the problem-result cache.
+  DriverCacheCounters problemCacheCounters() const;
+
   /// Aggregated buffer-checkout accounting over every per-worker
   /// workspace, cumulative across run()/solveProblems() calls.  Feeds
   /// `layra-bench --workspace-stats`.  NOT part of the determinism
@@ -182,13 +219,17 @@ private:
   std::vector<std::unique_ptr<SolverWorkspace>> Workspaces;
   /// hashPipelineTask key -> outcome.  Touched only from the serial
   /// expansion/commit phases, never from pool workers.
-  std::unordered_map<uint64_t, TaskOutcome> PipelineCache;
+  LruCache<uint64_t, TaskOutcome> PipelineCache;
   /// hashProblem+allocator key -> result, for solveProblems.  Entries are
-  /// retained for the driver's lifetime so a (problem, allocator, R) pair
-  /// recurring in a later call is free; the cost is O(vertices) bytes per
-  /// unique instance, a few MB across the largest figure sweep.  Callers
-  /// for whom that never pays can simply use a shorter-lived driver.
-  std::unordered_map<uint64_t, AllocationResult> ProblemCache;
+  /// retained until evicted by the capacity bound (unbounded by default) so
+  /// a (problem, allocator, R) pair recurring in a later call is free; the
+  /// cost is O(vertices) bytes per unique instance, a few MB across the
+  /// largest figure sweep.  Callers for whom that never pays can simply use
+  /// a shorter-lived driver.
+  LruCache<uint64_t, AllocationResult> ProblemCache;
+  /// Lifetime hit/miss tallies (the caches themselves track evictions).
+  uint64_t PipelineHits = 0, PipelineMisses = 0;
+  uint64_t ProblemHits = 0, ProblemMisses = 0;
 };
 
 } // namespace layra

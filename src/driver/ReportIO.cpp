@@ -79,6 +79,8 @@ JsonValue layra::driverReportToJson(const DriverReport &Report,
   Out.set("threads", Report.Threads);
   Out.set("cache_entries", static_cast<unsigned long long>(Report.CacheEntries));
   Out.set("cache_hits", static_cast<unsigned long long>(Report.CacheHits));
+  Out.set("cache_evictions",
+          static_cast<unsigned long long>(Report.CacheEvictions));
   if (IncludeTiming)
     Out.set("wall_ms", roundMs(Report.WallMs));
   JsonValue Jobs = JsonValue::array();

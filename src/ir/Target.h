@@ -19,6 +19,8 @@
 
 #include "graph/Graph.h" // for Weight
 
+#include <string>
+
 namespace layra {
 
 /// Cost/geometry parameters of a target machine.
@@ -56,6 +58,20 @@ inline constexpr TargetDesc ARMv7{"armv7-a8", 16, /*LoadCost=*/2,
 inline constexpr TargetDesc X86_64{"x86-64", 16, /*LoadCost=*/3,
                                    /*StoreCost=*/2, /*MaxMemOperands=*/1,
                                    /*MemOperandCost=*/1};
+
+/// Name -> target lookup shared by every user-facing front end (the CLIs
+/// and the allocation service), including the accepted alias spellings;
+/// nullptr for unknown names.  One function so the tools and the wire
+/// protocol can never drift apart on which names they accept.
+inline const TargetDesc *targetByName(const std::string &Name) {
+  if (Name == "st231")
+    return &ST231;
+  if (Name == "armv7" || Name == "armv7-a8")
+    return &ARMv7;
+  if (Name == "x86-64" || Name == "x86")
+    return &X86_64;
+  return nullptr;
+}
 
 } // namespace layra
 

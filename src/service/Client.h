@@ -1,0 +1,81 @@
+//===- service/Client.h - Allocation-service client -------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A blocking request/response client for the allocation server
+/// (service/Server.h), shared by `layra-loadgen`, `layra_alloc_tool
+/// --connect`, and the loopback integration tests.  One Client wraps one
+/// connection; calls are synchronous and not thread-safe (loadgen gives
+/// each worker thread its own Client, which is also how the server's
+/// per-connection FIFO ordering stays meaningful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SERVICE_CLIENT_H
+#define LAYRA_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace layra {
+
+class Client {
+public:
+  /// Connects over TCP; valid() reports the outcome (*Error filled on
+  /// failure).
+  static Client connectToTcp(const std::string &Host, uint16_t Port,
+                             std::string *Error);
+  /// Connects over a Unix-domain socket.
+  static Client connectToUnix(const std::string &Path, std::string *Error);
+  /// Parses "unix:PATH" or "tcp:HOST:PORT" and connects accordingly --
+  /// the spelling command-line tools accept for --connect.
+  static Client connectToSpec(const std::string &Spec, std::string *Error);
+
+  Client() = default;
+  Client(Client &&) = default;
+  Client &operator=(Client &&) = default;
+
+  bool valid() const { return Fd.valid(); }
+
+  /// Sends \p RequestPayload as one frame and reads one response frame
+  /// into \p ResponsePayload.  False on any transport failure (*Error
+  /// filled); an error *response* from the server is a successful call --
+  /// inspect the payload's "schema" field.
+  bool call(const std::string &RequestPayload, std::string &ResponsePayload,
+            std::string *Error,
+            size_t MaxFrameBytes = kDefaultMaxFrameBytes);
+
+  /// `ping` round trip; true when the server answered with a pong.
+  bool ping(std::string *Error);
+
+  /// `stats` request; returns false on transport failure.
+  bool stats(std::string &ResponsePayload, std::string *Error);
+
+  /// Builds an `allocate` request payload.
+  static std::string makeAllocateRequest(const ServiceRequest &Req);
+  /// Builds a `submit_ir` request payload.
+  static std::string makeSubmitIrRequest(const ServiceRequest &Req);
+
+  /// True when \p ResponsePayload is a server error response (parsed
+  /// schema check -- report *content* can never spoof it).  The shared
+  /// definition every tool should use to map errors to exit codes.
+  static bool isErrorResponse(const std::string &ResponsePayload);
+
+  /// Closes the connection (writes nothing; the server sees EOF).
+  void close() { Fd.reset(); }
+
+private:
+  explicit Client(SocketFd Fd) : Fd(std::move(Fd)) {}
+  SocketFd Fd;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SERVICE_CLIENT_H

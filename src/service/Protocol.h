@@ -1,0 +1,134 @@
+//===- service/Protocol.h - Allocation-service wire protocol ----*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The framed wire protocol of the long-running allocation server
+/// (docs/PROTOCOL.md is the normative specification, versioned
+/// "layra-serve/v1").  Every message -- request or response -- is one
+/// frame:
+///
+///   +------+------+------+------+------+------+------+------+----------+
+///   | 'L'  | 'Y'  | 'R'  | 'A'  |  payload length (uint32, BE)  | JSON |
+///   +------+------+------+------+------+------+------+------+----------+
+///
+/// The payload is UTF-8 JSON.  Requests carry a "type" field (ping, stats,
+/// allocate, submit_ir); responses identify themselves by "schema"
+/// ("layra-serve-pong/v1", "layra-serve-stats/v1", "layra-serve-error/v1",
+/// or -- for allocation responses -- a verbatim "layra-driver-report/v1"
+/// document, byte-identical to what driver/ReportIO.h would write for a
+/// direct BatchDriver run of the same jobs).
+///
+/// This header carries the pieces both sides share: frame encode/decode
+/// over fds and buffers, the parsed request representation, and the small
+/// response builders.  Syntax lives here; semantic validation (does the
+/// suite exist, is the allocator known) lives in the server, which is where
+/// the answers are.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SERVICE_PROTOCOL_H
+#define LAYRA_SERVICE_PROTOCOL_H
+
+#include "alloc/Pipeline.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Protocol identity, advertised in stats responses and PROTOCOL.md.
+inline constexpr const char *kServeProtocolVersion = "layra-serve/v1";
+
+/// Response schema names.  Allocation responses instead carry the driver
+/// report schema ("layra-driver-report/v1", see driver/ReportIO.h).
+inline constexpr const char *kErrorSchema = "layra-serve-error/v1";
+inline constexpr const char *kStatsSchema = "layra-serve-stats/v1";
+inline constexpr const char *kPongSchema = "layra-serve-pong/v1";
+
+/// Frame geometry.
+inline constexpr char kFrameMagic[4] = {'L', 'Y', 'R', 'A'};
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Default cap on one frame's payload.  Submitted IR and detailed reports
+/// fit comfortably; a length field of garbage does not get to allocate
+/// gigabytes.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Outcome of reading one frame from a stream.
+enum class FrameStatus {
+  Ok,        ///< Payload delivered.
+  Eof,       ///< Clean close before any header byte.
+  Truncated, ///< Stream ended inside a header or payload.
+  BadMagic,  ///< Header did not start with "LYRA".
+  Oversized, ///< Declared length exceeds the configured bound.
+  IoError,   ///< read() failed.
+};
+
+/// Human-readable name of \p Status (for error messages and logs).
+const char *frameStatusName(FrameStatus Status);
+
+/// Serializes the 8-byte header for a payload of \p PayloadBytes.
+std::string encodeFrameHeader(size_t PayloadBytes);
+
+/// Encodes header + \p Payload into one buffer (convenience for tests).
+std::string encodeFrame(const std::string &Payload);
+
+/// Decodes a frame header from \p Header (kFrameHeaderBytes bytes).
+/// Returns Ok and sets \p PayloadBytes, or BadMagic/Oversized.
+FrameStatus decodeFrameHeader(const unsigned char *Header,
+                              size_t MaxPayloadBytes, size_t &PayloadBytes);
+
+/// Writes one frame to \p Fd.  False on any write failure.
+bool writeFrame(int Fd, const std::string &Payload);
+
+/// Reads one frame from \p Fd into \p Payload.
+FrameStatus readFrame(int Fd, std::string &Payload,
+                      size_t MaxPayloadBytes = kDefaultMaxFrameBytes);
+
+/// A parsed, syntactically valid request.
+struct ServiceRequest {
+  enum class Kind { Ping, Stats, Allocate, SubmitIr };
+  Kind K = Kind::Ping;
+
+  /// Allocate: suites to run (each crossed with every register count).
+  std::vector<std::string> Suites;
+  /// Allocate / SubmitIr: register counts; required, each in [1, 1024].
+  std::vector<unsigned> Regs;
+  /// Target cost model name ("st231", "armv7", "x86-64"); default st231.
+  std::string TargetName = "st231";
+  /// Pipeline configuration (allocator, rounds, folding, affinity).
+  PipelineOptions Options;
+  /// Include wall-clock fields in the report.  Default off: deterministic
+  /// responses are what make the shared cache and the loopback determinism
+  /// tests possible, so timing is opt-in.
+  bool Timing = false;
+  /// Include the per-function task array in the report.
+  bool Details = false;
+
+  /// SubmitIr: the textual-IR function (ir/Parser.h syntax, strict SSA).
+  std::string IrText;
+  /// SubmitIr: suite label in the report; default "submitted".
+  std::string Name;
+};
+
+/// Parses \p Payload into \p Out.  On failure returns false and fills
+/// \p Error with a message suitable for an error response.  Limits are
+/// syntactic sanity bounds (at most 16 suites, 64 register counts); the
+/// server applies its own semantic checks on top.
+bool parseServiceRequest(const std::string &Payload, ServiceRequest &Out,
+                         std::string &Error);
+
+/// Builds the payload of an error response.
+std::string makeErrorResponse(const std::string &Message);
+
+/// Builds the payload of a pong response.
+std::string makePongResponse();
+
+} // namespace layra
+
+#endif // LAYRA_SERVICE_PROTOCOL_H

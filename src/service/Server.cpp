@@ -1,0 +1,664 @@
+//===- service/Server.cpp - Long-running allocation server -----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "alloc/Allocator.h"
+#include "driver/BatchDriver.h"
+#include "driver/ReportIO.h"
+#include "ir/Parser.h"
+#include "support/Socket.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace layra;
+
+namespace {
+
+/// Accept-loop poll granularity: the latency bound on noticing a stop
+/// request while no connections arrive.
+constexpr int kAcceptPollMs = 100;
+
+/// Service-time samples kept for the stats percentiles (ring buffer, so a
+/// long-lived server's stats memory is constant).
+constexpr size_t kLatencyRingSize = 4096;
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// One live connection.  Reader threads and the dispatcher share it via
+/// shared_ptr: the descriptor must outlive the reader when queued requests
+/// still reference it at disconnect time.  Responses -- including error
+/// replies, which readers route through the queue -- are written only by
+/// the single dispatcher thread, so no write lock is needed: frames of one
+/// connection cannot interleave by construction.
+struct Connection {
+  SocketFd Fd;
+  uint64_t Id = 0;
+};
+
+struct QueuedWork {
+  std::shared_ptr<Connection> Conn;
+  ServiceRequest Req;
+  /// Pre-built response for requests that failed before reaching the
+  /// dispatcher (parse/framing errors).  Non-empty = write this verbatim
+  /// instead of executing Req.  Routing errors through the queue keeps the
+  /// protocol's per-connection response ordering intact for pipelining
+  /// clients: an error reply must not overtake the response of an earlier,
+  /// still-executing request.
+  std::string PrebuiltResponse;
+  /// Close the connection's write side after responding (framing errors).
+  bool CloseAfter = false;
+};
+
+} // namespace
+
+std::string layra::makeStatsResponse(const ServerStats &S) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", kStatsSchema);
+  Doc.set("protocol", kServeProtocolVersion);
+  Doc.set("uptime_ms", S.UptimeMs);
+  Doc.set("threads", S.Threads);
+  JsonValue Requests = JsonValue::object();
+  Requests.set("total", S.RequestsTotal);
+  Requests.set("allocate", S.RequestsAllocate);
+  Requests.set("submit_ir", S.RequestsSubmitIr);
+  Requests.set("stats", S.RequestsStats);
+  Requests.set("ping", S.RequestsPing);
+  Requests.set("failed", S.RequestsFailed);
+  Doc.set("requests", std::move(Requests));
+  JsonValue Connections = JsonValue::object();
+  Connections.set("accepted", S.ConnectionsAccepted);
+  Connections.set("rejected", S.ConnectionsRejected);
+  Connections.set("active", S.ConnectionsActive);
+  Doc.set("connections", std::move(Connections));
+  JsonValue Cache = JsonValue::object();
+  Cache.set("entries", S.CacheEntries);
+  Cache.set("capacity", S.CacheCapacity);
+  Cache.set("hits", S.CacheHits);
+  Cache.set("misses", S.CacheMisses);
+  Cache.set("evictions", S.CacheEvictions);
+  double Classified = static_cast<double>(S.CacheHits + S.CacheMisses);
+  Cache.set("hit_rate", Classified > 0
+                            ? static_cast<double>(S.CacheHits) / Classified
+                            : 0.0);
+  Doc.set("cache", std::move(Cache));
+  JsonValue Queue = JsonValue::object();
+  Queue.set("depth", S.QueueDepth);
+  Queue.set("max_depth", S.QueueMaxDepth);
+  Queue.set("capacity", S.QueueCapacity);
+  Doc.set("queue", std::move(Queue));
+  JsonValue Latency = JsonValue::object();
+  Latency.set("service_ms_p50", S.ServiceMsP50);
+  Latency.set("service_ms_p95", S.ServiceMsP95);
+  Latency.set("samples", S.ServiceSamples);
+  Doc.set("latency", std::move(Latency));
+  return Doc.dump(2) + "\n";
+}
+
+//===----------------------------------------------------------------------===//
+// Server::Impl
+//===----------------------------------------------------------------------===//
+
+struct Server::Impl {
+  explicit Impl(ServerOptions Options)
+      : Opt(std::move(Options)), Driver(Opt.Threads) {
+    Driver.setCacheCapacity(Opt.CacheCapacity);
+    CachedCache = Driver.pipelineCacheCounters();
+    LatencyRing.reserve(kLatencyRingSize);
+  }
+
+  ServerOptions Opt;
+
+  //--- Shared allocation state (dispatcher thread only after start()). ----
+  BatchDriver Driver;
+  /// Named suites generated once and shared across requests; tiny (there
+  /// are four suite names) and dispatcher-private.
+  std::map<std::string, Suite> SuiteCache;
+
+  //--- Listeners and threads. ---------------------------------------------
+  SocketFd TcpListener;
+  SocketFd UnixListener;
+  uint16_t BoundTcpPort = 0;
+  std::vector<std::thread> AcceptThreads;
+  std::thread DispatchThread;
+  std::atomic<bool> Started{false};
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Drained{false};
+
+  //--- Connection registry. -----------------------------------------------
+  std::mutex ConnMutex;
+  uint64_t NextConnId = 1;
+  std::map<uint64_t, std::shared_ptr<Connection>> Connections;
+  std::map<uint64_t, std::thread> ReaderThreads;
+  std::vector<uint64_t> FinishedReaders;
+
+  //--- Bounded request queue. ---------------------------------------------
+  std::mutex QueueMutex;
+  std::condition_variable QueueNotEmpty;
+  std::condition_variable QueueNotFull;
+  std::deque<QueuedWork> Queue;
+  uint64_t QueueMaxDepth = 0;
+  /// Readers currently alive; the dispatcher drains until none remain.
+  unsigned ActiveReaders = 0;
+
+  //--- Statistics. --------------------------------------------------------
+  mutable std::mutex StatsMutex;
+  ServerStats Counters; ///< Queue/cache fields are filled on snapshot.
+  /// Driver cache counters as of the last dispatched request.  The driver
+  /// itself is dispatcher-private after start(), so out-of-band stats()
+  /// callers read this published copy instead of racing the driver.
+  DriverCacheCounters CachedCache;
+  std::vector<double> LatencyRing;
+  size_t LatencyNext = 0;
+  uint64_t LatencyTotal = 0;
+  std::chrono::steady_clock::time_point StartTime;
+
+  //--- Implementation. ----------------------------------------------------
+  bool start(std::string *Error);
+  void requestStop();
+  void wait();
+  void acceptLoop(SocketFd &Listener);
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void enqueue(QueuedWork Work);
+  void dispatchLoop();
+  void writeResponse(Connection &Conn, const std::string &Payload);
+  std::string handleRequest(const ServiceRequest &Req);
+  std::string handleAllocate(const ServiceRequest &Req);
+  std::string handleSubmitIr(const ServiceRequest &Req);
+  std::string runJobs(const std::vector<BatchJob> &Jobs,
+                      const ServiceRequest &Req,
+                      uint64_t ServerStats::*Counter);
+  std::string failRequest(const std::string &Message);
+  /// Target/allocator validation shared by allocate and submit_ir;
+  /// returns a non-empty error-response payload on rejection.
+  std::string validateCommon(const ServiceRequest &Req);
+  ServerStats snapshotStats();
+  void recordService(double Ms);
+  void reapFinishedReaders();
+};
+
+bool Server::Impl::start(std::string *Error) {
+  if (Opt.UnixPath.empty() && !Opt.EnableTcp) {
+    if (Error)
+      *Error = "server needs a Unix socket path and/or TCP enabled";
+    return false;
+  }
+  if (Opt.EnableTcp) {
+    TcpListener = listenTcp(Opt.TcpHost, Opt.TcpPort, Error);
+    if (!TcpListener.valid())
+      return false;
+    BoundTcpPort = boundTcpPort(TcpListener);
+  }
+  if (!Opt.UnixPath.empty()) {
+    UnixListener = listenUnix(Opt.UnixPath, Error);
+    if (!UnixListener.valid()) {
+      TcpListener.reset();
+      return false;
+    }
+  }
+  StartTime = std::chrono::steady_clock::now();
+  Counters.Threads = Driver.numThreads();
+  Started = true;
+  if (TcpListener.valid())
+    AcceptThreads.emplace_back([this] { acceptLoop(TcpListener); });
+  if (UnixListener.valid())
+    AcceptThreads.emplace_back([this] { acceptLoop(UnixListener); });
+  DispatchThread = std::thread([this] { dispatchLoop(); });
+  return true;
+}
+
+void Server::Impl::requestStop() {
+  {
+    // Set under the queue lock so no waiter can test its predicate between
+    // the flag flip and the notify (the classic lost-wakeup window).
+    std::lock_guard<std::mutex> L(QueueMutex);
+    if (Stop.exchange(true))
+      return;
+  }
+  QueueNotEmpty.notify_all();
+  QueueNotFull.notify_all();
+  // Unblock readers parked in recv().  SHUT_RD only: responses for queued
+  // requests must still go out on the write side.
+  std::lock_guard<std::mutex> L(ConnMutex);
+  for (auto &Entry : Connections)
+    ::shutdown(Entry.second->Fd.fd(), SHUT_RD);
+}
+
+void Server::Impl::wait() {
+  if (!Started)
+    return;
+  for (std::thread &T : AcceptThreads)
+    if (T.joinable())
+      T.join();
+  AcceptThreads.clear();
+  if (DispatchThread.joinable())
+    DispatchThread.join();
+  // Dispatcher exit implies every reader has exited; join their handles.
+  std::map<uint64_t, std::thread> Readers;
+  {
+    std::lock_guard<std::mutex> L(ConnMutex);
+    Readers.swap(ReaderThreads);
+    FinishedReaders.clear();
+  }
+  for (auto &Entry : Readers)
+    if (Entry.second.joinable())
+      Entry.second.join();
+  TcpListener.reset();
+  UnixListener.reset();
+  if (!Opt.UnixPath.empty())
+    ::unlink(Opt.UnixPath.c_str());
+  Drained = true;
+}
+
+void Server::Impl::reapFinishedReaders() {
+  std::lock_guard<std::mutex> L(ConnMutex);
+  for (uint64_t Id : FinishedReaders) {
+    auto It = ReaderThreads.find(Id);
+    if (It != ReaderThreads.end()) {
+      It->second.join();
+      ReaderThreads.erase(It);
+    }
+  }
+  FinishedReaders.clear();
+}
+
+void Server::Impl::acceptLoop(SocketFd &Listener) {
+  while (!Stop) {
+    bool TimedOut = false;
+    SocketFd Fd = acceptConnection(Listener, kAcceptPollMs, &TimedOut);
+    // Join reader threads of connections that came and went, so a
+    // long-lived server does not accumulate dead thread handles.
+    reapFinishedReaders();
+    if (!Fd.valid()) {
+      if (Stop)
+        break;
+      // An unexpected accept failure (EMFILE under fd exhaustion, say)
+      // leaves the pending connection readable, so poll() would return
+      // immediately and this loop would spin hot.  Back off briefly and
+      // retry; plain timeouts keep polling at full cadence.
+      if (!TimedOut)
+        std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMs));
+      continue;
+    }
+    if (Stop)
+      break;
+
+    auto Conn = std::make_shared<Connection>();
+    Conn->Fd = std::move(Fd);
+    bool Reject = false;
+    {
+      std::lock_guard<std::mutex> L(ConnMutex);
+      if (Connections.size() >= Opt.MaxConnections)
+        Reject = true;
+      else {
+        Conn->Id = NextConnId++;
+        Connections.emplace(Conn->Id, Conn);
+      }
+    }
+    if (Reject) {
+      {
+        std::lock_guard<std::mutex> L(StatsMutex);
+        ++Counters.ConnectionsRejected;
+      }
+      std::string Frame =
+          encodeFrame(makeErrorResponse("server at its connection limit"));
+      sendAllWithTimeout(Conn->Fd.fd(), Frame.data(), Frame.size(),
+                         Opt.WriteTimeoutMs);
+      continue; // Conn's destructor closes the socket.
+    }
+    {
+      std::lock_guard<std::mutex> L(StatsMutex);
+      ++Counters.ConnectionsAccepted;
+    }
+    // The Stop check and the reader-count increment must be one atomic
+    // step under QueueMutex: the dispatcher's exit predicate (Stop, no
+    // readers, empty queue) is evaluated under the same lock, so either
+    // the dispatcher is already gone -- then Stop is visibly set here and
+    // the connection is dropped before it can enqueue anything -- or the
+    // increment lands first and the dispatcher drains this reader too.
+    bool Drop = false;
+    {
+      std::lock_guard<std::mutex> QL(QueueMutex);
+      if (Stop)
+        Drop = true;
+      else
+        ++ActiveReaders;
+    }
+    if (Drop) {
+      std::lock_guard<std::mutex> L(ConnMutex);
+      Connections.erase(Conn->Id);
+      break; // Conn's destructor closes the socket; the client sees EOF.
+    }
+    std::lock_guard<std::mutex> L(ConnMutex);
+    ReaderThreads.emplace(Conn->Id,
+                          std::thread([this, Conn] { readerLoop(Conn); }));
+  }
+}
+
+void Server::Impl::enqueue(QueuedWork Work) {
+  // Blocks while the queue is full: backpressure, by construction.  Safe
+  // even during a drain: the dispatcher keeps popping until every reader
+  // (including this one) has exited.
+  {
+    std::unique_lock<std::mutex> L(QueueMutex);
+    QueueNotFull.wait(L,
+                      [this] { return Queue.size() < Opt.QueueCapacity; });
+    Queue.push_back(std::move(Work));
+    QueueMaxDepth = std::max<uint64_t>(QueueMaxDepth, Queue.size());
+  }
+  QueueNotEmpty.notify_one();
+}
+
+void Server::Impl::readerLoop(std::shared_ptr<Connection> Conn) {
+  std::string Payload;
+  while (true) {
+    FrameStatus FS = readFrame(Conn->Fd.fd(), Payload, Opt.MaxFrameBytes);
+    if (FS == FrameStatus::Ok) {
+      QueuedWork Work;
+      Work.Conn = Conn;
+      std::string Error;
+      if (parseServiceRequest(Payload, Work.Req, Error)) {
+        enqueue(std::move(Work));
+      } else {
+        // Framing is intact; answer (in order, via the queue) and keep
+        // serving the connection.
+        Work.PrebuiltResponse = failRequest(Error);
+        enqueue(std::move(Work));
+      }
+      continue;
+    }
+    if (FS == FrameStatus::BadMagic || FS == FrameStatus::Oversized) {
+      // The stream position is unrecoverable after a framing error; answer
+      // once (after any pending responses) and drop the connection.
+      QueuedWork Work;
+      Work.Conn = Conn;
+      Work.PrebuiltResponse =
+          failRequest(std::string("protocol error: ") + frameStatusName(FS));
+      Work.CloseAfter = true;
+      enqueue(std::move(Work));
+    }
+    break; // Eof / Truncated / IoError / framing error: close.
+  }
+  {
+    std::lock_guard<std::mutex> L(ConnMutex);
+    Connections.erase(Conn->Id);
+    FinishedReaders.push_back(Conn->Id);
+  }
+  {
+    std::lock_guard<std::mutex> L(QueueMutex);
+    --ActiveReaders;
+  }
+  // The dispatcher may be waiting for the last reader to leave.
+  QueueNotEmpty.notify_all();
+}
+
+void Server::Impl::dispatchLoop() {
+  while (true) {
+    QueuedWork Work;
+    {
+      std::unique_lock<std::mutex> L(QueueMutex);
+      QueueNotEmpty.wait(L, [this] {
+        return !Queue.empty() || (Stop && ActiveReaders == 0);
+      });
+      if (Queue.empty())
+        return; // Stopped and fully drained.
+      Work = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    QueueNotFull.notify_one();
+
+    if (!Work.PrebuiltResponse.empty()) {
+      writeResponse(*Work.Conn, Work.PrebuiltResponse);
+      if (Work.CloseAfter)
+        ::shutdown(Work.Conn->Fd.fd(), SHUT_WR);
+      continue;
+    }
+    auto Begin = std::chrono::steady_clock::now();
+    std::string Response = handleRequest(Work.Req);
+    recordService(msSince(Begin));
+    writeResponse(*Work.Conn, Response);
+  }
+}
+
+void Server::Impl::writeResponse(Connection &Conn,
+                                 const std::string &Payload) {
+  // A response that cannot be framed (beyond the server's own bound)
+  // becomes an error the client *can* read, instead of a frame its
+  // readFrame would reject as oversized after the server paid the full
+  // solve cost.
+  const std::string *Out = &Payload;
+  std::string Fallback;
+  if (Payload.size() > Opt.MaxFrameBytes) {
+    Fallback = makeErrorResponse(
+        "response of " + std::to_string(Payload.size()) +
+        " bytes exceeds the server frame bound of " +
+        std::to_string(Opt.MaxFrameBytes) +
+        "; narrow the request (fewer suites/register counts or "
+        "details=false) or raise --max-frame");
+    Out = &Fallback;
+  }
+  // Bounded-progress write: a client that stopped reading must not park
+  // the dispatcher (and with it every other connection) on a full socket
+  // buffer forever.  A vanished or wedged client is not a server error --
+  // its connection is simply dropped, which also unblocks its reader.
+  std::string Frame = encodeFrame(*Out);
+  if (!sendAllWithTimeout(Conn.Fd.fd(), Frame.data(), Frame.size(),
+                          Opt.WriteTimeoutMs))
+    ::shutdown(Conn.Fd.fd(), SHUT_RDWR);
+}
+
+std::string Server::Impl::failRequest(const std::string &Message) {
+  {
+    std::lock_guard<std::mutex> L(StatsMutex);
+    ++Counters.RequestsTotal;
+    ++Counters.RequestsFailed;
+  }
+  return makeErrorResponse(Message);
+}
+
+std::string Server::Impl::handleRequest(const ServiceRequest &Req) {
+  switch (Req.K) {
+  case ServiceRequest::Kind::Ping: {
+    std::lock_guard<std::mutex> L(StatsMutex);
+    ++Counters.RequestsTotal;
+    ++Counters.RequestsPing;
+    return makePongResponse();
+  }
+  case ServiceRequest::Kind::Stats: {
+    {
+      std::lock_guard<std::mutex> L(StatsMutex);
+      ++Counters.RequestsTotal;
+      ++Counters.RequestsStats;
+    }
+    return makeStatsResponse(snapshotStats());
+  }
+  case ServiceRequest::Kind::Allocate:
+    return handleAllocate(Req);
+  case ServiceRequest::Kind::SubmitIr:
+    return handleSubmitIr(Req);
+  }
+  return makeErrorResponse("unhandled request kind");
+}
+
+std::string Server::Impl::validateCommon(const ServiceRequest &Req) {
+  if (!targetByName(Req.TargetName))
+    return failRequest("unknown target '" + Req.TargetName + "'");
+  if (!makeAllocator(Req.Options.AllocatorName))
+    return failRequest("unknown allocator '" + Req.Options.AllocatorName +
+                       "'");
+  return std::string();
+}
+
+std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
+                                  const ServiceRequest &Req,
+                                  uint64_t ServerStats::*Counter) {
+  // Transparent mode makes the response byte-identical to a direct fresh
+  // BatchDriver run of the same jobs, however warm the shared cache is.
+  // A *timing* request gets the honest warm-cache view instead: with
+  // transparency its wall_ms would read 0 for tasks the persistent cache
+  // served while cache_hit claimed a fresh solve -- self-contradictory.
+  // Byte identity is only promised for timing-free responses anyway
+  // (docs/PROTOCOL.md).
+  DriverReport Report = Driver.run(Jobs, /*CacheTransparent=*/!Req.Timing);
+  std::string Response =
+      driverReportToJson(Report, Req.Timing, Req.Details).dump(2) + "\n";
+  {
+    std::lock_guard<std::mutex> L(StatsMutex);
+    ++Counters.RequestsTotal;
+    ++(Counters.*Counter);
+    CachedCache = Driver.pipelineCacheCounters();
+  }
+  return Response;
+}
+
+std::string Server::Impl::handleAllocate(const ServiceRequest &Req) {
+  std::string Rejection = validateCommon(Req);
+  if (!Rejection.empty())
+    return Rejection;
+  std::vector<std::string> Known = allSuiteNames();
+  for (const std::string &Name : Req.Suites)
+    if (std::find(Known.begin(), Known.end(), Name) == Known.end())
+      return failRequest("unknown suite '" + Name + "'");
+
+  const TargetDesc *Target = targetByName(Req.TargetName);
+  std::vector<BatchJob> Jobs;
+  for (const std::string &Name : Req.Suites) {
+    auto It = SuiteCache.find(Name);
+    if (It == SuiteCache.end())
+      It = SuiteCache.emplace(Name, makeSuite(Name)).first;
+    for (unsigned Regs : Req.Regs) {
+      BatchJob Job;
+      Job.SuiteName = Name;
+      Job.SuiteData = &It->second;
+      Job.Target = *Target;
+      Job.NumRegisters = Regs;
+      Job.Options = Req.Options;
+      Jobs.push_back(std::move(Job));
+    }
+  }
+  return runJobs(Jobs, Req, &ServerStats::RequestsAllocate);
+}
+
+std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
+  std::string Rejection = validateCommon(Req);
+  if (!Rejection.empty())
+    return Rejection;
+  ParsedFunction Parsed = parseFunction(Req.IrText);
+  if (!Parsed.Ok)
+    return failRequest("ir parse error at line " +
+                       std::to_string(Parsed.Line) + ": " + Parsed.Error);
+  std::string VerifyError;
+  if (!verifyFunction(Parsed.F, /*ExpectSsa=*/true, &VerifyError))
+    return failRequest("ir is not strict SSA: " + VerifyError);
+
+  Suite S;
+  S.Name = Req.Name.empty() ? "submitted" : Req.Name;
+  SuiteProgram Prog;
+  Prog.Name = Parsed.F.name();
+  Prog.Functions.push_back(std::move(Parsed.F));
+  S.Programs.push_back(std::move(Prog));
+
+  const TargetDesc *Target = targetByName(Req.TargetName);
+  std::vector<BatchJob> Jobs;
+  for (unsigned Regs : Req.Regs) {
+    BatchJob Job;
+    Job.SuiteName = S.Name;
+    Job.SuiteData = &S;
+    Job.Target = *Target;
+    Job.NumRegisters = Regs;
+    Job.Options = Req.Options;
+    Jobs.push_back(std::move(Job));
+  }
+  return runJobs(Jobs, Req, &ServerStats::RequestsSubmitIr);
+}
+
+void Server::Impl::recordService(double Ms) {
+  std::lock_guard<std::mutex> L(StatsMutex);
+  if (LatencyRing.size() < kLatencyRingSize)
+    LatencyRing.push_back(Ms);
+  else {
+    LatencyRing[LatencyNext] = Ms;
+    LatencyNext = (LatencyNext + 1) % kLatencyRingSize;
+  }
+  ++LatencyTotal;
+}
+
+ServerStats Server::Impl::snapshotStats() {
+  ServerStats S;
+  {
+    std::lock_guard<std::mutex> L(StatsMutex);
+    S = Counters;
+    S.UptimeMs = msSince(StartTime);
+    S.ServiceSamples = LatencyTotal;
+    if (!LatencyRing.empty()) {
+      SampleSummary Summary = summarize(LatencyRing);
+      S.ServiceMsP50 = Summary.Median;
+      S.ServiceMsP95 = Summary.P95;
+    }
+    S.CacheEntries = CachedCache.Entries;
+    S.CacheCapacity = CachedCache.Capacity;
+    S.CacheHits = CachedCache.Hits;
+    S.CacheMisses = CachedCache.Misses;
+    S.CacheEvictions = CachedCache.Evictions;
+  }
+  {
+    std::lock_guard<std::mutex> L(QueueMutex);
+    S.QueueDepth = Queue.size();
+    S.QueueMaxDepth = QueueMaxDepth;
+  }
+  S.QueueCapacity = Opt.QueueCapacity;
+  {
+    std::lock_guard<std::mutex> L(ConnMutex);
+    S.ConnectionsActive = Connections.size();
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+Server::Server(ServerOptions Options)
+    : State(std::make_unique<Impl>(std::move(Options))) {}
+
+Server::~Server() {
+  requestStop();
+  wait();
+}
+
+bool Server::start(std::string *Error) { return State->start(Error); }
+
+void Server::requestStop() {
+  if (State->Started)
+    State->requestStop();
+}
+
+void Server::wait() { State->wait(); }
+
+bool Server::running() const { return State->Started && !State->Drained; }
+
+uint16_t Server::tcpPort() const { return State->BoundTcpPort; }
+
+const std::string &Server::unixPath() const { return State->Opt.UnixPath; }
+
+ServerStats Server::stats() const { return State->snapshotStats(); }

@@ -1,0 +1,168 @@
+//===- service/Server.h - Long-running allocation server --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-running allocation server behind the `layra-serve` binary.  It
+/// listens on TCP and/or Unix-domain sockets, speaks the framed JSON
+/// protocol of service/Protocol.h, and serves requests from one shared
+/// BatchDriver so the thread pool, the per-worker SolverWorkspace arenas,
+/// and the bounded content-hash cache all persist across connections --
+/// the amortization a one-shot CLI pays for on every invocation.
+///
+/// Threading model: one reader thread per connection parses frames and
+/// pushes requests onto a *bounded* queue; pushing blocks when the queue is
+/// full, so a flood of requests turns into TCP backpressure instead of
+/// unbounded buffering.  A single dispatcher thread pops requests in FIFO
+/// order and executes them on the shared driver -- each request then fans
+/// its per-function tasks across the driver's work-stealing pool, so
+/// parallelism lives *inside* a request.  Serializing requests at the
+/// dispatcher keeps the driver single-threaded (its caches are lock-free
+/// serial code) and gives every request an honest queue-wait measurement.
+///
+/// Responses to `allocate`/`submit_ir` are byte-identical to what a direct
+/// BatchDriver run of the same jobs would serialize (the driver's
+/// cache-transparent mode reports hit/miss as a fresh driver would), so a
+/// client cannot tell -- except by latency -- whether the cache was warm.
+///
+/// Shutdown (requestStop / SIGTERM in layra-serve) is a drain, not an
+/// abort: listeners close, idle connections are shut down, requests already
+/// accepted still execute and their responses are written before wait()
+/// returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SERVICE_SERVER_H
+#define LAYRA_SERVICE_SERVER_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace layra {
+
+/// Server configuration.  At least one of UnixPath / EnableTcp must be set.
+struct ServerOptions {
+  /// Unix-domain socket path; empty disables the Unix listener.  The file
+  /// is created on start() and unlinked again when wait() finishes.
+  std::string UnixPath;
+  /// Enable the TCP listener.
+  bool EnableTcp = false;
+  /// TCP bind address; loopback by default (the service is unauthenticated
+  /// by design -- see docs/PROTOCOL.md).
+  std::string TcpHost = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port, read back with tcpPort().
+  uint16_t TcpPort = 0;
+  /// Driver pool size; 0 = hardware concurrency.
+  unsigned Threads = 0;
+  /// Bound on each driver content-hash cache, in entries.  The default
+  /// keeps a long-lived server's memory proportional to the working set;
+  /// 0 (unbounded) is for tests only.
+  size_t CacheCapacity = 1u << 16;
+  /// Largest accepted request/response payload.
+  size_t MaxFrameBytes = kDefaultMaxFrameBytes;
+  /// Bounded request-queue depth; connection readers block (backpressure)
+  /// when it is full.
+  size_t QueueCapacity = 64;
+  /// Concurrent-connection cap; excess connections get an error response
+  /// and are closed.
+  unsigned MaxConnections = 256;
+  /// Response-write progress bound: a connection whose peer accepts no
+  /// bytes for this long is dropped.  The dispatcher writes responses, so
+  /// without a bound one client that stops reading would stall every
+  /// other connection -- and wedge the graceful drain.
+  int WriteTimeoutMs = 10000;
+};
+
+/// A point-in-time statistics snapshot (the `stats` request serializes
+/// exactly this).
+struct ServerStats {
+  uint64_t RequestsTotal = 0;
+  uint64_t RequestsAllocate = 0;
+  uint64_t RequestsSubmitIr = 0;
+  uint64_t RequestsStats = 0;
+  uint64_t RequestsPing = 0;
+  uint64_t RequestsFailed = 0; ///< Parse/validation errors answered.
+  uint64_t ConnectionsAccepted = 0;
+  uint64_t ConnectionsRejected = 0;
+  uint64_t ConnectionsActive = 0;
+  /// Pipeline-task cache counters (lifetime, from the shared driver).
+  uint64_t CacheEntries = 0;
+  uint64_t CacheCapacity = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t QueueDepth = 0;
+  uint64_t QueueMaxDepth = 0;
+  uint64_t QueueCapacity = 0;
+  unsigned Threads = 0;
+  double UptimeMs = 0;
+  /// Service-time (dequeue to response-built) percentiles over the most
+  /// recent requests; 0 when no samples yet.
+  double ServiceMsP50 = 0;
+  double ServiceMsP95 = 0;
+  uint64_t ServiceSamples = 0;
+};
+
+/// Serializes \p Stats as a "layra-serve-stats/v1" response payload.
+std::string makeStatsResponse(const ServerStats &Stats);
+
+/// The server.  Typical use:
+///
+/// \code
+///   ServerOptions Opt;
+///   Opt.UnixPath = "/tmp/layra.sock";
+///   Server S(Opt);
+///   std::string Error;
+///   if (!S.start(&Error)) { ... }
+///   // ... requestStop() from a signal handler's watcher ...
+///   S.wait();
+/// \endcode
+class Server {
+public:
+  explicit Server(ServerOptions Options);
+  /// Joins everything (equivalent to requestStop() + wait()).
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds listeners and starts the accept/dispatch machinery.  False (with
+  /// *Error filled) when no listener could be created; the server is then
+  /// inert and wait() returns immediately.
+  bool start(std::string *Error);
+
+  /// Initiates a graceful drain: stop accepting, unblock idle connections,
+  /// finish queued requests.  Thread-safe and idempotent; returns without
+  /// waiting (use wait()).
+  void requestStop();
+
+  /// Blocks until the server has fully drained after requestStop().
+  void wait();
+
+  /// True between a successful start() and the end of wait().
+  bool running() const;
+
+  /// The bound TCP port (resolves an ephemeral request); 0 when TCP is
+  /// disabled or start() failed.
+  uint16_t tcpPort() const;
+
+  /// The Unix socket path ("" when disabled).
+  const std::string &unixPath() const;
+
+  /// Point-in-time statistics (same data a `stats` request returns).
+  ServerStats stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> State;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SERVICE_SERVER_H

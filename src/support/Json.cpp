@@ -10,11 +10,45 @@
 #include "support/Compiler.h"
 
 #include <cassert>
+#include <cctype>
+#include <cerrno>
 #include <clocale>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_map>
 
 using namespace layra;
+
+const std::string &JsonValue::stringValue() const {
+  static const std::string Empty;
+  return K == Kind::String ? StringV : Empty;
+}
+
+const JsonValue &JsonValue::at(size_t I) const {
+  assert(K == Kind::Array && I < ArrayV.size() && "at() out of range");
+  return ArrayV[I];
+}
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &Entry : ObjectV)
+    if (Entry.first == Key)
+      return &Entry.second;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const {
+  static const std::vector<std::pair<std::string, JsonValue>> Empty;
+  return K == Kind::Object ? ObjectV : Empty;
+}
+
+const std::vector<JsonValue> &JsonValue::elements() const {
+  static const std::vector<JsonValue> Empty;
+  return K == Kind::Array ? ArrayV : Empty;
+}
 
 JsonValue &JsonValue::push(JsonValue V) {
   assert(K == Kind::Array && "push on a non-array JSON value");
@@ -31,6 +65,17 @@ JsonValue &JsonValue::set(const std::string &Key, JsonValue V) {
     }
   ObjectV.emplace_back(Key, std::move(V));
   return *this;
+}
+
+JsonValue &JsonValue::append(std::string Key, JsonValue V) {
+  assert(K == Kind::Object && "append on a non-object JSON value");
+  ObjectV.emplace_back(std::move(Key), std::move(V));
+  return *this;
+}
+
+JsonValue &JsonValue::memberAt(size_t I) {
+  assert(K == Kind::Object && I < ObjectV.size() && "memberAt out of range");
+  return ObjectV[I].second;
 }
 
 std::string JsonValue::escape(const std::string &S) {
@@ -163,4 +208,437 @@ void JsonValue::write(std::FILE *Out, unsigned Indent) const {
   std::string Text = dump(Indent);
   std::fwrite(Text.data(), 1, Text.size(), Out);
   std::fputc('\n', Out);
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent reader over one text buffer.  Errors record the first
+/// failing position; parsing stops immediately (no recovery -- the service
+/// rejects the whole request).
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, unsigned MaxDepth)
+      : Text(Text), MaxDepth(MaxDepth) {}
+
+  JsonParseResult run() {
+    JsonParseResult Result;
+    skipWhitespace();
+    if (!parseValue(Result.Value, 0))
+      return fail(Result);
+    skipWhitespace();
+    if (Pos != Text.size()) {
+      setError("trailing characters after JSON document");
+      return fail(Result);
+    }
+    Result.Ok = true;
+    return Result;
+  }
+
+private:
+  const std::string &Text;
+  unsigned MaxDepth;
+  size_t Pos = 0;
+  std::string Error;
+  size_t ErrorPos = 0;
+
+  JsonParseResult fail(JsonParseResult &Result) {
+    Result.Ok = false;
+    Result.Value = JsonValue();
+    Result.Error = Error.empty() ? "malformed JSON" : Error;
+    Result.Line = 1;
+    Result.Column = 1;
+    for (size_t I = 0; I < ErrorPos && I < Text.size(); ++I) {
+      if (Text[I] == '\n') {
+        ++Result.Line;
+        Result.Column = 1;
+      } else {
+        ++Result.Column;
+      }
+    }
+    return Result;
+  }
+
+  void setError(const std::string &Message) {
+    // Keep the first (deepest-relevant) error only.
+    if (Error.empty()) {
+      Error = Message;
+      ErrorPos = Pos;
+    }
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWhitespace() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool consumeLiteral(const char *Literal) {
+    size_t Len = std::strlen(Literal);
+    if (Text.compare(Pos, Len, Literal) != 0) {
+      setError(std::string("invalid literal (expected '") + Literal + "')");
+      return false;
+    }
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth) {
+      setError("nesting deeper than the configured limit");
+      return false;
+    }
+    if (atEnd()) {
+      setError("unexpected end of input (expected a value)");
+      return false;
+    }
+    switch (peek()) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = JsonValue(std::move(S));
+      return true;
+    }
+    case 't':
+      if (!consumeLiteral("true"))
+        return false;
+      Out = JsonValue(true);
+      return true;
+    case 'f':
+      if (!consumeLiteral("false"))
+        return false;
+      Out = JsonValue(false);
+      return true;
+    case 'n':
+      if (!consumeLiteral("null"))
+        return false;
+      Out = JsonValue();
+      return true;
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '{'
+    Out = JsonValue::object();
+    skipWhitespace();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    // Duplicate-key handling through JsonValue::set would scan all prior
+    // members per insert -- O(n^2) on adversarial network input.  A side
+    // index keeps parsing linear while preserving set()'s semantics
+    // (last duplicate wins, at the first occurrence's position).
+    std::unordered_map<std::string, size_t> KeyIndex;
+    while (true) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"') {
+        setError("expected '\"' to begin an object key");
+        return false;
+      }
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWhitespace();
+      if (atEnd() || peek() != ':') {
+        setError("expected ':' after object key");
+        return false;
+      }
+      ++Pos;
+      skipWhitespace();
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      auto Known = KeyIndex.find(Key);
+      if (Known != KeyIndex.end()) {
+        Out.memberAt(Known->second) = std::move(Member);
+      } else {
+        KeyIndex.emplace(Key, Out.size());
+        Out.append(std::move(Key), std::move(Member));
+      }
+      skipWhitespace();
+      if (atEnd()) {
+        setError("unterminated object (expected ',' or '}')");
+        return false;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      setError("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    ++Pos; // '['
+    Out = JsonValue::array();
+    skipWhitespace();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWhitespace();
+      JsonValue Element;
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.push(std::move(Element));
+      skipWhitespace();
+      if (atEnd()) {
+        setError("unterminated array (expected ',' or ']')");
+        return false;
+      }
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      setError("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  /// Appends \p Code as UTF-8 to \p Out.
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  /// Parses the four hex digits of a \\u escape into \p Code.
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size()) {
+      setError("truncated \\u escape");
+      return false;
+    }
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + I];
+      unsigned Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<unsigned>(C - 'A' + 10);
+      else {
+        setError("invalid hex digit in \\u escape");
+        return false;
+      }
+      Code = Code * 16 + Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // '"'
+    Out.clear();
+    while (true) {
+      if (atEnd()) {
+        setError("unterminated string");
+        return false;
+      }
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20) {
+        setError("unescaped control character in string");
+        return false;
+      }
+      if (C != '\\') {
+        Out += static_cast<char>(C);
+        ++Pos;
+        continue;
+      }
+      ++Pos; // '\\'
+      if (atEnd()) {
+        setError("unterminated escape sequence");
+        return false;
+      }
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        unsigned Code;
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          Pos -= 6; // Point at the escape, not past it.
+          setError("lone low surrogate in \\u escape");
+          return false;
+        }
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // High surrogate: a low surrogate escape must follow.
+          if (Text.compare(Pos, 2, "\\u") != 0) {
+            Pos -= 6;
+            setError("high surrogate not followed by \\u escape");
+            return false;
+          }
+          Pos += 2;
+          unsigned Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF) {
+            Pos -= 6;
+            setError("high surrogate not followed by a low surrogate");
+            return false;
+          }
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        --Pos;
+        setError("invalid escape character");
+        return false;
+      }
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!atEnd() && peek() == '-')
+      ++Pos;
+    // Integer part: "0" alone or a nonzero digit followed by digits
+    // (RFC 8259 forbids leading zeros).
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      Pos = Start;
+      setError("invalid value");
+      return false;
+    }
+    if (peek() == '0') {
+      ++Pos;
+      if (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        Pos = Start;
+        setError("number has a leading zero");
+        return false;
+      }
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    bool Integral = true;
+    if (!atEnd() && peek() == '.') {
+      Integral = false;
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        setError("expected digits after decimal point");
+        return false;
+      }
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (!atEnd() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        setError("expected digits in exponent");
+        return false;
+      }
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    std::string Token = Text.substr(Start, Pos - Start);
+    if (Integral) {
+      // strtoll saturates out-of-range values with ERANGE; such inputs
+      // fall back to the double representation below instead of erroring,
+      // matching common parser behaviour.
+      errno = 0;
+      char *End = nullptr;
+      long long I = std::strtoll(Token.c_str(), &End, 10);
+      if (errno == 0 && End && !*End) {
+        Out = JsonValue(I);
+        return true;
+      }
+    }
+    // strtod honors LC_NUMERIC: under a comma-decimal locale it would
+    // stop at the '.' the JSON grammar mandates and silently truncate.
+    // Mirror the emitter (formatDouble): translate to the locale's
+    // decimal point when the straight parse does not consume the token.
+    char *End = nullptr;
+    double D = std::strtod(Token.c_str(), &End);
+    if (End && *End) {
+      char Point = std::localeconv()->decimal_point[0];
+      if (Point != '.') {
+        std::string Local = Token;
+        for (char &C : Local)
+          if (C == '.')
+            C = Point;
+        D = std::strtod(Local.c_str(), nullptr);
+      }
+    }
+    Out = JsonValue(D);
+    return true;
+  }
+};
+
+} // namespace
+
+JsonParseResult layra::parseJson(const std::string &Text, unsigned MaxDepth) {
+  return JsonParser(Text, MaxDepth).run();
 }

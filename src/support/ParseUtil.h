@@ -19,6 +19,8 @@
 
 #include <cctype>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 namespace layra {
 
@@ -34,6 +36,58 @@ inline bool parseBoundedUnsigned(const char *Text, unsigned long Max,
   if ((End && *End) || Value > Max)
     return false;
   Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+/// Splits \p Text on commas, dropping empty segments ("a,,b" -> {a, b}).
+inline std::vector<std::string> splitCommaList(const std::string &Text) {
+  std::vector<std::string> Out;
+  size_t Start = 0;
+  while (Start <= Text.size()) {
+    size_t Comma = Text.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = Text.size();
+    if (Comma > Start)
+      Out.push_back(Text.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+  return Out;
+}
+
+/// Parses the register-count grammar shared by the CLI front ends
+/// (layra-bench, layra-loadgen): an inclusive range `LO..HI` or a comma
+/// list `A,B,C`, every value in [1, Max].  Returns false with \p Error
+/// set on any violation; the caller renders usage.
+inline bool parseRegList(const std::string &Text, unsigned Max,
+                         std::vector<unsigned> &Out, std::string &Error) {
+  Out.clear();
+  size_t Dots = Text.find("..");
+  if (Dots != std::string::npos) {
+    unsigned Lo = 0, Hi = 0;
+    if (!parseBoundedUnsigned(Text.substr(0, Dots).c_str(), Max, Lo) ||
+        !parseBoundedUnsigned(Text.substr(Dots + 2).c_str(), Max, Hi) ||
+        Lo == 0 || Hi < Lo) {
+      Error = "--regs range must be LO..HI with 1 <= LO <= HI <= " +
+              std::to_string(Max);
+      return false;
+    }
+    for (unsigned R = Lo; R <= Hi; ++R)
+      Out.push_back(R);
+    return true;
+  }
+  for (const std::string &Item : splitCommaList(Text)) {
+    unsigned R = 0;
+    if (!parseBoundedUnsigned(Item.c_str(), Max, R) || R == 0) {
+      Error = "--regs entries must be integers in [1, " +
+              std::to_string(Max) + "]";
+      return false;
+    }
+    Out.push_back(R);
+  }
+  if (Out.empty()) {
+    Error = "--regs must name at least one register count";
+    return false;
+  }
   return true;
 }
 

@@ -1,0 +1,115 @@
+//===- support/Socket.h - POSIX socket helpers ------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thin RAII wrappers over the POSIX socket API for the allocation service
+/// (service/Server.h, service/Client.h): TCP and Unix-domain listeners and
+/// connectors, full-buffer send/recv loops, and a poll-based accept with
+/// timeout so accept loops can observe a stop flag.  Loopback-oriented by
+/// design -- TCP hosts are numeric addresses (or "localhost"), name
+/// resolution is out of scope.
+///
+/// Error reporting follows the library convention of no exceptions: every
+/// constructor-like helper returns an invalid SocketFd and fills *Error.
+/// SIGPIPE is never raised from here (MSG_NOSIGNAL); a closed peer shows up
+/// as a short write instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SUPPORT_SOCKET_H
+#define LAYRA_SUPPORT_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+
+namespace layra {
+
+/// Owning file-descriptor handle.  Move-only; closes on destruction.
+class SocketFd {
+public:
+  SocketFd() = default;
+  explicit SocketFd(int Fd) : Fd(Fd) {}
+  ~SocketFd() { reset(); }
+
+  SocketFd(const SocketFd &) = delete;
+  SocketFd &operator=(const SocketFd &) = delete;
+  SocketFd(SocketFd &&Other) noexcept : Fd(Other.Fd) { Other.Fd = -1; }
+  SocketFd &operator=(SocketFd &&Other) noexcept {
+    if (this != &Other) {
+      reset(Other.Fd);
+      Other.Fd = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return Fd; }
+  bool valid() const { return Fd >= 0; }
+
+  /// Closes the held descriptor (if any) and adopts \p NewFd.
+  void reset(int NewFd = -1);
+  /// Releases ownership without closing.
+  int release() {
+    int Out = Fd;
+    Fd = -1;
+    return Out;
+  }
+
+private:
+  int Fd = -1;
+};
+
+/// Creates a TCP listener bound to \p Host:\p Port (SO_REUSEADDR set, port
+/// 0 = ephemeral; boundTcpPort() reads the choice back).  \p Host must be a
+/// numeric IPv4 address or "localhost".
+SocketFd listenTcp(const std::string &Host, uint16_t Port,
+                   std::string *Error);
+
+/// Creates a Unix-domain listener at \p Path.  A *stale* socket file left
+/// by a crashed predecessor (nothing accepts connections on it) is
+/// replaced; a live server's socket or a non-socket file at the path is an
+/// error, never deleted.  The caller unlinks the path on shutdown.
+SocketFd listenUnix(const std::string &Path, std::string *Error);
+
+/// Connects to a TCP server at \p Host:\p Port.
+SocketFd connectTcp(const std::string &Host, uint16_t Port,
+                    std::string *Error);
+
+/// Connects to a Unix-domain server socket at \p Path.
+SocketFd connectUnix(const std::string &Path, std::string *Error);
+
+/// The port a TCP listener actually bound (resolves port 0); 0 on error.
+uint16_t boundTcpPort(const SocketFd &Listener);
+
+/// Waits up to \p TimeoutMs for a connection on \p Listener and accepts it.
+/// Returns an invalid SocketFd on timeout or error; *TimedOut (optional)
+/// distinguishes the two so accept loops can keep polling a stop flag.
+SocketFd acceptConnection(const SocketFd &Listener, int TimeoutMs,
+                          bool *TimedOut);
+
+/// Writes all \p Size bytes to \p Fd, looping over short writes.  False on
+/// any error (including a closed peer).
+bool sendAll(int Fd, const void *Data, size_t Size);
+
+/// Like sendAll, but gives up when the peer accepts no bytes for
+/// \p IdleTimeoutMs (a client that stopped reading).  The timeout is on
+/// *progress*, not the whole transfer: a slow-but-draining peer is fine.
+/// False on error or timeout; the caller decides whether to drop the
+/// connection.
+bool sendAllWithTimeout(int Fd, const void *Data, size_t Size,
+                        int IdleTimeoutMs);
+
+/// Reads exactly \p Size bytes unless the stream ends first.  Returns the
+/// number of bytes actually read (< Size when the peer closed cleanly, 0
+/// for an immediately closed stream), or -1 when recv() failed (errno
+/// set) -- a connection reset is an I/O error, not an EOF.
+ssize_t recvFull(int Fd, void *Data, size_t Size);
+
+} // namespace layra
+
+#endif // LAYRA_SUPPORT_SOCKET_H

@@ -190,6 +190,111 @@ TEST(BatchDriverTest, SolveProblemsMatchesDirectAllocation) {
   EXPECT_GT(Driver.problemCacheSize(), 0u);
 }
 
+TEST(BatchDriverTest, CacheCapacityBoundsEntriesAndCountsEvictions) {
+  Suite S = tinySuite(6, 123);
+  BatchJob Job;
+  Job.SuiteName = "tiny";
+  Job.SuiteData = &S;
+  Job.NumRegisters = 4;
+
+  BatchDriver Driver(2);
+  Driver.setCacheCapacity(4);
+  DriverReport First = Driver.run({Job});
+  // Six unique solves flowed through a four-entry cache.
+  EXPECT_EQ(Driver.pipelineCacheSize(), 4u);
+  EXPECT_EQ(First.CacheEntries, 4u);
+  EXPECT_EQ(First.CacheEvictions, 2u);
+  EXPECT_EQ(First.Jobs[0].CacheHits, 0u);
+  // Totals are unaffected by the bound: eviction costs re-solves, never
+  // correctness.
+  BatchDriver Unbounded(2);
+  DriverReport Reference = Unbounded.run({Job});
+  EXPECT_EQ(First.Jobs[0].TotalSpillCost, Reference.Jobs[0].TotalSpillCost);
+  EXPECT_EQ(First.Jobs[0].TotalLoads, Reference.Jobs[0].TotalLoads);
+
+  // Re-running re-solves the evicted two; the cache stays at capacity.
+  DriverReport Second = Driver.run({Job});
+  EXPECT_EQ(Driver.pipelineCacheSize(), 4u);
+  EXPECT_EQ(Second.Jobs[0].TotalSpillCost, Reference.Jobs[0].TotalSpillCost);
+
+  DriverCacheCounters Counters = Driver.pipelineCacheCounters();
+  EXPECT_EQ(Counters.Capacity, 4u);
+  EXPECT_EQ(Counters.Entries, 4u);
+  EXPECT_GT(Counters.Evictions, 2u);
+  EXPECT_GT(Counters.Hits + Counters.Misses, 0u);
+
+  // Shrinking the bound trims immediately.
+  Driver.setCacheCapacity(2);
+  EXPECT_EQ(Driver.pipelineCacheSize(), 2u);
+}
+
+TEST(BatchDriverTest, BoundedProblemCacheStillMatchesDirectAllocation) {
+  Suite S = tinySuite(5, 31);
+  std::vector<NamedProblem> Problems = chordalProblems(S, ST231, 4);
+  std::vector<const AllocationProblem *> Ptrs;
+  for (const NamedProblem &P : Problems)
+    Ptrs.push_back(&P.P);
+
+  // Capacity 1 forces evictions within a single call; results must still
+  // land correctly because they are copied before the cache commit.
+  BatchDriver Driver(2);
+  Driver.setCacheCapacity(1);
+  std::vector<AllocationResult> Batch = Driver.solveProblems(Ptrs, "bfpl");
+  std::vector<AllocationResult> Again = Driver.solveProblems(Ptrs, "bfpl");
+  ASSERT_EQ(Batch.size(), Problems.size());
+  for (size_t I = 0; I < Problems.size(); ++I) {
+    AllocationResult Direct = makeAllocator("bfpl")->allocate(Problems[I].P);
+    EXPECT_EQ(Batch[I].SpillCost, Direct.SpillCost);
+    EXPECT_EQ(Batch[I].Allocated, Direct.Allocated);
+    EXPECT_EQ(Again[I].SpillCost, Direct.SpillCost);
+  }
+  EXPECT_EQ(Driver.problemCacheSize(), 1u);
+  EXPECT_GT(Driver.problemCacheCounters().Evictions, 0u);
+}
+
+TEST(BatchDriverTest, TransparentReportsAreIdenticalHoweverWarmTheCache) {
+  Suite S = tinySuite(6, 77);
+  BatchJob Job;
+  Job.SuiteName = "tiny";
+  Job.SuiteData = &S;
+  Job.NumRegisters = 4;
+
+  auto Serialize = [](const DriverReport &R) {
+    return driverReportToJson(R, /*IncludeTiming=*/false,
+                              /*IncludeTasks=*/true)
+        .dump();
+  };
+
+  // Fresh driver, non-transparent: the baseline a one-shot run reports.
+  BatchDriver Fresh(2);
+  std::string Baseline = Serialize(Fresh.run({Job}));
+
+  // Warm driver in transparent mode: the same bytes, every time.
+  BatchDriver Warm(2);
+  std::string First = Serialize(Warm.run({Job}, /*CacheTransparent=*/true));
+  std::string Second = Serialize(Warm.run({Job}, /*CacheTransparent=*/true));
+  EXPECT_EQ(First, Baseline);
+  EXPECT_EQ(Second, Baseline);
+
+  // Without transparency the second run visibly hits the cache instead.
+  BatchDriver Plain(2);
+  Plain.run({Job});
+  std::string PlainSecond = Serialize(Plain.run({Job}));
+  EXPECT_NE(PlainSecond, Baseline);
+
+  // Transparency also hides the capacity bound (a fresh reference driver
+  // is unbounded), while the driver's real cache stays bounded.
+  BatchDriver Bounded(2);
+  Bounded.setCacheCapacity(2);
+  std::string BoundedFirst =
+      Serialize(Bounded.run({Job}, /*CacheTransparent=*/true));
+  std::string BoundedSecond =
+      Serialize(Bounded.run({Job}, /*CacheTransparent=*/true));
+  EXPECT_EQ(BoundedFirst, Baseline);
+  EXPECT_EQ(BoundedSecond, Baseline);
+  EXPECT_EQ(Bounded.pipelineCacheSize(), 2u);
+}
+
 TEST(BatchDriverTest, ReportSerializersProduceParseableShapes) {
   Suite S = tinySuite(3, 33);
   BatchJob Job;

@@ -1,0 +1,259 @@
+//===- tests/service/ProtocolTest.cpp - Wire-protocol tests ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frame encode/decode round trips, rejection of truncated / oversized /
+/// garbage frames, and request parsing.  Stream tests run over a
+/// socketpair, the same transport class the server sees.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "service/Client.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace layra;
+
+namespace {
+
+/// A connected socket pair; [0] plays the client, [1] the server.
+struct StreamPair {
+  SocketFd A, B;
+  StreamPair() {
+    int Fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+    A.reset(Fds[0]);
+    B.reset(Fds[1]);
+  }
+};
+
+} // namespace
+
+TEST(ProtocolTest, HeaderEncodesMagicAndBigEndianLength) {
+  std::string Header = encodeFrameHeader(0x0102A3u);
+  ASSERT_EQ(Header.size(), kFrameHeaderBytes);
+  EXPECT_EQ(Header.compare(0, 4, "LYRA"), 0);
+  EXPECT_EQ(static_cast<unsigned char>(Header[4]), 0x00);
+  EXPECT_EQ(static_cast<unsigned char>(Header[5]), 0x01);
+  EXPECT_EQ(static_cast<unsigned char>(Header[6]), 0x02);
+  EXPECT_EQ(static_cast<unsigned char>(Header[7]), 0xA3);
+}
+
+TEST(ProtocolTest, FrameRoundTripOverSocket) {
+  StreamPair S;
+  for (const std::string &Payload :
+       {std::string("{}"), std::string(""), std::string("{\"k\":\"v\"}"),
+        std::string(100000, 'x')}) {
+    ASSERT_TRUE(writeFrame(S.A.fd(), Payload));
+    std::string Got;
+    ASSERT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Ok);
+    EXPECT_EQ(Got, Payload);
+  }
+  // Several frames queued back-to-back arrive in order and undamaged.
+  ASSERT_TRUE(writeFrame(S.A.fd(), "first"));
+  ASSERT_TRUE(writeFrame(S.A.fd(), "second"));
+  std::string Got;
+  ASSERT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Ok);
+  EXPECT_EQ(Got, "first");
+  ASSERT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Ok);
+  EXPECT_EQ(Got, "second");
+}
+
+TEST(ProtocolTest, CleanCloseIsEof) {
+  StreamPair S;
+  S.A.reset();
+  std::string Got;
+  EXPECT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Eof);
+}
+
+TEST(ProtocolTest, TruncatedHeaderIsTruncated) {
+  StreamPair S;
+  ASSERT_TRUE(sendAll(S.A.fd(), "LYR", 3)); // Partial magic, then EOF.
+  S.A.reset();
+  std::string Got;
+  EXPECT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Truncated);
+}
+
+TEST(ProtocolTest, TruncatedPayloadIsTruncated) {
+  StreamPair S;
+  std::string Frame = encodeFrame("hello world");
+  ASSERT_TRUE(sendAll(S.A.fd(), Frame.data(), Frame.size() - 4));
+  S.A.reset();
+  std::string Got;
+  EXPECT_EQ(readFrame(S.B.fd(), Got), FrameStatus::Truncated);
+}
+
+TEST(ProtocolTest, GarbageMagicIsBadMagic) {
+  StreamPair S;
+  ASSERT_TRUE(sendAll(S.A.fd(), "GET / HTTP/1.1\r\n", 16));
+  std::string Got;
+  EXPECT_EQ(readFrame(S.B.fd(), Got), FrameStatus::BadMagic);
+}
+
+TEST(ProtocolTest, OversizedLengthIsRejectedWithoutAllocating) {
+  StreamPair S;
+  // Magic plus a 256 MiB length claim; only the header is ever sent.
+  std::string Header = "LYRA";
+  Header += static_cast<char>(0x10);
+  Header += '\0';
+  Header += '\0';
+  Header += '\0';
+  ASSERT_TRUE(sendAll(S.A.fd(), Header.data(), Header.size()));
+  std::string Got;
+  EXPECT_EQ(readFrame(S.B.fd(), Got, kDefaultMaxFrameBytes),
+            FrameStatus::Oversized);
+  EXPECT_TRUE(Got.empty()); // Nothing was buffered for the bogus length.
+  // A tighter per-server bound applies to honest frames too.
+  StreamPair S2;
+  ASSERT_TRUE(writeFrame(S2.A.fd(), std::string(2048, 'x')));
+  EXPECT_EQ(readFrame(S2.B.fd(), Got, /*MaxPayloadBytes=*/1024),
+            FrameStatus::Oversized);
+}
+
+TEST(ProtocolTest, ParsesAllocateRequest) {
+  ServiceRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":[4,8],"
+      "\"target\":\"armv7\",\"options\":{\"allocator\":\"lh\","
+      "\"max_rounds\":2,\"affinity\":false,\"fold\":false},"
+      "\"timing\":true,\"details\":true}",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.K, ServiceRequest::Kind::Allocate);
+  ASSERT_EQ(Req.Suites.size(), 1u);
+  EXPECT_EQ(Req.Suites[0], "eembc");
+  ASSERT_EQ(Req.Regs.size(), 2u);
+  EXPECT_EQ(Req.Regs[0], 4u);
+  EXPECT_EQ(Req.Regs[1], 8u);
+  EXPECT_EQ(Req.TargetName, "armv7");
+  EXPECT_EQ(Req.Options.AllocatorName, "lh");
+  EXPECT_EQ(Req.Options.MaxRounds, 2u);
+  EXPECT_FALSE(Req.Options.AffinityBias);
+  EXPECT_FALSE(Req.Options.FoldMemoryOperands);
+  EXPECT_TRUE(Req.Timing);
+  EXPECT_TRUE(Req.Details);
+
+  // Defaults: st231, bfpl, no timing, scalar regs accepted.
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"allocate\",\"suite\":[\"eembc\",\"lao-kernels\"],"
+      "\"regs\":6}",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.Suites.size(), 2u);
+  ASSERT_EQ(Req.Regs.size(), 1u);
+  EXPECT_EQ(Req.Regs[0], 6u);
+  EXPECT_EQ(Req.TargetName, "st231");
+  EXPECT_EQ(Req.Options.AllocatorName, "bfpl");
+  EXPECT_FALSE(Req.Timing);
+}
+
+TEST(ProtocolTest, ParsesPingStatsAndSubmitIr) {
+  ServiceRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseServiceRequest("{\"type\":\"ping\"}", Req, Error));
+  EXPECT_EQ(Req.K, ServiceRequest::Kind::Ping);
+  ASSERT_TRUE(parseServiceRequest("{\"type\":\"stats\"}", Req, Error));
+  EXPECT_EQ(Req.K, ServiceRequest::Kind::Stats);
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"submit_ir\",\"ir\":\"function f {...}\","
+      "\"name\":\"mine\",\"regs\":[4]}",
+      Req, Error))
+      << Error;
+  EXPECT_EQ(Req.K, ServiceRequest::Kind::SubmitIr);
+  EXPECT_EQ(Req.IrText, "function f {...}");
+  EXPECT_EQ(Req.Name, "mine");
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  ServiceRequest Req;
+  std::string Error;
+  const char *Bad[] = {
+      "",                                             // Not JSON.
+      "{",                                            // Malformed JSON.
+      "[1,2,3]",                                      // Not an object.
+      "{\"no_type\":1}",                              // Missing type.
+      "{\"type\":\"fly\"}",                           // Unknown type.
+      "{\"type\":\"allocate\"}",                      // Missing suite.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\"}",  // Missing regs.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":[]}",
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":[0]}",
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":[4096]}",
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":[4.5]}",
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"timing\":\"yes\"}",                          // Bool field as string.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"options\":{\"max_rounds\":0}}",              // Round bound.
+      "{\"type\":\"allocate\",\"suite\":17,\"regs\":[4]}",
+      "{\"type\":\"submit_ir\",\"regs\":[4]}",        // Missing ir.
+      "{\"type\":\"submit_ir\",\"ir\":\"\",\"regs\":[4]}",
+  };
+  for (const char *Text : Bad) {
+    Error.clear();
+    EXPECT_FALSE(parseServiceRequest(Text, Req, Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(ProtocolTest, ClientRequestBuildersRoundTripThroughParser) {
+  ServiceRequest Out;
+  Out.K = ServiceRequest::Kind::Allocate;
+  Out.Suites = {"eembc", "lao-kernels"};
+  Out.Regs = {4, 8, 12};
+  Out.TargetName = "armv7";
+  Out.Options.AllocatorName = "lh";
+  Out.Options.AffinityBias = false;
+  Out.Options.MaxRounds = 3;
+  Out.Timing = true;
+  Out.Details = true;
+
+  ServiceRequest In;
+  std::string Error;
+  ASSERT_TRUE(
+      parseServiceRequest(Client::makeAllocateRequest(Out), In, Error))
+      << Error;
+  EXPECT_EQ(In.K, ServiceRequest::Kind::Allocate);
+  EXPECT_EQ(In.Suites, Out.Suites);
+  EXPECT_EQ(In.Regs, Out.Regs);
+  EXPECT_EQ(In.TargetName, Out.TargetName);
+  EXPECT_EQ(In.Options.AllocatorName, Out.Options.AllocatorName);
+  EXPECT_EQ(In.Options.AffinityBias, Out.Options.AffinityBias);
+  EXPECT_EQ(In.Options.MaxRounds, Out.Options.MaxRounds);
+  EXPECT_EQ(In.Timing, Out.Timing);
+  EXPECT_EQ(In.Details, Out.Details);
+
+  Out.K = ServiceRequest::Kind::SubmitIr;
+  Out.IrText = "function g {\nentry:\n  ret\n}\n";
+  Out.Name = "handwritten";
+  ASSERT_TRUE(
+      parseServiceRequest(Client::makeSubmitIrRequest(Out), In, Error))
+      << Error;
+  EXPECT_EQ(In.K, ServiceRequest::Kind::SubmitIr);
+  EXPECT_EQ(In.IrText, Out.IrText);
+  EXPECT_EQ(In.Name, Out.Name);
+  EXPECT_EQ(In.Regs, Out.Regs);
+}
+
+TEST(ProtocolTest, ErrorAndPongResponsesAreWellFormed) {
+  JsonParseResult Error = parseJson(makeErrorResponse("boom \"quoted\""));
+  ASSERT_TRUE(Error.Ok);
+  EXPECT_EQ(Error.Value.find("schema")->stringValue(), kErrorSchema);
+  EXPECT_EQ(Error.Value.find("error")->stringValue(), "boom \"quoted\"");
+
+  JsonParseResult Pong = parseJson(makePongResponse());
+  ASSERT_TRUE(Pong.Ok);
+  EXPECT_EQ(Pong.Value.find("schema")->stringValue(), kPongSchema);
+  EXPECT_EQ(Pong.Value.find("protocol")->stringValue(),
+            kServeProtocolVersion);
+}

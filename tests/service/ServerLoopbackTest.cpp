@@ -1,0 +1,526 @@
+//===- tests/service/ServerLoopbackTest.cpp - Server e2e tests ------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests of the allocation server over loopback transports
+/// (Unix-domain and TCP), including the acceptance criterion of the
+/// service subsystem: with >= 4 concurrent clients, every response is
+/// byte-identical to a direct BatchDriver solve of the same jobs, cache
+/// hit counters increase strictly across repeated requests, and server
+/// memory stays bounded by the configured cache capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include "driver/BatchDriver.h"
+#include "driver/ReportIO.h"
+#include "ir/Parser.h"
+#include "service/Client.h"
+#include "support/Socket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace layra;
+
+namespace {
+
+/// Server-side pool width; reference drivers must match so the reports'
+/// "threads" field agrees.
+constexpr unsigned kServerThreads = 2;
+
+/// A scratch directory for Unix socket paths (socket paths have a ~108
+/// byte limit, so /tmp rather than a deep build tree).
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Template[] = "/tmp/layra-serve-test-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : "";
+  }
+  ~TempDir() {
+    if (!Path.empty())
+      ::rmdir(Path.c_str()); // Sockets inside are unlinked by the server.
+  }
+  std::string socketPath(const std::string &Name) const {
+    return Path + "/" + Name;
+  }
+};
+
+/// An allocate request over \p Regs of the lao-kernels suite (the
+/// smallest real suite: 12 tiny kernels).
+ServiceRequest allocateRequest(std::vector<unsigned> Regs,
+                               bool Details = false) {
+  ServiceRequest Req;
+  Req.K = ServiceRequest::Kind::Allocate;
+  Req.Suites = {"lao-kernels"};
+  Req.Regs = std::move(Regs);
+  Req.Details = Details;
+  return Req;
+}
+
+/// What a direct, fresh BatchDriver run of \p Req serializes: the byte
+/// string every server response must equal.
+std::string directReport(const ServiceRequest &Req) {
+  std::vector<BatchJob> Jobs;
+  const TargetDesc *Target = Req.TargetName == "armv7" ? &ARMv7 : &ST231;
+  for (const std::string &Name : Req.Suites)
+    for (unsigned Regs : Req.Regs) {
+      BatchJob Job;
+      Job.SuiteName = Name;
+      Job.Target = *Target;
+      Job.NumRegisters = Regs;
+      Job.Options = Req.Options;
+      Jobs.push_back(Job);
+    }
+  BatchDriver Driver(kServerThreads);
+  DriverReport Report = Driver.run(Jobs);
+  return driverReportToJson(Report, Req.Timing, Req.Details).dump(2) + "\n";
+}
+
+uint64_t statsCacheHits(Client &Conn) {
+  std::string Payload, Error;
+  EXPECT_TRUE(Conn.stats(Payload, &Error)) << Error;
+  JsonParseResult Parsed = parseJson(Payload);
+  EXPECT_TRUE(Parsed.Ok) << Parsed.Error;
+  const JsonValue *Cache = Parsed.Value.find("cache");
+  EXPECT_NE(Cache, nullptr);
+  return Cache && Cache->find("hits")
+             ? static_cast<uint64_t>(Cache->find("hits")->intValue())
+             : 0;
+}
+
+} // namespace
+
+TEST(ServerLoopbackTest, PingOverUnixAndTcp) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("ping.sock");
+  Opt.EnableTcp = true; // Ephemeral port.
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  ASSERT_NE(S.tcpPort(), 0);
+
+  Client Unix = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Unix.valid()) << Error;
+  EXPECT_TRUE(Unix.ping(&Error)) << Error;
+
+  Client Tcp = Client::connectToTcp("127.0.0.1", S.tcpPort(), &Error);
+  ASSERT_TRUE(Tcp.valid()) << Error;
+  EXPECT_TRUE(Tcp.ping(&Error)) << Error;
+
+  // connectToSpec spellings reach the same server.
+  Client Spec = Client::connectToSpec(
+      "tcp:127.0.0.1:" + std::to_string(S.tcpPort()), &Error);
+  ASSERT_TRUE(Spec.valid()) << Error;
+  EXPECT_TRUE(Spec.ping(&Error)) << Error;
+
+  S.requestStop();
+  S.wait();
+  EXPECT_FALSE(S.running());
+  // The socket file is gone after a drain.
+  struct stat Sb;
+  EXPECT_NE(::stat(Opt.UnixPath.c_str(), &Sb), 0);
+}
+
+TEST(ServerLoopbackTest, ResponsesMatchDirectDriverRunByteForByte) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("direct.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  // With and without per-task details; repeated to cover the warm cache.
+  for (bool Details : {false, true}) {
+    ServiceRequest Req = allocateRequest({4, 6}, Details);
+    std::string Expected = directReport(Req);
+    for (int Round = 0; Round < 3; ++Round) {
+      std::string Response;
+      ASSERT_TRUE(
+          Conn.call(Client::makeAllocateRequest(Req), Response, &Error))
+          << Error;
+      EXPECT_EQ(Response, Expected) << "details=" << Details
+                                    << " round=" << Round;
+    }
+  }
+}
+
+TEST(ServerLoopbackTest, FourConcurrentClientsSeeIdenticalDeterministicBytes) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("concurrent.sock");
+  Opt.Threads = kServerThreads;
+  Opt.QueueCapacity = 2; // Exercise backpressure while at it.
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // Four clients, each hammering its own register count; every reply must
+  // equal the direct-driver bytes for that request, no matter how the four
+  // streams interleave in the shared queue/cache.
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kRounds = 4;
+  std::vector<ServiceRequest> Requests;
+  std::vector<std::string> Expected;
+  for (unsigned C = 0; C < kClients; ++C) {
+    Requests.push_back(allocateRequest({3 + C}, /*Details=*/true));
+    Expected.push_back(directReport(Requests.back()));
+  }
+
+  std::vector<std::string> Failures(kClients);
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C < kClients; ++C)
+    Threads.emplace_back([&, C] {
+      std::string ClientError;
+      Client Conn = Client::connectToUnix(Opt.UnixPath, &ClientError);
+      if (!Conn.valid()) {
+        Failures[C] = "connect: " + ClientError;
+        return;
+      }
+      std::string Request = Client::makeAllocateRequest(Requests[C]);
+      std::string Response;
+      for (unsigned Round = 0; Round < kRounds; ++Round) {
+        if (!Conn.call(Request, Response, &ClientError)) {
+          Failures[C] = "call: " + ClientError;
+          return;
+        }
+        if (Response != Expected[C]) {
+          Failures[C] = "response bytes diverged on round " +
+                        std::to_string(Round);
+          return;
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (unsigned C = 0; C < kClients; ++C)
+    EXPECT_TRUE(Failures[C].empty()) << "client " << C << ": " << Failures[C];
+
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.RequestsAllocate, kClients * kRounds);
+  EXPECT_EQ(Stats.RequestsFailed, 0u);
+}
+
+TEST(ServerLoopbackTest, CacheHitCountersIncreaseStrictlyAcrossRepeats) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("hits.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+  std::string Request =
+      Client::makeAllocateRequest(allocateRequest({4, 5}));
+  std::string Response;
+
+  uint64_t Previous = statsCacheHits(Conn);
+  for (int Round = 0; Round < 3; ++Round) {
+    ASSERT_TRUE(Conn.call(Request, Response, &Error)) << Error;
+    uint64_t Hits = statsCacheHits(Conn);
+    // Round 0 may or may not hit (duplicate functions within the suite);
+    // every later round repeats known instances, so hits must strictly
+    // grow.
+    if (Round > 0) {
+      EXPECT_GT(Hits, Previous) << "round " << Round;
+    }
+    Previous = Hits;
+  }
+}
+
+TEST(ServerLoopbackTest, MemoryStaysBoundedByCacheCapacity) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("bounded.sock");
+  Opt.Threads = kServerThreads;
+  Opt.CacheCapacity = 8; // 12 kernels per request: must evict.
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+  std::string Response;
+  // Distinct register counts = distinct instances; far more than capacity.
+  for (unsigned Regs = 2; Regs <= 7; ++Regs) {
+    ServiceRequest Req = allocateRequest({Regs});
+    ASSERT_TRUE(
+        Conn.call(Client::makeAllocateRequest(Req), Response, &Error))
+        << Error;
+    // Responses stay correct (identical to a fresh unbounded driver) even
+    // while the bounded cache is churning.
+    EXPECT_EQ(Response, directReport(Req)) << "regs=" << Regs;
+  }
+
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.CacheCapacity, 8u);
+  EXPECT_LE(Stats.CacheEntries, 8u);
+  EXPECT_GT(Stats.CacheEvictions, 0u);
+}
+
+TEST(ServerLoopbackTest, SubmitIrMatchesDirectDriverAndRejectsBadIr) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("ir.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  const char *Ir = "function pressure {\n"
+                   "entry:  ; depth=0 freq=1\n"
+                   "  %a = op\n"
+                   "  %b = op\n"
+                   "  %c = op\n"
+                   "  %d = op %a, %b\n"
+                   "  %e = op %c, %d\n"
+                   "  ret %a, %b, %c, %d, %e\n"
+                   "}\n";
+  ServiceRequest Req;
+  Req.K = ServiceRequest::Kind::SubmitIr;
+  Req.IrText = Ir;
+  Req.Regs = {2, 3};
+  Req.Details = true;
+
+  std::string Response;
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+
+  // Reference: a direct driver run over the exact suite shape the server
+  // builds for a submission (suite "submitted", program = function name).
+  ParsedFunction Parsed = parseFunction(Ir);
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  Suite Sub;
+  Sub.Name = "submitted";
+  SuiteProgram Prog;
+  Prog.Name = Parsed.F.name();
+  Prog.Functions.push_back(std::move(Parsed.F));
+  Sub.Programs.push_back(std::move(Prog));
+  std::vector<BatchJob> Jobs;
+  for (unsigned Regs : Req.Regs) {
+    BatchJob Job;
+    Job.SuiteName = Sub.Name;
+    Job.SuiteData = &Sub;
+    Job.NumRegisters = Regs;
+    Jobs.push_back(Job);
+  }
+  BatchDriver Driver(kServerThreads);
+  std::string Expected =
+      driverReportToJson(Driver.run(Jobs), /*IncludeTiming=*/false,
+                         /*IncludeTasks=*/true)
+          .dump(2) +
+      "\n";
+  EXPECT_EQ(Response, Expected);
+
+  // Unparseable IR and non-SSA IR produce error responses, not a dead
+  // server.
+  Req.IrText = "function broken {";
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+  EXPECT_NE(Response.find("layra-serve-error/v1"), std::string::npos);
+  EXPECT_NE(Response.find("ir parse error"), std::string::npos);
+
+  Req.IrText = "function notssa {\n"
+               "entry:  ; depth=0 freq=1\n"
+               "  %a = op\n"
+               "  %a = op\n"
+               "  ret %a\n"
+               "}\n";
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+  EXPECT_NE(Response.find("layra-serve-error/v1"), std::string::npos);
+
+  // The connection still serves good requests afterwards.
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+}
+
+TEST(ServerLoopbackTest, MalformedTrafficGetsErrorsWithoutKillingServer) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("garbage.sock");
+  Opt.Threads = kServerThreads;
+  Opt.MaxFrameBytes = 4096;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // Bad JSON in a well-formed frame: error response, connection survives.
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+  std::string Response;
+  ASSERT_TRUE(Conn.call("this is not json", Response, &Error)) << Error;
+  EXPECT_NE(Response.find("layra-serve-error/v1"), std::string::npos);
+  ASSERT_TRUE(Conn.call("{\"type\":\"warp\"}", Response, &Error)) << Error;
+  EXPECT_NE(Response.find("unknown request type"), std::string::npos);
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+
+  // Unknown suite / allocator / target: semantic errors, same contract.
+  for (const char *Bad :
+       {"{\"type\":\"allocate\",\"suite\":\"no-such\",\"regs\":4}",
+        "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+        "\"options\":{\"allocator\":\"alchemy\"}}",
+        "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+        "\"target\":\"z80\"}"}) {
+    ASSERT_TRUE(Conn.call(Bad, Response, &Error)) << Error;
+    EXPECT_NE(Response.find("layra-serve-error/v1"), std::string::npos)
+        << Bad;
+  }
+
+  // Garbage bytes where a frame header belongs: one protocol-error
+  // response, then the server closes that connection -- and only that one.
+  SocketFd Raw = connectUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Raw.valid()) << Error;
+  ASSERT_TRUE(sendAll(Raw.fd(), "GET / HTTP/1.1\r\n\r\n", 18));
+  std::string Payload;
+  ASSERT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Ok);
+  EXPECT_NE(Payload.find("bad frame magic"), std::string::npos);
+  EXPECT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Eof);
+
+  // An oversized length claim: same pattern.
+  SocketFd Big = connectUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Big.valid()) << Error;
+  std::string Huge = "LYRA";
+  Huge += static_cast<char>(0x7F);
+  Huge.append(3, '\0');
+  ASSERT_TRUE(sendAll(Big.fd(), Huge.data(), Huge.size()));
+  ASSERT_EQ(readFrame(Big.fd(), Payload), FrameStatus::Ok);
+  EXPECT_NE(Payload.find("oversized frame"), std::string::npos);
+  EXPECT_EQ(readFrame(Big.fd(), Payload), FrameStatus::Eof);
+
+  // A peer that vanishes mid-frame must not wedge anything.
+  SocketFd Trunc = connectUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Trunc.valid()) << Error;
+  std::string Partial = encodeFrame("{\"type\":\"ping\"}");
+  Partial.resize(Partial.size() - 3);
+  ASSERT_TRUE(sendAll(Trunc.fd(), Partial.data(), Partial.size()));
+  Trunc.reset();
+
+  // The original connection is still healthy through all of it.
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+  ServerStats Stats = S.stats();
+  EXPECT_GT(Stats.RequestsFailed, 0u);
+}
+
+TEST(ServerLoopbackTest, UnixListenerRefusesToClobberFilesOrLiveServers) {
+  TempDir Dir;
+  std::string Error;
+
+  // A regular file at the socket path must survive a bind attempt.
+  std::string FilePath = Dir.socketPath("precious.txt");
+  {
+    std::FILE *F = std::fopen(FilePath.c_str(), "w");
+    ASSERT_NE(F, nullptr);
+    std::fputs("data", F);
+    std::fclose(F);
+  }
+  EXPECT_FALSE(listenUnix(FilePath, &Error).valid());
+  struct stat Sb;
+  ASSERT_EQ(::stat(FilePath.c_str(), &Sb), 0);
+  EXPECT_TRUE(S_ISREG(Sb.st_mode));
+  ::unlink(FilePath.c_str());
+
+  // A live server's socket must not be hijacked by a second listener...
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("live.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  EXPECT_FALSE(listenUnix(Opt.UnixPath, &Error).valid());
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+  S.requestStop();
+  S.wait();
+
+  // ...but a stale socket left by a dead server is replaced.
+  std::string StalePath = Dir.socketPath("stale.sock");
+  { SocketFd Dead = listenUnix(StalePath, &Error); }
+  // The listener fd is closed but the file remains; binding again works.
+  SocketFd Fresh = listenUnix(StalePath, &Error);
+  EXPECT_TRUE(Fresh.valid()) << Error;
+  ::unlink(StalePath.c_str());
+}
+
+TEST(ServerLoopbackTest, PipelinedRequestsAreAnsweredInOrder) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("pipeline.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // Raw socket: send a slow allocate, a malformed request, and a ping
+  // back-to-back before reading anything.  Responses must come back in
+  // request order -- the parse error must not overtake the allocate
+  // response.
+  SocketFd Raw = connectUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Raw.valid()) << Error;
+  ServiceRequest Slow = allocateRequest({4});
+  ASSERT_TRUE(
+      writeFrame(Raw.fd(), Client::makeAllocateRequest(Slow)));
+  ASSERT_TRUE(writeFrame(Raw.fd(), "definitely not json"));
+  ASSERT_TRUE(writeFrame(Raw.fd(), "{\"type\":\"ping\"}"));
+
+  std::string Payload;
+  ASSERT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Ok);
+  EXPECT_EQ(Payload, directReport(Slow));
+  ASSERT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Ok);
+  EXPECT_NE(Payload.find("layra-serve-error/v1"), std::string::npos);
+  ASSERT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Ok);
+  EXPECT_NE(Payload.find("layra-serve-pong/v1"), std::string::npos);
+}
+
+TEST(ServerLoopbackTest, GracefulStopDrainsAndDisconnects) {
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("drain.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // An idle connected client...
+  Client Idle = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Idle.valid()) << Error;
+  ASSERT_TRUE(Idle.ping(&Error)) << Error;
+
+  // ...sees EOF once the server drains.
+  S.requestStop();
+  S.wait();
+  EXPECT_FALSE(S.running());
+  std::string Response;
+  EXPECT_FALSE(Idle.call("{\"type\":\"ping\"}", Response, &Error));
+
+  // Stopping twice is fine.
+  S.requestStop();
+  S.wait();
+}

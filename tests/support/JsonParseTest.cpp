@@ -1,0 +1,203 @@
+//===- tests/support/JsonParseTest.cpp - JSON parser tests ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// parseJson() accepts exactly the documents the emitter can produce (plus
+/// the rest of RFC 8259) and turns every malformed input into an error with
+/// a position -- it feeds the service wire protocol, where crashing on
+/// garbage is not an option.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+
+JsonValue parseOk(const std::string &Text) {
+  JsonParseResult R = parseJson(Text);
+  EXPECT_TRUE(R.Ok) << Text << " -> " << R.Error;
+  return R.Value;
+}
+
+std::string parseError(const std::string &Text) {
+  JsonParseResult R = parseJson(Text);
+  EXPECT_FALSE(R.Ok) << Text << " unexpectedly parsed";
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_GE(R.Line, 1u);
+  EXPECT_GE(R.Column, 1u);
+  return R.Error;
+}
+
+} // namespace
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_EQ(parseOk("true").boolValue(), true);
+  EXPECT_EQ(parseOk("false").boolValue(true), false);
+  EXPECT_EQ(parseOk("42").intValue(), 42);
+  EXPECT_EQ(parseOk("-7").intValue(), -7);
+  EXPECT_EQ(parseOk("0").intValue(), 0);
+  EXPECT_DOUBLE_EQ(parseOk("0.5").numberValue(), 0.5);
+  EXPECT_DOUBLE_EQ(parseOk("-2.25e2").numberValue(), -225.0);
+  EXPECT_DOUBLE_EQ(parseOk("1E-3").numberValue(), 0.001);
+  EXPECT_EQ(parseOk("\"hi\"").stringValue(), "hi");
+  EXPECT_EQ(parseOk("  \t\r\n 7 \n").intValue(), 7);
+}
+
+TEST(JsonParseTest, IntVersusDouble) {
+  EXPECT_TRUE(parseOk("9007199254740993").isInt()); // Exact in 64-bit int.
+  EXPECT_TRUE(parseOk("1.0").isDouble());           // Fraction => double.
+  EXPECT_TRUE(parseOk("1e2").isDouble());           // Exponent => double.
+  // Beyond long long range falls back to double instead of erroring.
+  JsonValue Big = parseOk("123456789012345678901234567890");
+  EXPECT_TRUE(Big.isDouble());
+  EXPECT_GT(Big.numberValue(), 1e29);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parseOk("\"a\\\"b\"").stringValue(), "a\"b");
+  EXPECT_EQ(parseOk("\"a\\\\b\"").stringValue(), "a\\b");
+  EXPECT_EQ(parseOk("\"a\\/b\"").stringValue(), "a/b");
+  EXPECT_EQ(parseOk("\"\\b\\f\\n\\r\\t\"").stringValue(), "\b\f\n\r\t");
+  EXPECT_EQ(parseOk("\"\\u0041\"").stringValue(), "A");
+  EXPECT_EQ(parseOk("\"\\u00e9\"").stringValue(), "\xc3\xa9");   // é
+  EXPECT_EQ(parseOk("\"\\u2603\"").stringValue(), "\xe2\x98\x83"); // snowman
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").stringValue(),
+            "\xf0\x9f\x98\x80");
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parseOk("\"\xc3\xa9\"").stringValue(), "\xc3\xa9");
+}
+
+TEST(JsonParseTest, NestedStructure) {
+  JsonValue V = parseOk(
+      "{\"jobs\":[{\"suite\":\"eembc\",\"regs\":8,\"fit\":true},"
+      "{\"suite\":\"lao-kernels\",\"regs\":4,\"fit\":false}],"
+      "\"wall\":1.5,\"extra\":null}");
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *Jobs = V.find("jobs");
+  ASSERT_NE(Jobs, nullptr);
+  ASSERT_TRUE(Jobs->isArray());
+  ASSERT_EQ(Jobs->size(), 2u);
+  EXPECT_EQ(Jobs->at(0).find("suite")->stringValue(), "eembc");
+  EXPECT_EQ(Jobs->at(1).find("regs")->intValue(), 4);
+  EXPECT_EQ(Jobs->at(1).find("fit")->boolValue(true), false);
+  EXPECT_TRUE(V.find("extra")->isNull());
+  EXPECT_EQ(V.find("missing"), nullptr);
+  EXPECT_EQ(V.size(), 3u);
+}
+
+TEST(JsonParseTest, DeepNestingWithinLimit) {
+  std::string Deep;
+  for (int I = 0; I < 30; ++I)
+    Deep += "[";
+  Deep += "1";
+  for (int I = 0; I < 30; ++I)
+    Deep += "]";
+  JsonValue V = parseOk(Deep);
+  for (int I = 0; I < 30; ++I) {
+    ASSERT_TRUE(V.isArray());
+    ASSERT_EQ(V.size(), 1u);
+    V = V.at(0);
+  }
+  EXPECT_EQ(V.intValue(), 1);
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string Deep;
+  for (int I = 0; I < 200; ++I)
+    Deep += "[";
+  Deep += "1";
+  for (int I = 0; I < 200; ++I)
+    Deep += "]";
+  parseError(Deep);
+  // The same document parses with a larger explicit limit.
+  EXPECT_TRUE(parseJson(Deep, 400).Ok);
+}
+
+TEST(JsonParseTest, DuplicateKeysKeepLast) {
+  JsonValue V = parseOk("{\"a\":1,\"b\":2,\"a\":3}");
+  EXPECT_EQ(V.size(), 2u);
+  EXPECT_EQ(V.find("a")->intValue(), 3);
+}
+
+TEST(JsonParseTest, LargeObjectsParseInLinearTime) {
+  // Regression guard for the parser's indexed member insertion: 50k
+  // distinct keys would take ~1.25e9 string scans through the O(n^2)
+  // JsonValue::set path, versus a handful of milliseconds here.
+  std::string Doc = "{";
+  for (int I = 0; I < 50000; ++I) {
+    if (I)
+      Doc += ',';
+    Doc += "\"key" + std::to_string(I) + "\":" + std::to_string(I);
+  }
+  Doc += "}";
+  JsonParseResult R = parseJson(Doc);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.Value.size(), 50000u);
+  EXPECT_EQ(R.Value.find("key49999")->intValue(), 49999);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  parseError("");
+  parseError("   ");
+  parseError("{");
+  parseError("[1,2");
+  parseError("[1,]");
+  parseError("{\"a\":}");
+  parseError("{\"a\" 1}");
+  parseError("{a:1}");
+  parseError("{\"a\":1,}");
+  parseError("nul");
+  parseError("truex");
+  parseError("\"unterminated");
+  parseError("\"bad escape \\q\"");
+  parseError("\"truncated \\u12\"");
+  parseError("\"lone high \\ud83d\"");
+  parseError("\"lone low \\ude00\"");
+  parseError("\"ctrl \x01\"");
+  parseError("01");
+  parseError("-");
+  parseError("1.");
+  parseError("1e");
+  parseError(".5");
+  parseError("+1");
+  parseError("NaN");
+  parseError("Infinity");
+  parseError("1 2");
+  parseError("{} []");
+  parseError("[1] trailing");
+}
+
+TEST(JsonParseTest, ErrorPositionsPointAtProblem) {
+  JsonParseResult R = parseJson("{\"a\": 1,\n  \"b\": ]}");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Line, 2u);
+  EXPECT_EQ(R.Column, 8u); // The ']' on "  \"b\": ]}".
+}
+
+TEST(JsonParseTest, RoundTripsEmitterOutput) {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", "layra-driver-report/v1");
+  Doc.set("threads", 4);
+  Doc.set("wall", 12.375);
+  Doc.set("note", "line1\nline2\t\"quoted\"");
+  JsonValue Arr = JsonValue::array();
+  Arr.push(1).push(JsonValue(false)).push(JsonValue());
+  Doc.set("items", std::move(Arr));
+  for (unsigned Indent : {0u, 2u, 4u}) {
+    JsonParseResult R = parseJson(Doc.dump(Indent));
+    ASSERT_TRUE(R.Ok) << R.Error;
+    // Re-dumping the parsed tree reproduces the original bytes: the
+    // emitter and parser agree on every representable document.
+    EXPECT_EQ(R.Value.dump(Indent), Doc.dump(Indent));
+  }
+}
