@@ -55,15 +55,34 @@ FigureData layra::bench::measureFigure(const FigureSpec &Spec) {
   // never share results.)
   BatchDriver Driver(Spec.Threads);
 
+  // Instance structure (graph, constraints, intervals) is budget-
+  // independent: build every problem once at the first register count and
+  // re-budget per sweep point with withBudgets, which *shares* the
+  // immutable graph instead of re-deriving liveness + interference per R
+  // (and instead of the withRegisters-era full graph copy).
+  std::vector<NamedProblem> Problems =
+      Spec.ChordalPipeline
+          ? chordalProblems(S, Spec.Target, Spec.RegisterCounts[0])
+          : generalProblems(S, Spec.Target, Spec.RegisterCounts[0]);
+
   for (unsigned RIndex = 0; RIndex < Spec.RegisterCounts.size(); ++RIndex) {
     unsigned Regs = Spec.RegisterCounts[RIndex];
-    std::vector<NamedProblem> Problems =
-        Spec.ChordalPipeline ? chordalProblems(S, Spec.Target, Regs)
-                             : generalProblems(S, Spec.Target, Regs);
+    std::vector<AllocationProblem> Swept;
+    if (RIndex > 0) {
+      Swept.reserve(Problems.size());
+      for (NamedProblem &NP : Problems) {
+        // Sweep class 0, keep every other class's budget: preserves the
+        // class structure withBudgets requires, so multi-class suites
+        // sweep correctly too.
+        std::vector<unsigned> Budgets = NP.P.Budgets;
+        Budgets[0] = Regs;
+        Swept.push_back(NP.P.withBudgets(std::move(Budgets)));
+      }
+    }
     std::vector<const AllocationProblem *> Instances;
     Instances.reserve(Problems.size());
-    for (const NamedProblem &P : Problems)
-      Instances.push_back(&P.P);
+    for (size_t I = 0; I < Problems.size(); ++I)
+      Instances.push_back(RIndex > 0 ? &Swept[I] : &Problems[I].P);
 
     for (size_t A = 0; A < Data.AllocatorNames.size(); ++A) {
       const std::string &Name = Data.AllocatorNames[A];

@@ -44,7 +44,7 @@ int main() {
           AllocationResult Alloc =
               layeredAllocate(P, LayeredOptions::bfpl());
           std::vector<char> Spilled(Conv.Ssa.numValues(), 0);
-          for (VertexId V = 0; V < P.G.numVertices(); ++V)
+          for (VertexId V = 0; V < P.graph().numVertices(); ++V)
             Spilled[V] = Alloc.Allocated[V] ? 0 : 1;
           Function Rewritten = Conv.Ssa;
           SpillRewriteStats SpillStats = rewriteSpills(Rewritten, Spilled);

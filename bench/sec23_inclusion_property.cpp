@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <set>
 
 using namespace layra;
@@ -70,7 +71,8 @@ void sweepArbitrary(const NamedProblem &NP, unsigned Top,
   bool HavePrevious = false;
   // Downward sweep: spilled(R+1) must be contained in spilled(R).
   for (unsigned Regs = Top; Regs >= 1; --Regs) {
-    AllocationProblem P = NP.P.withRegisters(Regs);
+    // withBudgets shares the immutable graph across the whole sweep.
+    AllocationProblem P = NP.P.withBudgets({Regs});
     OptimalBnBAllocator BnB(10'000'000);
     AllocationResult Result = BnB.allocate(P);
     std::vector<VertexId> SpilledVec = Result.spilled();
@@ -94,16 +96,19 @@ void sweepNestedChain(const NamedProblem &NP, unsigned Top,
   bool AllHold = true;
   std::vector<char> PreviousAllocated;
   Weight PreviousSize = 0;
-  unsigned N = NP.P.G.numVertices();
+  unsigned N = NP.P.graph().numVertices();
 
   for (unsigned Regs = 1; Regs <= Top; ++Regs) {
-    AllocationProblem P = NP.P.withRegisters(Regs);
+    AllocationProblem P = NP.P.withBudgets({Regs});
     if (!PreviousAllocated.empty()) {
       // Lexicographic objective: weight first, overlap with the previous
-      // allocation second.
+      // allocation second.  The perturbed weights need a private graph --
+      // the sweep otherwise shares one immutable instance.
+      Graph Perturbed = NP.P.graph();
       for (VertexId V = 0; V < N; ++V)
-        P.G.setWeight(V, NP.P.G.weight(V) * (N + 1) +
-                             (PreviousAllocated[V] ? 1 : 0));
+        Perturbed.setWeight(V, NP.P.graph().weight(V) * (N + 1) +
+                                   (PreviousAllocated[V] ? 1 : 0));
+      P.G = std::make_shared<Graph>(std::move(Perturbed));
     }
     OptimalBnBAllocator BnB(10'000'000);
     AllocationResult Result = BnB.allocate(P);

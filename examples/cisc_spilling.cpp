@@ -119,7 +119,7 @@ int main() {
   for (const TargetDesc *Target : {&ST231, &X86_64}) {
     Function Rewritten = Conv.Ssa;
     std::vector<char> Spilled(Conv.Ssa.numValues(), 0);
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
       Spilled[V] = Alloc.Allocated[V] ? 0 : 1;
     SpillRewriteStats Stats = rewriteSpills(Rewritten, Spilled);
     ReloadCleanupStats Cleaned = eliminateRedundantReloads(Rewritten);

@@ -41,7 +41,7 @@ int main() {
   std::printf("method %s: %u blocks, %u variables, MaxLive=%u, "
               "interference %s\n\n",
               Method.name().c_str(), Method.numBlocks(), Method.numValues(),
-              P.maxLive(), isChordal(P.G) ? "chordal" : "NON-chordal");
+              P.maxLive(), isChordal(P.graph()) ? "chordal" : "NON-chordal");
 
   // Race the JIT allocators; a JIT also cares about allocation time.
   std::printf("%-8s %-12s %-10s\n", "alloc", "spill cost", "time");
@@ -60,7 +60,7 @@ int main() {
 
   // Materialise LH's decision as spill code.
   std::vector<char> Spilled(Method.numValues(), 0);
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
     Spilled[V] = Best.Allocated[V] ? 0 : 1;
   SpillRewriteStats Stats = rewriteSpills(Method, Spilled);
   std::printf("\nspill code inserted: %u stores, %u loads, %u stack slots\n",

@@ -49,7 +49,7 @@ int main(int ArgC, char **ArgV) {
   // Dump the graph with the optimal allocation at the sweet spot R = 4.
   AllocationProblem P = buildSsaProblem(Ssa.Ssa, ST231, 4);
   AllocationResult Optimal = makeAllocator("optimal")->allocate(P);
-  std::string Dot = P.G.toDot(Optimal.allocated());
+  std::string Dot = P.graph().toDot(Optimal.allocated());
   const char *Path = ArgC > 1 ? ArgV[1] : "kernel_interference.dot";
   if (std::FILE *Out = std::fopen(Path, "w")) {
     std::fputs(Dot.c_str(), Out);

@@ -13,15 +13,18 @@
 ///
 /// Usage:
 ///   layra_alloc_tool [--input FILE | --seed N] [--allocator NAME]
-///                    [--regs R] [--target st231|armv7|x86-64]
+///                    [--regs R] [--class-regs NAME:N[,NAME:N...]]
+///                    [--target NAME] [--list-targets]
 ///                    [--compare] [--emit] [--connect SPEC]
 ///
 ///   --input FILE   parse FILE (Function::toString() syntax; must be SSA)
 ///   --seed N       generate a random function instead (default seed 1)
 ///   --allocator    one of gc, nl, bl, fpl, bfpl, lh, ls, bls, optimal
 ///                  (default bfpl)
-///   --regs R       register count (default 4)
-///   --target       cost model / addressing modes (default st231)
+///   --regs R       register count for class 0 (default 4)
+///   --class-regs   per-class budget overrides by name, e.g. vfp:8
+///   --target       cost model / addressing modes / class table
+///                  (default st231); --list-targets prints the registry
 ///   --compare      additionally run every allocator and print a table
 ///   --emit         print the function with spill code inserted
 ///   --connect SPEC submit the function to a running layra-serve instead
@@ -39,6 +42,7 @@
 
 #include "ir/Parser.h"
 #include "service/Client.h"
+#include "support/ParseUtil.h"
 #include "support/Table.h"
 
 #include <cstdio>
@@ -56,6 +60,7 @@ struct ToolOptions {
   uint64_t Seed = 1;
   std::string AllocatorName = "bfpl";
   unsigned Regs = 4;
+  std::vector<ClassRegOverride> ClassRegs;
   std::string TargetName = "st231";
   bool Compare = false;
   bool Emit = false;
@@ -65,7 +70,8 @@ struct ToolOptions {
 void printUsageAndExit(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--input FILE | --seed N] [--allocator NAME] "
-               "[--regs R] [--target st231|armv7|x86-64] [--compare] "
+               "[--regs R] [--class-regs NAME:N[,NAME:N...]] "
+               "[--target NAME] [--list-targets] [--compare] "
                "[--emit] [--connect unix:PATH|tcp:HOST:PORT]\n",
                Argv0);
   std::exit(2);
@@ -87,8 +93,18 @@ bool parseArgs(int Argc, char **Argv, ToolOptions &Opt) {
       Opt.AllocatorName = Next();
     else if (Arg == "--regs")
       Opt.Regs = static_cast<unsigned>(std::strtoul(Next(), nullptr, 10));
-    else if (Arg == "--target")
+    else if (Arg == "--class-regs") {
+      std::string Error;
+      if (!parseClassRegList(Next(), 1024, Opt.ClassRegs, Error)) {
+        std::fprintf(stderr, "error: %s\n", Error.c_str());
+        std::exit(2);
+      }
+    } else if (Arg == "--target")
       Opt.TargetName = Next();
+    else if (Arg == "--list-targets") {
+      std::fputs(formatTargetList().c_str(), stdout);
+      std::exit(0);
+    }
     else if (Arg == "--compare")
       Opt.Compare = true;
     else if (Arg == "--emit")
@@ -174,6 +190,7 @@ int main(int Argc, char **Argv) {
     Req.K = ServiceRequest::Kind::SubmitIr;
     Req.IrText = F.toString();
     Req.Regs = {Opt.Regs};
+    Req.ClassRegs = Opt.ClassRegs;
     Req.TargetName = Opt.TargetName;
     Req.Options.AllocatorName = Opt.AllocatorName;
     Req.Details = true;
@@ -187,10 +204,27 @@ int main(int Argc, char **Argv) {
     return Client::isErrorResponse(Response) ? 1 : 0;
   }
 
-  AllocationProblem P = buildSsaProblem(F, *Target, Opt.Regs);
-  std::printf("function %s: %u blocks, %u values, MaxLive %u, R=%u (%s)\n",
+  if (std::string E = checkFunctionClasses(F, *Target); !E.empty()) {
+    std::fprintf(stderr, "error: %s\n", E.c_str());
+    return 1;
+  }
+  std::string BudgetError;
+  std::vector<unsigned> Budgets =
+      resolveClassBudgets(*Target, Opt.Regs, Opt.ClassRegs, &BudgetError);
+  if (Budgets.empty()) {
+    std::fprintf(stderr, "error: %s\n", BudgetError.c_str());
+    return 1;
+  }
+  AllocationProblem P = buildSsaProblem(F, *Target, Budgets);
+  // Display the budgets actually used, not the raw --regs value: a
+  // --class-regs override of class 0 wins over --regs.
+  std::string BudgetText = std::to_string(Budgets[0]);
+  for (unsigned C = 1; C < P.numClasses(); ++C)
+    BudgetText += "," + std::string(Target->regClass(C).Name) + ":" +
+                  std::to_string(Budgets[C]);
+  std::printf("function %s: %u blocks, %u values, MaxLive %u, R=%s (%s)\n",
               F.name().c_str(), F.numBlocks(), F.numValues(), P.maxLive(),
-              Opt.Regs, Target->Name);
+              BudgetText.c_str(), Target->Name);
 
   if (Opt.Compare) {
     Table T({"allocator", "allocated", "spilled", "spill cost", "optimal?"});
@@ -198,7 +232,7 @@ int main(int Argc, char **Argv) {
       if (Name == "brute")
         continue; // Exponential; meant for unit tests only.
       std::unique_ptr<Allocator> A = makeAllocator(Name);
-      AllocationResult Result = A->allocate(P);
+      AllocationResult Result = A->allocateProblem(P);
       T.addRow({Name, Table::num((long long)Result.allocated().size()),
                 Table::num((long long)Result.spilled().size()),
                 Table::num((long long)Result.SpillCost),
@@ -214,20 +248,20 @@ int main(int Argc, char **Argv) {
                  Opt.AllocatorName.c_str());
     return 1;
   }
-  AllocationResult Result = A->allocate(P);
+  AllocationResult Result = A->allocateProblem(P);
   std::printf("%s: spill cost %lld, %zu spilled of %u values%s\n",
               A->name(), static_cast<long long>(Result.SpillCost),
-              Result.spilled().size(), P.G.numVertices(),
+              Result.spilled().size(), P.graph().numVertices(),
               Result.Proven ? " (proven optimal)" : "");
   for (VertexId V : Result.spilled())
     std::printf("  spill %s (cost %lld)\n",
-                P.G.name(V).empty() ? ("%" + std::to_string(V)).c_str()
-                                    : P.G.name(V).c_str(),
-                static_cast<long long>(P.G.weight(V)));
+                P.graph().name(V).empty() ? ("%" + std::to_string(V)).c_str()
+                                    : P.graph().name(V).c_str(),
+                static_cast<long long>(P.graph().weight(V)));
 
   if (Opt.Emit) {
     std::vector<char> Spilled(F.numValues(), 0);
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
       Spilled[V] = Result.Allocated[V] ? 0 : 1;
     rewriteSpills(F, Spilled);
     foldMemoryOperands(F, *Target);

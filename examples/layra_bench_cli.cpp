@@ -13,15 +13,21 @@
 ///
 /// Usage:
 ///   layra-bench [--suite=NAME[,NAME...]] [--regs=LO..HI | --regs=A,B,C]
-///               [--threads=N] [--target=st231|armv7|x86-64]
+///               [--class-regs=NAME:N[,NAME:N...]] [--threads=N]
+///               [--target=NAME] [--list-targets]
 ///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
 ///               [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]
 ///               [--tasks-csv=FILE] [--details] [--no-timing]
 ///               [--workspace-stats] [--quiet]
 ///
 ///   --suite      suites to run (default eembc); names as in makeSuite()
-///   --regs       register counts, a range `4..16` or a list `1,2,4`
-///                (default 4..16)
+///   --regs       register counts for class 0, a range `4..16` or a list
+///                `1,2,4` (default 4..16); other register classes keep the
+///                target's architectural counts
+///   --class-regs per-class budget overrides by name, e.g. `vfp:8`
+///                (applied to every job of the sweep)
+///   --list-targets  print every known target with its register-class
+///                table and cost model, then exit
 ///   --threads    pool size; 0 = hardware concurrency (default 0)
 ///   --allocator  pipeline spiller per round (default bfpl)
 ///   --cache-cap  bound the driver's content-hash caches to N entries each
@@ -62,6 +68,7 @@ namespace {
 struct CliOptions {
   std::vector<std::string> Suites{"eembc"};
   std::vector<unsigned> Regs;
+  std::vector<ClassRegOverride> ClassRegs;
   unsigned Threads = 0;
   std::string TargetName = "st231";
   PipelineOptions Pipeline;
@@ -81,7 +88,8 @@ struct CliOptions {
   std::fprintf(
       stderr,
       "usage: %s [--suite=NAME[,NAME...]] [--regs=LO..HI|--regs=A,B,C]\n"
-      "          [--threads=N] [--target=st231|armv7|x86-64]\n"
+      "          [--class-regs=NAME:N[,NAME:N...]] [--threads=N]\n"
+      "          [--target=NAME] [--list-targets]\n"
       "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
       "          [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]\n"
       "          [--tasks-csv=FILE] [--details] [--no-timing]\n"
@@ -114,6 +122,13 @@ CliOptions parseArgs(int Argc, char **Argv) {
       std::string Error;
       if (!parseRegList(V, kMaxCliValue, Opt.Regs, Error))
         usage(Argv[0], Error.c_str());
+    } else if (const char *V = Value("--class-regs=")) {
+      std::string Error;
+      if (!parseClassRegList(V, kMaxCliValue, Opt.ClassRegs, Error))
+        usage(Argv[0], Error.c_str());
+    } else if (Arg == "--list-targets") {
+      std::fputs(formatTargetList().c_str(), stdout);
+      std::exit(0);
     } else if (const char *V = Value("--threads=")) {
       if (!parseBoundedUnsigned(V, kMaxCliValue, Opt.Threads))
         usage(Argv[0], "--threads must be an integer in [0, 1024]");
@@ -209,11 +224,32 @@ int main(int Argc, char **Argv) {
       usage(Argv[0], Error.c_str());
     }
 
+  // Class-regs overrides must name classes the target has; resolve once
+  // so a typo fails before any generation work.
+  if (!Opt.ClassRegs.empty()) {
+    std::string Error;
+    if (resolveClassBudgets(*Target, Opt.Regs.front(), Opt.ClassRegs,
+                            &Error)
+            .empty())
+      usage(Argv[0], Error.c_str());
+  }
+
   // Generate each suite once and share it across the register sweep.
   std::vector<Suite> Suites;
   Suites.reserve(Opt.Suites.size());
   for (const std::string &Name : Opt.Suites)
     Suites.push_back(makeSuite(Name));
+
+  // Multi-class suites (mixed-classes) need a target with those register
+  // files; fail with a message instead of a driver abort.
+  for (const Suite &S : Suites)
+    for (const SuiteProgram &Prog : S.Programs)
+      for (const Function &F : Prog.Functions)
+        if (std::string E = checkFunctionClasses(F, *Target); !E.empty()) {
+          E = "suite '" + S.Name + "': " + E +
+              "; pick a multi-class target (--list-targets)";
+          usage(Argv[0], E.c_str());
+        }
 
   std::vector<BatchJob> Jobs;
   for (const Suite &S : Suites)
@@ -223,6 +259,7 @@ int main(int Argc, char **Argv) {
       Job.SuiteData = &S;
       Job.Target = *Target;
       Job.NumRegisters = Regs;
+      Job.ClassRegs = Opt.ClassRegs;
       Job.Options = Opt.Pipeline;
       Jobs.push_back(Job);
     }

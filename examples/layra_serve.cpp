@@ -14,6 +14,7 @@
 ///
 /// Usage:
 ///   layra-serve [--unix=PATH] [--tcp=PORT] [--host=ADDR] [--threads=N]
+///               [--list-targets]
 ///               [--cache-cap=N] [--queue-cap=N] [--max-conns=N]
 ///               [--max-frame=BYTES] [--quiet]
 ///
@@ -45,6 +46,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/Server.h"
+#include "ir/Target.h"
 #include "support/ParseUtil.h"
 
 #include <cerrno>
@@ -64,7 +66,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--unix=PATH] [--tcp=PORT] [--host=ADDR]\n"
                "          [--threads=N] [--cache-cap=N] [--queue-cap=N]\n"
-               "          [--max-conns=N] [--max-frame=BYTES] [--quiet]\n",
+               "          [--max-conns=N] [--max-frame=BYTES]\n"
+               "          [--list-targets] [--quiet]\n",
                Argv0);
   std::exit(2);
 }
@@ -94,6 +97,12 @@ int main(int Argc, char **Argv) {
         return nullptr;
       return Arg.c_str() + Len;
     };
+    if (Arg == "--list-targets") {
+      // Shared registry (ir/Target.h): identical output across the three
+      // CLIs, including each target's register-class table.
+      std::fputs(formatTargetList().c_str(), stdout);
+      return 0;
+    }
     if (const char *V = Value("--unix=")) {
       Opt.UnixPath = V;
       if (Opt.UnixPath.empty())

@@ -86,14 +86,14 @@ int main() {
   // 3. The spill-everywhere instance for 2 registers on the ST231 model.
   AllocationProblem P = buildSsaProblem(Ssa.Ssa, ST231, /*NumRegisters=*/2);
   std::printf("interference graph: %u values, %zu edges, MaxLive=%u\n\n",
-              P.G.numVertices(), P.G.numEdges(), P.maxLive());
+              P.graph().numVertices(), P.graph().numEdges(), P.maxLive());
 
   // 4. Compare allocators.
   for (const char *Name : {"bfpl", "gc", "optimal"}) {
     AllocationResult Result = makeAllocator(Name)->allocate(P);
     std::printf("%-8s spill cost %-6lld spilled:", Name, Result.SpillCost);
     for (VertexId V : Result.spilled())
-      std::printf(" %s", P.G.name(V).c_str());
+      std::printf(" %s", P.graph().name(V).c_str());
     std::printf("\n");
   }
 
@@ -102,9 +102,9 @@ int main() {
   Assignment Regs = assignRegisters(P, Best.Allocated);
   std::printf("\nassignment (%u registers used, success=%d):\n",
               Regs.RegistersUsed, Regs.Success);
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
     if (Regs.RegisterOf[V] != Assignment::kNoRegister)
-      std::printf("  %-8s -> r%u\n", P.G.name(V).c_str(),
+      std::printf("  %-8s -> r%u\n", P.graph().name(V).c_str(),
                   Regs.RegisterOf[V]);
   return 0;
 }

@@ -47,6 +47,17 @@ public:
     return allocate(P);
   }
 
+  /// Class-aware entry point -- what the pipeline and the batch driver
+  /// call.  Single-class instances go straight to allocate() (identical
+  /// results, identical cost).  Multi-class instances decompose exactly
+  /// into independent per-class subproblems -- classes never share a
+  /// pressure constraint -- which are each solved with this allocator and
+  /// merged; Proven holds iff every class's solve proved optimality, and
+  /// since the objective is additive across classes the merged result is
+  /// optimal whenever the parts are.
+  AllocationResult allocateProblem(const AllocationProblem &P,
+                                   SolverWorkspace *WS = nullptr);
+
   /// Short name as used in the paper's figures.
   virtual const char *name() const = 0;
 };

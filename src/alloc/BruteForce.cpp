@@ -12,20 +12,21 @@
 using namespace layra;
 
 AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
-  unsigned N = P.G.numVertices();
+  unsigned N = P.graph().numVertices();
   if (N > 24)
     layraFatalError("brute-force allocator limited to 24 vertices");
-  unsigned R = P.NumRegisters;
 
-  std::vector<uint32_t> ConstraintMask;
+  // Budgets are per constraint (multi-class instances carry one budget per
+  // class; single-class instances one uniform R).
+  std::vector<std::pair<uint32_t, unsigned>> ConstraintMask;
   ConstraintMask.reserve(P.Constraints.size());
-  for (const auto &K : P.Constraints) {
-    if (K.size() <= R)
+  for (const PressureConstraint &K : P.Constraints) {
+    if (K.Members.size() <= K.Budget)
       continue; // Never binding.
     uint32_t Mask = 0;
-    for (VertexId V : K)
+    for (VertexId V : K.Members)
       Mask |= uint32_t(1) << V;
-    ConstraintMask.push_back(Mask);
+    ConstraintMask.push_back({Mask, K.Budget});
   }
 
   uint32_t BestSet = 0;
@@ -33,8 +34,8 @@ AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
   for (uint64_t Subset = 0; Subset < (uint64_t(1) << N); ++Subset) {
     uint32_t Bits = static_cast<uint32_t>(Subset);
     bool Feasible = true;
-    for (uint32_t Mask : ConstraintMask)
-      if (layraPopcount(Bits & Mask) > static_cast<int>(R)) {
+    for (const auto &[Mask, Budget] : ConstraintMask)
+      if (layraPopcount(Bits & Mask) > static_cast<int>(Budget)) {
         Feasible = false;
         break;
       }
@@ -43,7 +44,7 @@ AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
     Weight W = 0;
     for (unsigned V = 0; V < N; ++V)
       if (Bits & (uint32_t(1) << V))
-        W += P.G.weight(V);
+        W += P.graph().weight(V);
     if (W > BestWeight) {
       BestWeight = W;
       BestSet = Bits;
@@ -54,7 +55,7 @@ AllocationResult BruteForceAllocator::allocate(const AllocationProblem &P) {
   for (unsigned V = 0; V < N; ++V)
     if (BestSet & (uint32_t(1) << V))
       Flags[V] = 1;
-  AllocationResult Result = AllocationResult::fromFlags(P.G, std::move(Flags));
+  AllocationResult Result = AllocationResult::fromFlags(P.graph(), std::move(Flags));
   Result.Proven = true;
   return Result;
 }

@@ -12,9 +12,9 @@
 using namespace layra;
 
 AllocationResult GraphColoringAllocator::allocate(const AllocationProblem &P) {
-  const Graph &G = P.G;
+  const Graph &G = P.graph();
   unsigned N = G.numVertices();
-  unsigned R = P.NumRegisters;
+  unsigned R = P.uniformBudget();
 
   // --- Simplify phase -----------------------------------------------------
   // CurrentDegree tracks degrees in the shrinking subgraph.

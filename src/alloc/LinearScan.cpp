@@ -17,9 +17,9 @@ AllocationResult LinearScanAllocator::allocate(const AllocationProblem &P) {
   if (!P.Intervals)
     layraFatalError("linear scan requires live intervals on the problem");
   const LiveIntervalTable &Table = *P.Intervals;
-  unsigned R = P.NumRegisters;
+  unsigned R = P.uniformBudget();
 
-  std::vector<char> Flags(P.G.numVertices(), 0);
+  std::vector<char> Flags(P.graph().numVertices(), 0);
   // Active list kept sorted by increasing End (classic linear scan).
   std::vector<LiveInterval> Active;
 
@@ -97,5 +97,5 @@ AllocationResult LinearScanAllocator::allocate(const AllocationProblem &P) {
     InsertActive(Current);
   }
 
-  return AllocationResult::fromFlags(P.G, std::move(Flags));
+  return AllocationResult::fromFlags(P.graph(), std::move(Flags));
 }

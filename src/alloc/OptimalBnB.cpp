@@ -237,34 +237,44 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P) {
 
 AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
                                                SolverWorkspace *WS) {
-  const Graph &G = P.G;
+  const Graph &G = P.graph();
   unsigned N = G.numVertices();
-  unsigned R = P.NumRegisters;
   NodesUsed = 0;
 
   // --- Preprocessing ------------------------------------------------------
-  // Only constraints with more than R members can bind.  Drop constraints
-  // contained in other binding constraints (same bound => implied).
-  std::vector<std::vector<VertexId>> Binding;
-  for (const auto &K : P.Constraints)
-    if (K.size() > R) {
-      std::vector<VertexId> Sorted = K;
-      std::sort(Sorted.begin(), Sorted.end());
-      Binding.push_back(std::move(Sorted));
+  // Budgets are per constraint (the multi-class generalization: one budget
+  // per register class; single-class instances carry one uniform R).  Only
+  // constraints with more members than budget can bind.  Drop constraints
+  // contained in other binding constraints: overlapping constraints always
+  // belong to the same class (classes partition the vertices), so their
+  // bounds agree and the superset implies the subset.
+  struct BindingConstraint {
+    std::vector<VertexId> Members; // Sorted.
+    unsigned Budget = 0;
+  };
+  std::vector<BindingConstraint> Binding;
+  for (const PressureConstraint &K : P.Constraints)
+    if (K.Members.size() > K.Budget) {
+      BindingConstraint B;
+      B.Members = K.Members;
+      B.Budget = K.Budget;
+      std::sort(B.Members.begin(), B.Members.end());
+      Binding.push_back(std::move(B));
     }
   std::sort(Binding.begin(), Binding.end(),
-            [](const std::vector<VertexId> &A, const std::vector<VertexId> &B) {
-              return A.size() > B.size();
+            [](const BindingConstraint &A, const BindingConstraint &B) {
+              return A.Members.size() > B.Members.size();
             });
   {
-    std::vector<std::vector<VertexId>> Kept;
+    std::vector<BindingConstraint> Kept;
     std::vector<std::vector<unsigned>> KeptOf(N);
-    for (auto &K : Binding) {
+    for (BindingConstraint &K : Binding) {
       bool Subset = false;
-      for (unsigned Idx : KeptOf[K.front()]) {
-        const auto &S = Kept[Idx];
-        if (S.size() >= K.size() &&
-            std::includes(S.begin(), S.end(), K.begin(), K.end())) {
+      for (unsigned Idx : KeptOf[K.Members.front()]) {
+        const BindingConstraint &S = Kept[Idx];
+        if (S.Members.size() >= K.Members.size() &&
+            std::includes(S.Members.begin(), S.Members.end(),
+                          K.Members.begin(), K.Members.end())) {
           Subset = true;
           break;
         }
@@ -272,7 +282,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
       if (Subset)
         continue;
       unsigned Idx = static_cast<unsigned>(Kept.size());
-      for (VertexId V : K)
+      for (VertexId V : K.Members)
         KeptOf[V].push_back(Idx);
       Kept.push_back(std::move(K));
     }
@@ -283,7 +293,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
   std::vector<char> Flags(N, 0);
   std::vector<std::vector<unsigned>> BindingOf(N);
   for (unsigned K = 0; K < Binding.size(); ++K)
-    for (VertexId V : Binding[K])
+    for (VertexId V : Binding[K].Members)
       BindingOf[V].push_back(K);
   for (VertexId V = 0; V < N; ++V)
     if (BindingOf[V].empty())
@@ -302,7 +312,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
     while (!Work.empty()) {
       unsigned K = Work.back();
       Work.pop_back();
-      for (VertexId V : Binding[K]) {
+      for (VertexId V : Binding[K].Members) {
         CompOfVertex[V] = Comp;
         for (unsigned K2 : BindingOf[V])
           if (CompOfConstraint[K2] == -1) {
@@ -314,12 +324,17 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
   }
 
   // Warm start from the paper's own heuristics: their near-optimality (the
-  // paper's very point) keeps the exactness proof shallow.
-  std::vector<char> Warm;
-  if (P.Chordal)
-    Warm = layeredAllocate(P, LayeredOptions::bfpl(), WS).Allocated;
-  else
-    Warm = layeredHeuristicAllocate(P, WS).Allocation.Allocated;
+  // paper's very point) keeps the exactness proof shallow.  The layered
+  // family speaks one uniform budget, so multi-class instances skip the
+  // warm start (they reach this solver directly only from tests and the
+  // decomposition cross-checks; the all-spilled incumbent is still valid).
+  std::vector<char> Warm(N, 0);
+  if (!P.multiClass()) {
+    if (P.Chordal)
+      Warm = layeredAllocate(P, LayeredOptions::bfpl(), WS).Allocated;
+    else
+      Warm = layeredHeuristicAllocate(P, WS).Allocation.Allocated;
+  }
 
   // Program-order locality key: PEO position for chordal instances, index
   // of the first containing constraint otherwise (the interference builder
@@ -331,14 +346,21 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
     Locality = P.Peo.Position;
   } else {
     for (unsigned K = 0; K < P.Constraints.size(); ++K)
-      for (VertexId V : P.Constraints[K])
+      for (VertexId V : P.Constraints[K].Members)
         Locality[V] = std::min(Locality[V], K);
   }
+
+  // Every constraint of a component shares one register class (constraints
+  // sharing a vertex share its class), hence one budget.
+  std::vector<unsigned> CompBudget(NumComponents, 0);
+  for (unsigned K = 0; K < Binding.size(); ++K)
+    CompBudget[CompOfConstraint[K]] = Binding[K].Budget;
 
   // --- Solve each component ------------------------------------------------
   uint64_t Budget = NodeLimit;
   bool Proven = true;
   for (int Comp = 0; Comp < NumComponents; ++Comp) {
+    unsigned R = CompBudget[Comp];
     std::vector<VertexId> CompVertices;
     for (VertexId V = 0; V < N; ++V)
       if (CompOfVertex[V] == Comp)
@@ -353,11 +375,11 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
       Graph Sub = G.inducedSubgraph(CompVertices);
       AllocationProblem SubP =
           AllocationProblem::fromChordalGraph(std::move(Sub), R, WS);
-      std::vector<char> FullMask(SubP.G.numVertices(), 1);
+      std::vector<char> FullMask(SubP.graph().numVertices(), 1);
       if (estimateBoundedLayerStates(SubP, FullMask, R) <= kDpStateLimit) {
-        std::vector<Weight> W(SubP.G.numVertices());
-        for (VertexId V = 0; V < SubP.G.numVertices(); ++V)
-          W[V] = SubP.G.weight(V);
+        std::vector<Weight> W(SubP.graph().numVertices());
+        for (VertexId V = 0; V < SubP.graph().numVertices(); ++V)
+          W[V] = SubP.graph().weight(V);
         for (VertexId Local : optimalBoundedLayer(SubP, FullMask, W, R, WS))
           Flags[CompVertices[Local]] = 1;
         continue;
@@ -381,7 +403,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
           continue;
         IlpConstraint Row;
         Row.Capacity = R;
-        for (VertexId V : Binding[K])
+        for (VertexId V : Binding[K].Members)
           Row.Vars.push_back(LocalOf[V]);
         Instance.Constraints.push_back(std::move(Row));
       }
@@ -415,7 +437,7 @@ AllocationResult OptimalBnBAllocator::allocate(const AllocationProblem &P,
         continue;
       unsigned Local = C.NumConstraints++;
       C.MembersOf.emplace_back();
-      for (VertexId V : Binding[K]) {
+      for (VertexId V : Binding[K].Members) {
         C.ConstraintsOf[LocalOf[V]].push_back(Local);
         C.MembersOf[Local].push_back(LocalOf[V]);
       }

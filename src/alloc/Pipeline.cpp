@@ -21,6 +21,15 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
                                             unsigned NumRegisters,
                                             const PipelineOptions &Options,
                                             SolverWorkspace *WS) {
+  std::vector<unsigned> Budgets =
+      resolveClassBudgets(Target, NumRegisters, {});
+  return runAllocationPipeline(F, Target, Budgets, Options, WS);
+}
+
+PipelineResult layra::runAllocationPipeline(
+    const Function &F, const TargetDesc &Target,
+    const std::vector<unsigned> &Budgets, const PipelineOptions &Options,
+    SolverWorkspace *WS) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "pipeline requires strict SSA input");
   WorkspaceOrLocal LocalScope(WS);
@@ -40,25 +49,29 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
   for (unsigned Round = 0; Round < Options.MaxRounds; ++Round) {
     ++Out.Rounds;
     AllocationProblem P =
-        buildSsaProblem(Out.Rewritten, Target, NumRegisters, WS);
-    if (P.maxLive() <= NumRegisters)
-      break; // Fits already; nothing to spill this round.
+        buildSsaProblem(Out.Rewritten, Target, Budgets, WS);
+    if (P.fitsBudgets())
+      break; // Every class fits already; nothing to spill this round.
 
-    AllocationResult Result = Alloc->allocate(P, WS);
+    // allocateProblem decomposes multi-class instances per register class;
+    // single-class instances take the historical direct path.
+    AllocationResult Result = Alloc->allocateProblem(P, WS);
     // Pin-aware spill set: never re-spill a pinned value.
     std::vector<char> &Spilled =
         WS->acquire(WS->Pipeline.Spilled, Out.Rewritten.numValues(), char(0));
     unsigned NumSpilled = 0;
-    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
       if (Result.Allocated[V] || (V < Pinned.size() && Pinned[V]))
         continue;
       Spilled[V] = 1;
-      Out.TotalSpillCost += P.G.weight(V);
+      Out.TotalSpillCost += P.graph().weight(V);
       ++NumSpilled;
     }
     if (NumSpilled == 0)
       break; // Allocator found nothing (more) to spill.
 
+    // One rewrite covers every class's spills; reload temporaries inherit
+    // their value's class (ir/SpillRewriter.cpp).
     SpillRewriteStats Stats = rewriteSpills(Out.Rewritten, Spilled);
     Out.Spills.NumLoads += Stats.NumLoads;
     Out.Spills.NumStores += Stats.NumStores;
@@ -78,9 +91,10 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
 
   // Final assignment over whatever still lives in registers.
   AllocationProblem P =
-      buildSsaProblem(Out.Rewritten, Target, NumRegisters, WS);
-  AllocationResult Final = Alloc->allocate(P, WS);
+      buildSsaProblem(Out.Rewritten, Target, Budgets, WS);
+  AllocationResult Final = Alloc->allocateProblem(P, WS);
   Out.FinalMaxLive = P.maxLive();
+  bool FinalFits = P.fitsBudgets();
 
   std::vector<Affinity> Affinities = collectAffinities(Out.Rewritten);
   Out.Regs = Options.AffinityBias
@@ -89,8 +103,7 @@ PipelineResult layra::runAllocationPipeline(const Function &F,
   Out.TotalSpillCost += Final.SpillCost;
   Out.RemainingCopyCost =
       remainingCopyCost(Affinities, Final.Allocated, Out.Regs.RegisterOf);
-  Out.Fits = Out.FinalMaxLive <= NumRegisters ||
-             (Final.SpillCost == 0 && Out.Regs.Success);
+  Out.Fits = FinalFits || (Final.SpillCost == 0 && Out.Regs.Success);
   Out.Fits = Out.Fits && Out.Regs.Success;
   return Out;
 }

@@ -70,7 +70,9 @@ struct PipelineResult {
   bool Fits = false;
 };
 
-/// Runs the full decoupled pipeline on strict-SSA \p F.
+/// Runs the full decoupled pipeline on strict-SSA \p F with \p NumRegisters
+/// registers in class 0 and the target's architectural counts in any other
+/// class (ir/Target.h register classes).
 /// \pre verifyFunction(F, /*ExpectSsa=*/true).
 ///
 /// \p WS optionally supplies the solver scratch shared by every round's
@@ -81,6 +83,17 @@ struct PipelineResult {
 PipelineResult runAllocationPipeline(const Function &F,
                                      const TargetDesc &Target,
                                      unsigned NumRegisters,
+                                     const PipelineOptions &Options = {},
+                                     SolverWorkspace *WS = nullptr);
+
+/// Per-class budget form: \p Budgets holds one register count per target
+/// class (resolveClassBudgets).  Each round allocates every class -- the
+/// allocator decomposes multi-class instances per class -- and rewrites
+/// all spills at once; spill temporaries inherit their value's class, so
+/// reload pressure stays within the file that caused it.
+PipelineResult runAllocationPipeline(const Function &F,
+                                     const TargetDesc &Target,
+                                     const std::vector<unsigned> &Budgets,
                                      const PipelineOptions &Options = {},
                                      SolverWorkspace *WS = nullptr);
 

@@ -7,11 +7,20 @@
 ///
 /// \file
 /// The decoupled spill-everywhere allocation problem (paper §2): given an
-/// interference graph with spill-cost weights and R registers, choose the
-/// maximum-weight set of variables to *keep in registers* such that no more
-/// than R of them are simultaneously live anywhere.  "Simultaneously live"
-/// is captured by point constraints: the maximal cliques for chordal (SSA)
-/// instances, the per-program-point live sets for general instances.
+/// interference graph with spill-cost weights and per-class register
+/// budgets, choose the maximum-weight set of variables to *keep in
+/// registers* such that no more than the class budget of them are
+/// simultaneously live anywhere.  "Simultaneously live" is captured by
+/// pressure constraints -- (class, budget, members) triples: the maximal
+/// cliques for chordal (SSA) instances, the per-program-point live sets for
+/// general instances.  Values of different register classes never share a
+/// constraint (they cannot compete for a register), which is what makes the
+/// multi-class problem decompose exactly into independent per-class
+/// subproblems (Bouchez et al.: the structure is per pressure constraint).
+///
+/// Single-class instances -- everything the paper evaluates -- are the
+/// special case Budgets == {R} with every constraint owned by class 0; all
+/// solvers treat that case exactly as the historical scalar formulation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,7 +30,9 @@
 #include "graph/Chordal.h"
 #include "graph/Graph.h"
 #include "ir/LiveIntervals.h"
+#include "ir/Target.h"
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,49 +40,131 @@ namespace layra {
 
 class SolverWorkspace;
 
+/// One pressure constraint: at most \p Budget of \p Members may stay in
+/// registers (all members belong to register class \p Class).
+struct PressureConstraint {
+  std::vector<VertexId> Members;
+  RegClassId Class = 0;
+  unsigned Budget = 0;
+
+  bool operator==(const PressureConstraint &Other) const {
+    return Class == Other.Class && Budget == Other.Budget &&
+           Members == Other.Members;
+  }
+  bool operator!=(const PressureConstraint &Other) const {
+    return !(*this == Other);
+  }
+};
+
 /// One spill-everywhere instance.
 struct AllocationProblem {
-  /// Interference graph; vertex weights are spill costs.
-  Graph G;
-  /// Number of machine registers.
-  unsigned NumRegisters = 0;
-  /// Point constraints: each lists vertices that are simultaneously live at
-  /// some program point; a feasible allocation keeps at most NumRegisters of
-  /// each.  For chordal instances these are exactly the maximal cliques of
-  /// G.  Every vertex appears in at least one constraint.
-  std::vector<std::vector<VertexId>> Constraints;
-  /// True when G is chordal and Constraints are its maximal cliques.
+  /// Interference graph; vertex weights are spill costs.  Shared and
+  /// immutable: withBudgets() re-budgets an instance for a register sweep
+  /// without copying the graph (the constraint structure and the graph are
+  /// budget-independent).
+  std::shared_ptr<const Graph> G;
+  /// Register budget per class; Budgets[0] is the default class.  Size 1
+  /// for single-class instances.
+  std::vector<unsigned> Budgets;
+  /// Register class of each vertex (sized numVertices; all 0 on
+  /// single-class instances).
+  std::vector<RegClassId> ClassOf;
+  /// Pressure constraints; every vertex appears in at least one.  For
+  /// chordal instances the Members lists are exactly the maximal cliques
+  /// of G (mirrored in Cliques.Cliques, same order).
+  std::vector<PressureConstraint> Constraints;
+  /// True when G is chordal and the constraints are its maximal cliques.
   bool Chordal = false;
   /// Perfect elimination order (chordal instances only).
   EliminationOrder Peo;
   /// Clique bookkeeping (chordal instances only): Cliques.Cliques mirrors
-  /// Constraints; CliquesOf supports the fixed-point allocator.
+  /// Constraints[i].Members; CliquesOf supports the fixed-point allocator.
   CliqueCover Cliques;
   /// Flattened live intervals (instances derived from a function); linear
   /// scan allocators require these.
   std::optional<LiveIntervalTable> Intervals;
 
-  /// Builds a chordal instance from a chordal graph: computes the PEO (MCS)
-  /// and the maximal cliques.  Aborts if \p G is not chordal.  \p WS
-  /// optionally supplies the chordal-machinery scratch; the built problem
-  /// never aliases workspace memory.
+  const Graph &graph() const { return *G; }
+
+  unsigned numClasses() const {
+    return static_cast<unsigned>(Budgets.size());
+  }
+  bool multiClass() const { return Budgets.size() > 1; }
+
+  /// Register class of vertex \p V.
+  RegClassId classOf(VertexId V) const {
+    return V < ClassOf.size() ? ClassOf[V] : 0;
+  }
+
+  /// Budget of class \p C.
+  unsigned budgetOf(RegClassId C) const {
+    assert(C < Budgets.size() && "class id out of range");
+    return Budgets[C];
+  }
+
+  /// The single budget of a single-class instance.  Solvers built around
+  /// one uniform register file (the layered family, linear scan, graph
+  /// coloring) call this; multi-class instances reach them only through
+  /// the per-class decomposition in Allocator::allocateProblem.
+  unsigned uniformBudget() const {
+    assert(!multiClass() && "uniform-budget solver fed a multi-class "
+                            "instance; route through allocateProblem");
+    return Budgets.empty() ? 0 : Budgets[0];
+  }
+
+  /// Builds a single-class chordal instance from a chordal graph: computes
+  /// the PEO (MCS) and the maximal cliques.  Aborts if \p G is not
+  /// chordal.  \p WS optionally supplies the chordal-machinery scratch;
+  /// the built problem never aliases workspace memory.
   static AllocationProblem fromChordalGraph(Graph G, unsigned NumRegisters,
                                             SolverWorkspace *WS = nullptr);
 
-  /// Builds a general instance: \p PointLiveSets become the constraints
-  /// (vertices missing from every set get a singleton constraint so the
-  /// problem covers them).
+  /// Multi-class variant: \p ClassOf tags each vertex, \p Budgets holds
+  /// one budget per class.  Cross-class vertices must not be adjacent in
+  /// \p G (interference construction guarantees it); every maximal clique
+  /// then lies within one class and becomes that class's constraint.
+  static AllocationProblem fromChordalGraph(Graph G,
+                                            std::vector<unsigned> Budgets,
+                                            std::vector<RegClassId> ClassOf,
+                                            SolverWorkspace *WS = nullptr);
+
+  /// Builds a single-class general instance: \p PointLiveSets become the
+  /// constraints (vertices missing from every set get a singleton
+  /// constraint so the problem covers them).
   static AllocationProblem
   fromGeneralGraph(Graph G, unsigned NumRegisters,
                    std::vector<std::vector<VertexId>> PointLiveSets);
 
-  /// MaxLive of the instance: the size of the largest constraint.
+  /// Multi-class variant: each point live set is split per class before it
+  /// becomes constraints (values of different files never pressure each
+  /// other), with per-class deduplication.
+  static AllocationProblem
+  fromGeneralGraph(Graph G, std::vector<unsigned> Budgets,
+                   std::vector<RegClassId> ClassOf,
+                   std::vector<std::vector<VertexId>> PointLiveSets);
+
+  /// MaxLive of the instance: the size of the largest constraint (largest
+  /// per-class pressure on multi-class instances).
   unsigned maxLive() const;
 
-  /// Returns a copy of this problem with a different register count
-  /// (constraint structure is R-independent, so this is cheap apart from
-  /// the graph copy).
-  AllocationProblem withRegisters(unsigned NewR) const;
+  /// True when every constraint fits its budget -- the "no spilling
+  /// needed" test, per class.
+  bool fitsBudgets() const;
+
+  /// Returns a copy of this problem with different per-class budgets.
+  /// The graph is *shared*, not copied: constraint structure is
+  /// budget-independent, so a register sweep re-budgets one immutable
+  /// instance (the historical withRegisters copied the full graph per
+  /// sweep point).
+  AllocationProblem withBudgets(std::vector<unsigned> NewBudgets) const;
+
+  /// Extracts the independent single-class subproblem of class \p C.
+  /// \p ToGlobal receives the local-vertex -> global-vertex map.  The
+  /// subproblem owns its graph and intervals.  Classes with no vertices
+  /// yield an empty problem (0 vertices).
+  AllocationProblem projectClass(RegClassId C,
+                                 std::vector<VertexId> &ToGlobal,
+                                 SolverWorkspace *WS = nullptr) const;
 };
 
 /// Outcome of an allocator run.
@@ -99,9 +192,9 @@ struct AllocationResult {
   static AllocationResult fromFlags(const Graph &G, std::vector<char> Flags);
 };
 
-/// Checks feasibility: every constraint keeps at most NumRegisters allocated
-/// vertices.  For chordal instances this is exactly R-colorability of the
-/// induced subgraph.
+/// Checks feasibility: every constraint keeps at most its budget of
+/// allocated vertices.  For chordal single-class instances this is exactly
+/// R-colorability of the induced subgraph.
 bool isFeasibleAllocation(const AllocationProblem &P,
                           const std::vector<char> &Allocated);
 

@@ -15,9 +15,11 @@ using namespace layra;
 
 Assignment layra::assignRegisters(const AllocationProblem &P,
                                   const std::vector<char> &Allocated) {
-  assert(Allocated.size() == P.G.numVertices() && "flag size mismatch");
+  assert(Allocated.size() == P.graph().numVertices() && "flag size mismatch");
   Assignment Out;
-  Out.RegisterOf.assign(P.G.numVertices(), Assignment::kNoRegister);
+  Out.RegisterOf.assign(P.graph().numVertices(), Assignment::kNoRegister);
+  Out.ClassOf.assign(P.ClassOf.begin(), P.ClassOf.end());
+  Out.ClassOf.resize(P.graph().numVertices(), 0);
 
   // Color allocated vertices greedily in reverse elimination order.  For a
   // chordal instance P.Peo restricted to the allocated set is a PEO of the
@@ -29,12 +31,12 @@ Assignment layra::assignRegisters(const AllocationProblem &P,
       if (Allocated[*It])
         Sequence.push_back(*It);
   } else {
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
       if (Allocated[V])
         Sequence.push_back(V);
     std::sort(Sequence.begin(), Sequence.end(), [&](VertexId A, VertexId B) {
-      if (P.G.degree(A) != P.G.degree(B))
-        return P.G.degree(A) > P.G.degree(B);
+      if (P.graph().degree(A) != P.graph().degree(B))
+        return P.graph().degree(A) > P.graph().degree(B);
       return A < B;
     });
   }
@@ -42,8 +44,8 @@ Assignment layra::assignRegisters(const AllocationProblem &P,
   std::vector<char> Used;
   Out.Success = true;
   for (VertexId V : Sequence) {
-    Used.assign(P.G.degree(V) + 1, 0);
-    for (VertexId U : P.G.neighbors(V)) {
+    Used.assign(P.graph().degree(V) + 1, 0);
+    for (VertexId U : P.graph().neighbors(V)) {
       unsigned Reg = Out.RegisterOf[U];
       if (Reg != Assignment::kNoRegister && Reg < Used.size())
         Used[Reg] = 1;
@@ -53,7 +55,10 @@ Assignment layra::assignRegisters(const AllocationProblem &P,
       ++Reg;
     Out.RegisterOf[V] = Reg;
     Out.RegistersUsed = std::max(Out.RegistersUsed, Reg + 1);
-    Out.Success &= Reg < P.NumRegisters;
+    // The index counts within V's own file: neighbors are same-class by
+    // construction (cross-class values never interfere), so the greedy
+    // scan colors each class independently against its own budget.
+    Out.Success &= Reg < P.budgetOf(P.classOf(V));
   }
   return Out;
 }

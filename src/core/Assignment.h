@@ -22,13 +22,22 @@
 
 namespace layra {
 
-/// Register assignment for the allocated vertices.
+/// Register assignment for the allocated vertices.  A concrete register is
+/// a (class, index) pair: RegisterOf[V] is the index *within* class
+/// ClassOf[V]'s file (r3 of the GPR file and s3 of the VFP file are
+/// different machine registers).  Single-class instances have ClassOf all
+/// zero and the historical flat-index reading.
 struct Assignment {
-  /// Register index per vertex; kNoRegister for spilled vertices.
+  /// Register index per vertex (within the vertex's class); kNoRegister
+  /// for spilled vertices.
   std::vector<unsigned> RegisterOf;
-  /// Number of distinct registers used (<= NumRegisters on success).
+  /// Register class per vertex (copied from the problem).
+  std::vector<RegClassId> ClassOf;
+  /// Max over classes of distinct register indices used (<= the class
+  /// budget on success).
   unsigned RegistersUsed = 0;
-  /// True when every allocated vertex received a register < NumRegisters.
+  /// True when every allocated vertex received an index below its class's
+  /// budget.
   bool Success = false;
 
   static constexpr unsigned kNoRegister = ~0u;

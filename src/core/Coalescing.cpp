@@ -17,6 +17,10 @@ std::vector<Affinity> layra::collectAffinities(const Function &F) {
   auto Note = [&](ValueId A, ValueId B, Weight Benefit) {
     if (A == B || A == kNoValue || B == kNoValue)
       return;
+    // A cross-class copy is a conversion between register files: the two
+    // values can never share a register, so it is not an affinity.
+    if (F.valueClass(A) != F.valueClass(B))
+      return;
     if (A > B)
       std::swap(A, B);
     Merged[{A, B}] += Benefit;
@@ -152,15 +156,17 @@ layra::coalesceConservative(const Graph &G,
 Assignment layra::assignRegistersBiased(
     const AllocationProblem &P, const std::vector<char> &Allocated,
     const std::vector<Affinity> &Affinities) {
-  assert(Allocated.size() == P.G.numVertices() && "flag size mismatch");
+  assert(Allocated.size() == P.graph().numVertices() && "flag size mismatch");
   Assignment Out;
-  Out.RegisterOf.assign(P.G.numVertices(), Assignment::kNoRegister);
+  Out.RegisterOf.assign(P.graph().numVertices(), Assignment::kNoRegister);
+  Out.ClassOf.assign(P.ClassOf.begin(), P.ClassOf.end());
+  Out.ClassOf.resize(P.graph().numVertices(), 0);
 
   // Affinity adjacency with benefits, for the color preference.
   std::vector<std::vector<std::pair<VertexId, Weight>>> Wants(
-      P.G.numVertices());
+      P.graph().numVertices());
   for (const Affinity &A : Affinities) {
-    if (A.A >= P.G.numVertices() || A.B >= P.G.numVertices())
+    if (A.A >= P.graph().numVertices() || A.B >= P.graph().numVertices())
       continue;
     Wants[A.A].push_back({A.B, A.Benefit});
     Wants[A.B].push_back({A.A, A.Benefit});
@@ -172,7 +178,7 @@ Assignment layra::assignRegistersBiased(
       if (Allocated[*It])
         Sequence.push_back(*It);
   } else {
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
       if (Allocated[V])
         Sequence.push_back(V);
   }
@@ -181,10 +187,11 @@ Assignment layra::assignRegistersBiased(
   std::vector<Weight> Preference;
   Out.Success = true;
   for (VertexId V : Sequence) {
-    unsigned Budget = std::max(P.NumRegisters, P.G.degree(V) + 1);
+    unsigned Budget =
+        std::max(P.budgetOf(P.classOf(V)), P.graph().degree(V) + 1);
     Used.assign(Budget, 0);
     Preference.assign(Budget, 0);
-    for (VertexId U : P.G.neighbors(V)) {
+    for (VertexId U : P.graph().neighbors(V)) {
       unsigned Reg = Out.RegisterOf[U];
       if (Reg != Assignment::kNoRegister && Reg < Used.size())
         Used[Reg] = 1;
@@ -206,7 +213,7 @@ Assignment layra::assignRegistersBiased(
     assert(BestReg != ~0u && "no free register within degree+1 budget");
     Out.RegisterOf[V] = BestReg;
     Out.RegistersUsed = std::max(Out.RegistersUsed, BestReg + 1);
-    Out.Success &= BestReg < P.NumRegisters;
+    Out.Success &= BestReg < P.budgetOf(P.classOf(V));
   }
   return Out;
 }

@@ -37,9 +37,9 @@ struct LayeredState {
                SolverWorkspace &WS)
       : P(P), Opt(Opt), WS(WS),
         Candidates(
-            WS.acquire(WS.Layered.Candidates, P.G.numVertices(), char(1))),
+            WS.acquire(WS.Layered.Candidates, P.graph().numVertices(), char(1))),
         Allocated(
-            WS.acquire(WS.Layered.Allocated, P.G.numVertices(), char(0))),
+            WS.acquire(WS.Layered.Allocated, P.graph().numVertices(), char(0))),
         PerClique(WS.acquire(WS.Layered.PerClique, P.Cliques.numCliques(), 0u)),
         CliqueClosed(WS.acquire(WS.Layered.CliqueClosed,
                                 P.Cliques.numCliques(), char(0))) {}
@@ -50,19 +50,19 @@ struct LayeredState {
   /// allocation removes more interference among the remaining candidates.
   /// Fills the workspace weight buffer in place.
   const std::vector<Weight> &layerWeights() {
-    unsigned N = P.G.numVertices();
+    unsigned N = P.graph().numVertices();
     std::vector<Weight> &W = WS.acquire(WS.Layered.LayerWeights, N, Weight(0));
     for (VertexId V = 0; V < N; ++V) {
       if (!Candidates[V])
         continue;
       if (!Opt.Biased) {
-        W[V] = P.G.weight(V);
+        W[V] = P.graph().weight(V);
         continue;
       }
       Weight Degree = 0;
-      for (VertexId U : P.G.neighbors(V))
+      for (VertexId U : P.graph().neighbors(V))
         Degree += Candidates[U] ? 1 : 0;
-      W[V] = P.G.weight(V) * static_cast<Weight>(N) + Degree;
+      W[V] = P.graph().weight(V) * static_cast<Weight>(N) + Degree;
     }
     return W;
   }
@@ -73,10 +73,10 @@ struct LayeredState {
   std::vector<VertexId> computeLayer(unsigned Bound) {
     const std::vector<Weight> &W = layerWeights();
     if (Bound == 1)
-      return maximumWeightedStableSetChordal(P.G, P.Peo, W, Candidates, &WS)
+      return maximumWeightedStableSetChordal(P.graph(), P.Peo, W, Candidates, &WS)
           .Set;
     if (!StepTreeBuilt) {
-      StepTree = buildCliqueTree(P.G, P.Cliques);
+      StepTree = buildCliqueTree(P.graph(), P.Cliques);
       StepTreeBuilt = true;
     }
     return optimalBoundedLayer(P, Candidates, W, Bound, &WS, &StepTree);
@@ -99,7 +99,7 @@ struct LayeredState {
       for (unsigned C : P.Cliques.CliquesOf[V]) {
         if (CliqueClosed[C])
           continue;
-        if (++PerClique[C] < P.NumRegisters)
+        if (++PerClique[C] < P.uniformBudget())
           continue;
         CliqueClosed[C] = 1;
         for (VertexId U : P.Cliques.Cliques[C])
@@ -121,7 +121,7 @@ AllocationResult layra::layeredAllocate(const AllocationProblem &P,
   WS = LocalScope.get();
 
   LayeredState S(P, Options, *WS);
-  unsigned R = P.NumRegisters;
+  unsigned R = P.uniformBudget();
 
   // Phase 1 (paper Algorithm 2): stack optimal layers until R registers are
   // filled.  Each layer raises every clique's allocated count by at most the
@@ -163,7 +163,7 @@ AllocationResult layra::layeredAllocate(const AllocationProblem &P,
   // The result owns its flags: copy them out of the workspace buffer at
   // exact size so the arena keeps its capacity for the next run.
   AllocationResult Result = AllocationResult::fromFlags(
-      P.G, std::vector<char>(S.Allocated.begin(), S.Allocated.end()));
+      P.graph(), std::vector<char>(S.Allocated.begin(), S.Allocated.end()));
   assert(isFeasibleAllocation(P, Result.Allocated) &&
          "layered allocation violated a clique constraint");
   return Result;

@@ -68,7 +68,7 @@ std::vector<Cluster> layra::clusterVertices(const Graph &G,
 LayeredHeuristicResult
 layra::layeredHeuristicAllocate(const AllocationProblem &P,
                                 SolverWorkspace *WS) {
-  std::vector<Cluster> Clusters = clusterVertices(P.G, WS);
+  std::vector<Cluster> Clusters = clusterVertices(P.graph(), WS);
 
   LayeredHeuristicResult Out;
   Out.NumClusters = static_cast<unsigned>(Clusters.size());
@@ -79,17 +79,17 @@ layra::layeredHeuristicAllocate(const AllocationProblem &P,
                    [](const Cluster &A, const Cluster &B) {
                      return A.TotalWeight > B.TotalWeight;
                    });
-  if (Clusters.size() > P.NumRegisters)
-    Clusters.resize(P.NumRegisters);
+  if (Clusters.size() > P.uniformBudget())
+    Clusters.resize(P.uniformBudget());
 
-  std::vector<char> Flags(P.G.numVertices(), 0);
-  Out.RegisterOf.assign(P.G.numVertices(),
+  std::vector<char> Flags(P.graph().numVertices(), 0);
+  Out.RegisterOf.assign(P.graph().numVertices(),
                         LayeredHeuristicResult::kNoRegister);
   for (unsigned Reg = 0; Reg < Clusters.size(); ++Reg)
     for (VertexId V : Clusters[Reg].Members) {
       Flags[V] = 1;
       Out.RegisterOf[V] = Reg;
     }
-  Out.Allocation = AllocationResult::fromFlags(P.G, std::move(Flags));
+  Out.Allocation = AllocationResult::fromFlags(P.graph(), std::move(Flags));
   return Out;
 }

@@ -7,8 +7,15 @@
 ///
 /// \file
 /// Builds AllocationProblems from IR functions: liveness, spill costs,
-/// interference graph, point constraints and live intervals in one call.
+/// interference graph, pressure constraints and live intervals in one call.
 /// This is the front door of the library for compiler-derived instances.
+///
+/// Register classes: every entry point exists in a scalar form (budget for
+/// class 0; any other classes get the target's architectural counts) and a
+/// vector form (one budget per target class).  The built problem is
+/// trimmed to the classes the function actually uses, so a class-0-only
+/// function on a multi-class target yields the identical single-class
+/// instance it always did.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,15 +26,24 @@
 #include "ir/Program.h"
 #include "ir/Target.h"
 
+#include <vector>
+
 namespace layra {
 
 class SolverWorkspace;
 
 /// Builds a *chordal* instance from a strict-SSA function: the interference
-/// graph of SSA code is chordal and its maximal cliques are the maximal live
-/// sets.  Aborts (via the chordality check) if \p F is not in SSA form.
+/// graph of SSA code is chordal and its maximal cliques are the maximal
+/// per-class live sets.  Aborts (via the chordality check) if \p F is not
+/// in SSA form.
 AllocationProblem buildSsaProblem(const Function &F, const TargetDesc &Target,
                                   unsigned NumRegisters,
+                                  SolverWorkspace *WS = nullptr);
+
+/// Vector-budget form: \p Budgets holds one register count per target
+/// class (resolveClassBudgets in ir/Target.h).
+AllocationProblem buildSsaProblem(const Function &F, const TargetDesc &Target,
+                                  const std::vector<unsigned> &Budgets,
                                   SolverWorkspace *WS = nullptr);
 
 /// Builds a *general* instance from any function (typically non-SSA, as in
@@ -37,6 +53,11 @@ AllocationProblem buildSsaProblem(const Function &F, const TargetDesc &Target,
 AllocationProblem buildGeneralProblem(const Function &F,
                                       const TargetDesc &Target,
                                       unsigned NumRegisters);
+
+/// Vector-budget form of buildGeneralProblem.
+AllocationProblem buildGeneralProblem(const Function &F,
+                                      const TargetDesc &Target,
+                                      const std::vector<unsigned> &Budgets);
 
 } // namespace layra
 

@@ -65,6 +65,9 @@ void SolverWorkspace::releaseMemory() {
   release(Interference.Point);
   release(Interference.Entry);
 
+  release(ClassSplit.ToGlobal);
+  release(ClassSplit.MergedFlags);
+
   LastClearedCapacity.clear();
   Stats = WorkspaceStats();
 }

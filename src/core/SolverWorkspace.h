@@ -236,6 +236,15 @@ public:
     std::vector<VertexId> Entry;
   } Interference;
 
+  /// Per-class decomposition of multi-class instances
+  /// (Allocator::allocateProblem): the local->global vertex map of the
+  /// class being solved and the merged allocation flags.  Single-class
+  /// solves never touch these.
+  struct ClassSplitScratch {
+    std::vector<VertexId> ToGlobal;
+    std::vector<char> MergedFlags;
+  } ClassSplit;
+
   /// Frees every retained buffer (capacity included) and zeroes the stats.
   /// For long-lived owners that want to give arena memory back between
   /// batches; never required for correctness.

@@ -98,15 +98,15 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
                            SolverWorkspace *WS, const CliqueTree *Tree) {
   assert(P.Chordal && "bounded layers require a chordal instance");
   assert(Bound >= 1 && "bound must be positive");
-  assert(Mask.size() == P.G.numVertices() && "mask size mismatch");
-  assert(Weights.size() == P.G.numVertices() && "weights size mismatch");
+  assert(Mask.size() == P.graph().numVertices() && "mask size mismatch");
+  assert(Weights.size() == P.graph().numVertices() && "weights size mismatch");
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
 
   const CliqueCover &Cover = P.Cliques;
   CliqueTree OwnTree;
   if (!Tree) {
-    OwnTree = buildCliqueTree(P.G, Cover);
+    OwnTree = buildCliqueTree(P.graph(), Cover);
     Tree = &OwnTree;
   }
   unsigned NumNodes = Cover.numCliques();
@@ -235,7 +235,7 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
   // Reconstruction: pick the best root states and walk choices down via the
   // projection maps.
   std::vector<char> &Selected =
-      WS->acquire(WS->Step.Selected, P.G.numVertices(), char(0));
+      WS->acquire(WS->Step.Selected, P.graph().numVertices(), char(0));
   auto &Work = WS->acquireCleared(WS->Step.Work); // (node, chosen mask)
   for (unsigned C = 0; C < NumNodes; ++C) {
     if (Tree->Parent[C] != ~0u)
@@ -266,7 +266,7 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
   }
 
   std::vector<VertexId> Out;
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
     if (Selected[V])
       Out.push_back(V);
   return Out;

@@ -77,6 +77,15 @@ uint64_t layra::hashFunction(const Function &F) {
         H = mix(H, static_cast<uint64_t>(static_cast<int64_t>(Slot)));
     }
   }
+  // Register classes partition the values and change every layer's view of
+  // the function.  Mixed only when present so every historical
+  // (single-class) key -- including the ones committed in golden reports --
+  // is preserved bit-for-bit.
+  if (F.maxValueClass() > 0) {
+    H = mix(H, 0x636c6173736573ULL); // "classes"
+    for (ValueId V = 0; V < F.numValues(); ++V)
+      H = mix(H, F.valueClass(V));
+  }
   return H;
 }
 
@@ -90,37 +99,62 @@ uint64_t layra::hashPipelineTask(uint64_t FunctionHash,
                                  const TargetDesc &Target,
                                  unsigned NumRegisters,
                                  const PipelineOptions &Options) {
+  return hashPipelineTask(FunctionHash, Target,
+                          resolveClassBudgets(Target, NumRegisters, {}),
+                          Options);
+}
+
+uint64_t layra::hashPipelineTask(uint64_t FunctionHash,
+                                 const TargetDesc &Target,
+                                 const std::vector<unsigned> &Budgets,
+                                 const PipelineOptions &Options) {
   uint64_t H = FunctionHash;
-  // The target enters the pipeline only through its cost model and
-  // addressing-mode geometry; the name is cosmetic.
+  // The target enters the pipeline only through its cost model, its
+  // addressing-mode geometry and its class budgets; the name is cosmetic.
   H = mix(H, static_cast<uint64_t>(Target.LoadCost));
   H = mix(H, static_cast<uint64_t>(Target.StoreCost));
   H = mix(H, Target.MaxMemOperands);
   H = mix(H, static_cast<uint64_t>(Target.MemOperandCost));
-  H = mix(H, NumRegisters);
+  H = mix(H, Budgets.empty() ? 0 : Budgets[0]);
   H = mixString(H, Options.AllocatorName);
   H = mix(H, Options.AffinityBias ? 1 : 0);
   H = mix(H, Options.MaxRounds);
   H = mix(H, Options.FoldMemoryOperands ? 1 : 0);
+  // Extra class budgets are mixed only when present, preserving every
+  // scalar-era (single-class) key bit-for-bit.
+  if (Budgets.size() > 1) {
+    H = mix(H, Budgets.size());
+    for (size_t C = 1; C < Budgets.size(); ++C)
+      H = mix(H, Budgets[C]);
+  }
   return H;
 }
 
 uint64_t layra::hashProblem(const AllocationProblem &P) {
   uint64_t H = 0x6c617972612d6870ULL; // "layra-hp"
-  H = mix(H, P.NumRegisters);
+  H = mix(H, P.Budgets[0]);
+  // Multi-class identity (extra budgets, vertex classes) is mixed only
+  // when present: single-class instances keep their historical keys.
+  if (P.multiClass()) {
+    H = mix(H, P.Budgets.size());
+    for (unsigned C = 1; C < P.Budgets.size(); ++C)
+      H = mix(H, P.Budgets[C]);
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
+      H = mix(H, P.classOf(V));
+  }
   H = mix(H, P.Chordal ? 1 : 0);
-  H = mix(H, P.G.numVertices());
-  for (VertexId V = 0; V < P.G.numVertices(); ++V) {
-    H = mix(H, static_cast<uint64_t>(P.G.weight(V)));
-    const std::vector<VertexId> &Neighbors = P.G.neighbors(V);
+  H = mix(H, P.graph().numVertices());
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
+    H = mix(H, static_cast<uint64_t>(P.graph().weight(V)));
+    const std::vector<VertexId> &Neighbors = P.graph().neighbors(V);
     H = mix(H, Neighbors.size());
     for (VertexId N : Neighbors)
       H = mix(H, N);
   }
   H = mix(H, P.Constraints.size());
-  for (const std::vector<VertexId> &K : P.Constraints) {
-    H = mix(H, K.size());
-    for (VertexId V : K)
+  for (const PressureConstraint &K : P.Constraints) {
+    H = mix(H, K.Members.size());
+    for (VertexId V : K.Members)
       H = mix(H, V);
   }
   // Linear-scan allocators consume the interval layout, which is not
@@ -229,6 +263,9 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   };
 
   Report.Jobs.resize(Jobs.size());
+  // Per-class budgets of each job, resolved once (class 0 = NumRegisters,
+  // others architectural, --class-regs overrides applied).
+  std::vector<std::vector<unsigned>> JobBudgets(Jobs.size());
   for (size_t JI = 0; JI < Jobs.size(); ++JI) {
     const BatchJob &Job = Jobs[JI];
     const Suite &S =
@@ -239,6 +276,13 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     Report.Jobs[JI].Job.SuiteData = nullptr;
     if (Report.Jobs[JI].Job.SuiteName.empty())
       Report.Jobs[JI].Job.SuiteName = S.Name;
+    std::string BudgetError;
+    JobBudgets[JI] = resolveClassBudgets(Job.Target, Job.NumRegisters,
+                                         Job.ClassRegs, &BudgetError);
+    if (JobBudgets[JI].empty())
+      layraFatalError("invalid class-regs override (front ends validate "
+                      "before building jobs)");
+    Report.Jobs[JI].Job.Budgets = JobBudgets[JI];
     for (const SuiteProgram &Prog : S.Programs)
       for (const Function &F : Prog.Functions) {
         PendingTask T;
@@ -248,7 +292,7 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
         // Instances are equated purely by 64-bit content hash: at n tasks
         // the collision odds are ~n^2/2^65 (~1e-13 for n = 100k), which we
         // accept rather than storing canonical instances for re-check.
-        T.Key = hashPipelineTask(HashOf(F), Job.Target, Job.NumRegisters,
+        T.Key = hashPipelineTask(HashOf(F), Job.Target, JobBudgets[JI],
                                  Job.Options);
         T.BatchDup = !BatchSeen.insert(T.Key).second;
         T.UniqueIndex = ~size_t(0);
@@ -289,7 +333,7 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     auto Start = std::chrono::steady_clock::now();
     SsaConversion Ssa = convertToSsa(*T.F);
     PipelineResult R =
-        runAllocationPipeline(Ssa.Ssa, Job.Target, Job.NumRegisters,
+        runAllocationPipeline(Ssa.Ssa, Job.Target, JobBudgets[T.JobIndex],
                               Job.Options, Workspaces[Slot].get());
     TaskOutcome &Out = Outcomes[I];
     Out.SpillCost = R.TotalSpillCost;
@@ -403,7 +447,9 @@ BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problem
     std::unique_ptr<Allocator> A = makeAllocator(AllocatorName);
     if (!A)
       layraFatalError("unknown allocator name in solveProblems");
-    Unique[U] = A->allocate(P, WS);
+    // allocateProblem: single-class problems take the direct path,
+    // multi-class ones the exact per-class decomposition.
+    Unique[U] = A->allocateProblem(P, WS);
   });
 
   for (size_t I = 0; I < Problems.size(); ++I)

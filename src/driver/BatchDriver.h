@@ -57,8 +57,17 @@ struct BatchJob {
   const Suite *SuiteData = nullptr;
   /// Target cost model.
   TargetDesc Target = ST231;
-  /// Register count for this job.
+  /// Register count for this job: the budget of register class 0 (what
+  /// `--regs` sweeps).  Other classes default to the target's
+  /// architectural counts.
   unsigned NumRegisters = 0;
+  /// Per-class overrides (`--class-regs=NAME:N`), applied on top of
+  /// NumRegisters/architectural defaults by resolveClassBudgets.
+  std::vector<ClassRegOverride> ClassRegs;
+  /// Resolved per-class budgets.  Callers leave this empty; run() fills it
+  /// (and the copy stored in each JobReport) so report serializers see the
+  /// budgets without re-deriving them.
+  std::vector<unsigned> Budgets;
   /// Pipeline configuration (allocator, rounds, folding, ...).
   PipelineOptions Options;
 };
@@ -135,7 +144,9 @@ struct DriverCacheCounters {
 uint64_t hashFunction(const Function &F);
 
 /// Cache key of one pipeline task: hashFunction(F) mixed with the target
-/// cost model, the register count and every PipelineOptions field.
+/// cost model, the register budgets and every PipelineOptions field.
+/// Single-class keys are unchanged from the scalar era (extra class
+/// budgets are mixed only when present).
 uint64_t hashPipelineTask(const Function &F, const TargetDesc &Target,
                           unsigned NumRegisters,
                           const PipelineOptions &Options);
@@ -144,6 +155,11 @@ uint64_t hashPipelineTask(const Function &F, const TargetDesc &Target,
 /// sweep hash each function's IR once instead of once per job.
 uint64_t hashPipelineTask(uint64_t FunctionHash, const TargetDesc &Target,
                           unsigned NumRegisters,
+                          const PipelineOptions &Options);
+
+/// Vector-budget form (resolveClassBudgets output).
+uint64_t hashPipelineTask(uint64_t FunctionHash, const TargetDesc &Target,
+                          const std::vector<unsigned> &Budgets,
                           const PipelineOptions &Options);
 
 /// Stable content hash of a spill-everywhere instance: graph weights and

@@ -25,6 +25,15 @@ static JsonValue jobToJson(const JobReport &JR, bool IncludeTiming,
   Out.set("suite", Job.SuiteName);
   Out.set("target", Job.Target.Name);
   Out.set("regs", Job.NumRegisters);
+  // Per-class budgets appear only for multi-class targets, so every
+  // single-class report -- the whole historical schema -- stays
+  // byte-identical.
+  if (Job.Budgets.size() > 1) {
+    JsonValue Classes = JsonValue::object();
+    for (unsigned C = 0; C < Job.Budgets.size(); ++C)
+      Classes.set(Job.Target.regClass(C).Name, Job.Budgets[C]);
+    Out.set("class_regs", std::move(Classes));
+  }
   Out.set("allocator", Job.Options.AllocatorName);
   Out.set("affinity_bias", Job.Options.AffinityBias);
   Out.set("fold_mem_operands", Job.Options.FoldMemoryOperands);
@@ -95,15 +104,34 @@ void layra::writeDriverReportJson(std::FILE *Out, const DriverReport &Report,
   driverReportToJson(Report, IncludeTiming, IncludeTasks).write(Out);
 }
 
+/// `NAME:N;NAME:N` rendering of a multi-class job's budgets (CSV cell).
+static std::string formatClassBudgets(const BatchJob &Job) {
+  std::string Out;
+  for (unsigned C = 0; C < Job.Budgets.size(); ++C) {
+    if (C)
+      Out += ";";
+    Out += Job.Target.regClass(C).Name;
+    Out += ":" + std::to_string(Job.Budgets[C]);
+  }
+  return Out;
+}
+
 void layra::writeDriverReportCsv(std::FILE *Out, const DriverReport &Report,
                                  bool IncludeTiming) {
   // Column names track the JSON schema ("functions_fit" etc.) so one field
-  // has one name across serializers.
+  // has one name across serializers.  The class_regs column appears only
+  // when some job targets a multi-class machine -- exactly like the JSON
+  // field -- so historical single-class CSVs keep their bytes.
+  bool AnyMultiClass = false;
+  for (const JobReport &JR : Report.Jobs)
+    AnyMultiClass |= JR.Job.Budgets.size() > 1;
   std::vector<std::string> Headers{
       "suite",      "target",        "regs",  "allocator",
       "affinity_bias", "fold_mem_operands", "max_rounds",
       "functions",  "functions_fit", "cache_hits", "spill_cost",
       "loads",      "stores",        "loads_folded", "rounds"};
+  if (AnyMultiClass)
+    Headers.insert(Headers.begin() + 3, "class_regs");
   if (IncludeTiming) {
     Headers.push_back("wall_ms_total");
     Headers.push_back("wall_ms_p50");
@@ -129,6 +157,8 @@ void layra::writeDriverReportCsv(std::FILE *Out, const DriverReport &Report,
         std::to_string(JR.TotalStores),
         std::to_string(JR.TotalFolded),
         std::to_string(JR.TotalRounds)};
+    if (AnyMultiClass)
+      Row.insert(Row.begin() + 3, formatClassBudgets(Job));
     if (IncludeTiming) {
       Row.push_back(Table::num(JR.WallMsTotal));
       Row.push_back(Table::num(JR.WallMsP50));

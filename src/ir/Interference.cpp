@@ -65,11 +65,31 @@ InterferenceInfo layra::buildInterference(const Function &F,
   for (ValueId V = 0; V < F.numValues(); ++V)
     Info.G.addVertex(Costs[V], F.valueName(V));
 
+  // Register classes partition the values: only same-class values compete
+  // for registers, so cross-class pairs never interfere and pressure is
+  // tracked per class.  Single-class functions take the exact historical
+  // path (MultiClass is false, SameClass is constant-true).
+  const bool MultiClass = F.maxValueClass() > 0;
+  Info.MaxLiveByClass.assign(F.maxValueClass() + 1, 0);
+  auto SameClass = [&](ValueId A, ValueId B) {
+    return !MultiClass || F.valueClass(A) == F.valueClass(B);
+  };
+
   // With CollectPointSets off only the pressure maximum is tracked; the
   // per-point sort/hash/dedup is what the SSA fast path skips.
   std::unordered_set<std::vector<VertexId>, LiveSetHash> SeenSets;
   auto RecordPoint = [&](std::vector<VertexId> &Set) {
-    Info.MaxLive = std::max(Info.MaxLive, static_cast<unsigned>(Set.size()));
+    if (!MultiClass) {
+      Info.MaxLive = std::max(Info.MaxLive,
+                              static_cast<unsigned>(Set.size()));
+    } else {
+      unsigned PerClass[kMaxRegClasses] = {};
+      for (VertexId V : Set)
+        ++PerClass[F.valueClass(V)];
+      for (unsigned C = 0; C < Info.MaxLiveByClass.size(); ++C)
+        Info.MaxLiveByClass[C] = std::max(Info.MaxLiveByClass[C],
+                                          PerClass[C]);
+    }
     if (!CollectPointSets)
       return;
     std::vector<VertexId> Sorted(Set.begin(), Set.end());
@@ -95,7 +115,7 @@ InterferenceInfo layra::buildInterference(const Function &F,
         break;
       for (ValueId D : I.Defs)
         for (VertexId X : EntrySet)
-          if (X != D)
+          if (X != D && SameClass(D, X))
             Info.G.addEdge(D, X);
     }
     RecordPoint(EntrySet);
@@ -110,10 +130,10 @@ InterferenceInfo layra::buildInterference(const Function &F,
       });
       for (ValueId D : Instr.Defs) {
         for (VertexId X : Point)
-          if (X != D)
+          if (X != D && SameClass(D, X))
             Info.G.addEdge(D, X);
         for (ValueId D2 : Instr.Defs)
-          if (D2 != D)
+          if (D2 != D && SameClass(D, D2))
             Info.G.addEdge(D, D2);
         // A dead def still occupies a register at its definition point.
         if (!LiveAfter.test(D))
@@ -126,5 +146,10 @@ InterferenceInfo layra::buildInterference(const Function &F,
       Info.MinRegisters = std::max(Info.MinRegisters, Operands);
     });
   }
+  if (!MultiClass)
+    Info.MaxLiveByClass[0] = Info.MaxLive;
+  else
+    for (unsigned PerClass : Info.MaxLiveByClass)
+      Info.MaxLive = std::max(Info.MaxLive, PerClass);
   return Info;
 }

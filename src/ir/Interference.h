@@ -35,8 +35,17 @@ struct InterferenceInfo {
   /// Deduplicated live sets, one per distinct program point (sorted vertex
   /// lists).  For SSA functions every maximal clique of G appears among
   /// these; they double as the ILP packing constraints on general graphs.
+  /// On multi-class functions each set may mix classes -- consumers that
+  /// build per-class budgets split them (core/ProblemBuilder.cpp).
   std::vector<std::vector<VertexId>> PointLiveSets;
-  /// max |PointLiveSets[i]| -- the paper's MaxLive.
+  /// Register pressure per class: MaxLiveByClass[c] is the largest number
+  /// of class-c values simultaneously live at one program point.  Size
+  /// F.maxValueClass() + 1; single-class functions get the one-element
+  /// vector {MaxLive}.
+  std::vector<unsigned> MaxLiveByClass;
+  /// max over classes of MaxLiveByClass -- the paper's MaxLive on
+  /// single-class functions.  Values of different classes never compete
+  /// for a register, so the cross-class sum is deliberately not tracked.
   unsigned MaxLive = 0;
   /// Largest operand count of a single instruction: a lower bound on the
   /// registers required to emit code even when everything is spilled.

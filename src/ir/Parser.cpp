@@ -265,8 +265,11 @@ private:
     return V;
   }
 
-  /// Parses a value list `%a, %b, <undef>` into \p Out.
-  bool readValueList(unsigned L, LineCursor &Cur, std::vector<ValueId> &Out) {
+  /// Parses a value list `%a, %b, <undef>` into \p Out.  With
+  /// \p AllowClass (definition lists only) each value may carry a
+  /// `:$<class>` register-class suffix.
+  bool readValueList(unsigned L, LineCursor &Cur, std::vector<ValueId> &Out,
+                     bool AllowClass = false) {
     while (true) {
       if (Cur.consume("<undef>")) {
         Out.push_back(kNoValue);
@@ -274,7 +277,22 @@ private:
         std::string Token;
         if (!Cur.readIdent(Token))
           return fail(L, "expected value name after '%'");
-        Out.push_back(valueOf(Token));
+        ValueId V = valueOf(Token);
+        Out.push_back(V);
+        if (AllowClass && Cur.consume(":$")) {
+          long long Class;
+          if (!Cur.readNumber(Class) || Class < 0 ||
+              Class >= static_cast<long long>(kMaxRegClasses))
+            return fail(L, "register class suffix must be :$N with N in "
+                           "[0, " +
+                               std::to_string(kMaxRegClasses - 1) + "]");
+          RegClassId C = static_cast<RegClassId>(Class);
+          auto [It, Fresh] = ClassOf.emplace(V, C);
+          if (!Fresh && It->second != C)
+            return fail(L, "value %" + Token +
+                               " redefined with a different register class");
+          F->setValueClass(V, C);
+        }
       } else {
         return fail(L, "expected value operand");
       }
@@ -304,7 +322,7 @@ private:
     // Defs: present when an '=' appears before the opcode.  Cheap test:
     // parse a value list, then look for '='.
     if (Cur.peekIs('%')) {
-      if (!readValueList(L, Cur, I.Defs))
+      if (!readValueList(L, Cur, I.Defs, /*AllowClass=*/true))
         return false;
       if (!Cur.consume("="))
         return fail(L, "expected '=' after definition list");
@@ -466,6 +484,7 @@ private:
   std::optional<Function> F;
   std::map<std::string, BlockId> BlockOf;
   std::map<std::string, ValueId> ValueOf;
+  std::map<ValueId, RegClassId> ClassOf; // Classes seen at definitions.
   std::map<BlockId, std::vector<BlockId>> Preds, Succs;
   std::string ErrorMessage;
   unsigned ErrorLine = 0;

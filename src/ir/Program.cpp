@@ -42,13 +42,27 @@ BlockId Function::makeBlock(std::string Name) {
   return Id;
 }
 
-ValueId Function::makeValue(std::string Name) {
+ValueId Function::makeValue(std::string Name, RegClassId Class) {
   ValueId Id = NumValues++;
   if (!Name.empty()) {
     ValueNames.resize(NumValues);
     ValueNames[Id] = std::move(Name);
   }
+  if (Class != 0)
+    setValueClass(Id, Class);
   return Id;
+}
+
+void Function::setValueClass(ValueId V, RegClassId Class) {
+  assert(V < NumValues && "value id out of range");
+  assert(Class < kMaxRegClasses && "register class id out of range");
+  if (ValueClasses.size() <= V) {
+    if (Class == 0)
+      return; // Sparse default.
+    ValueClasses.resize(V + 1, 0);
+  }
+  ValueClasses[V] = Class;
+  MaxClass = std::max(MaxClass, Class);
 }
 
 void Function::addEdge(BlockId From, BlockId To) {
@@ -100,8 +114,13 @@ std::string Function::toString() const {
     Out += "\n";
     for (const Instruction &I : BB.Instrs) {
       Out += "  ";
-      for (size_t D = 0; D < I.Defs.size(); ++D)
+      for (size_t D = 0; D < I.Defs.size(); ++D) {
         Out += (D ? ", " : "") + formatValue(*this, I.Defs[D]);
+        // Non-default register classes round-trip through a definition
+        // suffix; class-0 defs print exactly as they always did.
+        if (valueClass(I.Defs[D]) != 0)
+          Out += ":$" + std::to_string(valueClass(I.Defs[D]));
+      }
       if (!I.Defs.empty())
         Out += " = ";
       Out += opcodeName(I.Op);

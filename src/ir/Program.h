@@ -19,6 +19,7 @@
 #define LAYRA_IR_PROGRAM_H
 
 #include "graph/Graph.h" // for Weight
+#include "ir/Target.h"   // for RegClassId
 
 #include <cassert>
 #include <string>
@@ -98,8 +99,9 @@ public:
   /// the entry block.
   BlockId makeBlock(std::string Name = {});
 
-  /// Creates a fresh value id.
-  ValueId makeValue(std::string Name = {});
+  /// Creates a fresh value id in register class \p Class (0, the default
+  /// class, for almost all values; see ir/Target.h).
+  ValueId makeValue(std::string Name = {}, RegClassId Class = 0);
 
   /// Adds a CFG edge and keeps Preds/Succs consistent.
   /// Phi instructions already present in \p To are extended with a
@@ -126,6 +128,19 @@ public:
   const std::string &valueName(ValueId V) const;
   void setValueName(ValueId V, std::string Name);
 
+  /// Register class of \p V.  Values default to class 0; the textual IR
+  /// marks other classes with a `:$<class>` suffix at the definition.
+  RegClassId valueClass(ValueId V) const {
+    assert(V < NumValues && "value id out of range");
+    return V < ValueClasses.size() ? ValueClasses[V] : 0;
+  }
+  void setValueClass(ValueId V, RegClassId Class);
+
+  /// Largest class id any value of this function uses.  0 for functions
+  /// that never left the default class -- the cheap test every layer uses
+  /// to stay on the single-class fast path.
+  RegClassId maxValueClass() const { return MaxClass; }
+
   /// All blocks, for range-for convenience.
   std::vector<BasicBlock> &blocks() { return Blocks; }
   const std::vector<BasicBlock> &blocks() const { return Blocks; }
@@ -137,8 +152,25 @@ private:
   std::string FuncName;
   std::vector<BasicBlock> Blocks;
   std::vector<std::string> ValueNames;
+  /// Sparse like ValueNames: values beyond the vector are class 0.
+  std::vector<RegClassId> ValueClasses;
+  RegClassId MaxClass = 0;
   unsigned NumValues = 0;
 };
+
+/// Checks that every register class \p F's values use exists on
+/// \p Target.  Returns an empty string on success, otherwise one shared
+/// ready-to-print message -- every front end (both CLIs and both server
+/// request paths) rejects class/target mismatches through this helper, so
+/// the rule and its wording cannot drift.
+inline std::string checkFunctionClasses(const Function &F,
+                                        const TargetDesc &Target) {
+  if (F.maxValueClass() < Target.numClasses())
+    return {};
+  return "function '" + F.name() + "' uses register class $" +
+         std::to_string(F.maxValueClass()) + " but target '" + Target.Name +
+         "' has only " + std::to_string(Target.numClasses()) + " class(es)";
+}
 
 /// Verifies structural invariants of \p F:
 ///  - pred/succ lists are symmetric and duplicate-free;

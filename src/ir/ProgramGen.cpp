@@ -44,6 +44,11 @@ struct GenState {
   }
 
   /// Emits a non-terminator instruction into \p B defining a pool variable.
+  ///
+  /// The RNG draw sequence of the single-class configuration is load-
+  /// bearing: every committed suite is a pure function of it.  Class
+  /// handling therefore only ever *adds* draws, and only when
+  /// Opt.NumClasses > 1.
   void emitExpr(BlockId B) {
     Instruction I;
     bool IsCopy = R.nextBool(Opt.CopyProb);
@@ -52,6 +57,18 @@ struct GenState {
     for (unsigned U = 0; U < NumUses; ++U)
       I.Uses.push_back(pickDefined());
     unsigned Target = static_cast<unsigned>(R.nextBelow(Vars.size()));
+    if (IsCopy && Opt.NumClasses > 1 &&
+        F.valueClass(Vars[Target]) != F.valueClass(I.Uses[0])) {
+      // Copies stay within one register class (a cross-class move is a
+      // conversion, not a coalescing candidate): retarget to a variable of
+      // the source's class.  The source's own pool variable has that
+      // class, so the candidate list is never empty.
+      std::vector<unsigned> SameClass;
+      for (unsigned V = 0; V < Vars.size(); ++V)
+        if (F.valueClass(Vars[V]) == F.valueClass(I.Uses[0]))
+          SameClass.push_back(V);
+      Target = SameClass[R.nextBelow(SameClass.size())];
+    }
     I.Defs.push_back(Vars[Target]);
     F.block(B).Instrs.push_back(std::move(I));
     Defined[Target] = 1;
@@ -167,8 +184,17 @@ Function layra::generateFunction(Rng &R, const ProgramGenOptions &Options,
   BlockId Entry = S.newBlock();
   S.Vars.reserve(Options.NumVars);
   S.Defined.assign(Options.NumVars, 0);
-  for (unsigned I = 0; I < Options.NumVars; ++I)
-    S.Vars.push_back(S.F.makeValue("t" + std::to_string(I)));
+  assert(Options.NumClasses >= 1 && Options.NumClasses <= kMaxRegClasses &&
+         "register class count out of range");
+  for (unsigned I = 0; I < Options.NumVars; ++I) {
+    // Class draws happen only in multi-class mode so the single-class RNG
+    // stream (and with it every committed suite) stays bit-identical.
+    RegClassId Class = 0;
+    if (Options.NumClasses > 1 && R.nextBool(Options.AltClassProb))
+      Class = 1 + static_cast<RegClassId>(
+                      R.nextBelow(Options.NumClasses - 1));
+    S.Vars.push_back(S.F.makeValue("t" + std::to_string(I), Class));
+  }
   unsigned NumParams = std::min(std::max(1u, Options.NumParams),
                                 Options.NumVars);
   for (unsigned I = 0; I < NumParams; ++I) {

@@ -47,6 +47,14 @@ struct ProgramGenOptions {
   double CopyProb = 0.10;
   /// Regions chained in sequence at each nesting level: uniform [1, Max].
   unsigned MaxRegionsPerSeq = 3;
+  /// Register classes the variable pool draws from (ir/Target.h).  1 keeps
+  /// the generator byte-identical to its single-class history: no extra
+  /// RNG draws happen.  With more classes, each pool variable lands in a
+  /// non-default class with probability AltClassProb; copies then stay
+  /// within one class (cross-class moves are conversions, not coalescing
+  /// candidates), while ordinary ops may mix classes freely.
+  unsigned NumClasses = 1;
+  double AltClassProb = 0.35;
 };
 
 /// Generates a verified, fully reachable, non-SSA function.

@@ -26,7 +26,10 @@ SpillRewriteStats layra::rewriteSpills(Function &F,
     Instruction Load;
     Load.Op = Opcode::Load;
     Load.SpillSlot = SlotOf[V];
-    ValueId Temp = F.makeValue("rl." + std::to_string(Stats.NumLoads));
+    // A reload temporary occupies a register of the spilled value's file:
+    // spill code never moves a value across register classes.
+    ValueId Temp = F.makeValue("rl." + std::to_string(Stats.NumLoads),
+                               F.valueClass(V));
     Load.Defs.push_back(Temp);
     ++Stats.NumLoads;
     return std::pair(Load, Temp);

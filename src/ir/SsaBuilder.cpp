@@ -35,8 +35,11 @@ struct RenameState {
     std::string Base = Old.valueName(OldVar);
     if (Base.empty())
       Base = "v" + std::to_string(OldVar);
+    // Every SSA version of a variable lives in the variable's register
+    // class; classes partition values, SSA renaming must not move them.
     ValueId Id =
-        New.makeValue(Base + "." + std::to_string(Version[OldVar]++));
+        New.makeValue(Base + "." + std::to_string(Version[OldVar]++),
+                      Old.valueClass(OldVar));
     assert(Id == Out.OriginalOf.size() && "value ids must stay dense");
     Out.OriginalOf.push_back(OldVar);
     return Id;

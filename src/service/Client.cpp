@@ -101,6 +101,12 @@ void appendCommon(JsonValue &Doc, const ServiceRequest &Req) {
   for (unsigned R : Req.Regs)
     Regs.push(R);
   Doc.set("regs", std::move(Regs));
+  if (!Req.ClassRegs.empty()) {
+    JsonValue Classes = JsonValue::object();
+    for (const ClassRegOverride &O : Req.ClassRegs)
+      Classes.set(O.Class, O.Regs);
+    Doc.set("class_regs", std::move(Classes));
+  }
   Doc.set("target", Req.TargetName);
   JsonValue Options = JsonValue::object();
   Options.set("allocator", Req.Options.AllocatorName);

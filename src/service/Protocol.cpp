@@ -171,6 +171,33 @@ bool readRegs(const JsonValue &Obj, std::vector<unsigned> &Out,
   return true;
 }
 
+/// Reads the optional "class_regs" object: class name -> budget override,
+/// e.g. {"vfp": 8}.  Names are validated semantically by the server
+/// against the request's target.
+bool readClassRegs(const JsonValue &Obj,
+                   std::vector<ClassRegOverride> &Out, std::string &Error) {
+  const JsonValue *V = Obj.find("class_regs");
+  if (!V)
+    return true;
+  if (!V->isObject() || V->size() == 0 || V->size() > kMaxRegClasses) {
+    Error = "'class_regs' must be an object of 1.." +
+            std::to_string(kMaxRegClasses) + " NAME: N entries";
+    return false;
+  }
+  for (const auto &[Name, E] : V->members()) {
+    long long R = E.isInt() ? E.intValue() : -1;
+    if (Name.empty() || R < 1 ||
+        R > static_cast<long long>(kMaxRegValue)) {
+      Error = "'class_regs' entries must map a class name to an integer "
+              "in [1, " +
+              std::to_string(kMaxRegValue) + "]";
+      return false;
+    }
+    Out.push_back({Name, static_cast<unsigned>(R)});
+  }
+  return true;
+}
+
 bool readOptions(const JsonValue &Obj, PipelineOptions &Out,
                  std::string &Error) {
   const JsonValue *V = Obj.find("options");
@@ -268,6 +295,7 @@ bool layra::parseServiceRequest(const std::string &Payload,
 
   // Shared allocate / submit_ir tail.
   if (!readRegs(Doc, Out.Regs, Error) ||
+      !readClassRegs(Doc, Out.ClassRegs, Error) ||
       !readString(Doc, "target", Out.TargetName, Error) ||
       !readOptions(Doc, Out.Options, Error) ||
       !readBool(Doc, "timing", Out.Timing, Error) ||

@@ -98,8 +98,14 @@ struct ServiceRequest {
   /// Allocate: suites to run (each crossed with every register count).
   std::vector<std::string> Suites;
   /// Allocate / SubmitIr: register counts; required, each in [1, 1024].
+  /// These sweep register class 0; other classes default to the target's
+  /// architectural counts.
   std::vector<unsigned> Regs;
-  /// Target cost model name ("st231", "armv7", "x86-64"); default st231.
+  /// Optional "class_regs" object: per-class budget overrides by class
+  /// name, e.g. {"vfp": 8}.  Validated against the target's class table
+  /// by the server (semantic check).
+  std::vector<ClassRegOverride> ClassRegs;
+  /// Target cost model name (targetByName in ir/Target.h); default st231.
   std::string TargetName = "st231";
   /// Pipeline configuration (allocator, rounds, folding, affinity).
   PipelineOptions Options;

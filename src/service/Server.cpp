@@ -501,8 +501,13 @@ std::string Server::Impl::handleRequest(const ServiceRequest &Req) {
 }
 
 std::string Server::Impl::validateCommon(const ServiceRequest &Req) {
-  if (!targetByName(Req.TargetName))
+  const TargetDesc *Target = targetByName(Req.TargetName);
+  if (!Target)
     return failRequest("unknown target '" + Req.TargetName + "'");
+  for (const ClassRegOverride &O : Req.ClassRegs)
+    if (Target->classIdByName(O.Class) < 0)
+      return failRequest("target '" + Req.TargetName +
+                         "' has no register class '" + O.Class + "'");
   if (!makeAllocator(Req.Options.AllocatorName))
     return failRequest("unknown allocator '" + Req.Options.AllocatorName +
                        "'");
@@ -546,12 +551,20 @@ std::string Server::Impl::handleAllocate(const ServiceRequest &Req) {
     auto It = SuiteCache.find(Name);
     if (It == SuiteCache.end())
       It = SuiteCache.emplace(Name, makeSuite(Name)).first;
+    // A suite with multi-class functions needs a target with those files
+    // (e.g. mixed-classes on plain st231 must be a request error, not a
+    // driver abort).
+    for (const SuiteProgram &Prog : It->second.Programs)
+      for (const Function &F : Prog.Functions)
+        if (std::string E = checkFunctionClasses(F, *Target); !E.empty())
+          return failRequest("suite '" + Name + "': " + E);
     for (unsigned Regs : Req.Regs) {
       BatchJob Job;
       Job.SuiteName = Name;
       Job.SuiteData = &It->second;
       Job.Target = *Target;
       Job.NumRegisters = Regs;
+      Job.ClassRegs = Req.ClassRegs;
       Job.Options = Req.Options;
       Jobs.push_back(std::move(Job));
     }
@@ -563,6 +576,9 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
   std::string Rejection = validateCommon(Req);
   if (!Rejection.empty())
     return Rejection;
+  // validateCommon just proved the target exists; one lookup serves the
+  // class check and the job construction below.
+  const TargetDesc *Target = targetByName(Req.TargetName);
   ParsedFunction Parsed = parseFunction(Req.IrText);
   if (!Parsed.Ok)
     return failRequest("ir parse error at line " +
@@ -570,6 +586,10 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
   std::string VerifyError;
   if (!verifyFunction(Parsed.F, /*ExpectSsa=*/true, &VerifyError))
     return failRequest("ir is not strict SSA: " + VerifyError);
+  // Reject class ids the target has no file for before the pipeline's
+  // fatal-error path can see them.
+  if (std::string E = checkFunctionClasses(Parsed.F, *Target); !E.empty())
+    return failRequest(E);
 
   Suite S;
   S.Name = Req.Name.empty() ? "submitted" : Req.Name;
@@ -578,7 +598,6 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
   Prog.Functions.push_back(std::move(Parsed.F));
   S.Programs.push_back(std::move(Prog));
 
-  const TargetDesc *Target = targetByName(Req.TargetName);
   std::vector<BatchJob> Jobs;
   for (unsigned Regs : Req.Regs) {
     BatchJob Job;
@@ -586,6 +605,7 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
     Job.SuiteData = &S;
     Job.Target = *Target;
     Job.NumRegisters = Regs;
+    Job.ClassRegs = Req.ClassRegs;
     Job.Options = Req.Options;
     Jobs.push_back(std::move(Job));
   }

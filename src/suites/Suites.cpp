@@ -199,6 +199,35 @@ Suite layra::makeSpecJvm98() {
   return S;
 }
 
+Suite layra::makeMixedClasses() {
+  // Loop kernels over a two-class variable pool: class 0 ("gpr"-like)
+  // and class 1 (the second file of armv7-vfp / st231-br).  Pressure
+  // builds independently per file; sweeping --regs squeezes class 0 while
+  // class 1 keeps its architectural budget unless --class-regs says
+  // otherwise.
+  static const char *Names[] = {"mix_fir",  "mix_fft",  "mix_mac",
+                                "mix_conv", "mix_blend", "mix_dot",
+                                "mix_norm", "mix_warp"};
+  ProgramGenOptions Shape;
+  Shape.NumVars = 18;
+  Shape.NumParams = 4;
+  Shape.MaxBlocks = 24;
+  Shape.MaxNesting = 3;
+  Shape.ExprsPerBlockMin = 2;
+  Shape.ExprsPerBlockMax = 5;
+  Shape.LoopProb = 0.40;
+  Shape.IfProb = 0.28;
+  Shape.CopyProb = 0.12;
+  Shape.NumClasses = 2;
+  Shape.AltClassProb = 0.40;
+
+  Suite S;
+  S.Name = "mixed-classes";
+  for (const char *Name : Names)
+    S.Programs.push_back(makeProgram(S.Name, Name, /*NumFunctions=*/3, Shape));
+  return S;
+}
+
 namespace {
 /// The single name -> factory table both makeSuite and allSuiteNames
 /// derive from, so the two can never drift apart.
@@ -211,6 +240,7 @@ constexpr SuiteEntry kSuiteTable[] = {
     {"eembc", makeEembc},
     {"lao-kernels", makeLaoKernels},
     {"specjvm98", makeSpecJvm98},
+    {"mixed-classes", makeMixedClasses},
 };
 } // namespace
 

@@ -48,9 +48,14 @@ Suite makeSpec2000Int();
 Suite makeEembc();
 Suite makeLaoKernels();
 Suite makeSpecJvm98();
+/// Mixed register classes: loop kernels whose variable pools split between
+/// the default class and a second (VFP-like) class, for multi-class
+/// targets (armv7-vfp, st231-br).  Values of different classes never
+/// pressure each other's budgets.
+Suite makeMixedClasses();
 
 /// Suite lookup by name ("spec2000int", "eembc", "lao-kernels",
-/// "specjvm98"); aborts on unknown names.
+/// "specjvm98", "mixed-classes"); aborts on unknown names.
 Suite makeSuite(const std::string &Name);
 
 /// All names makeSuite accepts (in a stable presentation order).  Lets

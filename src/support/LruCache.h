@@ -20,6 +20,7 @@
 #define LAYRA_SUPPORT_LRUCACHE_H
 
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <unordered_map>

@@ -91,6 +91,53 @@ inline bool parseRegList(const std::string &Text, unsigned Max,
   return true;
 }
 
+/// One `NAME:N` register-class budget override: replace the budget of the
+/// named class for a run.  Defined here (the bottom layer) so the CLI
+/// grammar below, ir/Target.h's budget resolution and the wire protocol
+/// all share one type; front ends validate the names against their
+/// target's class table.
+struct ClassRegOverride {
+  std::string Class;
+  unsigned Regs = 0;
+};
+
+/// Parses the `--class-regs` grammar shared by the CLI front ends:
+/// a comma list of `NAME:N` overrides, e.g. `vfp:8` or `gpr:12,vfp:8`,
+/// every N in [1, Max] and every NAME a nonempty class identifier.
+/// Returns false with \p Error set on any violation.  Semantic checks --
+/// does the target have that class -- stay with the caller.
+inline bool parseClassRegList(const std::string &Text, unsigned Max,
+                              std::vector<ClassRegOverride> &Out,
+                              std::string &Error) {
+  Out.clear();
+  for (const std::string &Item : splitCommaList(Text)) {
+    size_t Colon = Item.find(':');
+    if (Colon == std::string::npos || Colon == 0) {
+      Error = "--class-regs entries must be NAME:N (got '" + Item + "')";
+      return false;
+    }
+    ClassRegOverride Entry;
+    Entry.Class = Item.substr(0, Colon);
+    if (!parseBoundedUnsigned(Item.c_str() + Colon + 1, Max, Entry.Regs) ||
+        Entry.Regs == 0) {
+      Error = "--class-regs counts must be integers in [1, " +
+              std::to_string(Max) + "] (got '" + Item + "')";
+      return false;
+    }
+    for (const ClassRegOverride &Prev : Out)
+      if (Prev.Class == Entry.Class) {
+        Error = "--class-regs names class '" + Entry.Class + "' twice";
+        return false;
+      }
+    Out.push_back(std::move(Entry));
+  }
+  if (Out.empty()) {
+    Error = "--class-regs must name at least one NAME:N override";
+    return false;
+  }
+  return true;
+}
+
 } // namespace layra
 
 #endif // LAYRA_SUPPORT_PARSEUTIL_H

@@ -32,8 +32,8 @@ TEST(GraphColoringTest, ProducesProperColoringWithinR) {
     GraphColoringAllocator GC;
     AllocationResult Result = GC.allocate(P);
     const std::vector<unsigned> &Colors = GC.lastColoring();
-    EXPECT_TRUE(isProperColoring(P.G, Colors));
-    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+    EXPECT_TRUE(isProperColoring(P.graph(), Colors));
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
       if (Result.Allocated[V]) {
         EXPECT_LT(Colors[V], Regs);
       } else {
@@ -156,12 +156,12 @@ TEST(AllocatorRegistryTest, EveryAllocatorIsFeasibleOnAnSsaInstance) {
   Rng R(65);
   AllocationProblem P = ssaProblem(R, 4);
   for (const std::string &Name : allAllocatorNames()) {
-    if (Name == "brute" && P.G.numVertices() > 24)
+    if (Name == "brute" && P.graph().numVertices() > 24)
       continue;
     auto A = makeAllocator(Name);
     AllocationResult Result = A->allocate(P);
     EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated)) << Name;
-    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.G.totalWeight())
+    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.graph().totalWeight())
         << Name;
   }
 }

@@ -123,7 +123,7 @@ TEST(OptimalTest, ProvenOnSuiteSizedSsaInstances) {
       AllocationResult Result = BnB.allocate(NP.P);
       EXPECT_TRUE(Result.Proven)
           << NP.Program << "/" << NP.Function << " R=" << Regs
-          << " V=" << NP.P.G.numVertices() << " maxlive=" << NP.P.maxLive();
+          << " V=" << NP.P.graph().numVertices() << " maxlive=" << NP.P.maxLive();
       EXPECT_TRUE(isFeasibleAllocation(NP.P, Result.Allocated));
     }
   }

@@ -29,7 +29,7 @@ TEST(AssignmentTest, FeasibleChordalAllocationAlwaysColorsWithinR) {
     Assignment Regs2 = assignRegisters(P, Alloc.Allocated);
     EXPECT_TRUE(Regs2.Success) << "round " << Round;
     EXPECT_LE(Regs2.RegistersUsed, Regs);
-    EXPECT_TRUE(isProperColoring(P.G, Regs2.RegisterOf));
+    EXPECT_TRUE(isProperColoring(P.graph(), Regs2.RegisterOf));
   }
 }
 
@@ -74,5 +74,5 @@ TEST(AssignmentTest, GeneralGraphsMayNeedMoreThanRAndReportIt) {
   Assignment A = assignRegisters(P, std::vector<char>(5, 1));
   EXPECT_FALSE(A.Success);
   EXPECT_GT(A.RegistersUsed, 2u);
-  EXPECT_TRUE(isProperColoring(P.G, A.RegisterOf));
+  EXPECT_TRUE(isProperColoring(P.graph(), A.RegisterOf));
 }

@@ -129,14 +129,14 @@ TEST(CoalescingTest, CoalescedChordalGraphStaysAllocatable) {
     AllocationProblem P = buildSsaProblem(Conv.Ssa, ST231, 4);
     std::vector<Affinity> Affinities = collectAffinities(Conv.Ssa);
     CoalescingResult Out =
-        coalesceConservative(P.G, Affinities, P.NumRegisters);
+        coalesceConservative(P.graph(), Affinities, P.uniformBudget());
     // The coalesced graph of a chordal graph after conservative merging
     // still supports the layered allocator (it requires chordality; merged
     // SSA graphs can in principle lose it, so only assert when it holds --
     // and it must hold for the majority of these small cases).
     if (isChordal(Out.Coalesced)) {
       AllocationProblem Q = AllocationProblem::fromChordalGraph(
-          Out.Coalesced, P.NumRegisters);
+          Out.Coalesced, P.uniformBudget());
       AllocationResult Result = layeredAllocate(Q, LayeredOptions::bfpl());
       EXPECT_TRUE(isFeasibleAllocation(Q, Result.Allocated));
     }
@@ -157,7 +157,7 @@ TEST(CoalescingTest, BiasedAssignmentRemovesCopies) {
   SsaConversion Conv = convertToSsa(F);
   AllocationProblem P = buildSsaProblem(Conv.Ssa, ST231, 4);
   std::vector<Affinity> Affinities = collectAffinities(Conv.Ssa);
-  std::vector<char> All(P.G.numVertices(), 1);
+  std::vector<char> All(P.graph().numVertices(), 1);
   Assignment Biased = assignRegistersBiased(P, All, Affinities);
   EXPECT_TRUE(Biased.Success);
   EXPECT_EQ(remainingCopyCost(Affinities, All, Biased.RegisterOf), 0);

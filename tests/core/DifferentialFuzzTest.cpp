@@ -57,17 +57,17 @@ void expectValidAssignment(const AllocationProblem &P,
                            const LayeredHeuristicResult &LH,
                            uint64_t Seed, unsigned Regs) {
   const std::vector<char> &Allocated = LH.Allocation.Allocated;
-  ASSERT_EQ(Allocated.size(), P.G.numVertices());
-  ASSERT_EQ(LH.RegisterOf.size(), P.G.numVertices());
-  for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+  ASSERT_EQ(Allocated.size(), P.graph().numVertices());
+  ASSERT_EQ(LH.RegisterOf.size(), P.graph().numVertices());
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
     if (!Allocated[V]) {
       EXPECT_EQ(LH.RegisterOf[V], LayeredHeuristicResult::kNoRegister)
           << "seed=" << Seed << " R=" << Regs << " v=" << V;
       continue;
     }
-    EXPECT_LT(LH.RegisterOf[V], P.NumRegisters)
+    EXPECT_LT(LH.RegisterOf[V], P.uniformBudget())
         << "seed=" << Seed << " R=" << Regs << " v=" << V;
-    for (VertexId U : P.G.neighbors(V))
+    for (VertexId U : P.graph().neighbors(V))
       if (Allocated[U]) {
         EXPECT_NE(LH.RegisterOf[V], LH.RegisterOf[U])
             << "interfering pair shares a register: seed=" << Seed
@@ -106,7 +106,7 @@ TEST(DifferentialFuzz, HeuristicsNeverBeatProvenExactAndStayValid) {
       EXPECT_GE(Layered.SpillCost, Exact.SpillCost)
           << "seed=" << Seed << " R=" << Regs;
       // Where exhaustive search is affordable, it must agree exactly.
-      if (P.G.numVertices() <= 20) {
+      if (P.graph().numVertices() <= 20) {
         AllocationResult Brute = BruteForceAllocator().allocate(P);
         EXPECT_EQ(Brute.SpillCost, Exact.SpillCost)
             << "seed=" << Seed << " R=" << Regs;
@@ -189,6 +189,86 @@ TEST(DifferentialFuzz, ReleaseMemoryResetsArenasWithoutChangingResults) {
   // The post-release run started from cold arenas, so its checkouts must
   // register fresh allocation, not phantom reuse.
   EXPECT_GT(WS.Stats.BytesAllocated, 0u);
+}
+
+TEST(DifferentialFuzz, ScalarEraEqualsOneClassTableBehavior) {
+  // The register-class refactor's compatibility contract: the scalar
+  // entry points (one R) and the class-table entry points (budgets {R})
+  // are the same computation, and a single-class function run against a
+  // multi-class target behaves exactly as on the one-class target with
+  // the same cost model (budgets trim to the classes present).
+  for (uint64_t Seed = 31; Seed <= 38; ++Seed) {
+    Function F = makeProgram(Seed);
+    SsaConversion Ssa = convertToSsa(F);
+    for (unsigned Regs = 2; Regs <= 8; Regs += 3) {
+      AllocationProblem Scalar = buildSsaProblem(Ssa.Ssa, ST231, Regs);
+      AllocationProblem Table =
+          buildSsaProblem(Ssa.Ssa, ST231, std::vector<unsigned>{Regs});
+      EXPECT_EQ(Scalar.Budgets, Table.Budgets);
+      EXPECT_EQ(Scalar.Constraints, Table.Constraints);
+      EXPECT_EQ(Scalar.Peo.Order, Table.Peo.Order);
+
+      // allocateProblem's single-class fast path is allocate() verbatim.
+      OptimalBnBAllocator BnB;
+      AllocationResult Direct = BnB.allocate(Scalar);
+      AllocationResult Routed = BnB.allocateProblem(Table);
+      EXPECT_EQ(Direct.Allocated, Routed.Allocated);
+      EXPECT_EQ(Direct.SpillCost, Routed.SpillCost);
+
+      // st231-br has the identical cost model and class-0 file as st231;
+      // class-0-only functions cannot tell them apart.
+      PipelineOptions Opts;
+      PipelineResult OneClass =
+          runAllocationPipeline(Ssa.Ssa, ST231, Regs, Opts);
+      PipelineResult TwoClass =
+          runAllocationPipeline(Ssa.Ssa, ST231_BR, Regs, Opts);
+      EXPECT_EQ(OneClass.TotalSpillCost, TwoClass.TotalSpillCost);
+      EXPECT_EQ(OneClass.Spills.NumLoads, TwoClass.Spills.NumLoads);
+      EXPECT_EQ(OneClass.Regs.RegisterOf, TwoClass.Regs.RegisterOf);
+      EXPECT_EQ(OneClass.Rewritten.toString(), TwoClass.Rewritten.toString());
+    }
+  }
+}
+
+TEST(DifferentialFuzz, MultiClassHeuristicsNeverBeatDirectExact) {
+  // Two-class instances: the per-class decomposition (heuristics) against
+  // the natively per-constraint-budget branch-and-bound, same anchor as
+  // the single-class sweep above.
+  SolverWorkspace Shared;
+  for (uint64_t Seed = 41; Seed <= 48; ++Seed) {
+    Rng R(Seed);
+    ProgramGenOptions Opt;
+    Opt.NumVars = 8 + static_cast<unsigned>(Seed % 4);
+    Opt.MaxBlocks = 16;
+    Opt.MaxNesting = 2;
+    Opt.ExprsPerBlockMin = 1;
+    Opt.ExprsPerBlockMax = 4;
+    Opt.NumClasses = 2;
+    Opt.AltClassProb = 0.4;
+    Function F = generateFunction(R, Opt, "mc" + std::to_string(Seed));
+    SsaConversion Ssa = convertToSsa(F);
+    for (unsigned Regs = 2; Regs <= 6; ++Regs) {
+      AllocationProblem P =
+          buildSsaProblem(Ssa.Ssa, ARMv7_VFP, {Regs, 2});
+      if (!P.multiClass())
+        continue; // Rare: the generator used only one class.
+      OptimalBnBAllocator BnB;
+      AllocationResult Exact = BnB.allocate(P);
+      ASSERT_TRUE(Exact.Proven) << "seed=" << Seed << " R=" << Regs;
+      EXPECT_TRUE(isFeasibleAllocation(P, Exact.Allocated));
+      for (const char *Name : {"bfpl", "lh"}) {
+        AllocationResult H =
+            makeAllocator(Name)->allocateProblem(P, &Shared);
+        EXPECT_TRUE(isFeasibleAllocation(P, H.Allocated))
+            << Name << " seed=" << Seed << " R=" << Regs;
+        EXPECT_GE(H.SpillCost, Exact.SpillCost)
+            << Name << " seed=" << Seed << " R=" << Regs;
+        // Workspace reuse stays byte-identical on the decomposition path.
+        AllocationResult HFresh = makeAllocator(Name)->allocateProblem(P);
+        EXPECT_EQ(H.Allocated, HFresh.Allocated) << Name;
+      }
+    }
+  }
 }
 
 TEST(DifferentialFuzz, StepLayersReuseDpTablesDeterministically) {

@@ -70,8 +70,8 @@ TEST(LayeredHeuristicTest, AllocationIsAnRColoringByConstruction) {
     AllocationProblem P = generalProblemFromGraph(G, Regs);
     LayeredHeuristicResult Out = layeredHeuristicAllocate(P);
     // RegisterOf is a proper coloring with < R colors on allocated set.
-    EXPECT_TRUE(isProperColoring(P.G, Out.RegisterOf));
-    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+    EXPECT_TRUE(isProperColoring(P.graph(), Out.RegisterOf));
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
       if (Out.Allocation.Allocated[V]) {
         EXPECT_LT(Out.RegisterOf[V], Regs);
       } else {

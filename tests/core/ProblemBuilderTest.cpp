@@ -26,9 +26,9 @@ TEST(ProblemBuilderTest, SsaProblemIsChordalWithCliqueConstraints) {
   AllocationProblem P = buildSsaProblem(Conv.Ssa, ST231, 4);
   EXPECT_TRUE(P.Chordal);
   EXPECT_EQ(P.Constraints.size(), P.Cliques.Cliques.size());
-  EXPECT_TRUE(isPerfectEliminationOrder(P.G, P.Peo));
+  EXPECT_TRUE(isPerfectEliminationOrder(P.graph(), P.Peo));
   EXPECT_TRUE(P.Intervals.has_value());
-  EXPECT_EQ(P.NumRegisters, 4u);
+  EXPECT_EQ(P.uniformBudget(), 4u);
 }
 
 TEST(ProblemBuilderTest, GeneralProblemCoversEveryVertex) {
@@ -37,11 +37,11 @@ TEST(ProblemBuilderTest, GeneralProblemCoversEveryVertex) {
   Function F = generateFunction(R, Opt);
   AllocationProblem P = buildGeneralProblem(F, ARMv7, 6);
   EXPECT_FALSE(P.Chordal);
-  std::vector<char> Covered(P.G.numVertices(), 0);
+  std::vector<char> Covered(P.graph().numVertices(), 0);
   for (const auto &C : P.Constraints)
-    for (VertexId V : C)
+    for (VertexId V : C.Members)
       Covered[V] = 1;
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
     EXPECT_TRUE(Covered[V]) << "vertex " << V << " in no constraint";
 }
 
@@ -51,10 +51,14 @@ TEST(ProblemBuilderTest, WithRegistersPreservesStructure) {
   Function F = generateFunction(R, Opt);
   SsaConversion Conv = convertToSsa(F);
   AllocationProblem P = buildSsaProblem(Conv.Ssa, ST231, 4);
-  AllocationProblem Q = P.withRegisters(9);
-  EXPECT_EQ(Q.NumRegisters, 9u);
-  EXPECT_EQ(Q.G.numVertices(), P.G.numVertices());
+  AllocationProblem Q = P.withBudgets({9});
+  EXPECT_EQ(Q.uniformBudget(), 9u);
+  EXPECT_EQ(Q.graph().numVertices(), P.graph().numVertices());
   EXPECT_EQ(Q.Constraints.size(), P.Constraints.size());
+  // The sweep path shares one immutable graph instead of copying it.
+  EXPECT_EQ(Q.G.get(), P.G.get());
+  for (size_t I = 0; I < Q.Constraints.size(); ++I)
+    EXPECT_EQ(Q.Constraints[I].Budget, 9u);
 }
 
 TEST(ProblemBuilderTest, MaxLiveMatchesLargestConstraint) {
@@ -65,7 +69,7 @@ TEST(ProblemBuilderTest, MaxLiveMatchesLargestConstraint) {
   AllocationProblem P = buildSsaProblem(Conv.Ssa, ST231, 4);
   size_t Largest = 0;
   for (const auto &C : P.Constraints)
-    Largest = std::max(Largest, C.size());
+    Largest = std::max(Largest, C.Members.size());
   EXPECT_EQ(P.maxLive(), Largest);
 }
 
@@ -77,6 +81,6 @@ TEST(ProblemBuilderTest, SingletonConstraintAddedForIsolatedVertices) {
       AllocationProblem::fromGeneralGraph(std::move(G), 2, {{0, 1}});
   bool Found = false;
   for (const auto &C : P.Constraints)
-    Found |= C.size() == 1 && C[0] == 2;
+    Found |= C.Members.size() == 1 && C.Members[0] == 2;
   EXPECT_TRUE(Found);
 }

@@ -57,11 +57,11 @@ protected:
   std::vector<Affinity> makeAffinities(const AllocationProblem &P) const {
     Rng R(GetParam().Seed ^ 0xaff1u);
     std::vector<Affinity> Out;
-    unsigned N = P.G.numVertices();
+    unsigned N = P.graph().numVertices();
     for (unsigned Trial = 0; Trial < N; ++Trial) {
       VertexId A = static_cast<VertexId>(R.nextBelow(N));
       VertexId B = static_cast<VertexId>(R.nextBelow(N));
-      if (A == B || P.G.hasEdge(A, B))
+      if (A == B || P.graph().hasEdge(A, B))
         continue;
       Affinity Aff;
       Aff.A = A;
@@ -80,7 +80,7 @@ TEST_P(ChordalSweep, EveryLayeredVariantIsFeasible) {
                     LayeredOptions::fpl(), LayeredOptions::bfpl()}) {
     AllocationResult Result = layeredAllocate(P, Opts);
     EXPECT_TRUE(isFeasibleAllocation(P, Result.Allocated));
-    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.G.totalWeight());
+    EXPECT_EQ(Result.AllocatedWeight + Result.SpillCost, P.graph().totalWeight());
   }
 }
 
@@ -108,7 +108,7 @@ TEST_P(ChordalSweep, AssignmentSucceedsForFeasibleAllocations) {
   AllocationResult Result = layeredAllocate(P, LayeredOptions::bfpl());
   Assignment A = assignRegisters(P, Result.Allocated);
   EXPECT_TRUE(A.Success);
-  EXPECT_LE(A.RegistersUsed, P.NumRegisters);
+  EXPECT_LE(A.RegistersUsed, P.uniformBudget());
 }
 
 TEST_P(ChordalSweep, LayeredIsDeterministic) {
@@ -129,11 +129,11 @@ TEST_P(ChordalSweep, CoalescingOffAndOnBothAssignValidly) {
   Assignment Biased = assignRegistersBiased(P, Result.Allocated, Affinities);
   for (const Assignment *A : {&Plain, &Biased}) {
     EXPECT_TRUE(A->Success);
-    EXPECT_LE(A->RegistersUsed, P.NumRegisters);
-    for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+    EXPECT_LE(A->RegistersUsed, P.uniformBudget());
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
       if (!Result.Allocated[V])
         continue;
-      for (VertexId U : P.G.neighbors(V))
+      for (VertexId U : P.graph().neighbors(V))
         if (Result.Allocated[U]) {
           EXPECT_NE(A->RegisterOf[V], A->RegisterOf[U])
               << "interfering pair shares a register";
@@ -152,18 +152,18 @@ TEST_P(ChordalSweep, ConservativeCoalescingPreservesStructure) {
   AllocationProblem P = makeInstance();
   std::vector<Affinity> Affinities = makeAffinities(P);
   CoalescingResult C =
-      coalesceConservative(P.G, Affinities, P.NumRegisters);
+      coalesceConservative(P.graph(), Affinities, P.uniformBudget());
 
   // Representatives are path-compressed roots.
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
     EXPECT_EQ(C.Representative[C.Representative[V]], C.Representative[V]);
   // Interfering vertices are never merged (only affinity pairs are, and
   // move-related values do not interfere).
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
-    for (VertexId U : P.G.neighbors(V))
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
+    for (VertexId U : P.graph().neighbors(V))
       EXPECT_NE(C.Representative[V], C.Representative[U]);
   // Weights are conserved: merging sums them, nothing is dropped.
-  EXPECT_EQ(C.Coalesced.totalWeight(), P.G.totalWeight());
+  EXPECT_EQ(C.Coalesced.totalWeight(), P.graph().totalWeight());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -211,11 +211,11 @@ TEST_P(StepSweep, BoundedLayerRespectsBoundAndGrowsWithIt) {
     Opt.NumVertices = 12 + static_cast<unsigned>(R.nextBelow(20));
     Graph G = randomChordalGraph(R, Opt);
     AllocationProblem P = AllocationProblem::fromChordalGraph(G, /*R=*/1);
-    unsigned N = P.G.numVertices();
+    unsigned N = P.graph().numVertices();
     std::vector<char> Mask(N, 1);
     std::vector<Weight> W(N);
     for (VertexId V = 0; V < N; ++V)
-      W[V] = P.G.weight(V);
+      W[V] = P.graph().weight(V);
 
     auto LayerWeight = [&](const std::vector<VertexId> &Layer) {
       Weight Total = 0;
@@ -254,22 +254,22 @@ TEST_P(StepSweep, BoundOneMatchesFranksStableSetPath) {
     Opt.NumVertices = 12 + static_cast<unsigned>(R.nextBelow(20));
     Graph G = randomChordalGraph(R, Opt);
     AllocationProblem P = AllocationProblem::fromChordalGraph(G, /*R=*/1);
-    unsigned N = P.G.numVertices();
+    unsigned N = P.graph().numVertices();
     std::vector<Weight> W(N);
     for (VertexId V = 0; V < N; ++V)
-      W[V] = P.G.weight(V);
+      W[V] = P.graph().weight(V);
 
     std::vector<char> Mask(N, 1);
     for (int MaskRound = 0; MaskRound < 3; ++MaskRound) {
       std::vector<VertexId> Dp = optimalBoundedLayer(P, Mask, W, 1);
       StableSetResult Frank =
-          maximumWeightedStableSetChordal(P.G, P.Peo, W, Mask);
+          maximumWeightedStableSetChordal(P.graph(), P.Peo, W, Mask);
       Weight DpWeight = 0;
       for (VertexId V : Dp) {
         EXPECT_TRUE(Mask[V]) << "DP selected a masked-out vertex";
         DpWeight += W[V];
       }
-      EXPECT_TRUE(P.G.isStableSet(Dp)) << "seed=" << Seed;
+      EXPECT_TRUE(P.graph().isStableSet(Dp)) << "seed=" << Seed;
       EXPECT_EQ(DpWeight, Frank.TotalWeight) << "seed=" << Seed;
       // Knock random vertices out of the mask for the next round.
       for (unsigned Knock = 0; Knock < N / 4; ++Knock)

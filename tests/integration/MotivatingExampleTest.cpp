@@ -141,10 +141,10 @@ TEST(MotivatingExampleTest, PressureAwareAllocationSparesTheLoop) {
 
   // No loop value (h*, a2) is spilled: spilling them is useless for the
   // loop, whose pressure already fits -- the paper's whole point.
-  for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
     if (Best.Allocated[V])
       continue;
-    const std::string &Name = P.G.name(V);
+    const std::string &Name = P.graph().name(V);
     EXPECT_NE(Name.substr(0, 1), "h")
         << "spilled loop value " << Name;
     EXPECT_NE(Name.substr(0, 2), "a2")

@@ -46,7 +46,7 @@ TEST(PipelineTest, SpillRewriteBringsPressureDown) {
     // Materialise the spill decision.
     Function Rewritten = Conv.Ssa;
     std::vector<char> Spilled(Rewritten.numValues(), 0);
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
       Spilled[V] = Alloc.Allocated[V] ? 0 : 1;
     SpillRewriteStats Stats = rewriteSpills(Rewritten, Spilled);
     EXPECT_GT(Stats.NumLoads + Stats.NumStores, 0u);
@@ -96,10 +96,10 @@ TEST(PipelineTest, AssignThenVerifyColoringAgainstInterference) {
   Assignment A = assignRegisters(P, Alloc.Allocated);
   EXPECT_TRUE(A.Success);
   // No two interfering allocated values share a register.
-  for (VertexId V = 0; V < P.G.numVertices(); ++V) {
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
     if (!Alloc.Allocated[V])
       continue;
-    for (VertexId U : P.G.neighbors(V))
+    for (VertexId U : P.graph().neighbors(V))
       if (Alloc.Allocated[U]) {
         EXPECT_NE(A.RegisterOf[V], A.RegisterOf[U]);
       }
@@ -120,7 +120,7 @@ TEST(PipelineTest, CostModelIsConsistentAcrossAllocators) {
     AllocationResult First = makeAllocator(Name)->allocate(P);
     AllocationResult Second = makeAllocator(Name)->allocate(P);
     EXPECT_EQ(First.SpillCost, Second.SpillCost) << Name;
-    EXPECT_EQ(First.AllocatedWeight + First.SpillCost, P.G.totalWeight())
+    EXPECT_EQ(First.AllocatedWeight + First.SpillCost, P.graph().totalWeight())
         << Name;
   }
 }
@@ -133,12 +133,12 @@ TEST(PipelineTest, TargetsDifferOnlyInCostScale) {
   AllocationProblem PSt = buildSsaProblem(Conv.Ssa, ST231, 4);
   AllocationProblem PArm = buildSsaProblem(Conv.Ssa, ARMv7, 4);
   // Same structure...
-  EXPECT_EQ(PSt.G.numVertices(), PArm.G.numVertices());
-  EXPECT_EQ(PSt.G.numEdges(), PArm.G.numEdges());
+  EXPECT_EQ(PSt.graph().numVertices(), PArm.graph().numVertices());
+  EXPECT_EQ(PSt.graph().numEdges(), PArm.graph().numEdges());
   EXPECT_EQ(PSt.Constraints.size(), PArm.Constraints.size());
   // ...different weights.
   bool AnyDifferent = false;
-  for (VertexId V = 0; V < PSt.G.numVertices(); ++V)
-    AnyDifferent |= PSt.G.weight(V) != PArm.G.weight(V);
+  for (VertexId V = 0; V < PSt.graph().numVertices(); ++V)
+    AnyDifferent |= PSt.graph().weight(V) != PArm.graph().weight(V);
   EXPECT_TRUE(AnyDifferent);
 }

@@ -35,13 +35,13 @@ namespace {
 /// the point constraints).
 IlpInstance packingOf(const AllocationProblem &P) {
   IlpInstance I;
-  I.Weights.resize(P.G.numVertices());
-  for (VertexId V = 0; V < P.G.numVertices(); ++V)
-    I.Weights[V] = P.G.weight(V);
-  for (const std::vector<VertexId> &K : P.Constraints) {
+  I.Weights.resize(P.graph().numVertices());
+  for (VertexId V = 0; V < P.graph().numVertices(); ++V)
+    I.Weights[V] = P.graph().weight(V);
+  for (const PressureConstraint &K : P.Constraints) {
     IlpConstraint Row;
-    Row.Capacity = P.NumRegisters;
-    for (VertexId V : K)
+    Row.Capacity = K.Budget;
+    for (VertexId V : K.Members)
       Row.Vars.push_back(V);
     I.Constraints.push_back(std::move(Row));
   }
@@ -64,11 +64,11 @@ TEST_P(LpCrossCheck, FranksMwssEqualsIlpAtOneRegister) {
     Graph G = randomChordalGraph(R, Opt);
     AllocationProblem P = AllocationProblem::fromChordalGraph(G, 1);
 
-    std::vector<Weight> Weights(P.G.numVertices());
-    for (VertexId V = 0; V < P.G.numVertices(); ++V)
-      Weights[V] = P.G.weight(V);
+    std::vector<Weight> Weights(P.graph().numVertices());
+    for (VertexId V = 0; V < P.graph().numVertices(); ++V)
+      Weights[V] = P.graph().weight(V);
     StableSetResult Stable =
-        maximumWeightedStableSetChordal(P.G, P.Peo, Weights);
+        maximumWeightedStableSetChordal(P.graph(), P.Peo, Weights);
     Weight FrankWeight = Stable.TotalWeight;
 
     IlpResult Ilp = solveBinaryPackingBudgeted(packingOf(P));

@@ -159,6 +159,45 @@ TEST(ProtocolTest, ParsesAllocateRequest) {
   EXPECT_FALSE(Req.Timing);
 }
 
+TEST(ProtocolTest, ParsesClassRegsOverrides) {
+  ServiceRequest Req;
+  std::string Error;
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"allocate\",\"suite\":\"mixed-classes\",\"regs\":[4],"
+      "\"target\":\"armv7-vfp\",\"class_regs\":{\"vfp\":8,\"gpr\":12}}",
+      Req, Error))
+      << Error;
+  ASSERT_EQ(Req.ClassRegs.size(), 2u);
+  EXPECT_EQ(Req.ClassRegs[0].Class, "vfp");
+  EXPECT_EQ(Req.ClassRegs[0].Regs, 8u);
+  EXPECT_EQ(Req.ClassRegs[1].Class, "gpr");
+  EXPECT_EQ(Req.ClassRegs[1].Regs, 12u);
+
+  // Absent field: no overrides (architectural defaults).
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4}", Req, Error));
+  EXPECT_TRUE(Req.ClassRegs.empty());
+
+  // Syntactic rejections (semantic name checks live in the server).
+  const char *Bad[] = {
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"class_regs\":[]}", // Not an object.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"class_regs\":{}}", // Empty object.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"class_regs\":{\"vfp\":0}}", // Zero budget.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"class_regs\":{\"vfp\":4096}}", // Over the bound.
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"class_regs\":{\"vfp\":\"8\"}}", // Count as string.
+  };
+  for (const char *Payload : Bad) {
+    Error.clear();
+    EXPECT_FALSE(parseServiceRequest(Payload, Req, Error)) << Payload;
+    EXPECT_FALSE(Error.empty()) << Payload;
+  }
+}
+
 TEST(ProtocolTest, ParsesPingStatsAndSubmitIr) {
   ServiceRequest Req;
   std::string Error;

@@ -49,7 +49,7 @@ TEST(SuitesTest, ChordalProblemsAreChordalWithCliqueConstraints) {
   EXPECT_EQ(Problems.size(), S.numFunctions());
   for (const NamedProblem &NP : Problems) {
     EXPECT_TRUE(NP.P.Chordal);
-    EXPECT_TRUE(isChordal(NP.P.G));
+    EXPECT_TRUE(isChordal(NP.P.graph()));
     EXPECT_GT(NP.P.maxLive(), 0u);
     EXPECT_TRUE(NP.P.Intervals.has_value());
   }
@@ -65,7 +65,7 @@ TEST(SuitesTest, GeneralProblemsIncludeNonChordalGraphs) {
   std::vector<NamedProblem> Problems = generalProblems(S, ARMv7, 6);
   unsigned NonChordal = 0, Hot = 0, HotNonChordal = 0;
   for (const NamedProblem &NP : Problems) {
-    bool Chordal = isChordal(NP.P.G);
+    bool Chordal = isChordal(NP.P.graph());
     NonChordal += Chordal ? 0 : 1;
     if (NP.P.maxLive() >= 8) {
       ++Hot;
@@ -95,8 +95,8 @@ TEST(SuitesTest, ProblemSizesAreRealistic) {
   std::vector<NamedProblem> Problems = chordalProblems(S, ST231, 8);
   unsigned TotalVertices = 0, MaxVertices = 0, TotalMaxLive = 0;
   for (const NamedProblem &NP : Problems) {
-    TotalVertices += NP.P.G.numVertices();
-    MaxVertices = std::max(MaxVertices, NP.P.G.numVertices());
+    TotalVertices += NP.P.graph().numVertices();
+    MaxVertices = std::max(MaxVertices, NP.P.graph().numVertices());
     TotalMaxLive += NP.P.maxLive();
   }
   // ~100 functions with O(100) SSA values each.

@@ -1,0 +1,115 @@
+//===- tests/support/ParseUtilTest.cpp - CLI parsing tests ----------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared CLI grammars: strict bounded integers, the `--regs` range /
+/// comma-list grammar, and the `--class-regs=NAME:N` override grammar.
+/// Every front end (layra-bench, layra-serve's loadgen, the fig*
+/// binaries, layra_alloc_tool) routes through these helpers, so a typo
+/// class lives or dies here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/ParseUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+TEST(ParseUtilTest, BoundedUnsignedAcceptsPlainDigits) {
+  unsigned Out = 7;
+  EXPECT_TRUE(parseBoundedUnsigned("0", 10, Out));
+  EXPECT_EQ(Out, 0u);
+  EXPECT_TRUE(parseBoundedUnsigned("1024", 1024, Out));
+  EXPECT_EQ(Out, 1024u);
+}
+
+TEST(ParseUtilTest, BoundedUnsignedRejectsGarbageAndLeavesOutUntouched) {
+  unsigned Out = 42;
+  EXPECT_FALSE(parseBoundedUnsigned("", 10, Out));
+  EXPECT_FALSE(parseBoundedUnsigned(nullptr, 10, Out));
+  EXPECT_FALSE(parseBoundedUnsigned("-1", 10, Out));   // Sign.
+  EXPECT_FALSE(parseBoundedUnsigned("+3", 10, Out));   // Sign.
+  EXPECT_FALSE(parseBoundedUnsigned(" 3", 10, Out));   // Whitespace.
+  EXPECT_FALSE(parseBoundedUnsigned("3x", 10, Out));   // Trailing garbage.
+  EXPECT_FALSE(parseBoundedUnsigned("11", 10, Out));   // Out of range.
+  EXPECT_EQ(Out, 42u); // Untouched on every failure.
+}
+
+TEST(ParseUtilTest, RegListParsesInclusiveRange) {
+  std::vector<unsigned> Out;
+  std::string Error;
+  ASSERT_TRUE(parseRegList("4..16", 1024, Out, Error));
+  ASSERT_EQ(Out.size(), 13u);
+  EXPECT_EQ(Out.front(), 4u);
+  EXPECT_EQ(Out.back(), 16u);
+  // Degenerate range: one value.
+  ASSERT_TRUE(parseRegList("8..8", 1024, Out, Error));
+  EXPECT_EQ(Out, std::vector<unsigned>{8u});
+}
+
+TEST(ParseUtilTest, RegListParsesSingleValuesAndCommaLists) {
+  std::vector<unsigned> Out;
+  std::string Error;
+  ASSERT_TRUE(parseRegList("6", 1024, Out, Error));
+  EXPECT_EQ(Out, std::vector<unsigned>{6u});
+  ASSERT_TRUE(parseRegList("1,2,4", 1024, Out, Error));
+  EXPECT_EQ(Out, (std::vector<unsigned>{1u, 2u, 4u}));
+}
+
+TEST(ParseUtilTest, RegListRejectsMalformedRanges) {
+  std::vector<unsigned> Out;
+  std::string Error;
+  EXPECT_FALSE(parseRegList("16..4", 1024, Out, Error)); // HI < LO.
+  EXPECT_FALSE(Error.empty());
+  EXPECT_FALSE(parseRegList("0..4", 1024, Out, Error));  // LO must be >= 1.
+  EXPECT_FALSE(parseRegList("..4", 1024, Out, Error));   // Missing LO.
+  EXPECT_FALSE(parseRegList("4..", 1024, Out, Error));   // Missing HI.
+  EXPECT_FALSE(parseRegList("4..x", 1024, Out, Error));  // Garbage HI.
+  EXPECT_FALSE(parseRegList("4..2000", 1024, Out, Error)); // Over Max.
+  EXPECT_FALSE(parseRegList("", 1024, Out, Error));      // Empty.
+  EXPECT_FALSE(parseRegList("0", 1024, Out, Error));     // Zero count.
+  EXPECT_FALSE(parseRegList("3,-1", 1024, Out, Error));  // Signed entry.
+}
+
+TEST(ParseUtilTest, ClassRegListParsesOverrides) {
+  std::vector<ClassRegOverride> Out;
+  std::string Error;
+  ASSERT_TRUE(parseClassRegList("vfp:8", 1024, Out, Error));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_EQ(Out[0].Class, "vfp");
+  EXPECT_EQ(Out[0].Regs, 8u);
+
+  ASSERT_TRUE(parseClassRegList("gpr:12,vfp:8", 1024, Out, Error));
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Class, "gpr");
+  EXPECT_EQ(Out[0].Regs, 12u);
+  EXPECT_EQ(Out[1].Class, "vfp");
+  EXPECT_EQ(Out[1].Regs, 8u);
+}
+
+TEST(ParseUtilTest, ClassRegListRejectsMalformedOverrides) {
+  std::vector<ClassRegOverride> Out;
+  std::string Error;
+  EXPECT_FALSE(parseClassRegList("", 1024, Out, Error));       // Empty.
+  EXPECT_FALSE(parseClassRegList("vfp", 1024, Out, Error));    // No colon.
+  EXPECT_FALSE(parseClassRegList(":8", 1024, Out, Error));     // No name.
+  EXPECT_FALSE(parseClassRegList("vfp:", 1024, Out, Error));   // No count.
+  EXPECT_FALSE(parseClassRegList("vfp:0", 1024, Out, Error));  // Zero.
+  EXPECT_FALSE(parseClassRegList("vfp:-2", 1024, Out, Error)); // Sign.
+  EXPECT_FALSE(parseClassRegList("vfp:8x", 1024, Out, Error)); // Garbage.
+  EXPECT_FALSE(parseClassRegList("vfp:2000", 1024, Out, Error)); // Over Max.
+  EXPECT_FALSE(parseClassRegList("vfp:4,vfp:8", 1024, Out, Error)); // Dup.
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ParseUtilTest, SplitCommaListDropsEmptySegments) {
+  EXPECT_EQ(splitCommaList("a,,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(splitCommaList(""), std::vector<std::string>{});
+  EXPECT_EQ(splitCommaList(",,"), std::vector<std::string>{});
+  EXPECT_EQ(splitCommaList("solo"), std::vector<std::string>{"solo"});
+}
