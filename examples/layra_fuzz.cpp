@@ -1,0 +1,183 @@
+//===- examples/layra_fuzz.cpp - Structured IR fuzzing CLI ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `layra-fuzz` command-line front end of the fuzzing subsystem
+/// (src/fuzz/): structured, seed-deterministic mutation of IR functions
+/// and generator configs, swept through the differential-oracle registry,
+/// with delta-minimized reproducers written to a crash directory.
+///
+/// Usage:
+///   layra-fuzz [--runs=N] [--seed=S] [--target=NAME]
+///              [--corpus=DIR] [--negative=DIR] [--crashes=DIR]
+///              [--oracles=a,b,...] [--serve-oracle]
+///              [--break-oracle=NAME] [--max-failures=N] [--no-minimize]
+///              [--repro FILE] [--list-oracles] [--list-targets]
+///
+///   --runs=N         fuzzing iterations (default 100)
+///   --seed=S         session seed; same seed + options = same output
+///                    bytes, same crash files (default 1)
+///   --target=NAME    target for generated cases (default st231);
+///                    corpus seeds keep their own recorded targets
+///   --corpus=DIR     seed corpus of .lir files (default fuzz/corpus when
+///                    it exists); negative seeds default to DIR/negative
+///   --crashes=DIR    where minimized reproducers land (fuzz/crashes)
+///   --oracles=...    comma list of oracle names (default: all)
+///   --serve-oracle   start an in-process layra-serve and enable the
+///                    serve-direct byte-equality oracle
+///   --break-oracle=NAME  debug: plant a deterministic failure into the
+///                    named oracle (fails when the function contains a
+///                    copy) to exercise minimization end to end
+///   --repro FILE     replay one reproducer instead of fuzzing; exit 1
+///                    when the recorded failure still reproduces
+///
+/// Exit codes: 0 clean, 1 failures found (or reproduced), 2 usage/setup.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Oracles.h"
+#include "support/ParseUtil.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <sys/stat.h>
+
+using namespace layra;
+
+namespace {
+
+void printUsageAndExit(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--runs=N] [--seed=S] [--target=NAME] [--corpus=DIR]\n"
+      "       [--negative=DIR] [--crashes=DIR] [--oracles=a,b,...]\n"
+      "       [--serve-oracle] [--break-oracle=NAME] [--max-failures=N]\n"
+      "       [--no-minimize] [--repro FILE] [--list-oracles] "
+      "[--list-targets]\n",
+      Argv0);
+  std::exit(2);
+}
+
+bool isDirectory(const std::string &Path) {
+  struct stat Sb;
+  return ::stat(Path.c_str(), &Sb) == 0 && S_ISDIR(Sb.st_mode);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzOptions Options;
+  Options.CorpusDir = "fuzz/corpus"; // Default; cleared if absent below.
+  std::string ReproPath;
+  bool CorpusExplicit = false, NegativeExplicit = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    // Accept both `--flag=value` and `--flag value`.
+    auto Value = [&](const char *Flag) -> const char * {
+      size_t Len = std::strlen(Flag);
+      if (Arg.compare(0, Len, Flag) == 0 && Arg.size() > Len &&
+          Arg[Len] == '=')
+        return Arg.c_str() + Len + 1;
+      if (Arg == Flag) {
+        if (I + 1 >= Argc)
+          printUsageAndExit(Argv[0]);
+        return Argv[++I];
+      }
+      return nullptr;
+    };
+    if (const char *V = Value("--runs")) {
+      unsigned Runs = 0;
+      if (!parseBoundedUnsigned(V, 1u << 20, Runs))
+        printUsageAndExit(Argv[0]);
+      Options.Runs = Runs;
+    } else if (const char *V = Value("--seed")) {
+      Options.Seed = std::strtoull(V, nullptr, 10);
+    } else if (const char *V = Value("--target")) {
+      Options.TargetName = V;
+    } else if (const char *V = Value("--corpus")) {
+      Options.CorpusDir = V;
+      CorpusExplicit = true;
+    } else if (const char *V = Value("--negative")) {
+      Options.NegativeDir = V;
+      NegativeExplicit = true;
+    } else if (const char *V = Value("--crashes")) {
+      Options.CrashDir = V;
+    } else if (const char *V = Value("--oracles")) {
+      Options.Oracles = splitCommaList(V);
+    } else if (Arg == "--serve-oracle") {
+      Options.ServeOracle = true;
+    } else if (const char *V = Value("--break-oracle")) {
+      Options.BreakOracle = V;
+    } else if (const char *V = Value("--max-failures")) {
+      unsigned Max = 0;
+      if (!parseBoundedUnsigned(V, 1u << 20, Max))
+        printUsageAndExit(Argv[0]);
+      Options.MaxFailures = Max;
+    } else if (Arg == "--no-minimize") {
+      Options.Minimize = false;
+    } else if (const char *V = Value("--repro")) {
+      ReproPath = V;
+    } else if (Arg == "--list-oracles") {
+      for (const Oracle &O : oracleRegistry())
+        std::printf("%-20s %s%s\n", O.Name, O.Description,
+                    O.NeedsServer ? " (needs --serve-oracle)" : "");
+      return 0;
+    } else if (Arg == "--list-targets") {
+      std::fputs(formatTargetList().c_str(), stdout);
+      return 0;
+    } else {
+      printUsageAndExit(Argv[0]);
+    }
+  }
+
+  if (!targetByName(Options.TargetName)) {
+    std::fprintf(stderr, "error: unknown target '%s'\n",
+                 Options.TargetName.c_str());
+    return 2;
+  }
+  if (Options.BreakOracle.empty() == false &&
+      !findOracle(Options.BreakOracle)) {
+    std::fprintf(stderr, "error: --break-oracle names unknown oracle '%s'\n",
+                 Options.BreakOracle.c_str());
+    return 2;
+  }
+  // The default corpus is optional (a bare build tree has none); an
+  // explicitly requested one is not.
+  if (!CorpusExplicit && !isDirectory(Options.CorpusDir))
+    Options.CorpusDir.clear();
+  if (!NegativeExplicit && !Options.CorpusDir.empty()) {
+    std::string Neg = Options.CorpusDir + "/negative";
+    if (isDirectory(Neg))
+      Options.NegativeDir = Neg;
+  }
+
+  if (!ReproPath.empty()) {
+    std::string Error;
+    OracleOutcome Outcome = reproduceFile(ReproPath, Options, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    if (!Outcome.Ok) {
+      std::printf("reproduced: %s\n", Outcome.Detail.c_str());
+      return 1;
+    }
+    std::printf("clean: the recorded failure no longer reproduces\n");
+    return 0;
+  }
+
+  FuzzReport Report = runFuzzSession(Options, stdout);
+  for (const std::string &Error : Report.Errors)
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+  if (!Report.Errors.empty())
+    return 2;
+  return Report.Failures.empty() ? 0 : 1;
+}

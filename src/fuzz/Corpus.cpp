@@ -1,0 +1,178 @@
+//===- fuzz/Corpus.cpp - Seed corpus and crash reports ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Corpus.h"
+
+#include "ir/Parser.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <sys/stat.h>
+
+using namespace layra;
+
+namespace {
+
+/// Name-sorted `*.lir` entries of \p Dir (regular files only).
+bool listLirFiles(const std::string &Dir, std::vector<std::string> &Paths,
+                  std::string *Error) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    if (Error)
+      *Error = Dir + ": " + std::strerror(errno);
+    return false;
+  }
+  std::vector<std::string> Names;
+  while (struct dirent *Entry = ::readdir(D)) {
+    std::string Name = Entry->d_name;
+    if (Name.size() < 4 || Name.compare(Name.size() - 4, 4, ".lir") != 0)
+      continue;
+    struct stat Sb;
+    std::string Path = Dir + "/" + Name;
+    if (::stat(Path.c_str(), &Sb) == 0 && S_ISREG(Sb.st_mode))
+      Names.push_back(std::move(Name));
+  }
+  ::closedir(D);
+  // readdir order is filesystem-dependent; sorting keeps every fuzz run
+  // bit-reproducible.
+  std::sort(Names.begin(), Names.end());
+  for (std::string &Name : Names)
+    Paths.push_back(Dir + "/" + Name);
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Out, std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Error)
+      *Error = Path + ": cannot open";
+    return false;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+std::string hexDigits(uint64_t Value) {
+  static const char *Digits = "0123456789abcdef";
+  std::string Out(16, '0');
+  for (int I = 15; I >= 0; --I) {
+    Out[I] = Digits[Value & 0xF];
+    Value >>= 4;
+  }
+  return Out;
+}
+
+} // namespace
+
+bool layra::loadCorpus(const std::string &Dir, std::vector<FuzzCase> &Cases,
+                       std::vector<std::string> &Errors) {
+  std::vector<std::string> Paths;
+  std::string DirError;
+  if (!listLirFiles(Dir, Paths, &DirError)) {
+    Errors.push_back(DirError);
+    return false;
+  }
+  std::set<uint64_t> Seen;
+  for (const std::string &Path : Paths) {
+    FuzzCase Case;
+    std::string Error;
+    if (!loadReproducerFile(Path, Case, &Error)) {
+      Errors.push_back(Error);
+      continue;
+    }
+    if (!Seen.insert(hashCase(Case)).second)
+      continue; // Content-hash duplicate of an earlier seed.
+    Cases.push_back(std::move(Case));
+  }
+  return true;
+}
+
+bool layra::checkNegativeCorpus(const std::string &Dir,
+                                std::vector<std::string> &Violations,
+                                unsigned *NumScanned) {
+  std::vector<std::string> Paths;
+  std::string DirError;
+  if (!listLirFiles(Dir, Paths, &DirError)) {
+    Violations.push_back(DirError);
+    return false;
+  }
+  if (NumScanned)
+    *NumScanned = static_cast<unsigned>(Paths.size());
+  for (const std::string &Path : Paths) {
+    std::string Text, Error;
+    if (!readFile(Path, Text, &Error)) {
+      Violations.push_back(Error);
+      continue;
+    }
+    ParsedFunction Parsed = parseFunction(Text);
+    if (Parsed.Ok)
+      Violations.push_back(Path + ": expected a parse error, but the file "
+                                  "parsed successfully");
+    else if (Parsed.Error.empty())
+      Violations.push_back(Path + ": parse failed without an error message");
+  }
+  return true;
+}
+
+std::string layra::writeCrashFile(const std::string &Dir,
+                                  const FuzzCase &Case, std::string *Error) {
+  // Create the directory (and parents: crash dirs like fuzz/crashes may
+  // be two levels deep on a fresh checkout).
+  for (size_t Pos = 0; Pos != std::string::npos;) {
+    Pos = Dir.find('/', Pos + 1);
+    std::string Prefix = Pos == std::string::npos ? Dir : Dir.substr(0, Pos);
+    if (Prefix.empty())
+      continue;
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      if (Error)
+        *Error = Prefix + ": " + std::strerror(errno);
+      return {};
+    }
+  }
+  std::string Path = Dir + "/crash-" + hexDigits(hashCase(Case)) + ".lir";
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Error)
+      *Error = Path + ": cannot write";
+    return {};
+  }
+  Out << formatReproducer(Case);
+  Out.close();
+  if (!Out) {
+    if (Error)
+      *Error = Path + ": write failed";
+    return {};
+  }
+  return Path;
+}
+
+bool layra::loadReproducerFile(const std::string &Path, FuzzCase &Case,
+                               std::string *Error) {
+  std::string Text;
+  if (!readFile(Path, Text, Error))
+    return false;
+  std::string ParseError;
+  if (!parseReproducer(Text, Case, &ParseError)) {
+    if (Error)
+      *Error = Path + ": " + ParseError;
+    return false;
+  }
+  std::string ValidateError;
+  if (!validateCase(Case, &ValidateError)) {
+    if (Error)
+      *Error = Path + ": " + ValidateError;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,59 @@
+//===- fuzz/Corpus.h - Seed corpus and crash reports ------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-corpus management for `layra-fuzz`: loading `.lir` reproducer
+/// files from a directory (sorted by name and deduplicated by content
+/// hash so re-committing an equivalent seed is a no-op), loading the
+/// *negative* corpus (files that must fail to parse cleanly -- crash
+/// regression seeds for ir/Parser), and writing minimized crash
+/// reproducers under a content-addressed name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FUZZ_CORPUS_H
+#define LAYRA_FUZZ_CORPUS_H
+
+#include "fuzz/FuzzCase.h"
+
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Loads every `*.lir` file under \p Dir (non-recursive, name-sorted) as
+/// a FuzzCase, dropping content-hash duplicates.  Files that fail to
+/// parse or validate are reported in \p Errors ("<file>: <reason>"); the
+/// good cases still load.  Returns false only when \p Dir itself cannot
+/// be read.
+bool loadCorpus(const std::string &Dir, std::vector<FuzzCase> &Cases,
+                std::vector<std::string> &Errors);
+
+/// Loads the negative corpus: every `*.lir` under \p Dir must make
+/// parseFunction() return a clean error (Ok=false with a message -- and,
+/// trivially, not crash).  Files that unexpectedly parse are appended to
+/// \p Violations; \p NumScanned (optional) receives the file count.
+/// Returns false when \p Dir cannot be read.
+bool checkNegativeCorpus(const std::string &Dir,
+                         std::vector<std::string> &Violations,
+                         unsigned *NumScanned = nullptr);
+
+/// Writes \p Case in reproducer format to
+/// `<Dir>/crash-<16-hex-digits>.lir` (content-addressed via hashCase, so
+/// rediscovering one minimized case never duplicates files).  Creates
+/// \p Dir if needed.  Returns the path, or "" with \p Error set.
+std::string writeCrashFile(const std::string &Dir, const FuzzCase &Case,
+                           std::string *Error);
+
+/// Reads one reproducer file into \p Case.  False with \p Error set on
+/// IO, parse, or validation failure.
+bool loadReproducerFile(const std::string &Path, FuzzCase &Case,
+                        std::string *Error);
+
+} // namespace layra
+
+#endif // LAYRA_FUZZ_CORPUS_H

@@ -1,0 +1,230 @@
+//===- fuzz/FuzzCase.cpp - One structured fuzzing case ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzCase.h"
+
+#include "driver/BatchDriver.h" // hashFunction
+#include "ir/Liveness.h"
+#include "ir/Parser.h"
+#include "support/ParseUtil.h"
+#include "support/Random.h" // splitMix64
+
+#include <sstream>
+
+using namespace layra;
+
+unsigned FuzzCase::numInstructions() const {
+  unsigned N = 0;
+  for (const BasicBlock &BB : F.blocks())
+    N += static_cast<unsigned>(BB.Instrs.size());
+  return N;
+}
+
+bool layra::validateCase(const FuzzCase &Case, std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  const TargetDesc *Target = Case.target();
+  if (!Target)
+    return Fail("unknown target '" + Case.TargetName + "'");
+  if (Case.Budgets.size() != Target->numClasses())
+    return Fail("budgets size " + std::to_string(Case.Budgets.size()) +
+                " does not match target class count " +
+                std::to_string(Target->numClasses()));
+  for (unsigned B : Case.Budgets)
+    if (B == 0)
+      return Fail("zero register budget");
+  if (std::string E = checkFunctionClasses(Case.F, *Target); !E.empty())
+    return Fail(E);
+
+  std::string VerifyError;
+  if (!verifyFunction(Case.F, /*ExpectSsa=*/false, &VerifyError))
+    return Fail("verify: " + VerifyError);
+
+  // The mutation substrate is phi-free: phis only appear after SSA
+  // conversion, and every CFG mutator relies on not having to maintain
+  // positional phi operands.
+  for (const BasicBlock &BB : Case.F.blocks())
+    for (const Instruction &I : BB.Instrs)
+      if (I.isPhi())
+        return Fail("phi instruction in non-SSA fuzz substrate (block '" +
+                    BB.Name + "')");
+
+  // Reachability: dominators/SSA construction assume every block hangs off
+  // the entry.  Mutators that orphan a block must cascade-delete it.
+  std::vector<char> Seen(Case.F.numBlocks(), 0);
+  std::vector<BlockId> Work{Case.F.entry()};
+  Seen[Case.F.entry()] = 1;
+  while (!Work.empty()) {
+    BlockId B = Work.back();
+    Work.pop_back();
+    for (BlockId S : Case.F.block(B).Succs)
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B)
+    if (!Seen[B])
+      return Fail("unreachable block '" + Case.F.block(B).Name + "'");
+
+  // Strict definedness: no variable may be live into the entry block,
+  // otherwise some path uses it before any definition and SSA conversion
+  // would materialize <undef> phi operands the allocators never see in
+  // production.
+  Liveness Live(Case.F);
+  const BitVector &EntryIn = Live.liveIn(Case.F.entry());
+  for (ValueId V = 0; V < Case.F.numValues(); ++V)
+    if (EntryIn.test(V))
+      return Fail("value %" + std::to_string(V) +
+                  " is used before any definition on some path");
+  return true;
+}
+
+bool layra::normalizeCase(FuzzCase &Case, std::string *Error) {
+  ParsedFunction Parsed = parseFunction(Case.F.toString());
+  if (!Parsed.Ok) {
+    if (Error)
+      *Error = "normalize: line " + std::to_string(Parsed.Line) + ": " +
+               Parsed.Error;
+    return false;
+  }
+  Case.F = std::move(Parsed.F);
+  return true;
+}
+
+std::string layra::formatReproducer(const FuzzCase &Case) {
+  std::string Out = ";! layra-fuzz-reproducer/v1\n";
+  Out += ";! target=" + Case.TargetName + "\n";
+  Out += ";! budgets=";
+  for (size_t I = 0; I < Case.Budgets.size(); ++I)
+    Out += (I ? "," : "") + std::to_string(Case.Budgets[I]);
+  Out += "\n";
+  Out += ";! seed=" + std::to_string(Case.Seed) +
+         " run=" + std::to_string(Case.Run) + "\n";
+  if (!Case.OracleName.empty())
+    Out += ";! oracle=" + Case.OracleName + "\n";
+  if (!Case.Trail.empty()) {
+    Out += ";! trail=";
+    for (size_t I = 0; I < Case.Trail.size(); ++I)
+      Out += (I ? "," : "") + Case.Trail[I];
+    Out += "\n";
+  }
+  if (!Case.Detail.empty()) {
+    // The detail must stay one line to keep the file parseable.
+    std::string Flat = Case.Detail;
+    for (char &C : Flat)
+      if (C == '\n' || C == '\r')
+        C = ' ';
+    Out += ";! detail=" + Flat + "\n";
+  }
+  Out += Case.F.toString();
+  return Out;
+}
+
+bool layra::parseReproducer(const std::string &Text, FuzzCase &Case,
+                            std::string *Error) {
+  FuzzCase Out;
+  std::string IrText;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.rfind(";!", 0) != 0) {
+      IrText += Line + "\n";
+      continue;
+    }
+    std::string Meta = Line.substr(2);
+    // Metadata lines are `key=value` tokens separated by spaces; only
+    // `trail` and `detail` swallow the rest of the line.
+    size_t Pos = 0;
+    while (Pos < Meta.size()) {
+      while (Pos < Meta.size() && Meta[Pos] == ' ')
+        ++Pos;
+      size_t Eq = Meta.find('=', Pos);
+      if (Eq == std::string::npos)
+        break; // The version tag line has no '='.
+      std::string Key = Meta.substr(Pos, Eq - Pos);
+      size_t End = (Key == "trail" || Key == "detail")
+                       ? Meta.size()
+                       : Meta.find(' ', Eq + 1);
+      if (End == std::string::npos)
+        End = Meta.size();
+      std::string Value = Meta.substr(Eq + 1, End - (Eq + 1));
+      Pos = End;
+      if (Key == "target") {
+        Out.TargetName = Value;
+      } else if (Key == "budgets") {
+        Out.Budgets.clear();
+        for (const std::string &Item : splitCommaList(Value)) {
+          unsigned B = 0;
+          if (!parseBoundedUnsigned(Item.c_str(), 1024, B) || B == 0) {
+            if (Error)
+              *Error = "bad budgets metadata '" + Value + "'";
+            return false;
+          }
+          Out.Budgets.push_back(B);
+        }
+      } else if (Key == "seed") {
+        Out.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+      } else if (Key == "run") {
+        Out.Run = std::strtoull(Value.c_str(), nullptr, 10);
+      } else if (Key == "oracle") {
+        Out.OracleName = Value;
+      } else if (Key == "trail") {
+        for (const std::string &Item : splitCommaList(Value))
+          Out.Trail.push_back(Item);
+      } else if (Key == "detail") {
+        Out.Detail = Value;
+      }
+      // Unknown keys: ignored (forward compatibility).
+    }
+  }
+
+  ParsedFunction Parsed = parseFunction(IrText);
+  if (!Parsed.Ok) {
+    if (Error)
+      *Error = "line " + std::to_string(Parsed.Line) + ": " + Parsed.Error;
+    return false;
+  }
+  Out.F = std::move(Parsed.F);
+
+  const TargetDesc *Target = targetByName(Out.TargetName);
+  if (!Target) {
+    if (Error)
+      *Error = "unknown target '" + Out.TargetName + "'";
+    return false;
+  }
+  // Bare corpus files carry no budgets line: default to the historical
+  // sweep entry point (R=4 for class 0, architectural counts elsewhere).
+  if (Out.Budgets.empty())
+    Out.Budgets = resolveClassBudgets(*Target, 4, {});
+  if (Out.Budgets.size() != Target->numClasses()) {
+    if (Error)
+      *Error = "budgets list has " + std::to_string(Out.Budgets.size()) +
+               " entries but target '" + Out.TargetName + "' has " +
+               std::to_string(Target->numClasses()) + " class(es)";
+    return false;
+  }
+  Case = std::move(Out);
+  return true;
+}
+
+uint64_t layra::hashCase(const FuzzCase &Case) {
+  uint64_t H = hashFunction(Case.F);
+  uint64_t State = H ^ 0x66757a7a2d636173ULL; // "fuzz-cas"
+  for (char C : Case.TargetName) {
+    State ^= static_cast<unsigned char>(C);
+    H ^= splitMix64(State);
+  }
+  for (unsigned B : Case.Budgets) {
+    State ^= B;
+    H ^= splitMix64(State);
+  }
+  return H;
+}

@@ -1,0 +1,103 @@
+//===- fuzz/FuzzCase.h - One structured fuzzing case ------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit the fuzzing subsystem manipulates: a non-SSA, phi-free IR
+/// function (the mutation substrate -- SSA conversion happens inside the
+/// oracles, exactly as in the production pipeline) together with the
+/// target it runs on and the per-class register budgets.  A case is fully
+/// described by its textual reproducer form: `;!`-prefixed metadata lines
+/// followed by the function in ir/Parser.h syntax, so every crash report
+/// is a self-contained file a human (or `layra-fuzz --repro`) can replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FUZZ_FUZZCASE_H
+#define LAYRA_FUZZ_FUZZCASE_H
+
+#include "ir/Program.h"
+#include "ir/Target.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// One fuzzing case: function + target + budgets, plus the provenance the
+/// crash reporter records.
+struct FuzzCase {
+  /// The function under test.  Non-SSA and phi-free by construction; the
+  /// oracles convert to SSA themselves.
+  Function F{"f"};
+  /// Target name (targetByName); the class table budgets index into.
+  std::string TargetName = "st231";
+  /// Register budget per target class (resolveClassBudgets shape).
+  std::vector<unsigned> Budgets;
+
+  // --- Provenance (filled by the session, serialized into reproducers) ---
+  /// Session seed and run index the case came from.
+  uint64_t Seed = 0;
+  uint64_t Run = 0;
+  /// Names of the mutations applied, in order ("insert-op,add-loop,...").
+  std::vector<std::string> Trail;
+  /// Violated oracle (crash reports only).
+  std::string OracleName;
+  /// Oracle failure detail (crash reports only; single line).
+  std::string Detail;
+
+  const TargetDesc *target() const { return targetByName(TargetName); }
+
+  /// Total instruction count (terminators included) -- the size metric the
+  /// minimizer drives down.
+  unsigned numInstructions() const;
+};
+
+/// Structural validity of a case: the function verifies (non-SSA), every
+/// block is reachable from entry, every use is dominated by a definition
+/// on every path (no variable is live into the entry block), the function
+/// is phi-free, its register classes fit the target's class table, and
+/// Budgets has one nonzero entry per target class.  Everything the
+/// mutators and the minimizer produce must pass this gate before an
+/// oracle ever sees it; \p Error (optional) receives the first violation.
+bool validateCase(const FuzzCase &Case, std::string *Error = nullptr);
+
+/// Canonicalizes \p Case.F through a print/parse round trip: value ids
+/// are renumbered by first textual appearance, so structurally equal
+/// cases serialize to equal bytes.  Returns false (case untouched) if the
+/// round trip fails -- which is itself a parser bug worth reporting.
+bool normalizeCase(FuzzCase &Case, std::string *Error = nullptr);
+
+/// Serializes \p Case in the reproducer format:
+///
+/// \code
+///   ;! layra-fuzz-reproducer/v1
+///   ;! target=armv7-vfp
+///   ;! budgets=4,2
+///   ;! seed=7 run=12
+///   ;! oracle=heuristic-vs-exact
+///   ;! trail=insert-op,add-loop
+///   ;! detail=lh spill cost 12 below proven optimum 15
+///   function f { ... }
+/// \endcode
+std::string formatReproducer(const FuzzCase &Case);
+
+/// Parses the reproducer format (metadata lines optional -- a bare `.lir`
+/// corpus file is a valid reproducer with default target/budgets).
+/// Unknown `;!` keys are ignored for forward compatibility.  On success
+/// fills \p Case; on failure returns false with \p Error set.
+bool parseReproducer(const std::string &Text, FuzzCase &Case,
+                     std::string *Error);
+
+/// Stable content hash of a case: hashFunction(F) mixed with the target
+/// name and budgets.  Crash file names derive from it, so re-discovering
+/// the same minimized case never duplicates a report.
+uint64_t hashCase(const FuzzCase &Case);
+
+} // namespace layra
+
+#endif // LAYRA_FUZZ_FUZZCASE_H

@@ -1,0 +1,101 @@
+//===- fuzz/Fuzzer.h - Deterministic fuzzing sessions -----------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzzing session behind `layra-fuzz`: draws base cases from the
+/// seed corpus and from perturbed ProgramGen configurations, applies a
+/// seed-deterministic burst of structured mutations (fuzz/Mutator.h),
+/// sweeps the oracle registry (fuzz/Oracles.h) over every accepted
+/// mutant, and on a violation minimizes the case (fuzz/Minimizer.h) and
+/// writes a content-addressed reproducer (fuzz/Corpus.h).
+///
+/// Determinism contract: a session's entire observable output -- which
+/// cases are generated, which oracles fail, the minimized reproducer
+/// bytes and file names -- is a pure function of (Seed, Runs, options).
+/// Run i draws from its own SplitMix64-derived stream, so neither
+/// failures nor minimization consume random state that later runs see.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FUZZ_FUZZER_H
+#define LAYRA_FUZZ_FUZZER_H
+
+#include "fuzz/FuzzCase.h"
+#include "fuzz/Oracles.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// Session configuration.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  unsigned Runs = 100;
+  std::string TargetName = "st231";
+  /// Seed corpus directory ("" = none; generated bases only).
+  std::string CorpusDir;
+  /// Negative corpus directory ("" = none).  Every file here must fail
+  /// to parse cleanly; a file that parses is a session-level error.
+  std::string NegativeDir;
+  /// Where minimized reproducers land.
+  std::string CrashDir = "fuzz/crashes";
+  /// Oracle names to run; empty = every registered oracle (server-backed
+  /// ones only when a server is enabled).
+  std::vector<std::string> Oracles;
+  /// Start an in-process allocation server and enable the serve-direct
+  /// oracle against it.
+  bool ServeOracle = false;
+  /// Planted-failure debug flag (see OracleContext::BreakOracle).
+  std::string BreakOracle;
+  /// Mutations attempted per run (1..N drawn uniformly).
+  unsigned MaxMutationsPerCase = 4;
+  /// Minimize failing cases before writing reproducers.
+  bool Minimize = true;
+  /// Stop after this many distinct failures (0 = never stop early).
+  unsigned MaxFailures = 0;
+};
+
+/// One recorded failure.
+struct FuzzFailure {
+  FuzzCase Case;        ///< Minimized (when FuzzOptions::Minimize).
+  std::string CrashPath; ///< Written reproducer ("" if writing failed).
+};
+
+/// Session outcome.
+struct FuzzReport {
+  unsigned Runs = 0;
+  unsigned CorpusSeeds = 0;
+  unsigned NegativeSeeds = 0;
+  uint64_t MutationsApplied = 0;
+  uint64_t MutationsRejected = 0;
+  uint64_t OracleChecks = 0;
+  std::vector<FuzzFailure> Failures;
+  /// Session-level problems (unreadable corpus, negative seed that
+  /// parsed, ...).  Non-empty means the session itself is unhealthy,
+  /// independent of oracle verdicts.
+  std::vector<std::string> Errors;
+
+  bool clean() const { return Failures.empty() && Errors.empty(); }
+};
+
+/// Runs a fuzzing session.  \p Log (optional) receives one line per
+/// failure and a summary; pass nullptr for silence.
+FuzzReport runFuzzSession(const FuzzOptions &Options, std::FILE *Log);
+
+/// Replays one reproducer file: runs the oracle named in its metadata
+/// (or, when absent, every oracle \p Options selects) against the case.
+/// Returns the outcome of the *violated* oracle when the failure
+/// reproduces; Ok=true when the case is clean.  \p Options supplies
+/// BreakOracle/ServeOracle context; Seed/Runs/corpus fields are ignored.
+OracleOutcome reproduceFile(const std::string &Path,
+                            const FuzzOptions &Options, std::string *Error);
+
+} // namespace layra
+
+#endif // LAYRA_FUZZ_FUZZER_H

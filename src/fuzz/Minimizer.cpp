@@ -1,0 +1,277 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging case minimizer ------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "fuzz/Mutator.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+namespace {
+
+/// Shared accept gate: a candidate replaces the current case only when it
+/// is structurally valid, normalizes, and still fails.
+struct Shrinker {
+  FuzzCase &Case;
+  const std::function<bool(const FuzzCase &)> &StillFails;
+  MinimizeStats Stats;
+
+  bool accept(FuzzCase &Candidate) {
+    ++Stats.CandidatesTried;
+    if (!validateCase(Candidate) || !normalizeCase(Candidate))
+      return false;
+    if (!StillFails(Candidate))
+      return false;
+    // Keep provenance; only the payload shrinks.
+    Candidate.Seed = Case.Seed;
+    Candidate.Run = Case.Run;
+    Candidate.Trail = Case.Trail;
+    Candidate.OracleName = Case.OracleName;
+    Candidate.Detail = Case.Detail;
+    Case = std::move(Candidate);
+    ++Stats.CandidatesAccepted;
+    return true;
+  }
+};
+
+/// Tries to delete whole non-entry blocks, rerouting nothing: edges into
+/// a deleted block simply disappear (a `br` left succ-less becomes
+/// `ret`), and blocks orphaned by the deletion are pruned along with it.
+bool passDropBlocks(Shrinker &S) {
+  bool Changed = false;
+  for (unsigned B = 1; B < S.Case.F.numBlocks();) {
+    FunctionSketch Sketch = FunctionSketch::fromFunction(S.Case.F);
+    for (FunctionSketch::SketchBlock &SB : Sketch.Blocks)
+      SB.Succs.erase(std::remove(SB.Succs.begin(), SB.Succs.end(), B),
+                     SB.Succs.end());
+    Sketch.Blocks[B].Succs.clear();
+    // Make the dropped block unreachable, then let pruning remap.
+    for (FunctionSketch::SketchBlock &SB : Sketch.Blocks)
+      if (!SB.Instrs.empty() && SB.Instrs.back().Op == Opcode::Branch &&
+          SB.Succs.empty())
+        SB.Instrs.back().Op = Opcode::Return;
+    FunctionSketch Pruned = std::move(Sketch);
+    // B is now unreachable (no succ edges point at it).
+    Pruned.pruneUnreachable();
+    FuzzCase Candidate = S.Case;
+    Candidate.F = Pruned.build();
+    if (S.accept(Candidate))
+      Changed = true; // Same index now names the next block.
+    else
+      ++B;
+  }
+  return Changed;
+}
+
+/// Tries to delete individual CFG edges (a back edge or one arm of a
+/// branch); blocks orphaned by the cut are pruned, and a `br` left with
+/// no successors becomes `ret`.
+bool passDropEdges(Shrinker &S) {
+  bool Changed = false;
+  for (BlockId B = 0; B < S.Case.F.numBlocks(); ++B) {
+    for (unsigned E = 0; E < S.Case.F.block(B).Succs.size();) {
+      FunctionSketch Sketch = FunctionSketch::fromFunction(S.Case.F);
+      FunctionSketch::SketchBlock &SB = Sketch.Blocks[B];
+      SB.Succs.erase(SB.Succs.begin() + E);
+      if (SB.Succs.empty() && !SB.Instrs.empty() &&
+          SB.Instrs.back().Op == Opcode::Branch)
+        SB.Instrs.back().Op = Opcode::Return;
+      Sketch.pruneUnreachable();
+      FuzzCase Candidate = S.Case;
+      Candidate.F = Sketch.build();
+      if (S.accept(Candidate)) {
+        Changed = true;
+        break; // Block ids shifted; restart this block's edge scan.
+      }
+      ++E;
+    }
+  }
+  return Changed;
+}
+
+/// Merges single-succ/single-pred block pairs (an unconditional `br`
+/// into a block nothing else enters).  Dropping a mid-chain block
+/// outright would orphan everything behind it, so chains of empty blocks
+/// survive passDropBlocks; merging collapses them.
+bool passMergeChains(Shrinker &S) {
+  bool Changed = true, Any = false;
+  while (Changed) {
+    Changed = false;
+    const Function &F = S.Case.F;
+    std::vector<unsigned> PredCount(F.numBlocks(), 0);
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      for (BlockId Succ : F.block(B).Succs)
+        ++PredCount[Succ];
+    for (BlockId B = 0; B < F.numBlocks() && !Changed; ++B) {
+      const BasicBlock &BB = F.block(B);
+      if (BB.Succs.size() != 1 || BB.Instrs.empty() ||
+          BB.Instrs.back().Op != Opcode::Branch)
+        continue;
+      BlockId Succ = BB.Succs[0];
+      if (Succ == F.entry() || Succ == B || PredCount[Succ] != 1)
+        continue;
+      FunctionSketch Sketch = FunctionSketch::fromFunction(F);
+      FunctionSketch::SketchBlock &SB = Sketch.Blocks[B];
+      SB.Instrs.pop_back();
+      for (Instruction &I : Sketch.Blocks[Succ].Instrs)
+        SB.Instrs.push_back(std::move(I));
+      SB.Succs = Sketch.Blocks[Succ].Succs;
+      Sketch.Blocks[Succ].Succs.clear();
+      Sketch.pruneUnreachable();
+      FuzzCase Candidate = S.Case;
+      Candidate.F = Sketch.build();
+      if (S.accept(Candidate))
+        Changed = Any = true;
+    }
+  }
+  return Any;
+}
+
+/// Tries to delete runs of non-terminator instructions, halving chunk
+/// sizes ddmin-style down to single instructions.
+bool passDropInstructions(Shrinker &S) {
+  bool Changed = false;
+  for (unsigned Chunk = 8; Chunk >= 1; Chunk /= 2) {
+    bool ChunkChanged = true;
+    while (ChunkChanged) {
+      ChunkChanged = false;
+      for (BlockId B = 0; B < S.Case.F.numBlocks(); ++B) {
+        unsigned NumInstrs =
+            static_cast<unsigned>(S.Case.F.block(B).Instrs.size());
+        for (unsigned Start = 0; Start < NumInstrs;) {
+          const BasicBlock &BB = S.Case.F.block(B);
+          if (Start >= BB.Instrs.size())
+            break;
+          unsigned End = std::min(
+              Start + Chunk, static_cast<unsigned>(BB.Instrs.size()));
+          // Never delete the terminator.
+          if (!BB.Instrs.empty() &&
+              End == BB.Instrs.size())
+            End = static_cast<unsigned>(BB.Instrs.size()) - 1;
+          if (End <= Start) {
+            ++Start;
+            continue;
+          }
+          FunctionSketch Sketch = FunctionSketch::fromFunction(S.Case.F);
+          auto &Instrs = Sketch.Blocks[B].Instrs;
+          Instrs.erase(Instrs.begin() + Start, Instrs.begin() + End);
+          FuzzCase Candidate = S.Case;
+          Candidate.F = Sketch.build();
+          if (S.accept(Candidate)) {
+            Changed = ChunkChanged = true;
+            // Do not advance: the window now holds fresh instructions.
+          } else {
+            ++Start;
+          }
+        }
+      }
+    }
+    if (Chunk == 1)
+      break;
+  }
+  return Changed;
+}
+
+/// Tries to drop individual use operands (ops and terminators tolerate
+/// any use count; copies need exactly one, so they are skipped).
+bool passDropOperands(Shrinker &S) {
+  bool Changed = false;
+  for (BlockId B = 0; B < S.Case.F.numBlocks(); ++B) {
+    for (unsigned I = 0; I < S.Case.F.block(B).Instrs.size(); ++I) {
+      for (unsigned U = 0; U < S.Case.F.block(B).Instrs[I].Uses.size();) {
+        if (S.Case.F.block(B).Instrs[I].Op == Opcode::Copy)
+          break;
+        FunctionSketch Sketch = FunctionSketch::fromFunction(S.Case.F);
+        auto &Uses = Sketch.Blocks[B].Instrs[I].Uses;
+        Uses.erase(Uses.begin() + U);
+        FuzzCase Candidate = S.Case;
+        Candidate.F = Sketch.build();
+        if (S.accept(Candidate))
+          Changed = true; // Same index now names the next use.
+        else
+          ++U;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// Tries to canonicalize block frequencies to 1 and loop depths to 0.
+bool passFlattenWeights(Shrinker &S) {
+  bool Changed = false;
+  for (BlockId B = 0; B < S.Case.F.numBlocks(); ++B) {
+    const BasicBlock &BB = S.Case.F.block(B);
+    if (BB.Frequency == 1 && BB.LoopDepth == 0)
+      continue;
+    FuzzCase Candidate = S.Case;
+    Candidate.F.block(B).Frequency = 1;
+    Candidate.F.block(B).LoopDepth = 0;
+    if (S.accept(Candidate))
+      Changed = true;
+  }
+  return Changed;
+}
+
+/// Tries to move every value back to class 0 (single-file cases are the
+/// easiest to reason about).
+bool passFlattenClasses(Shrinker &S) {
+  bool Changed = false;
+  for (ValueId V = 0; V < S.Case.F.numValues(); ++V) {
+    if (S.Case.F.valueClass(V) == 0)
+      continue;
+    FunctionSketch Sketch = FunctionSketch::fromFunction(S.Case.F);
+    Sketch.ValueClasses[V] = 0;
+    FuzzCase Candidate = S.Case;
+    Candidate.F = Sketch.build();
+    if (S.accept(Candidate))
+      Changed = true;
+  }
+  return Changed;
+}
+
+/// Tries smaller register budgets (smaller instances spill more and are
+/// easier to eyeball).
+bool passShrinkBudgets(Shrinker &S) {
+  bool Changed = false;
+  for (unsigned C = 0; C < S.Case.Budgets.size(); ++C)
+    for (unsigned Budget : {1u, 2u, 4u}) {
+      if (Budget >= S.Case.Budgets[C])
+        break;
+      FuzzCase Candidate = S.Case;
+      Candidate.Budgets[C] = Budget;
+      if (S.accept(Candidate)) {
+        Changed = true;
+        break;
+      }
+    }
+  return Changed;
+}
+
+} // namespace
+
+MinimizeStats layra::minimizeCase(
+    FuzzCase &Case, const std::function<bool(const FuzzCase &)> &StillFails,
+    unsigned MaxRounds) {
+  Shrinker S{Case, StillFails, {}};
+  for (unsigned Round = 0; Round < MaxRounds; ++Round) {
+    ++S.Stats.Rounds;
+    bool Changed = false;
+    Changed |= passDropBlocks(S);
+    Changed |= passDropEdges(S);
+    Changed |= passMergeChains(S);
+    Changed |= passDropInstructions(S);
+    Changed |= passDropOperands(S);
+    Changed |= passFlattenWeights(S);
+    Changed |= passFlattenClasses(S);
+    Changed |= passShrinkBudgets(S);
+    if (!Changed)
+      break;
+  }
+  return S.Stats;
+}

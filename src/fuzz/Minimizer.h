@@ -1,0 +1,47 @@
+//===- fuzz/Minimizer.h - Delta-debugging case minimizer --------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shrinks a failing FuzzCase to a minimal reproducer: greedy
+/// delta-debugging over blocks, instruction chunks, operands, budgets,
+/// frequencies and register classes, accepting a candidate only when it
+/// (a) still passes validateCase() and (b) still fails the same oracle.
+/// Deterministic: candidate order is fixed, no randomness, so the same
+/// failing case always minimizes to the same bytes -- which is what makes
+/// `layra-fuzz --runs=N --seed=S` bit-reproducible end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FUZZ_MINIMIZER_H
+#define LAYRA_FUZZ_MINIMIZER_H
+
+#include "fuzz/FuzzCase.h"
+
+#include <functional>
+
+namespace layra {
+
+/// Statistics of one minimization.
+struct MinimizeStats {
+  unsigned CandidatesTried = 0;
+  unsigned CandidatesAccepted = 0;
+  unsigned Rounds = 0;
+};
+
+/// Shrinks \p Case in place.  \p StillFails must return true when a
+/// candidate still exhibits the failure being chased; it is only ever
+/// called on candidates that pass validateCase().  The function runs
+/// whole passes to a fixpoint (bounded by \p MaxRounds as a safety
+/// valve); on return \p Case is the smallest accepted variant, already
+/// normalized through the parser round trip.
+MinimizeStats minimizeCase(FuzzCase &Case,
+                           const std::function<bool(const FuzzCase &)> &StillFails,
+                           unsigned MaxRounds = 32);
+
+} // namespace layra
+
+#endif // LAYRA_FUZZ_MINIMIZER_H

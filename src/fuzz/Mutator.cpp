@@ -1,0 +1,443 @@
+//===- fuzz/Mutator.cpp - Structured IR mutators ----------------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "ir/Dominators.h"
+
+#include <algorithm>
+
+using namespace layra;
+
+FunctionSketch FunctionSketch::fromFunction(const Function &F) {
+  FunctionSketch S;
+  S.Name = F.name();
+  S.NumValues = F.numValues();
+  S.ValueNames.resize(S.NumValues);
+  S.ValueClasses.resize(S.NumValues, 0);
+  for (ValueId V = 0; V < S.NumValues; ++V) {
+    S.ValueNames[V] = F.valueName(V);
+    S.ValueClasses[V] = F.valueClass(V);
+  }
+  S.Blocks.resize(F.numBlocks());
+  for (BlockId B = 0; B < F.numBlocks(); ++B) {
+    const BasicBlock &BB = F.block(B);
+    SketchBlock &SB = S.Blocks[B];
+    SB.Name = BB.Name;
+    SB.Instrs = BB.Instrs;
+    SB.Succs.assign(BB.Succs.begin(), BB.Succs.end());
+    SB.LoopDepth = BB.LoopDepth;
+    SB.Frequency = BB.Frequency;
+  }
+  return S;
+}
+
+Function FunctionSketch::build() const {
+  Function F(Name);
+  for (const SketchBlock &SB : Blocks)
+    F.makeBlock(SB.Name);
+  // makeValue hands out dense ids from zero, so sketch value ids carry
+  // over verbatim.
+  for (ValueId V = 0; V < NumValues; ++V)
+    F.makeValue(ValueNames[V], ValueClasses[V]);
+  for (BlockId B = 0; B < Blocks.size(); ++B) {
+    BasicBlock &BB = F.block(B);
+    BB.Instrs = Blocks[B].Instrs;
+    BB.LoopDepth = Blocks[B].LoopDepth;
+    BB.Frequency = Blocks[B].Frequency;
+  }
+  // The substrate is phi-free, so edge insertion order is free of phi
+  // operand semantics; inserting in block-then-succ order keeps rebuilds
+  // deterministic.
+  for (BlockId B = 0; B < Blocks.size(); ++B)
+    for (unsigned To : Blocks[B].Succs)
+      F.addEdge(B, To);
+  return F;
+}
+
+void FunctionSketch::pruneUnreachable() {
+  std::vector<char> Seen(Blocks.size(), 0);
+  std::vector<unsigned> Work{0};
+  Seen[0] = 1;
+  while (!Work.empty()) {
+    unsigned B = Work.back();
+    Work.pop_back();
+    for (unsigned S : Blocks[B].Succs)
+      if (!Seen[S]) {
+        Seen[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  std::vector<unsigned> Remap(Blocks.size(), ~0u);
+  unsigned Next = 0;
+  for (unsigned B = 0; B < Blocks.size(); ++B)
+    if (Seen[B])
+      Remap[B] = Next++;
+  if (Next == Blocks.size())
+    return;
+  std::vector<SketchBlock> Kept;
+  Kept.reserve(Next);
+  for (unsigned B = 0; B < Blocks.size(); ++B) {
+    if (!Seen[B])
+      continue;
+    SketchBlock SB = std::move(Blocks[B]);
+    for (unsigned &S : SB.Succs)
+      S = Remap[S];
+    // Reachable blocks only ever point at reachable blocks, so no succ
+    // entry dangles -- but a caller may have emptied a succ list before
+    // pruning, leaving a `br` with nowhere to go.
+    if (SB.Succs.empty() && !SB.Instrs.empty() &&
+        SB.Instrs.back().Op == Opcode::Branch)
+      SB.Instrs.back().Op = Opcode::Return;
+    Kept.push_back(std::move(SB));
+  }
+  Blocks = std::move(Kept);
+}
+
+const char *layra::mutationKindName(MutationKind Kind) {
+  switch (Kind) {
+  case MutationKind::InsertOp:
+    return "insert-op";
+  case MutationKind::DeleteInstr:
+    return "delete-instr";
+  case MutationKind::SwapInstrs:
+    return "swap-instrs";
+  case MutationKind::SplitBlock:
+    return "split-block";
+  case MutationKind::MergeBlocks:
+    return "merge-blocks";
+  case MutationKind::CloneBlock:
+    return "clone-block";
+  case MutationKind::AddLoop:
+    return "add-loop";
+  case MutationKind::ReassignClass:
+    return "reassign-class";
+  case MutationKind::PerturbFreq:
+    return "perturb-freq";
+  case MutationKind::PerturbBudget:
+    return "perturb-budget";
+  }
+  return "unknown";
+}
+
+const std::vector<MutationKind> &layra::allMutationKinds() {
+  static const std::vector<MutationKind> Kinds{
+      MutationKind::InsertOp,      MutationKind::DeleteInstr,
+      MutationKind::SwapInstrs,    MutationKind::SplitBlock,
+      MutationKind::MergeBlocks,   MutationKind::CloneBlock,
+      MutationKind::AddLoop,       MutationKind::ReassignClass,
+      MutationKind::PerturbFreq,   MutationKind::PerturbBudget};
+  return Kinds;
+}
+
+namespace {
+
+/// A fresh block name not colliding with any existing one (parser block
+/// names are unique).
+std::string freshBlockName(const FunctionSketch &S, const char *Stem) {
+  for (unsigned N = static_cast<unsigned>(S.Blocks.size());; ++N) {
+    std::string Name = std::string(Stem) + std::to_string(N);
+    bool Taken = false;
+    for (const FunctionSketch::SketchBlock &SB : S.Blocks)
+      if (SB.Name == Name) {
+        Taken = true;
+        break;
+      }
+    if (!Taken)
+      return Name;
+  }
+}
+
+/// Values guaranteed def-before-use at (Block, InstrIndex): everything the
+/// entry block defines before its terminator (the entry dominates every
+/// point) plus everything defined earlier in the same block.
+std::vector<ValueId> valuesInScope(const Function &F, BlockId B,
+                                   unsigned Index) {
+  std::vector<char> Safe(F.numValues(), 0);
+  if (B != F.entry())
+    for (const Instruction &I : F.block(F.entry()).Instrs)
+      for (ValueId V : I.Defs)
+        Safe[V] = 1;
+  const BasicBlock &BB = F.block(B);
+  for (unsigned I = 0; I < Index && I < BB.Instrs.size(); ++I)
+    for (ValueId V : BB.Instrs[I].Defs)
+      Safe[V] = 1;
+  std::vector<ValueId> Out;
+  for (ValueId V = 0; V < F.numValues(); ++V)
+    if (Safe[V])
+      Out.push_back(V);
+  return Out;
+}
+
+bool mutateInsertOp(FuzzCase &Case, Rng &R) {
+  const TargetDesc *Target = Case.target();
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  unsigned B = static_cast<unsigned>(R.nextBelow(S.Blocks.size()));
+  FunctionSketch::SketchBlock &SB = S.Blocks[B];
+  // Insert anywhere before the terminator.
+  unsigned Pos = SB.Instrs.empty()
+                     ? 0
+                     : static_cast<unsigned>(R.nextBelow(SB.Instrs.size()));
+  std::vector<ValueId> Scope = valuesInScope(Case.F, B, Pos);
+
+  Instruction I;
+  bool MakeCopy = !Scope.empty() && R.nextBool(0.2);
+  I.Op = MakeCopy ? Opcode::Copy : Opcode::Op;
+  unsigned NumUses =
+      MakeCopy ? 1
+               : (Scope.empty() ? 0
+                                : static_cast<unsigned>(R.nextBelow(3)));
+  for (unsigned U = 0; U < NumUses; ++U)
+    I.Uses.push_back(R.pick(Scope));
+
+  bool Redefine = Case.F.numValues() > 0 && R.nextBool(0.3);
+  if (Redefine) {
+    ValueId V = static_cast<ValueId>(R.nextBelow(Case.F.numValues()));
+    // Copies stay within one register class (cross-class moves are
+    // conversions, not coalescing candidates -- same rule as ProgramGen).
+    if (MakeCopy && S.ValueClasses[V] != S.ValueClasses[I.Uses[0]])
+      Redefine = false;
+    else
+      I.Defs.push_back(V);
+  }
+  if (I.Defs.empty()) {
+    RegClassId Class = 0;
+    if (MakeCopy)
+      Class = S.ValueClasses[I.Uses[0]];
+    else if (Target->numClasses() > 1 && R.nextBool(0.3))
+      Class = static_cast<RegClassId>(
+          1 + R.nextBelow(Target->numClasses() - 1));
+    I.Defs.push_back(S.NumValues++);
+    S.ValueNames.emplace_back();
+    S.ValueClasses.push_back(Class);
+  }
+  SB.Instrs.insert(SB.Instrs.begin() + Pos, std::move(I));
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateDeleteInstr(FuzzCase &Case, Rng &R) {
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B) {
+    const BasicBlock &BB = Case.F.block(B);
+    for (unsigned I = 0; I < BB.Instrs.size(); ++I)
+      if (!BB.Instrs[I].isTerminator())
+        Candidates.push_back({B, I});
+  }
+  if (Candidates.empty())
+    return false;
+  auto [B, I] = Candidates[R.nextBelow(Candidates.size())];
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  S.Blocks[B].Instrs.erase(S.Blocks[B].Instrs.begin() + I);
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateSwapInstrs(FuzzCase &Case, Rng &R) {
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B) {
+    const BasicBlock &BB = Case.F.block(B);
+    for (unsigned I = 0; I + 1 < BB.Instrs.size(); ++I)
+      if (!BB.Instrs[I].isTerminator() && !BB.Instrs[I + 1].isTerminator())
+        Candidates.push_back({B, I});
+  }
+  if (Candidates.empty())
+    return false;
+  auto [B, I] = Candidates[R.nextBelow(Candidates.size())];
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  std::swap(S.Blocks[B].Instrs[I], S.Blocks[B].Instrs[I + 1]);
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateSplitBlock(FuzzCase &Case, Rng &R) {
+  std::vector<unsigned> Candidates;
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B)
+    if (Case.F.block(B).Instrs.size() >= 2)
+      Candidates.push_back(B);
+  if (Candidates.empty())
+    return false;
+  unsigned B = Candidates[R.nextBelow(Candidates.size())];
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  FunctionSketch::SketchBlock &SB = S.Blocks[B];
+  unsigned K = 1 + static_cast<unsigned>(R.nextBelow(SB.Instrs.size() - 1));
+
+  FunctionSketch::SketchBlock Tail;
+  Tail.Name = freshBlockName(S, "split");
+  Tail.Instrs.assign(SB.Instrs.begin() + K, SB.Instrs.end());
+  Tail.Succs = SB.Succs;
+  Tail.LoopDepth = SB.LoopDepth;
+  Tail.Frequency = SB.Frequency;
+
+  SB.Instrs.erase(SB.Instrs.begin() + K, SB.Instrs.end());
+  Instruction Br;
+  Br.Op = Opcode::Branch;
+  SB.Instrs.push_back(std::move(Br));
+  SB.Succs = {static_cast<unsigned>(S.Blocks.size())};
+  S.Blocks.push_back(std::move(Tail));
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateMergeBlocks(FuzzCase &Case, Rng &R) {
+  // Pred counts to find single-pred targets.
+  std::vector<unsigned> PredCount(Case.F.numBlocks(), 0);
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B)
+    for (BlockId Succ : Case.F.block(B).Succs)
+      ++PredCount[Succ];
+  std::vector<std::pair<unsigned, unsigned>> Candidates;
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B) {
+    const BasicBlock &BB = Case.F.block(B);
+    if (BB.Succs.size() != 1 || BB.Instrs.empty() ||
+        BB.Instrs.back().Op != Opcode::Branch)
+      continue;
+    BlockId Succ = BB.Succs[0];
+    if (Succ == Case.F.entry() || Succ == B || PredCount[Succ] != 1)
+      continue;
+    Candidates.push_back({B, Succ});
+  }
+  if (Candidates.empty())
+    return false;
+  auto [B, Succ] = Candidates[R.nextBelow(Candidates.size())];
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  FunctionSketch::SketchBlock &SB = S.Blocks[B];
+  SB.Instrs.pop_back(); // The unconditional br into Succ.
+  for (Instruction &I : S.Blocks[Succ].Instrs)
+    SB.Instrs.push_back(std::move(I));
+  SB.Succs = S.Blocks[Succ].Succs;
+  S.Blocks[Succ].Succs.clear(); // Now unreachable; prune rewires the rest.
+  S.pruneUnreachable();
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateCloneBlock(FuzzCase &Case, Rng &R) {
+  std::vector<std::pair<unsigned, unsigned>> Edges; // (pred, succ index)
+  for (BlockId P = 0; P < Case.F.numBlocks(); ++P) {
+    const BasicBlock &PB = Case.F.block(P);
+    for (unsigned I = 0; I < PB.Succs.size(); ++I)
+      if (PB.Succs[I] != Case.F.entry())
+        Edges.push_back({P, I});
+  }
+  if (Edges.empty())
+    return false;
+  auto [P, SuccIdx] = Edges[R.nextBelow(Edges.size())];
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  unsigned B = S.Blocks[P].Succs[SuccIdx];
+  FunctionSketch::SketchBlock Clone = S.Blocks[B];
+  Clone.Name = freshBlockName(S, "clone");
+  unsigned CloneIdx = static_cast<unsigned>(S.Blocks.size());
+  S.Blocks.push_back(std::move(Clone));
+  S.Blocks[P].Succs[SuccIdx] = CloneIdx;
+  S.pruneUnreachable(); // B may have lost its only incoming edge.
+  Case.F = S.build();
+  return true;
+}
+
+bool mutateAddLoop(FuzzCase &Case, Rng &R) {
+  DominatorTree Dom(Case.F);
+  std::vector<std::pair<BlockId, BlockId>> Candidates;
+  for (BlockId B = 0; B < Case.F.numBlocks(); ++B) {
+    const BasicBlock &BB = Case.F.block(B);
+    if (BB.Instrs.empty() || BB.Instrs.back().Op != Opcode::Branch ||
+        BB.Succs.size() >= 3)
+      continue;
+    // Back edges to a dominator keep the CFG reducible, which is the shape
+    // ProgramGen guarantees and LoopInfo expects.
+    for (BlockId H = 0; H < Case.F.numBlocks(); ++H) {
+      if (!Dom.dominates(H, B))
+        continue;
+      if (std::find(BB.Succs.begin(), BB.Succs.end(), H) != BB.Succs.end())
+        continue;
+      Candidates.push_back({B, H});
+    }
+  }
+  if (Candidates.empty())
+    return false;
+  auto [B, H] = Candidates[R.nextBelow(Candidates.size())];
+  // addEdge only grows the CFG and the substrate has no phis to extend, so
+  // this one mutator can edit the function in place.
+  Case.F.addEdge(B, H);
+  return true;
+}
+
+bool mutateReassignClass(FuzzCase &Case, Rng &R) {
+  const TargetDesc *Target = Case.target();
+  if (Target->numClasses() < 2 || Case.F.numValues() == 0)
+    return false;
+  ValueId V = static_cast<ValueId>(R.nextBelow(Case.F.numValues()));
+  RegClassId NewClass = static_cast<RegClassId>(
+      R.nextBelow(Target->numClasses() - 1));
+  if (NewClass >= Case.F.valueClass(V))
+    ++NewClass; // Uniform over the classes other than the current one.
+  // Rebuild rather than setValueClass: Function::MaxClass only ratchets
+  // up, and a stale maximum would fail the class-table validation.
+  FunctionSketch S = FunctionSketch::fromFunction(Case.F);
+  S.ValueClasses[V] = NewClass;
+  Case.F = S.build();
+  return true;
+}
+
+bool mutatePerturbFreq(FuzzCase &Case, Rng &R) {
+  static const Weight Choices[] = {1, 2, 5, 10, 50, 100, 1000};
+  BlockId B = static_cast<BlockId>(R.nextBelow(Case.F.numBlocks()));
+  Weight Freq = Choices[R.nextBelow(sizeof(Choices) / sizeof(Choices[0]))];
+  if (Freq == Case.F.block(B).Frequency)
+    return false;
+  Case.F.block(B).Frequency = Freq;
+  return true;
+}
+
+bool mutatePerturbBudget(FuzzCase &Case, Rng &R) {
+  if (Case.Budgets.empty())
+    return false;
+  unsigned C = static_cast<unsigned>(R.nextBelow(Case.Budgets.size()));
+  // Small budgets keep the exact oracles affordable; 1..10 spans "spill
+  // almost everything" to "often fits".
+  unsigned NewBudget = 1 + static_cast<unsigned>(R.nextBelow(10));
+  if (NewBudget == Case.Budgets[C])
+    return false;
+  Case.Budgets[C] = NewBudget;
+  return true;
+}
+
+} // namespace
+
+bool layra::applyMutation(FuzzCase &Case, MutationKind Kind, Rng &R) {
+  switch (Kind) {
+  case MutationKind::InsertOp:
+    return mutateInsertOp(Case, R);
+  case MutationKind::DeleteInstr:
+    return mutateDeleteInstr(Case, R);
+  case MutationKind::SwapInstrs:
+    return mutateSwapInstrs(Case, R);
+  case MutationKind::SplitBlock:
+    return mutateSplitBlock(Case, R);
+  case MutationKind::MergeBlocks:
+    return mutateMergeBlocks(Case, R);
+  case MutationKind::CloneBlock:
+    return mutateCloneBlock(Case, R);
+  case MutationKind::AddLoop:
+    return mutateAddLoop(Case, R);
+  case MutationKind::ReassignClass:
+    return mutateReassignClass(Case, R);
+  case MutationKind::PerturbFreq:
+    return mutatePerturbFreq(Case, R);
+  case MutationKind::PerturbBudget:
+    return mutatePerturbBudget(Case, R);
+  }
+  return false;
+}
+
+bool layra::applyRandomMutation(FuzzCase &Case, Rng &R) {
+  const std::vector<MutationKind> &Kinds = allMutationKinds();
+  MutationKind Kind = Kinds[R.nextBelow(Kinds.size())];
+  if (!applyMutation(Case, Kind, R))
+    return false;
+  Case.Trail.push_back(mutationKindName(Kind));
+  return true;
+}

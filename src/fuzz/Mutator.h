@@ -1,0 +1,102 @@
+//===- fuzz/Mutator.h - Structured IR mutators ------------------*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-deterministic structured mutations over the phi-free non-SSA
+/// mutation substrate (fuzz/FuzzCase.h).  Every mutator produces a
+/// *candidate* case; the driver gates candidates through validateCase()
+/// and discards invalid ones, so individual mutators may be optimistic
+/// (e.g. delete an instruction whose definition turns out to be needed)
+/// without ever feeding the oracles a malformed function.  All mutants
+/// round-trip through ir/Parser -- normalizeCase() runs after every
+/// accepted mutation -- which is what makes crash reports replayable.
+///
+/// CFG mutations are implemented by rebuilding the function from a
+/// FunctionSketch, an editable mirror of Function: Function itself only
+/// grows (makeBlock/addEdge), while mutators need to delete blocks and
+/// rewire edges.  With no phis in the substrate, edge *order* carries no
+/// semantics, so the rebuild is a straightforward re-insertion.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_FUZZ_MUTATOR_H
+#define LAYRA_FUZZ_MUTATOR_H
+
+#include "fuzz/FuzzCase.h"
+#include "support/Random.h"
+
+#include <string>
+#include <vector>
+
+namespace layra {
+
+/// An editable mirror of Function (see file comment).
+struct FunctionSketch {
+  struct SketchBlock {
+    std::string Name;
+    std::vector<Instruction> Instrs; ///< Terminator last, no phis.
+    std::vector<unsigned> Succs;     ///< Indexes into Blocks.
+    unsigned LoopDepth = 0;
+    Weight Frequency = 1;
+  };
+
+  std::string Name = "f";
+  std::vector<SketchBlock> Blocks; ///< Blocks[0] is the entry.
+  unsigned NumValues = 0;
+  std::vector<std::string> ValueNames;  ///< Sized NumValues ("" = anonymous).
+  std::vector<RegClassId> ValueClasses; ///< Sized NumValues.
+
+  static FunctionSketch fromFunction(const Function &F);
+
+  /// Rebuilds a Function.  Value ids are preserved verbatim; blocks keep
+  /// their sketch order; preds are re-derived from the succs lists in
+  /// block-then-succ order -- a canonicalization of the edge-insertion
+  /// history, which carries no meaning in a phi-free function (pred
+  /// order is only significant as phi operand order).
+  Function build() const;
+
+  /// Drops unreachable blocks (cascading) and remaps succ indexes.  A
+  /// `br` terminator left with no successors becomes `ret`.  Called by
+  /// mutators that delete blocks or edges.
+  void pruneUnreachable();
+};
+
+/// The mutation kinds the fuzzer draws from.
+enum class MutationKind {
+  InsertOp,      ///< Insert an op/copy using in-scope values.
+  DeleteInstr,   ///< Delete one non-terminator instruction.
+  SwapInstrs,    ///< Swap two adjacent non-terminator instructions.
+  SplitBlock,    ///< Split a block in two, linked by an unconditional br.
+  MergeBlocks,   ///< Merge a single-succ/single-pred block pair.
+  CloneBlock,    ///< Duplicate a block and redirect one incoming edge.
+  AddLoop,       ///< Add a back edge to a dominating block.
+  ReassignClass, ///< Move one value to another register class.
+  PerturbFreq,   ///< Change one block's execution frequency.
+  PerturbBudget, ///< Change one register class's budget.
+};
+
+/// Short stable name of \p Kind ("insert-op", "add-loop", ...), recorded
+/// in crash-report trails.
+const char *mutationKindName(MutationKind Kind);
+
+/// All mutation kinds, in a stable order (tests sweep this).
+const std::vector<MutationKind> &allMutationKinds();
+
+/// Applies one mutation of kind \p Kind to \p Case, drawing every choice
+/// from \p R.  Returns false when the kind is not applicable (e.g. no
+/// mergeable block pair, single-class target for ReassignClass); \p Case
+/// is left untouched then.  A true return only means the mutation was
+/// applied -- the caller still validates and may reject the candidate.
+bool applyMutation(FuzzCase &Case, MutationKind Kind, Rng &R);
+
+/// Draws a kind uniformly, applies it, and appends its name to
+/// \p Case.Trail on success.
+bool applyRandomMutation(FuzzCase &Case, Rng &R);
+
+} // namespace layra
+
+#endif // LAYRA_FUZZ_MUTATOR_H

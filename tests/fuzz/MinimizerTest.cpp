@@ -1,0 +1,218 @@
+//===- tests/fuzz/MinimizerTest.cpp - Delta-minimization tests ------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The delta-debugging minimizer and the end-to-end crash workflow --
+/// the fuzz subsystem's acceptance criterion: a seeded `layra-fuzz` run
+/// with an intentionally broken oracle (--break-oracle) must produce a
+/// minimized reproducer of at most 10 instructions whose failure
+/// replays through the --repro path, bit-reproducibly.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "fuzz/Corpus.h"
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Mutator.h"
+#include "ir/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unistd.h>
+
+using namespace layra;
+
+namespace {
+
+/// Scratch directory for crash files.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Template[] = "/tmp/layra-fuzz-test-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : "";
+  }
+  ~TempDir() {
+    if (Path.empty())
+      return;
+    // Best-effort cleanup of crash files, then the directory.
+    std::string Cmd = "rm -rf '" + Path + "'";
+    (void)std::system(Cmd.c_str());
+  }
+};
+
+bool containsCopy(const Function &F) {
+  for (const BasicBlock &BB : F.blocks())
+    for (const Instruction &I : BB.Instrs)
+      if (I.Op == Opcode::Copy)
+        return true;
+  return false;
+}
+
+FuzzCase makeBase(uint64_t Seed) {
+  Rng R(Seed);
+  ProgramGenOptions Opt;
+  Opt.NumVars = 12;
+  Opt.MaxBlocks = 20;
+  Opt.MaxNesting = 3;
+  Opt.ExprsPerBlockMin = 2;
+  Opt.ExprsPerBlockMax = 5;
+  Opt.CopyProb = 0.25; // Make sure copies appear.
+  FuzzCase Case;
+  Case.F = generateFunction(R, Opt, "min" + std::to_string(Seed));
+  Case.TargetName = "st231";
+  Case.Budgets = {4};
+  EXPECT_TRUE(validateCase(Case));
+  EXPECT_TRUE(normalizeCase(Case));
+  return Case;
+}
+
+} // namespace
+
+TEST(MinimizerTest, ShrinksToMinimalCopyWitnessDeterministically) {
+  // Direct library-level minimization against a synthetic predicate:
+  // "the function still contains a copy".  The fixpoint should reach the
+  // canonical 3-instruction witness (def, copy, ret).
+  for (uint64_t Seed = 1; Seed <= 4; ++Seed) {
+    FuzzCase Case = makeBase(Seed);
+    if (!containsCopy(Case.F))
+      continue;
+    unsigned Before = Case.numInstructions();
+    MinimizeStats Stats = minimizeCase(Case, [](const FuzzCase &Candidate) {
+      return containsCopy(Candidate.F);
+    });
+    EXPECT_GT(Stats.CandidatesTried, 0u);
+    EXPECT_TRUE(containsCopy(Case.F));
+    EXPECT_LE(Case.numInstructions(), 3u) << "seed=" << Seed;
+    EXPECT_LT(Case.numInstructions(), Before);
+    EXPECT_EQ(Case.F.numBlocks(), 1u);
+    EXPECT_TRUE(validateCase(Case));
+
+    // Determinism: minimizing the same input again yields the same bytes.
+    FuzzCase Again = makeBase(Seed);
+    minimizeCase(Again, [](const FuzzCase &Candidate) {
+      return containsCopy(Candidate.F);
+    });
+    EXPECT_EQ(Case.F.toString(), Again.F.toString());
+    EXPECT_EQ(Case.Budgets, Again.Budgets);
+  }
+}
+
+TEST(MinimizerTest, MinimizerNeverAcceptsInvalidOrPassingCandidates) {
+  FuzzCase Case = makeBase(2);
+  if (!containsCopy(Case.F))
+    GTEST_SKIP() << "seed produced no copy";
+  minimizeCase(Case, [](const FuzzCase &Candidate) {
+    // The predicate sees only validated candidates.
+    EXPECT_TRUE(validateCase(Candidate));
+    return containsCopy(Candidate.F);
+  });
+  EXPECT_TRUE(containsCopy(Case.F));
+}
+
+TEST(MinimizerTest, BrokenOracleRunProducesMinimizedReplayableReproducer) {
+  // The acceptance criterion end to end, via the library entry points the
+  // CLI wraps: a seeded session with --break-oracle=parse-roundtrip must
+  // fail, minimize to <= 10 instructions, and replay through --repro.
+  TempDir Crashes;
+  FuzzOptions Options;
+  Options.Seed = 3;
+  Options.Runs = 30;
+  Options.TargetName = "st231";
+  Options.CrashDir = Crashes.Path;
+  Options.BreakOracle = "parse-roundtrip";
+  Options.MaxFailures = 2;
+
+  FuzzReport Report = runFuzzSession(Options, nullptr);
+  ASSERT_TRUE(Report.Errors.empty())
+      << (Report.Errors.empty() ? "" : Report.Errors.front());
+  ASSERT_FALSE(Report.Failures.empty());
+
+  for (const FuzzFailure &Failure : Report.Failures) {
+    const FuzzCase &Min = Failure.Case;
+    EXPECT_LE(Min.numInstructions(), 10u);
+    EXPECT_TRUE(containsCopy(Min.F));
+    EXPECT_EQ(Min.OracleName, "parse-roundtrip");
+    ASSERT_FALSE(Failure.CrashPath.empty());
+
+    // The written reproducer replays the failure -- with the planted
+    // break still armed -- and is clean without it.
+    std::string Error;
+    FuzzOptions Replay;
+    Replay.BreakOracle = "parse-roundtrip";
+    OracleOutcome Reproduced =
+        reproduceFile(Failure.CrashPath, Replay, &Error);
+    ASSERT_TRUE(Error.empty()) << Error;
+    EXPECT_FALSE(Reproduced.Ok);
+    EXPECT_NE(Reproduced.Detail.find("planted"), std::string::npos);
+
+    FuzzOptions Fixed;
+    OracleOutcome Clean = reproduceFile(Failure.CrashPath, Fixed, &Error);
+    ASSERT_TRUE(Error.empty()) << Error;
+    EXPECT_TRUE(Clean.Ok) << Clean.Detail;
+  }
+}
+
+TEST(MinimizerTest, SessionsAreBitReproducible) {
+  // Two identical sessions must agree on every observable: failure
+  // count, crash paths, reproducer bytes.
+  TempDir DirA, DirB;
+  FuzzOptions Options;
+  Options.Seed = 3;
+  Options.Runs = 15;
+  Options.BreakOracle = "parse-roundtrip";
+  Options.MaxFailures = 1;
+
+  Options.CrashDir = DirA.Path;
+  FuzzReport A = runFuzzSession(Options, nullptr);
+  Options.CrashDir = DirB.Path;
+  FuzzReport B = runFuzzSession(Options, nullptr);
+
+  ASSERT_EQ(A.Failures.size(), B.Failures.size());
+  ASSERT_FALSE(A.Failures.empty());
+  EXPECT_EQ(A.MutationsApplied, B.MutationsApplied);
+  EXPECT_EQ(A.OracleChecks, B.OracleChecks);
+  for (size_t I = 0; I < A.Failures.size(); ++I) {
+    EXPECT_EQ(formatReproducer(A.Failures[I].Case),
+              formatReproducer(B.Failures[I].Case));
+    // Content-addressed names match modulo the directory.
+    std::string NameA =
+        A.Failures[I].CrashPath.substr(DirA.Path.size());
+    std::string NameB =
+        B.Failures[I].CrashPath.substr(DirB.Path.size());
+    EXPECT_EQ(NameA, NameB);
+    std::ifstream InA(A.Failures[I].CrashPath), InB(B.Failures[I].CrashPath);
+    std::ostringstream TextA, TextB;
+    TextA << InA.rdbuf();
+    TextB << InB.rdbuf();
+    EXPECT_EQ(TextA.str(), TextB.str());
+    EXPECT_FALSE(TextA.str().empty());
+  }
+}
+
+TEST(MinimizerTest, CrashFilesAreContentAddressedAndIdempotent) {
+  TempDir Dir;
+  FuzzCase Case = makeBase(1);
+  Case.OracleName = "parse-roundtrip";
+  Case.Detail = "synthetic";
+  std::string Error;
+  std::string First = writeCrashFile(Dir.Path, Case, &Error);
+  ASSERT_FALSE(First.empty()) << Error;
+  std::string Second = writeCrashFile(Dir.Path, Case, &Error);
+  EXPECT_EQ(First, Second);
+
+  FuzzCase Loaded;
+  ASSERT_TRUE(loadReproducerFile(First, Loaded, &Error)) << Error;
+  EXPECT_EQ(hashCase(Loaded), hashCase(Case));
+  EXPECT_EQ(Loaded.OracleName, Case.OracleName);
+}

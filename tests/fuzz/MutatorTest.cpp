@@ -1,0 +1,282 @@
+//===- tests/fuzz/MutatorTest.cpp - Structured mutator tests --------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured mutators (fuzz/Mutator.h): the FunctionSketch rebuild
+/// is lossless, every mutation kind is seed-deterministic, accepted
+/// mutants stay structurally valid and round-trip through ir/Parser, and
+/// the individual kinds do what their names promise (split adds a block,
+/// merge removes one, add-loop adds a back edge, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Mutator.h"
+
+#include "driver/BatchDriver.h" // hashFunction
+#include "fuzz/FuzzCase.h"
+#include "ir/Parser.h"
+#include "ir/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace layra;
+
+namespace {
+
+/// A small deterministic base case on \p TargetName.
+FuzzCase makeBase(uint64_t Seed, const std::string &TargetName = "st231",
+                  unsigned NumClasses = 1) {
+  Rng R(Seed);
+  ProgramGenOptions Opt;
+  Opt.NumVars = 10;
+  Opt.MaxBlocks = 14;
+  Opt.MaxNesting = 2;
+  Opt.ExprsPerBlockMin = 1;
+  Opt.ExprsPerBlockMax = 4;
+  Opt.NumClasses = NumClasses;
+  FuzzCase Case;
+  Case.F = generateFunction(R, Opt, "base" + std::to_string(Seed));
+  Case.TargetName = TargetName;
+  const TargetDesc *Target = Case.target();
+  for (unsigned C = 0; C < Target->numClasses(); ++C)
+    Case.Budgets.push_back(4);
+  EXPECT_TRUE(validateCase(Case));
+  return Case;
+}
+
+/// Applies \p Kind with retries over draw attempts (some kinds need an
+/// applicable site); returns true when it applied at least once with a
+/// valid result.
+bool applyValidated(FuzzCase &Case, MutationKind Kind, Rng &R,
+                    unsigned Attempts = 16) {
+  for (unsigned A = 0; A < Attempts; ++A) {
+    FuzzCase Candidate = Case;
+    if (!applyMutation(Candidate, Kind, R))
+      continue;
+    if (!validateCase(Candidate) || !normalizeCase(Candidate))
+      continue;
+    Case = std::move(Candidate);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(MutatorTest, SketchRebuildIsLosslessModuloPredOrder) {
+  // build() re-inserts edges in block-then-succ order, which may permute
+  // pred lists relative to the original construction history -- meaningless
+  // in the phi-free substrate.  One rebuild is therefore a
+  // canonicalization: a second round trip must be byte-identical, and
+  // everything except pred order must survive the first.
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
+    FuzzCase Case = makeBase(Seed, "armv7-vfp", 2);
+    Function Once = FunctionSketch::fromFunction(Case.F).build();
+    Function Twice = FunctionSketch::fromFunction(Once).build();
+    EXPECT_EQ(Once.toString(), Twice.toString()) << "seed=" << Seed;
+    EXPECT_EQ(hashFunction(Once), hashFunction(Twice));
+
+    ASSERT_EQ(Case.F.numBlocks(), Once.numBlocks());
+    EXPECT_EQ(Case.F.numValues(), Once.numValues());
+    for (BlockId B = 0; B < Case.F.numBlocks(); ++B) {
+      const BasicBlock &Orig = Case.F.block(B);
+      const BasicBlock &Built = Once.block(B);
+      EXPECT_EQ(Orig.Name, Built.Name);
+      EXPECT_EQ(Orig.Succs, Built.Succs);
+      EXPECT_EQ(Orig.Frequency, Built.Frequency);
+      EXPECT_EQ(Orig.Instrs.size(), Built.Instrs.size());
+      for (size_t I = 0; I < Orig.Instrs.size(); ++I) {
+        EXPECT_EQ(Orig.Instrs[I].Op, Built.Instrs[I].Op);
+        EXPECT_EQ(Orig.Instrs[I].Defs, Built.Instrs[I].Defs);
+        EXPECT_EQ(Orig.Instrs[I].Uses, Built.Instrs[I].Uses);
+      }
+    }
+    for (ValueId V = 0; V < Case.F.numValues(); ++V)
+      EXPECT_EQ(Case.F.valueClass(V), Once.valueClass(V));
+  }
+}
+
+TEST(MutatorTest, MutationsAreSeedDeterministic) {
+  for (MutationKind Kind : allMutationKinds()) {
+    FuzzCase A = makeBase(3, "armv7-vfp", 2);
+    FuzzCase B = makeBase(3, "armv7-vfp", 2);
+    Rng Ra(99), Rb(99);
+    bool AppliedA = applyMutation(A, Kind, Ra);
+    bool AppliedB = applyMutation(B, Kind, Rb);
+    EXPECT_EQ(AppliedA, AppliedB) << mutationKindName(Kind);
+    EXPECT_EQ(A.F.toString(), B.F.toString()) << mutationKindName(Kind);
+    EXPECT_EQ(A.Budgets, B.Budgets) << mutationKindName(Kind);
+  }
+}
+
+TEST(MutatorTest, AcceptedMutantsRoundTripThroughParser) {
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    FuzzCase Case = makeBase(Seed, "armv7-vfp", 2);
+    Rng R(Seed * 17 + 1);
+    for (unsigned Step = 0; Step < 12; ++Step) {
+      FuzzCase Candidate = Case;
+      if (!applyRandomMutation(Candidate, R))
+        continue;
+      if (!validateCase(Candidate) || !normalizeCase(Candidate))
+        continue;
+      Case = Candidate;
+      // Round-trip stability: the normalized form re-parses and
+      // re-prints byte-identically.
+      std::string Text = Case.F.toString();
+      ParsedFunction Parsed = parseFunction(Text);
+      ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+      EXPECT_EQ(Parsed.F.toString(), Text);
+    }
+    EXPECT_FALSE(Case.Trail.empty()) << "seed=" << Seed;
+  }
+}
+
+TEST(MutatorTest, InsertOpAlwaysProducesValidCases) {
+  // insert-op only draws from in-scope values, so unlike the optimistic
+  // kinds it must never need the validation gate.
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    FuzzCase Case = makeBase(Seed);
+    Rng R(Seed);
+    for (unsigned Step = 0; Step < 8; ++Step) {
+      ASSERT_TRUE(applyMutation(Case, MutationKind::InsertOp, R));
+      std::string Error;
+      ASSERT_TRUE(validateCase(Case, &Error))
+          << "seed=" << Seed << " step=" << Step << ": " << Error;
+    }
+  }
+}
+
+TEST(MutatorTest, SplitAddsAndMergeRemovesBlocks) {
+  FuzzCase Case = makeBase(5);
+  Rng R(7);
+  unsigned Before = Case.F.numBlocks();
+  ASSERT_TRUE(applyValidated(Case, MutationKind::SplitBlock, R));
+  EXPECT_EQ(Case.F.numBlocks(), Before + 1);
+
+  // The split created a single-succ/single-pred pair, so a merge site
+  // exists; merging shrinks the CFG again.
+  unsigned Split = Case.F.numBlocks();
+  ASSERT_TRUE(applyValidated(Case, MutationKind::MergeBlocks, R));
+  EXPECT_LT(Case.F.numBlocks(), Split);
+}
+
+TEST(MutatorTest, AddLoopCreatesABackEdge) {
+  FuzzCase Case = makeBase(2);
+  auto CountEdges = [](const Function &F) {
+    size_t N = 0;
+    for (BlockId B = 0; B < F.numBlocks(); ++B)
+      N += F.block(B).Succs.size();
+    return N;
+  };
+  Rng R(21);
+  size_t Before = CountEdges(Case.F);
+  ASSERT_TRUE(applyValidated(Case, MutationKind::AddLoop, R));
+  EXPECT_EQ(CountEdges(Case.F), Before + 1);
+  std::string Error;
+  EXPECT_TRUE(verifyFunction(Case.F, /*ExpectSsa=*/false, &Error)) << Error;
+}
+
+TEST(MutatorTest, CloneBlockGrowsTheCfg) {
+  FuzzCase Case = makeBase(4);
+  Rng R(13);
+  unsigned Before = Case.F.numBlocks();
+  ASSERT_TRUE(applyValidated(Case, MutationKind::CloneBlock, R));
+  // Cloning adds one block; the donor may become unreachable and be
+  // pruned, so the count grows by one or stays equal -- never shrinks.
+  EXPECT_GE(Case.F.numBlocks(), Before);
+}
+
+TEST(MutatorTest, ReassignClassRespectsTargetTable) {
+  FuzzCase Case = makeBase(6, "armv7-vfp", 2);
+  Rng R(31);
+  ASSERT_TRUE(applyValidated(Case, MutationKind::ReassignClass, R));
+  const TargetDesc *Target = Case.target();
+  EXPECT_LT(Case.F.maxValueClass(), Target->numClasses());
+
+  // Single-class targets have nowhere to reassign to.
+  FuzzCase Single = makeBase(6);
+  EXPECT_FALSE(applyMutation(Single, MutationKind::ReassignClass, R));
+}
+
+TEST(MutatorTest, BudgetAndFreqPerturbationsStayInRange) {
+  FuzzCase Case = makeBase(8, "armv7-vfp", 2);
+  Rng R(41);
+  ASSERT_TRUE(applyValidated(Case, MutationKind::PerturbBudget, R));
+  for (unsigned B : Case.Budgets) {
+    EXPECT_GE(B, 1u);
+    EXPECT_LE(B, 10u);
+  }
+  ASSERT_TRUE(applyValidated(Case, MutationKind::PerturbFreq, R));
+  std::string Error;
+  EXPECT_TRUE(validateCase(Case, &Error)) << Error;
+}
+
+TEST(MutatorTest, ReproducerFormatRoundTrips) {
+  FuzzCase Case = makeBase(9, "armv7-vfp", 2);
+  Case.Seed = 42;
+  Case.Run = 7;
+  Case.Trail = {"insert-op", "add-loop"};
+  Case.OracleName = "heuristic-vs-exact";
+  Case.Detail = "example detail line";
+  ASSERT_TRUE(normalizeCase(Case));
+
+  std::string Text = formatReproducer(Case);
+  FuzzCase Loaded;
+  std::string Error;
+  ASSERT_TRUE(parseReproducer(Text, Loaded, &Error)) << Error;
+  EXPECT_EQ(Loaded.TargetName, Case.TargetName);
+  EXPECT_EQ(Loaded.Budgets, Case.Budgets);
+  EXPECT_EQ(Loaded.Seed, Case.Seed);
+  EXPECT_EQ(Loaded.Run, Case.Run);
+  EXPECT_EQ(Loaded.Trail, Case.Trail);
+  EXPECT_EQ(Loaded.OracleName, Case.OracleName);
+  EXPECT_EQ(Loaded.Detail, Case.Detail);
+  EXPECT_EQ(Loaded.F.toString(), Case.F.toString());
+  EXPECT_EQ(hashCase(Loaded), hashCase(Case));
+
+  // A bare corpus file (no metadata) defaults to st231 with R=4.
+  FuzzCase Bare;
+  ASSERT_TRUE(parseReproducer(makeBase(1).F.toString(), Bare, &Error))
+      << Error;
+  EXPECT_EQ(Bare.TargetName, "st231");
+  EXPECT_EQ(Bare.Budgets, std::vector<unsigned>{4});
+}
+
+TEST(MutatorTest, ValidateRejectsBrokenCases) {
+  // Unknown target.
+  FuzzCase Case = makeBase(1);
+  Case.TargetName = "z80";
+  EXPECT_FALSE(validateCase(Case));
+
+  // Budget arity mismatch.
+  Case = makeBase(1);
+  Case.Budgets.push_back(4);
+  EXPECT_FALSE(validateCase(Case));
+
+  // Class beyond the target's table.
+  Case = makeBase(1, "armv7-vfp", 2);
+  Case.TargetName = "st231";
+  Case.Budgets = {4};
+  std::string Error;
+  if (Case.F.maxValueClass() > 0) {
+    EXPECT_FALSE(validateCase(Case, &Error));
+  }
+
+  // A use with no definition on some path.
+  ParsedFunction Bad = parseFunction("function f {\n"
+                                     "entry:  ; depth=0 freq=1\n"
+                                     "  %r = op %ghost\n"
+                                     "  ret\n"
+                                     "}\n");
+  ASSERT_TRUE(Bad.Ok) << Bad.Error;
+  FuzzCase Ghost;
+  Ghost.F = Bad.F;
+  Ghost.TargetName = "st231";
+  Ghost.Budgets = {4};
+  EXPECT_FALSE(validateCase(Ghost, &Error));
+  EXPECT_NE(Error.find("before any definition"), std::string::npos) << Error;
+}
