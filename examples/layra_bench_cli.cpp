@@ -18,6 +18,7 @@
 ///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
 ///               [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]
 ///               [--tasks-csv=FILE] [--details] [--no-timing]
+///               [--trace=FILE] [--metrics[=FILE]]
 ///               [--workspace-stats] [--quiet]
 ///
 ///   --suite      suites to run (default eembc); names as in makeSuite()
@@ -37,10 +38,17 @@
 ///   --details    include per-function tasks in the JSON report
 ///   --no-timing  omit wall-clock fields: output is then byte-identical
 ///                across runs and thread counts
-///   --workspace-stats  print per-worker SolverWorkspace reuse accounting
-///                (bytes served from retained capacity vs. freshly
-///                allocated) and cache hit/miss/eviction counters to
-///                stderr; never part of the reports
+///   --trace      write a Chrome-trace-format JSON of every solver phase
+///                span (load in chrome://tracing or Perfetto); with
+///                --no-timing the trace uses deterministic sequence
+///                timestamps so it, too, is byte-identical across runs
+///   --metrics    dump the metrics registry (per-stage latency histograms,
+///                stage counters, workspace/cache gauges) in Prometheus
+///                text format after the run, to FILE or stderr
+///   --workspace-stats  print the workspace/cache subset of the metrics
+///                registry (arena reuse accounting, pipeline-cache
+///                hit/miss/eviction gauges) to stderr; never part of the
+///                reports
 ///   --quiet      suppress the stdout summary table
 ///
 /// Examples:
@@ -51,6 +59,8 @@
 
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ParseUtil.h"
 #include "support/Table.h"
 
@@ -80,6 +90,9 @@ struct CliOptions {
   bool Timing = true;
   bool WorkspaceStats = false;
   bool Quiet = false;
+  std::string TracePath;
+  bool Metrics = false;
+  std::string MetricsPath; ///< Empty = stderr.
 };
 
 [[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
@@ -93,6 +106,7 @@ struct CliOptions {
       "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
       "          [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]\n"
       "          [--tasks-csv=FILE] [--details] [--no-timing]\n"
+      "          [--trace=FILE] [--metrics[=FILE]]\n"
       "          [--workspace-stats] [--quiet]\n",
       Argv0);
   std::exit(2);
@@ -165,6 +179,18 @@ CliOptions parseArgs(int Argc, char **Argv) {
       Opt.Details = true;
     } else if (Arg == "--no-timing") {
       Opt.Timing = false;
+    } else if (const char *V = Value("--trace=")) {
+      if (!*V)
+        usage(Argv[0], "--trace needs a file path");
+      Opt.TracePath = V;
+    } else if (Arg == "--metrics") {
+      Opt.Metrics = true;
+    } else if (const char *V = Value("--metrics=")) {
+      if (!*V)
+        usage(Argv[0], "--metrics needs a file path (or omit '=FILE' for "
+                       "stderr)");
+      Opt.Metrics = true;
+      Opt.MetricsPath = V;
     } else if (Arg == "--workspace-stats") {
       Opt.WorkspaceStats = true;
     } else if (Arg == "--quiet") {
@@ -271,10 +297,36 @@ int main(int Argc, char **Argv) {
   std::FILE *TasksCsvOut =
       Opt.TasksCsvPath.empty() ? nullptr : openOutput(Opt.TasksCsvPath);
 
+  // Observability: phase accounting feeds phase_ms breakdowns and the
+  // per-stage histograms --metrics dumps; it stays off under plain
+  // --no-timing so the default timing-free path does not even read clocks.
+  if (Opt.Timing || Opt.Metrics || !Opt.TracePath.empty())
+    obs::setPhaseAccounting(true);
+  // A --no-timing trace is deterministic (sequence timestamps): the same
+  // byte-identity contract the reports follow.
+  if (!Opt.TracePath.empty())
+    TraceCollector::global().enable(/*Deterministic=*/!Opt.Timing);
+
   BatchDriver Driver(Opt.Threads);
   if (Opt.CacheCapacity)
     Driver.setCacheCapacity(Opt.CacheCapacity);
   DriverReport Report = Driver.run(Jobs);
+
+  if (!Opt.TracePath.empty()) {
+    TraceCollector &TC = TraceCollector::global();
+    TC.disable();
+    std::FILE *TraceOut = openOutput(Opt.TracePath);
+    if (!TC.writeTo(TraceOut)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n",
+                   Opt.TracePath.c_str());
+      return 1;
+    }
+    closeOutput(TraceOut);
+    if (!Opt.Quiet)
+      std::fprintf(stderr, "trace: %llu spans -> %s\n",
+                   static_cast<unsigned long long>(TC.eventCount()),
+                   Opt.TracePath.c_str());
+  }
 
   if (!Opt.Quiet) {
     std::printf("layra-bench: %zu jobs (%zu suites x %zu register counts), "
@@ -311,26 +363,26 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Report.CacheEvictions));
   }
 
-  if (Opt.WorkspaceStats) {
-    // Stderr, so a report streamed to stdout stays parseable.  The split is
-    // thread-count dependent (per-worker arenas), hence never in reports.
-    WorkspaceStats Stats = Driver.workspaceStats();
-    std::fprintf(stderr,
-                 "workspace: %.1f MiB reused, %.1f MiB freshly allocated "
-                 "(%.1f%% reuse over %llu checkouts)\n",
-                 static_cast<double>(Stats.BytesReused) / (1024.0 * 1024.0),
-                 static_cast<double>(Stats.BytesAllocated) / (1024.0 * 1024.0),
-                 100.0 * Stats.reuseFraction(),
-                 static_cast<unsigned long long>(Stats.Acquires));
-    DriverCacheCounters Cache = Driver.pipelineCacheCounters();
-    std::fprintf(stderr,
-                 "pipeline cache: %llu entries (capacity %llu), %llu hits, "
-                 "%llu misses, %llu evictions\n",
-                 static_cast<unsigned long long>(Cache.Entries),
-                 static_cast<unsigned long long>(Cache.Capacity),
-                 static_cast<unsigned long long>(Cache.Hits),
-                 static_cast<unsigned long long>(Cache.Misses),
-                 static_cast<unsigned long long>(Cache.Evictions));
+  if (Opt.WorkspaceStats || Opt.Metrics) {
+    // Stderr (unless --metrics=FILE), so a report streamed to stdout stays
+    // parseable.  The workspace split is thread-count dependent (per-worker
+    // arenas), hence gauges in the registry and never report fields.
+    MetricsSnapshot Snap = MetricsRegistry::global().snapshot();
+    if (Opt.WorkspaceStats) {
+      // Alias for the workspace/cache subset of the registry.
+      std::fputs(Snap.toText("layra.workspace.").c_str(), stderr);
+      std::fputs(Snap.toText("layra.driver.cache.").c_str(), stderr);
+    }
+    if (Opt.Metrics) {
+      std::string Text = Snap.toPrometheusText();
+      if (Opt.MetricsPath.empty()) {
+        std::fputs(Text.c_str(), stderr);
+      } else {
+        std::FILE *MetricsOut = openOutput(Opt.MetricsPath);
+        std::fwrite(Text.data(), 1, Text.size(), MetricsOut);
+        closeOutput(MetricsOut);
+      }
+    }
   }
 
   if (JsonOut) {

@@ -8,20 +8,26 @@
 /// \file
 /// `layra-loadgen`: drives a running `layra-serve` with N concurrent client
 /// connections replaying allocate requests, then reports throughput and
-/// client-observed latency percentiles.  Doubles as the CI smoke driver:
-/// the exit status is nonzero unless every request completed and -- because
-/// responses are deterministic -- every client saw byte-identical answers
-/// to the identical request.
+/// client-observed latency percentiles (p50/p95/p99 from the same
+/// log-linear histogram type the server uses, obs/Metrics.h, so the two
+/// ends' figures are bucket-for-bucket comparable).  Doubles as the CI
+/// smoke driver: the exit status is nonzero unless every request completed
+/// and -- because responses are deterministic -- every client saw
+/// byte-identical answers to the identical request.
 ///
 /// Usage:
 ///   layra-loadgen (--unix=PATH | --tcp=PORT [--host=ADDR])
-///                 [--clients=N] [--requests=M] [--suite=NAME[,NAME...]]
+///                 [--clients=N] [--requests=M | --duration=SECS]
+///                 [--suite=NAME[,NAME...]]
 ///                 [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]
 ///                 [--target=NAME] [--details] [--timing] [--stats]
 ///                 [--quiet]
 ///
 ///   --clients     concurrent connections (default 4)
 ///   --requests    requests per client (default 8)
+///   --duration    run for SECS seconds (fractions ok) instead of a fixed
+///                 request count; every client still sends at least one
+///                 request.  Mutually exclusive with --requests
 ///   --suite       suites named in each request (default eembc)
 ///   --regs        register counts per request (default 4..8)
 ///   --stats       fetch and print the server's stats payload at the end
@@ -31,9 +37,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Metrics.h"
 #include "service/Client.h"
 #include "support/ParseUtil.h"
-#include "support/Statistics.h"
 
 #include <atomic>
 #include <chrono>
@@ -55,6 +61,9 @@ struct LoadOptions {
   uint16_t Port = 0;
   unsigned Clients = 4;
   unsigned Requests = 8;
+  bool RequestsSet = false;
+  /// Timed-run length in seconds; 0 = fixed request count per client.
+  double DurationSecs = 0;
   std::vector<std::string> Suites{"eembc"};
   std::vector<unsigned> Regs{4, 5, 6, 7, 8};
   std::string Allocator = "bfpl";
@@ -71,7 +80,8 @@ struct LoadOptions {
   std::fprintf(
       stderr,
       "usage: %s (--unix=PATH | --tcp=PORT [--host=ADDR])\n"
-      "          [--clients=N] [--requests=M] [--suite=NAME[,NAME...]]\n"
+      "          [--clients=N] [--requests=M | --duration=SECS]\n"
+      "          [--suite=NAME[,NAME...]]\n"
       "          [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]\n"
       "          [--target=NAME] [--details] [--timing] [--stats] [--quiet]\n",
       Argv0);
@@ -105,6 +115,11 @@ LoadOptions parseArgs(int Argc, char **Argv) {
       if (!parseBoundedUnsigned(V, 1u << 20, Opt.Requests) ||
           Opt.Requests == 0)
         usage(Argv[0], "--requests must be an integer in [1, 2^20]");
+      Opt.RequestsSet = true;
+    } else if (const char *V = Value("--duration=")) {
+      if (!parsePositiveSeconds(V, 86400.0, Opt.DurationSecs))
+        usage(Argv[0],
+              "--duration must be a positive number of seconds (<= 86400)");
     } else if (const char *V = Value("--suite=")) {
       Opt.Suites = splitCommaList(V);
       if (Opt.Suites.empty())
@@ -135,6 +150,8 @@ LoadOptions parseArgs(int Argc, char **Argv) {
     usage(Argv[0], "pass --unix=PATH or --tcp=PORT");
   if (!Opt.UnixPath.empty() && Opt.UseTcp)
     usage(Argv[0], "pass only one of --unix / --tcp");
+  if (Opt.DurationSecs > 0 && Opt.RequestsSet)
+    usage(Argv[0], "pass only one of --requests / --duration");
   return Opt;
 }
 
@@ -162,11 +179,15 @@ int main(int Argc, char **Argv) {
   std::atomic<uint64_t> Completed{0}, Failed{0}, Mismatched{0};
   std::mutex ReferenceMutex;
   std::string ReferenceResponse; // First response; all others must match.
-  std::mutex LatencyMutex;
-  std::vector<double> LatenciesMs;
-  LatenciesMs.reserve(static_cast<size_t>(Opt.Clients) * Opt.Requests);
+  // Shared concurrent histogram (obs/Metrics.h): record() is wait-free, so
+  // clients never serialize on a latency mutex, and the bucket geometry
+  // matches the server's service-time histogram exactly.
+  Histogram Latency;
 
   auto Begin = std::chrono::steady_clock::now();
+  auto Deadline =
+      Begin + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(Opt.DurationSecs));
   std::vector<std::thread> Threads;
   Threads.reserve(Opt.Clients);
   for (unsigned C = 0; C < Opt.Clients; ++C)
@@ -175,16 +196,23 @@ int main(int Argc, char **Argv) {
       Client Conn = connect(Opt, &Error);
       if (!Conn.valid()) {
         std::fprintf(stderr, "client %u: %s\n", C, Error.c_str());
-        Failed += Opt.Requests;
+        Failed += Opt.DurationSecs > 0 ? 1 : Opt.Requests;
         return;
       }
       std::string Response;
-      for (unsigned R = 0; R < Opt.Requests; ++R) {
+      // do/while: a timed run still sends at least one request per client,
+      // so a sub-millisecond --duration cannot silently measure nothing.
+      unsigned R = 0;
+      do {
         auto Start = std::chrono::steady_clock::now();
         if (!Conn.call(Request, Response, &Error)) {
           std::fprintf(stderr, "client %u request %u: %s\n", C, R,
                        Error.c_str());
           ++Failed;
+          // A broken connection in a timed run would otherwise spin on
+          // errors until the deadline; one failure ends this client.
+          if (Opt.DurationSecs > 0)
+            break;
           continue;
         }
         double Ms = std::chrono::duration_cast<
@@ -199,10 +227,7 @@ int main(int Argc, char **Argv) {
           continue;
         }
         ++Completed;
-        {
-          std::lock_guard<std::mutex> L(LatencyMutex);
-          LatenciesMs.push_back(Ms);
-        }
+        Latency.record(Ms);
         // Deterministic protocol: when timing is off, every response to
         // the identical request must be byte-identical across clients.
         if (!Opt.Timing) {
@@ -212,7 +237,9 @@ int main(int Argc, char **Argv) {
           else if (Response != ReferenceResponse)
             ++Mismatched;
         }
-      }
+      } while (Opt.DurationSecs > 0
+                   ? std::chrono::steady_clock::now() < Deadline
+                   : ++R < Opt.Requests);
     });
   for (std::thread &T : Threads)
     T.join();
@@ -222,22 +249,27 @@ int main(int Argc, char **Argv) {
                        .count();
 
   if (!Opt.Quiet) {
-    SampleSummary Latency;
-    {
-      std::lock_guard<std::mutex> L(LatencyMutex);
-      Latency = summarize(std::move(LatenciesMs));
-    }
-    std::printf("layra-loadgen: %llu/%llu requests completed over %u "
-                "clients in %.1f ms (%.1f req/s)\n",
-                static_cast<unsigned long long>(Completed.load()),
-                static_cast<unsigned long long>(
-                    static_cast<uint64_t>(Opt.Clients) * Opt.Requests),
-                Opt.Clients, TotalMs,
-                Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
-                                     : 0.0);
-    if (Latency.Count > 0)
-      std::printf("latency ms: p50 %.3f  p95 %.3f  max %.3f\n",
-                  Latency.Median, Latency.P95, Latency.Max);
+    HistogramSnapshot Snap = Latency.snapshot();
+    if (Opt.DurationSecs > 0)
+      std::printf("layra-loadgen: %llu requests completed over %u "
+                  "clients in %.1f ms (%.1f req/s)\n",
+                  static_cast<unsigned long long>(Completed.load()),
+                  Opt.Clients, TotalMs,
+                  Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
+                                       : 0.0);
+    else
+      std::printf("layra-loadgen: %llu/%llu requests completed over %u "
+                  "clients in %.1f ms (%.1f req/s)\n",
+                  static_cast<unsigned long long>(Completed.load()),
+                  static_cast<unsigned long long>(
+                      static_cast<uint64_t>(Opt.Clients) * Opt.Requests),
+                  Opt.Clients, TotalMs,
+                  Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
+                                       : 0.0);
+    if (Snap.Count > 0)
+      std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f\n",
+                  Snap.percentile(0.50), Snap.percentile(0.95),
+                  Snap.percentile(0.99), Snap.meanMs());
     if (Mismatched.load() > 0)
       std::printf("DETERMINISM VIOLATION: %llu responses differed\n",
                   static_cast<unsigned long long>(Mismatched.load()));

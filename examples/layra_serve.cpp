@@ -16,7 +16,7 @@
 ///   layra-serve [--unix=PATH] [--tcp=PORT] [--host=ADDR] [--threads=N]
 ///               [--list-targets]
 ///               [--cache-cap=N] [--queue-cap=N] [--max-conns=N]
-///               [--max-frame=BYTES] [--quiet]
+///               [--max-frame=BYTES] [--metrics-dump=FILE] [--quiet]
 ///
 ///   --unix=PATH   listen on a Unix-domain socket at PATH
 ///   --tcp=PORT    listen on ADDR:PORT (0 = pick an ephemeral port; the
@@ -33,10 +33,17 @@
 ///   --queue-cap   request-queue depth before backpressure (default 64)
 ///   --max-conns   concurrent connection cap (default 256)
 ///   --max-frame   largest accepted frame payload in bytes (default 16 MiB)
+///   --metrics-dump=FILE
+///                 write a Prometheus-style text exposition of the server
+///                 stats and the process metrics registry to FILE on every
+///                 SIGUSR1 and once more at drain ("-" = stderr).  The file
+///                 is rewritten atomically-in-place (truncate + write), so
+///                 a scraper always sees one complete exposition
 ///   --quiet       suppress the startup/shutdown summary lines
 ///
 /// SIGINT/SIGTERM drain gracefully: accepted requests finish, their
-/// responses are written, then the process exits 0.
+/// responses are written, then the process exits 0.  SIGUSR1 triggers a
+/// metrics dump (when --metrics-dump is set) without disturbing service.
 ///
 /// Example session:
 ///   $ layra-serve --unix=/tmp/layra.sock &
@@ -67,14 +74,15 @@ namespace {
                "usage: %s [--unix=PATH] [--tcp=PORT] [--host=ADDR]\n"
                "          [--threads=N] [--cache-cap=N] [--queue-cap=N]\n"
                "          [--max-conns=N] [--max-frame=BYTES]\n"
-               "          [--list-targets] [--quiet]\n",
+               "          [--metrics-dump=FILE] [--list-targets] [--quiet]\n",
                Argv0);
   std::exit(2);
 }
 
-/// Self-pipe carrying SIGINT/SIGTERM to the main thread: a handler may
-/// only touch async-signal-safe calls, so it writes one byte and main()
-/// does the actual drain.
+/// Self-pipe carrying SIGINT/SIGTERM/SIGUSR1 to the main thread: a handler
+/// may only touch async-signal-safe calls, so it writes one byte and
+/// main() does the actual drain or metrics dump.  The byte value encodes
+/// the request: 1 = stop, 2 = dump metrics.
 int StopPipe[2] = {-1, -1};
 
 void onStopSignal(int) {
@@ -83,11 +91,38 @@ void onStopSignal(int) {
   (void)!write(StopPipe[1], &Byte, 1);
 }
 
+void onDumpSignal(int) {
+  char Byte = 2;
+  (void)!write(StopPipe[1], &Byte, 1);
+}
+
+/// Writes one complete exposition to \p Path ("-" = stderr).  Truncate +
+/// write + close per dump, so a scraper never reads a stale tail.
+void dumpMetrics(const std::string &Path, const ServerStats &Stats,
+                 bool Quiet) {
+  std::string Text = makeMetricsExposition(Stats);
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stderr);
+    return;
+  }
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "layra-serve: cannot write metrics dump to '%s'\n",
+                 Path.c_str());
+    return;
+  }
+  std::fputs(Text.c_str(), Out);
+  std::fclose(Out);
+  if (!Quiet)
+    std::fprintf(stderr, "layra-serve: metrics dump -> %s\n", Path.c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   ServerOptions Opt;
   bool Quiet = false;
+  std::string MetricsDumpPath;
   unsigned Parsed = 0;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -139,6 +174,10 @@ int main(int Argc, char **Argv) {
       if (!parseBoundedUnsigned(V, 1u << 30, Parsed) || Parsed == 0)
         usage(Argv[0], "--max-frame must be an integer in [1, 2^30]");
       Opt.MaxFrameBytes = Parsed;
+    } else if (const char *V = Value("--metrics-dump=")) {
+      MetricsDumpPath = V;
+      if (MetricsDumpPath.empty())
+        usage(Argv[0], "--metrics-dump needs a file path (or '-')");
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -156,6 +195,7 @@ int main(int Argc, char **Argv) {
   }
   std::signal(SIGINT, onStopSignal);
   std::signal(SIGTERM, onStopSignal);
+  std::signal(SIGUSR1, onDumpSignal);
   // A client that disconnects mid-response must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
 
@@ -179,12 +219,24 @@ int main(int Argc, char **Argv) {
   }
 
   // Block until a stop signal arrives (retrying interrupted reads).
-  char Byte;
-  while (read(StopPipe[0], &Byte, 1) < 0 && errno == EINTR) {
+  // SIGUSR1 bytes trigger a metrics dump and keep serving.
+  while (true) {
+    char Byte = 0;
+    ssize_t N = read(StopPipe[0], &Byte, 1);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0 || Byte == 1)
+      break;
+    if (Byte == 2 && !MetricsDumpPath.empty())
+      dumpMetrics(MetricsDumpPath, S.stats(), Quiet);
   }
 
   S.requestStop();
   S.wait();
+  // A final dump so a drained server leaves its complete telemetry behind
+  // even when nothing ever sent SIGUSR1.
+  if (!MetricsDumpPath.empty())
+    dumpMetrics(MetricsDumpPath, S.stats(), Quiet);
   if (!Quiet) {
     ServerStats Stats = S.stats();
     std::fprintf(stderr,

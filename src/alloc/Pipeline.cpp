@@ -12,6 +12,7 @@
 #include "core/SolverWorkspace.h"
 #include "ir/Liveness.h"
 #include "ir/OperandFolding.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 using namespace layra;
@@ -32,6 +33,7 @@ PipelineResult layra::runAllocationPipeline(
     SolverWorkspace *WS) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "pipeline requires strict SSA input");
+  PhaseSpan PipelineSpan(Phase::Pipeline);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   std::unique_ptr<Allocator> Alloc = makeAllocator(Options.AllocatorName);
@@ -47,7 +49,9 @@ PipelineResult layra::runAllocationPipeline(
       WS->acquire(WS->Pipeline.Pinned, F.numValues(), char(0));
 
   for (unsigned Round = 0; Round < Options.MaxRounds; ++Round) {
+    PhaseSpan RoundSpan(Phase::SpillRound);
     ++Out.Rounds;
+    obs::addSpillRound();
     AllocationProblem P =
         buildSsaProblem(Out.Rewritten, Target, Budgets, WS);
     if (P.fitsBudgets())
@@ -55,7 +59,10 @@ PipelineResult layra::runAllocationPipeline(
 
     // allocateProblem decomposes multi-class instances per register class;
     // single-class instances take the historical direct path.
-    AllocationResult Result = Alloc->allocateProblem(P, WS);
+    AllocationResult Result = [&] {
+      PhaseSpan AllocSpan(Phase::Allocate);
+      return Alloc->allocateProblem(P, WS);
+    }();
     // Pin-aware spill set: never re-spill a pinned value.
     std::vector<char> &Spilled =
         WS->acquire(WS->Pipeline.Spilled, Out.Rewritten.numValues(), char(0));
@@ -79,9 +86,11 @@ PipelineResult layra::runAllocationPipeline(
 
     // CISC targets absorb single-use reloads into addressing modes, which
     // removes their temporaries before the next round measures pressure.
-    if (Options.FoldMemoryOperands && Target.MaxMemOperands > 0)
+    if (Options.FoldMemoryOperands && Target.MaxMemOperands > 0) {
+      PhaseSpan FoldSpan(Phase::OperandFold);
       Out.LoadsFolded +=
           foldMemoryOperands(Out.Rewritten, Target).LoadsFolded;
+    }
 
     Pinned.resize(Out.Rewritten.numValues(), 0);
     for (VertexId V = 0; V < Spilled.size(); ++V)
@@ -92,10 +101,14 @@ PipelineResult layra::runAllocationPipeline(
   // Final assignment over whatever still lives in registers.
   AllocationProblem P =
       buildSsaProblem(Out.Rewritten, Target, Budgets, WS);
-  AllocationResult Final = Alloc->allocateProblem(P, WS);
+  AllocationResult Final = [&] {
+    PhaseSpan AllocSpan(Phase::Allocate);
+    return Alloc->allocateProblem(P, WS);
+  }();
   Out.FinalMaxLive = P.maxLive();
   bool FinalFits = P.fitsBudgets();
 
+  PhaseSpan AssignSpan(Phase::Assign);
   std::vector<Affinity> Affinities = collectAffinities(Out.Rewritten);
   Out.Regs = Options.AffinityBias
                  ? assignRegistersBiased(P, Final.Allocated, Affinities)

@@ -9,6 +9,7 @@
 
 #include "ir/Interference.h"
 #include "ir/Liveness.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 using namespace layra;
@@ -49,6 +50,7 @@ AllocationProblem layra::buildSsaProblem(const Function &F,
                                          SolverWorkspace *WS) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "buildSsaProblem requires a strict SSA function");
+  PhaseSpan BuildSpan(Phase::ProblemBuild);
   Liveness Live(F);
   std::vector<Weight> Costs = computeSpillCosts(F, Target);
   // Chordal constraints come from the maximal cliques, so the per-point
@@ -76,6 +78,7 @@ AllocationProblem
 layra::buildGeneralProblem(const Function &F, const TargetDesc &Target,
                            const std::vector<unsigned> &Budgets) {
   assert(verifyFunction(F) && "buildGeneralProblem requires a valid function");
+  PhaseSpan BuildSpan(Phase::ProblemBuild);
   Liveness Live(F);
   std::vector<Weight> Costs = computeSpillCosts(F, Target);
   InterferenceInfo Info = buildInterference(F, Live, Costs);

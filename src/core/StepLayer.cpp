@@ -24,6 +24,7 @@
 #include "core/StepLayer.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -98,6 +99,7 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
                            SolverWorkspace *WS, const CliqueTree *Tree) {
   assert(P.Chordal && "bounded layers require a chordal instance");
   assert(Bound >= 1 && "bound must be positive");
+  PhaseSpan DpSpan(Phase::CliqueTreeDp);
   assert(Mask.size() == P.graph().numVertices() && "mask size mismatch");
   assert(Weights.size() == P.graph().numVertices() && "weights size mismatch");
   WorkspaceOrLocal LocalScope(WS);
@@ -169,6 +171,7 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
     SolverWorkspace::StepDpNode &T = Tables[C];
     enumerateSubsets(static_cast<unsigned>(T.Bag.size()), Bound, T.States,
                      WS->Step.SubsetsCurrent, WS->Step.SubsetsNext);
+    obs::addDpStates(T.States.size());
     T.Value.assign(T.States.size(), 0);
 
     // Weight of each bag vertex.

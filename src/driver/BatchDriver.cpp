@@ -9,6 +9,7 @@
 
 #include "alloc/OptimalBnB.h"
 #include "ir/SsaBuilder.h"
+#include "obs/Metrics.h"
 #include "support/Compiler.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
@@ -44,6 +45,23 @@ double toMs(std::chrono::steady_clock::duration D) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
              D)
       .count();
+}
+
+/// Publishes the driver's workspace-arena and pipeline-cache accounting as
+/// gauges in the global metrics registry; `layra-bench --workspace-stats`
+/// and `layra-serve --metrics-dump` read them back from a snapshot.
+void publishDriverGauges(const WorkspaceStats &WS,
+                         const DriverCacheCounters &Cache) {
+  MetricsRegistry &M = MetricsRegistry::global();
+  M.set(M.gauge("layra.workspace.bytes_reused"), double(WS.BytesReused));
+  M.set(M.gauge("layra.workspace.bytes_allocated"), double(WS.BytesAllocated));
+  M.set(M.gauge("layra.workspace.acquires"), double(WS.Acquires));
+  M.set(M.gauge("layra.workspace.reuse_fraction"), WS.reuseFraction());
+  M.set(M.gauge("layra.driver.cache.hits"), double(Cache.Hits));
+  M.set(M.gauge("layra.driver.cache.misses"), double(Cache.Misses));
+  M.set(M.gauge("layra.driver.cache.evictions"), double(Cache.Evictions));
+  M.set(M.gauge("layra.driver.cache.entries"), double(Cache.Entries));
+  M.set(M.gauge("layra.driver.cache.capacity"), double(Cache.Capacity));
 }
 
 } // namespace
@@ -326,15 +344,31 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   // workspace reuse cannot leak one task's results into another's.
   std::vector<TaskOutcome> Outcomes(UniqueToPending.size());
   std::vector<double> SolveMs(UniqueToPending.size(), 0);
+  // Sampled once so a mid-run flip cannot leave half-collected breakdowns.
+  const bool CollectPhases = obs::phaseAccountingEnabled();
+  std::vector<PhaseTotals> TaskPhases(CollectPhases ? UniqueToPending.size()
+                                                    : 0);
   Pool.parallelForWorker(UniqueToPending.size(), [&](size_t I,
                                                      unsigned Slot) {
     const PendingTask &T = Pending[UniqueToPending[I]];
     const BatchJob &Job = Jobs[T.JobIndex];
+    // Tasks run serially on a worker, so the thread-local phase totals
+    // delta across this task is exactly this task's breakdown.
+    PhaseTotals Before;
+    if (CollectPhases)
+      Before = obs::threadPhaseTotals();
     auto Start = std::chrono::steady_clock::now();
     SsaConversion Ssa = convertToSsa(*T.F);
     PipelineResult R =
         runAllocationPipeline(Ssa.Ssa, Job.Target, JobBudgets[T.JobIndex],
                               Job.Options, Workspaces[Slot].get());
+    if (CollectPhases) {
+      const PhaseTotals &After = obs::threadPhaseTotals();
+      for (unsigned P = 0; P < kNumPhases; ++P) {
+        TaskPhases[I].Ms[P] = After.Ms[P] - Before.Ms[P];
+        TaskPhases[I].Count[P] = After.Count[P] - Before.Count[P];
+      }
+    }
     TaskOutcome &Out = Outcomes[I];
     Out.SpillCost = R.TotalSpillCost;
     Out.NumLoads = R.Spills.NumLoads;
@@ -355,8 +389,20 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     PipelineCache.insert(Pending[UniqueToPending[I]].Key, Outcomes[I]);
 
   std::vector<std::vector<double>> JobSolveMs(Jobs.size());
+  if (CollectPhases)
+    for (JobReport &JR : Report.Jobs) {
+      JR.PhaseMs.assign(kNumPhases, 0.0);
+      JR.PhaseCount.assign(kNumPhases, 0);
+    }
   for (const PendingTask &T : Pending) {
     JobReport &JR = Report.Jobs[T.JobIndex];
+    // Phase breakdowns, like WallMs, cover only the tasks actually solved
+    // in this run (cache hits and batch twins cost no solver time).
+    if (CollectPhases && !T.PersistentHit && !T.BatchDup)
+      for (unsigned P = 0; P < kNumPhases; ++P) {
+        JR.PhaseMs[P] += TaskPhases[T.UniqueIndex].Ms[P];
+        JR.PhaseCount[P] += TaskPhases[T.UniqueIndex].Count[P];
+      }
     TaskResult Result;
     Result.Program = *T.Program;
     Result.Function = T.F->name();
@@ -394,6 +440,7 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   Report.CacheEvictions =
       CacheTransparent ? 0 : PipelineCache.evictions() - EvictionsBefore;
   Report.WallMs = toMs(std::chrono::steady_clock::now() - BatchStart);
+  publishDriverGauges(workspaceStats(), pipelineCacheCounters());
   return Report;
 }
 

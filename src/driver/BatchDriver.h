@@ -35,6 +35,7 @@
 #include "core/AllocationProblem.h"
 #include "core/SolverWorkspace.h"
 #include "ir/Target.h"
+#include "obs/Trace.h"
 #include "suites/Suites.h"
 #include "support/LruCache.h"
 #include "support/ThreadPool.h"
@@ -114,6 +115,14 @@ struct JobReport {
   double WallMsP50 = 0;
   double WallMsP95 = 0;
   double WallMsMax = 0;
+  /// Per-phase *self*-time breakdown over this job's solved tasks, indexed
+  /// by Phase (kNumPhases entries) -- summing PhaseMs reconstructs the
+  /// solve wall time without double counting.  Populated only when phase
+  /// accounting (obs::setPhaseAccounting) was on during run(); empty
+  /// otherwise.  Timing fields: excluded from determinism comparisons and
+  /// from --no-timing reports.
+  std::vector<double> PhaseMs;
+  std::vector<uint64_t> PhaseCount;
 };
 
 /// Everything one run() produced.

@@ -53,6 +53,21 @@ static JsonValue jobToJson(const JobReport &JR, bool IncludeTiming,
     Wall.set("p95", roundMs(JR.WallMsP95));
     Wall.set("max", roundMs(JR.WallMsMax));
     Out.set("wall_ms", std::move(Wall));
+    // Per-phase self-time breakdown, present only when phase accounting
+    // was on during the run.  Gated on IncludeTiming like every timing
+    // field, so --no-timing reports and goldens keep their bytes.
+    if (!JR.PhaseMs.empty()) {
+      JsonValue Phases = JsonValue::object();
+      for (unsigned P = 0; P < kNumPhases; ++P) {
+        if (JR.PhaseCount[P] == 0)
+          continue;
+        JsonValue One = JsonValue::object();
+        One.set("ms", roundMs(JR.PhaseMs[P]));
+        One.set("count", static_cast<unsigned long long>(JR.PhaseCount[P]));
+        Phases.set(phaseName(Phase(P)), std::move(One));
+      }
+      Out.set("phase_ms", std::move(Phases));
+    }
   }
   if (IncludeTasks) {
     JsonValue Tasks = JsonValue::array();
@@ -132,12 +147,21 @@ void layra::writeDriverReportCsv(std::FILE *Out, const DriverReport &Report,
       "loads",      "stores",        "loads_folded", "rounds"};
   if (AnyMultiClass)
     Headers.insert(Headers.begin() + 3, "class_regs");
+  // Phase columns appear only when some job carries a breakdown (phase
+  // accounting on) *and* timing is included, mirroring the JSON field.
+  bool AnyPhases = false;
+  for (const JobReport &JR : Report.Jobs)
+    AnyPhases |= !JR.PhaseMs.empty();
+  AnyPhases &= IncludeTiming;
   if (IncludeTiming) {
     Headers.push_back("wall_ms_total");
     Headers.push_back("wall_ms_p50");
     Headers.push_back("wall_ms_p95");
     Headers.push_back("wall_ms_max");
   }
+  if (AnyPhases)
+    for (unsigned P = 0; P < kNumPhases; ++P)
+      Headers.push_back(std::string("phase_ms_") + phaseName(Phase(P)));
   Table T(std::move(Headers));
   for (const JobReport &JR : Report.Jobs) {
     const BatchJob &Job = JR.Job;
@@ -165,6 +189,10 @@ void layra::writeDriverReportCsv(std::FILE *Out, const DriverReport &Report,
       Row.push_back(Table::num(JR.WallMsP95));
       Row.push_back(Table::num(JR.WallMsMax));
     }
+    if (AnyPhases)
+      for (unsigned P = 0; P < kNumPhases; ++P)
+        Row.push_back(JR.PhaseMs.empty() ? "0"
+                                         : Table::num(JR.PhaseMs[P]));
     T.addRow(std::move(Row));
   }
   T.printCsv(Out);

@@ -8,6 +8,7 @@
 #include "flow/MinCostFlow.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -37,6 +38,7 @@ MinCostFlow::Result MinCostFlow::run(NodeId Source, NodeId Sink,
                                      FlowAmount MaxFlow,
                                      SolverWorkspace *WS) {
   assert(Source < numNodes() && Sink < numNodes() && Source != Sink);
+  PhaseSpan FlowSpan(Phase::MinCostFlow);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   constexpr Cost kInf = std::numeric_limits<Cost>::max() / 4;

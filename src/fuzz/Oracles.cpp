@@ -16,6 +16,7 @@
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
 #include "ir/Parser.h"
+#include "obs/Trace.h"
 #include "service/Client.h"
 #include "service/Protocol.h"
 #include "suites/Suites.h"
@@ -214,6 +215,48 @@ OracleOutcome checkCacheTransparent(const OracleContext &Ctx) {
   return {};
 }
 
+/// Observability must be free of observable effect: running the pipeline
+/// with tracing and phase accounting fully enabled yields a timing-free
+/// report byte-identical to a quiet run.  Guards the zero-cost-when-
+/// disabled contract from the other side -- instrumentation may measure,
+/// never steer.
+OracleOutcome checkMetricsQuiet(const OracleContext &Ctx) {
+  Suite S = singleFunctionSuite(Ctx.Case->F, "fuzz");
+  std::vector<BatchJob> Jobs = singleJob(S, *Ctx.Target, Ctx.Case->Budgets);
+
+  // Quiet run first, with every obs feature off (the fuzz driver leaves
+  // them off; force it anyway so the oracle is self-contained).
+  TraceCollector &TC = TraceCollector::global();
+  bool WasTracing = TC.enabled();
+  bool WasDet = TC.deterministic();
+  bool WasAccounting = obs::phaseAccountingEnabled();
+  TC.disable();
+  obs::setPhaseAccounting(false);
+  BatchDriver QuietDriver(1);
+  std::string QuietJson =
+      driverReportToJson(QuietDriver.run(Jobs), /*IncludeTiming=*/false,
+                         /*IncludeTasks=*/true)
+          .dump(2);
+
+  // Instrumented run: deterministic tracing plus phase accounting.
+  TC.enable(/*Deterministic=*/true);
+  obs::setPhaseAccounting(true);
+  BatchDriver LoudDriver(1);
+  std::string LoudJson =
+      driverReportToJson(LoudDriver.run(Jobs), /*IncludeTiming=*/false,
+                         /*IncludeTasks=*/true)
+          .dump(2);
+  TC.disable();
+  TC.clear();
+  obs::setPhaseAccounting(WasAccounting);
+  if (WasTracing)
+    TC.enable(WasDet);
+
+  if (QuietJson != LoudJson)
+    return fail("timing-free report changed when tracing/metrics were on");
+  return {};
+}
+
 /// The allocation server's submit_ir response must be byte-identical to
 /// a direct fresh BatchDriver run of the same single-function suite.
 OracleOutcome checkServeDirect(const OracleContext &Ctx) {
@@ -271,6 +314,9 @@ const std::vector<Oracle> &layra::oracleRegistry() {
       {"cache-transparent",
        "warm BatchDriver cache-transparent reports equal fresh reports",
        checkCacheTransparent, false},
+      {"metrics-quiet",
+       "tracing/phase accounting on vs off yields byte-identical reports",
+       checkMetricsQuiet, false},
       {"serve-direct",
        "layra-serve submit_ir responses equal direct driver runs byte-for-byte",
        checkServeDirect, true},

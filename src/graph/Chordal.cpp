@@ -8,6 +8,7 @@
 #include "graph/Chordal.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -31,6 +32,7 @@ EliminationOrder EliminationOrder::fromOrder(std::vector<VertexId> Order) {
 
 EliminationOrder layra::maximumCardinalitySearch(const Graph &G,
                                                  SolverWorkspace *WS) {
+  PhaseSpan McsSpan(Phase::McsPeo);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   unsigned N = G.numVertices();
@@ -74,6 +76,7 @@ EliminationOrder layra::maximumCardinalitySearch(const Graph &G,
 }
 
 EliminationOrder layra::lexBfs(const Graph &G) {
+  PhaseSpan LexBfsSpan(Phase::McsPeo);
   unsigned N = G.numVertices();
   // Partition refinement: Slices is an ordered list of vertex groups; the
   // next visited vertex is the front of the first slice, and visiting splits
@@ -132,6 +135,7 @@ static void laterNeighbors(const Graph &G, const EliminationOrder &Peo,
 bool layra::isPerfectEliminationOrder(const Graph &G,
                                       const EliminationOrder &Order,
                                       SolverWorkspace *WS) {
+  PhaseSpan PeoSpan(Phase::McsPeo);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   unsigned N = G.numVertices();
@@ -265,6 +269,7 @@ private:
 } // namespace
 
 CliqueTree layra::buildCliqueTree(const Graph &G, const CliqueCover &Cover) {
+  PhaseSpan TreeSpan(Phase::CliqueTreeDp);
   unsigned K = Cover.numCliques();
   CliqueTree Tree;
   Tree.Parent.assign(K, ~0u);

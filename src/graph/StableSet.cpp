@@ -8,6 +8,7 @@
 #include "graph/StableSet.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 
@@ -17,6 +18,7 @@ StableSetResult layra::maximumWeightedStableSetChordal(
     const Graph &G, const EliminationOrder &Peo,
     const std::vector<Weight> &Weights, const std::vector<char> &Mask,
     SolverWorkspace *WS) {
+  PhaseSpan StableSetSpan(Phase::StableSet);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   unsigned N = G.numVertices();

@@ -8,6 +8,7 @@
 #include "ir/Interference.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <unordered_set>
@@ -16,6 +17,7 @@ using namespace layra;
 
 std::vector<Weight> layra::computeSpillCosts(const Function &F,
                                              const TargetDesc &Target) {
+  PhaseSpan CostsSpan(Phase::SpillCosts);
   std::vector<Weight> Costs(F.numValues(), 0);
   for (BlockId B = 0; B < F.numBlocks(); ++B) {
     const BasicBlock &BB = F.block(B);
@@ -59,6 +61,7 @@ InterferenceInfo layra::buildInterference(const Function &F,
                                           SolverWorkspace *WS,
                                           bool CollectPointSets) {
   assert(Costs.size() == F.numValues() && "one cost per value required");
+  PhaseSpan InterferenceSpan(Phase::Interference);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   InterferenceInfo Info;

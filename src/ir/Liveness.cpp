@@ -7,11 +7,14 @@
 
 #include "ir/Liveness.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 
 using namespace layra;
 
 Liveness::Liveness(const Function &F) {
+  PhaseSpan LivenessSpan(Phase::Liveness);
   unsigned NumBlocks = F.numBlocks();
   unsigned NumValues = F.numValues();
   LiveInSets.assign(NumBlocks, BitVector(NumValues));

@@ -7,6 +7,8 @@
 
 #include "ir/SpillRewriter.h"
 
+#include "obs/Trace.h"
+
 #include <string>
 
 using namespace layra;
@@ -14,6 +16,7 @@ using namespace layra;
 SpillRewriteStats layra::rewriteSpills(Function &F,
                                        const std::vector<char> &Spilled) {
   assert(Spilled.size() >= F.numValues() && "one flag per value required");
+  PhaseSpan RewriteSpan(Phase::SpillRewrite);
   SpillRewriteStats Stats;
 
   // Assign slots densely.

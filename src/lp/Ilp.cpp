@@ -26,6 +26,7 @@
 
 #include "core/SolverWorkspace.h"
 #include "lp/Simplex.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -365,6 +366,7 @@ IlpResult layra::solveBinaryPacking(const IlpInstance &Instance,
                                     const std::vector<char> *WarmStart,
                                     uint64_t &NodeBudget,
                                     SolverWorkspace *WS) {
+  PhaseSpan IlpSpan(Phase::Ilp);
 #ifndef NDEBUG
   for (Weight W : Instance.Weights)
     assert(W >= 0 && "packing weights must be non-negative");

@@ -25,6 +25,7 @@
 #include "lp/Simplex.h"
 
 #include "core/SolverWorkspace.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <algorithm>
@@ -330,6 +331,7 @@ LpSolution layra::solveLp(const LinearProgram &LP, SolverWorkspace *WS) {
   assert(LP.Lower.size() == LP.NumVars && LP.Upper.size() == LP.NumVars &&
          "bounds size mismatch");
 
+  PhaseSpan SimplexSpan(Phase::Simplex);
   WorkspaceOrLocal LocalScope(WS);
   WS = LocalScope.get();
   LpSolution Solution;

@@ -17,10 +17,13 @@
 ///
 /// The payload is UTF-8 JSON.  Requests carry a "type" field (ping, stats,
 /// allocate, submit_ir); responses identify themselves by "schema"
-/// ("layra-serve-pong/v1", "layra-serve-stats/v1", "layra-serve-error/v1",
+/// ("layra-serve-pong/v1", "layra-serve-stats/v2", "layra-serve-error/v1",
 /// or -- for allocation responses -- a verbatim "layra-driver-report/v1"
 /// document, byte-identical to what driver/ReportIO.h would write for a
-/// direct BatchDriver run of the same jobs).
+/// direct BatchDriver run of the same jobs).  The v2 stats schema is a
+/// strict superset of the retired v1: every v1 field keeps its name, type
+/// and meaning, and v2 adds latency percentile p99, the full service-time
+/// histogram, and dispatcher utilization (docs/PROTOCOL.md).
 ///
 /// This header carries the pieces both sides share: frame encode/decode
 /// over fds and buffers, the parsed request representation, and the small
@@ -48,7 +51,13 @@ inline constexpr const char *kServeProtocolVersion = "layra-serve/v1";
 /// Response schema names.  Allocation responses instead carry the driver
 /// report schema ("layra-driver-report/v1", see driver/ReportIO.h).
 inline constexpr const char *kErrorSchema = "layra-serve-error/v1";
-inline constexpr const char *kStatsSchema = "layra-serve-stats/v1";
+/// Current stats schema.  v2 is a strict superset of the original v1
+/// (kStatsSchemaV1): clients keyed on v1 field names keep working, they
+/// just see a different schema string.
+inline constexpr const char *kStatsSchema = "layra-serve-stats/v2";
+/// Historical stats schema name, kept so compatibility notes and tests can
+/// refer to it; the server no longer emits it.
+inline constexpr const char *kStatsSchemaV1 = "layra-serve-stats/v1";
 inline constexpr const char *kPongSchema = "layra-serve-pong/v1";
 
 /// Frame geometry.

@@ -11,8 +11,8 @@
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
 #include "ir/Parser.h"
+#include "obs/Metrics.h"
 #include "support/Socket.h"
-#include "support/Statistics.h"
 
 #include <algorithm>
 #include <atomic>
@@ -33,10 +33,6 @@ namespace {
 /// Accept-loop poll granularity: the latency bound on noticing a stop
 /// request while no connections arrive.
 constexpr int kAcceptPollMs = 100;
-
-/// Service-time samples kept for the stats percentiles (ring buffer, so a
-/// long-lived server's stats memory is constant).
-constexpr size_t kLatencyRingSize = 4096;
 
 double msSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration_cast<
@@ -110,9 +106,71 @@ std::string layra::makeStatsResponse(const ServerStats &S) {
   JsonValue Latency = JsonValue::object();
   Latency.set("service_ms_p50", S.ServiceMsP50);
   Latency.set("service_ms_p95", S.ServiceMsP95);
+  Latency.set("service_ms_p99", S.ServiceMsP99);
   Latency.set("samples", S.ServiceSamples);
+  // Cumulative histogram in le/count form (Prometheus-style): each entry
+  // says "this many samples took at most le_ms".  Only occupied buckets are
+  // serialized, so the array stays small however wide the geometry is.
+  JsonValue Buckets = JsonValue::array();
+  uint64_t Cumulative = 0;
+  for (size_t I = 0; I < S.ServiceLatency.Buckets.size(); ++I) {
+    if (S.ServiceLatency.Buckets[I] == 0)
+      continue;
+    Cumulative += S.ServiceLatency.Buckets[I];
+    JsonValue Bucket = JsonValue::object();
+    Bucket.set("le_ms", hist::ticksToMs(
+                            double(hist::bucketHighTicks(unsigned(I)))));
+    Bucket.set("count", Cumulative);
+    Buckets.push(std::move(Bucket));
+  }
+  Latency.set("histogram", std::move(Buckets));
   Doc.set("latency", std::move(Latency));
+  JsonValue Dispatcher = JsonValue::object();
+  Dispatcher.set("busy_ms", S.DispatcherBusyMs);
+  Dispatcher.set("utilization", S.DispatcherUtilization);
+  Doc.set("dispatcher", std::move(Dispatcher));
   return Doc.dump(2) + "\n";
+}
+
+std::string layra::makeMetricsExposition(const ServerStats &S) {
+  // Server-level stats rendered through the same exposition machinery as
+  // the registry metrics, so one scrape sees one consistent format.
+  MetricsSnapshot Snap;
+  Snap.Counters = {
+      {"layra.serve.requests.total", S.RequestsTotal},
+      {"layra.serve.requests.allocate", S.RequestsAllocate},
+      {"layra.serve.requests.submit_ir", S.RequestsSubmitIr},
+      {"layra.serve.requests.stats", S.RequestsStats},
+      {"layra.serve.requests.ping", S.RequestsPing},
+      {"layra.serve.requests.failed", S.RequestsFailed},
+      {"layra.serve.connections.accepted", S.ConnectionsAccepted},
+      {"layra.serve.connections.rejected", S.ConnectionsRejected},
+      {"layra.serve.cache.hits", S.CacheHits},
+      {"layra.serve.cache.misses", S.CacheMisses},
+      {"layra.serve.cache.evictions", S.CacheEvictions},
+  };
+  double Classified = double(S.CacheHits + S.CacheMisses);
+  Snap.Gauges = {
+      {"layra.serve.uptime_ms", S.UptimeMs},
+      {"layra.serve.threads", double(S.Threads)},
+      {"layra.serve.connections.active", double(S.ConnectionsActive)},
+      {"layra.serve.cache.entries", double(S.CacheEntries)},
+      {"layra.serve.cache.capacity", double(S.CacheCapacity)},
+      {"layra.serve.cache.hit_rate",
+       Classified > 0 ? double(S.CacheHits) / Classified : 0.0},
+      {"layra.serve.queue.depth", double(S.QueueDepth)},
+      {"layra.serve.queue.max_depth", double(S.QueueMaxDepth)},
+      {"layra.serve.queue.capacity", double(S.QueueCapacity)},
+      {"layra.serve.dispatcher.busy_ms", S.DispatcherBusyMs},
+      {"layra.serve.dispatcher.utilization", S.DispatcherUtilization},
+  };
+  if (S.ServiceLatency.Count > 0) {
+    HistogramSnapshot Service = S.ServiceLatency;
+    Service.Name = "layra.serve.service_ms";
+    Snap.Histograms.push_back(std::move(Service));
+  }
+  return Snap.toPrometheusText() +
+         MetricsRegistry::global().snapshot().toPrometheusText();
 }
 
 //===----------------------------------------------------------------------===//
@@ -124,7 +182,6 @@ struct Server::Impl {
       : Opt(std::move(Options)), Driver(Opt.Threads) {
     Driver.setCacheCapacity(Opt.CacheCapacity);
     CachedCache = Driver.pipelineCacheCounters();
-    LatencyRing.reserve(kLatencyRingSize);
   }
 
   ServerOptions Opt;
@@ -168,9 +225,15 @@ struct Server::Impl {
   /// itself is dispatcher-private after start(), so out-of-band stats()
   /// callers read this published copy instead of racing the driver.
   DriverCacheCounters CachedCache;
-  std::vector<double> LatencyRing;
-  size_t LatencyNext = 0;
-  uint64_t LatencyTotal = 0;
+  /// Lifetime service-time histogram (log-linear buckets, obs/Metrics.h):
+  /// constant memory for a long-lived server, like the ring buffer it
+  /// replaces, but without discarding history -- and the same bucket
+  /// geometry layra-loadgen uses client-side, so the two ends' percentile
+  /// figures are directly comparable.  record() is wait-free, so it lives
+  /// outside StatsMutex.
+  Histogram ServiceHist;
+  /// Wall time the dispatcher spent executing requests (StatsMutex).
+  double DispatcherBusyMs = 0;
   std::chrono::steady_clock::time_point StartTime;
 
   //--- Implementation. ----------------------------------------------------
@@ -613,28 +676,24 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
 }
 
 void Server::Impl::recordService(double Ms) {
+  ServiceHist.record(Ms);
   std::lock_guard<std::mutex> L(StatsMutex);
-  if (LatencyRing.size() < kLatencyRingSize)
-    LatencyRing.push_back(Ms);
-  else {
-    LatencyRing[LatencyNext] = Ms;
-    LatencyNext = (LatencyNext + 1) % kLatencyRingSize;
-  }
-  ++LatencyTotal;
+  DispatcherBusyMs += Ms;
 }
 
 ServerStats Server::Impl::snapshotStats() {
+  // The histogram is wait-free concurrent state; read it before taking
+  // StatsMutex so a slow percentile walk never extends the lock hold.
+  HistogramSnapshot Latency = ServiceHist.snapshot();
+  Latency.Name = "layra.serve.service_ms";
   ServerStats S;
   {
     std::lock_guard<std::mutex> L(StatsMutex);
     S = Counters;
     S.UptimeMs = msSince(StartTime);
-    S.ServiceSamples = LatencyTotal;
-    if (!LatencyRing.empty()) {
-      SampleSummary Summary = summarize(LatencyRing);
-      S.ServiceMsP50 = Summary.Median;
-      S.ServiceMsP95 = Summary.P95;
-    }
+    S.DispatcherBusyMs = DispatcherBusyMs;
+    S.DispatcherUtilization =
+        S.UptimeMs > 0 ? std::min(1.0, DispatcherBusyMs / S.UptimeMs) : 0.0;
     S.CacheEntries = CachedCache.Entries;
     S.CacheCapacity = CachedCache.Capacity;
     S.CacheHits = CachedCache.Hits;
@@ -651,6 +710,11 @@ ServerStats Server::Impl::snapshotStats() {
     std::lock_guard<std::mutex> L(ConnMutex);
     S.ConnectionsActive = Connections.size();
   }
+  S.ServiceSamples = Latency.Count;
+  S.ServiceMsP50 = Latency.percentile(0.50);
+  S.ServiceMsP95 = Latency.percentile(0.95);
+  S.ServiceMsP99 = Latency.percentile(0.99);
+  S.ServiceLatency = std::move(Latency);
   return S;
 }
 

@@ -38,6 +38,7 @@
 #ifndef LAYRA_SERVICE_SERVER_H
 #define LAYRA_SERVICE_SERVER_H
 
+#include "obs/Metrics.h"
 #include "service/Protocol.h"
 
 #include <cstdint>
@@ -102,15 +103,34 @@ struct ServerStats {
   uint64_t QueueCapacity = 0;
   unsigned Threads = 0;
   double UptimeMs = 0;
-  /// Service-time (dequeue to response-built) percentiles over the most
-  /// recent requests; 0 when no samples yet.
+  /// Service-time (dequeue to response-built) percentiles over the whole
+  /// lifetime histogram; 0 when no samples yet.
   double ServiceMsP50 = 0;
   double ServiceMsP95 = 0;
+  double ServiceMsP99 = 0;
   uint64_t ServiceSamples = 0;
+  /// The full service-time histogram (log-linear buckets, obs/Metrics.h);
+  /// the percentiles above are read from this snapshot.
+  HistogramSnapshot ServiceLatency;
+  /// Wall time the dispatcher spent executing requests (excludes idle
+  /// queue waits and response writes of prebuilt error replies).
+  double DispatcherBusyMs = 0;
+  /// DispatcherBusyMs / UptimeMs, clamped to [0, 1].  A dispatcher pegged
+  /// near 1.0 is the request-serialization bottleneck; near 0 the pool is
+  /// idle and latency is dominated by queue arrival gaps.
+  double DispatcherUtilization = 0;
 };
 
-/// Serializes \p Stats as a "layra-serve-stats/v1" response payload.
+/// Serializes \p Stats as a "layra-serve-stats/v2" response payload.  v2 is
+/// a strict superset of v1: all v1 fields keep their name and meaning, and
+/// v2 adds latency.service_ms_p99, latency.histogram (cumulative bucket
+/// array), and the dispatcher{busy_ms, utilization} object.
 std::string makeStatsResponse(const ServerStats &Stats);
+
+/// Renders \p Stats plus the process-wide metrics registry snapshot as a
+/// Prometheus-style text exposition (`layra-serve --metrics-dump=FILE`,
+/// written on SIGUSR1 and at drain).
+std::string makeMetricsExposition(const ServerStats &Stats);
 
 /// The server.  Typical use:
 ///

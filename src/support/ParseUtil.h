@@ -39,6 +39,23 @@ inline bool parseBoundedUnsigned(const char *Text, unsigned long Max,
   return true;
 }
 
+/// Parses \p Text as a strictly positive decimal duration in seconds (in
+/// (0, Max], fractions allowed) into \p Out.  Returns false -- leaving
+/// \p Out untouched -- for empty input, signs, trailing garbage, nan/inf,
+/// zero or negative values: "-5" must be a clean usage error, not a
+/// wrapped-around multi-year run.
+inline bool parsePositiveSeconds(const char *Text, double Max, double &Out) {
+  if (!Text ||
+      !(std::isdigit(static_cast<unsigned char>(*Text)) || *Text == '.'))
+    return false;
+  char *End = nullptr;
+  double Value = std::strtod(Text, &End);
+  if ((End && *End) || !(Value > 0) || Value > Max)
+    return false;
+  Out = Value;
+  return true;
+}
+
 /// Splits \p Text on commas, dropping empty segments ("a,,b" -> {a, b}).
 inline std::vector<std::string> splitCommaList(const std::string &Text) {
   std::vector<std::string> Out;

@@ -24,6 +24,7 @@
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
 #include "ir/ProgramGen.h"
+#include "obs/Trace.h"
 #include "support/Random.h"
 
 #include <gtest/gtest.h>
@@ -143,4 +144,52 @@ TEST(ReportIOGolden, TasksCsvWithoutTimingMatchesFixture) {
                                         /*IncludeTiming=*/false);
                   }),
                   "tasks.csv");
+}
+
+TEST(ReportIOGolden, ObservabilityOnStillMatchesTimingFreeFixtures) {
+  // Full observability surface enabled: the timing-free serializations
+  // must keep their committed bytes.  Phase breakdowns only ever ride in
+  // under IncludeTiming, so the goldens are insensitive to obs state.
+  TraceCollector &TC = TraceCollector::global();
+  TC.clear();
+  TC.enable(/*Deterministic=*/true);
+  obs::setPhaseAccounting(true);
+  DriverReport Report = goldenReport();
+  obs::setPhaseAccounting(false);
+  TC.disable();
+  TC.clear();
+
+  compareToGolden(capture([&](std::FILE *Out) {
+                    writeDriverReportJson(Out, Report, /*IncludeTiming=*/false,
+                                          /*IncludeTasks=*/true);
+                  }),
+                  "report.json");
+  compareToGolden(capture([&](std::FILE *Out) {
+                    writeDriverReportCsv(Out, Report,
+                                         /*IncludeTiming=*/false);
+                  }),
+                  "report.csv");
+}
+
+TEST(ReportIOGolden, TimedReportCarriesPhaseBreakdowns) {
+  // Not a golden (timings are nondeterministic): with phase accounting on,
+  // a timed JSON report grows a phase_ms object per job and the timed CSV
+  // grows the per-phase columns.
+  obs::setPhaseAccounting(true);
+  DriverReport Report = goldenReport();
+  obs::setPhaseAccounting(false);
+
+  ASSERT_FALSE(Report.Jobs.empty());
+  for (const JobReport &JR : Report.Jobs)
+    EXPECT_EQ(JR.PhaseMs.size(), size_t(kNumPhases));
+  std::string Json = capture([&](std::FILE *Out) {
+    writeDriverReportJson(Out, Report, /*IncludeTiming=*/true,
+                          /*IncludeTasks=*/false);
+  });
+  EXPECT_NE(Json.find("\"phase_ms\""), std::string::npos);
+  EXPECT_NE(Json.find("\"pipeline\""), std::string::npos);
+  std::string Csv = capture([&](std::FILE *Out) {
+    writeDriverReportCsv(Out, Report, /*IncludeTiming=*/true);
+  });
+  EXPECT_NE(Csv.find("phase_ms_pipeline"), std::string::npos);
 }
