@@ -87,8 +87,16 @@ FigureData layra::bench::measureFigure(const FigureSpec &Spec) {
     for (size_t A = 0; A < Data.AllocatorNames.size(); ++A) {
       const std::string &Name = Data.AllocatorNames[A];
       bool IsOptimal = Name == "optimal";
-      std::vector<AllocationResult> Results =
-          Driver.solveProblems(Instances, Name, Spec.OptimalNodeLimit);
+      std::string Error;
+      std::vector<AllocationResult> Results = Driver.solveProblems(
+          Instances, Name, Spec.OptimalNodeLimit, &Error);
+      if (!Error.empty()) {
+        // A misconfigured figure (bad allocator name, linear scan over
+        // graph-only instances) is a usage error, not a process abort.
+        std::fprintf(stderr, "error: %s: %s\n", Spec.Id.c_str(),
+                     Error.c_str());
+        std::exit(2);
+      }
       std::vector<Weight> FunctionCosts(Problems.size(), 0);
       for (size_t I = 0; I < Problems.size(); ++I) {
         FunctionCosts[I] = Results[I].SpillCost;

@@ -21,7 +21,13 @@
 ///               [--trace=FILE] [--metrics[=FILE]]
 ///               [--workspace-stats] [--quiet]
 ///
-///   --suite      suites to run (default eembc); names as in makeSuite()
+///   --suite      suites to run (default eembc); names as in makeSuite(),
+///                plus the graph-only suite `random-chordal` (generated
+///                chordal interference graphs solved directly through
+///                BatchDriver::solveProblems -- no IR pipeline, so it
+///                appears in the stdout summary but not in --json/--csv
+///                reports, and interval-consuming allocators ls/bls are
+///                rejected with a diagnostic)
 ///   --regs       register counts for class 0, a range `4..16` or a list
 ///                `1,2,4` (default 4..16); other register classes keep the
 ///                target's architectural counts
@@ -57,11 +63,14 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/AllocationProblem.h"
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
+#include "graph/Generators.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "support/ParseUtil.h"
+#include "support/Random.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -230,6 +239,60 @@ void closeOutput(std::FILE *Out) {
     std::fclose(Out);
 }
 
+/// The one graph-only suite the CLI offers: deterministic generated chordal
+/// interference graphs (subtrees of a random tree, the paper's SSA model),
+/// solved straight through BatchDriver::solveProblems with the requested
+/// allocator -- the same path the fig* harness drives.  Exercises the
+/// allocator-vs-problem validation: interval-consuming allocators (ls/bls)
+/// get a clean diagnostic here, since generated graphs carry no interval
+/// table.
+constexpr const char *kGraphSuiteName = "random-chordal";
+
+/// Runs the graph-only suite over the register sweep and prints its own
+/// summary table.  Exits with a usage-style diagnostic when the allocator
+/// cannot consume graph-only instances.
+void runGraphSuite(BatchDriver &Driver, const CliOptions &Opt) {
+  // Fixed seed: the suite is part of the determinism contract, like every
+  // generated IR suite.
+  Rng R(0x6c61797261u); // "layra"
+  std::vector<AllocationProblem> Base;
+  for (unsigned I = 0; I < 16; ++I) {
+    ChordalGenOptions G;
+    G.NumVertices = 24 + I * 8;
+    G.TreeSize = 20 + I * 6;
+    Base.push_back(AllocationProblem::fromChordalGraph(
+        randomChordalGraph(R, G), Opt.Regs.front()));
+  }
+
+  Table T({"suite", "regs", "instances", "spill cost"});
+  for (unsigned Regs : Opt.Regs) {
+    std::vector<AllocationProblem> Swept;
+    Swept.reserve(Base.size());
+    for (const AllocationProblem &P : Base)
+      Swept.push_back(P.withBudgets({Regs}));
+    std::vector<const AllocationProblem *> Instances;
+    Instances.reserve(Swept.size());
+    for (const AllocationProblem &P : Swept)
+      Instances.push_back(&P);
+
+    std::string Error;
+    std::vector<AllocationResult> Results = Driver.solveProblems(
+        Instances, Opt.Pipeline.AllocatorName, 50'000'000, &Error);
+    if (!Error.empty()) {
+      std::fprintf(stderr, "error: suite '%s': %s\n", kGraphSuiteName,
+                   Error.c_str());
+      std::exit(2);
+    }
+    Weight Total = 0;
+    for (const AllocationResult &Res : Results)
+      Total += Res.SpillCost;
+    T.addRow({kGraphSuiteName, std::to_string(Regs),
+              std::to_string(Results.size()), std::to_string(Total)});
+  }
+  if (!Opt.Quiet)
+    T.print(stdout);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -237,15 +300,47 @@ int main(int Argc, char **Argv) {
   const TargetDesc *Target = targetByName(Opt.TargetName);
   if (!Target)
     usage(Argv[0], "unknown target");
-  if (!makeAllocator(Opt.Pipeline.AllocatorName))
-    usage(Argv[0], "unknown allocator");
+  {
+    std::unique_ptr<Allocator> Probe =
+        makeAllocator(Opt.Pipeline.AllocatorName);
+    if (!Probe) {
+      std::string Error =
+          "unknown allocator '" + Opt.Pipeline.AllocatorName + "' (known:";
+      for (const std::string &N : allAllocatorNames())
+        Error += " " + N;
+      Error += ")";
+      usage(Argv[0], Error.c_str());
+    }
+    // Allocator-vs-suite compatibility, up front: the graph-only suite has
+    // no interval table for the linear-scan family to consume.
+    if (Probe->requiresIntervals() &&
+        std::find(Opt.Suites.begin(), Opt.Suites.end(), kGraphSuiteName) !=
+            Opt.Suites.end())
+      usage(Argv[0], ("allocator '" + Opt.Pipeline.AllocatorName +
+                      "' requires live intervals, but suite '" +
+                      kGraphSuiteName + "' is graph-only (no interval table)")
+                         .c_str());
+  }
+
+  // Split off the graph-only suite; everything else resolves via
+  // makeSuite() below.
+  bool WantGraphSuite = false;
+  std::vector<std::string> IrSuiteNames;
+  for (const std::string &Name : Opt.Suites) {
+    if (Name == kGraphSuiteName)
+      WantGraphSuite = true;
+    else
+      IrSuiteNames.push_back(Name);
+  }
 
   std::vector<std::string> Known = allSuiteNames();
-  for (const std::string &Name : Opt.Suites)
+  for (const std::string &Name : IrSuiteNames)
     if (std::find(Known.begin(), Known.end(), Name) == Known.end()) {
       std::string Error = "unknown suite '" + Name + "' (known:";
       for (const std::string &K : Known)
         Error += " " + K;
+      Error += " ";
+      Error += kGraphSuiteName;
       Error += ")";
       usage(Argv[0], Error.c_str());
     }
@@ -260,10 +355,10 @@ int main(int Argc, char **Argv) {
       usage(Argv[0], Error.c_str());
   }
 
-  // Generate each suite once and share it across the register sweep.
+  // Generate each IR suite once and share it across the register sweep.
   std::vector<Suite> Suites;
-  Suites.reserve(Opt.Suites.size());
-  for (const std::string &Name : Opt.Suites)
+  Suites.reserve(IrSuiteNames.size());
+  for (const std::string &Name : IrSuiteNames)
     Suites.push_back(makeSuite(Name));
 
   // Multi-class suites (mixed-classes) need a target with those register
@@ -362,6 +457,11 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Report.CacheHits),
                   static_cast<unsigned long long>(Report.CacheEvictions));
   }
+
+  // The graph-only suite runs through solveProblems on the same driver
+  // (summary table only; it has no pipeline tasks for the reports).
+  if (WantGraphSuite)
+    runGraphSuite(Driver, Opt);
 
   if (Opt.WorkspaceStats || Opt.Metrics) {
     // Stderr (unless --metrics=FILE), so a report streamed to stdout stays

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the committed BENCH_driver.json.
+
+Reruns the canonical EEMBC register sweep (the baseline tracked at the
+repo root) and fails when the build got meaningfully slower or when the
+deterministic report fields drifted:
+
+ 1. Determinism: `--no-timing` reports must be byte-identical across
+    thread counts (modulo the `"threads": N` configuration field), and
+    their deterministic fields must match the committed baseline -- a
+    drift means allocation *results* changed and the baseline must be
+    regenerated deliberately, never silently.
+ 2. Timing: best-of-N single-thread wall_ms must stay within
+    --threshold (default 15%) of the committed baseline's.  Best-of-N
+    because CI wall clocks are noisy in one direction only: the fastest
+    observed run is the least-contended one.
+
+The fresh timed report is written to --out for artifact upload, in the
+exact format of BENCH_driver.json: to accept an intended slowdown or
+record a speedup, copy it over the baseline.
+
+Usage:
+  scripts/perf_gate.py --bench build/layra-bench \
+      --baseline BENCH_driver.json --out fresh.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import tempfile
+
+SWEEP = ["--suite=eembc", "--regs=4..16", "--quiet"]
+
+
+def run_bench(bench, extra, out_path):
+    cmd = [bench] + SWEEP + extra + [f"--json={out_path}"]
+    subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+
+
+def normalize_threads(text):
+    return re.sub(r'"threads": \d+', '"threads": N', text)
+
+
+def scrub_timing(doc):
+    """Drops every wall-clock-derived field, recursively."""
+    if isinstance(doc, dict):
+        return {
+            k: scrub_timing(v)
+            for k, v in doc.items()
+            if k not in ("wall_ms", "phase_ms", "threads")
+        }
+    if isinstance(doc, list):
+        return [scrub_timing(v) for v in doc]
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--bench", required=True, help="layra-bench binary")
+    ap.add_argument("--baseline", required=True, help="committed BENCH_driver.json")
+    ap.add_argument("--out", required=True, help="where to write the fresh timed report")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="allowed fractional slowdown (default 0.15)")
+    ap.add_argument("--runs", type=int, default=3, help="timed runs (best-of)")
+    args = ap.parse_args()
+
+    baseline = json.load(open(args.baseline))
+
+    # --- Determinism across thread counts -------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        t1, t4 = f"{tmp}/t1.json", f"{tmp}/t4.json"
+        run_bench(args.bench, ["--threads=1", "--no-timing"], t1)
+        run_bench(args.bench, ["--threads=4", "--no-timing"], t4)
+        raw = open(t1).read()
+        a = normalize_threads(raw)
+        b = normalize_threads(open(t4).read())
+        if a != b:
+            print("FAIL: --no-timing reports differ between thread counts",
+                  file=sys.stderr)
+            return 1
+        print("ok: --no-timing report is thread-count independent")
+
+        # --- Deterministic fields vs the committed baseline --------------
+        fresh_det = scrub_timing(json.loads(raw))
+        base_det = scrub_timing(baseline)
+        if fresh_det != base_det:
+            print("FAIL: deterministic report fields drifted from the "
+                  f"committed baseline {args.baseline}; if the change is "
+                  "intended, regenerate the baseline in the same commit",
+                  file=sys.stderr)
+            return 1
+        print("ok: deterministic fields match the committed baseline")
+
+    # --- Timed best-of-N vs baseline ------------------------------------
+    base_ms = baseline["wall_ms"]
+    best_ms, best_doc = None, None
+    for i in range(args.runs):
+        with tempfile.TemporaryDirectory() as tmp:
+            timed = f"{tmp}/timed.json"
+            run_bench(args.bench, ["--threads=1"], timed)
+            doc = json.load(open(timed))
+        print(f"timed run {i + 1}/{args.runs}: {doc['wall_ms']:.1f} ms")
+        if best_ms is None or doc["wall_ms"] < best_ms:
+            best_ms, best_doc = doc["wall_ms"], doc
+
+    with open(args.out, "w") as f:
+        json.dump(best_doc, f, indent=2)
+        f.write("\n")
+    limit = base_ms * (1.0 + args.threshold)
+    verdict = "ok" if best_ms <= limit else "FAIL"
+    print(f"{verdict}: best-of-{args.runs} {best_ms:.1f} ms vs baseline "
+          f"{base_ms:.1f} ms (limit {limit:.1f} ms, "
+          f"threshold {args.threshold:.0%})",
+          file=sys.stderr if verdict == "FAIL" else sys.stdout)
+    return 0 if verdict == "ok" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -60,6 +60,13 @@ public:
 
   /// Short name as used in the paper's figures.
   virtual const char *name() const = 0;
+
+  /// True when this allocator consumes AllocationProblem::Intervals (the
+  /// linear-scan family).  Batch entry points check it up front so a
+  /// graph-only instance (fromChordalGraph / fromGeneralGraph paths, which
+  /// carry no interval table) produces a clean per-call error instead of a
+  /// process-killing fatal inside the solve.
+  virtual bool requiresIntervals() const { return false; }
 };
 
 /// Creates an allocator by figure name.  Known names:

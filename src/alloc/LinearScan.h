@@ -39,6 +39,7 @@ public:
   const char *name() const override {
     return Policy == PolicyKind::FurthestEnd ? "ls" : "bls";
   }
+  bool requiresIntervals() const override { return true; }
 
 private:
   PolicyKind Policy;

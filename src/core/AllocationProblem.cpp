@@ -27,6 +27,9 @@ AllocationProblem::fromChordalGraph(Graph G, std::vector<unsigned> Budgets,
                                     std::vector<RegClassId> ClassOf,
                                     SolverWorkspace *WS) {
   assert(!Budgets.empty() && "at least one register class required");
+  // Freeze point: the edge set is complete, so flatten adjacency into the
+  // CSR view before the MCS/clique machinery walks it.
+  G.compress();
   AllocationProblem P;
   P.Budgets = std::move(Budgets);
   P.ClassOf = std::move(ClassOf);
@@ -68,6 +71,8 @@ AllocationProblem AllocationProblem::fromGeneralGraph(
     Graph G, std::vector<unsigned> Budgets, std::vector<RegClassId> ClassOf,
     std::vector<std::vector<VertexId>> PointLiveSets) {
   assert(!Budgets.empty() && "at least one register class required");
+  // Freeze point (see fromChordalGraph).
+  G.compress();
   AllocationProblem P;
   P.Budgets = std::move(Budgets);
   P.ClassOf = std::move(ClassOf);

@@ -174,15 +174,26 @@ public:
   } Layered;
 
   /// One clique-tree node's DP table (core/StepLayer.cpp).  ProjKeys /
-  /// ProjBest are the parallel sorted projection index over the parent
-  /// separator.
+  /// ProjVal / ProjState are the parallel (SoA) sorted projection index
+  /// over the parent separator: the binary search touches only the packed
+  /// key array, and the DP sum streams only the value array.
   struct StepDpNode {
     std::vector<VertexId> Bag;
     std::vector<uint64_t> States;
     std::vector<Weight> Value;
     std::vector<uint64_t> ProjKeys;
-    std::vector<std::pair<Weight, uint32_t>> ProjBest;
+    std::vector<Weight> ProjVal;
+    std::vector<uint32_t> ProjState;
     std::vector<VertexId> Sep;
+  };
+
+  /// One row of the projection-grouping sort (core/StepLayer.cpp): a flat
+  /// struct instead of nested pairs so the sort moves one contiguous
+  /// 24-byte record.
+  struct StepAggEntry {
+    uint64_t Key;
+    Weight Val;
+    uint32_t State;
   };
 
   /// Clique-tree DP scratch (core/StepLayer.cpp).
@@ -193,7 +204,7 @@ public:
     std::vector<uint64_t> SubsetsNext;
     std::vector<char> Selected;
     std::vector<std::pair<unsigned, uint64_t>> Work;
-    std::vector<std::pair<uint64_t, std::pair<Weight, uint32_t>>> Agg;
+    std::vector<StepAggEntry> Agg;
   } Step;
 
   /// Cluster construction (core/LayeredHeuristic.cpp).

@@ -56,15 +56,16 @@ double layra::estimateBoundedLayerStates(const AllocationProblem &P,
 }
 
 namespace {
-/// Best (value, state index) for \p Key in a node's projection index -- the
-/// parallel sorted (ProjKeys, ProjBest) arrays of a StepDpNode (cheaper
-/// than a hash map at millions of states).
-const std::pair<Weight, uint32_t> *
-findProjection(const SolverWorkspace::StepDpNode &Node, uint64_t Key) {
+/// Index of \p Key in a node's projection index -- the parallel sorted
+/// (ProjKeys, ProjVal, ProjState) arrays of a StepDpNode (cheaper than a
+/// hash map at millions of states).  The binary search touches only the
+/// packed key array; callers read ProjVal/ProjState at the returned index.
+/// Returns SIZE_MAX when absent.
+size_t findProjection(const SolverWorkspace::StepDpNode &Node, uint64_t Key) {
   auto It = std::lower_bound(Node.ProjKeys.begin(), Node.ProjKeys.end(), Key);
   if (It == Node.ProjKeys.end() || *It != Key)
-    return nullptr;
-  return &Node.ProjBest[static_cast<size_t>(It - Node.ProjKeys.begin())];
+    return SIZE_MAX;
+  return static_cast<size_t>(It - Node.ProjKeys.begin());
 }
 
 /// Enumerates all subsets of {0..M-1} with at most Bound bits, in a
@@ -126,7 +127,8 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
     WS->acquireCleared(T.States);
     WS->acquireCleared(T.Value);
     WS->acquireCleared(T.ProjKeys);
-    WS->acquireCleared(T.ProjBest);
+    WS->acquireCleared(T.ProjVal);
+    WS->acquireCleared(T.ProjState);
     WS->acquireCleared(T.Sep);
   }
   WS->acquireCleared(WS->Step.SubsetsCurrent);
@@ -190,9 +192,10 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
       }
       for (unsigned D : Tree->Children[C]) {
         uint64_t Proj = Project(T.Bag, StateMask, Tables[D].Sep);
-        const auto *Found = findProjection(Tables[D], Proj);
-        assert(Found && "separator projection missing from child table");
-        Total += Found->first;
+        size_t Found = findProjection(Tables[D], Proj);
+        assert(Found != SIZE_MAX &&
+               "separator projection missing from child table");
+        Total += Tables[D].ProjVal[Found];
       }
       T.Value[S] = Total;
     }
@@ -211,19 +214,21 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
               Weights[T.Sep[static_cast<unsigned>(__builtin_ctzll(Bits))]];
           Bits &= Bits - 1;
         }
-        Agg.push_back(
-            {Proj, {T.Value[S] - SepWeight, static_cast<uint32_t>(S)}});
+        Agg.push_back({Proj, T.Value[S] - SepWeight,
+                       static_cast<uint32_t>(S)});
       }
       std::sort(Agg.begin(), Agg.end(),
-                [](const auto &A, const auto &B) {
-                  if (A.first != B.first)
-                    return A.first < B.first;
-                  return A.second.first > B.second.first;
+                [](const SolverWorkspace::StepAggEntry &A,
+                   const SolverWorkspace::StepAggEntry &B) {
+                  if (A.Key != B.Key)
+                    return A.Key < B.Key;
+                  return A.Val > B.Val;
                 });
-      for (const auto &[Key, ValueIdx] : Agg)
-        if (T.ProjKeys.empty() || T.ProjKeys.back() != Key) {
-          T.ProjKeys.push_back(Key);
-          T.ProjBest.push_back(ValueIdx);
+      for (const SolverWorkspace::StepAggEntry &E : Agg)
+        if (T.ProjKeys.empty() || T.ProjKeys.back() != E.Key) {
+          T.ProjKeys.push_back(E.Key);
+          T.ProjVal.push_back(E.Val);
+          T.ProjState.push_back(E.State);
         }
     }
 
@@ -262,9 +267,9 @@ layra::optimalBoundedLayer(const AllocationProblem &P,
     }
     for (unsigned D : Tree->Children[C]) {
       uint64_t Proj = Project(T.Bag, StateMask, Tables[D].Sep);
-      const auto *Found = findProjection(Tables[D], Proj);
-      assert(Found && "projection lost during reconstruction");
-      Work.push_back({D, Tables[D].States[Found->second]});
+      size_t Found = findProjection(Tables[D], Proj);
+      assert(Found != SIZE_MAX && "projection lost during reconstruction");
+      Work.push_back({D, Tables[D].States[Tables[D].ProjState[Found]]});
     }
   }
 

@@ -164,7 +164,7 @@ uint64_t layra::hashProblem(const AllocationProblem &P) {
   H = mix(H, P.graph().numVertices());
   for (VertexId V = 0; V < P.graph().numVertices(); ++V) {
     H = mix(H, static_cast<uint64_t>(P.graph().weight(V)));
-    const std::vector<VertexId> &Neighbors = P.graph().neighbors(V);
+    NeighborRange Neighbors = P.graph().neighbors(V);
     H = mix(H, Neighbors.size());
     for (VertexId N : Neighbors)
       H = mix(H, N);
@@ -447,10 +447,43 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
 std::vector<AllocationResult>
 BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problems,
                            const std::string &AllocatorName,
-                           uint64_t OptimalNodeLimit) {
+                           uint64_t OptimalNodeLimit, std::string *Error) {
+  bool IsOptimal = AllocatorName == "optimal";
+
+  // Validate the allocator name and allocator-vs-problem compatibility up
+  // front, on the calling thread: a bad name or an interval-consuming
+  // allocator handed a graph-only instance must surface as a per-call
+  // error (or, for legacy callers without \p Error, a fatal *here*), never
+  // as a layraFatalError inside a pool worker.
+  auto Fail = [&](std::string Message) -> std::vector<AllocationResult> {
+    if (!Error)
+      layraFatalError(Message.c_str());
+    *Error = std::move(Message);
+    return {};
+  };
+  if (Error)
+    Error->clear();
+  if (!IsOptimal) {
+    std::unique_ptr<Allocator> Probe = makeAllocator(AllocatorName);
+    if (!Probe) {
+      std::string Known;
+      for (const std::string &N : allAllocatorNames())
+        Known += " " + N;
+      return Fail("unknown allocator '" + AllocatorName + "' (known:" +
+                  Known + ")");
+    }
+    if (Probe->requiresIntervals())
+      for (size_t I = 0; I < Problems.size(); ++I)
+        if (!Problems[I]->Intervals)
+          return Fail("allocator '" + AllocatorName +
+                      "' requires live intervals, but problem #" +
+                      std::to_string(I) +
+                      " is graph-only (no interval table); pick a "
+                      "graph-based allocator or an interval-bearing suite");
+  }
+
   // Serial classification, exactly as in run(): first occurrence of a key
   // solves, later ones share.
-  bool IsOptimal = AllocatorName == "optimal";
   uint64_t Salt = mixString(0x6c617972612d7370ULL, AllocatorName); // "la-sp"
   // The node limit shapes results only for the branch-and-bound solver;
   // keying it for other allocators would needlessly split their caches.
@@ -491,9 +524,9 @@ BatchDriver::solveProblems(const std::vector<const AllocationProblem *> &Problem
       Unique[U] = BnB.allocate(P, WS);
       return;
     }
+    // Validated before the pool launched; this cannot fail here.
     std::unique_ptr<Allocator> A = makeAllocator(AllocatorName);
-    if (!A)
-      layraFatalError("unknown allocator name in solveProblems");
+    assert(A && "allocator name validated before dispatch");
     // allocateProblem: single-class problems take the direct path,
     // multi-class ones the exact per-class decomposition.
     Unique[U] = A->allocateProblem(P, WS);

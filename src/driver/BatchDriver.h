@@ -205,10 +205,18 @@ public:
   /// branch-and-bound search (always honored for that allocator, zero
   /// meaning a zero node budget; the default matches OptimalBnBAllocator's
   /// own); other allocators ignore it.
+  ///
+  /// The allocator name and allocator-vs-problem compatibility (the
+  /// linear-scan family needs AllocationProblem::Intervals) are validated
+  /// up front on the calling thread.  With \p Error non-null a violation
+  /// returns an empty vector with \p Error set to the diagnostic; with the
+  /// default null it remains fatal -- but always before any pool worker
+  /// starts.
   std::vector<AllocationResult>
   solveProblems(const std::vector<const AllocationProblem *> &Problems,
                 const std::string &AllocatorName,
-                uint64_t OptimalNodeLimit = 50'000'000);
+                uint64_t OptimalNodeLimit = 50'000'000,
+                std::string *Error = nullptr);
 
   /// Number of memoized pipeline outcomes.
   size_t pipelineCacheSize() const { return PipelineCache.size(); }

@@ -140,6 +140,35 @@ OracleOutcome checkAssignmentValid(const OracleContext &Ctx) {
   return {};
 }
 
+/// The baseline backends (graph coloring, both linear-scan policies) must
+/// produce feasible, budget-respecting allocations whose spill cost never
+/// undercuts a proven exact optimum.  Nothing differentially checked these
+/// allocators before: they are the paper's comparison points, so a silently
+/// infeasible baseline would skew every figure.
+OracleOutcome checkBaselineBackends(const OracleContext &Ctx) {
+  AllocationProblem P =
+      buildSsaProblem(*Ctx.Ssa, *Ctx.Target, Ctx.Case->Budgets, Ctx.WS);
+  OptimalBnBAllocator BnB;
+  AllocationResult Exact = BnB.allocate(P, Ctx.WS);
+  for (const char *Name : {"gc", "ls", "bls"}) {
+    std::unique_ptr<Allocator> A = makeAllocator(Name);
+    if (A->requiresIntervals() && !P.Intervals)
+      return fail(std::string(Name) +
+                  ": SSA problem unexpectedly lacks live intervals");
+    AllocationResult R = A->allocateProblem(P, Ctx.WS);
+    if (R.Allocated.size() != P.graph().numVertices())
+      return fail(std::string(Name) + " flag vector size mismatch");
+    if (!isFeasibleAllocation(P, R.Allocated))
+      return fail(std::string(Name) +
+                  " allocation violates a pressure constraint");
+    if (Exact.Proven && R.SpillCost < Exact.SpillCost)
+      return fail(std::string(Name) + " spill cost " +
+                  std::to_string(R.SpillCost) + " beats proven optimum " +
+                  std::to_string(Exact.SpillCost));
+  }
+  return {};
+}
+
 /// Shared-workspace runs must be byte-identical to fresh runs: a
 /// SolverWorkspace carries capacity, never state.
 OracleOutcome checkWorkspacePure(const OracleContext &Ctx) {
@@ -305,6 +334,9 @@ const std::vector<Oracle> &layra::oracleRegistry() {
       {"assignment-valid",
        "no interfering same-class pair shares a register; budgets held",
        checkAssignmentValid, false},
+      {"baseline-backends",
+       "gc/ls/bls allocations are feasible and never beat a proven optimum",
+       checkBaselineBackends, false},
       {"workspace-pure",
        "shared-SolverWorkspace runs are byte-equal to fresh runs",
        checkWorkspacePure, false},

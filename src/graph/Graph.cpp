@@ -13,6 +13,7 @@ using namespace layra;
 
 VertexId Graph::addVertex(Weight W, std::string Name) {
   assert(W >= 0 && "spill costs are non-negative");
+  assert(!Compressed && "addVertex on a compressed graph");
   VertexId Id = numVertices();
   Adjacency.emplace_back();
   Weights.push_back(W);
@@ -20,27 +21,82 @@ VertexId Graph::addVertex(Weight W, std::string Name) {
     Names.resize(Id + 1);
     Names[Id] = std::move(Name);
   }
+
+  if (MatrixEnabled) {
+    unsigned Count = Id + 1;
+    if (Count > kMaxDenseVertices) {
+      // Past the density cap: drop the matrix for good and fall back to
+      // list scans.
+      std::vector<uint64_t>().swap(Matrix);
+      MatrixStride = 0;
+      MatrixEnabled = false;
+    } else {
+      unsigned NeededWords = (Count + 63) / 64;
+      if (NeededWords > MatrixStride) {
+        // Re-stride with geometric headroom so incremental addVertex
+        // re-lays rows O(log N) times, not O(N).
+        unsigned NewStride =
+            (std::min(Count * 2, kMaxDenseVertices) + 63) / 64;
+        std::vector<uint64_t> NewMatrix(
+            static_cast<std::size_t>(Count) * NewStride, 0);
+        for (VertexId V = 0; V < Id; ++V)
+          std::copy_n(Matrix.begin() +
+                          static_cast<std::size_t>(V) * MatrixStride,
+                      MatrixStride,
+                      NewMatrix.begin() +
+                          static_cast<std::size_t>(V) * NewStride);
+        Matrix = std::move(NewMatrix);
+        MatrixStride = NewStride;
+      } else {
+        Matrix.resize(static_cast<std::size_t>(Count) * MatrixStride, 0);
+      }
+    }
+  }
   return Id;
 }
 
 bool Graph::addEdge(VertexId U, VertexId V) {
   assert(U < numVertices() && V < numVertices() && "vertex out of range");
   assert(U != V && "self-loops are not interference edges");
+  assert(!Compressed && "addEdge on a compressed graph");
   if (hasEdge(U, V))
     return false;
   Adjacency[U].push_back(V);
   Adjacency[V].push_back(U);
+  if (MatrixStride) {
+    setMatrixBit(U, V);
+    setMatrixBit(V, U);
+  }
   ++EdgeCount;
   return true;
 }
 
-bool Graph::hasEdge(VertexId U, VertexId V) const {
-  assert(U < numVertices() && V < numVertices() && "vertex out of range");
-  // Scan the smaller adjacency list.
-  const std::vector<VertexId> &Smaller =
-      degree(U) <= degree(V) ? Adjacency[U] : Adjacency[V];
-  VertexId Target = degree(U) <= degree(V) ? V : U;
-  return std::find(Smaller.begin(), Smaller.end(), Target) != Smaller.end();
+bool Graph::hasEdgeScan(VertexId U, VertexId V) const {
+  // Scan the smaller neighbor list.
+  if (degree(U) > degree(V))
+    std::swap(U, V);
+  NeighborRange Smaller = neighbors(U);
+  return std::find(Smaller.begin(), Smaller.end(), V) != Smaller.end();
+}
+
+void Graph::compress() {
+  if (Compressed)
+    return;
+  unsigned N = numVertices();
+  assert(2 * EdgeCount <= UINT32_MAX && "edge count overflows CSR offsets");
+  CsrOffsets.resize(N + 1);
+  CsrNeighbors.resize(2 * EdgeCount);
+  uint32_t Offset = 0;
+  for (VertexId V = 0; V < N; ++V) {
+    CsrOffsets[V] = Offset;
+    std::copy(Adjacency[V].begin(), Adjacency[V].end(),
+              CsrNeighbors.begin() + Offset);
+    Offset += static_cast<uint32_t>(Adjacency[V].size());
+  }
+  CsrOffsets[N] = Offset;
+  // Release the per-vertex list storage; the CSR is the view from now on.
+  std::vector<std::vector<VertexId>>().swap(Adjacency);
+  Compressed = true;
 }
 
 const std::string &Graph::name(VertexId V) const {

@@ -11,13 +11,27 @@
 /// interpreted as its estimated spill cost (paper §3: "A spill cost
 /// represents the access frequency of a variable").
 ///
+/// Storage is layered for the solver hot paths:
+///  - Mutable phase: per-vertex adjacency lists in *insertion order* (the
+///    order is load-bearing -- MCS bucket tie-breaking and with it every
+///    PEO, clique cover and DP result depends on it), plus a dense bit
+///    matrix making hasEdge()/addEdge() duplicate detection O(1) for
+///    graphs up to kMaxDenseVertices.
+///  - Frozen phase: compress() flattens the lists into a CSR view (offsets
+///    + one packed neighbor array) so every neighbor walk in MCS, Frank's
+///    algorithm and the clique-tree DP streams one contiguous array
+///    instead of chasing per-vertex heap blocks.  compress() preserves
+///    iteration order exactly; results are bit-identical either way.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LAYRA_GRAPH_GRAPH_H
 #define LAYRA_GRAPH_GRAPH_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -30,43 +44,121 @@ using VertexId = unsigned;
 /// exact; the IR cost model produces integers (accesses x block frequency).
 using Weight = long long;
 
+/// A non-owning view of one vertex's neighbor list, valid over both the
+/// mutable adjacency-list storage and the compressed CSR storage.  Iterates
+/// in edge-insertion order in both cases.  Invalidated by addVertex /
+/// addEdge / compress on the owning graph.
+class NeighborRange {
+public:
+  using value_type = VertexId;
+  using const_iterator = const VertexId *;
+
+  NeighborRange() = default;
+  NeighborRange(const VertexId *Begin, const VertexId *End)
+      : Begin_(Begin), End_(End) {}
+
+  const VertexId *begin() const { return Begin_; }
+  const VertexId *end() const { return End_; }
+  std::size_t size() const { return static_cast<std::size_t>(End_ - Begin_); }
+  bool empty() const { return Begin_ == End_; }
+  VertexId operator[](std::size_t I) const {
+    assert(I < size() && "neighbor index out of range");
+    return Begin_[I];
+  }
+
+  friend bool operator==(const NeighborRange &A, const NeighborRange &B) {
+    return A.size() == B.size() && std::equal(A.begin(), A.end(), B.begin());
+  }
+  friend bool operator!=(const NeighborRange &A, const NeighborRange &B) {
+    return !(A == B);
+  }
+
+private:
+  const VertexId *Begin_ = nullptr;
+  const VertexId *End_ = nullptr;
+};
+
 /// An undirected graph with per-vertex weights and optional vertex names.
 ///
-/// The representation is a plain adjacency list.  Edges are deduplicated on
-/// insertion; self-loops are rejected.  Adjacency lists are kept in insertion
-/// order -- algorithms that need determinism across runs get it because the
-/// whole library is deterministic (no pointer ordering anywhere).
+/// Edges are deduplicated on insertion; self-loops are rejected.  Adjacency
+/// is kept in insertion order -- algorithms that need determinism across
+/// runs get it because the whole library is deterministic (no pointer
+/// ordering anywhere).
 class Graph {
 public:
+  /// Largest vertex count for which the dense adjacency bit matrix is
+  /// maintained.  One row is numVertices() bits, so the matrix costs
+  /// ~N^2/8 bytes (2 MiB at the cap); beyond it hasEdge falls back to the
+  /// list scan.  Suite-derived interference graphs sit far below the cap.
+  static constexpr unsigned kMaxDenseVertices = 4096;
+
   Graph() = default;
 
   /// Creates a graph with \p NumVertices vertices of weight 0.
   explicit Graph(unsigned NumVertices)
-      : Adjacency(NumVertices), Weights(NumVertices, 0) {}
+      : Adjacency(NumVertices), Weights(NumVertices, 0) {
+    if (NumVertices > kMaxDenseVertices)
+      MatrixEnabled = false;
+    else if (NumVertices > 0) {
+      MatrixStride = (NumVertices + 63) / 64;
+      Matrix.assign(static_cast<std::size_t>(NumVertices) * MatrixStride, 0);
+    }
+  }
 
   /// Adds a vertex with weight \p W and returns its id.
+  /// \pre the graph is not compressed.
   VertexId addVertex(Weight W = 0, std::string Name = {});
 
   /// Adds the undirected edge {U, V} unless it already exists.
   /// \returns true if the edge was inserted, false if it was present.
-  /// \pre U != V and both are valid vertex ids.
+  /// \pre U != V, both are valid vertex ids, and the graph is not
+  /// compressed.
   bool addEdge(VertexId U, VertexId V);
 
-  /// Returns true if the undirected edge {U, V} exists.
-  bool hasEdge(VertexId U, VertexId V) const;
+  /// Returns true if the undirected edge {U, V} exists.  O(1) while the
+  /// dense bit matrix is live (numVertices() <= kMaxDenseVertices);
+  /// otherwise a scan of the smaller neighbor list.
+  bool hasEdge(VertexId U, VertexId V) const {
+    assert(U < numVertices() && V < numVertices() && "vertex out of range");
+    if (MatrixStride)
+      return (Matrix[static_cast<std::size_t>(U) * MatrixStride +
+                     (V >> 6)] >>
+              (V & 63)) &
+             1;
+    return hasEdgeScan(U, V);
+  }
 
   unsigned numVertices() const {
-    return static_cast<unsigned>(Adjacency.size());
+    return static_cast<unsigned>(Weights.size());
   }
   size_t numEdges() const { return EdgeCount; }
 
-  const std::vector<VertexId> &neighbors(VertexId V) const {
+  /// Freezes the edge set and flattens adjacency into a CSR (offsets +
+  /// packed neighbor array) so neighbor walks stream contiguous memory.
+  /// Iteration order -- and with it every downstream result -- is
+  /// unchanged.  Idempotent; addVertex/addEdge are no longer allowed.
+  /// Called at problem-construction freeze points
+  /// (AllocationProblem::fromChordalGraph / fromGeneralGraph).
+  void compress();
+
+  /// True once compress() ran.
+  bool compressed() const { return Compressed; }
+
+  NeighborRange neighbors(VertexId V) const {
     assert(V < numVertices() && "vertex out of range");
-    return Adjacency[V];
+    if (Compressed) {
+      const VertexId *Base = CsrNeighbors.data();
+      return {Base + CsrOffsets[V], Base + CsrOffsets[V + 1]};
+    }
+    const std::vector<VertexId> &List = Adjacency[V];
+    return {List.data(), List.data() + List.size()};
   }
 
   unsigned degree(VertexId V) const {
-    return static_cast<unsigned>(neighbors(V).size());
+    assert(V < numVertices() && "vertex out of range");
+    if (Compressed)
+      return CsrOffsets[V + 1] - CsrOffsets[V];
+    return static_cast<unsigned>(Adjacency[V].size());
   }
 
   Weight weight(VertexId V) const {
@@ -94,6 +186,7 @@ public:
   bool isStableSet(const std::vector<VertexId> &Subset) const;
 
   /// Builds the subgraph induced by \p Keep (weights and names carried over).
+  /// The result is mutable (not compressed), whatever the source's state.
   /// \param [out] OldToNew if non-null, receives a map of size numVertices()
   ///   with the new id of each kept vertex and ~0u for dropped ones.
   Graph inducedSubgraph(const std::vector<VertexId> &Keep,
@@ -104,10 +197,33 @@ public:
   std::string toDot(const std::vector<VertexId> &Highlight = {}) const;
 
 private:
+  bool hasEdgeScan(VertexId U, VertexId V) const;
+  void setMatrixBit(VertexId U, VertexId V) {
+    Matrix[static_cast<std::size_t>(U) * MatrixStride + (V >> 6)] |=
+        uint64_t(1) << (V & 63);
+  }
+
+  /// Insertion-order adjacency lists; emptied (storage released) by
+  /// compress().
   std::vector<std::vector<VertexId>> Adjacency;
   std::vector<Weight> Weights;
   std::vector<std::string> Names;
   size_t EdgeCount = 0;
+
+  /// Dense adjacency bit matrix, row-major with MatrixStride 64-bit words
+  /// per row.  Membership only -- iteration always uses the ordered lists /
+  /// CSR.  Dropped permanently once numVertices() exceeds
+  /// kMaxDenseVertices.
+  std::vector<uint64_t> Matrix;
+  unsigned MatrixStride = 0;
+  bool MatrixEnabled = true;
+
+  /// CSR view, valid once Compressed: CsrOffsets has numVertices()+1
+  /// entries; vertex V's neighbors are CsrNeighbors[CsrOffsets[V] ..
+  /// CsrOffsets[V+1]).
+  std::vector<uint32_t> CsrOffsets;
+  std::vector<VertexId> CsrNeighbors;
+  bool Compressed = false;
 };
 
 } // namespace layra

@@ -52,6 +52,26 @@ public:
       W = 0;
   }
 
+  /// Grows or shrinks to \p NewNumBits.  Existing bits below the new size
+  /// are preserved; new bits are zero.  Shrinking clears the dropped tail's
+  /// partial word so a later grow re-exposes zeroes, matching
+  /// llvm::BitVector::resize semantics.
+  void resize(std::size_t NewNumBits) {
+    Words.resize((NewNumBits + 63) / 64, 0);
+    if (NewNumBits < NumBits && (NewNumBits & 63))
+      Words[NewNumBits >> 6] &=
+          (uint64_t(1) << (NewNumBits & 63)) - 1;
+    NumBits = NewNumBits;
+  }
+
+  /// Ensures capacity for bit indices below \p MinNumBits without ever
+  /// shrinking -- the incremental-growth form addVertex-style call sites
+  /// want.
+  void growTo(std::size_t MinNumBits) {
+    if (MinNumBits > NumBits)
+      resize(MinNumBits);
+  }
+
   /// This |= Other.  \returns true if any bit changed.
   bool unionWith(const BitVector &Other) {
     assert(Other.NumBits == NumBits && "bit vector size mismatch");

@@ -43,10 +43,26 @@ inline bool parseBoundedUnsigned(const char *Text, unsigned long Max,
 /// (0, Max], fractions allowed) into \p Out.  Returns false -- leaving
 /// \p Out untouched -- for empty input, signs, trailing garbage, nan/inf,
 /// zero or negative values: "-5" must be a clean usage error, not a
-/// wrapped-around multi-year run.
+/// wrapped-around multi-year run.  The grammar is plain decimal only
+/// (digits and at most one '.'): strtod's extensions are rejected up
+/// front, so "0x10" is an error rather than silently 16 seconds and
+/// "1e3" an error rather than 1000.
 inline bool parsePositiveSeconds(const char *Text, double Max, double &Out) {
-  if (!Text ||
-      !(std::isdigit(static_cast<unsigned char>(*Text)) || *Text == '.'))
+  if (!Text)
+    return false;
+  bool SawDigit = false, SawDot = false;
+  for (const char *P = Text; *P; ++P) {
+    if (std::isdigit(static_cast<unsigned char>(*P))) {
+      SawDigit = true;
+    } else if (*P == '.') {
+      if (SawDot)
+        return false;
+      SawDot = true;
+    } else {
+      return false; // Rejects hex ("0x10"), exponents ("1e3"), signs, inf.
+    }
+  }
+  if (!SawDigit)
     return false;
   char *End = nullptr;
   double Value = std::strtod(Text, &End);

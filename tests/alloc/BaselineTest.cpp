@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 using namespace layra;
 
 TEST(GraphColoringTest, ProducesProperColoringWithinR) {
@@ -141,6 +143,117 @@ TEST(LinearScanTest, EnoughRegistersSpillNothing) {
   AllocationProblem P = ssaProblem(R, 64);
   EXPECT_EQ(makeAllocator("ls")->allocate(P).SpillCost, 0);
   EXPECT_EQ(makeAllocator("bls")->allocate(P).SpillCost, 0);
+}
+
+namespace {
+/// A problem whose interval table is exactly \p Ivs (in increasing Start
+/// order), with interference edges between every overlapping pair so the
+/// instance is self-consistent.
+AllocationProblem intervalProblem(std::vector<LiveInterval> Ivs,
+                                  unsigned Regs) {
+  Graph G(static_cast<unsigned>(Ivs.size()));
+  unsigned MaxEnd = 0;
+  for (size_t I = 0; I < Ivs.size(); ++I) {
+    G.setWeight(Ivs[I].V, Ivs[I].Cost);
+    MaxEnd = std::max(MaxEnd, Ivs[I].End);
+    for (size_t J = 0; J < I; ++J)
+      if (Ivs[I].overlaps(Ivs[J]))
+        G.addEdge(Ivs[I].V, Ivs[J].V);
+  }
+  AllocationProblem P = AllocationProblem::fromGeneralGraph(G, Regs, {});
+  LiveIntervalTable Table;
+  Table.Intervals = std::move(Ivs);
+  Table.NumPoints = MaxEnd + 1;
+  P.Intervals = std::move(Table);
+  return P;
+}
+} // namespace
+
+TEST(CostBeladyTest, SpillsCurrentWhenNoActiveIntervalIsEligible) {
+  // Active interval costs 100, current costs 10: with threshold 0.25 the
+  // limit is 12.5, so the active interval is ineligible and the *current*
+  // interval spills -- even though it ends first.  Cost-blind LS would
+  // evict the long expensive interval instead.
+  AllocationProblem P = intervalProblem(
+      {{/*V=*/0, /*Start=*/0, /*End=*/100, /*Cost=*/100},
+       {/*V=*/1, /*Start=*/10, /*End=*/20, /*Cost=*/10}},
+      /*Regs=*/1);
+  LinearScanAllocator Bls(LinearScanAllocator::PolicyKind::CostBelady, 0.25);
+  AllocationResult R = Bls.allocate(P);
+  EXPECT_TRUE(R.Allocated[0]);
+  EXPECT_FALSE(R.Allocated[1]);
+  EXPECT_EQ(R.SpillCost, 10);
+
+  LinearScanAllocator Ls(LinearScanAllocator::PolicyKind::FurthestEnd);
+  AllocationResult Blind = Ls.allocate(P);
+  EXPECT_FALSE(Blind.Allocated[0]);
+  EXPECT_TRUE(Blind.Allocated[1]);
+  EXPECT_EQ(Blind.SpillCost, 100);
+}
+
+TEST(CostBeladyTest, EvictsCheapActiveWhenCurrentIsIneligible) {
+  // The cheap interval is active and the expensive one arrives: the
+  // current interval is over the threshold but the cheapest candidate is
+  // always eligible, so the active interval is evicted and the expensive
+  // value keeps its register.
+  AllocationProblem P = intervalProblem(
+      {{/*V=*/0, /*Start=*/0, /*End=*/50, /*Cost=*/10},
+       {/*V=*/1, /*Start=*/5, /*End=*/100, /*Cost=*/100}},
+      /*Regs=*/1);
+  LinearScanAllocator Bls(LinearScanAllocator::PolicyKind::CostBelady, 0.25);
+  AllocationResult R = Bls.allocate(P);
+  EXPECT_FALSE(R.Allocated[0]);
+  EXPECT_TRUE(R.Allocated[1]);
+  EXPECT_EQ(R.SpillCost, 10);
+}
+
+TEST(CostBeladyTest, EqualCostsFallBackToFurthestEnd) {
+  // All candidates cost the same, so every one is within the threshold and
+  // the Belady rule decides: the interval ending furthest is evicted.
+  AllocationProblem P = intervalProblem(
+      {{/*V=*/0, /*Start=*/0, /*End=*/100, /*Cost=*/50},
+       {/*V=*/1, /*Start=*/10, /*End=*/20, /*Cost=*/50}},
+      /*Regs=*/1);
+  LinearScanAllocator Bls(LinearScanAllocator::PolicyKind::CostBelady, 0.25);
+  AllocationResult R = Bls.allocate(P);
+  EXPECT_FALSE(R.Allocated[0]);
+  EXPECT_TRUE(R.Allocated[1]);
+}
+
+TEST(CostBeladyTest, EqualCostEqualEndTieKeepsActiveInterval) {
+  // Exact tie on cost *and* end point: eviction requires a strictly later
+  // end, so the already-active interval keeps its register and the current
+  // one spills -- deterministically.
+  AllocationProblem P = intervalProblem(
+      {{/*V=*/0, /*Start=*/0, /*End=*/30, /*Cost=*/50},
+       {/*V=*/1, /*Start=*/10, /*End=*/30, /*Cost=*/50}},
+      /*Regs=*/1);
+  LinearScanAllocator Bls(LinearScanAllocator::PolicyKind::CostBelady, 0.25);
+  AllocationResult R = Bls.allocate(P);
+  EXPECT_TRUE(R.Allocated[0]);
+  EXPECT_FALSE(R.Allocated[1]);
+}
+
+TEST(CostBeladyTest, ThresholdBoundaryIsInclusive) {
+  // MinCost 4, threshold 0.25 -> limit 5.0 exactly.  An active interval
+  // costing 5 is still eligible (<=), so its later end gets it evicted; at
+  // cost 6 it drops out and the current interval spills instead.
+  for (Weight ActiveCost : {Weight(5), Weight(6)}) {
+    AllocationProblem P = intervalProblem(
+        {{/*V=*/0, /*Start=*/0, /*End=*/100, /*Cost=*/ActiveCost},
+         {/*V=*/1, /*Start=*/10, /*End=*/20, /*Cost=*/4}},
+        /*Regs=*/1);
+    LinearScanAllocator Bls(LinearScanAllocator::PolicyKind::CostBelady,
+                            0.25);
+    AllocationResult R = Bls.allocate(P);
+    if (ActiveCost == 5) {
+      EXPECT_FALSE(R.Allocated[0]);
+      EXPECT_TRUE(R.Allocated[1]);
+    } else {
+      EXPECT_TRUE(R.Allocated[0]);
+      EXPECT_FALSE(R.Allocated[1]);
+    }
+  }
 }
 
 TEST(AllocatorRegistryTest, AllNamesResolve) {

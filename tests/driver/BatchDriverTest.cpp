@@ -8,7 +8,9 @@
 #include "driver/BatchDriver.h"
 
 #include "alloc/Allocator.h"
+#include "core/AllocationProblem.h"
 #include "driver/ReportIO.h"
+#include "graph/Graph.h"
 #include "ir/Dominators.h"
 #include "ir/LoopInfo.h"
 #include "ir/ProgramGen.h"
@@ -188,6 +190,61 @@ TEST(BatchDriverTest, SolveProblemsMatchesDirectAllocation) {
     }
   }
   EXPECT_GT(Driver.problemCacheSize(), 0u);
+}
+
+TEST(BatchDriverTest, SolveProblemsReportsUnknownAllocatorWithoutDying) {
+  Suite S = tinySuite(2, 41);
+  std::vector<NamedProblem> Problems = chordalProblems(S, ST231, 4);
+  std::vector<const AllocationProblem *> Ptrs;
+  for (const NamedProblem &P : Problems)
+    Ptrs.push_back(&P.P);
+
+  BatchDriver Driver(2);
+  std::string Error;
+  std::vector<AllocationResult> Out =
+      Driver.solveProblems(Ptrs, "not-an-allocator", 0, &Error);
+  EXPECT_TRUE(Out.empty());
+  EXPECT_NE(Error.find("unknown allocator"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("not-an-allocator"), std::string::npos) << Error;
+  // The message enumerates what *would* work.
+  EXPECT_NE(Error.find("gc"), std::string::npos) << Error;
+
+  // The same driver is still usable afterwards.
+  Error.clear();
+  std::vector<AllocationResult> Good =
+      Driver.solveProblems(Ptrs, "bfpl", 0, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Good.size(), Problems.size());
+}
+
+TEST(BatchDriverTest, SolveProblemsRejectsIntervalAllocatorsOnGraphOnlyInput) {
+  // Problems built straight from a graph carry no interval table; linear
+  // scan must be refused up front with a diagnostic, not a process abort
+  // from inside the worker pool.
+  Graph G(6);
+  for (VertexId V = 0; V < 6; ++V)
+    G.setWeight(V, 1 + V);
+  for (VertexId V = 1; V < 6; ++V)
+    G.addEdge(V - 1, V);
+  AllocationProblem P = AllocationProblem::fromChordalGraph(G, 2);
+  ASSERT_FALSE(P.Intervals.has_value());
+  std::vector<const AllocationProblem *> Ptrs{&P};
+
+  BatchDriver Driver(2);
+  for (const char *Name : {"ls", "bls"}) {
+    std::string Error;
+    std::vector<AllocationResult> Out =
+        Driver.solveProblems(Ptrs, Name, 0, &Error);
+    EXPECT_TRUE(Out.empty()) << Name;
+    EXPECT_NE(Error.find("requires live intervals"), std::string::npos)
+        << Name << ": " << Error;
+  }
+  // Graph-based allocators remain fine on the same input.
+  std::string Error;
+  std::vector<AllocationResult> Out =
+      Driver.solveProblems(Ptrs, "bfpl", 0, &Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  ASSERT_EQ(Out.size(), 1u);
 }
 
 TEST(BatchDriverTest, CacheCapacityBoundsEntriesAndCountsEvictions) {

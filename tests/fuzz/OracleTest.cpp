@@ -75,7 +75,7 @@ OracleOutcome runOn(const FuzzCase &Case, const std::string &OracleName,
 
 TEST(OracleTest, RegistryNamesAreStableAndLookupsWork) {
   const std::vector<Oracle> &Registry = oracleRegistry();
-  ASSERT_EQ(Registry.size(), 7u);
+  ASSERT_EQ(Registry.size(), 8u);
   for (const Oracle &O : Registry) {
     EXPECT_EQ(findOracle(O.Name), &O);
     EXPECT_NE(O.Description[0], '\0');
@@ -85,6 +85,9 @@ TEST(OracleTest, RegistryNamesAreStableAndLookupsWork) {
   ASSERT_NE(findOracle("serve-direct"), nullptr);
   EXPECT_TRUE(findOracle("serve-direct")->NeedsServer);
   EXPECT_FALSE(findOracle("heuristic-vs-exact")->NeedsServer);
+  // The baseline sweep runs locally too.
+  ASSERT_NE(findOracle("baseline-backends"), nullptr);
+  EXPECT_FALSE(findOracle("baseline-backends")->NeedsServer);
 }
 
 TEST(OracleTest, AllLocalOraclesPassOnKnownGoodCases) {

@@ -96,3 +96,118 @@ TEST(GraphTest, ToDotMentionsVerticesAndEdges) {
   EXPECT_NE(Dot.find("n0 -- n1"), std::string::npos);
   EXPECT_NE(Dot.find("filled"), std::string::npos);
 }
+
+TEST(GraphTest, CompressPreservesNeighborOrderDegreesAndEdges) {
+  Graph G(5);
+  // Deliberately non-sorted insertion order: it must survive compression
+  // verbatim (MCS tie-breaking depends on it).
+  G.addEdge(0, 3);
+  G.addEdge(0, 1);
+  G.addEdge(2, 0);
+  G.addEdge(4, 2);
+
+  std::vector<std::vector<VertexId>> Before;
+  for (VertexId V = 0; V < 5; ++V)
+    Before.emplace_back(G.neighbors(V).begin(), G.neighbors(V).end());
+
+  ASSERT_FALSE(G.compressed());
+  G.compress();
+  ASSERT_TRUE(G.compressed());
+  EXPECT_EQ(G.numVertices(), 5u);
+  EXPECT_EQ(G.numEdges(), 4u);
+  for (VertexId V = 0; V < 5; ++V) {
+    NeighborRange N = G.neighbors(V);
+    EXPECT_EQ(std::vector<VertexId>(N.begin(), N.end()), Before[V]) << V;
+    EXPECT_EQ(G.degree(V), Before[V].size()) << V;
+  }
+  EXPECT_EQ(G.neighbors(0)[0], 3u); // Insertion order, not sorted order.
+  EXPECT_TRUE(G.hasEdge(0, 3));
+  EXPECT_TRUE(G.hasEdge(2, 4));
+  EXPECT_FALSE(G.hasEdge(1, 2));
+  EXPECT_TRUE(G.isStableSet({1, 2}));
+  EXPECT_FALSE(G.isStableSet({0, 2}));
+
+  // compress() is idempotent.
+  G.compress();
+  EXPECT_EQ(G.neighbors(0)[0], 3u);
+  EXPECT_EQ(G.numEdges(), 4u);
+}
+
+TEST(GraphTest, CompressedGraphYieldsMutableInducedSubgraph) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.setWeight(2, 9);
+  G.compress();
+
+  std::vector<VertexId> Map;
+  Graph Sub = G.inducedSubgraph({1, 2, 3}, &Map);
+  EXPECT_FALSE(Sub.compressed());
+  EXPECT_EQ(Sub.numEdges(), 2u);
+  EXPECT_EQ(Sub.weight(Map[2]), 9);
+  EXPECT_EQ(Sub.addVertex(1), 3u); // Still mutable.
+}
+
+TEST(GraphTest, IncrementalGrowthKeepsHasEdgeCorrect) {
+  // addVertex after construction exercises the bit-matrix re-stride path;
+  // hasEdge must agree with a reference edge set throughout.
+  Graph G;
+  std::vector<std::pair<VertexId, VertexId>> Edges;
+  for (unsigned I = 0; I < 200; ++I) {
+    VertexId V = G.addVertex(1);
+    for (VertexId U = V % 7; U < V; U += 13) {
+      ASSERT_TRUE(G.addEdge(U, V));
+      Edges.push_back({U, V});
+    }
+  }
+  for (const auto &E : Edges) {
+    EXPECT_TRUE(G.hasEdge(E.first, E.second));
+    EXPECT_TRUE(G.hasEdge(E.second, E.first));
+    EXPECT_FALSE(G.addEdge(E.first, E.second)); // Dedup still works.
+  }
+  EXPECT_EQ(G.numEdges(), Edges.size());
+  EXPECT_FALSE(G.hasEdge(0, 12)); // 12 % 7 = 5, step 13: never inserted.
+}
+
+TEST(GraphTest, HasEdgeFallsBackToScanPastDenseCap) {
+  // One vertex over the cap: the bit matrix is dropped for good and the
+  // list scan takes over, with identical answers.
+  Graph G(Graph::kMaxDenseVertices + 1);
+  VertexId Last = Graph::kMaxDenseVertices;
+  G.addEdge(0, Last);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.hasEdge(0, Last));
+  EXPECT_TRUE(G.hasEdge(Last, 0));
+  EXPECT_TRUE(G.hasEdge(2, 1));
+  EXPECT_FALSE(G.hasEdge(0, 1));
+  EXPECT_FALSE(G.addEdge(Last, 0));
+  EXPECT_EQ(G.numEdges(), 2u);
+
+  // Growing *across* the cap mid-life drops the matrix too.
+  Graph H(8);
+  H.addEdge(0, 1);
+  for (unsigned I = 8; I <= Graph::kMaxDenseVertices; ++I)
+    H.addVertex(0);
+  EXPECT_TRUE(H.hasEdge(0, 1));
+  H.addEdge(2, Graph::kMaxDenseVertices);
+  EXPECT_TRUE(H.hasEdge(Graph::kMaxDenseVertices, 2));
+  EXPECT_FALSE(H.hasEdge(1, 2));
+}
+
+TEST(GraphTest, NeighborRangeBasics) {
+  Graph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  NeighborRange N = G.neighbors(0);
+  EXPECT_EQ(N.size(), 2u);
+  EXPECT_FALSE(N.empty());
+  EXPECT_EQ(N[0], 1u);
+  EXPECT_EQ(N[1], 2u);
+  // Equality is element-wise, not pointer identity: 1 and 2 both see {0}.
+  EXPECT_EQ(G.neighbors(1), G.neighbors(2));
+  EXPECT_TRUE(G.neighbors(0) != G.neighbors(1));
+  NeighborRange Empty;
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_EQ(Empty.size(), 0u);
+}

@@ -63,3 +63,35 @@ TEST(BitVectorTest, ClearAndEquality) {
   EXPECT_TRUE(A == B);
   EXPECT_EQ(A.count(), 0u);
 }
+
+TEST(BitVectorTest, ResizePreservesBitsAndClearsDroppedTail) {
+  BitVector B(10);
+  B.set(1);
+  B.set(9);
+  B.resize(200);
+  EXPECT_EQ(B.size(), 200u);
+  EXPECT_TRUE(B.test(1));
+  EXPECT_TRUE(B.test(9));
+  EXPECT_FALSE(B.test(199));
+  B.set(150);
+  // Shrinking drops bits past the new size; growing back must not
+  // resurrect them (llvm::BitVector semantics).
+  B.resize(100);
+  EXPECT_EQ(B.size(), 100u);
+  EXPECT_EQ(B.count(), 2u);
+  B.resize(200);
+  EXPECT_FALSE(B.test(150));
+  EXPECT_EQ(B.count(), 2u);
+}
+
+TEST(BitVectorTest, GrowToNeverShrinks) {
+  BitVector B(100);
+  B.set(80);
+  B.growTo(50);
+  EXPECT_EQ(B.size(), 100u);
+  EXPECT_TRUE(B.test(80));
+  B.growTo(300);
+  EXPECT_EQ(B.size(), 300u);
+  EXPECT_TRUE(B.test(80));
+  EXPECT_FALSE(B.test(299));
+}

@@ -113,3 +113,44 @@ TEST(ParseUtilTest, SplitCommaListDropsEmptySegments) {
   EXPECT_EQ(splitCommaList(",,"), std::vector<std::string>{});
   EXPECT_EQ(splitCommaList("solo"), std::vector<std::string>{"solo"});
 }
+
+TEST(ParseUtilTest, PositiveSecondsAcceptsPlainDecimals) {
+  double Out = -1.0;
+  ASSERT_TRUE(parsePositiveSeconds("5", 3600.0, Out));
+  EXPECT_EQ(Out, 5.0);
+  ASSERT_TRUE(parsePositiveSeconds("0.25", 3600.0, Out));
+  EXPECT_EQ(Out, 0.25);
+  ASSERT_TRUE(parsePositiveSeconds("2.", 3600.0, Out));
+  EXPECT_EQ(Out, 2.0);
+  ASSERT_TRUE(parsePositiveSeconds(".5", 3600.0, Out));
+  EXPECT_EQ(Out, 0.5);
+  ASSERT_TRUE(parsePositiveSeconds("3600", 3600.0, Out)); // Max inclusive.
+  EXPECT_EQ(Out, 3600.0);
+}
+
+TEST(ParseUtilTest, PositiveSecondsRejectsStrtodExtensions) {
+  // strtod would happily read all of these; the flag grammar must not.
+  double Out = -1.0;
+  EXPECT_FALSE(parsePositiveSeconds("0x10", 3600.0, Out)); // Hex: not 16s.
+  EXPECT_FALSE(parsePositiveSeconds("1e3", 3600.0, Out));  // Not 1000s.
+  EXPECT_FALSE(parsePositiveSeconds("1E3", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds("inf", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds("nan", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds("+5", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds(" 5", 3600.0, Out)); // No whitespace.
+  EXPECT_EQ(Out, -1.0); // Failures leave Out untouched.
+}
+
+TEST(ParseUtilTest, PositiveSecondsRejectsMalformedAndOutOfRange) {
+  double Out = -1.0;
+  EXPECT_FALSE(parsePositiveSeconds("", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds(".", 3600.0, Out));   // No digit.
+  EXPECT_FALSE(parsePositiveSeconds("1.2.3", 3600.0, Out)); // Two dots.
+  EXPECT_FALSE(parsePositiveSeconds("-5", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds("0", 3600.0, Out));   // Strictly > 0.
+  EXPECT_FALSE(parsePositiveSeconds("0.0", 3600.0, Out));
+  EXPECT_FALSE(parsePositiveSeconds("3601", 3600.0, Out)); // Over Max.
+  EXPECT_FALSE(parsePositiveSeconds("5s", 3600.0, Out));  // Trailing unit.
+  EXPECT_FALSE(parsePositiveSeconds(nullptr, 3600.0, Out));
+  EXPECT_EQ(Out, -1.0);
+}
