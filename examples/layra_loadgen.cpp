@@ -21,7 +21,7 @@
 ///                 [--suite=NAME[,NAME...]]
 ///                 [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]
 ///                 [--target=NAME] [--details] [--timing] [--stats]
-///                 [--quiet]
+///                 [--trace-sample=K] [--quiet]
 ///
 ///   --clients     concurrent connections (default 4)
 ///   --requests    requests per client (default 8)
@@ -31,6 +31,17 @@
 ///   --suite       suites named in each request (default eembc)
 ///   --regs        register counts per request (default 4..8)
 ///   --stats       fetch and print the server's stats payload at the end
+///   --trace-sample=K
+///                 request a traced response (docs/PROTOCOL.md `trace`
+///                 field) for every K-th request of each client and print
+///                 a per-phase latency breakdown table: the server's
+///                 accept/queue_wait/dispatch/driver spans plus the
+///                 flush+network residual against client-observed
+///                 latency.  Each sampled request carries a unique trace
+///                 id; a response that fails to echo it counts as a
+///                 failed request.  Traced responses are excluded from
+///                 the byte-identity check (they differ by exactly the
+///                 trace object)
 ///
 /// Example:
 ///   layra-loadgen --unix=/tmp/layra.sock --clients=8 --requests=32
@@ -39,12 +50,14 @@
 
 #include "obs/Metrics.h"
 #include "service/Client.h"
+#include "support/Json.h"
 #include "support/ParseUtil.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -72,6 +85,8 @@ struct LoadOptions {
   bool Timing = false;
   bool FetchStats = false;
   bool Quiet = false;
+  /// Trace every K-th request per client; 0 = tracing off.
+  unsigned TraceSample = 0;
 };
 
 [[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
@@ -83,7 +98,8 @@ struct LoadOptions {
       "          [--clients=N] [--requests=M | --duration=SECS]\n"
       "          [--suite=NAME[,NAME...]]\n"
       "          [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]\n"
-      "          [--target=NAME] [--details] [--timing] [--stats] [--quiet]\n",
+      "          [--target=NAME] [--details] [--timing] [--stats]\n"
+      "          [--trace-sample=K] [--quiet]\n",
       Argv0);
   std::exit(2);
 }
@@ -132,6 +148,10 @@ LoadOptions parseArgs(int Argc, char **Argv) {
       Opt.Allocator = V;
     } else if (const char *V = Value("--target=")) {
       Opt.Target = V;
+    } else if (const char *V = Value("--trace-sample=")) {
+      if (!parseBoundedUnsigned(V, 1u << 20, Opt.TraceSample) ||
+          Opt.TraceSample == 0)
+        usage(Argv[0], "--trace-sample must be an integer in [1, 2^20]");
     } else if (Arg == "--details") {
       Opt.Details = true;
     } else if (Arg == "--timing") {
@@ -179,6 +199,13 @@ int main(int Argc, char **Argv) {
   std::atomic<uint64_t> Completed{0}, Failed{0}, Mismatched{0};
   std::mutex ReferenceMutex;
   std::string ReferenceResponse; // First response; all others must match.
+  // Per-span accumulation over traced responses (name -> {sum ms, count}),
+  // plus the client-observed latency of exactly those requests so the
+  // breakdown table and its residual line add up over the same sample.
+  std::mutex TraceMutex;
+  std::map<std::string, std::pair<double, uint64_t>> SpanAgg;
+  double TracedClientMs = 0;
+  uint64_t TracedCount = 0;
   // Shared concurrent histogram (obs/Metrics.h): record() is wait-free, so
   // clients never serialize on a latency mutex, and the bucket geometry
   // matches the server's service-time histogram exactly.
@@ -203,9 +230,28 @@ int main(int Argc, char **Argv) {
       // do/while: a timed run still sends at least one request per client,
       // so a sub-millisecond --duration cannot silently measure nothing.
       unsigned R = 0;
+      // Counts every send attempt (unlike R, which only advances in
+      // fixed-count mode); drives trace sampling in both modes.
+      uint64_t Sent = 0;
       do {
+        const bool Traced =
+            Opt.TraceSample > 0 && Sent % Opt.TraceSample == 0;
+        std::string TraceId;
+        std::string TracedRequest;
+        const std::string *Payload = &Request;
+        if (Traced) {
+          // A unique id per sampled request proves the echo is really
+          // per-request, not a cached or crossed response.
+          ServiceRequest TReq = Req;
+          TReq.Trace = true;
+          TraceId = "lg" + std::to_string(C) + "-" + std::to_string(Sent);
+          TReq.TraceId = TraceId;
+          TracedRequest = Client::makeAllocateRequest(TReq);
+          Payload = &TracedRequest;
+        }
+        ++Sent;
         auto Start = std::chrono::steady_clock::now();
-        if (!Conn.call(Request, Response, &Error)) {
+        if (!Conn.call(*Payload, Response, &Error)) {
           std::fprintf(stderr, "client %u request %u: %s\n", C, R,
                        Error.c_str());
           ++Failed;
@@ -224,6 +270,37 @@ int main(int Argc, char **Argv) {
           std::fprintf(stderr, "client %u request %u: server error: %s\n", C,
                        R, Response.c_str());
           ++Failed;
+          continue;
+        }
+        if (Traced) {
+          // The echoed trace id must be the one this request carried;
+          // anything else means the span data belongs to someone else.
+          JsonParseResult Parsed = parseJson(Response);
+          const JsonValue *Trace =
+              Parsed.Ok ? Parsed.Value.find("trace") : nullptr;
+          const JsonValue *Id = Trace ? Trace->find("id") : nullptr;
+          if (!Id || !Id->isString() || Id->stringValue() != TraceId) {
+            std::fprintf(stderr,
+                         "client %u request %u: trace id '%s' not echoed\n",
+                         C, R, TraceId.c_str());
+            ++Failed;
+            continue;
+          }
+          ++Completed;
+          Latency.record(Ms);
+          std::lock_guard<std::mutex> L(TraceMutex);
+          ++TracedCount;
+          TracedClientMs += Ms;
+          if (const JsonValue *Spans = Trace->find("spans"))
+            for (const JsonValue &Span : Spans->elements())
+              if (const JsonValue *Name = Span.find("name"))
+                if (const JsonValue *Dur = Span.find("dur_ms")) {
+                  auto &Agg = SpanAgg[Name->stringValue()];
+                  Agg.first += Dur->numberValue();
+                  ++Agg.second;
+                }
+          // Traced responses carry the trace object, so they are by
+          // design not byte-identical to the reference response.
           continue;
         }
         ++Completed;
@@ -273,6 +350,29 @@ int main(int Argc, char **Argv) {
     if (Mismatched.load() > 0)
       std::printf("DETERMINISM VIOLATION: %llu responses differed\n",
                   static_cast<unsigned long long>(Mismatched.load()));
+    if (Opt.TraceSample > 0 && TracedCount > 0) {
+      // Server-side spans in request order, then the part of the client
+      // latency the server never sees (response flush + network + client
+      // parse) as the residual, so the rows sum to the client mean.
+      std::printf("trace breakdown (%llu sampled requests, mean ms):\n",
+                  static_cast<unsigned long long>(TracedCount));
+      const char *Order[] = {"accept", "queue_wait", "dispatch", "driver"};
+      double Accounted = 0;
+      for (const char *Name : Order) {
+        auto It = SpanAgg.find(Name);
+        double Mean =
+            It != SpanAgg.end() && It->second.second > 0
+                ? It->second.first / static_cast<double>(It->second.second)
+                : 0.0;
+        Accounted += Mean;
+        std::printf("  %-12s %9.3f\n", Name, Mean);
+      }
+      double ClientMean = TracedClientMs / static_cast<double>(TracedCount);
+      double Residual = ClientMean - Accounted;
+      std::printf("  %-12s %9.3f\n", "flush+net",
+                  Residual > 0 ? Residual : 0.0);
+      std::printf("  %-12s %9.3f\n", "client total", ClientMean);
+    }
   }
 
   if (Opt.FetchStats) {

@@ -16,7 +16,8 @@
 ///   layra-serve [--unix=PATH] [--tcp=PORT] [--host=ADDR] [--threads=N]
 ///               [--list-targets]
 ///               [--cache-cap=N] [--queue-cap=N] [--max-conns=N]
-///               [--max-frame=BYTES] [--metrics-dump=FILE] [--quiet]
+///               [--max-frame=BYTES] [--metrics-dump=FILE]
+///               [--event-log=FILE] [--slow-ms=N] [--quiet]
 ///
 ///   --unix=PATH   listen on a Unix-domain socket at PATH
 ///   --tcp=PORT    listen on ADDR:PORT (0 = pick an ephemeral port; the
@@ -37,13 +38,27 @@
 ///                 write a Prometheus-style text exposition of the server
 ///                 stats and the process metrics registry to FILE on every
 ///                 SIGUSR1 and once more at drain ("-" = stderr).  The file
-///                 is rewritten atomically-in-place (truncate + write), so
-///                 a scraper always sees one complete exposition
+///                 is replaced atomically (temp file + rename), so a
+///                 scraper racing a dump always reads one complete
+///                 exposition -- old or new, never torn
+///   --event-log=FILE
+///                 enable the structured event ring (obs/EventLog.h) and
+///                 dump it as JSON-lines to FILE ("-" = stderr): on
+///                 SIGQUIT, on SIGUSR1, on a fatal error, and at drain.
+///                 This is the flight recorder -- a wedged or crashed
+///                 server leaves its last ~1024 events on disk.  Writes
+///                 are atomic like --metrics-dump
+///   --slow-ms=N   log every request whose dispatch+flush time reaches N
+///                 milliseconds as one JSON line (full span tree,
+///                 including per-job solver phases) on stderr.  0 logs
+///                 every request
 ///   --quiet       suppress the startup/shutdown summary lines
 ///
 /// SIGINT/SIGTERM drain gracefully: accepted requests finish, their
 /// responses are written, then the process exits 0.  SIGUSR1 triggers a
-/// metrics dump (when --metrics-dump is set) without disturbing service.
+/// metrics dump (when --metrics-dump is set) without disturbing service;
+/// SIGQUIT dumps the event ring (when --event-log is set) and keeps
+/// serving -- aim it at a wedged server before killing it.
 ///
 /// Example session:
 ///   $ layra-serve --unix=/tmp/layra.sock &
@@ -54,11 +69,14 @@
 
 #include "service/Server.h"
 #include "ir/Target.h"
+#include "obs/EventLog.h"
+#include "support/Compiler.h"
 #include "support/ParseUtil.h"
 
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <unistd.h>
@@ -74,15 +92,16 @@ namespace {
                "usage: %s [--unix=PATH] [--tcp=PORT] [--host=ADDR]\n"
                "          [--threads=N] [--cache-cap=N] [--queue-cap=N]\n"
                "          [--max-conns=N] [--max-frame=BYTES]\n"
-               "          [--metrics-dump=FILE] [--list-targets] [--quiet]\n",
+               "          [--metrics-dump=FILE] [--event-log=FILE]\n"
+               "          [--slow-ms=N] [--list-targets] [--quiet]\n",
                Argv0);
   std::exit(2);
 }
 
-/// Self-pipe carrying SIGINT/SIGTERM/SIGUSR1 to the main thread: a handler
-/// may only touch async-signal-safe calls, so it writes one byte and
-/// main() does the actual drain or metrics dump.  The byte value encodes
-/// the request: 1 = stop, 2 = dump metrics.
+/// Self-pipe carrying SIGINT/SIGTERM/SIGUSR1/SIGQUIT to the main thread:
+/// a handler may only touch async-signal-safe calls, so it writes one
+/// byte and main() does the actual drain or dump.  The byte value encodes
+/// the request: 1 = stop, 2 = dump metrics, 3 = dump the event ring.
 int StopPipe[2] = {-1, -1};
 
 void onStopSignal(int) {
@@ -96,8 +115,14 @@ void onDumpSignal(int) {
   (void)!write(StopPipe[1], &Byte, 1);
 }
 
-/// Writes one complete exposition to \p Path ("-" = stderr).  Truncate +
-/// write + close per dump, so a scraper never reads a stale tail.
+void onQuitSignal(int) {
+  char Byte = 3;
+  (void)!write(StopPipe[1], &Byte, 1);
+}
+
+/// Writes one complete exposition to \p Path ("-" = stderr) via the
+/// atomic temp-file + rename helper, so a scraper racing SIGUSR1 never
+/// reads a torn file.
 void dumpMetrics(const std::string &Path, const ServerStats &Stats,
                  bool Quiet) {
   std::string Text = makeMetricsExposition(Stats);
@@ -105,16 +130,48 @@ void dumpMetrics(const std::string &Path, const ServerStats &Stats,
     std::fputs(Text.c_str(), stderr);
     return;
   }
-  std::FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out) {
-    std::fprintf(stderr, "layra-serve: cannot write metrics dump to '%s'\n",
-                 Path.c_str());
+  std::string Error;
+  if (!obs::writeFileAtomically(Path, Text, &Error)) {
+    std::fprintf(stderr, "layra-serve: metrics dump failed: %s\n",
+                 Error.c_str());
     return;
   }
-  std::fputs(Text.c_str(), Out);
-  std::fclose(Out);
   if (!Quiet)
     std::fprintf(stderr, "layra-serve: metrics dump -> %s\n", Path.c_str());
+}
+
+/// Flight-recorder dump: the event ring as JSON-lines.  \p Why labels the
+/// cause ("sigquit", "drain", ...) -- recorded as a final `dump` event so
+/// the dump documents its own trigger.
+void dumpEventLog(const std::string &Path, bool Quiet, const char *Why) {
+  obs::EventLog &Log = obs::EventLog::global();
+  Log.record(obs::EventKind::Dump, 0, nullptr, Why);
+  std::string Text = Log.toJsonLines();
+  if (Path == "-") {
+    std::fputs(Text.c_str(), stderr);
+    return;
+  }
+  std::string Error;
+  if (!obs::writeFileAtomically(Path, Text, &Error)) {
+    std::fprintf(stderr, "layra-serve: event-log dump failed: %s\n",
+                 Error.c_str());
+    return;
+  }
+  if (!Quiet)
+    std::fprintf(stderr, "layra-serve: event log (%s) -> %s\n", Why,
+                 Path.c_str());
+}
+
+/// Where the fatal hook dumps; set once before threads start.
+std::string FatalDumpPath;
+
+/// Last-words hook: a layraFatalError anywhere in the process flushes the
+/// flight recorder before abort() so the crash leaves its final events
+/// behind.  Runs on the failing thread; the ring is lock-free, so this
+/// works even when the dispatcher is the thread that died.
+void fatalFlightDump(const char *Msg) {
+  obs::EventLog::global().record(obs::EventKind::Fatal, 0, nullptr, Msg);
+  dumpEventLog(FatalDumpPath, /*Quiet=*/false, "fatal");
 }
 
 } // namespace
@@ -123,6 +180,7 @@ int main(int Argc, char **Argv) {
   ServerOptions Opt;
   bool Quiet = false;
   std::string MetricsDumpPath;
+  std::string EventLogPath;
   unsigned Parsed = 0;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
@@ -178,6 +236,16 @@ int main(int Argc, char **Argv) {
       MetricsDumpPath = V;
       if (MetricsDumpPath.empty())
         usage(Argv[0], "--metrics-dump needs a file path (or '-')");
+    } else if (const char *V = Value("--event-log=")) {
+      EventLogPath = V;
+      if (EventLogPath.empty())
+        usage(Argv[0], "--event-log needs a file path (or '-')");
+    } else if (const char *V = Value("--slow-ms=")) {
+      char *End = nullptr;
+      double Ms = std::strtod(V, &End);
+      if (!End || *End != '\0' || !(Ms >= 0) || Ms > 1e9)
+        usage(Argv[0], "--slow-ms must be a number of milliseconds >= 0");
+      Opt.SlowMs = Ms;
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -198,6 +266,15 @@ int main(int Argc, char **Argv) {
   std::signal(SIGUSR1, onDumpSignal);
   // A client that disconnects mid-response must not kill the server.
   std::signal(SIGPIPE, SIG_IGN);
+  if (!EventLogPath.empty()) {
+    // The flight recorder is armed: record events, take SIGQUIT dumps,
+    // and leave last words on a fatal error.  Without --event-log the
+    // default SIGQUIT behavior (core dump) is preserved.
+    obs::EventLog::global().setEnabled(true);
+    std::signal(SIGQUIT, onQuitSignal);
+    FatalDumpPath = EventLogPath;
+    layraSetFatalHook(fatalFlightDump);
+  }
 
   Server S(Opt);
   std::string Error;
@@ -219,7 +296,7 @@ int main(int Argc, char **Argv) {
   }
 
   // Block until a stop signal arrives (retrying interrupted reads).
-  // SIGUSR1 bytes trigger a metrics dump and keep serving.
+  // SIGUSR1/SIGQUIT bytes trigger dumps and keep serving.
   while (true) {
     char Byte = 0;
     ssize_t N = read(StopPipe[0], &Byte, 1);
@@ -227,16 +304,24 @@ int main(int Argc, char **Argv) {
       continue;
     if (N <= 0 || Byte == 1)
       break;
-    if (Byte == 2 && !MetricsDumpPath.empty())
-      dumpMetrics(MetricsDumpPath, S.stats(), Quiet);
+    if (Byte == 2) {
+      if (!MetricsDumpPath.empty())
+        dumpMetrics(MetricsDumpPath, S.stats(), Quiet);
+      if (!EventLogPath.empty())
+        dumpEventLog(EventLogPath, Quiet, "sigusr1");
+    }
+    if (Byte == 3 && !EventLogPath.empty())
+      dumpEventLog(EventLogPath, Quiet, "sigquit");
   }
 
   S.requestStop();
   S.wait();
-  // A final dump so a drained server leaves its complete telemetry behind
-  // even when nothing ever sent SIGUSR1.
+  // Final dumps so a drained server leaves its complete telemetry behind
+  // even when nothing ever sent SIGUSR1/SIGQUIT.
   if (!MetricsDumpPath.empty())
     dumpMetrics(MetricsDumpPath, S.stats(), Quiet);
+  if (!EventLogPath.empty())
+    dumpEventLog(EventLogPath, Quiet, "drain");
   if (!Quiet) {
     ServerStats Stats = S.stats();
     std::fprintf(stderr,

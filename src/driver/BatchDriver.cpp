@@ -235,8 +235,18 @@ DriverCacheCounters BatchDriver::problemCacheCounters() const {
 }
 
 DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
-                              bool CacheTransparent) {
+                              bool CacheTransparent,
+                              std::vector<PhaseTotals> *PhaseSink) {
   auto BatchStart = std::chrono::steady_clock::now();
+
+  // A per-call sink needs phase accounting live for the duration of this
+  // run even when no one enabled it globally.  The flip is restored on
+  // exit; report-visible breakdowns key off WasAccounting (below) so the
+  // sink alone never changes report bytes.
+  const bool WasAccounting = obs::phaseAccountingEnabled();
+  const bool WantSink = PhaseSink != nullptr;
+  if (WantSink && !WasAccounting)
+    obs::setPhaseAccounting(true);
 
   DriverReport Report;
   Report.Threads = Pool.numThreads();
@@ -345,7 +355,7 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   std::vector<TaskOutcome> Outcomes(UniqueToPending.size());
   std::vector<double> SolveMs(UniqueToPending.size(), 0);
   // Sampled once so a mid-run flip cannot leave half-collected breakdowns.
-  const bool CollectPhases = obs::phaseAccountingEnabled();
+  const bool CollectPhases = WasAccounting || WantSink;
   std::vector<PhaseTotals> TaskPhases(CollectPhases ? UniqueToPending.size()
                                                     : 0);
   Pool.parallelForWorker(UniqueToPending.size(), [&](size_t I,
@@ -379,6 +389,10 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     Out.Fits = R.Fits;
     SolveMs[I] = toMs(std::chrono::steady_clock::now() - Start);
   });
+  // All spans are closed once the pool drains; restore the global flip
+  // before anything else can observe it.
+  if (WantSink && !WasAccounting)
+    obs::setPhaseAccounting(false);
 
   // Phase 4 (serial): commit outcomes to the cache and assemble the
   // reports in expansion order.  Results are read from the phase-2/3
@@ -389,19 +403,15 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     PipelineCache.insert(Pending[UniqueToPending[I]].Key, Outcomes[I]);
 
   std::vector<std::vector<double>> JobSolveMs(Jobs.size());
-  if (CollectPhases)
-    for (JobReport &JR : Report.Jobs) {
-      JR.PhaseMs.assign(kNumPhases, 0.0);
-      JR.PhaseCount.assign(kNumPhases, 0);
-    }
+  std::vector<PhaseTotals> JobPhases(CollectPhases ? Jobs.size() : 0);
   for (const PendingTask &T : Pending) {
     JobReport &JR = Report.Jobs[T.JobIndex];
     // Phase breakdowns, like WallMs, cover only the tasks actually solved
     // in this run (cache hits and batch twins cost no solver time).
     if (CollectPhases && !T.PersistentHit && !T.BatchDup)
       for (unsigned P = 0; P < kNumPhases; ++P) {
-        JR.PhaseMs[P] += TaskPhases[T.UniqueIndex].Ms[P];
-        JR.PhaseCount[P] += TaskPhases[T.UniqueIndex].Count[P];
+        JobPhases[T.JobIndex].Ms[P] += TaskPhases[T.UniqueIndex].Ms[P];
+        JobPhases[T.JobIndex].Count[P] += TaskPhases[T.UniqueIndex].Count[P];
       }
     TaskResult Result;
     Result.Program = *T.Program;
@@ -426,6 +436,19 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     JR.WallMsTotal += Result.WallMs;
     JR.Tasks.push_back(std::move(Result));
   }
+  // Report-visible breakdowns only when accounting was globally on; the
+  // per-call sink gets its copy regardless.  Keeping the two consumers
+  // separate is what lets a traced request's report stay byte-identical
+  // to an untraced one's.
+  if (WasAccounting)
+    for (size_t JI = 0; JI < Jobs.size(); ++JI) {
+      JobReport &JR = Report.Jobs[JI];
+      JR.PhaseMs.assign(JobPhases[JI].Ms, JobPhases[JI].Ms + kNumPhases);
+      JR.PhaseCount.assign(JobPhases[JI].Count,
+                           JobPhases[JI].Count + kNumPhases);
+    }
+  if (WantSink)
+    *PhaseSink = std::move(JobPhases);
   for (size_t JI = 0; JI < Jobs.size(); ++JI) {
     SampleSummary Summary = summarize(std::move(JobSolveMs[JI]));
     Report.Jobs[JI].WallMsP50 = Summary.Median;

@@ -195,8 +195,17 @@ public:
   /// transparent timing-free report is byte-identical no matter how warm
   /// the cache is -- the property the allocation server's responses rely
   /// on (tests/service/ServerLoopbackTest.cpp asserts it).
+  ///
+  /// \p PhaseSink is the per-call span sink for request-scoped tracing:
+  /// when non-null it is filled with one PhaseTotals per job (net of
+  /// cache hits and batch duplicates, like JobReport::PhaseMs), turning
+  /// phase accounting on for just this call if it was globally off.
+  /// The sink never changes the report: JobReport::PhaseMs stays
+  /// populated only when accounting was already enabled globally, so a
+  /// traced request's report bytes match an untraced one's.
   DriverReport run(const std::vector<BatchJob> &Jobs,
-                   bool CacheTransparent = false);
+                   bool CacheTransparent = false,
+                   std::vector<PhaseTotals> *PhaseSink = nullptr);
 
   /// Lower-level batch entry used by the figure harness: solves every
   /// problem with allocator \p AllocatorName in parallel and returns the

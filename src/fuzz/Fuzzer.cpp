@@ -13,6 +13,7 @@
 #include "fuzz/Mutator.h"
 #include "ir/ProgramGen.h"
 #include "ir/SsaBuilder.h"
+#include "obs/Metrics.h"
 #include "service/Client.h"
 #include "service/Server.h"
 #include "support/Random.h"
@@ -108,13 +109,29 @@ FuzzCase generateBase(const TargetDesc &Target, uint64_t Run, Rng &R) {
   return Case;
 }
 
+/// Finds (or appends) the tally row for \p Name.  Rows are appended in
+/// first-seen order, which for the main sweep is selection order --
+/// deterministic across runs of the same session configuration.
+OracleTally &tallyFor(std::vector<OracleTally> &Tallies,
+                      const std::string &Name) {
+  for (OracleTally &T : Tallies)
+    if (T.Name == Name)
+      return T;
+  Tallies.push_back(OracleTally{Name, 0, 0, 0});
+  return Tallies.back();
+}
+
 /// Runs every selected oracle over \p Case; returns the first failure
 /// (Ok=true when the case is clean).  \p Checks counts oracle runs.
+/// \p Tallies (optional) receives per-oracle pass/fail counts -- the
+/// main sweep passes it, minimization re-sweeps pass nullptr so the
+/// counters mean the same thing with and without --minimize.
 OracleOutcome sweepOracles(const FuzzCase &Case,
                            const std::vector<const Oracle *> &Selected,
                            SolverWorkspace *WS, Client *ServeClient,
                            const std::string &BreakOracle,
-                           uint64_t *Checks, std::string *FailedOracle) {
+                           uint64_t *Checks, std::string *FailedOracle,
+                           std::vector<OracleTally> *Tallies = nullptr) {
   SsaConversion Ssa = convertToSsa(Case.F);
   OracleContext Ctx;
   Ctx.Case = &Case;
@@ -128,6 +145,10 @@ OracleOutcome sweepOracles(const FuzzCase &Case,
     if (Checks)
       ++*Checks;
     OracleOutcome Outcome = runOracle(*O, Ctx);
+    if (Tallies) {
+      OracleTally &T = tallyFor(*Tallies, O->Name);
+      Outcome.Ok ? ++T.Pass : ++T.Fail;
+    }
     if (!Outcome.Ok) {
       if (FailedOracle)
         *FailedOracle = O->Name;
@@ -181,6 +202,10 @@ FuzzReport layra::runFuzzSession(const FuzzOptions &Options, std::FILE *Log) {
     Report.Errors.push_back("no oracles selected");
   if (!Report.Errors.empty())
     return Report;
+  // Pre-seed one row per selected oracle so a session where an oracle
+  // never fired still reports it (with zeros), in selection order.
+  for (const Oracle *O : Selected)
+    tallyFor(Report.Tallies, O->Name);
 
   // One long-lived workspace, the BatchDriver worker pattern: reuse
   // across every case is itself under test (workspace-pure oracle).
@@ -224,7 +249,7 @@ FuzzReport layra::runFuzzSession(const FuzzOptions &Options, std::FILE *Log) {
     std::string FailedOracle;
     OracleOutcome Outcome =
         sweepOracles(Case, Selected, &WS, ServeClient, Options.BreakOracle,
-                     &Report.OracleChecks, &FailedOracle);
+                     &Report.OracleChecks, &FailedOracle, &Report.Tallies);
     if (Outcome.Ok)
       continue;
 
@@ -232,6 +257,7 @@ FuzzReport layra::runFuzzSession(const FuzzOptions &Options, std::FILE *Log) {
     Case.Detail = Outcome.Detail;
     const Oracle *O = findOracle(FailedOracle);
     if (Options.Minimize && O) {
+      ++tallyFor(Report.Tallies, FailedOracle).Minimized;
       minimizeCase(Case, [&](const FuzzCase &Candidate) {
         return !sweepOracles(Candidate, {O}, &WS, ServeClient,
                              Options.BreakOracle, nullptr, nullptr)
@@ -270,7 +296,17 @@ FuzzReport layra::runFuzzSession(const FuzzOptions &Options, std::FILE *Log) {
       break;
   }
 
-  if (Log)
+  // Publish the per-oracle counters into the global registry so a
+  // --metrics-dump from the CLI carries them alongside solver metrics.
+  MetricsRegistry &MR = MetricsRegistry::global();
+  for (const OracleTally &T : Report.Tallies) {
+    const std::string Base = "layra.fuzz.oracle." + T.Name;
+    MR.add(MR.counter(Base + ".pass"), T.Pass);
+    MR.add(MR.counter(Base + ".fail"), T.Fail);
+    MR.add(MR.counter(Base + ".minimized"), T.Minimized);
+  }
+
+  if (Log) {
     std::fprintf(Log,
                  "fuzz: %u runs, %llu mutations (%llu rejected), %llu "
                  "oracle checks, %zu failures, %u corpus seeds, %u "
@@ -281,6 +317,16 @@ FuzzReport layra::runFuzzSession(const FuzzOptions &Options, std::FILE *Log) {
                  static_cast<unsigned long long>(Report.OracleChecks),
                  Report.Failures.size(), Report.CorpusSeeds,
                  Report.NegativeSeeds);
+    // Deterministic per-oracle lines (selection order, fixed format):
+    // part of the session's observable output, so the bit-for-bit
+    // reproducibility check in CI covers them too.
+    for (const OracleTally &T : Report.Tallies)
+      std::fprintf(Log, "oracle %s: %llu pass, %llu fail, %llu minimized\n",
+                   T.Name.c_str(),
+                   static_cast<unsigned long long>(T.Pass),
+                   static_cast<unsigned long long>(T.Fail),
+                   static_cast<unsigned long long>(T.Minimized));
+  }
   return Report;
 }
 

@@ -67,6 +67,18 @@ struct FuzzFailure {
   std::string CrashPath; ///< Written reproducer ("" if writing failed).
 };
 
+/// Per-oracle outcome counters for one session.  Pass/Fail count main
+/// sweep verdicts only (minimization re-sweeps are deliberately
+/// excluded so the numbers stay comparable across --minimize settings);
+/// Minimized counts failures of this oracle that went through the
+/// minimizer.
+struct OracleTally {
+  std::string Name;
+  uint64_t Pass = 0;
+  uint64_t Fail = 0;
+  uint64_t Minimized = 0;
+};
+
 /// Session outcome.
 struct FuzzReport {
   unsigned Runs = 0;
@@ -75,6 +87,8 @@ struct FuzzReport {
   uint64_t MutationsApplied = 0;
   uint64_t MutationsRejected = 0;
   uint64_t OracleChecks = 0;
+  /// One entry per selected oracle, in registry selection order.
+  std::vector<OracleTally> Tallies;
   std::vector<FuzzFailure> Failures;
   /// Session-level problems (unreadable corpus, negative seed that
   /// parsed, ...).  Non-empty means the session itself is unhealthy,

@@ -16,6 +16,8 @@
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
 #include "ir/Parser.h"
+#include "obs/EventLog.h"
+#include "obs/RequestTrace.h"
 #include "obs/Trace.h"
 #include "service/Client.h"
 #include "service/Protocol.h"
@@ -267,19 +269,36 @@ OracleOutcome checkMetricsQuiet(const OracleContext &Ctx) {
                          /*IncludeTasks=*/true)
           .dump(2);
 
-  // Instrumented run: deterministic tracing plus phase accounting.
+  // Instrumented run: deterministic tracing, phase accounting, the
+  // request-scoped event log, a live per-job phase sink, and a request
+  // trace consuming it -- every observability surface at once.
+  obs::EventLog &Events = obs::EventLog::global();
+  bool WasEvents = Events.enabled();
   TC.enable(/*Deterministic=*/true);
   obs::setPhaseAccounting(true);
+  Events.setEnabled(true);
+  Events.record(obs::EventKind::RequestStart, 0, "fuzz-metrics-quiet");
   BatchDriver LoudDriver(1);
+  std::vector<PhaseTotals> JobPhases;
   std::string LoudJson =
-      driverReportToJson(LoudDriver.run(Jobs), /*IncludeTiming=*/false,
+      driverReportToJson(LoudDriver.run(Jobs, /*CacheTransparent=*/false,
+                                        &JobPhases),
+                         /*IncludeTiming=*/false,
                          /*IncludeTasks=*/true)
           .dump(2);
+  obs::RequestTrace Trace;
+  Trace.begin("fuzz-metrics-quiet", std::chrono::steady_clock::now());
+  Trace.attachJobPhases(JobPhases);
+  Events.record(obs::EventKind::RequestEnd, 0, Trace.id().c_str());
   TC.disable();
   TC.clear();
   obs::setPhaseAccounting(WasAccounting);
+  Events.setEnabled(WasEvents);
   if (WasTracing)
     TC.enable(WasDet);
+
+  if (JobPhases.size() != Jobs.size())
+    return fail("phase sink did not report one entry per job");
 
   if (QuietJson != LoudJson)
     return fail("timing-free report changed when tracing/metrics were on");

@@ -1,0 +1,117 @@
+#include "obs/RequestTrace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+using namespace layra;
+using namespace layra::obs;
+
+bool layra::obs::isValidTraceId(const std::string &Id) {
+  if (Id.empty() || Id.size() > 64)
+    return false;
+  for (char C : Id) {
+    bool Ok = (C >= 'A' && C <= 'Z') || (C >= 'a' && C <= 'z') ||
+              (C >= '0' && C <= '9') || C == '.' || C == '_' || C == ':' ||
+              C == '-';
+    if (!Ok)
+      return false;
+  }
+  return true;
+}
+
+std::string layra::obs::makeTraceId(uint64_t Salt, uint64_t Seq) {
+  // SplitMix64 finalizer over salt ^ sequence: cheap, well distributed,
+  // and deterministic for a pinned salt.
+  uint64_t Z = Salt ^ (Seq * 0x9e3779b97f4a7c15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  Z ^= Z >> 31;
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016llx",
+                static_cast<unsigned long long>(Z));
+  return std::string(Buf);
+}
+
+namespace {
+
+/// Span times keep microsecond precision in JSON; finer digits are
+/// clock noise.
+double roundMs(double Ms) { return std::round(Ms * 1e3) / 1e3; }
+
+} // namespace
+
+void RequestTrace::begin(std::string Id,
+                         std::chrono::steady_clock::time_point E) {
+  TraceId = std::move(Id);
+  Epoch = E;
+  Spans.clear();
+  JobPhases.clear();
+}
+
+double RequestTrace::sinceBeginMs() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+void RequestTrace::addSpan(const char *Name, double StartMs, double DurMs) {
+  Span S;
+  S.Name = Name;
+  S.StartMs = StartMs < 0 ? 0 : StartMs;
+  S.DurMs = DurMs < 0 ? 0 : DurMs;
+  Spans.push_back(std::move(S));
+}
+
+bool RequestTrace::hasSpan(const char *Name) const {
+  for (const Span &S : Spans)
+    if (S.Name == Name)
+      return true;
+  return false;
+}
+
+void RequestTrace::attachJobPhases(std::vector<PhaseTotals> Phases) {
+  JobPhases = std::move(Phases);
+}
+
+JsonValue RequestTrace::toJson() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("id", TraceId);
+  JsonValue SpanArr = JsonValue::array();
+  for (const Span &S : Spans) {
+    JsonValue E = JsonValue::object();
+    E.set("name", S.Name);
+    E.set("start_ms", roundMs(S.StartMs));
+    E.set("dur_ms", roundMs(S.DurMs));
+    SpanArr.push(std::move(E));
+  }
+  Doc.set("spans", std::move(SpanArr));
+  if (!JobPhases.empty()) {
+    JsonValue Jobs = JsonValue::array();
+    for (std::size_t J = 0; J < JobPhases.size(); ++J) {
+      JsonValue JobDoc = JsonValue::object();
+      JobDoc.set("job", static_cast<unsigned long long>(J));
+      JsonValue PhaseArr = JsonValue::array();
+      for (unsigned P = 0; P < kNumPhases; ++P) {
+        if (JobPhases[J].Count[P] == 0)
+          continue;
+        JsonValue PhaseDoc = JsonValue::object();
+        PhaseDoc.set("name", std::string(phaseName(static_cast<Phase>(P))));
+        PhaseDoc.set("self_ms", roundMs(JobPhases[J].Ms[P]));
+        PhaseDoc.set("count",
+                     static_cast<unsigned long long>(JobPhases[J].Count[P]));
+        PhaseArr.push(std::move(PhaseDoc));
+      }
+      JobDoc.set("phases", std::move(PhaseArr));
+      Jobs.push(std::move(JobDoc));
+    }
+    Doc.set("jobs", std::move(Jobs));
+  }
+  return Doc;
+}
+
+JsonValue RequestTrace::idJson() const {
+  JsonValue Doc = JsonValue::object();
+  Doc.set("id", TraceId);
+  return Doc;
+}

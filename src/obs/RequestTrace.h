@@ -1,0 +1,95 @@
+// Request-scoped span tree for the serve path.  Where PR 6's
+// TraceCollector aggregates phase spans process-wide, a RequestTrace
+// owns the timeline of ONE protocol request: the server stamps
+// accept -> queue_wait -> dispatch -> driver -> response_flush spans
+// against a single epoch (the moment the frame finished arriving), and
+// the batch driver attaches per-job solver phase totals via its
+// per-call sink.  The result serializes as the `trace` member echoed
+// in traced responses and as the payload of slow-request log lines.
+//
+// A RequestTrace is single-threaded by construction — it lives on the
+// dispatcher's stack for the duration of one request — so it needs no
+// synchronization.
+#ifndef LAYRA_OBS_REQUESTTRACE_H
+#define LAYRA_OBS_REQUESTTRACE_H
+
+#include "obs/Trace.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace layra {
+namespace obs {
+
+/// True when Id is usable on the wire: 1..64 characters drawn from
+/// [A-Za-z0-9._:-].  Anything else is rejected at parse time so trace
+/// ids can be embedded in logs and filenames without quoting games.
+bool isValidTraceId(const std::string &Id);
+
+/// Deterministic 16-hex-digit id from (Salt, Seq) via a SplitMix64
+/// mix.  The server salts with its start time so ids from successive
+/// runs don't collide; tests pin the salt for reproducibility.
+std::string makeTraceId(uint64_t Salt, uint64_t Seq);
+
+class RequestTrace {
+public:
+  struct Span {
+    std::string Name;
+    double StartMs = 0; ///< offset from the request epoch
+    double DurMs = 0;
+  };
+
+  /// Arm the trace.  Epoch anchors every span's StartMs; the server
+  /// passes the frame-arrival time so queue wait is visible.
+  void begin(std::string Id,
+             std::chrono::steady_clock::time_point Epoch);
+
+  bool active() const { return !TraceId.empty(); }
+  const std::string &id() const { return TraceId; }
+
+  /// Milliseconds elapsed since begin()'s epoch.
+  double sinceBeginMs() const;
+
+  void addSpan(const char *Name, double StartMs, double DurMs);
+  bool hasSpan(const char *Name) const;
+  const std::vector<Span> &spans() const { return Spans; }
+
+  /// Adopt the batch driver's per-call phase sink: one PhaseTotals per
+  /// job, already net of cache hits and batch duplicates.
+  void attachJobPhases(std::vector<PhaseTotals> Phases);
+  const std::vector<PhaseTotals> &jobPhases() const { return JobPhases; }
+
+  /// Whether the client asked for the span tree in its response (the
+  /// request carried a `trace` field).  Server-internal traces — armed
+  /// only for the slow log or the event ring — leave this false so
+  /// response bytes stay untouched.
+  bool Echo = false;
+
+  /// Epoch offset where the dispatch span opened; the server stamps it
+  /// at dequeue and the handler closes the span once it knows where
+  /// dispatch work ends (driver start, or response build for
+  /// ping/stats).
+  double DispatchStartMs = 0;
+
+  /// Full span tree: {"id", "spans": [...], "jobs": [...]}.  Phases
+  /// with zero hits are omitted per job.
+  JsonValue toJson() const;
+
+  /// Minimal echo for responses that carry no span tree (pong, stats,
+  /// errors): {"id": ...}.
+  JsonValue idJson() const;
+
+private:
+  std::string TraceId;
+  std::chrono::steady_clock::time_point Epoch;
+  std::vector<Span> Spans;
+  std::vector<PhaseTotals> JobPhases;
+};
+
+} // namespace obs
+} // namespace layra
+
+#endif // LAYRA_OBS_REQUESTTRACE_H

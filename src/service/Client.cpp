@@ -116,6 +116,11 @@ void appendCommon(JsonValue &Doc, const ServiceRequest &Req) {
   Doc.set("options", std::move(Options));
   Doc.set("timing", Req.Timing);
   Doc.set("details", Req.Details);
+  // Tracing is strictly opt-in on the wire: absent unless requested, so
+  // untraced request payloads (and thus response bytes) are unchanged.
+  if (Req.Trace)
+    Doc.set("trace", Req.TraceId.empty() ? JsonValue(true)
+                                         : JsonValue(Req.TraceId));
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include "service/Protocol.h"
 
+#include "obs/RequestTrace.h"
 #include "support/Socket.h"
 
 #include <cstring>
@@ -246,6 +247,23 @@ bool layra::parseServiceRequest(const std::string &Payload,
   const std::string &Kind = Type->stringValue();
 
   Out = ServiceRequest();
+  // Tracing is orthogonal to the request kind, so it parses before the
+  // kind branches (ping/stats return early below).
+  if (const JsonValue *TraceField = Doc.find("trace")) {
+    if (TraceField->isBool()) {
+      Out.Trace = TraceField->boolValue();
+    } else if (TraceField->isString()) {
+      if (!obs::isValidTraceId(TraceField->stringValue())) {
+        Error = "'trace' id must be 1..64 characters of [A-Za-z0-9._:-]";
+        return false;
+      }
+      Out.Trace = true;
+      Out.TraceId = TraceField->stringValue();
+    } else {
+      Error = "field 'trace' must be a boolean or an id string";
+      return false;
+    }
+  }
   if (Kind == "ping") {
     Out.K = ServiceRequest::Kind::Ping;
     return true;
@@ -308,16 +326,34 @@ bool layra::parseServiceRequest(const std::string &Payload,
 // Responses
 //===----------------------------------------------------------------------===//
 
-std::string layra::makeErrorResponse(const std::string &Message) {
+namespace {
+
+/// Appends the minimal trace echo shared by pong/error (and stats)
+/// responses.  New keys land at the end of the object, so traced and
+/// untraced payloads differ only by this trailing member.
+void appendTraceEcho(JsonValue &Doc, const std::string &TraceId) {
+  if (TraceId.empty())
+    return;
+  JsonValue TraceDoc = JsonValue::object();
+  TraceDoc.set("id", TraceId);
+  Doc.set("trace", std::move(TraceDoc));
+}
+
+} // namespace
+
+std::string layra::makeErrorResponse(const std::string &Message,
+                                     const std::string &TraceId) {
   JsonValue Doc = JsonValue::object();
   Doc.set("schema", kErrorSchema);
   Doc.set("error", Message);
+  appendTraceEcho(Doc, TraceId);
   return Doc.dump(2) + "\n";
 }
 
-std::string layra::makePongResponse() {
+std::string layra::makePongResponse(const std::string &TraceId) {
   JsonValue Doc = JsonValue::object();
   Doc.set("schema", kPongSchema);
   Doc.set("protocol", kServeProtocolVersion);
+  appendTraceEcho(Doc, TraceId);
   return Doc.dump(2) + "\n";
 }

@@ -125,6 +125,16 @@ struct ServiceRequest {
   /// Include the per-function task array in the report.
   bool Details = false;
 
+  /// Optional "trace" field (any request kind): `true` or an id string
+  /// asks the server to trace the request and echo the trace (with its
+  /// id) in the response.  Off by default so response bytes stay
+  /// untouched for clients that never opt in — the field is additive
+  /// within layra-serve/v1.
+  bool Trace = false;
+  /// Client-supplied trace id (1..64 chars of [A-Za-z0-9._:-]); empty
+  /// means the server generates one.
+  std::string TraceId;
+
   /// SubmitIr: the textual-IR function (ir/Parser.h syntax, strict SSA).
   std::string IrText;
   /// SubmitIr: suite label in the report; default "submitted".
@@ -138,11 +148,14 @@ struct ServiceRequest {
 bool parseServiceRequest(const std::string &Payload, ServiceRequest &Out,
                          std::string &Error);
 
-/// Builds the payload of an error response.
-std::string makeErrorResponse(const std::string &Message);
+/// Builds the payload of an error response.  A non-empty \p TraceId adds
+/// a {"trace": {"id": ...}} echo for clients that asked to be traced.
+std::string makeErrorResponse(const std::string &Message,
+                              const std::string &TraceId = std::string());
 
-/// Builds the payload of a pong response.
-std::string makePongResponse();
+/// Builds the payload of a pong response, with the same optional trace
+/// echo as makeErrorResponse.
+std::string makePongResponse(const std::string &TraceId = std::string());
 
 } // namespace layra
 

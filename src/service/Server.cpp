@@ -11,7 +11,9 @@
 #include "driver/BatchDriver.h"
 #include "driver/ReportIO.h"
 #include "ir/Parser.h"
+#include "obs/EventLog.h"
 #include "obs/Metrics.h"
+#include "obs/RequestTrace.h"
 #include "support/Socket.h"
 
 #include <algorithm>
@@ -41,6 +43,25 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+double msBetween(std::chrono::steady_clock::time_point From,
+                 std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration<double, std::milli>(To - From).count();
+}
+
+const char *requestKindName(ServiceRequest::Kind K) {
+  switch (K) {
+  case ServiceRequest::Kind::Ping:
+    return "ping";
+  case ServiceRequest::Kind::Stats:
+    return "stats";
+  case ServiceRequest::Kind::Allocate:
+    return "allocate";
+  case ServiceRequest::Kind::SubmitIr:
+    return "submit_ir";
+  }
+  return "unknown";
+}
+
 /// One live connection.  Reader threads and the dispatcher share it via
 /// shared_ptr: the descriptor must outlive the reader when queued requests
 /// still reference it at disconnect time.  Responses -- including error
@@ -64,11 +85,18 @@ struct QueuedWork {
   std::string PrebuiltResponse;
   /// Close the connection's write side after responding (framing errors).
   bool CloseAfter = false;
+  /// When the request's frame finished arriving: the trace epoch every
+  /// span offset is measured from.
+  std::chrono::steady_clock::time_point AcceptTime;
+  /// When parsing finished and the reader enqueued the work; the gap to
+  /// the dispatcher's dequeue is the queue_wait span.
+  std::chrono::steady_clock::time_point EnqueueTime;
 };
 
 } // namespace
 
-std::string layra::makeStatsResponse(const ServerStats &S) {
+std::string layra::makeStatsResponse(const ServerStats &S,
+                                     const std::string &TraceId) {
   JsonValue Doc = JsonValue::object();
   Doc.set("schema", kStatsSchema);
   Doc.set("protocol", kServeProtocolVersion);
@@ -129,6 +157,13 @@ std::string layra::makeStatsResponse(const ServerStats &S) {
   Dispatcher.set("busy_ms", S.DispatcherBusyMs);
   Dispatcher.set("utilization", S.DispatcherUtilization);
   Doc.set("dispatcher", std::move(Dispatcher));
+  // The trace echo, like everywhere else, lands after every existing
+  // member so untraced stats responses keep their exact bytes.
+  if (!TraceId.empty()) {
+    JsonValue TraceDoc = JsonValue::object();
+    TraceDoc.set("id", TraceId);
+    Doc.set("trace", std::move(TraceDoc));
+  }
   return Doc.dump(2) + "\n";
 }
 
@@ -236,6 +271,13 @@ struct Server::Impl {
   double DispatcherBusyMs = 0;
   std::chrono::steady_clock::time_point StartTime;
 
+  //--- Request tracing (dispatcher thread only). --------------------------
+  /// Salt for server-generated trace ids (Opt.TraceIdSalt, or the clock).
+  uint64_t TraceSalt = 0;
+  /// Sequence for server-generated ids; the dispatcher is the only
+  /// generator, so a plain counter suffices.
+  uint64_t NextTraceSeq = 1;
+
   //--- Implementation. ----------------------------------------------------
   bool start(std::string *Error);
   void requestStop();
@@ -245,16 +287,27 @@ struct Server::Impl {
   void enqueue(QueuedWork Work);
   void dispatchLoop();
   void writeResponse(Connection &Conn, const std::string &Payload);
-  std::string handleRequest(const ServiceRequest &Req);
-  std::string handleAllocate(const ServiceRequest &Req);
-  std::string handleSubmitIr(const ServiceRequest &Req);
+  /// Handlers thread an optional RequestTrace: null = untraced request,
+  /// and no trace-related work happens at all.
+  std::string handleRequest(const ServiceRequest &Req,
+                            obs::RequestTrace *Trace);
+  std::string handleAllocate(const ServiceRequest &Req,
+                             obs::RequestTrace *Trace);
+  std::string handleSubmitIr(const ServiceRequest &Req,
+                             obs::RequestTrace *Trace);
   std::string runJobs(const std::vector<BatchJob> &Jobs,
                       const ServiceRequest &Req,
-                      uint64_t ServerStats::*Counter);
-  std::string failRequest(const std::string &Message);
+                      uint64_t ServerStats::*Counter,
+                      obs::RequestTrace *Trace);
+  std::string failRequest(const std::string &Message,
+                          const obs::RequestTrace *Trace = nullptr);
   /// Target/allocator validation shared by allocate and submit_ir;
   /// returns a non-empty error-response payload on rejection.
-  std::string validateCommon(const ServiceRequest &Req);
+  std::string validateCommon(const ServiceRequest &Req,
+                             const obs::RequestTrace *Trace);
+  /// One slow-request JSON line (full span tree) on Opt.SlowLog.
+  void emitSlowRequest(const obs::RequestTrace &Trace, double TotalMs,
+                       ServiceRequest::Kind K);
   ServerStats snapshotStats();
   void recordService(double Ms);
   void reapFinishedReaders();
@@ -280,6 +333,9 @@ bool Server::Impl::start(std::string *Error) {
     }
   }
   StartTime = std::chrono::steady_clock::now();
+  TraceSalt = Opt.TraceIdSalt
+                  ? Opt.TraceIdSalt
+                  : static_cast<uint64_t>(StartTime.time_since_epoch().count());
   Counters.Threads = Driver.numThreads();
   Started = true;
   if (TcpListener.valid())
@@ -298,6 +354,7 @@ void Server::Impl::requestStop() {
     if (Stop.exchange(true))
       return;
   }
+  obs::EventLog::global().record(obs::EventKind::DrainBegin);
   QueueNotEmpty.notify_all();
   QueueNotFull.notify_all();
   // Unblock readers parked in recv().  SHUT_RD only: responses for queued
@@ -330,6 +387,7 @@ void Server::Impl::wait() {
   UnixListener.reset();
   if (!Opt.UnixPath.empty())
     ::unlink(Opt.UnixPath.c_str());
+  obs::EventLog::global().record(obs::EventKind::DrainEnd);
   Drained = true;
 }
 
@@ -422,14 +480,19 @@ void Server::Impl::enqueue(QueuedWork Work) {
   // Blocks while the queue is full: backpressure, by construction.  Safe
   // even during a drain: the dispatcher keeps popping until every reader
   // (including this one) has exited.
+  bool Saturated = false;
   {
     std::unique_lock<std::mutex> L(QueueMutex);
+    Saturated = Queue.size() >= Opt.QueueCapacity;
     QueueNotFull.wait(L,
                       [this] { return Queue.size() < Opt.QueueCapacity; });
     Queue.push_back(std::move(Work));
     QueueMaxDepth = std::max<uint64_t>(QueueMaxDepth, Queue.size());
   }
   QueueNotEmpty.notify_one();
+  if (Saturated)
+    obs::EventLog::global().record(obs::EventKind::QueueSaturated,
+                                   double(Opt.QueueCapacity));
 }
 
 void Server::Impl::readerLoop(std::shared_ptr<Connection> Conn) {
@@ -439,13 +502,17 @@ void Server::Impl::readerLoop(std::shared_ptr<Connection> Conn) {
     if (FS == FrameStatus::Ok) {
       QueuedWork Work;
       Work.Conn = Conn;
+      Work.AcceptTime = std::chrono::steady_clock::now();
       std::string Error;
       if (parseServiceRequest(Payload, Work.Req, Error)) {
+        Work.EnqueueTime = std::chrono::steady_clock::now();
         enqueue(std::move(Work));
       } else {
         // Framing is intact; answer (in order, via the queue) and keep
-        // serving the connection.
+        // serving the connection.  A request that never parsed has no
+        // trace context to echo, traced or not.
         Work.PrebuiltResponse = failRequest(Error);
+        Work.EnqueueTime = std::chrono::steady_clock::now();
         enqueue(std::move(Work));
       }
       continue;
@@ -455,9 +522,11 @@ void Server::Impl::readerLoop(std::shared_ptr<Connection> Conn) {
       // once (after any pending responses) and drop the connection.
       QueuedWork Work;
       Work.Conn = Conn;
+      Work.AcceptTime = std::chrono::steady_clock::now();
       Work.PrebuiltResponse =
           failRequest(std::string("protocol error: ") + frameStatusName(FS));
       Work.CloseAfter = true;
+      Work.EnqueueTime = std::chrono::steady_clock::now();
       enqueue(std::move(Work));
     }
     break; // Eof / Truncated / IoError / framing error: close.
@@ -496,11 +565,74 @@ void Server::Impl::dispatchLoop() {
         ::shutdown(Work.Conn->Fd.fd(), SHUT_WR);
       continue;
     }
+
+    obs::EventLog &Events = obs::EventLog::global();
+    const char *KindName = requestKindName(Work.Req.K);
     auto Begin = std::chrono::steady_clock::now();
-    std::string Response = handleRequest(Work.Req);
-    recordService(msSince(Begin));
+    // A trace is armed when the client asked for one, when the slow log
+    // could need the span tree, or when the event ring wants request
+    // events with ids.  Untraced otherwise: the handler path does zero
+    // extra work, keeping the no-observers deployment at its old cost.
+    obs::RequestTrace Trace;
+    const bool WantTrace =
+        Work.Req.Trace || Opt.SlowMs >= 0 || Events.enabled();
+    double DispatchStart = 0;
+    if (WantTrace) {
+      std::string Id = Work.Req.TraceId.empty()
+                           ? obs::makeTraceId(TraceSalt, NextTraceSeq++)
+                           : Work.Req.TraceId;
+      Trace.begin(std::move(Id), Work.AcceptTime);
+      Trace.Echo = Work.Req.Trace;
+      double ParseMs = msBetween(Work.AcceptTime, Work.EnqueueTime);
+      Trace.addSpan("accept", 0, ParseMs);
+      Trace.addSpan("queue_wait", ParseMs,
+                    msBetween(Work.EnqueueTime, Begin));
+      DispatchStart = Trace.sinceBeginMs();
+      Trace.DispatchStartMs = DispatchStart;
+    }
+    Events.record(obs::EventKind::RequestStart, 0, Trace.id().c_str(),
+                  KindName);
+
+    std::string Response =
+        handleRequest(Work.Req, WantTrace ? &Trace : nullptr);
+    double ServiceMs = msSince(Begin);
+    recordService(ServiceMs);
+    // Handlers close the dispatch span once they know where dispatch
+    // work ends (driver start).  Paths that never got there -- ping,
+    // stats, validation rejections -- close it here, covering the whole
+    // handler.
+    if (WantTrace && !Trace.hasSpan("dispatch"))
+      Trace.addSpan("dispatch", DispatchStart,
+                    Trace.sinceBeginMs() - DispatchStart);
+
+    double FlushStart = WantTrace ? Trace.sinceBeginMs() : 0;
+    auto FlushBegin = std::chrono::steady_clock::now();
     writeResponse(*Work.Conn, Response);
+    double FlushMs = msSince(FlushBegin);
+    if (WantTrace)
+      Trace.addSpan("response_flush", FlushStart, FlushMs);
+
+    double TotalMs = ServiceMs + FlushMs;
+    Events.record(obs::EventKind::RequestEnd, TotalMs, Trace.id().c_str(),
+                  KindName);
+    if (Opt.SlowMs >= 0 && TotalMs >= Opt.SlowMs)
+      emitSlowRequest(Trace, TotalMs, Work.Req.K);
   }
+}
+
+void Server::Impl::emitSlowRequest(const obs::RequestTrace &Trace,
+                                   double TotalMs, ServiceRequest::Kind K) {
+  obs::EventLog::global().record(obs::EventKind::SlowRequest, TotalMs,
+                                 Trace.id().c_str(), requestKindName(K));
+  JsonValue Line = JsonValue::object();
+  Line.set("event", "slow_request");
+  Line.set("kind", requestKindName(K));
+  Line.set("total_ms", TotalMs);
+  Line.set("trace", Trace.toJson());
+  std::string Text = Line.dump(0) + "\n";
+  std::FILE *Out = Opt.SlowLog ? Opt.SlowLog : stderr;
+  std::fwrite(Text.data(), 1, Text.size(), Out);
+  std::fflush(Out);
 }
 
 void Server::Impl::writeResponse(Connection &Conn,
@@ -530,22 +662,32 @@ void Server::Impl::writeResponse(Connection &Conn,
     ::shutdown(Conn.Fd.fd(), SHUT_RDWR);
 }
 
-std::string Server::Impl::failRequest(const std::string &Message) {
+std::string Server::Impl::failRequest(const std::string &Message,
+                                      const obs::RequestTrace *Trace) {
   {
     std::lock_guard<std::mutex> L(StatsMutex);
     ++Counters.RequestsTotal;
     ++Counters.RequestsFailed;
   }
-  return makeErrorResponse(Message);
+  obs::EventLog::global().record(obs::EventKind::Reject, 0,
+                                 Trace ? Trace->id().c_str() : nullptr,
+                                 Message.c_str());
+  return makeErrorResponse(Message, Trace && Trace->Echo ? Trace->id()
+                                                         : std::string());
 }
 
-std::string Server::Impl::handleRequest(const ServiceRequest &Req) {
+std::string Server::Impl::handleRequest(const ServiceRequest &Req,
+                                        obs::RequestTrace *Trace) {
+  // Responses without a report body (pong, stats, errors) echo only the
+  // trace id -- and only when the client opted in.
+  const std::string EchoId =
+      Trace && Trace->Echo ? Trace->id() : std::string();
   switch (Req.K) {
   case ServiceRequest::Kind::Ping: {
     std::lock_guard<std::mutex> L(StatsMutex);
     ++Counters.RequestsTotal;
     ++Counters.RequestsPing;
-    return makePongResponse();
+    return makePongResponse(EchoId);
   }
   case ServiceRequest::Kind::Stats: {
     {
@@ -553,33 +695,46 @@ std::string Server::Impl::handleRequest(const ServiceRequest &Req) {
       ++Counters.RequestsTotal;
       ++Counters.RequestsStats;
     }
-    return makeStatsResponse(snapshotStats());
+    return makeStatsResponse(snapshotStats(), EchoId);
   }
   case ServiceRequest::Kind::Allocate:
-    return handleAllocate(Req);
+    return handleAllocate(Req, Trace);
   case ServiceRequest::Kind::SubmitIr:
-    return handleSubmitIr(Req);
+    return handleSubmitIr(Req, Trace);
   }
   return makeErrorResponse("unhandled request kind");
 }
 
-std::string Server::Impl::validateCommon(const ServiceRequest &Req) {
+std::string Server::Impl::validateCommon(const ServiceRequest &Req,
+                                         const obs::RequestTrace *Trace) {
   const TargetDesc *Target = targetByName(Req.TargetName);
   if (!Target)
-    return failRequest("unknown target '" + Req.TargetName + "'");
+    return failRequest("unknown target '" + Req.TargetName + "'", Trace);
   for (const ClassRegOverride &O : Req.ClassRegs)
     if (Target->classIdByName(O.Class) < 0)
       return failRequest("target '" + Req.TargetName +
-                         "' has no register class '" + O.Class + "'");
+                             "' has no register class '" + O.Class + "'",
+                         Trace);
   if (!makeAllocator(Req.Options.AllocatorName))
     return failRequest("unknown allocator '" + Req.Options.AllocatorName +
-                       "'");
+                           "'",
+                       Trace);
   return std::string();
 }
 
 std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
                                   const ServiceRequest &Req,
-                                  uint64_t ServerStats::*Counter) {
+                                  uint64_t ServerStats::*Counter,
+                                  obs::RequestTrace *Trace) {
+  // The dispatch span covers dequeue to driver start (validation, suite
+  // lookup, job building); the driver span is the solve itself.
+  double DriverStart = 0;
+  if (Trace) {
+    DriverStart = Trace->sinceBeginMs();
+    Trace->addSpan("dispatch", Trace->DispatchStartMs,
+                   DriverStart - Trace->DispatchStartMs);
+  }
+  uint64_t EvictionsBefore = Driver.pipelineCacheCounters().Evictions;
   // Transparent mode makes the response byte-identical to a direct fresh
   // BatchDriver run of the same jobs, however warm the shared cache is.
   // A *timing* request gets the honest warm-cache view instead: with
@@ -587,9 +742,26 @@ std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
   // served while cache_hit claimed a fresh solve -- self-contradictory.
   // Byte identity is only promised for timing-free responses anyway
   // (docs/PROTOCOL.md).
-  DriverReport Report = Driver.run(Jobs, /*CacheTransparent=*/!Req.Timing);
-  std::string Response =
-      driverReportToJson(Report, Req.Timing, Req.Details).dump(2) + "\n";
+  std::vector<PhaseTotals> JobPhases;
+  DriverReport Report = Driver.run(Jobs, /*CacheTransparent=*/!Req.Timing,
+                                   Trace ? &JobPhases : nullptr);
+  if (Trace) {
+    Trace->addSpan("driver", DriverStart,
+                   Trace->sinceBeginMs() - DriverStart);
+    Trace->attachJobPhases(std::move(JobPhases));
+    uint64_t Evicted =
+        Driver.pipelineCacheCounters().Evictions - EvictionsBefore;
+    if (Evicted > 0)
+      obs::EventLog::global().record(obs::EventKind::CachePressure,
+                                     double(Evicted), Trace->id().c_str());
+  }
+  JsonValue Doc = driverReportToJson(Report, Req.Timing, Req.Details);
+  // The span tree lands after every report member (JsonValue::set appends
+  // new keys), so a traced response differs from an untraced one only by
+  // the trailing "trace" object -- ServerLoopbackTest holds us to that.
+  if (Trace && Trace->Echo)
+    Doc.set("trace", Trace->toJson());
+  std::string Response = Doc.dump(2) + "\n";
   {
     std::lock_guard<std::mutex> L(StatsMutex);
     ++Counters.RequestsTotal;
@@ -599,14 +771,15 @@ std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
   return Response;
 }
 
-std::string Server::Impl::handleAllocate(const ServiceRequest &Req) {
-  std::string Rejection = validateCommon(Req);
+std::string Server::Impl::handleAllocate(const ServiceRequest &Req,
+                                         obs::RequestTrace *Trace) {
+  std::string Rejection = validateCommon(Req, Trace);
   if (!Rejection.empty())
     return Rejection;
   std::vector<std::string> Known = allSuiteNames();
   for (const std::string &Name : Req.Suites)
     if (std::find(Known.begin(), Known.end(), Name) == Known.end())
-      return failRequest("unknown suite '" + Name + "'");
+      return failRequest("unknown suite '" + Name + "'", Trace);
 
   const TargetDesc *Target = targetByName(Req.TargetName);
   std::vector<BatchJob> Jobs;
@@ -620,7 +793,7 @@ std::string Server::Impl::handleAllocate(const ServiceRequest &Req) {
     for (const SuiteProgram &Prog : It->second.Programs)
       for (const Function &F : Prog.Functions)
         if (std::string E = checkFunctionClasses(F, *Target); !E.empty())
-          return failRequest("suite '" + Name + "': " + E);
+          return failRequest("suite '" + Name + "': " + E, Trace);
     for (unsigned Regs : Req.Regs) {
       BatchJob Job;
       Job.SuiteName = Name;
@@ -632,11 +805,12 @@ std::string Server::Impl::handleAllocate(const ServiceRequest &Req) {
       Jobs.push_back(std::move(Job));
     }
   }
-  return runJobs(Jobs, Req, &ServerStats::RequestsAllocate);
+  return runJobs(Jobs, Req, &ServerStats::RequestsAllocate, Trace);
 }
 
-std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
-  std::string Rejection = validateCommon(Req);
+std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req,
+                                         obs::RequestTrace *Trace) {
+  std::string Rejection = validateCommon(Req, Trace);
   if (!Rejection.empty())
     return Rejection;
   // validateCommon just proved the target exists; one lookup serves the
@@ -645,14 +819,15 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
   ParsedFunction Parsed = parseFunction(Req.IrText);
   if (!Parsed.Ok)
     return failRequest("ir parse error at line " +
-                       std::to_string(Parsed.Line) + ": " + Parsed.Error);
+                           std::to_string(Parsed.Line) + ": " + Parsed.Error,
+                       Trace);
   std::string VerifyError;
   if (!verifyFunction(Parsed.F, /*ExpectSsa=*/true, &VerifyError))
-    return failRequest("ir is not strict SSA: " + VerifyError);
+    return failRequest("ir is not strict SSA: " + VerifyError, Trace);
   // Reject class ids the target has no file for before the pipeline's
   // fatal-error path can see them.
   if (std::string E = checkFunctionClasses(Parsed.F, *Target); !E.empty())
-    return failRequest(E);
+    return failRequest(E, Trace);
 
   Suite S;
   S.Name = Req.Name.empty() ? "submitted" : Req.Name;
@@ -672,7 +847,7 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req) {
     Job.Options = Req.Options;
     Jobs.push_back(std::move(Job));
   }
-  return runJobs(Jobs, Req, &ServerStats::RequestsSubmitIr);
+  return runJobs(Jobs, Req, &ServerStats::RequestsSubmitIr, Trace);
 }
 
 void Server::Impl::recordService(double Ms) {

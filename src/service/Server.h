@@ -42,6 +42,7 @@
 #include "service/Protocol.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 
@@ -78,6 +79,19 @@ struct ServerOptions {
   /// without a bound one client that stops reading would stall every
   /// other connection -- and wedge the graceful drain.
   int WriteTimeoutMs = 10000;
+  /// Slow-request log threshold in milliseconds; negative (the default)
+  /// disables the log.  At >= 0, any request whose dispatch-to-flush
+  /// time reaches the bound emits its full span tree (including
+  /// response_flush, which the echoed trace cannot carry) as one JSON
+  /// line on SlowLog.  0 therefore logs every request -- the knob CI
+  /// uses to force a slow-request record deterministically.
+  double SlowMs = -1;
+  /// Slow-request log destination; nullptr means stderr.  The stream
+  /// is written only by the dispatcher thread.
+  std::FILE *SlowLog = nullptr;
+  /// Salt for server-generated trace ids; 0 (the default) salts from
+  /// the clock at start().  Tests pin it for reproducible ids.
+  uint64_t TraceIdSalt = 0;
 };
 
 /// A point-in-time statistics snapshot (the `stats` request serializes
@@ -124,8 +138,10 @@ struct ServerStats {
 /// Serializes \p Stats as a "layra-serve-stats/v2" response payload.  v2 is
 /// a strict superset of v1: all v1 fields keep their name and meaning, and
 /// v2 adds latency.service_ms_p99, latency.histogram (cumulative bucket
-/// array), and the dispatcher{busy_ms, utilization} object.
-std::string makeStatsResponse(const ServerStats &Stats);
+/// array), and the dispatcher{busy_ms, utilization} object.  A non-empty
+/// \p TraceId appends the {"trace": {"id": ...}} echo for traced requests.
+std::string makeStatsResponse(const ServerStats &Stats,
+                              const std::string &TraceId = std::string());
 
 /// Renders \p Stats plus the process-wide metrics registry snapshot as a
 /// Prometheus-style text exposition (`layra-serve --metrics-dump=FILE`,

@@ -7,19 +7,43 @@
 
 #include "support/Compiler.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace layra;
 
+namespace {
+
+// The hook pointer is atomic so an install racing a fatal on another
+// thread reads either the old hook or the new one, never a torn value.
+std::atomic<FatalHook> GFatalHook{nullptr};
+
+// A hook that itself dies must not recurse into another hook run.
+void runFatalHookOnce(const char *Msg) {
+  static std::atomic<bool> Ran{false};
+  if (Ran.exchange(true))
+    return;
+  if (FatalHook Hook = GFatalHook.load(std::memory_order_acquire))
+    Hook(Msg);
+}
+
+} // namespace
+
+FatalHook layra::layraSetFatalHook(FatalHook Hook) {
+  return GFatalHook.exchange(Hook, std::memory_order_acq_rel);
+}
+
 void layra::layraUnreachableInternal(const char *Msg, const char *File,
                                      unsigned Line) {
   std::fprintf(stderr, "layra: UNREACHABLE executed at %s:%u: %s\n", File,
                Line, Msg);
+  runFatalHookOnce(Msg);
   std::abort();
 }
 
 void layra::layraFatalError(const char *Msg) {
   std::fprintf(stderr, "layra: fatal error: %s\n", Msg);
+  runFatalHookOnce(Msg);
   std::abort();
 }

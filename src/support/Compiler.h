@@ -39,6 +39,17 @@ inline int layraPopcount(unsigned Value) {
 /// LAYRA_UNREACHABLE this is for conditions a user can trigger.
 [[noreturn]] void layraFatalError(const char *Msg);
 
+/// Hook invoked (with the message) right before layraFatalError and
+/// LAYRA_UNREACHABLE abort -- the last-words mechanism long-running
+/// processes use to flush their flight recorder (layra-serve installs
+/// one).  The hook must be async-signal-unsafe-free-ish pragmatism:
+/// it runs on the failing thread in an already-doomed process, so it
+/// should only do simple, non-allocating-if-possible dump work and must
+/// not call back into layraFatalError.  Pass nullptr to uninstall;
+/// returns the previous hook.
+using FatalHook = void (*)(const char *Msg);
+FatalHook layraSetFatalHook(FatalHook Hook);
+
 } // namespace layra
 
 /// Marks a point in code which should never be reached.  Prints \p msg and

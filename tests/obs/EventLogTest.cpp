@@ -1,0 +1,220 @@
+//===- tests/obs/EventLogTest.cpp - Event ring tests ----------------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flight-recorder ring (obs/EventLog.h): disabled no-op contract,
+/// payload truncation, wrap-around windowing, concurrent writers,
+/// snapshot-during-record safety, the JSON-lines dump format, and the
+/// atomic file writer behind --event-log / --metrics-dump.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/EventLog.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace layra;
+using obs::EventKind;
+using obs::EventLog;
+
+TEST(EventLogTest, DisabledRecordIsANoOp) {
+  EventLog Log(8);
+  EXPECT_FALSE(Log.enabled());
+  Log.record(EventKind::RequestStart, 1.0, "t1", "allocate");
+  EXPECT_EQ(Log.recorded(), 0u);
+  EXPECT_TRUE(Log.snapshot().empty());
+}
+
+TEST(EventLogTest, RecordsSequencedTypedEvents) {
+  EventLog Log(8);
+  Log.setEnabled(true);
+  Log.record(EventKind::RequestStart, 0, "trace-a", "allocate");
+  Log.record(EventKind::RequestEnd, 12.5, "trace-a", "allocate");
+  Log.record(EventKind::DrainBegin);
+
+  std::vector<EventLog::Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Seq, 0u);
+  EXPECT_EQ(Events[0].Kind, EventKind::RequestStart);
+  EXPECT_STREQ(Events[0].Trace, "trace-a");
+  EXPECT_STREQ(Events[0].Detail, "allocate");
+  EXPECT_EQ(Events[1].Kind, EventKind::RequestEnd);
+  EXPECT_EQ(Events[1].Value, 12.5);
+  EXPECT_EQ(Events[2].Kind, EventKind::DrainBegin);
+  EXPECT_STREQ(Events[2].Trace, "");
+  // Timestamps are monotone against the log's own epoch.
+  EXPECT_LE(Events[0].TsMs, Events[1].TsMs);
+  EXPECT_LE(Events[1].TsMs, Events[2].TsMs);
+}
+
+TEST(EventLogTest, OverlongPayloadsTruncateWithTerminator) {
+  EventLog Log(4);
+  Log.setEnabled(true);
+  std::string LongTrace(200, 'x');
+  std::string LongDetail(200, 'y');
+  Log.record(EventKind::Reject, 0, LongTrace.c_str(), LongDetail.c_str());
+  std::vector<EventLog::Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(std::strlen(Events[0].Trace), EventLog::kTraceBytes - 1);
+  EXPECT_EQ(std::strlen(Events[0].Detail), EventLog::kDetailBytes - 1);
+}
+
+TEST(EventLogTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventLog(5).capacity(), 8u);
+  EXPECT_EQ(EventLog(8).capacity(), 8u);
+  EXPECT_EQ(EventLog(1).capacity(), 2u);
+}
+
+TEST(EventLogTest, WrapAroundKeepsTheMostRecentWindow) {
+  EventLog Log(8);
+  Log.setEnabled(true);
+  for (int I = 0; I < 20; ++I)
+    Log.record(EventKind::RequestEnd, double(I));
+  EXPECT_EQ(Log.recorded(), 20u);
+  std::vector<EventLog::Event> Events = Log.snapshot();
+  // Only the last capacity() events survive, oldest first.
+  ASSERT_EQ(Events.size(), 8u);
+  for (size_t I = 0; I < Events.size(); ++I) {
+    EXPECT_EQ(Events[I].Seq, 12 + I);
+    EXPECT_EQ(Events[I].Value, double(12 + I));
+  }
+}
+
+TEST(EventLogTest, ConcurrentWritersLoseNothing) {
+  EventLog Log(1 << 16); // Larger than the total write count: no laps.
+  Log.setEnabled(true);
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kPerThread = 10000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Threads.emplace_back([&Log, T] {
+      for (unsigned I = 0; I < kPerThread; ++I)
+        Log.record(EventKind::RequestStart, double(T));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Log.recorded(), uint64_t(kThreads) * kPerThread);
+  std::vector<EventLog::Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), size_t(kThreads) * kPerThread);
+  // Sequence numbers are unique and strictly increasing: every slot was
+  // published exactly once and the snapshot orders them correctly.
+  for (size_t I = 1; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, Events[I - 1].Seq + 1);
+}
+
+TEST(EventLogTest, SnapshotDuringConcurrentRecordStaysConsistent) {
+  EventLog Log(16); // Small ring: snapshots race lapping writers hard.
+  Log.setEnabled(true);
+  std::atomic<bool> Stop{false};
+  std::thread Writer([&] {
+    uint64_t I = 0;
+    while (!Stop.load(std::memory_order_relaxed))
+      Log.record(EventKind::RequestEnd, double(I++));
+  });
+  // Every snapshot taken mid-stream must be internally consistent:
+  // strictly increasing seqs, and each surviving event's Value matches
+  // the Seq it was written with (a torn copy would break the pairing).
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<EventLog::Event> Events = Log.snapshot();
+    for (size_t I = 0; I < Events.size(); ++I) {
+      EXPECT_EQ(Events[I].Value, double(Events[I].Seq));
+      if (I > 0) {
+        EXPECT_GT(Events[I].Seq, Events[I - 1].Seq);
+      }
+    }
+  }
+  Stop = true;
+  Writer.join();
+}
+
+TEST(EventLogTest, JsonLinesParseAndCarryTheVocabulary) {
+  EventLog Log(8);
+  Log.setEnabled(true);
+  Log.record(EventKind::RequestStart, 0, "id-1", "allocate");
+  Log.record(EventKind::SlowRequest, 34.25, "id-1");
+  Log.record(EventKind::Dump, 0, nullptr, "sigquit");
+
+  std::string Text = Log.toJsonLines();
+  std::istringstream In(Text);
+  std::string Line;
+  std::vector<std::string> Kinds;
+  while (std::getline(In, Line)) {
+    JsonParseResult Parsed = parseJson(Line);
+    ASSERT_TRUE(Parsed.Ok) << Parsed.Error << " in: " << Line;
+    const JsonValue *Kind = Parsed.Value.find("event");
+    ASSERT_NE(Kind, nullptr);
+    Kinds.push_back(Kind->stringValue());
+    ASSERT_NE(Parsed.Value.find("seq"), nullptr);
+    ASSERT_NE(Parsed.Value.find("ts_ms"), nullptr);
+  }
+  ASSERT_EQ(Kinds.size(), 3u);
+  EXPECT_EQ(Kinds[0], "request_start");
+  EXPECT_EQ(Kinds[1], "slow_request");
+  EXPECT_EQ(Kinds[2], "dump");
+}
+
+TEST(EventLogTest, ResetDropsEventsAndRestartsSequencing) {
+  EventLog Log(8);
+  Log.setEnabled(true);
+  Log.record(EventKind::RequestStart);
+  Log.reset();
+  EXPECT_EQ(Log.recorded(), 0u);
+  EXPECT_TRUE(Log.snapshot().empty());
+  Log.record(EventKind::RequestEnd);
+  std::vector<EventLog::Event> Events = Log.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Seq, 0u);
+  EXPECT_EQ(Events[0].Kind, EventKind::RequestEnd);
+}
+
+TEST(EventLogTest, EveryKindHasAStableName) {
+  std::set<std::string> Names;
+  for (int K = 0; K <= int(EventKind::Fatal); ++K)
+    Names.insert(obs::eventKindName(EventKind(K)));
+  // All distinct, none empty.
+  EXPECT_EQ(Names.size(), size_t(int(EventKind::Fatal)) + 1);
+  EXPECT_EQ(Names.count(""), 0u);
+}
+
+TEST(WriteFileAtomicallyTest, WritesContentAndLeavesNoTempFile) {
+  std::string Path =
+      "/tmp/layra-evlog-test-" + std::to_string(::getpid()) + ".txt";
+  std::string Error;
+  ASSERT_TRUE(obs::writeFileAtomically(Path, "first\n", &Error)) << Error;
+  // Overwrite: readers of Path see either old or new, never a mix.
+  ASSERT_TRUE(obs::writeFileAtomically(Path, "second\n", &Error)) << Error;
+
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buf, N), "second\n");
+
+  // The temp file must not survive a successful rename.
+  std::string Tmp = Path + ".tmp." + std::to_string(::getpid());
+  EXPECT_EQ(::access(Tmp.c_str(), F_OK), -1);
+  std::remove(Path.c_str());
+}
+
+TEST(WriteFileAtomicallyTest, FailureReportsErrorAndCleansUp) {
+  std::string Error;
+  EXPECT_FALSE(obs::writeFileAtomically(
+      "/nonexistent-dir-layra/evlog.txt", "x", &Error));
+  EXPECT_FALSE(Error.empty());
+}

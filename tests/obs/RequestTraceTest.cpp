@@ -1,0 +1,149 @@
+//===- tests/obs/RequestTraceTest.cpp - Request trace tests ---------------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Request-scoped span trees (obs/RequestTrace.h): trace id generation
+/// and wire validation, span bookkeeping, per-job phase attachment, and
+/// the JSON shapes echoed in traced responses and slow-request lines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/RequestTrace.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <string>
+
+using namespace layra;
+using obs::RequestTrace;
+
+TEST(TraceIdTest, MakeTraceIdIsDeterministicHex) {
+  std::string A = obs::makeTraceId(42, 1);
+  std::string B = obs::makeTraceId(42, 1);
+  EXPECT_EQ(A, B);
+  ASSERT_EQ(A.size(), 16u);
+  for (char C : A)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << A;
+}
+
+TEST(TraceIdTest, DistinctInputsGiveDistinctIds) {
+  std::set<std::string> Ids;
+  for (uint64_t Seq = 1; Seq <= 100; ++Seq)
+    Ids.insert(obs::makeTraceId(7, Seq));
+  for (uint64_t Salt = 0; Salt < 100; ++Salt)
+    Ids.insert(obs::makeTraceId(Salt, 1));
+  // (7, 1) appears in both loops: exactly one expected duplicate.
+  EXPECT_EQ(Ids.size(), 199u);
+}
+
+TEST(TraceIdTest, ValidationAcceptsWireSafeIds) {
+  EXPECT_TRUE(obs::isValidTraceId("a"));
+  EXPECT_TRUE(obs::isValidTraceId("lg0-17"));
+  EXPECT_TRUE(obs::isValidTraceId("svc:prod.us-2_req"));
+  EXPECT_TRUE(obs::isValidTraceId(std::string(64, 'x')));
+}
+
+TEST(TraceIdTest, ValidationRejectsEmptyLongAndUnsafe) {
+  EXPECT_FALSE(obs::isValidTraceId(""));
+  EXPECT_FALSE(obs::isValidTraceId(std::string(65, 'x')));
+  EXPECT_FALSE(obs::isValidTraceId("has space"));
+  EXPECT_FALSE(obs::isValidTraceId("quote\"inject"));
+  EXPECT_FALSE(obs::isValidTraceId("new\nline"));
+  EXPECT_FALSE(obs::isValidTraceId("slash/path"));
+}
+
+TEST(RequestTraceTest, InactiveUntilBegun) {
+  RequestTrace Trace;
+  EXPECT_FALSE(Trace.active());
+  Trace.begin("req-1", std::chrono::steady_clock::now());
+  EXPECT_TRUE(Trace.active());
+  EXPECT_EQ(Trace.id(), "req-1");
+}
+
+TEST(RequestTraceTest, SpansAccumulateAndNegativesClamp) {
+  RequestTrace Trace;
+  Trace.begin("req-1", std::chrono::steady_clock::now());
+  Trace.addSpan("accept", 0, 0.5);
+  Trace.addSpan("queue_wait", 0.5, -0.001); // Clock skew: clamps to 0.
+  ASSERT_EQ(Trace.spans().size(), 2u);
+  EXPECT_TRUE(Trace.hasSpan("accept"));
+  EXPECT_TRUE(Trace.hasSpan("queue_wait"));
+  EXPECT_FALSE(Trace.hasSpan("driver"));
+  EXPECT_EQ(Trace.spans()[1].DurMs, 0.0);
+}
+
+TEST(RequestTraceTest, ToJsonCarriesIdAndOrderedSpans) {
+  RequestTrace Trace;
+  Trace.begin("req-json", std::chrono::steady_clock::now());
+  Trace.addSpan("accept", 0, 0.25);
+  Trace.addSpan("dispatch", 0.25, 1.5);
+
+  JsonValue Doc = Trace.toJson();
+  const JsonValue *Id = Doc.find("id");
+  ASSERT_NE(Id, nullptr);
+  EXPECT_EQ(Id->stringValue(), "req-json");
+  const JsonValue *Spans = Doc.find("spans");
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_EQ(Spans->size(), 2u);
+  EXPECT_EQ(Spans->at(0).find("name")->stringValue(), "accept");
+  EXPECT_EQ(Spans->at(1).find("name")->stringValue(), "dispatch");
+  EXPECT_EQ(Spans->at(1).find("start_ms")->numberValue(), 0.25);
+  EXPECT_EQ(Spans->at(1).find("dur_ms")->numberValue(), 1.5);
+  // No jobs attached: the member is omitted entirely.
+  EXPECT_EQ(Doc.find("jobs"), nullptr);
+}
+
+TEST(RequestTraceTest, AttachedJobPhasesOmitZeroCountPhases) {
+  RequestTrace Trace;
+  Trace.begin("req-phases", std::chrono::steady_clock::now());
+
+  std::vector<PhaseTotals> Phases(2);
+  Phases[0].Ms[size_t(Phase::Liveness)] = 3.5;
+  Phases[0].Count[size_t(Phase::Liveness)] = 7;
+  // Job 1 never ran anything: its phase list must come out empty.
+  Trace.attachJobPhases(Phases);
+
+  JsonValue Doc = Trace.toJson();
+  const JsonValue *Jobs = Doc.find("jobs");
+  ASSERT_NE(Jobs, nullptr);
+  ASSERT_EQ(Jobs->size(), 2u);
+
+  const JsonValue *P0 = Jobs->at(0).find("phases");
+  ASSERT_NE(P0, nullptr);
+  ASSERT_EQ(P0->size(), 1u);
+  EXPECT_EQ(P0->at(0).find("name")->stringValue(),
+            phaseName(Phase::Liveness));
+  EXPECT_EQ(P0->at(0).find("self_ms")->numberValue(), 3.5);
+  EXPECT_EQ(P0->at(0).find("count")->numberValue(), 7.0);
+
+  const JsonValue *P1 = Jobs->at(1).find("phases");
+  ASSERT_NE(P1, nullptr);
+  EXPECT_EQ(P1->size(), 0u);
+}
+
+TEST(RequestTraceTest, IdJsonIsMinimal) {
+  RequestTrace Trace;
+  Trace.begin("req-min", std::chrono::steady_clock::now());
+  JsonValue Doc = Trace.idJson();
+  EXPECT_EQ(Doc.size(), 1u);
+  ASSERT_NE(Doc.find("id"), nullptr);
+  EXPECT_EQ(Doc.find("id")->stringValue(), "req-min");
+}
+
+TEST(RequestTraceTest, SinceBeginIsMonotone) {
+  RequestTrace Trace;
+  auto Epoch = std::chrono::steady_clock::now() -
+               std::chrono::milliseconds(5);
+  Trace.begin("req-mono", Epoch);
+  double A = Trace.sinceBeginMs();
+  double B = Trace.sinceBeginMs();
+  EXPECT_GE(A, 5.0);
+  EXPECT_GE(B, A);
+}

@@ -296,3 +296,93 @@ TEST(ProtocolTest, ErrorAndPongResponsesAreWellFormed) {
   EXPECT_EQ(Pong.Value.find("protocol")->stringValue(),
             kServeProtocolVersion);
 }
+
+TEST(ProtocolTest, ParsesTraceField) {
+  ServiceRequest Req;
+  std::string Error;
+
+  // Absent: tracing off.
+  ASSERT_TRUE(parseServiceRequest("{\"type\":\"ping\"}", Req, Error));
+  EXPECT_FALSE(Req.Trace);
+  EXPECT_TRUE(Req.TraceId.empty());
+
+  // Boolean true: trace with a server-generated id.
+  ASSERT_TRUE(
+      parseServiceRequest("{\"type\":\"ping\",\"trace\":true}", Req, Error))
+      << Error;
+  EXPECT_TRUE(Req.Trace);
+  EXPECT_TRUE(Req.TraceId.empty());
+
+  // Boolean false: explicit opt-out.
+  ASSERT_TRUE(parseServiceRequest("{\"type\":\"ping\",\"trace\":false}",
+                                  Req, Error))
+      << Error;
+  EXPECT_FALSE(Req.Trace);
+
+  // String: client-supplied id.
+  ASSERT_TRUE(parseServiceRequest(
+      "{\"type\":\"allocate\",\"suite\":\"eembc\",\"regs\":4,"
+      "\"trace\":\"cli.7:a-b\"}",
+      Req, Error))
+      << Error;
+  EXPECT_TRUE(Req.Trace);
+  EXPECT_EQ(Req.TraceId, "cli.7:a-b");
+}
+
+TEST(ProtocolTest, RejectsMalformedTraceFields) {
+  ServiceRequest Req;
+  std::string Error;
+  const std::string Long(65, 'x');
+  const std::string Bad[] = {
+      "{\"type\":\"ping\",\"trace\":1}",          // Wrong type.
+      "{\"type\":\"ping\",\"trace\":null}",       // Wrong type.
+      "{\"type\":\"ping\",\"trace\":[true]}",     // Wrong type.
+      "{\"type\":\"ping\",\"trace\":\"\"}",       // Empty id.
+      "{\"type\":\"ping\",\"trace\":\"a b\"}",    // Unsafe character.
+      "{\"type\":\"ping\",\"trace\":\"a/b\"}",    // Unsafe character.
+      "{\"type\":\"ping\",\"trace\":\"" + Long + "\"}", // Too long.
+  };
+  for (const std::string &Text : Bad) {
+    Error.clear();
+    EXPECT_FALSE(parseServiceRequest(Text, Req, Error)) << Text;
+    EXPECT_FALSE(Error.empty()) << Text;
+  }
+}
+
+TEST(ProtocolTest, ClientBuilderEmitsTraceFieldAndResponsesEchoIt) {
+  // Builder round trip: bool and string spellings both survive the wire.
+  ServiceRequest Out;
+  Out.K = ServiceRequest::Kind::Allocate;
+  Out.Suites = {"eembc"};
+  Out.Regs = {4};
+  Out.Trace = true;
+  ServiceRequest In;
+  std::string Error;
+  ASSERT_TRUE(
+      parseServiceRequest(Client::makeAllocateRequest(Out), In, Error))
+      << Error;
+  EXPECT_TRUE(In.Trace);
+  EXPECT_TRUE(In.TraceId.empty());
+
+  Out.TraceId = "builder-id-1";
+  ASSERT_TRUE(
+      parseServiceRequest(Client::makeAllocateRequest(Out), In, Error))
+      << Error;
+  EXPECT_TRUE(In.Trace);
+  EXPECT_EQ(In.TraceId, "builder-id-1");
+
+  // Canned responses append a minimal trace echo when given an id, and
+  // stay byte-identical to the untraced spelling when not.
+  std::string Untraced = makeErrorResponse("boom");
+  JsonParseResult Traced = parseJson(makeErrorResponse("boom", "err-1"));
+  ASSERT_TRUE(Traced.Ok);
+  ASSERT_NE(Traced.Value.find("trace"), nullptr);
+  EXPECT_EQ(Traced.Value.find("trace")->find("id")->stringValue(),
+            "err-1");
+  EXPECT_EQ(parseJson(Untraced).Value.find("trace"), nullptr);
+
+  JsonParseResult Pong = parseJson(makePongResponse("pong-1"));
+  ASSERT_TRUE(Pong.Ok);
+  ASSERT_NE(Pong.Value.find("trace"), nullptr);
+  EXPECT_EQ(Pong.Value.find("trace")->find("id")->stringValue(), "pong-1");
+}

@@ -572,6 +572,52 @@ TEST(ServerLoopbackTest, PipelinedRequestsAreAnsweredInOrder) {
   EXPECT_NE(Payload.find("layra-serve-pong/v1"), std::string::npos);
 }
 
+TEST(ServerLoopbackTest, TracedResponsesDifferOnlyByTheTraceMember) {
+  // Measure-never-steer at the protocol level: asking for a trace adds
+  // exactly one trailing "trace" member; every other byte of the report
+  // -- and the report of a direct driver run -- is unchanged.
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("traced.sock");
+  Opt.Threads = kServerThreads;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  ServiceRequest Req = allocateRequest({4, 5}, /*Details=*/true);
+  std::string Untraced;
+  ASSERT_TRUE(
+      Conn.call(Client::makeAllocateRequest(Req), Untraced, &Error))
+      << Error;
+  EXPECT_EQ(Untraced, directReport(Req));
+
+  ServiceRequest TracedReq = Req;
+  TracedReq.Trace = true;
+  TracedReq.TraceId = "identity-check";
+  std::string Traced;
+  ASSERT_TRUE(
+      Conn.call(Client::makeAllocateRequest(TracedReq), Traced, &Error))
+      << Error;
+  ASSERT_FALSE(Client::isErrorResponse(Traced));
+  EXPECT_NE(Traced, Untraced);
+
+  // Rebuild the traced response without its "trace" member, preserving
+  // member order; the bytes must equal the untraced response exactly.
+  JsonParseResult Parsed = parseJson(Traced);
+  ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+  ASSERT_NE(Parsed.Value.find("trace"), nullptr);
+  JsonValue Stripped = JsonValue::object();
+  for (const auto &Member : Parsed.Value.members())
+    if (Member.first != "trace")
+      Stripped.append(Member.first, Member.second);
+  EXPECT_EQ(Stripped.dump(2) + "\n", Untraced);
+
+  // And the trace member is the last one: appended, never interleaved.
+  EXPECT_EQ(Parsed.Value.members().back().first, "trace");
+}
+
 TEST(ServerLoopbackTest, GracefulStopDrainsAndDisconnects) {
   TempDir Dir;
   ServerOptions Opt;
