@@ -16,7 +16,8 @@
 ///               [--class-regs=NAME:N[,NAME:N...]] [--threads=N]
 ///               [--target=NAME] [--list-targets]
 ///               [--allocator=NAME] [--max-rounds=N] [--no-affinity]
-///               [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]
+///               [--no-fold] [--cache-cap=N] [--disk-cache=DIR]
+///               [--disk-cache-cap=BYTES] [--json=FILE] [--csv=FILE]
 ///               [--tasks-csv=FILE] [--details] [--no-timing]
 ///               [--trace=FILE] [--metrics[=FILE]]
 ///               [--workspace-stats] [--quiet]
@@ -40,6 +41,13 @@
 ///   --cache-cap  bound the driver's content-hash caches to N entries each
 ///                with LRU eviction (default 0 = unbounded; eviction counts
 ///                appear as cache_evictions in the reports)
+///   --disk-cache persist solved outcomes content-addressed under DIR
+///                (service/DiskCache.h) and answer repeats from it: a
+///                second identical sweep -- even in a fresh process --
+///                skips the solver.  Timing-free reports stay
+///                byte-identical, warm or cold
+///   --disk-cache-cap  byte bound on --disk-cache with LRU eviction
+///                (default 0 = unbounded)
 ///   --json/--csv write the DriverReport in that format ("-" = stdout)
 ///   --details    include per-function tasks in the JSON report
 ///   --no-timing  omit wall-clock fields: output is then byte-identical
@@ -69,14 +77,18 @@
 #include "graph/Generators.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "service/DiskCache.h"
 #include "support/ParseUtil.h"
 #include "support/Random.h"
 #include "support/Table.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,6 +104,8 @@ struct CliOptions {
   std::string TargetName = "st231";
   PipelineOptions Pipeline;
   unsigned CacheCapacity = 0;
+  std::string DiskCacheDir;
+  uint64_t DiskCacheCapBytes = 0;
   std::string JsonPath;
   std::string CsvPath;
   std::string TasksCsvPath;
@@ -113,7 +127,8 @@ struct CliOptions {
       "          [--class-regs=NAME:N[,NAME:N...]] [--threads=N]\n"
       "          [--target=NAME] [--list-targets]\n"
       "          [--allocator=NAME] [--max-rounds=N] [--no-affinity]\n"
-      "          [--no-fold] [--cache-cap=N] [--json=FILE] [--csv=FILE]\n"
+      "          [--no-fold] [--cache-cap=N] [--disk-cache=DIR]\n"
+      "          [--disk-cache-cap=BYTES] [--json=FILE] [--csv=FILE]\n"
       "          [--tasks-csv=FILE] [--details] [--no-timing]\n"
       "          [--trace=FILE] [--metrics[=FILE]]\n"
       "          [--workspace-stats] [--quiet]\n",
@@ -168,6 +183,18 @@ CliOptions parseArgs(int Argc, char **Argv) {
       // anything that fits comfortably in memory accounting.
       if (!parseBoundedUnsigned(V, 1u << 30, Opt.CacheCapacity))
         usage(Argv[0], "--cache-cap must be an integer in [0, 2^30]");
+    } else if (const char *V = Value("--disk-cache=")) {
+      if (!*V)
+        usage(Argv[0], "--disk-cache needs a directory path");
+      Opt.DiskCacheDir = V;
+    } else if (const char *V = Value("--disk-cache-cap=")) {
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long Cap = std::strtoull(V, &End, 10);
+      if (!std::isdigit(static_cast<unsigned char>(*V)) || (End && *End) ||
+          errno == ERANGE)
+        usage(Argv[0], "--disk-cache-cap must be a byte count >= 0");
+      Opt.DiskCacheCapBytes = Cap;
     } else if (Arg == "--no-affinity") {
       Opt.Pipeline.AffinityBias = false;
     } else if (Arg == "--no-fold") {
@@ -405,7 +432,24 @@ int main(int Argc, char **Argv) {
   BatchDriver Driver(Opt.Threads);
   if (Opt.CacheCapacity)
     Driver.setCacheCapacity(Opt.CacheCapacity);
-  DriverReport Report = Driver.run(Jobs);
+  // Persistent result store: a second run over the same sweep -- even in a
+  // fresh process -- answers from disk.  Reports stay byte-identical in
+  // the default timing-free mode (cache-transparent accounting).
+  std::unique_ptr<DiskCache> Disk;
+  if (!Opt.DiskCacheDir.empty()) {
+    Disk = std::make_unique<DiskCache>(Opt.DiskCacheDir,
+                                       Opt.DiskCacheCapBytes);
+    if (!Disk->valid()) {
+      std::fprintf(stderr, "error: %s\n", Disk->error().c_str());
+      return 1;
+    }
+    Driver.setOutcomeStore(Disk.get());
+  }
+  // Timing-free reports are the deterministic documents: they must not
+  // depend on how warm any cache layer is (the disk store above makes a
+  // warm start possible even in a fresh process).  Timed reports keep
+  // the honest warm-cache view.
+  DriverReport Report = Driver.run(Jobs, /*CacheTransparent=*/!Opt.Timing);
 
   if (!Opt.TracePath.empty()) {
     TraceCollector &TC = TraceCollector::global();
@@ -456,6 +500,19 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(Report.CacheEntries),
                   static_cast<unsigned long long>(Report.CacheHits),
                   static_cast<unsigned long long>(Report.CacheEvictions));
+  }
+
+  if (!Opt.Quiet && Disk) {
+    DiskCacheStats DS = Disk->stats();
+    std::fprintf(stderr,
+                 "disk cache: %llu hits, %llu misses, %llu writes; "
+                 "%llu entries (%llu bytes) at %s\n",
+                 static_cast<unsigned long long>(DS.Hits),
+                 static_cast<unsigned long long>(DS.Misses),
+                 static_cast<unsigned long long>(DS.Writes),
+                 static_cast<unsigned long long>(DS.Entries),
+                 static_cast<unsigned long long>(DS.Bytes),
+                 Disk->directory().c_str());
   }
 
   // The graph-only suite runs through solveProblems on the same driver

@@ -15,22 +15,35 @@
 /// and -- because responses are deterministic -- every client saw
 /// byte-identical answers to the identical request.
 ///
+/// All connections are multiplexed on ONE thread through poll(2) --
+/// mirroring the server's own event loop -- so `--clients=2000` costs two
+/// thousand sockets, not two thousand threads, and the measured latency
+/// is not polluted by client-side scheduler noise.  Each connection keeps
+/// one request in flight (closed loop) unless `--rps` switches to
+/// open-loop pacing: requests are then released on a fixed global
+/// schedule, independent of responses, which is the arrival model that
+/// actually exposes queueing behavior.
+///
 /// Usage:
 ///   layra-loadgen (--unix=PATH | --tcp=PORT [--host=ADDR])
 ///                 [--clients=N] [--requests=M | --duration=SECS]
-///                 [--suite=NAME[,NAME...]]
+///                 [--rps=N] [--suite=NAME[,NAME...]]
 ///                 [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]
 ///                 [--target=NAME] [--details] [--timing] [--stats]
-///                 [--trace-sample=K] [--quiet]
+///                 [--trace-sample=K] [--json=FILE] [--quiet]
 ///
 ///   --clients     concurrent connections (default 4)
 ///   --requests    requests per client (default 8)
 ///   --duration    run for SECS seconds (fractions ok) instead of a fixed
 ///                 request count; every client still sends at least one
 ///                 request.  Mutually exclusive with --requests
+///   --rps         open-loop request release rate, requests per second
+///                 across all clients (default 0 = closed loop: each idle
+///                 client sends immediately)
 ///   --suite       suites named in each request (default eembc)
 ///   --regs        register counts per request (default 4..8)
-///   --stats       fetch and print the server's stats payload at the end
+///   --stats       fetch and print the server's stats payload at the end,
+///                 plus a per-shard cache hit-rate summary (stats v3)
 ///   --trace-sample=K
 ///                 request a traced response (docs/PROTOCOL.md `trace`
 ///                 field) for every K-th request of each client and print
@@ -42,6 +55,9 @@
 ///                 failed request.  Traced responses are excluded from
 ///                 the byte-identity check (they differ by exactly the
 ///                 trace object)
+///   --json=FILE   write a machine-readable run summary ("-" = stdout);
+///                 scripts/perf_gate.py checks its deterministic fields
+///                 in CI
 ///
 /// Example:
 ///   layra-loadgen --unix=/tmp/layra.sock --clients=8 --requests=32
@@ -52,15 +68,16 @@
 #include "service/Client.h"
 #include "support/Json.h"
 #include "support/ParseUtil.h"
+#include "support/Socket.h"
 
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
-#include <mutex>
+#include <poll.h>
 #include <string>
-#include <thread>
+#include <sys/socket.h>
 #include <vector>
 
 using namespace layra;
@@ -77,6 +94,8 @@ struct LoadOptions {
   bool RequestsSet = false;
   /// Timed-run length in seconds; 0 = fixed request count per client.
   double DurationSecs = 0;
+  /// Open-loop release rate across all clients; 0 = closed loop.
+  double Rps = 0;
   std::vector<std::string> Suites{"eembc"};
   std::vector<unsigned> Regs{4, 5, 6, 7, 8};
   std::string Allocator = "bfpl";
@@ -87,6 +106,7 @@ struct LoadOptions {
   bool Quiet = false;
   /// Trace every K-th request per client; 0 = tracing off.
   unsigned TraceSample = 0;
+  std::string JsonPath;
 };
 
 [[noreturn]] void usage(const char *Argv0, const char *Error = nullptr) {
@@ -96,10 +116,10 @@ struct LoadOptions {
       stderr,
       "usage: %s (--unix=PATH | --tcp=PORT [--host=ADDR])\n"
       "          [--clients=N] [--requests=M | --duration=SECS]\n"
-      "          [--suite=NAME[,NAME...]]\n"
+      "          [--rps=N] [--suite=NAME[,NAME...]]\n"
       "          [--regs=LO..HI|--regs=A,B,C] [--allocator=NAME]\n"
       "          [--target=NAME] [--details] [--timing] [--stats]\n"
-      "          [--trace-sample=K] [--quiet]\n",
+      "          [--trace-sample=K] [--json=FILE] [--quiet]\n",
       Argv0);
   std::exit(2);
 }
@@ -125,8 +145,8 @@ LoadOptions parseArgs(int Argc, char **Argv) {
     } else if (const char *V = Value("--host=")) {
       Opt.Host = V;
     } else if (const char *V = Value("--clients=")) {
-      if (!parseBoundedUnsigned(V, 4096, Opt.Clients) || Opt.Clients == 0)
-        usage(Argv[0], "--clients must be an integer in [1, 4096]");
+      if (!parseBoundedUnsigned(V, 16384, Opt.Clients) || Opt.Clients == 0)
+        usage(Argv[0], "--clients must be an integer in [1, 16384]");
     } else if (const char *V = Value("--requests=")) {
       if (!parseBoundedUnsigned(V, 1u << 20, Opt.Requests) ||
           Opt.Requests == 0)
@@ -136,6 +156,9 @@ LoadOptions parseArgs(int Argc, char **Argv) {
       if (!parsePositiveSeconds(V, 86400.0, Opt.DurationSecs))
         usage(Argv[0],
               "--duration must be a positive number of seconds (<= 86400)");
+    } else if (const char *V = Value("--rps=")) {
+      if (!parsePositiveSeconds(V, 1e7, Opt.Rps))
+        usage(Argv[0], "--rps must be a positive rate (<= 1e7)");
     } else if (const char *V = Value("--suite=")) {
       Opt.Suites = splitCommaList(V);
       if (Opt.Suites.empty())
@@ -152,6 +175,10 @@ LoadOptions parseArgs(int Argc, char **Argv) {
       if (!parseBoundedUnsigned(V, 1u << 20, Opt.TraceSample) ||
           Opt.TraceSample == 0)
         usage(Argv[0], "--trace-sample must be an integer in [1, 2^20]");
+    } else if (const char *V = Value("--json=")) {
+      if (!*V)
+        usage(Argv[0], "--json needs a file path (or '-' for stdout)");
+      Opt.JsonPath = V;
     } else if (Arg == "--details") {
       Opt.Details = true;
     } else if (Arg == "--timing") {
@@ -181,6 +208,33 @@ Client connect(const LoadOptions &Opt, std::string *Error) {
   return Client::connectToUnix(Opt.UnixPath, Error);
 }
 
+/// One multiplexed connection's state machine.  A connection is either
+/// idle (no request in flight) or busy: writing the request frame out of
+/// Out, then accumulating the response frame into In.
+struct Conn {
+  SocketFd Fd;
+  unsigned Index = 0;
+  bool Dead = false;
+  bool Busy = false;
+  /// Request frame being written; OutPos marks sent bytes.
+  std::string Out;
+  size_t OutPos = 0;
+  /// Response frame accumulating.
+  std::string In;
+  uint64_t Sent = 0;     ///< Requests issued on this connection.
+  unsigned Completed = 0;
+  bool Traced = false;   ///< The in-flight request asked for a trace.
+  std::string TraceId;
+  std::chrono::steady_clock::time_point SendTime;
+};
+
+double msBetween(std::chrono::steady_clock::time_point A,
+                 std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration_cast<
+             std::chrono::duration<double, std::milli>>(B - A)
+      .count();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -194,162 +248,303 @@ int main(int Argc, char **Argv) {
   Req.Options.AllocatorName = Opt.Allocator;
   Req.Timing = Opt.Timing;
   Req.Details = Opt.Details;
-  std::string Request = Client::makeAllocateRequest(Req);
+  const std::string PlainFrame = encodeFrame(Client::makeAllocateRequest(Req));
 
-  std::atomic<uint64_t> Completed{0}, Failed{0}, Mismatched{0};
-  std::mutex ReferenceMutex;
+  uint64_t Completed = 0, Failed = 0, Mismatched = 0;
   std::string ReferenceResponse; // First response; all others must match.
   // Per-span accumulation over traced responses (name -> {sum ms, count}),
   // plus the client-observed latency of exactly those requests so the
   // breakdown table and its residual line add up over the same sample.
-  std::mutex TraceMutex;
   std::map<std::string, std::pair<double, uint64_t>> SpanAgg;
   double TracedClientMs = 0;
   uint64_t TracedCount = 0;
-  // Shared concurrent histogram (obs/Metrics.h): record() is wait-free, so
-  // clients never serialize on a latency mutex, and the bucket geometry
-  // matches the server's service-time histogram exactly.
   Histogram Latency;
+
+  // One fd per client plus headroom; ask before connecting so 2000
+  // clients do not die at the default soft limit of 1024.
+  raiseFdLimit(Opt.Clients + 16);
+
+  std::vector<Conn> Conns(Opt.Clients);
+  for (unsigned C = 0; C < Opt.Clients; ++C) {
+    Conns[C].Index = C;
+    std::string Error;
+    SocketFd Fd = Opt.UseTcp ? connectTcp(Opt.Host, Opt.Port, &Error)
+                             : connectUnix(Opt.UnixPath, &Error);
+    if (!Fd.valid()) {
+      std::fprintf(stderr, "client %u: %s\n", C, Error.c_str());
+      // Same accounting the threaded loadgen used: a client that never
+      // connected fails its whole quota (one request in timed mode).
+      Failed += Opt.DurationSecs > 0 ? 1 : Opt.Requests;
+      Conns[C].Dead = true;
+      continue;
+    }
+    setNonBlocking(Fd.fd());
+    setTcpNoDelay(Fd.fd());
+    Conns[C].Fd = std::move(Fd);
+  }
 
   auto Begin = std::chrono::steady_clock::now();
   auto Deadline =
       Begin + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                   std::chrono::duration<double>(Opt.DurationSecs));
-  std::vector<std::thread> Threads;
-  Threads.reserve(Opt.Clients);
-  for (unsigned C = 0; C < Opt.Clients; ++C)
-    Threads.emplace_back([&, C] {
-      std::string Error;
-      Client Conn = connect(Opt, &Error);
-      if (!Conn.valid()) {
-        std::fprintf(stderr, "client %u: %s\n", C, Error.c_str());
-        Failed += Opt.DurationSecs > 0 ? 1 : Opt.Requests;
+  // Open-loop schedule: the next instant a request may be released.
+  // Slots that fall due while every client is busy accumulate, so a
+  // stalled server faces the catch-up burst a real open-loop arrival
+  // process would deliver.
+  double ReleaseIntervalMs = Opt.Rps > 0 ? 1000.0 / Opt.Rps : 0;
+  double NextReleaseMs = 0;
+
+  auto wantMore = [&](const Conn &C) {
+    if (Opt.DurationSecs > 0)
+      // Timed mode: at least one request per client, then the deadline.
+      return C.Sent == 0 || std::chrono::steady_clock::now() < Deadline;
+    return C.Sent < Opt.Requests;
+  };
+
+  auto startRequest = [&](Conn &C) {
+    C.Busy = true;
+    C.Traced = Opt.TraceSample > 0 && C.Sent % Opt.TraceSample == 0;
+    if (C.Traced) {
+      // A unique id per sampled request proves the echo is really
+      // per-request, not a cached or crossed response.
+      ServiceRequest TReq = Req;
+      TReq.Trace = true;
+      C.TraceId =
+          "lg" + std::to_string(C.Index) + "-" + std::to_string(C.Sent);
+      TReq.TraceId = C.TraceId;
+      C.Out = encodeFrame(Client::makeAllocateRequest(TReq));
+    } else {
+      C.Out = PlainFrame;
+    }
+    C.OutPos = 0;
+    C.In.clear();
+    ++C.Sent;
+    C.SendTime = std::chrono::steady_clock::now();
+  };
+
+  // Handles one complete response payload; returns false when the run
+  // should treat it as a failed request.
+  auto finishRequest = [&](Conn &C, const std::string &Response) {
+    double Ms = msBetween(C.SendTime, std::chrono::steady_clock::now());
+    C.Busy = false;
+    ++C.Completed;
+    if (Client::isErrorResponse(Response)) {
+      std::fprintf(stderr, "client %u request %llu: server error: %s\n",
+                   C.Index, static_cast<unsigned long long>(C.Sent - 1),
+                   Response.c_str());
+      ++Failed;
+      return;
+    }
+    if (C.Traced) {
+      // The echoed trace id must be the one this request carried;
+      // anything else means the span data belongs to someone else.
+      JsonParseResult Parsed = parseJson(Response);
+      const JsonValue *Trace =
+          Parsed.Ok ? Parsed.Value.find("trace") : nullptr;
+      const JsonValue *Id = Trace ? Trace->find("id") : nullptr;
+      if (!Id || !Id->isString() || Id->stringValue() != C.TraceId) {
+        std::fprintf(stderr,
+                     "client %u request %llu: trace id '%s' not echoed\n",
+                     C.Index, static_cast<unsigned long long>(C.Sent - 1),
+                     C.TraceId.c_str());
+        ++Failed;
         return;
       }
-      std::string Response;
-      // do/while: a timed run still sends at least one request per client,
-      // so a sub-millisecond --duration cannot silently measure nothing.
-      unsigned R = 0;
-      // Counts every send attempt (unlike R, which only advances in
-      // fixed-count mode); drives trace sampling in both modes.
-      uint64_t Sent = 0;
-      do {
-        const bool Traced =
-            Opt.TraceSample > 0 && Sent % Opt.TraceSample == 0;
-        std::string TraceId;
-        std::string TracedRequest;
-        const std::string *Payload = &Request;
-        if (Traced) {
-          // A unique id per sampled request proves the echo is really
-          // per-request, not a cached or crossed response.
-          ServiceRequest TReq = Req;
-          TReq.Trace = true;
-          TraceId = "lg" + std::to_string(C) + "-" + std::to_string(Sent);
-          TReq.TraceId = TraceId;
-          TracedRequest = Client::makeAllocateRequest(TReq);
-          Payload = &TracedRequest;
-        }
-        ++Sent;
-        auto Start = std::chrono::steady_clock::now();
-        if (!Conn.call(*Payload, Response, &Error)) {
-          std::fprintf(stderr, "client %u request %u: %s\n", C, R,
-                       Error.c_str());
-          ++Failed;
-          // A broken connection in a timed run would otherwise spin on
-          // errors until the deadline; one failure ends this client.
-          if (Opt.DurationSecs > 0)
-            break;
-          continue;
-        }
-        double Ms = std::chrono::duration_cast<
-                        std::chrono::duration<double, std::milli>>(
-                        std::chrono::steady_clock::now() - Start)
-                        .count();
-        // A server-side error payload is a failed request here.
-        if (Client::isErrorResponse(Response)) {
-          std::fprintf(stderr, "client %u request %u: server error: %s\n", C,
-                       R, Response.c_str());
-          ++Failed;
-          continue;
-        }
-        if (Traced) {
-          // The echoed trace id must be the one this request carried;
-          // anything else means the span data belongs to someone else.
-          JsonParseResult Parsed = parseJson(Response);
-          const JsonValue *Trace =
-              Parsed.Ok ? Parsed.Value.find("trace") : nullptr;
-          const JsonValue *Id = Trace ? Trace->find("id") : nullptr;
-          if (!Id || !Id->isString() || Id->stringValue() != TraceId) {
-            std::fprintf(stderr,
-                         "client %u request %u: trace id '%s' not echoed\n",
-                         C, R, TraceId.c_str());
-            ++Failed;
+      ++Completed;
+      Latency.record(Ms);
+      ++TracedCount;
+      TracedClientMs += Ms;
+      if (const JsonValue *Spans = Trace->find("spans"))
+        for (const JsonValue &Span : Spans->elements())
+          if (const JsonValue *Name = Span.find("name"))
+            if (const JsonValue *Dur = Span.find("dur_ms")) {
+              auto &Agg = SpanAgg[Name->stringValue()];
+              Agg.first += Dur->numberValue();
+              ++Agg.second;
+            }
+      // Traced responses carry the trace object, so they are by design
+      // not byte-identical to the reference response.
+      return;
+    }
+    ++Completed;
+    Latency.record(Ms);
+    // Deterministic protocol: when timing is off, every response to the
+    // identical request must be byte-identical across clients.
+    if (!Opt.Timing) {
+      if (ReferenceResponse.empty())
+        ReferenceResponse = Response;
+      else if (Response != ReferenceResponse)
+        ++Mismatched;
+    }
+  };
+
+  auto killConn = [&](Conn &C, const char *Why) {
+    if (C.Busy) {
+      std::fprintf(stderr, "client %u request %llu: %s\n", C.Index,
+                   static_cast<unsigned long long>(C.Sent - 1), Why);
+      ++Failed;
+    } else if (wantMore(C)) {
+      std::fprintf(stderr, "client %u: %s\n", C.Index, Why);
+      ++Failed;
+    }
+    C.Dead = true;
+    C.Fd.reset();
+  };
+
+  std::vector<pollfd> Fds;
+  std::vector<Conn *> FdConns;
+  while (true) {
+    // Release phase: start requests on idle clients that still have
+    // quota, respecting the open-loop schedule when --rps is set.
+    double NowMs = msBetween(Begin, std::chrono::steady_clock::now());
+    for (Conn &C : Conns) {
+      if (C.Dead || C.Busy || !wantMore(C))
+        continue;
+      if (ReleaseIntervalMs > 0) {
+        if (NowMs < NextReleaseMs)
+          break; // Next slot not due; and slots are global, so stop here.
+        NextReleaseMs += ReleaseIntervalMs;
+      }
+      startRequest(C);
+    }
+
+    Fds.clear();
+    FdConns.clear();
+    bool AnyBusy = false, AnyPending = false;
+    for (Conn &C : Conns) {
+      if (C.Dead)
+        continue;
+      if (!C.Busy) {
+        if (wantMore(C))
+          AnyPending = true;
+        continue;
+      }
+      AnyBusy = true;
+      short Ev = 0;
+      if (C.OutPos < C.Out.size())
+        Ev |= POLLOUT;
+      else
+        Ev |= POLLIN;
+      Fds.push_back({C.Fd.fd(), Ev, 0});
+      FdConns.push_back(&C);
+    }
+    if (!AnyBusy && !AnyPending)
+      break; // Every client exhausted its quota (or died).
+    if (Fds.empty()) {
+      // Idle clients gated on the release schedule: sleep to the slot.
+      double SleepMs = NextReleaseMs - NowMs;
+      ::poll(nullptr, 0, SleepMs > 1 ? int(SleepMs) : 1);
+      continue;
+    }
+    int Timeout = 100;
+    if (ReleaseIntervalMs > 0 && AnyPending) {
+      double SleepMs = NextReleaseMs - NowMs;
+      Timeout = SleepMs < 1 ? 1 : (SleepMs > 100 ? 100 : int(SleepMs));
+    } else if (AnyPending) {
+      Timeout = 0; // Closed loop with idle clients: release next pass.
+    }
+    if (::poll(Fds.data(), nfds_t(Fds.size()), Timeout) < 0) {
+      if (errno == EINTR)
+        continue;
+      std::perror("poll");
+      return 1;
+    }
+    for (size_t I = 0; I < Fds.size(); ++I) {
+      Conn &C = *FdConns[I];
+      if (C.Dead || !Fds[I].revents)
+        continue;
+      if (Fds[I].revents & (POLLERR | POLLNVAL)) {
+        killConn(C, "connection error");
+        continue;
+      }
+      if (Fds[I].revents & POLLOUT) {
+        while (C.OutPos < C.Out.size()) {
+          ssize_t N = ::send(C.Fd.fd(), C.Out.data() + C.OutPos,
+                             C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+          if (N > 0) {
+            C.OutPos += size_t(N);
             continue;
           }
-          ++Completed;
-          Latency.record(Ms);
-          std::lock_guard<std::mutex> L(TraceMutex);
-          ++TracedCount;
-          TracedClientMs += Ms;
-          if (const JsonValue *Spans = Trace->find("spans"))
-            for (const JsonValue &Span : Spans->elements())
-              if (const JsonValue *Name = Span.find("name"))
-                if (const JsonValue *Dur = Span.find("dur_ms")) {
-                  auto &Agg = SpanAgg[Name->stringValue()];
-                  Agg.first += Dur->numberValue();
-                  ++Agg.second;
-                }
-          // Traced responses carry the trace object, so they are by
-          // design not byte-identical to the reference response.
-          continue;
+          if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+          if (N < 0 && errno == EINTR)
+            continue;
+          killConn(C, "send failed");
+          break;
         }
-        ++Completed;
-        Latency.record(Ms);
-        // Deterministic protocol: when timing is off, every response to
-        // the identical request must be byte-identical across clients.
-        if (!Opt.Timing) {
-          std::lock_guard<std::mutex> L(ReferenceMutex);
-          if (ReferenceResponse.empty())
-            ReferenceResponse = Response;
-          else if (Response != ReferenceResponse)
-            ++Mismatched;
+        continue;
+      }
+      if (Fds[I].revents & (POLLIN | POLLHUP)) {
+        char Buf[64 << 10];
+        bool Closed = false;
+        while (true) {
+          ssize_t N = ::recv(C.Fd.fd(), Buf, sizeof Buf, 0);
+          if (N > 0) {
+            C.In.append(Buf, size_t(N));
+            if (size_t(N) < sizeof Buf)
+              break;
+            continue;
+          }
+          if (N == 0) {
+            Closed = true;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+          if (errno == EINTR)
+            continue;
+          Closed = true;
+          break;
         }
-      } while (Opt.DurationSecs > 0
-                   ? std::chrono::steady_clock::now() < Deadline
-                   : ++R < Opt.Requests);
-    });
-  for (std::thread &T : Threads)
-    T.join();
-  double TotalMs = std::chrono::duration_cast<
-                       std::chrono::duration<double, std::milli>>(
-                       std::chrono::steady_clock::now() - Begin)
-                       .count();
+        if (C.In.size() >= kFrameHeaderBytes) {
+          size_t PayloadBytes = 0;
+          FrameStatus FS = decodeFrameHeader(
+              reinterpret_cast<const unsigned char *>(C.In.data()),
+              kDefaultMaxFrameBytes, PayloadBytes);
+          if (FS != FrameStatus::Ok) {
+            killConn(C, "bad response frame");
+            continue;
+          }
+          if (C.In.size() >= kFrameHeaderBytes + PayloadBytes) {
+            // Serial per connection: exactly one response outstanding,
+            // so one complete frame finishes the in-flight request.
+            std::string Response =
+                C.In.substr(kFrameHeaderBytes, PayloadBytes);
+            C.In.erase(0, kFrameHeaderBytes + PayloadBytes);
+            finishRequest(C, Response);
+          }
+        }
+        if (Closed && C.Busy)
+          killConn(C, "connection closed mid-response");
+        else if (Closed)
+          C.Dead = true;
+      }
+    }
+  }
+  double TotalMs = msBetween(Begin, std::chrono::steady_clock::now());
 
+  HistogramSnapshot Snap = Latency.snapshot();
   if (!Opt.Quiet) {
-    HistogramSnapshot Snap = Latency.snapshot();
     if (Opt.DurationSecs > 0)
       std::printf("layra-loadgen: %llu requests completed over %u "
                   "clients in %.1f ms (%.1f req/s)\n",
-                  static_cast<unsigned long long>(Completed.load()),
-                  Opt.Clients, TotalMs,
-                  Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
-                                       : 0.0);
+                  static_cast<unsigned long long>(Completed), Opt.Clients,
+                  TotalMs, Completed > 0 ? 1000.0 * Completed / TotalMs : 0.0);
     else
       std::printf("layra-loadgen: %llu/%llu requests completed over %u "
                   "clients in %.1f ms (%.1f req/s)\n",
-                  static_cast<unsigned long long>(Completed.load()),
+                  static_cast<unsigned long long>(Completed),
                   static_cast<unsigned long long>(
                       static_cast<uint64_t>(Opt.Clients) * Opt.Requests),
                   Opt.Clients, TotalMs,
-                  Completed.load() > 0 ? 1000.0 * Completed.load() / TotalMs
-                                       : 0.0);
+                  Completed > 0 ? 1000.0 * Completed / TotalMs : 0.0);
     if (Snap.Count > 0)
       std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f\n",
                   Snap.percentile(0.50), Snap.percentile(0.95),
                   Snap.percentile(0.99), Snap.meanMs());
-    if (Mismatched.load() > 0)
+    if (Mismatched > 0)
       std::printf("DETERMINISM VIOLATION: %llu responses differed\n",
-                  static_cast<unsigned long long>(Mismatched.load()));
+                  static_cast<unsigned long long>(Mismatched));
     if (Opt.TraceSample > 0 && TracedCount > 0) {
       // Server-side spans in request order, then the part of the client
       // latency the server never sees (response flush + network + client
@@ -375,16 +570,72 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  if (!Opt.JsonPath.empty()) {
+    // The deterministic fields (clients, requests, completed, failed,
+    // mismatched) are what scripts/perf_gate.py locks down; the latency
+    // block is informational.
+    JsonValue Doc = JsonValue::object();
+    Doc.set("schema", "layra-loadgen-bench/v1");
+    Doc.set("clients", static_cast<uint64_t>(Opt.Clients));
+    if (Opt.DurationSecs <= 0)
+      Doc.set("requests_per_client", static_cast<uint64_t>(Opt.Requests));
+    Doc.set("completed", Completed);
+    Doc.set("failed", Failed);
+    Doc.set("mismatched", Mismatched);
+    JsonValue Lat = JsonValue::object();
+    Lat.set("p50_ms", Snap.percentile(0.50));
+    Lat.set("p95_ms", Snap.percentile(0.95));
+    Lat.set("p99_ms", Snap.percentile(0.99));
+    Lat.set("mean_ms", Snap.Count > 0 ? Snap.meanMs() : 0.0);
+    Lat.set("samples", Snap.Count);
+    Doc.set("latency", std::move(Lat));
+    Doc.set("wall_ms", TotalMs);
+    Doc.set("req_per_s", Completed > 0 ? 1000.0 * Completed / TotalMs : 0.0);
+    std::string Text = Doc.dump(2) + "\n";
+    if (Opt.JsonPath == "-") {
+      std::fputs(Text.c_str(), stdout);
+    } else {
+      std::FILE *Out = std::fopen(Opt.JsonPath.c_str(), "w");
+      if (!Out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     Opt.JsonPath.c_str());
+        return 1;
+      }
+      std::fwrite(Text.data(), 1, Text.size(), Out);
+      std::fclose(Out);
+    }
+  }
+
   if (Opt.FetchStats) {
     std::string Error, Stats;
     Client Conn = connect(Opt, &Error);
-    if (Conn.valid() && Conn.stats(Stats, &Error))
+    if (Conn.valid() && Conn.stats(Stats, &Error)) {
       std::fputs(Stats.c_str(), stdout);
-    else
+      // Per-shard hit-rate summary out of the v3 `shards` array: the
+      // one-line view of whether content-hash routing kept each shard's
+      // cache warm.
+      JsonParseResult Parsed = parseJson(Stats);
+      const JsonValue *Shards =
+          Parsed.Ok ? Parsed.Value.find("shards") : nullptr;
+      if (!Opt.Quiet && Shards && Shards->isArray()) {
+        for (const JsonValue &Sh : Shards->elements()) {
+          const JsonValue *Id = Sh.find("shard");
+          const JsonValue *Requests = Sh.find("requests");
+          const JsonValue *Cache = Sh.find("cache");
+          const JsonValue *HitRate = Cache ? Cache->find("hit_rate") : nullptr;
+          if (Id && Requests && HitRate)
+            std::fprintf(stderr,
+                         "shard %lld: %lld requests, cache hit rate %.2f\n",
+                         static_cast<long long>(Id->intValue()),
+                         static_cast<long long>(Requests->intValue()),
+                         HitRate->numberValue());
+        }
+      }
+    } else {
       std::fprintf(stderr, "stats fetch failed: %s\n", Error.c_str());
+    }
   }
 
-  bool Ok = Completed.load() > 0 && Failed.load() == 0 &&
-            Mismatched.load() == 0;
+  bool Ok = Completed > 0 && Failed == 0 && Mismatched == 0;
   return Ok ? 0 : 1;
 }

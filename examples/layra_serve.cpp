@@ -14,8 +14,10 @@
 ///
 /// Usage:
 ///   layra-serve [--unix=PATH] [--tcp=PORT] [--host=ADDR] [--threads=N]
-///               [--list-targets]
-///               [--cache-cap=N] [--queue-cap=N] [--max-conns=N]
+///               [--shards=N] [--list-targets]
+///               [--cache-cap=N] [--queue-cap=N] [--in-flight=N]
+///               [--disk-cache=DIR] [--disk-cache-cap=BYTES]
+///               [--max-conns=N]
 ///               [--max-frame=BYTES] [--metrics-dump=FILE]
 ///               [--event-log=FILE] [--slow-ms=N] [--quiet]
 ///
@@ -25,13 +27,28 @@
 ///   --host=ADDR   TCP bind address (default 127.0.0.1; the protocol is
 ///                 unauthenticated, so keep it on loopback or a trusted
 ///                 network)
-///   --threads     solver pool size; 0 = hardware concurrency (default)
-///   --cache-cap   bound on the shared result cache, entries (default
-///                 65536).  0 removes the bound entirely -- the cache then
-///                 grows for the life of the server, so reserve it for
-///                 short-lived test instances
-
-///   --queue-cap   request-queue depth before backpressure (default 64)
+///   --threads     solver pool size per shard; 0 = hardware concurrency
+///                 (default)
+///   --shards=N    shared-nothing shard workers (default 1).  Requests are
+///                 routed by content hash, so the same work always lands
+///                 on the same shard's private cache
+///   --cache-cap   bound on the result cache, entries, split across the
+///                 shards (default 65536).  0 removes the bound entirely --
+///                 the caches then grow for the life of the server, so
+///                 reserve it for short-lived test instances
+///   --queue-cap   per-shard request-queue depth; a request routed to a
+///                 full shard queue is rejected with an error response
+///                 (default 64)
+///   --in-flight=N per-connection in-flight request window; the server
+///                 stops reading a connection with this many responses
+///                 pending (default 32, 0 = unbounded)
+///   --disk-cache=DIR
+///                 persist every solved outcome content-addressed under
+///                 DIR and serve repeats from it, warm-starting the caches
+///                 across restarts.  The directory is created if missing
+///   --disk-cache-cap=BYTES
+///                 byte bound on --disk-cache with least-recently-used
+///                 eviction (default 0 = unbounded)
 ///   --max-conns   concurrent connection cap (default 256)
 ///   --max-frame   largest accepted frame payload in bytes (default 16 MiB)
 ///   --metrics-dump=FILE
@@ -90,7 +107,9 @@ namespace {
     std::fprintf(stderr, "error: %s\n", Error);
   std::fprintf(stderr,
                "usage: %s [--unix=PATH] [--tcp=PORT] [--host=ADDR]\n"
-               "          [--threads=N] [--cache-cap=N] [--queue-cap=N]\n"
+               "          [--threads=N] [--shards=N] [--cache-cap=N]\n"
+               "          [--queue-cap=N] [--in-flight=N]\n"
+               "          [--disk-cache=DIR] [--disk-cache-cap=BYTES]\n"
                "          [--max-conns=N] [--max-frame=BYTES]\n"
                "          [--metrics-dump=FILE] [--event-log=FILE]\n"
                "          [--slow-ms=N] [--list-targets] [--quiet]\n",
@@ -210,6 +229,24 @@ int main(int Argc, char **Argv) {
     } else if (const char *V = Value("--threads=")) {
       if (!parseBoundedUnsigned(V, 1024, Opt.Threads))
         usage(Argv[0], "--threads must be an integer in [0, 1024]");
+    } else if (const char *V = Value("--shards=")) {
+      if (!parseBoundedUnsigned(V, 256, Opt.Shards) || Opt.Shards == 0)
+        usage(Argv[0], "--shards must be an integer in [1, 256]");
+    } else if (const char *V = Value("--in-flight=")) {
+      if (!parseBoundedUnsigned(V, 1u << 20, Opt.InFlightWindow))
+        usage(Argv[0], "--in-flight must be an integer in [0, 2^20]");
+    } else if (const char *V = Value("--disk-cache=")) {
+      Opt.DiskCacheDir = V;
+      if (Opt.DiskCacheDir.empty())
+        usage(Argv[0], "--disk-cache needs a directory path");
+    } else if (const char *V = Value("--disk-cache-cap=")) {
+      char *End = nullptr;
+      errno = 0;
+      unsigned long long Cap = std::strtoull(V, &End, 10);
+      if (!std::isdigit(static_cast<unsigned char>(*V)) || (End && *End) ||
+          errno == ERANGE)
+        usage(Argv[0], "--disk-cache-cap must be a byte count >= 0");
+      Opt.DiskCacheCapBytes = Cap;
     } else if (const char *V = Value("--cache-cap=")) {
       if (!parseBoundedUnsigned(V, 1u << 30, Parsed))
         usage(Argv[0],
@@ -256,6 +293,8 @@ int main(int Argc, char **Argv) {
   }
   if (Opt.UnixPath.empty() && !Opt.EnableTcp)
     usage(Argv[0], "nothing to listen on: pass --unix=PATH and/or --tcp=PORT");
+  if (Opt.DiskCacheDir.empty() && Opt.DiskCacheCapBytes != 0)
+    usage(Argv[0], "--disk-cache-cap needs --disk-cache=DIR");
 
   if (pipe(StopPipe) != 0) {
     std::perror("pipe");
@@ -289,9 +328,19 @@ int main(int Argc, char **Argv) {
     if (!Opt.UnixPath.empty())
       std::printf("layra-serve: listening on unix:%s\n",
                   Opt.UnixPath.c_str());
-    std::printf("layra-serve: %u solver threads, cache capacity %zu, "
-                "queue capacity %zu\n",
-                S.stats().Threads, Opt.CacheCapacity, Opt.QueueCapacity);
+    std::printf("layra-serve: %u shard(s), %u solver threads each, "
+                "cache capacity %zu, queue capacity %zu/shard\n",
+                Opt.Shards ? Opt.Shards : 1, S.stats().Threads,
+                Opt.CacheCapacity, Opt.QueueCapacity);
+    if (!Opt.DiskCacheDir.empty()) {
+      ServerStats Stats = S.stats();
+      std::printf("layra-serve: disk cache at %s (%llu entries, %llu bytes"
+                  "%s)\n",
+                  Opt.DiskCacheDir.c_str(),
+                  static_cast<unsigned long long>(Stats.DiskEntries),
+                  static_cast<unsigned long long>(Stats.DiskBytes),
+                  Opt.DiskCacheCapBytes ? ", capped" : "");
+    }
     std::fflush(stdout);
   }
 

@@ -276,6 +276,11 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   std::unordered_map<uint64_t, size_t> UniqueOf; // Key -> unique slot.
   std::vector<size_t> UniqueToPending;
   std::unordered_set<uint64_t> BatchSeen; // Every key met this run.
+  // Outcomes pulled from the persistent store this run, read at most once
+  // per key (the map dedupes repeats) and committed to the memory cache in
+  // phase 4 in load order, so eviction order stays deterministic.
+  std::unordered_map<uint64_t, TaskOutcome> StoreLoaded;
+  std::vector<uint64_t> StoreLoadOrder;
 
   // Function pointers are stable for the duration of run() (suites live in
   // GeneratedSuites or in the caller's SuiteData), so each function's IR is
@@ -288,6 +293,22 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
     uint64_t H = hashFunction(F);
     FunctionHashes.emplace(&F, H);
     return H;
+  };
+  // One store read per distinct key per run; repeats are served from the
+  // StoreLoaded snapshot so a slow store is touched O(unique keys) times.
+  auto LookupStore = [&](uint64_t Key, TaskOutcome &Out) {
+    auto Loaded = StoreLoaded.find(Key);
+    if (Loaded != StoreLoaded.end()) {
+      Out = Loaded->second;
+      return true;
+    }
+    TaskOutcome FromStore;
+    if (!OutcomeStore->lookup(Key, FromStore))
+      return false;
+    StoreLoaded.emplace(Key, FromStore);
+    StoreLoadOrder.push_back(Key);
+    Out = FromStore;
+    return true;
   };
 
   Report.Jobs.resize(Jobs.size());
@@ -329,6 +350,11 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
         if (const TaskOutcome *Hit = PipelineCache.find(T.Key)) {
           T.PersistentHit = true;
           T.CachedOut = *Hit;
+        } else if (OutcomeStore && LookupStore(T.Key, T.CachedOut)) {
+          // A store hit is a persistent hit the memory cache merely
+          // forgot (or never saw -- a fresh process warm-starting from
+          // disk); phase 4 re-seats it in the memory cache.
+          T.PersistentHit = true;
         } else {
           T.PersistentHit = false;
           auto Known = UniqueOf.find(T.Key);
@@ -399,8 +425,17 @@ DriverReport BatchDriver::run(const std::vector<BatchJob> &Jobs,
   // snapshots, never from the cache, so a small capacity bound can evict
   // entries this very batch produced without corrupting the report.
   uint64_t EvictionsBefore = PipelineCache.evictions();
-  for (size_t I = 0; I < UniqueToPending.size(); ++I)
+  // Disk-loaded outcomes re-enter the memory cache first (in load order),
+  // then this run's solves; both flow through the same serial insert path
+  // so a bounded capacity evicts deterministically.  Newly solved
+  // outcomes also flow down into the persistent store.
+  for (uint64_t Key : StoreLoadOrder)
+    PipelineCache.insert(Key, StoreLoaded.at(Key));
+  for (size_t I = 0; I < UniqueToPending.size(); ++I) {
     PipelineCache.insert(Pending[UniqueToPending[I]].Key, Outcomes[I]);
+    if (OutcomeStore)
+      OutcomeStore->store(Pending[UniqueToPending[I]].Key, Outcomes[I]);
+  }
 
   std::vector<std::vector<double>> JobSolveMs(Jobs.size());
   std::vector<PhaseTotals> JobPhases(CollectPhases ? Jobs.size() : 0);

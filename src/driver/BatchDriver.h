@@ -147,6 +147,33 @@ struct DriverCacheCounters {
   uint64_t Capacity = 0;  ///< Configured bound; 0 = unbounded.
 };
 
+/// Persistence hook underneath the in-memory pipeline cache.  When a
+/// store is attached (setOutcomeStore), run()'s serial classification
+/// phase consults it for keys the memory cache misses, and the serial
+/// commit phase hands it every newly solved outcome.  Both calls happen
+/// only on the thread that called run(), never from pool workers, so an
+/// implementation needs no synchronization against the driver itself
+/// (service/DiskCache.h still locks internally because the server shares
+/// one store across shard drivers).
+///
+/// Outcomes are pure functions of the content-hash key, which is what
+/// makes persisting them sound -- the same argument that justifies the
+/// in-memory cache.  A store must therefore never return a stale entry
+/// for a changed solver: implementations version their payloads (the
+/// disk cache keys its header on protocol + solver revision) and treat a
+/// mismatch as a miss.
+class TaskOutcomeStore {
+public:
+  virtual ~TaskOutcomeStore() = default;
+  /// True when an outcome for \p Key exists; fills \p Out.  A corrupt or
+  /// version-mismatched entry must read as "absent", not as an error --
+  /// the driver then simply re-solves (and re-stores) the instance.
+  virtual bool lookup(uint64_t Key, TaskOutcome &Out) = 0;
+  /// Persists \p Out under \p Key.  Failures are the store's problem
+  /// (drop the entry, log, evict); the driver does not check.
+  virtual void store(uint64_t Key, const TaskOutcome &Out) = 0;
+};
+
 /// Stable structural hash of a function's IR: blocks, edges, instructions,
 /// operands, spill slots and frequencies.  Value/block/function *names* are
 /// excluded, so two structurally identical functions hash equal.
@@ -241,6 +268,14 @@ public:
   /// bytes each and otherwise accumulate forever.
   void setCacheCapacity(size_t MaxEntries);
 
+  /// Attaches (or with null detaches) a persistent outcome store under
+  /// the pipeline cache.  Not owned; must outlive the driver or be
+  /// detached first.  Store hits behave exactly like in-memory cache
+  /// hits in reports and counters -- in transparent mode they are
+  /// invisible, preserving the byte-identity contract.
+  void setOutcomeStore(TaskOutcomeStore *Store) { OutcomeStore = Store; }
+  TaskOutcomeStore *outcomeStore() const { return OutcomeStore; }
+
   /// Lifetime hit/miss/eviction counters of the pipeline-outcome cache.
   DriverCacheCounters pipelineCacheCounters() const;
   /// Lifetime hit/miss/eviction counters of the problem-result cache.
@@ -269,6 +304,8 @@ private:
   /// largest figure sweep.  Callers for whom that never pays can simply use
   /// a shorter-lived driver.
   LruCache<uint64_t, AllocationResult> ProblemCache;
+  /// Optional persistence layer under PipelineCache (not owned).
+  TaskOutcomeStore *OutcomeStore = nullptr;
   /// Lifetime hit/miss tallies (the caches themselves track evictions).
   uint64_t PipelineHits = 0, PipelineMisses = 0;
   uint64_t ProblemHits = 0, ProblemMisses = 0;

@@ -18,6 +18,7 @@
 #include "service/Server.h"
 #include "support/Random.h"
 
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <unistd.h>
@@ -29,16 +30,27 @@ namespace {
 /// The in-process allocation server the serve-direct oracle talks to.
 /// One per session, started lazily; the socket lives in /tmp and never
 /// influences session output (the oracle compares payload bytes only).
+/// Runs with more than one shard and a throwaway disk cache on purpose:
+/// the byte-identity oracle then also covers shard routing and
+/// persistent-cache transparency on every fuzz case.
 struct ServeHarness {
   static constexpr unsigned kThreads = 2;
+  static constexpr unsigned kShards = 2;
   std::unique_ptr<Server> Srv;
   Client Conn;
+  std::string DiskDir;
 
   bool start(uint64_t Seed, std::string *Error) {
     ServerOptions Opt;
     Opt.UnixPath = "/tmp/layra-fuzz-" + std::to_string(::getpid()) + "-" +
                    std::to_string(Seed) + ".sock";
     Opt.Threads = kThreads;
+    Opt.Shards = kShards;
+    char Template[] = "/tmp/layra-fuzz-disk-XXXXXX";
+    if (char *Dir = ::mkdtemp(Template)) {
+      DiskDir = Dir;
+      Opt.DiskCacheDir = DiskDir;
+    }
     Srv = std::make_unique<Server>(Opt);
     if (!Srv->start(Error))
       return false;
@@ -51,6 +63,12 @@ struct ServeHarness {
       Conn.close();
       Srv->requestStop();
       Srv->wait();
+    }
+    if (!DiskDir.empty()) {
+      // Best-effort scratch cleanup: entries live two levels deep
+      // (DIR/<2-hex>/<key>), nothing else is ever in the directory.
+      std::string Cmd = "rm -rf '" + DiskDir + "'";
+      (void)!std::system(Cmd.c_str());
     }
   }
 };

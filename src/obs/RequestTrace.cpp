@@ -77,6 +77,8 @@ void RequestTrace::attachJobPhases(std::vector<PhaseTotals> Phases) {
 JsonValue RequestTrace::toJson() const {
   JsonValue Doc = JsonValue::object();
   Doc.set("id", TraceId);
+  if (ShardId >= 0)
+    Doc.set("shard", ShardId);
   JsonValue SpanArr = JsonValue::array();
   for (const Span &S : Spans) {
     JsonValue E = JsonValue::object();

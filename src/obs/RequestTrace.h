@@ -74,6 +74,11 @@ public:
   /// ping/stats).
   double DispatchStartMs = 0;
 
+  /// Shard that executed the request (sharded serving core); negative
+  /// means "not shard-routed" (ping/stats/parse errors handled on the IO
+  /// loop) and the tag is omitted from toJson().
+  int ShardId = -1;
+
   /// Full span tree: {"id", "spans": [...], "jobs": [...]}.  Phases
   /// with zero hits are omitted per job.
   JsonValue toJson() const;

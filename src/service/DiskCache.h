@@ -1,0 +1,111 @@
+//===- service/DiskCache.h - Persistent on-disk outcome store ---*- C++ -*-===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed on-disk TaskOutcomeStore: one small binary file per
+/// pipeline-cache key, laid out as `DIR/<2-hex>/<16-hex-key>` (the two-hex
+/// fan-out keeps any one directory small).  Sitting underneath the
+/// per-shard in-memory LRUs it gives the allocation server -- and
+/// `layra-bench --disk-cache` -- warm starts across process restarts:
+/// a key the memory caches never saw is still one 53-byte read away.
+///
+/// Every entry carries a versioned header (magic, format version, a
+/// revision hash keyed on the wire-protocol version and the solver
+/// revision, and the entry's own key).  Any mismatch -- truncation,
+/// corruption, an entry written by a different solver revision -- reads
+/// as a miss and deletes the file, so the driver transparently re-solves
+/// and re-stores.  Combined with atomic writes (obs::writeFileAtomically:
+/// temp file + rename) a crashed or concurrent writer can never leave a
+/// half-entry that parses.
+///
+/// Capacity is a byte bound with LRU eviction: recency is tracked
+/// in-memory and persisted through file mtimes (hits touch the file), so
+/// the least-recently-used entry survives restarts too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LAYRA_SERVICE_DISKCACHE_H
+#define LAYRA_SERVICE_DISKCACHE_H
+
+#include "driver/BatchDriver.h"
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace layra {
+
+/// Lifetime counters of one DiskCache.  Surfaced as the `disk_cache`
+/// object of stats v3 and the `layra.serve.disk.*` metrics.
+struct DiskCacheStats {
+  uint64_t Hits = 0;      ///< lookup() served from disk.
+  uint64_t Misses = 0;    ///< lookup() found nothing usable.
+  uint64_t Writes = 0;    ///< Entries persisted.
+  uint64_t Evictions = 0; ///< Entries removed by the byte cap.
+  uint64_t Entries = 0;   ///< Entries currently on disk.
+  uint64_t Bytes = 0;     ///< Total payload bytes currently on disk.
+};
+
+class DiskCache : public TaskOutcomeStore {
+public:
+  /// Opens (creating if needed) the cache rooted at \p Dir.  \p CapBytes
+  /// bounds the total size, 0 = unbounded.  Existing entries are indexed
+  /// by scanning the fan-out directories once, ordered by mtime so LRU
+  /// eviction picks up where the previous process left off.  On failure
+  /// valid() is false and every operation is a no-op miss, so an
+  /// unwritable directory degrades to "no disk cache" rather than
+  /// killing the server.
+  explicit DiskCache(std::string Dir, uint64_t CapBytes = 0);
+
+  bool valid() const { return Valid; }
+  const std::string &error() const { return InitError; }
+  const std::string &directory() const { return Root; }
+
+  // TaskOutcomeStore: both entry points are safe to call from multiple
+  // shard drivers concurrently (internal mutex).
+  bool lookup(uint64_t Key, TaskOutcome &Out) override;
+  void store(uint64_t Key, const TaskOutcome &Out) override;
+
+  DiskCacheStats stats() const;
+
+  /// The revision hash every entry header embeds; mixes the wire-protocol
+  /// version with the solver revision tag.  Exposed so tests can forge a
+  /// mismatched header without chasing magic offsets.
+  static uint64_t revisionHash();
+  /// Exact on-disk size of one entry (header + payload), for tests that
+  /// size a deliberately tiny --disk-cache-cap.
+  static size_t entryBytes();
+
+private:
+  struct Entry {
+    uint64_t Key = 0;
+    uint64_t Bytes = 0;
+  };
+
+  std::string entryPath(uint64_t Key) const;
+  void removeEntryLocked(uint64_t Key, bool CountEviction);
+  void evictOverCapLocked();
+  void indexExisting();
+
+  std::string Root;
+  uint64_t CapBytes = 0;
+  bool Valid = false;
+  std::string InitError;
+
+  mutable std::mutex Mutex;
+  /// Front = most recently used.  The map points into the list.
+  std::list<Entry> Recency;
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
+  uint64_t TotalBytes = 0;
+  uint64_t Hits = 0, Misses = 0, Writes = 0, Evictions = 0;
+};
+
+} // namespace layra
+
+#endif // LAYRA_SERVICE_DISKCACHE_H

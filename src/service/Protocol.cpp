@@ -226,7 +226,7 @@ bool readOptions(const JsonValue &Obj, PipelineOptions &Out,
 
 } // namespace
 
-bool layra::parseServiceRequest(const std::string &Payload,
+bool layra::parseServiceRequest(std::string_view Payload,
                                 ServiceRequest &Out, std::string &Error) {
   JsonParseResult Parsed = parseJson(Payload);
   if (!Parsed.Ok) {
@@ -320,6 +320,52 @@ bool layra::parseServiceRequest(const std::string &Payload,
       !readBool(Doc, "details", Out.Details, Error))
     return false;
   return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Shard routing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// SplitMix64-style mixing, the same scheme the solver caches hash with
+/// (driver/BatchDriver.cpp): cheap, stable across runs, and good enough
+/// dispersion that `hash % shards` balances real request mixes.
+uint64_t routeMix(uint64_t H, uint64_t Value) {
+  H ^= Value + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+  H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  return H ^ (H >> 27);
+}
+
+uint64_t routeMixString(uint64_t H, const std::string &S) {
+  H = routeMix(H, S.size());
+  for (unsigned char C : S)
+    H = routeMix(H, C);
+  return H;
+}
+
+} // namespace
+
+uint64_t layra::routeRequestHash(const ServiceRequest &Req) {
+  uint64_t H = 0x6c617972612d7368ULL; // "layra-sh"
+  H = routeMix(H, static_cast<uint64_t>(Req.K));
+  for (const std::string &Suite : Req.Suites)
+    H = routeMixString(H, Suite);
+  for (unsigned R : Req.Regs)
+    H = routeMix(H, R);
+  for (const ClassRegOverride &O : Req.ClassRegs) {
+    H = routeMixString(H, O.Class);
+    H = routeMix(H, O.Regs);
+  }
+  H = routeMixString(H, Req.TargetName);
+  H = routeMixString(H, Req.Options.AllocatorName);
+  H = routeMix(H, Req.Options.MaxRounds);
+  H = routeMix(H, (Req.Options.AffinityBias ? 1u : 0u) |
+                      (Req.Options.FoldMemoryOperands ? 2u : 0u) |
+                      (Req.Timing ? 4u : 0u) | (Req.Details ? 8u : 0u));
+  H = routeMixString(H, Req.IrText);
+  H = routeMixString(H, Req.Name);
+  return H;
 }
 
 //===----------------------------------------------------------------------===//

@@ -17,13 +17,14 @@
 ///
 /// The payload is UTF-8 JSON.  Requests carry a "type" field (ping, stats,
 /// allocate, submit_ir); responses identify themselves by "schema"
-/// ("layra-serve-pong/v1", "layra-serve-stats/v2", "layra-serve-error/v1",
+/// ("layra-serve-pong/v1", "layra-serve-stats/v3", "layra-serve-error/v1",
 /// or -- for allocation responses -- a verbatim "layra-driver-report/v1"
 /// document, byte-identical to what driver/ReportIO.h would write for a
-/// direct BatchDriver run of the same jobs).  The v2 stats schema is a
-/// strict superset of the retired v1: every v1 field keeps its name, type
-/// and meaning, and v2 adds latency percentile p99, the full service-time
-/// histogram, and dispatcher utilization (docs/PROTOCOL.md).
+/// direct BatchDriver run of the same jobs).  Stats schemas are strict
+/// supersets of their predecessors: v2 added latency percentile p99, the
+/// full service-time histogram, and dispatcher utilization over v1; v3
+/// adds the rejected-request counter, the per-shard breakdown of the
+/// sharded serving core, and disk-cache counters (docs/PROTOCOL.md).
 ///
 /// This header carries the pieces both sides share: frame encode/decode
 /// over fds and buffers, the parsed request representation, and the small
@@ -41,6 +42,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace layra {
@@ -51,13 +53,15 @@ inline constexpr const char *kServeProtocolVersion = "layra-serve/v1";
 /// Response schema names.  Allocation responses instead carry the driver
 /// report schema ("layra-driver-report/v1", see driver/ReportIO.h).
 inline constexpr const char *kErrorSchema = "layra-serve-error/v1";
-/// Current stats schema.  v2 is a strict superset of the original v1
-/// (kStatsSchemaV1): clients keyed on v1 field names keep working, they
-/// just see a different schema string.
-inline constexpr const char *kStatsSchema = "layra-serve-stats/v2";
-/// Historical stats schema name, kept so compatibility notes and tests can
-/// refer to it; the server no longer emits it.
+/// Current stats schema.  v3 is a strict superset of v2 (which was a
+/// strict superset of v1): clients keyed on v2 field names keep working,
+/// they just see a different schema string plus the new members
+/// (requests.rejected, shards[], disk_cache).
+inline constexpr const char *kStatsSchema = "layra-serve-stats/v3";
+/// Historical stats schema names, kept so compatibility notes and tests
+/// can refer to them; the server no longer emits either.
 inline constexpr const char *kStatsSchemaV1 = "layra-serve-stats/v1";
+inline constexpr const char *kStatsSchemaV2 = "layra-serve-stats/v2";
 inline constexpr const char *kPongSchema = "layra-serve-pong/v1";
 
 /// Frame geometry.
@@ -144,9 +148,20 @@ struct ServiceRequest {
 /// Parses \p Payload into \p Out.  On failure returns false and fills
 /// \p Error with a message suitable for an error response.  Limits are
 /// syntactic sanity bounds (at most 16 suites, 64 register counts); the
-/// server applies its own semantic checks on top.
-bool parseServiceRequest(const std::string &Payload, ServiceRequest &Out,
+/// server applies its own semantic checks on top.  The string_view
+/// overload is the event loop's path: frames are parsed in place out of
+/// the per-connection read buffer without an intermediate copy.
+bool parseServiceRequest(std::string_view Payload, ServiceRequest &Out,
                          std::string &Error);
+
+/// Content hash a request for shard routing.  Mixes every field that
+/// influences the response bytes (suites, register counts, class
+/// overrides, target, pipeline options, submitted IR, report knobs) with
+/// the same SplitMix64 mixer the solver caches use, so requests for the
+/// same work deterministically land on the same shard -- and therefore
+/// the same per-shard cache -- across connections and restarts.  Trace
+/// fields are deliberately excluded: tracing must not change routing.
+uint64_t routeRequestHash(const ServiceRequest &Req);
 
 /// Builds the payload of an error response.  A non-empty \p TraceId adds
 /// a {"trace": {"id": ...}} echo for clients that asked to be traced.

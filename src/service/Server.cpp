@@ -14,38 +14,45 @@
 #include "obs/EventLog.h"
 #include "obs/Metrics.h"
 #include "obs/RequestTrace.h"
+#include "service/DiskCache.h"
 #include "support/Socket.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string_view>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
+#include <unordered_map>
 #include <vector>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#else
+#include <poll.h>
+#endif
 
 using namespace layra;
 
 namespace {
 
-/// Accept-loop poll granularity: the latency bound on noticing a stop
-/// request while no connections arrive.
-constexpr int kAcceptPollMs = 100;
+/// Event-loop tick: the latency bound on noticing a stop request or a
+/// write-timeout expiry while no descriptor fires.
+constexpr int kTickMs = 100;
+/// Bytes read per recv() into a connection's input buffer.
+constexpr size_t kReadChunk = 64u << 10;
 
 double msSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration_cast<
              std::chrono::duration<double, std::milli>>(
              std::chrono::steady_clock::now() - Start)
       .count();
-}
-
-double msBetween(std::chrono::steady_clock::time_point From,
-                 std::chrono::steady_clock::time_point To) {
-  return std::chrono::duration<double, std::milli>(To - From).count();
 }
 
 const char *requestKindName(ServiceRequest::Kind K) {
@@ -62,35 +69,220 @@ const char *requestKindName(ServiceRequest::Kind K) {
   return "unknown";
 }
 
-/// One live connection.  Reader threads and the dispatcher share it via
-/// shared_ptr: the descriptor must outlive the reader when queued requests
-/// still reference it at disconnect time.  Responses -- including error
-/// replies, which readers route through the queue -- are written only by
-/// the single dispatcher thread, so no write lock is needed: frames of one
-/// connection cannot interleave by construction.
-struct Connection {
-  SocketFd Fd;
-  uint64_t Id = 0;
+/// One readiness event from the poller, normalized across backends.
+/// Readable carries only data readiness; Error covers hangups and error
+/// conditions (reported even when a descriptor's interest mask is empty,
+/// so a window-paused connection whose peer vanished still gets noticed).
+struct PollEvent {
+  int Fd = -1;
+  bool Readable = false;
+  bool Writable = false;
+  bool Error = false;
 };
 
-struct QueuedWork {
-  std::shared_ptr<Connection> Conn;
-  ServiceRequest Req;
-  /// Pre-built response for requests that failed before reaching the
-  /// dispatcher (parse/framing errors).  Non-empty = write this verbatim
-  /// instead of executing Req.  Routing errors through the queue keeps the
-  /// protocol's per-connection response ordering intact for pipelining
-  /// clients: an error reply must not overtake the response of an earlier,
-  /// still-executing request.
-  std::string PrebuiltResponse;
-  /// Close the connection's write side after responding (framing errors).
+#ifdef __linux__
+
+/// Level-triggered epoll wrapper.  Level-triggered on purpose: the loop
+/// may stop reading a connection mid-burst (in-flight window full) and
+/// must get re-notified for the bytes it left in the kernel buffer.
+class Poller {
+public:
+  Poller() : Ep(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~Poller() {
+    if (Ep >= 0)
+      ::close(Ep);
+  }
+  Poller(const Poller &) = delete;
+  Poller &operator=(const Poller &) = delete;
+
+  bool valid() const { return Ep >= 0; }
+  void add(int Fd, bool R, bool W) { ctl(EPOLL_CTL_ADD, Fd, R, W); }
+  void set(int Fd, bool R, bool W) { ctl(EPOLL_CTL_MOD, Fd, R, W); }
+  void remove(int Fd) { ::epoll_ctl(Ep, EPOLL_CTL_DEL, Fd, nullptr); }
+
+  void wait(std::vector<PollEvent> &Out, int TimeoutMs) {
+    Out.clear();
+    epoll_event Evs[64];
+    int N = ::epoll_wait(Ep, Evs, 64, TimeoutMs);
+    for (int I = 0; I < N; ++I) {
+      PollEvent E;
+      E.Fd = Evs[I].data.fd;
+      E.Readable = (Evs[I].events & EPOLLIN) != 0;
+      E.Writable = (Evs[I].events & EPOLLOUT) != 0;
+      E.Error = (Evs[I].events & (EPOLLERR | EPOLLHUP)) != 0;
+      Out.push_back(E);
+    }
+  }
+
+private:
+  void ctl(int Op, int Fd, bool R, bool W) {
+    epoll_event Ev{};
+    Ev.events = (R ? unsigned(EPOLLIN) : 0u) | (W ? unsigned(EPOLLOUT) : 0u);
+    Ev.data.fd = Fd;
+    ::epoll_ctl(Ep, Op, Fd, &Ev);
+  }
+  int Ep = -1;
+};
+
+#else
+
+/// poll(2) fallback with the same level-triggered semantics: the interest
+/// map is rebuilt into a pollfd array per wait.  Fine at the connection
+/// counts this server targets off Linux.
+class Poller {
+public:
+  bool valid() const { return true; }
+  void add(int Fd, bool R, bool W) { Interest[Fd] = mask(R, W); }
+  void set(int Fd, bool R, bool W) { Interest[Fd] = mask(R, W); }
+  void remove(int Fd) { Interest.erase(Fd); }
+
+  void wait(std::vector<PollEvent> &Out, int TimeoutMs) {
+    Out.clear();
+    std::vector<pollfd> Fds;
+    Fds.reserve(Interest.size());
+    for (const auto &E : Interest)
+      Fds.push_back({E.first, E.second, 0});
+    int N = ::poll(Fds.data(), nfds_t(Fds.size()), TimeoutMs);
+    if (N <= 0)
+      return;
+    for (const pollfd &P : Fds) {
+      if (!P.revents)
+        continue;
+      PollEvent E;
+      E.Fd = P.fd;
+      E.Readable = (P.revents & POLLIN) != 0;
+      E.Writable = (P.revents & POLLOUT) != 0;
+      E.Error = (P.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      Out.push_back(E);
+    }
+  }
+
+private:
+  static short mask(bool R, bool W) {
+    return short((R ? POLLIN : 0) | (W ? POLLOUT : 0));
+  }
+  std::map<int, short> Interest;
+};
+
+#endif
+
+/// A finished request on its way back to the IO loop: the response plus
+/// everything the flush-time bookkeeping (RequestEnd event, slow log,
+/// response_flush span) needs.  Shard workers post these; for requests the
+/// IO thread answers itself (ping/stats, parse errors, rejects) one is
+/// sequenced directly without crossing threads.
+struct Completion {
+  uint64_t ConnId = 0;
+  uint64_t Seq = 0;
+  std::string Response;
+  /// Close the connection once this response is flushed (framing errors,
+  /// connection-limit rejections).
   bool CloseAfter = false;
-  /// When the request's frame finished arriving: the trace epoch every
-  /// span offset is measured from.
-  std::chrono::steady_clock::time_point AcceptTime;
-  /// When parsing finished and the reader enqueued the work; the gap to
-  /// the dispatcher's dequeue is the queue_wait span.
-  std::chrono::steady_clock::time_point EnqueueTime;
+  /// Record RequestEnd / slow-log at flush time.  False for replies that
+  /// never got a RequestStart (parse/framing errors, admission rejects).
+  bool TrackEnd = false;
+  bool WantTrace = false;
+  obs::RequestTrace Trace;
+  double ServiceMs = 0;
+  ServiceRequest::Kind Kind = ServiceRequest::Kind::Ping;
+};
+
+/// One request parked in a shard queue.
+struct ShardJob {
+  uint64_t ConnId = 0;
+  uint64_t Seq = 0;
+  ServiceRequest Req;
+  obs::RequestTrace Trace;
+  bool WantTrace = false;
+  /// Epoch offset where parsing finished (the accept span's end); the
+  /// shard worker's dequeue stamp closes the queue_wait span against it.
+  double ParseMs = 0;
+};
+
+/// Flush bookkeeping for one response sitting in a connection's output
+/// buffer.  EndOffset is the connection's cumulative queued-byte count at
+/// the end of this frame; once the flushed-byte count reaches it the
+/// response is on the wire and the record finalizes.
+struct FlushRecord {
+  uint64_t EndOffset = 0;
+  bool TrackEnd = false;
+  bool WantTrace = false;
+  obs::RequestTrace Trace;
+  double ServiceMs = 0;
+  double FlushStartMs = 0;
+  std::chrono::steady_clock::time_point FlushStartTime;
+  ServiceRequest::Kind Kind = ServiceRequest::Kind::Ping;
+};
+
+/// Per-connection state, owned and touched by the IO thread only.
+struct IoConn {
+  SocketFd Fd;
+  uint64_t Id = 0;
+  /// False for connections beyond the connection limit: they exist only
+  /// to carry the rejection reply and never count as active.
+  bool Admitted = false;
+
+  //--- Read side. ---------------------------------------------------------
+  /// Incremental frame assembly: bytes land here verbatim and requests are
+  /// parsed in place as string_views -- no per-frame payload copy.  InPos
+  /// marks consumed bytes; the buffer compacts once drained.
+  std::string InBuf;
+  size_t InPos = 0;
+  /// No further socket reads (EOF, framing error, drain).
+  bool ReadClosed = false;
+  /// No further frame parsing (framing error poisoned the stream).
+  bool ParseDead = false;
+
+  //--- Request sequencing. ------------------------------------------------
+  /// Per-connection sequence numbers keep responses in request order no
+  /// matter which shard finishes first: NextSeq stamps requests at parse,
+  /// NextFlushSeq is the next response allowed into the output buffer,
+  /// Ready parks completions that finished out of order.
+  uint64_t NextSeq = 0;
+  uint64_t NextFlushSeq = 0;
+  std::map<uint64_t, Completion> Ready;
+  /// Requests parsed but not yet appended to the output buffer; the
+  /// admission window pauses parsing while this reaches the bound.
+  unsigned InFlight = 0;
+
+  //--- Write side. --------------------------------------------------------
+  std::string OutBuf;
+  size_t OutPos = 0;
+  bool CloseAfterFlush = false;
+  uint64_t BytesQueuedTotal = 0;
+  uint64_t BytesFlushedTotal = 0;
+  std::deque<FlushRecord> Flushes;
+  std::chrono::steady_clock::time_point LastWriteProgress;
+
+  /// Cached poller interest, to skip redundant syscalls.
+  bool IntRead = false;
+  bool IntWrite = false;
+};
+
+/// One shared-nothing shard: a private driver (thread pool, workspaces,
+/// LRU), a private suite cache, and a bounded queue its worker drains.
+struct Shard {
+  Shard(unsigned Index, unsigned Threads) : Index(Index), Driver(Threads) {}
+
+  const unsigned Index;
+  /// Worker-thread-private after start(); the disk cache underneath it is
+  /// internally synchronized.
+  BatchDriver Driver;
+  /// Named suites generated once per shard; tiny (four suite names).
+  std::map<std::string, Suite> SuiteCache;
+
+  std::mutex QMutex;
+  std::condition_variable QCv;
+  std::deque<ShardJob> Queue; ///< QMutex.
+  uint64_t QueueMaxDepth = 0; ///< QMutex.
+  bool Drain = false;         ///< QMutex.
+  std::thread Worker;
+
+  /// Published statistics; the worker is the only writer.
+  std::mutex StatMutex;
+  uint64_t Requests = 0;     ///< StatMutex.
+  double BusyMs = 0;         ///< StatMutex.
+  DriverCacheCounters Cache; ///< StatMutex.
 };
 
 } // namespace
@@ -109,6 +301,7 @@ std::string layra::makeStatsResponse(const ServerStats &S,
   Requests.set("stats", S.RequestsStats);
   Requests.set("ping", S.RequestsPing);
   Requests.set("failed", S.RequestsFailed);
+  Requests.set("rejected", S.RequestsRejected);
   Doc.set("requests", std::move(Requests));
   JsonValue Connections = JsonValue::object();
   Connections.set("accepted", S.ConnectionsAccepted);
@@ -157,6 +350,42 @@ std::string layra::makeStatsResponse(const ServerStats &S,
   Dispatcher.set("busy_ms", S.DispatcherBusyMs);
   Dispatcher.set("utilization", S.DispatcherUtilization);
   Doc.set("dispatcher", std::move(Dispatcher));
+  // v3 additions land after every v2 member (insertion-ordered object), so
+  // a v2 consumer reading by name sees exactly what it always saw.
+  JsonValue ShardsArr = JsonValue::array();
+  for (size_t I = 0; I < S.PerShard.size(); ++I) {
+    const ShardStats &E = S.PerShard[I];
+    JsonValue Sh = JsonValue::object();
+    Sh.set("shard", static_cast<uint64_t>(I));
+    Sh.set("requests", E.Requests);
+    JsonValue SC = JsonValue::object();
+    SC.set("entries", E.CacheEntries);
+    SC.set("capacity", E.CacheCapacity);
+    SC.set("hits", E.CacheHits);
+    SC.set("misses", E.CacheMisses);
+    SC.set("evictions", E.CacheEvictions);
+    double SCl = static_cast<double>(E.CacheHits + E.CacheMisses);
+    SC.set("hit_rate",
+           SCl > 0 ? static_cast<double>(E.CacheHits) / SCl : 0.0);
+    Sh.set("cache", std::move(SC));
+    JsonValue SQ = JsonValue::object();
+    SQ.set("depth", E.QueueDepth);
+    SQ.set("max_depth", E.QueueMaxDepth);
+    SQ.set("capacity", E.QueueCapacity);
+    Sh.set("queue", std::move(SQ));
+    Sh.set("busy_ms", E.BusyMs);
+    ShardsArr.push(std::move(Sh));
+  }
+  Doc.set("shards", std::move(ShardsArr));
+  JsonValue Disk = JsonValue::object();
+  Disk.set("enabled", S.DiskCacheEnabled);
+  Disk.set("entries", S.DiskEntries);
+  Disk.set("bytes", S.DiskBytes);
+  Disk.set("hits", S.DiskHits);
+  Disk.set("misses", S.DiskMisses);
+  Disk.set("writes", S.DiskWrites);
+  Disk.set("evictions", S.DiskEvictions);
+  Doc.set("disk_cache", std::move(Disk));
   // The trace echo, like everywhere else, lands after every existing
   // member so untraced stats responses keep their exact bytes.
   if (!TraceId.empty()) {
@@ -178,6 +407,7 @@ std::string layra::makeMetricsExposition(const ServerStats &S) {
       {"layra.serve.requests.stats", S.RequestsStats},
       {"layra.serve.requests.ping", S.RequestsPing},
       {"layra.serve.requests.failed", S.RequestsFailed},
+      {"layra.serve.requests.rejected", S.RequestsRejected},
       {"layra.serve.connections.accepted", S.ConnectionsAccepted},
       {"layra.serve.connections.rejected", S.ConnectionsRejected},
       {"layra.serve.cache.hits", S.CacheHits},
@@ -199,6 +429,23 @@ std::string layra::makeMetricsExposition(const ServerStats &S) {
       {"layra.serve.dispatcher.busy_ms", S.DispatcherBusyMs},
       {"layra.serve.dispatcher.utilization", S.DispatcherUtilization},
   };
+  for (size_t I = 0; I < S.PerShard.size(); ++I) {
+    const ShardStats &E = S.PerShard[I];
+    std::string P = "layra.serve.shard." + std::to_string(I);
+    Snap.Counters.push_back({P + ".requests", E.Requests});
+    Snap.Counters.push_back({P + ".cache.hits", E.CacheHits});
+    Snap.Counters.push_back({P + ".cache.misses", E.CacheMisses});
+    Snap.Gauges.push_back({P + ".queue.depth", double(E.QueueDepth)});
+    Snap.Gauges.push_back({P + ".busy_ms", E.BusyMs});
+  }
+  if (S.DiskCacheEnabled) {
+    Snap.Counters.push_back({"layra.serve.disk.hits", S.DiskHits});
+    Snap.Counters.push_back({"layra.serve.disk.misses", S.DiskMisses});
+    Snap.Counters.push_back({"layra.serve.disk.writes", S.DiskWrites});
+    Snap.Counters.push_back({"layra.serve.disk.evictions", S.DiskEvictions});
+    Snap.Gauges.push_back({"layra.serve.disk.entries", double(S.DiskEntries)});
+    Snap.Gauges.push_back({"layra.serve.disk.bytes", double(S.DiskBytes)});
+  }
   if (S.ServiceLatency.Count > 0) {
     HistogramSnapshot Service = S.ServiceLatency;
     Service.Name = "layra.serve.service_ms";
@@ -213,89 +460,110 @@ std::string layra::makeMetricsExposition(const ServerStats &S) {
 //===----------------------------------------------------------------------===//
 
 struct Server::Impl {
-  explicit Impl(ServerOptions Options)
-      : Opt(std::move(Options)), Driver(Opt.Threads) {
-    Driver.setCacheCapacity(Opt.CacheCapacity);
-    CachedCache = Driver.pipelineCacheCounters();
+  explicit Impl(ServerOptions Options) : Opt(std::move(Options)) {
+    NumShards = std::max(1u, Opt.Shards);
+    if (!Opt.DiskCacheDir.empty())
+      Disk = std::make_unique<DiskCache>(Opt.DiskCacheDir,
+                                         Opt.DiskCacheCapBytes);
+    // Splitting one entry bound across shards keeps total memory at the
+    // configured level; each shard holds at least one entry so a tiny
+    // bound with many shards still caches something.
+    size_t PerShardCap =
+        Opt.CacheCapacity
+            ? std::max<size_t>(1, Opt.CacheCapacity / NumShards)
+            : 0;
+    for (unsigned I = 0; I < NumShards; ++I) {
+      auto Sh = std::make_unique<Shard>(I, Opt.Threads);
+      Sh->Driver.setCacheCapacity(PerShardCap);
+      if (Disk && Disk->valid())
+        Sh->Driver.setOutcomeStore(Disk.get());
+      Sh->Cache = Sh->Driver.pipelineCacheCounters();
+      ShardList.push_back(std::move(Sh));
+    }
   }
 
   ServerOptions Opt;
+  unsigned NumShards = 1;
+  std::vector<std::unique_ptr<Shard>> ShardList;
+  /// Persistent outcome store shared by every shard driver (the store is
+  /// internally synchronized); null when --disk-cache is off.
+  std::unique_ptr<DiskCache> Disk;
 
-  //--- Shared allocation state (dispatcher thread only after start()). ----
-  BatchDriver Driver;
-  /// Named suites generated once and shared across requests; tiny (there
-  /// are four suite names) and dispatcher-private.
-  std::map<std::string, Suite> SuiteCache;
-
-  //--- Listeners and threads. ---------------------------------------------
+  //--- Listeners, poller, threads. ----------------------------------------
   SocketFd TcpListener;
   SocketFd UnixListener;
   uint16_t BoundTcpPort = 0;
-  std::vector<std::thread> AcceptThreads;
-  std::thread DispatchThread;
+  /// Self-pipe: shard workers and requestStop() write a byte to pull the
+  /// IO thread out of its poll wait.
+  SocketFd WakeRead;
+  SocketFd WakeWrite;
+  Poller Poll;
+  std::thread IoThread;
   std::atomic<bool> Started{false};
   std::atomic<bool> Stop{false};
   std::atomic<bool> Drained{false};
 
-  //--- Connection registry. -----------------------------------------------
-  std::mutex ConnMutex;
+  //--- IO-thread-private connection state. --------------------------------
+  std::map<uint64_t, std::unique_ptr<IoConn>> Conns;
+  std::unordered_map<int, IoConn *> FdIndex;
   uint64_t NextConnId = 1;
-  std::map<uint64_t, std::shared_ptr<Connection>> Connections;
-  std::map<uint64_t, std::thread> ReaderThreads;
-  std::vector<uint64_t> FinishedReaders;
+  /// Jobs handed to shards whose completions have not come back yet; the
+  /// drain waits for this to hit zero.
+  uint64_t OutstandingShardJobs = 0;
+  bool Draining = false;
 
-  //--- Bounded request queue. ---------------------------------------------
-  std::mutex QueueMutex;
-  std::condition_variable QueueNotEmpty;
-  std::condition_variable QueueNotFull;
-  std::deque<QueuedWork> Queue;
-  uint64_t QueueMaxDepth = 0;
-  /// Readers currently alive; the dispatcher drains until none remain.
-  unsigned ActiveReaders = 0;
+  //--- Completion channel (shard workers -> IO thread). -------------------
+  std::mutex CompMutex;
+  std::vector<Completion> Completions;
 
   //--- Statistics. --------------------------------------------------------
   mutable std::mutex StatsMutex;
-  ServerStats Counters; ///< Queue/cache fields are filled on snapshot.
-  /// Driver cache counters as of the last dispatched request.  The driver
-  /// itself is dispatcher-private after start(), so out-of-band stats()
-  /// callers read this published copy instead of racing the driver.
-  DriverCacheCounters CachedCache;
+  ServerStats Counters; ///< Aggregate fields are filled on snapshot.
+  /// Wall time the IO thread spent executing inline requests (ping/stats);
+  /// shard busy time lives in each Shard (StatsMutex).
+  double InlineBusyMs = 0;
+  std::atomic<uint64_t> ActiveConns{0};
   /// Lifetime service-time histogram (log-linear buckets, obs/Metrics.h):
-  /// constant memory for a long-lived server, like the ring buffer it
-  /// replaces, but without discarding history -- and the same bucket
-  /// geometry layra-loadgen uses client-side, so the two ends' percentile
-  /// figures are directly comparable.  record() is wait-free, so it lives
-  /// outside StatsMutex.
+  /// wait-free record() from the IO thread and every shard worker, same
+  /// bucket geometry layra-loadgen uses client-side.
   Histogram ServiceHist;
-  /// Wall time the dispatcher spent executing requests (StatsMutex).
-  double DispatcherBusyMs = 0;
   std::chrono::steady_clock::time_point StartTime;
 
-  //--- Request tracing (dispatcher thread only). --------------------------
-  /// Salt for server-generated trace ids (Opt.TraceIdSalt, or the clock).
+  //--- Request tracing (IO thread assigns ids at parse time). -------------
   uint64_t TraceSalt = 0;
-  /// Sequence for server-generated ids; the dispatcher is the only
-  /// generator, so a plain counter suffices.
+  /// Sequence for server-generated ids; the IO thread is the only
+  /// generator, so a plain counter suffices -- and ids stay in request
+  /// arrival order however many shards execute them.
   uint64_t NextTraceSeq = 1;
 
   //--- Implementation. ----------------------------------------------------
   bool start(std::string *Error);
   void requestStop();
   void wait();
-  void acceptLoop(SocketFd &Listener);
-  void readerLoop(std::shared_ptr<Connection> Conn);
-  void enqueue(QueuedWork Work);
-  void dispatchLoop();
-  void writeResponse(Connection &Conn, const std::string &Payload);
-  /// Handlers thread an optional RequestTrace: null = untraced request,
-  /// and no trace-related work happens at all.
-  std::string handleRequest(const ServiceRequest &Req,
-                            obs::RequestTrace *Trace);
-  std::string handleAllocate(const ServiceRequest &Req,
+  void wakeIo();
+  void ioLoop();
+  void beginDrain();
+  void acceptReady(SocketFd &Listener);
+  IoConn *connByFd(int Fd);
+  bool readInput(IoConn &C);
+  void parseFrames(IoConn &C, bool IgnoreWindow = false);
+  void processRequest(IoConn &C, std::string_view Payload);
+  void sequenceCompletion(IoConn &C, Completion Comp);
+  void appendResponse(IoConn &C, Completion &Comp);
+  bool tryWrite(IoConn &C);
+  void finalizeFlush(FlushRecord &R);
+  void updateInterest(IoConn &C);
+  bool maybeClose(IoConn &C);
+  void destroyConn(IoConn &C);
+  void drainCompletions();
+  void postCompletion(Completion Comp);
+  void checkWriteTimeouts();
+  void shardLoop(Shard &Sh);
+  std::string handleAllocate(Shard &Sh, const ServiceRequest &Req,
                              obs::RequestTrace *Trace);
-  std::string handleSubmitIr(const ServiceRequest &Req,
+  std::string handleSubmitIr(Shard &Sh, const ServiceRequest &Req,
                              obs::RequestTrace *Trace);
-  std::string runJobs(const std::vector<BatchJob> &Jobs,
+  std::string runJobs(Shard &Sh, const std::vector<BatchJob> &Jobs,
                       const ServiceRequest &Req,
                       uint64_t ServerStats::*Counter,
                       obs::RequestTrace *Trace);
@@ -309,14 +577,22 @@ struct Server::Impl {
   void emitSlowRequest(const obs::RequestTrace &Trace, double TotalMs,
                        ServiceRequest::Kind K);
   ServerStats snapshotStats();
-  void recordService(double Ms);
-  void reapFinishedReaders();
 };
 
 bool Server::Impl::start(std::string *Error) {
   if (Opt.UnixPath.empty() && !Opt.EnableTcp) {
     if (Error)
       *Error = "server needs a Unix socket path and/or TCP enabled";
+    return false;
+  }
+  if (Disk && !Disk->valid()) {
+    if (Error)
+      *Error = Disk->error();
+    return false;
+  }
+  if (!Poll.valid()) {
+    if (Error)
+      *Error = "cannot create the event poller";
     return false;
   }
   if (Opt.EnableTcp) {
@@ -332,57 +608,62 @@ bool Server::Impl::start(std::string *Error) {
       return false;
     }
   }
+  int PipeFds[2];
+  if (::pipe(PipeFds) != 0) {
+    if (Error)
+      *Error = "cannot create the wake pipe";
+    TcpListener.reset();
+    UnixListener.reset();
+    if (!Opt.UnixPath.empty())
+      ::unlink(Opt.UnixPath.c_str());
+    return false;
+  }
+  WakeRead.reset(PipeFds[0]);
+  WakeWrite.reset(PipeFds[1]);
+  setNonBlocking(WakeRead.fd());
+  setNonBlocking(WakeWrite.fd());
+  raiseFdLimit(Opt.MaxConnections + 64);
+  if (TcpListener.valid()) {
+    setNonBlocking(TcpListener.fd());
+    Poll.add(TcpListener.fd(), /*R=*/true, /*W=*/false);
+  }
+  if (UnixListener.valid()) {
+    setNonBlocking(UnixListener.fd());
+    Poll.add(UnixListener.fd(), /*R=*/true, /*W=*/false);
+  }
+  Poll.add(WakeRead.fd(), /*R=*/true, /*W=*/false);
   StartTime = std::chrono::steady_clock::now();
   TraceSalt = Opt.TraceIdSalt
                   ? Opt.TraceIdSalt
                   : static_cast<uint64_t>(StartTime.time_since_epoch().count());
-  Counters.Threads = Driver.numThreads();
+  Counters.Threads = ShardList.front()->Driver.numThreads();
   Started = true;
-  if (TcpListener.valid())
-    AcceptThreads.emplace_back([this] { acceptLoop(TcpListener); });
-  if (UnixListener.valid())
-    AcceptThreads.emplace_back([this] { acceptLoop(UnixListener); });
-  DispatchThread = std::thread([this] { dispatchLoop(); });
+  for (auto &Sh : ShardList) {
+    Shard *S = Sh.get();
+    S->Worker = std::thread([this, S] { shardLoop(*S); });
+  }
+  IoThread = std::thread([this] { ioLoop(); });
   return true;
 }
 
 void Server::Impl::requestStop() {
-  {
-    // Set under the queue lock so no waiter can test its predicate between
-    // the flag flip and the notify (the classic lost-wakeup window).
-    std::lock_guard<std::mutex> L(QueueMutex);
-    if (Stop.exchange(true))
-      return;
-  }
+  if (Stop.exchange(true))
+    return;
   obs::EventLog::global().record(obs::EventKind::DrainBegin);
-  QueueNotEmpty.notify_all();
-  QueueNotFull.notify_all();
-  // Unblock readers parked in recv().  SHUT_RD only: responses for queued
-  // requests must still go out on the write side.
-  std::lock_guard<std::mutex> L(ConnMutex);
-  for (auto &Entry : Connections)
-    ::shutdown(Entry.second->Fd.fd(), SHUT_RD);
+  wakeIo();
 }
 
 void Server::Impl::wait() {
   if (!Started)
     return;
-  for (std::thread &T : AcceptThreads)
-    if (T.joinable())
-      T.join();
-  AcceptThreads.clear();
-  if (DispatchThread.joinable())
-    DispatchThread.join();
-  // Dispatcher exit implies every reader has exited; join their handles.
-  std::map<uint64_t, std::thread> Readers;
-  {
-    std::lock_guard<std::mutex> L(ConnMutex);
-    Readers.swap(ReaderThreads);
-    FinishedReaders.clear();
-  }
-  for (auto &Entry : Readers)
-    if (Entry.second.joinable())
-      Entry.second.join();
+  if (IoThread.joinable())
+    IoThread.join();
+  for (auto &Sh : ShardList)
+    if (Sh->Worker.joinable())
+      Sh->Worker.join();
+  // The wake pipe closes only after every writer (shard worker) is gone.
+  WakeRead.reset();
+  WakeWrite.reset();
   TcpListener.reset();
   UnixListener.reset();
   if (!Opt.UnixPath.empty())
@@ -391,232 +672,610 @@ void Server::Impl::wait() {
   Drained = true;
 }
 
-void Server::Impl::reapFinishedReaders() {
-  std::lock_guard<std::mutex> L(ConnMutex);
-  for (uint64_t Id : FinishedReaders) {
-    auto It = ReaderThreads.find(Id);
-    if (It != ReaderThreads.end()) {
-      It->second.join();
-      ReaderThreads.erase(It);
-    }
-  }
-  FinishedReaders.clear();
+void Server::Impl::wakeIo() {
+  if (!WakeWrite.valid())
+    return;
+  char B = 1;
+  // A full pipe means a wakeup is already pending; nothing to do.
+  ssize_t Ignored = ::write(WakeWrite.fd(), &B, 1);
+  (void)Ignored;
 }
 
-void Server::Impl::acceptLoop(SocketFd &Listener) {
-  while (!Stop) {
-    bool TimedOut = false;
-    SocketFd Fd = acceptConnection(Listener, kAcceptPollMs, &TimedOut);
-    // Join reader threads of connections that came and went, so a
-    // long-lived server does not accumulate dead thread handles.
-    reapFinishedReaders();
-    if (!Fd.valid()) {
-      if (Stop)
-        break;
-      // An unexpected accept failure (EMFILE under fd exhaustion, say)
-      // leaves the pending connection readable, so poll() would return
-      // immediately and this loop would spin hot.  Back off briefly and
-      // retry; plain timeouts keep polling at full cadence.
-      if (!TimedOut)
-        std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMs));
-      continue;
-    }
-    if (Stop)
-      break;
+void Server::Impl::postCompletion(Completion Comp) {
+  {
+    std::lock_guard<std::mutex> L(CompMutex);
+    Completions.push_back(std::move(Comp));
+  }
+  wakeIo();
+}
 
-    auto Conn = std::make_shared<Connection>();
-    Conn->Fd = std::move(Fd);
-    bool Reject = false;
-    {
-      std::lock_guard<std::mutex> L(ConnMutex);
-      if (Connections.size() >= Opt.MaxConnections)
-        Reject = true;
-      else {
-        Conn->Id = NextConnId++;
-        Connections.emplace(Conn->Id, Conn);
+IoConn *Server::Impl::connByFd(int Fd) {
+  auto It = FdIndex.find(Fd);
+  return It == FdIndex.end() ? nullptr : It->second;
+}
+
+void Server::Impl::ioLoop() {
+  std::vector<PollEvent> Events;
+  while (true) {
+    Poll.wait(Events, kTickMs);
+    if (Stop && !Draining)
+      beginDrain();
+    for (const PollEvent &Ev : Events) {
+      if (WakeRead.valid() && Ev.Fd == WakeRead.fd()) {
+        char Buf[256];
+        while (::read(WakeRead.fd(), Buf, sizeof Buf) > 0) {
+        }
+        continue;
       }
+      if (TcpListener.valid() && Ev.Fd == TcpListener.fd()) {
+        acceptReady(TcpListener);
+        continue;
+      }
+      if (UnixListener.valid() && Ev.Fd == UnixListener.fd()) {
+        acceptReady(UnixListener);
+        continue;
+      }
+      IoConn *C = connByFd(Ev.Fd);
+      if (!C)
+        continue; // Closed earlier in this batch.
+      // An error with no data left to read means the peer is gone in both
+      // directions -- responses are undeliverable, so drop everything.
+      if (Ev.Error && !Ev.Readable && !Ev.Writable) {
+        destroyConn(*C);
+        continue;
+      }
+      if (Ev.Writable && !tryWrite(*C))
+        continue;
+      if (Ev.Readable && !readInput(*C))
+        continue;
+      updateInterest(*C);
+      maybeClose(*C);
     }
-    if (Reject) {
+    drainCompletions();
+    checkWriteTimeouts();
+    if (Draining && OutstandingShardJobs == 0 && Conns.empty())
+      return;
+  }
+}
+
+void Server::Impl::beginDrain() {
+  Draining = true;
+  if (TcpListener.valid()) {
+    Poll.remove(TcpListener.fd());
+    TcpListener.reset();
+  }
+  if (UnixListener.valid()) {
+    Poll.remove(UnixListener.fd());
+    UnixListener.reset();
+  }
+  // Complete frames already buffered still execute (a drain is not an
+  // abort); incomplete tails are abandoned with the read side.  The window
+  // is ignored so nothing accepted stays stuck behind a paused parser.
+  std::vector<uint64_t> Ids;
+  Ids.reserve(Conns.size());
+  for (const auto &E : Conns)
+    Ids.push_back(E.first);
+  for (uint64_t Id : Ids) {
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      continue;
+    IoConn &C = *It->second;
+    C.ReadClosed = true;
+    parseFrames(C, /*IgnoreWindow=*/true);
+    if (!tryWrite(C))
+      continue;
+    updateInterest(C);
+    maybeClose(C);
+  }
+  // Shard drain flags flip only after the enqueues above (same thread), so
+  // every drained frame is in a queue before any worker sees Drain.
+  for (auto &Sh : ShardList) {
+    {
+      std::lock_guard<std::mutex> L(Sh->QMutex);
+      Sh->Drain = true;
+    }
+    Sh->QCv.notify_all();
+  }
+}
+
+void Server::Impl::acceptReady(SocketFd &Listener) {
+  while (true) {
+    int Fd = ::accept(Listener.fd(), nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      break; // EAGAIN, or a transient failure the level trigger retries.
+    }
+    setNonBlocking(Fd);
+    setTcpNoDelay(Fd);
+    auto C = std::make_unique<IoConn>();
+    C->Fd.reset(Fd);
+    C->Id = NextConnId++;
+    C->LastWriteProgress = std::chrono::steady_clock::now();
+    if (ActiveConns.load() >= Opt.MaxConnections) {
       {
         std::lock_guard<std::mutex> L(StatsMutex);
         ++Counters.ConnectionsRejected;
       }
-      std::string Frame =
-          encodeFrame(makeErrorResponse("server at its connection limit"));
-      sendAllWithTimeout(Conn->Fd.fd(), Frame.data(), Frame.size(),
-                         Opt.WriteTimeoutMs);
-      continue; // Conn's destructor closes the socket.
+      // The rejected connection rides the normal flush machinery: the
+      // error reply goes out as the loop gets to it, then the socket
+      // closes.  Never admitted, never counted active.
+      C->Admitted = false;
+      C->ReadClosed = true;
+      C->ParseDead = true;
+      Completion Comp;
+      Comp.ConnId = C->Id;
+      Comp.Seq = C->NextSeq++;
+      ++C->InFlight;
+      Comp.Response = makeErrorResponse("server at its connection limit");
+      Comp.CloseAfter = true;
+      IoConn &Ref = *C;
+      FdIndex.emplace(Fd, C.get());
+      Conns.emplace(Ref.Id, std::move(C));
+      Poll.add(Fd, /*R=*/false, /*W=*/true);
+      Ref.IntRead = false;
+      Ref.IntWrite = true;
+      sequenceCompletion(Ref, std::move(Comp));
+      if (tryWrite(Ref)) {
+        updateInterest(Ref);
+        maybeClose(Ref);
+      }
+      continue;
     }
     {
       std::lock_guard<std::mutex> L(StatsMutex);
       ++Counters.ConnectionsAccepted;
     }
-    // The Stop check and the reader-count increment must be one atomic
-    // step under QueueMutex: the dispatcher's exit predicate (Stop, no
-    // readers, empty queue) is evaluated under the same lock, so either
-    // the dispatcher is already gone -- then Stop is visibly set here and
-    // the connection is dropped before it can enqueue anything -- or the
-    // increment lands first and the dispatcher drains this reader too.
-    bool Drop = false;
-    {
-      std::lock_guard<std::mutex> QL(QueueMutex);
-      if (Stop)
-        Drop = true;
-      else
-        ++ActiveReaders;
-    }
-    if (Drop) {
-      std::lock_guard<std::mutex> L(ConnMutex);
-      Connections.erase(Conn->Id);
-      break; // Conn's destructor closes the socket; the client sees EOF.
-    }
-    std::lock_guard<std::mutex> L(ConnMutex);
-    ReaderThreads.emplace(Conn->Id,
-                          std::thread([this, Conn] { readerLoop(Conn); }));
+    C->Admitted = true;
+    ++ActiveConns;
+    IoConn &Ref = *C;
+    FdIndex.emplace(Fd, C.get());
+    Conns.emplace(Ref.Id, std::move(C));
+    Poll.add(Fd, /*R=*/true, /*W=*/false);
+    Ref.IntRead = true;
+    Ref.IntWrite = false;
   }
 }
 
-void Server::Impl::enqueue(QueuedWork Work) {
-  // Blocks while the queue is full: backpressure, by construction.  Safe
-  // even during a drain: the dispatcher keeps popping until every reader
-  // (including this one) has exited.
+void Server::Impl::destroyConn(IoConn &C) {
+  int Fd = C.Fd.fd();
+  Poll.remove(Fd);
+  FdIndex.erase(Fd);
+  if (C.Admitted)
+    --ActiveConns;
+  Conns.erase(C.Id); // Destroys C; the SocketFd destructor closes the fd.
+}
+
+bool Server::Impl::maybeClose(IoConn &C) {
+  if (C.OutPos < C.OutBuf.size())
+    return true; // Response bytes still queued.
+  if (C.CloseAfterFlush ||
+      (C.ReadClosed && C.InFlight == 0 && C.Ready.empty())) {
+    destroyConn(C);
+    return false;
+  }
+  return true;
+}
+
+void Server::Impl::updateInterest(IoConn &C) {
+  bool WindowOpen =
+      Opt.InFlightWindow == 0 || C.InFlight < Opt.InFlightWindow;
+  bool WantRead = !C.ReadClosed && WindowOpen;
+  bool WantWrite = C.OutPos < C.OutBuf.size();
+  if (WantRead != C.IntRead || WantWrite != C.IntWrite) {
+    C.IntRead = WantRead;
+    C.IntWrite = WantWrite;
+    Poll.set(C.Fd.fd(), WantRead, WantWrite);
+  }
+}
+
+bool Server::Impl::readInput(IoConn &C) {
+  if (C.ReadClosed)
+    return true;
+  while (true) {
+    // The admission window pauses *reading*, not just parsing: bytes the
+    // kernel holds stay there as TCP backpressure until responses drain.
+    if (Opt.InFlightWindow && C.InFlight >= Opt.InFlightWindow)
+      break;
+    size_t Old = C.InBuf.size();
+    C.InBuf.resize(Old + kReadChunk);
+    ssize_t N = ::recv(C.Fd.fd(), &C.InBuf[Old], kReadChunk, 0);
+    if (N > 0) {
+      C.InBuf.resize(Old + size_t(N));
+      parseFrames(C);
+      if (size_t(N) < kReadChunk)
+        break; // Drained the kernel buffer.
+      continue;
+    }
+    C.InBuf.resize(Old);
+    if (N == 0) {
+      // Clean EOF (or half-close): stop reading, but in-flight requests
+      // still get their responses before the socket closes.
+      C.ReadClosed = true;
+      parseFrames(C);
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    if (errno == EINTR)
+      continue;
+    destroyConn(C);
+    return false;
+  }
+  return true;
+}
+
+void Server::Impl::parseFrames(IoConn &C, bool IgnoreWindow) {
+  while (!C.ParseDead) {
+    if (!IgnoreWindow && Opt.InFlightWindow &&
+        C.InFlight >= Opt.InFlightWindow)
+      break;
+    size_t Avail = C.InBuf.size() - C.InPos;
+    if (Avail < kFrameHeaderBytes)
+      break;
+    size_t PayloadBytes = 0;
+    FrameStatus FS = decodeFrameHeader(
+        reinterpret_cast<const unsigned char *>(C.InBuf.data()) + C.InPos,
+        Opt.MaxFrameBytes, PayloadBytes);
+    if (FS != FrameStatus::Ok) {
+      // The stream position is unrecoverable after a framing error: answer
+      // once -- in order, behind any pending responses -- then close.
+      C.ParseDead = true;
+      C.ReadClosed = true;
+      Completion Comp;
+      Comp.ConnId = C.Id;
+      Comp.Seq = C.NextSeq++;
+      ++C.InFlight;
+      Comp.Response =
+          failRequest(std::string("protocol error: ") + frameStatusName(FS));
+      Comp.CloseAfter = true;
+      sequenceCompletion(C, std::move(Comp));
+      break;
+    }
+    if (Avail < kFrameHeaderBytes + PayloadBytes)
+      break; // Frame still arriving.
+    // Zero-copy hand-off: the payload is parsed straight out of the read
+    // buffer; nothing below mutates InBuf while the view is live.
+    std::string_view Payload(C.InBuf.data() + C.InPos + kFrameHeaderBytes,
+                             PayloadBytes);
+    C.InPos += kFrameHeaderBytes + PayloadBytes;
+    processRequest(C, Payload);
+  }
+  if (C.InPos >= C.InBuf.size()) {
+    C.InBuf.clear();
+    C.InPos = 0;
+  } else if (C.InPos > kReadChunk) {
+    C.InBuf.erase(0, C.InPos);
+    C.InPos = 0;
+  }
+}
+
+void Server::Impl::processRequest(IoConn &C, std::string_view Payload) {
+  auto AcceptTime = std::chrono::steady_clock::now();
+  uint64_t Seq = C.NextSeq++;
+  ++C.InFlight;
+  ServiceRequest Req;
+  std::string Error;
+  if (!parseServiceRequest(Payload, Req, Error)) {
+    // Framing is intact; answer (in order) and keep serving.  A request
+    // that never parsed has no trace context to echo, traced or not.
+    Completion Comp;
+    Comp.ConnId = C.Id;
+    Comp.Seq = Seq;
+    Comp.Response = failRequest(Error);
+    sequenceCompletion(C, std::move(Comp));
+    return;
+  }
+  obs::EventLog &Events = obs::EventLog::global();
+  // A trace is armed when the client asked for one, when the slow log
+  // could need the span tree, or when the event ring wants request events
+  // with ids.  Untraced otherwise: the handler path does zero extra work,
+  // keeping the no-observers deployment at its old cost.
+  const bool WantTrace = Req.Trace || Opt.SlowMs >= 0 || Events.enabled();
+  obs::RequestTrace Trace;
+  double ParseMs = 0;
+  if (WantTrace) {
+    std::string Id = Req.TraceId.empty()
+                         ? obs::makeTraceId(TraceSalt, NextTraceSeq++)
+                         : Req.TraceId;
+    Trace.begin(std::move(Id), AcceptTime);
+    Trace.Echo = Req.Trace;
+    ParseMs = Trace.sinceBeginMs();
+    Trace.addSpan("accept", 0, ParseMs);
+  }
+  if (Req.K == ServiceRequest::Kind::Ping ||
+      Req.K == ServiceRequest::Kind::Stats) {
+    // Answered on the IO thread: both are cheap, and stats must observe
+    // the shards, not run inside one.
+    auto Begin = std::chrono::steady_clock::now();
+    if (WantTrace) {
+      double DequeueMs = Trace.sinceBeginMs();
+      Trace.addSpan("queue_wait", ParseMs, DequeueMs - ParseMs);
+      Trace.DispatchStartMs = DequeueMs;
+    }
+    Events.record(obs::EventKind::RequestStart, 0, Trace.id().c_str(),
+                  requestKindName(Req.K));
+    const std::string EchoId = Trace.Echo ? Trace.id() : std::string();
+    std::string Response;
+    if (Req.K == ServiceRequest::Kind::Ping) {
+      {
+        std::lock_guard<std::mutex> L(StatsMutex);
+        ++Counters.RequestsTotal;
+        ++Counters.RequestsPing;
+      }
+      Response = makePongResponse(EchoId);
+    } else {
+      {
+        std::lock_guard<std::mutex> L(StatsMutex);
+        ++Counters.RequestsTotal;
+        ++Counters.RequestsStats;
+      }
+      Response = makeStatsResponse(snapshotStats(), EchoId);
+    }
+    double ServiceMs = msSince(Begin);
+    ServiceHist.record(ServiceMs);
+    {
+      std::lock_guard<std::mutex> L(StatsMutex);
+      InlineBusyMs += ServiceMs;
+    }
+    if (WantTrace)
+      Trace.addSpan("dispatch", Trace.DispatchStartMs,
+                    Trace.sinceBeginMs() - Trace.DispatchStartMs);
+    Completion Comp;
+    Comp.ConnId = C.Id;
+    Comp.Seq = Seq;
+    Comp.Response = std::move(Response);
+    Comp.TrackEnd = true;
+    Comp.WantTrace = WantTrace;
+    Comp.Trace = std::move(Trace);
+    Comp.ServiceMs = ServiceMs;
+    Comp.Kind = Req.K;
+    sequenceCompletion(C, std::move(Comp));
+    return;
+  }
+  // Content-hash routing: identical work always lands on the same shard,
+  // so its private cache sees every repeat.
+  ServiceRequest::Kind Kind = Req.K;
+  Shard &Sh = *ShardList[size_t(routeRequestHash(Req) % NumShards)];
+  bool Full = false;
   bool Saturated = false;
   {
-    std::unique_lock<std::mutex> L(QueueMutex);
-    Saturated = Queue.size() >= Opt.QueueCapacity;
-    QueueNotFull.wait(L,
-                      [this] { return Queue.size() < Opt.QueueCapacity; });
-    Queue.push_back(std::move(Work));
-    QueueMaxDepth = std::max<uint64_t>(QueueMaxDepth, Queue.size());
+    std::lock_guard<std::mutex> L(Sh.QMutex);
+    if (Sh.Queue.size() >= Opt.QueueCapacity) {
+      Full = true;
+    } else {
+      ShardJob Job;
+      Job.ConnId = C.Id;
+      Job.Seq = Seq;
+      Job.Req = std::move(Req);
+      Job.Trace = std::move(Trace);
+      Job.WantTrace = WantTrace;
+      Job.ParseMs = ParseMs;
+      Sh.Queue.push_back(std::move(Job));
+      Sh.QueueMaxDepth =
+          std::max<uint64_t>(Sh.QueueMaxDepth, Sh.Queue.size());
+      Saturated = Sh.Queue.size() >= Opt.QueueCapacity;
+    }
   }
-  QueueNotEmpty.notify_one();
+  if (Full) {
+    // Admission control: a full shard queue turns into an immediate,
+    // clean rejection the client can retry on -- never unbounded
+    // buffering, never a stalled event loop.
+    {
+      std::lock_guard<std::mutex> L(StatsMutex);
+      ++Counters.RequestsTotal;
+      ++Counters.RequestsRejected;
+    }
+    Events.record(obs::EventKind::Reject, double(Opt.QueueCapacity),
+                  Trace.id().c_str(), "shard queue full");
+    Completion Comp;
+    Comp.ConnId = C.Id;
+    Comp.Seq = Seq;
+    Comp.Response =
+        makeErrorResponse("server overloaded: shard queue full, retry later",
+                          Trace.Echo ? Trace.id() : std::string());
+    Comp.Kind = Kind;
+    sequenceCompletion(C, std::move(Comp));
+    return;
+  }
+  ++OutstandingShardJobs;
+  Sh.QCv.notify_one();
   if (Saturated)
     obs::EventLog::global().record(obs::EventKind::QueueSaturated,
                                    double(Opt.QueueCapacity));
 }
 
-void Server::Impl::readerLoop(std::shared_ptr<Connection> Conn) {
-  std::string Payload;
-  while (true) {
-    FrameStatus FS = readFrame(Conn->Fd.fd(), Payload, Opt.MaxFrameBytes);
-    if (FS == FrameStatus::Ok) {
-      QueuedWork Work;
-      Work.Conn = Conn;
-      Work.AcceptTime = std::chrono::steady_clock::now();
-      std::string Error;
-      if (parseServiceRequest(Payload, Work.Req, Error)) {
-        Work.EnqueueTime = std::chrono::steady_clock::now();
-        enqueue(std::move(Work));
-      } else {
-        // Framing is intact; answer (in order, via the queue) and keep
-        // serving the connection.  A request that never parsed has no
-        // trace context to echo, traced or not.
-        Work.PrebuiltResponse = failRequest(Error);
-        Work.EnqueueTime = std::chrono::steady_clock::now();
-        enqueue(std::move(Work));
+void Server::Impl::sequenceCompletion(IoConn &C, Completion Comp) {
+  C.Ready.emplace(Comp.Seq, std::move(Comp));
+  // Flush the in-order prefix: a completion for request N waits here until
+  // every response before N is in the output buffer.
+  while (!C.Ready.empty() && C.Ready.begin()->first == C.NextFlushSeq) {
+    Completion Next = std::move(C.Ready.begin()->second);
+    C.Ready.erase(C.Ready.begin());
+    appendResponse(C, Next);
+    --C.InFlight;
+    ++C.NextFlushSeq;
+  }
+}
+
+void Server::Impl::appendResponse(IoConn &C, Completion &Comp) {
+  // A response that cannot be framed (beyond the server's own bound)
+  // becomes an error the client *can* read, instead of a frame its
+  // readFrame would reject as oversized after the server paid the full
+  // solve cost.
+  const std::string *Out = &Comp.Response;
+  std::string Fallback;
+  if (Comp.Response.size() > Opt.MaxFrameBytes) {
+    Fallback = makeErrorResponse(
+        "response of " + std::to_string(Comp.Response.size()) +
+        " bytes exceeds the server frame bound of " +
+        std::to_string(Opt.MaxFrameBytes) +
+        "; narrow the request (fewer suites/register counts or "
+        "details=false) or raise --max-frame");
+    Out = &Fallback;
+  }
+  FlushRecord R;
+  R.TrackEnd = Comp.TrackEnd;
+  R.WantTrace = Comp.WantTrace;
+  R.ServiceMs = Comp.ServiceMs;
+  R.Kind = Comp.Kind;
+  R.FlushStartTime = std::chrono::steady_clock::now();
+  if (Comp.WantTrace) {
+    R.Trace = std::move(Comp.Trace);
+    R.FlushStartMs = R.Trace.sinceBeginMs();
+  }
+  bool WasDrained = C.OutPos >= C.OutBuf.size();
+  C.OutBuf += encodeFrameHeader(Out->size());
+  C.OutBuf += *Out;
+  C.BytesQueuedTotal += kFrameHeaderBytes + Out->size();
+  R.EndOffset = C.BytesQueuedTotal;
+  if (WasDrained)
+    C.LastWriteProgress = R.FlushStartTime;
+  C.Flushes.push_back(std::move(R));
+  if (Comp.CloseAfter) {
+    C.CloseAfterFlush = true;
+    C.ReadClosed = true;
+    C.ParseDead = true;
+  }
+}
+
+bool Server::Impl::tryWrite(IoConn &C) {
+  while (C.OutPos < C.OutBuf.size()) {
+    ssize_t N = ::send(C.Fd.fd(), C.OutBuf.data() + C.OutPos,
+                       C.OutBuf.size() - C.OutPos, MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += size_t(N);
+      C.BytesFlushedTotal += uint64_t(N);
+      C.LastWriteProgress = std::chrono::steady_clock::now();
+      while (!C.Flushes.empty() &&
+             C.Flushes.front().EndOffset <= C.BytesFlushedTotal) {
+        finalizeFlush(C.Flushes.front());
+        C.Flushes.pop_front();
       }
       continue;
     }
-    if (FS == FrameStatus::BadMagic || FS == FrameStatus::Oversized) {
-      // The stream position is unrecoverable after a framing error; answer
-      // once (after any pending responses) and drop the connection.
-      QueuedWork Work;
-      Work.Conn = Conn;
-      Work.AcceptTime = std::chrono::steady_clock::now();
-      Work.PrebuiltResponse =
-          failRequest(std::string("protocol error: ") + frameStatusName(FS));
-      Work.CloseAfter = true;
-      Work.EnqueueTime = std::chrono::steady_clock::now();
-      enqueue(std::move(Work));
-    }
-    break; // Eof / Truncated / IoError / framing error: close.
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    // A vanished or wedged client is not a server error -- its connection
+    // is simply dropped.
+    destroyConn(C);
+    return false;
   }
-  {
-    std::lock_guard<std::mutex> L(ConnMutex);
-    Connections.erase(Conn->Id);
-    FinishedReaders.push_back(Conn->Id);
+  if (C.OutPos >= C.OutBuf.size()) {
+    C.OutBuf.clear();
+    C.OutPos = 0;
+  } else if (C.OutPos > (256u << 10)) {
+    C.OutBuf.erase(0, C.OutPos);
+    C.OutPos = 0;
   }
-  {
-    std::lock_guard<std::mutex> L(QueueMutex);
-    --ActiveReaders;
-  }
-  // The dispatcher may be waiting for the last reader to leave.
-  QueueNotEmpty.notify_all();
+  return true;
 }
 
-void Server::Impl::dispatchLoop() {
-  while (true) {
-    QueuedWork Work;
-    {
-      std::unique_lock<std::mutex> L(QueueMutex);
-      QueueNotEmpty.wait(L, [this] {
-        return !Queue.empty() || (Stop && ActiveReaders == 0);
-      });
-      if (Queue.empty())
-        return; // Stopped and fully drained.
-      Work = std::move(Queue.front());
-      Queue.pop_front();
-    }
-    QueueNotFull.notify_one();
+void Server::Impl::finalizeFlush(FlushRecord &R) {
+  double FlushMs = msSince(R.FlushStartTime);
+  double TotalMs = R.ServiceMs + FlushMs;
+  if (R.WantTrace)
+    R.Trace.addSpan("response_flush", R.FlushStartMs, FlushMs);
+  if (!R.TrackEnd)
+    return;
+  obs::EventLog::global().record(obs::EventKind::RequestEnd, TotalMs,
+                                 R.Trace.id().c_str(),
+                                 requestKindName(R.Kind));
+  if (Opt.SlowMs >= 0 && TotalMs >= Opt.SlowMs)
+    emitSlowRequest(R.Trace, TotalMs, R.Kind);
+}
 
-    if (!Work.PrebuiltResponse.empty()) {
-      writeResponse(*Work.Conn, Work.PrebuiltResponse);
-      if (Work.CloseAfter)
-        ::shutdown(Work.Conn->Fd.fd(), SHUT_WR);
+void Server::Impl::drainCompletions() {
+  std::vector<Completion> Batch;
+  {
+    std::lock_guard<std::mutex> L(CompMutex);
+    Batch.swap(Completions);
+  }
+  for (Completion &Comp : Batch) {
+    --OutstandingShardJobs;
+    auto It = Conns.find(Comp.ConnId);
+    if (It == Conns.end())
+      continue; // Connection died while its request was in flight.
+    IoConn &C = *It->second;
+    sequenceCompletion(C, std::move(Comp));
+    // A response left the window; buffered frames may be parseable now.
+    parseFrames(C);
+    if (!tryWrite(C))
       continue;
-    }
+    updateInterest(C);
+    maybeClose(C);
+  }
+}
 
-    obs::EventLog &Events = obs::EventLog::global();
-    const char *KindName = requestKindName(Work.Req.K);
+void Server::Impl::checkWriteTimeouts() {
+  if (Opt.WriteTimeoutMs < 0)
+    return;
+  std::vector<uint64_t> Stale;
+  for (const auto &E : Conns) {
+    IoConn &C = *E.second;
+    if (C.OutPos < C.OutBuf.size() &&
+        msSince(C.LastWriteProgress) > Opt.WriteTimeoutMs)
+      Stale.push_back(E.first);
+  }
+  for (uint64_t Id : Stale) {
+    auto It = Conns.find(Id);
+    if (It != Conns.end())
+      destroyConn(*It->second);
+  }
+}
+
+void Server::Impl::shardLoop(Shard &Sh) {
+  while (true) {
+    ShardJob Job;
+    {
+      std::unique_lock<std::mutex> L(Sh.QMutex);
+      Sh.QCv.wait(L, [&Sh] { return !Sh.Queue.empty() || Sh.Drain; });
+      if (Sh.Queue.empty())
+        return; // Draining and fully drained.
+      Job = std::move(Sh.Queue.front());
+      Sh.Queue.pop_front();
+    }
     auto Begin = std::chrono::steady_clock::now();
-    // A trace is armed when the client asked for one, when the slow log
-    // could need the span tree, or when the event ring wants request
-    // events with ids.  Untraced otherwise: the handler path does zero
-    // extra work, keeping the no-observers deployment at its old cost.
-    obs::RequestTrace Trace;
-    const bool WantTrace =
-        Work.Req.Trace || Opt.SlowMs >= 0 || Events.enabled();
-    double DispatchStart = 0;
-    if (WantTrace) {
-      std::string Id = Work.Req.TraceId.empty()
-                           ? obs::makeTraceId(TraceSalt, NextTraceSeq++)
-                           : Work.Req.TraceId;
-      Trace.begin(std::move(Id), Work.AcceptTime);
-      Trace.Echo = Work.Req.Trace;
-      double ParseMs = msBetween(Work.AcceptTime, Work.EnqueueTime);
-      Trace.addSpan("accept", 0, ParseMs);
-      Trace.addSpan("queue_wait", ParseMs,
-                    msBetween(Work.EnqueueTime, Begin));
-      DispatchStart = Trace.sinceBeginMs();
-      Trace.DispatchStartMs = DispatchStart;
+    obs::RequestTrace &Trace = Job.Trace;
+    if (Job.WantTrace) {
+      double DequeueMs = Trace.sinceBeginMs();
+      Trace.addSpan("queue_wait", Job.ParseMs, DequeueMs - Job.ParseMs);
+      Trace.DispatchStartMs = DequeueMs;
+      Trace.ShardId = int(Sh.Index);
     }
-    Events.record(obs::EventKind::RequestStart, 0, Trace.id().c_str(),
-                  KindName);
-
+    obs::EventLog::global().record(obs::EventKind::RequestStart, 0,
+                                   Trace.id().c_str(),
+                                   requestKindName(Job.Req.K));
+    obs::RequestTrace *TracePtr = Job.WantTrace ? &Trace : nullptr;
     std::string Response =
-        handleRequest(Work.Req, WantTrace ? &Trace : nullptr);
+        Job.Req.K == ServiceRequest::Kind::Allocate
+            ? handleAllocate(Sh, Job.Req, TracePtr)
+            : handleSubmitIr(Sh, Job.Req, TracePtr);
     double ServiceMs = msSince(Begin);
-    recordService(ServiceMs);
-    // Handlers close the dispatch span once they know where dispatch
-    // work ends (driver start).  Paths that never got there -- ping,
-    // stats, validation rejections -- close it here, covering the whole
-    // handler.
-    if (WantTrace && !Trace.hasSpan("dispatch"))
-      Trace.addSpan("dispatch", DispatchStart,
-                    Trace.sinceBeginMs() - DispatchStart);
-
-    double FlushStart = WantTrace ? Trace.sinceBeginMs() : 0;
-    auto FlushBegin = std::chrono::steady_clock::now();
-    writeResponse(*Work.Conn, Response);
-    double FlushMs = msSince(FlushBegin);
-    if (WantTrace)
-      Trace.addSpan("response_flush", FlushStart, FlushMs);
-
-    double TotalMs = ServiceMs + FlushMs;
-    Events.record(obs::EventKind::RequestEnd, TotalMs, Trace.id().c_str(),
-                  KindName);
-    if (Opt.SlowMs >= 0 && TotalMs >= Opt.SlowMs)
-      emitSlowRequest(Trace, TotalMs, Work.Req.K);
+    ServiceHist.record(ServiceMs);
+    {
+      std::lock_guard<std::mutex> L(Sh.StatMutex);
+      Sh.BusyMs += ServiceMs;
+      ++Sh.Requests;
+    }
+    // Handlers close the dispatch span once they know where dispatch work
+    // ends (driver start).  Paths that never got there -- validation
+    // rejections -- close it here, covering the whole handler.
+    if (Job.WantTrace && !Trace.hasSpan("dispatch"))
+      Trace.addSpan("dispatch", Trace.DispatchStartMs,
+                    Trace.sinceBeginMs() - Trace.DispatchStartMs);
+    Completion Comp;
+    Comp.ConnId = Job.ConnId;
+    Comp.Seq = Job.Seq;
+    Comp.Response = std::move(Response);
+    Comp.TrackEnd = true;
+    Comp.WantTrace = Job.WantTrace;
+    Comp.Trace = std::move(Job.Trace);
+    Comp.ServiceMs = ServiceMs;
+    Comp.Kind = Job.Req.K;
+    postCompletion(std::move(Comp));
   }
 }
 
@@ -635,33 +1294,6 @@ void Server::Impl::emitSlowRequest(const obs::RequestTrace &Trace,
   std::fflush(Out);
 }
 
-void Server::Impl::writeResponse(Connection &Conn,
-                                 const std::string &Payload) {
-  // A response that cannot be framed (beyond the server's own bound)
-  // becomes an error the client *can* read, instead of a frame its
-  // readFrame would reject as oversized after the server paid the full
-  // solve cost.
-  const std::string *Out = &Payload;
-  std::string Fallback;
-  if (Payload.size() > Opt.MaxFrameBytes) {
-    Fallback = makeErrorResponse(
-        "response of " + std::to_string(Payload.size()) +
-        " bytes exceeds the server frame bound of " +
-        std::to_string(Opt.MaxFrameBytes) +
-        "; narrow the request (fewer suites/register counts or "
-        "details=false) or raise --max-frame");
-    Out = &Fallback;
-  }
-  // Bounded-progress write: a client that stopped reading must not park
-  // the dispatcher (and with it every other connection) on a full socket
-  // buffer forever.  A vanished or wedged client is not a server error --
-  // its connection is simply dropped, which also unblocks its reader.
-  std::string Frame = encodeFrame(*Out);
-  if (!sendAllWithTimeout(Conn.Fd.fd(), Frame.data(), Frame.size(),
-                          Opt.WriteTimeoutMs))
-    ::shutdown(Conn.Fd.fd(), SHUT_RDWR);
-}
-
 std::string Server::Impl::failRequest(const std::string &Message,
                                       const obs::RequestTrace *Trace) {
   {
@@ -674,35 +1306,6 @@ std::string Server::Impl::failRequest(const std::string &Message,
                                  Message.c_str());
   return makeErrorResponse(Message, Trace && Trace->Echo ? Trace->id()
                                                          : std::string());
-}
-
-std::string Server::Impl::handleRequest(const ServiceRequest &Req,
-                                        obs::RequestTrace *Trace) {
-  // Responses without a report body (pong, stats, errors) echo only the
-  // trace id -- and only when the client opted in.
-  const std::string EchoId =
-      Trace && Trace->Echo ? Trace->id() : std::string();
-  switch (Req.K) {
-  case ServiceRequest::Kind::Ping: {
-    std::lock_guard<std::mutex> L(StatsMutex);
-    ++Counters.RequestsTotal;
-    ++Counters.RequestsPing;
-    return makePongResponse(EchoId);
-  }
-  case ServiceRequest::Kind::Stats: {
-    {
-      std::lock_guard<std::mutex> L(StatsMutex);
-      ++Counters.RequestsTotal;
-      ++Counters.RequestsStats;
-    }
-    return makeStatsResponse(snapshotStats(), EchoId);
-  }
-  case ServiceRequest::Kind::Allocate:
-    return handleAllocate(Req, Trace);
-  case ServiceRequest::Kind::SubmitIr:
-    return handleSubmitIr(Req, Trace);
-  }
-  return makeErrorResponse("unhandled request kind");
 }
 
 std::string Server::Impl::validateCommon(const ServiceRequest &Req,
@@ -722,7 +1325,8 @@ std::string Server::Impl::validateCommon(const ServiceRequest &Req,
   return std::string();
 }
 
-std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
+std::string Server::Impl::runJobs(Shard &Sh,
+                                  const std::vector<BatchJob> &Jobs,
                                   const ServiceRequest &Req,
                                   uint64_t ServerStats::*Counter,
                                   obs::RequestTrace *Trace) {
@@ -734,23 +1338,23 @@ std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
     Trace->addSpan("dispatch", Trace->DispatchStartMs,
                    DriverStart - Trace->DispatchStartMs);
   }
-  uint64_t EvictionsBefore = Driver.pipelineCacheCounters().Evictions;
+  uint64_t EvictionsBefore = Sh.Driver.pipelineCacheCounters().Evictions;
   // Transparent mode makes the response byte-identical to a direct fresh
-  // BatchDriver run of the same jobs, however warm the shared cache is.
-  // A *timing* request gets the honest warm-cache view instead: with
-  // transparency its wall_ms would read 0 for tasks the persistent cache
-  // served while cache_hit claimed a fresh solve -- self-contradictory.
-  // Byte identity is only promised for timing-free responses anyway
-  // (docs/PROTOCOL.md).
+  // BatchDriver run of the same jobs, however warm the shard's cache or
+  // the disk cache is.  A *timing* request gets the honest warm-cache view
+  // instead: with transparency its wall_ms would read 0 for tasks the
+  // persistent cache served while cache_hit claimed a fresh solve --
+  // self-contradictory.  Byte identity is only promised for timing-free
+  // responses anyway (docs/PROTOCOL.md).
   std::vector<PhaseTotals> JobPhases;
-  DriverReport Report = Driver.run(Jobs, /*CacheTransparent=*/!Req.Timing,
-                                   Trace ? &JobPhases : nullptr);
+  DriverReport Report = Sh.Driver.run(Jobs, /*CacheTransparent=*/!Req.Timing,
+                                      Trace ? &JobPhases : nullptr);
   if (Trace) {
     Trace->addSpan("driver", DriverStart,
                    Trace->sinceBeginMs() - DriverStart);
     Trace->attachJobPhases(std::move(JobPhases));
     uint64_t Evicted =
-        Driver.pipelineCacheCounters().Evictions - EvictionsBefore;
+        Sh.Driver.pipelineCacheCounters().Evictions - EvictionsBefore;
     if (Evicted > 0)
       obs::EventLog::global().record(obs::EventKind::CachePressure,
                                      double(Evicted), Trace->id().c_str());
@@ -766,12 +1370,16 @@ std::string Server::Impl::runJobs(const std::vector<BatchJob> &Jobs,
     std::lock_guard<std::mutex> L(StatsMutex);
     ++Counters.RequestsTotal;
     ++(Counters.*Counter);
-    CachedCache = Driver.pipelineCacheCounters();
+  }
+  {
+    std::lock_guard<std::mutex> L(Sh.StatMutex);
+    Sh.Cache = Sh.Driver.pipelineCacheCounters();
   }
   return Response;
 }
 
-std::string Server::Impl::handleAllocate(const ServiceRequest &Req,
+std::string Server::Impl::handleAllocate(Shard &Sh,
+                                         const ServiceRequest &Req,
                                          obs::RequestTrace *Trace) {
   std::string Rejection = validateCommon(Req, Trace);
   if (!Rejection.empty())
@@ -784,9 +1392,9 @@ std::string Server::Impl::handleAllocate(const ServiceRequest &Req,
   const TargetDesc *Target = targetByName(Req.TargetName);
   std::vector<BatchJob> Jobs;
   for (const std::string &Name : Req.Suites) {
-    auto It = SuiteCache.find(Name);
-    if (It == SuiteCache.end())
-      It = SuiteCache.emplace(Name, makeSuite(Name)).first;
+    auto It = Sh.SuiteCache.find(Name);
+    if (It == Sh.SuiteCache.end())
+      It = Sh.SuiteCache.emplace(Name, makeSuite(Name)).first;
     // A suite with multi-class functions needs a target with those files
     // (e.g. mixed-classes on plain st231 must be a request error, not a
     // driver abort).
@@ -805,10 +1413,11 @@ std::string Server::Impl::handleAllocate(const ServiceRequest &Req,
       Jobs.push_back(std::move(Job));
     }
   }
-  return runJobs(Jobs, Req, &ServerStats::RequestsAllocate, Trace);
+  return runJobs(Sh, Jobs, Req, &ServerStats::RequestsAllocate, Trace);
 }
 
-std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req,
+std::string Server::Impl::handleSubmitIr(Shard &Sh,
+                                         const ServiceRequest &Req,
                                          obs::RequestTrace *Trace) {
   std::string Rejection = validateCommon(Req, Trace);
   if (!Rejection.empty())
@@ -847,13 +1456,7 @@ std::string Server::Impl::handleSubmitIr(const ServiceRequest &Req,
     Job.Options = Req.Options;
     Jobs.push_back(std::move(Job));
   }
-  return runJobs(Jobs, Req, &ServerStats::RequestsSubmitIr, Trace);
-}
-
-void Server::Impl::recordService(double Ms) {
-  ServiceHist.record(Ms);
-  std::lock_guard<std::mutex> L(StatsMutex);
-  DispatcherBusyMs += Ms;
+  return runJobs(Sh, Jobs, Req, &ServerStats::RequestsSubmitIr, Trace);
 }
 
 ServerStats Server::Impl::snapshotStats() {
@@ -862,28 +1465,59 @@ ServerStats Server::Impl::snapshotStats() {
   HistogramSnapshot Latency = ServiceHist.snapshot();
   Latency.Name = "layra.serve.service_ms";
   ServerStats S;
+  double BusyMs = 0;
   {
     std::lock_guard<std::mutex> L(StatsMutex);
     S = Counters;
-    S.UptimeMs = msSince(StartTime);
-    S.DispatcherBusyMs = DispatcherBusyMs;
-    S.DispatcherUtilization =
-        S.UptimeMs > 0 ? std::min(1.0, DispatcherBusyMs / S.UptimeMs) : 0.0;
-    S.CacheEntries = CachedCache.Entries;
-    S.CacheCapacity = CachedCache.Capacity;
-    S.CacheHits = CachedCache.Hits;
-    S.CacheMisses = CachedCache.Misses;
-    S.CacheEvictions = CachedCache.Evictions;
+    BusyMs = InlineBusyMs;
   }
-  {
-    std::lock_guard<std::mutex> L(QueueMutex);
-    S.QueueDepth = Queue.size();
-    S.QueueMaxDepth = QueueMaxDepth;
+  S.UptimeMs = msSince(StartTime);
+  S.PerShard.reserve(ShardList.size());
+  for (const auto &ShPtr : ShardList) {
+    Shard &Sh = *ShPtr;
+    ShardStats E;
+    DriverCacheCounters CC;
+    {
+      std::lock_guard<std::mutex> L(Sh.StatMutex);
+      E.Requests = Sh.Requests;
+      E.BusyMs = Sh.BusyMs;
+      CC = Sh.Cache;
+    }
+    {
+      std::lock_guard<std::mutex> L(Sh.QMutex);
+      E.QueueDepth = Sh.Queue.size();
+      E.QueueMaxDepth = Sh.QueueMaxDepth;
+    }
+    E.QueueCapacity = Opt.QueueCapacity;
+    E.CacheEntries = CC.Entries;
+    E.CacheCapacity = CC.Capacity;
+    E.CacheHits = CC.Hits;
+    E.CacheMisses = CC.Misses;
+    E.CacheEvictions = CC.Evictions;
+    S.CacheEntries += E.CacheEntries;
+    S.CacheCapacity += E.CacheCapacity;
+    S.CacheHits += E.CacheHits;
+    S.CacheMisses += E.CacheMisses;
+    S.CacheEvictions += E.CacheEvictions;
+    S.QueueDepth += E.QueueDepth;
+    S.QueueMaxDepth = std::max(S.QueueMaxDepth, E.QueueMaxDepth);
+    BusyMs += E.BusyMs;
+    S.PerShard.push_back(std::move(E));
   }
-  S.QueueCapacity = Opt.QueueCapacity;
-  {
-    std::lock_guard<std::mutex> L(ConnMutex);
-    S.ConnectionsActive = Connections.size();
+  S.QueueCapacity = uint64_t(Opt.QueueCapacity) * NumShards;
+  S.DispatcherBusyMs = BusyMs;
+  S.DispatcherUtilization =
+      S.UptimeMs > 0 ? std::min(1.0, BusyMs / S.UptimeMs) : 0.0;
+  S.ConnectionsActive = ActiveConns.load();
+  if (Disk && Disk->valid()) {
+    S.DiskCacheEnabled = true;
+    DiskCacheStats D = Disk->stats();
+    S.DiskEntries = D.Entries;
+    S.DiskBytes = D.Bytes;
+    S.DiskHits = D.Hits;
+    S.DiskMisses = D.Misses;
+    S.DiskWrites = D.Writes;
+    S.DiskEvictions = D.Evictions;
   }
   S.ServiceSamples = Latency.Count;
   S.ServiceMsP50 = Latency.percentile(0.50);

@@ -7,31 +7,45 @@
 ///
 /// \file
 /// The long-running allocation server behind the `layra-serve` binary.  It
-/// listens on TCP and/or Unix-domain sockets, speaks the framed JSON
-/// protocol of service/Protocol.h, and serves requests from one shared
-/// BatchDriver so the thread pool, the per-worker SolverWorkspace arenas,
-/// and the bounded content-hash cache all persist across connections --
-/// the amortization a one-shot CLI pays for on every invocation.
+/// listens on TCP and/or Unix-domain sockets and speaks the framed JSON
+/// protocol of service/Protocol.h.
 ///
-/// Threading model: one reader thread per connection parses frames and
-/// pushes requests onto a *bounded* queue; pushing blocks when the queue is
-/// full, so a flood of requests turns into TCP backpressure instead of
-/// unbounded buffering.  A single dispatcher thread pops requests in FIFO
-/// order and executes them on the shared driver -- each request then fans
-/// its per-function tasks across the driver's work-stealing pool, so
-/// parallelism lives *inside* a request.  Serializing requests at the
-/// dispatcher keeps the driver single-threaded (its caches are lock-free
-/// serial code) and gives every request an honest queue-wait measurement.
+/// Threading model (the sharded event-loop core): ONE IO thread runs an
+/// epoll (level-triggered; poll(2) fallback off Linux) event loop over
+/// every listener and connection.  Connections are non-blocking; frames
+/// are sliced out of per-connection read buffers without intermediate
+/// copies and parsed in place.  Parsed allocate/submit_ir requests are
+/// routed by content hash (routeRequestHash) to one of N shared-nothing
+/// shard workers -- each shard owns a private BatchDriver (thread pool,
+/// SolverWorkspace arenas, bounded content-hash LRU) so the hot path has
+/// no cross-shard locks and the same work always lands on the same warm
+/// cache.  Ping/stats and protocol errors are answered on the IO thread
+/// itself.  Responses flow back through a per-connection ordered flush
+/// queue keyed by per-connection sequence numbers, so pipelined clients
+/// always see responses in request order no matter which shard finished
+/// first.
+///
+/// Backpressure is two-level: each connection has a bounded in-flight
+/// window (reading pauses while it is full, per-client fairness), and
+/// each shard has a bounded queue -- a request arriving at a full shard
+/// queue is *rejected* with an error reply and a Reject event rather
+/// than buffered without bound.
+///
+/// Underneath the shard LRUs an optional persistent disk cache
+/// (service/DiskCache.h, --disk-cache) stores every solved outcome
+/// content-addressed by pipeline key, warm-starting shards across
+/// process restarts.
 ///
 /// Responses to `allocate`/`submit_ir` are byte-identical to what a direct
 /// BatchDriver run of the same jobs would serialize (the driver's
 /// cache-transparent mode reports hit/miss as a fresh driver would), so a
-/// client cannot tell -- except by latency -- whether the cache was warm.
+/// client cannot tell -- except by latency -- whether the shard cache or
+/// the disk cache was warm.
 ///
 /// Shutdown (requestStop / SIGTERM in layra-serve) is a drain, not an
-/// abort: listeners close, idle connections are shut down, requests already
-/// accepted still execute and their responses are written before wait()
-/// returns.
+/// abort: listeners close, already-buffered complete frames are still
+/// dispatched, queued requests execute, and their responses are flushed
+/// before wait() returns.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +59,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace layra {
 
@@ -60,24 +75,40 @@ struct ServerOptions {
   std::string TcpHost = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port, read back with tcpPort().
   uint16_t TcpPort = 0;
-  /// Driver pool size; 0 = hardware concurrency.
+  /// Driver pool size *per shard*; 0 = hardware concurrency.
   unsigned Threads = 0;
-  /// Bound on each driver content-hash cache, in entries.  The default
-  /// keeps a long-lived server's memory proportional to the working set;
+  /// Number of shared-nothing shard workers.  Each shard owns a private
+  /// BatchDriver; requests are routed by routeRequestHash(Req) % Shards.
+  /// 0 is normalized to 1.
+  unsigned Shards = 1;
+  /// Total bound across all shard content-hash caches, in entries; each
+  /// shard gets CacheCapacity / Shards (at least 1).  The default keeps a
+  /// long-lived server's memory proportional to the working set;
   /// 0 (unbounded) is for tests only.
   size_t CacheCapacity = 1u << 16;
   /// Largest accepted request/response payload.
   size_t MaxFrameBytes = kDefaultMaxFrameBytes;
-  /// Bounded request-queue depth; connection readers block (backpressure)
-  /// when it is full.
+  /// Bounded *per-shard* request-queue depth.  A request routed to a full
+  /// shard queue is rejected with an error reply (and a Reject event)
+  /// instead of buffered without bound.
   size_t QueueCapacity = 64;
+  /// Per-connection in-flight request window: the IO loop stops parsing
+  /// further frames from a connection while this many of its requests are
+  /// dispatched-but-unflushed, so one pipelining client cannot occupy
+  /// every shard queue slot.  0 = unbounded.
+  unsigned InFlightWindow = 32;
+  /// Persistent disk-cache directory (service/DiskCache.h); empty
+  /// disables it.  Shared by all shards underneath their in-memory LRUs.
+  std::string DiskCacheDir;
+  /// Byte cap for the disk cache; 0 = unbounded.
+  uint64_t DiskCacheCapBytes = 0;
   /// Concurrent-connection cap; excess connections get an error response
   /// and are closed.
   unsigned MaxConnections = 256;
-  /// Response-write progress bound: a connection whose peer accepts no
-  /// bytes for this long is dropped.  The dispatcher writes responses, so
-  /// without a bound one client that stops reading would stall every
-  /// other connection -- and wedge the graceful drain.
+  /// Response-write progress bound: a connection with queued response
+  /// bytes whose peer accepts none of them for this long is dropped.
+  /// Without a bound a client that stops reading would pin its buffered
+  /// responses forever -- and wedge the graceful drain.
   int WriteTimeoutMs = 10000;
   /// Slow-request log threshold in milliseconds; negative (the default)
   /// disables the log.  At >= 0, any request whose dispatch-to-flush
@@ -87,11 +118,27 @@ struct ServerOptions {
   /// uses to force a slow-request record deterministically.
   double SlowMs = -1;
   /// Slow-request log destination; nullptr means stderr.  The stream
-  /// is written only by the dispatcher thread.
+  /// is written only by the IO thread.
   std::FILE *SlowLog = nullptr;
   /// Salt for server-generated trace ids; 0 (the default) salts from
   /// the clock at start().  Tests pin it for reproducible ids.
   uint64_t TraceIdSalt = 0;
+};
+
+/// Per-shard slice of a statistics snapshot (the stats-v3 `shards` array).
+struct ShardStats {
+  uint64_t Requests = 0; ///< allocate/submit_ir requests this shard served.
+  /// This shard's pipeline-task cache counters (lifetime, from its
+  /// private driver).
+  uint64_t CacheEntries = 0;
+  uint64_t CacheCapacity = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheEvictions = 0;
+  uint64_t QueueDepth = 0;
+  uint64_t QueueMaxDepth = 0;
+  uint64_t QueueCapacity = 0;
+  double BusyMs = 0; ///< Wall time this shard's worker spent executing.
 };
 
 /// A point-in-time statistics snapshot (the `stats` request serializes
@@ -102,16 +149,20 @@ struct ServerStats {
   uint64_t RequestsSubmitIr = 0;
   uint64_t RequestsStats = 0;
   uint64_t RequestsPing = 0;
-  uint64_t RequestsFailed = 0; ///< Parse/validation errors answered.
+  uint64_t RequestsFailed = 0;   ///< Parse/validation errors answered.
+  uint64_t RequestsRejected = 0; ///< Shard-queue-full admission rejects.
   uint64_t ConnectionsAccepted = 0;
   uint64_t ConnectionsRejected = 0;
   uint64_t ConnectionsActive = 0;
-  /// Pipeline-task cache counters (lifetime, from the shared driver).
+  /// Pipeline-task cache counters summed over every shard's private
+  /// driver (lifetime).
   uint64_t CacheEntries = 0;
   uint64_t CacheCapacity = 0;
   uint64_t CacheHits = 0;
   uint64_t CacheMisses = 0;
   uint64_t CacheEvictions = 0;
+  /// Shard-queue occupancy: depth summed over shards, max_depth the
+  /// highest any single shard queue reached, capacity the total slots.
   uint64_t QueueDepth = 0;
   uint64_t QueueMaxDepth = 0;
   uint64_t QueueCapacity = 0;
@@ -126,19 +177,29 @@ struct ServerStats {
   /// The full service-time histogram (log-linear buckets, obs/Metrics.h);
   /// the percentiles above are read from this snapshot.
   HistogramSnapshot ServiceLatency;
-  /// Wall time the dispatcher spent executing requests (excludes idle
-  /// queue waits and response writes of prebuilt error replies).
+  /// Wall time spent executing requests, summed over the shard workers
+  /// plus inline (ping/stats) handling on the IO thread.
   double DispatcherBusyMs = 0;
-  /// DispatcherBusyMs / UptimeMs, clamped to [0, 1].  A dispatcher pegged
-  /// near 1.0 is the request-serialization bottleneck; near 0 the pool is
-  /// idle and latency is dominated by queue arrival gaps.
+  /// DispatcherBusyMs / UptimeMs, clamped to [0, 1].  With N shards this
+  /// saturates at 1.0 per the v2 contract even though N workers can be
+  /// busy at once; the per-shard busy_ms below carry the full picture.
   double DispatcherUtilization = 0;
+  /// Per-shard breakdown, one entry per shard in shard order.
+  std::vector<ShardStats> PerShard;
+  /// Persistent disk-cache counters; meaningful when DiskCacheEnabled.
+  bool DiskCacheEnabled = false;
+  uint64_t DiskEntries = 0;
+  uint64_t DiskBytes = 0;
+  uint64_t DiskHits = 0;
+  uint64_t DiskMisses = 0;
+  uint64_t DiskWrites = 0;
+  uint64_t DiskEvictions = 0;
 };
 
-/// Serializes \p Stats as a "layra-serve-stats/v2" response payload.  v2 is
-/// a strict superset of v1: all v1 fields keep their name and meaning, and
-/// v2 adds latency.service_ms_p99, latency.histogram (cumulative bucket
-/// array), and the dispatcher{busy_ms, utilization} object.  A non-empty
+/// Serializes \p Stats as a "layra-serve-stats/v3" response payload.  v3 is
+/// a strict superset of v2 (which was a strict superset of v1): every v2
+/// field keeps its name and meaning; v3 adds requests.rejected, the
+/// per-shard `shards` array, and the `disk_cache` object.  A non-empty
 /// \p TraceId appends the {"trace": {"id": ...}} echo for traced requests.
 std::string makeStatsResponse(const ServerStats &Stats,
                               const std::string &TraceId = std::string());

@@ -221,7 +221,7 @@ namespace {
 /// rejects the whole request).
 class JsonParser {
 public:
-  JsonParser(const std::string &Text, unsigned MaxDepth)
+  JsonParser(std::string_view Text, unsigned MaxDepth)
       : Text(Text), MaxDepth(MaxDepth) {}
 
   JsonParseResult run() {
@@ -239,7 +239,7 @@ public:
   }
 
 private:
-  const std::string &Text;
+  std::string_view Text;
   unsigned MaxDepth;
   size_t Pos = 0;
   std::string Error;
@@ -603,7 +603,7 @@ private:
       while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
         ++Pos;
     }
-    std::string Token = Text.substr(Start, Pos - Start);
+    std::string Token(Text.substr(Start, Pos - Start));
     if (Integral) {
       // strtoll saturates out-of-range values with ERANGE; such inputs
       // fall back to the double representation below instead of erroring,
@@ -639,6 +639,6 @@ private:
 
 } // namespace
 
-JsonParseResult layra::parseJson(const std::string &Text, unsigned MaxDepth) {
+JsonParseResult layra::parseJson(std::string_view Text, unsigned MaxDepth) {
   return JsonParser(Text, MaxDepth).run();
 }

@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -156,7 +157,13 @@ struct JsonParseResult {
 /// or exponent that fit a long long parse as Int; everything else numeric
 /// parses as Double.  Duplicate object keys keep the *last* occurrence (at
 /// the first occurrence's position), matching JsonValue::set.
-JsonParseResult parseJson(const std::string &Text, unsigned MaxDepth = 64);
+///
+/// Taking a string_view lets callers parse a slice of a larger buffer (the
+/// serve event loop slices request payloads straight out of per-connection
+/// read buffers) without first materializing a std::string.  The view only
+/// needs to stay alive for the duration of the call; the parsed document
+/// owns all of its storage.
+JsonParseResult parseJson(std::string_view Text, unsigned MaxDepth = 64);
 
 } // namespace layra
 

@@ -7,12 +7,15 @@
 
 #include "support/Socket.h"
 
+#include <algorithm>
 #include <arpa/inet.h>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -24,6 +27,39 @@ void SocketFd::reset(int NewFd) {
   if (Fd >= 0)
     ::close(Fd);
   Fd = NewFd;
+}
+
+bool layra::setNonBlocking(int Fd, bool NonBlocking) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  if (Flags < 0)
+    return false;
+  int Want = NonBlocking ? (Flags | O_NONBLOCK) : (Flags & ~O_NONBLOCK);
+  return Flags == Want || ::fcntl(Fd, F_SETFL, Want) == 0;
+}
+
+void layra::setTcpNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
+unsigned layra::raiseFdLimit(unsigned Want) {
+  rlimit Limit;
+  if (::getrlimit(RLIMIT_NOFILE, &Limit) != 0)
+    return Want;
+  if (Limit.rlim_cur != RLIM_INFINITY && Limit.rlim_cur < Want) {
+    rlim_t Target = Limit.rlim_max == RLIM_INFINITY
+                        ? rlim_t(Want)
+                        : std::min<rlim_t>(Want, Limit.rlim_max);
+    if (Target > Limit.rlim_cur) {
+      rlimit Raised = Limit;
+      Raised.rlim_cur = Target;
+      if (::setrlimit(RLIMIT_NOFILE, &Raised) == 0)
+        Limit = Raised;
+    }
+  }
+  return Limit.rlim_cur == RLIM_INFINITY
+             ? Want
+             : static_cast<unsigned>(Limit.rlim_cur);
 }
 
 namespace {
@@ -148,10 +184,7 @@ SocketFd layra::connectTcp(const std::string &Host, uint16_t Port,
     setError(Error, "connect " + Host + ":" + std::to_string(Port));
     return SocketFd();
   }
-  // Request/response framing sends small header+payload pairs; Nagle only
-  // adds latency here.
-  int One = 1;
-  ::setsockopt(Fd.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  setTcpNoDelay(Fd.fd());
   return Fd;
 }
 
@@ -212,8 +245,7 @@ SocketFd layra::acceptConnection(const SocketFd &Listener, int TimeoutMs,
     return SocketFd();
   }
   SocketFd Out(Fd);
-  int One = 1;
-  ::setsockopt(Out.fd(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  setTcpNoDelay(Out.fd());
   return Out;
 }
 

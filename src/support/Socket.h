@@ -92,6 +92,24 @@ uint16_t boundTcpPort(const SocketFd &Listener);
 SocketFd acceptConnection(const SocketFd &Listener, int TimeoutMs,
                           bool *TimedOut);
 
+/// Switches \p Fd's O_NONBLOCK flag.  The event-loop server and the
+/// multiplexed load generator run every connection non-blocking; blocking
+/// callers (the simple Client) never need this.  False when fcntl failed.
+bool setNonBlocking(int Fd, bool NonBlocking = true);
+
+/// Disables Nagle on a TCP socket.  Request/response framing sends small
+/// header+payload pairs, so coalescing only adds latency (~40 ms worst
+/// case against delayed ACKs).  Harmless on non-TCP descriptors (the
+/// setsockopt simply fails); always returns void for that reason --
+/// accept/connect paths call it unconditionally.
+void setTcpNoDelay(int Fd);
+
+/// Raises RLIMIT_NOFILE's soft limit toward \p Want descriptors (capped at
+/// the hard limit).  Returns the resulting soft limit.  Lets
+/// `layra-loadgen --clients=2000` and a many-connection server run under
+/// the common 1024-descriptor default without sudo.
+unsigned raiseFdLimit(unsigned Want);
+
 /// Writes all \p Size bytes to \p Fd, looping over short writes.  False on
 /// any error (including a closed peer).
 bool sendAll(int Fd, const void *Data, size_t Size);

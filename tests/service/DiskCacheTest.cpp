@@ -1,0 +1,256 @@
+//===- tests/service/DiskCacheTest.cpp - Persistent store tests -----------===//
+//
+// Part of the Layra project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests of the content-addressed on-disk outcome store: round-trips
+/// within and across instances, rejection (and deletion) of truncated,
+/// corrupted, and wrong-revision entries, byte-cap LRU eviction, and the
+/// degraded no-op mode for an unusable directory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/DiskCache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace layra;
+
+namespace {
+
+/// A scratch directory removed (recursively) on destruction.
+struct TempDir {
+  std::string Path;
+  TempDir() {
+    char Template[] = "/tmp/layra-disk-test-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Path = Made ? Made : "";
+  }
+  ~TempDir() {
+    if (!Path.empty()) {
+      std::string Cmd = "rm -rf '" + Path + "'";
+      (void)std::system(Cmd.c_str());
+    }
+  }
+};
+
+/// Where DiskCache files an entry: DIR/<2-hex>/<16-hex-key>.
+std::string entryPathFor(const std::string &Dir, uint64_t Key) {
+  char Name[17];
+  std::snprintf(Name, sizeof Name, "%016llx",
+                static_cast<unsigned long long>(Key));
+  return Dir + "/" + std::string(Name).substr(0, 2) + "/" + Name;
+}
+
+TaskOutcome sampleOutcome(unsigned Seed) {
+  TaskOutcome Out;
+  Out.SpillCost = static_cast<Weight>(100 + Seed);
+  Out.NumLoads = 3 + Seed;
+  Out.NumStores = 2 + Seed;
+  Out.LoadsFolded = Seed;
+  Out.Rounds = 1 + Seed % 3;
+  Out.FinalMaxLive = 7 + Seed;
+  Out.Fits = (Seed % 2) == 0;
+  return Out;
+}
+
+void expectEqualOutcome(const TaskOutcome &Got, const TaskOutcome &Want) {
+  EXPECT_EQ(Got.SpillCost, Want.SpillCost);
+  EXPECT_EQ(Got.NumLoads, Want.NumLoads);
+  EXPECT_EQ(Got.NumStores, Want.NumStores);
+  EXPECT_EQ(Got.LoadsFolded, Want.LoadsFolded);
+  EXPECT_EQ(Got.Rounds, Want.Rounds);
+  EXPECT_EQ(Got.FinalMaxLive, Want.FinalMaxLive);
+  EXPECT_EQ(Got.Fits, Want.Fits);
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat Sb;
+  return ::stat(Path.c_str(), &Sb) == 0;
+}
+
+} // namespace
+
+TEST(DiskCacheTest, RoundTripsWithinAndAcrossInstances) {
+  TempDir Dir;
+  TaskOutcome Stored = sampleOutcome(1);
+  {
+    DiskCache Cache(Dir.Path);
+    ASSERT_TRUE(Cache.valid()) << Cache.error();
+    Cache.store(0xdeadbeefcafef00dULL, Stored);
+    TaskOutcome Got;
+    ASSERT_TRUE(Cache.lookup(0xdeadbeefcafef00dULL, Got));
+    expectEqualOutcome(Got, Stored);
+    DiskCacheStats S = Cache.stats();
+    EXPECT_EQ(S.Writes, 1u);
+    EXPECT_EQ(S.Hits, 1u);
+    EXPECT_EQ(S.Entries, 1u);
+    EXPECT_EQ(S.Bytes, DiskCache::entryBytes());
+  }
+  // A fresh instance re-indexes the directory and serves the same bytes:
+  // the property that warm-starts a restarted server.
+  DiskCache Reopened(Dir.Path);
+  ASSERT_TRUE(Reopened.valid()) << Reopened.error();
+  EXPECT_EQ(Reopened.stats().Entries, 1u);
+  TaskOutcome Got;
+  ASSERT_TRUE(Reopened.lookup(0xdeadbeefcafef00dULL, Got));
+  expectEqualOutcome(Got, Stored);
+}
+
+TEST(DiskCacheTest, UnknownKeyIsACountedMiss) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  TaskOutcome Got;
+  EXPECT_FALSE(Cache.lookup(42, Got));
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(Cache.stats().Hits, 0u);
+}
+
+TEST(DiskCacheTest, TruncatedEntryReadsAsMissAndIsDeleted) {
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  constexpr uint64_t Key = 7;
+  Cache.store(Key, sampleOutcome(2));
+  std::string Path = entryPathFor(Dir.Path, Key);
+  ASSERT_TRUE(fileExists(Path));
+  ASSERT_EQ(::truncate(Path.c_str(), static_cast<off_t>(
+                                         DiskCache::entryBytes() - 5)),
+            0);
+  TaskOutcome Got;
+  EXPECT_FALSE(Cache.lookup(Key, Got));
+  // Useless bytes are scrubbed so the next store can re-persist cleanly.
+  EXPECT_FALSE(fileExists(Path));
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Entries, 0u);
+  EXPECT_EQ(S.Evictions, 0u); // Corruption cleanup is not an eviction.
+}
+
+TEST(DiskCacheTest, CorruptedMagicReadsAsMissAndIsDeleted) {
+  TempDir Dir;
+  constexpr uint64_t Key = 9;
+  {
+    DiskCache Cache(Dir.Path);
+    ASSERT_TRUE(Cache.valid()) << Cache.error();
+    Cache.store(Key, sampleOutcome(3));
+  }
+  std::string Path = entryPathFor(Dir.Path, Key);
+  std::FILE *F = std::fopen(Path.c_str(), "r+b");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fputc('X', F), 'X'); // Clobber the first magic byte.
+  std::fclose(F);
+  // Reopen: the startup scan indexes the file by name, but the first read
+  // rejects it.
+  DiskCache Cache(Dir.Path);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  TaskOutcome Got;
+  EXPECT_FALSE(Cache.lookup(Key, Got));
+  EXPECT_FALSE(fileExists(Path));
+}
+
+TEST(DiskCacheTest, RevisionMismatchInvalidatesEntry) {
+  TempDir Dir;
+  constexpr uint64_t Key = 11;
+  {
+    DiskCache Cache(Dir.Path);
+    ASSERT_TRUE(Cache.valid()) << Cache.error();
+    Cache.store(Key, sampleOutcome(4));
+  }
+  // Forge an entry "written by a different solver revision": flip one bit
+  // of the revision-hash field (bytes 8..15 of the header).
+  std::string Path = entryPathFor(Dir.Path, Key);
+  std::FILE *F = std::fopen(Path.c_str(), "r+b");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(std::fseek(F, 8, SEEK_SET), 0);
+  int Byte = std::fgetc(F);
+  ASSERT_NE(Byte, EOF);
+  unsigned char Flipped = static_cast<unsigned char>(Byte) ^ 0x01;
+  // The forged value must actually differ from the live revision hash.
+  ASSERT_NE(static_cast<unsigned char>(DiskCache::revisionHash() & 0xFF),
+            Flipped);
+  ASSERT_EQ(std::fseek(F, 8, SEEK_SET), 0);
+  ASSERT_EQ(std::fputc(Flipped, F), Flipped);
+  std::fclose(F);
+
+  DiskCache Cache(Dir.Path);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  TaskOutcome Got;
+  EXPECT_FALSE(Cache.lookup(Key, Got));
+  EXPECT_FALSE(fileExists(Path));
+  // A re-store after the miss works, and the entry reads back again.
+  Cache.store(Key, sampleOutcome(4));
+  ASSERT_TRUE(Cache.lookup(Key, Got));
+  expectEqualOutcome(Got, sampleOutcome(4));
+}
+
+TEST(DiskCacheTest, ByteCapEvictsLeastRecentlyUsed) {
+  TempDir Dir;
+  // Room for exactly two entries.
+  DiskCache Cache(Dir.Path, 2 * DiskCache::entryBytes());
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  Cache.store(1, sampleOutcome(1));
+  Cache.store(2, sampleOutcome(2));
+  // Touch key 1 so key 2 becomes the least recently used.
+  TaskOutcome Got;
+  ASSERT_TRUE(Cache.lookup(1, Got));
+  Cache.store(3, sampleOutcome(3));
+
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Bytes, 2 * DiskCache::entryBytes());
+  EXPECT_FALSE(fileExists(entryPathFor(Dir.Path, 2)));
+  EXPECT_TRUE(Cache.lookup(1, Got));
+  expectEqualOutcome(Got, sampleOutcome(1));
+  EXPECT_TRUE(Cache.lookup(3, Got));
+  EXPECT_FALSE(Cache.lookup(2, Got));
+}
+
+TEST(DiskCacheTest, TinyCapStillKeepsTheNewestEntry) {
+  TempDir Dir;
+  // A cap smaller than one entry must not make the cache evict what it
+  // just wrote -- that would persist nothing, ever.
+  DiskCache Cache(Dir.Path, 1);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  Cache.store(5, sampleOutcome(5));
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+  TaskOutcome Got;
+  EXPECT_TRUE(Cache.lookup(5, Got));
+  // The next store displaces it: the newest entry wins.
+  Cache.store(6, sampleOutcome(6));
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_FALSE(Cache.lookup(5, Got));
+  EXPECT_TRUE(Cache.lookup(6, Got));
+}
+
+TEST(DiskCacheTest, UnusableDirectoryDegradesToNoOpMisses) {
+  TempDir Dir;
+  // A path whose parent is a regular file can never become a directory.
+  std::string FilePath = Dir.Path + "/plain-file";
+  std::FILE *F = std::fopen(FilePath.c_str(), "wb");
+  ASSERT_NE(F, nullptr);
+  std::fclose(F);
+  DiskCache Cache(FilePath + "/cache");
+  EXPECT_FALSE(Cache.valid());
+  EXPECT_FALSE(Cache.error().empty());
+  // Every operation is a safe no-op.
+  Cache.store(1, sampleOutcome(1));
+  TaskOutcome Got;
+  EXPECT_FALSE(Cache.lookup(1, Got));
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+}

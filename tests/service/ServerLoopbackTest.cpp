@@ -243,7 +243,6 @@ TEST(ServerLoopbackTest, FourConcurrentClientsSeeIdenticalDeterministicBytes) {
   ServerOptions Opt;
   Opt.UnixPath = Dir.socketPath("concurrent.sock");
   Opt.Threads = kServerThreads;
-  Opt.QueueCapacity = 2; // Exercise backpressure while at it.
   Server S(Opt);
   std::string Error;
   ASSERT_TRUE(S.start(&Error)) << Error;
@@ -616,6 +615,208 @@ TEST(ServerLoopbackTest, TracedResponsesDifferOnlyByTheTraceMember) {
 
   // And the trace member is the last one: appended, never interleaved.
   EXPECT_EQ(Parsed.Value.members().back().first, "trace");
+}
+
+TEST(ServerLoopbackTest, ShardedResponsesAreByteIdenticalToDirectRun) {
+  // Cross-shard byte-equality: with four shards, whichever one a request
+  // hashes to, the response equals a direct fresh driver run -- and the
+  // stats v3 shards array accounts for every request exactly once.
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("sharded.sock");
+  Opt.Threads = kServerThreads;
+  Opt.Shards = 4;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  // Distinct register counts hash to different shards (whichever they
+  // are); repeats cover each shard's warm cache.
+  for (unsigned Regs = 3; Regs <= 8; ++Regs) {
+    ServiceRequest Req = allocateRequest({Regs});
+    std::string Expected = directReport(Req);
+    for (int Round = 0; Round < 2; ++Round) {
+      std::string Response;
+      ASSERT_TRUE(
+          Conn.call(Client::makeAllocateRequest(Req), Response, &Error))
+          << Error;
+      EXPECT_EQ(Response, Expected) << "regs=" << Regs << " round=" << Round;
+    }
+  }
+
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.RequestsAllocate, 12u);
+  ASSERT_EQ(Stats.PerShard.size(), 4u);
+  uint64_t ShardSum = 0;
+  for (const ShardStats &Sh : Stats.PerShard)
+    ShardSum += Sh.Requests;
+  EXPECT_EQ(ShardSum, 12u);
+}
+
+TEST(ServerLoopbackTest, ShardRoutingIsDeterministicAndTraceVisible) {
+  // routeRequestHash must be a pure function of the request content, so
+  // identical requests land on the same shard across connections -- the
+  // property that keeps per-shard caches warm.  The echoed trace carries
+  // the shard id, making the routing observable.
+  ServiceRequest Req = allocateRequest({5});
+  ServiceRequest Again = allocateRequest({5});
+  EXPECT_EQ(routeRequestHash(Req), routeRequestHash(Again));
+  // Trace fields must not steer routing.
+  Again.Trace = true;
+  Again.TraceId = "route-probe";
+  EXPECT_EQ(routeRequestHash(Req), routeRequestHash(Again));
+  // Different work routes (almost surely) differently-hashed.
+  ServiceRequest Other = allocateRequest({6});
+  EXPECT_NE(routeRequestHash(Req), routeRequestHash(Other));
+
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("routing.sock");
+  Opt.Threads = kServerThreads;
+  Opt.Shards = 4;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  // The same traced request from two separate connections reports the
+  // same shard id.
+  long long SeenShard = -1;
+  for (int C = 0; C < 2; ++C) {
+    Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+    ASSERT_TRUE(Conn.valid()) << Error;
+    ServiceRequest Traced = allocateRequest({5});
+    Traced.Trace = true;
+    Traced.TraceId = "shard-probe";
+    std::string Response;
+    ASSERT_TRUE(
+        Conn.call(Client::makeAllocateRequest(Traced), Response, &Error))
+        << Error;
+    ASSERT_FALSE(Client::isErrorResponse(Response));
+    JsonParseResult Parsed = parseJson(Response);
+    ASSERT_TRUE(Parsed.Ok) << Parsed.Error;
+    const JsonValue *Trace = Parsed.Value.find("trace");
+    ASSERT_NE(Trace, nullptr);
+    const JsonValue *Shard = Trace->find("shard");
+    ASSERT_NE(Shard, nullptr);
+    long long Id = Shard->intValue(-1);
+    EXPECT_GE(Id, 0);
+    EXPECT_LT(Id, 4);
+    if (SeenShard < 0)
+      SeenShard = Id;
+    else
+      EXPECT_EQ(Id, SeenShard);
+  }
+}
+
+TEST(ServerLoopbackTest, FullShardQueueRejectsWithCleanError) {
+  // Admission control: a request routed to a full shard queue gets an
+  // immediate error response ("server overloaded") instead of unbounded
+  // buffering.  QueueCapacity = 0 makes every shard queue permanently
+  // full -- the deterministic way to exercise the reject path.
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("reject.sock");
+  Opt.Threads = kServerThreads;
+  Opt.QueueCapacity = 0;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  // Ping and stats run inline on the IO thread: never rejected.
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+
+  std::string Response;
+  ASSERT_TRUE(Conn.call(Client::makeAllocateRequest(allocateRequest({4})),
+                        Response, &Error))
+      << Error;
+  EXPECT_TRUE(Client::isErrorResponse(Response));
+  EXPECT_NE(Response.find("server overloaded"), std::string::npos);
+
+  // The connection survives the rejection, and the stats record it as
+  // rejected -- distinct from failed.
+  EXPECT_TRUE(Conn.ping(&Error)) << Error;
+  ServerStats Stats = S.stats();
+  EXPECT_EQ(Stats.RequestsRejected, 1u);
+  EXPECT_EQ(Stats.RequestsFailed, 0u);
+}
+
+TEST(ServerLoopbackTest, InFlightWindowKeepsPipelinedOrderUnderPressure) {
+  // A tiny per-connection window forces the IO loop to pause and resume
+  // parsing repeatedly; responses must still come back complete and in
+  // request order.
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("window.sock");
+  Opt.Threads = kServerThreads;
+  Opt.InFlightWindow = 2;
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  SocketFd Raw = connectUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Raw.valid()) << Error;
+  ServiceRequest Req = allocateRequest({4});
+  std::string Expected = directReport(Req);
+  constexpr int kBurst = 8;
+  for (int I = 0; I < kBurst; ++I)
+    ASSERT_TRUE(writeFrame(Raw.fd(), Client::makeAllocateRequest(Req)));
+  std::string Payload;
+  for (int I = 0; I < kBurst; ++I) {
+    ASSERT_EQ(readFrame(Raw.fd(), Payload), FrameStatus::Ok) << "i=" << I;
+    EXPECT_EQ(Payload, Expected) << "i=" << I;
+  }
+}
+
+TEST(ServerLoopbackTest, DiskCacheWarmRestartServesIdenticalBytes) {
+  // The persistent store end-to-end: a fresh server process over the same
+  // cache directory answers from disk -- byte-identically -- and counts
+  // the disk hits.
+  TempDir Dir;
+  std::string CacheDir = Dir.Path + "/cache";
+  ServiceRequest Req = allocateRequest({4, 6}, /*Details=*/true);
+  std::string Expected = directReport(Req);
+
+  auto serveOnce = [&](const char *Socket, ServerStats &StatsOut) {
+    ServerOptions Opt;
+    Opt.UnixPath = Dir.socketPath(Socket);
+    Opt.Threads = kServerThreads;
+    Opt.Shards = 2;
+    Opt.DiskCacheDir = CacheDir;
+    Server S(Opt);
+    std::string Error;
+    ASSERT_TRUE(S.start(&Error)) << Error;
+    Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+    ASSERT_TRUE(Conn.valid()) << Error;
+    std::string Response;
+    ASSERT_TRUE(
+        Conn.call(Client::makeAllocateRequest(Req), Response, &Error))
+        << Error;
+    EXPECT_EQ(Response, Expected);
+    StatsOut = S.stats();
+    S.requestStop();
+    S.wait();
+  };
+
+  ServerStats Cold;
+  serveOnce("cold.sock", Cold);
+  EXPECT_TRUE(Cold.DiskCacheEnabled);
+  EXPECT_GT(Cold.DiskWrites, 0u);
+  EXPECT_GT(Cold.DiskEntries, 0u);
+
+  // Second process, same directory: its memory caches start empty, so
+  // every task resolves through the disk store.
+  ServerStats Warm;
+  serveOnce("warm.sock", Warm);
+  EXPECT_GT(Warm.DiskHits, 0u);
+  EXPECT_EQ(Warm.DiskWrites, 0u); // Nothing new to persist.
+
+  // Scrub the cache tree so TempDir can rmdir.
+  std::string Cmd = "rm -rf '" + CacheDir + "'";
+  ASSERT_EQ(std::system(Cmd.c_str()), 0);
 }
 
 TEST(ServerLoopbackTest, GracefulStopDrainsAndDisconnects) {
