@@ -47,7 +47,8 @@ AllocationProblem layra::buildSsaProblem(const Function &F,
 AllocationProblem layra::buildSsaProblem(const Function &F,
                                          const TargetDesc &Target,
                                          const std::vector<unsigned> &Budgets,
-                                         SolverWorkspace *WS) {
+                                         SolverWorkspace *WS,
+                                         ProblemBuildArtifacts *Artifacts) {
   assert(verifyFunction(F, /*ExpectSsa=*/true) &&
          "buildSsaProblem requires a strict SSA function");
   PhaseSpan BuildSpan(Phase::ProblemBuild);
@@ -63,6 +64,10 @@ AllocationProblem layra::buildSsaProblem(const Function &F,
   AllocationProblem P = AllocationProblem::fromChordalGraph(
       std::move(Info.G), std::move(UsedBudgets), std::move(ClassOf), WS);
   P.Intervals = computeLiveIntervals(F, Live, Costs);
+  if (Artifacts) {
+    Artifacts->Costs = Costs;
+    Artifacts->Live.emplace(std::move(Live));
+  }
   return P;
 }
 

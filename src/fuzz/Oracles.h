@@ -72,7 +72,8 @@ struct Oracle {
 
 /// All oracles, in a stable order:
 ///   heuristic-vs-exact, assignment-valid, workspace-pure,
-///   parse-roundtrip, cache-transparent, metrics-quiet, serve-direct.
+///   parse-roundtrip, cache-transparent, delta-vs-full, metrics-quiet,
+///   serve-direct.
 const std::vector<Oracle> &oracleRegistry();
 
 /// Lookup by name; nullptr when unknown.

@@ -262,8 +262,22 @@ bool DiskCache::lookup(uint64_t Key, TaskOutcome &Out) {
   Out.Fits = P[28] != 0;
   ++Hits;
   // Touch: recency must survive restarts, and mtime is the persisted
-  // order the startup scan rebuilds from.
-  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
+  // order the startup scan rebuilds from.  A failed touch still serves
+  // the entry -- only the persisted LRU order degrades -- but silently
+  // eating the failure hid real trouble (read-only remount, deleted
+  // file), so it is counted, surfaced in stats, and logged once.
+  bool Touched = TouchHook
+                     ? TouchHook(Path.c_str())
+                     : ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0) == 0;
+  if (!Touched) {
+    if (TouchFailures == 0)
+      std::fprintf(stderr,
+                   "layra-serve: disk-cache recency touch failed for %s "
+                   "(LRU order will not survive a restart; further "
+                   "failures counted in disk_cache.touch_failures)\n",
+                   Path.c_str());
+    ++TouchFailures;
+  }
   Recency.splice(Recency.begin(), Recency, It->second);
   return true;
 }
@@ -308,5 +322,6 @@ DiskCacheStats DiskCache::stats() const {
   S.Evictions = Evictions;
   S.Entries = Index.size();
   S.Bytes = TotalBytes;
+  S.TouchFailures = TouchFailures;
   return S;
 }

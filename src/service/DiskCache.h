@@ -42,7 +42,7 @@
 namespace layra {
 
 /// Lifetime counters of one DiskCache.  Surfaced as the `disk_cache`
-/// object of stats v3 and the `layra.serve.disk.*` metrics.
+/// object of stats v4 and the `layra.serve.disk.*` metrics.
 struct DiskCacheStats {
   uint64_t Hits = 0;      ///< lookup() served from disk.
   uint64_t Misses = 0;    ///< lookup() found nothing usable.
@@ -50,6 +50,11 @@ struct DiskCacheStats {
   uint64_t Evictions = 0; ///< Entries removed by the byte cap.
   uint64_t Entries = 0;   ///< Entries currently on disk.
   uint64_t Bytes = 0;     ///< Total payload bytes currently on disk.
+  /// Hits whose recency touch (mtime update) failed.  The entry was
+  /// still served; only the *persisted* LRU order degrades -- after a
+  /// restart the startup scan will see a stale mtime and may evict the
+  /// entry earlier than true recency warrants.
+  uint64_t TouchFailures = 0;
 };
 
 class DiskCache : public TaskOutcomeStore {
@@ -82,6 +87,14 @@ public:
   /// size a deliberately tiny --disk-cache-cap.
   static size_t entryBytes();
 
+  /// Test seam: replaces the recency-touch syscall (utimensat) for this
+  /// cache.  Production code never calls this; tests inject a failing
+  /// hook because a root test process cannot provoke a real utimensat
+  /// failure with permissions.  Call before concurrent use.
+  void setTouchHookForTest(bool (*Hook)(const char *Path)) {
+    TouchHook = Hook;
+  }
+
 private:
   struct Entry {
     uint64_t Key = 0;
@@ -104,6 +117,9 @@ private:
   std::unordered_map<uint64_t, std::list<Entry>::iterator> Index;
   uint64_t TotalBytes = 0;
   uint64_t Hits = 0, Misses = 0, Writes = 0, Evictions = 0;
+  uint64_t TouchFailures = 0;
+  /// Non-null in tests only (setTouchHookForTest).
+  bool (*TouchHook)(const char *Path) = nullptr;
 };
 
 } // namespace layra

@@ -10,6 +10,7 @@
 #include "obs/RequestTrace.h"
 #include "support/Socket.h"
 
+#include <cstdio>
 #include <cstring>
 
 using namespace layra;
@@ -306,6 +307,15 @@ bool layra::parseServiceRequest(std::string_view Payload,
     Out.IrText = Ir->stringValue();
     if (!readString(Doc, "name", Out.Name, Error))
       return false;
+    if (const JsonValue *Base = Doc.find("base")) {
+      if (!Base->isString() ||
+          !parseBaseKey(Base->stringValue(), Out.BaseKey)) {
+        Error = "'base' must be a base key: exactly 16 lowercase hex "
+                "digits (see docs/PROTOCOL.md, submit_ir delta mode)";
+        return false;
+      }
+      Out.Base = Base->stringValue();
+    }
   } else {
     Error = "unknown request type '" + Kind + "'";
     return false;
@@ -346,9 +356,54 @@ uint64_t routeMixString(uint64_t H, const std::string &S) {
 
 } // namespace
 
+uint64_t layra::submitIrBaseKey(const std::string &IrText) {
+  // Documented, client-computable fold of the IR text (docs/PROTOCOL.md
+  // spells out the mixer): the key under which a plain submit_ir
+  // registers its base, and the routing key of every delta against it.
+  uint64_t H = 0x6c79726162617365ULL; // "lyrabase"
+  H = routeMix(H, IrText.size());
+  for (unsigned char C : IrText)
+    H = routeMix(H, C);
+  // 0 is the driver's "no base" sentinel; remap the (2^-64) collision.
+  return H ? H : 0x6c79726162617365ULL;
+}
+
+std::string layra::formatBaseKey(uint64_t Key) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(Key));
+  return std::string(Buf, 16);
+}
+
+bool layra::parseBaseKey(const std::string &Text, uint64_t &Key) {
+  if (Text.size() != 16)
+    return false;
+  uint64_t Parsed = 0;
+  for (char C : Text) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false; // Uppercase and prefixes are rejected: one wire form.
+    Parsed = (Parsed << 4) | Digit;
+  }
+  if (Parsed == 0)
+    return false;
+  Key = Parsed;
+  return true;
+}
+
 uint64_t layra::routeRequestHash(const ServiceRequest &Req) {
   uint64_t H = 0x6c617972612d7368ULL; // "layra-sh"
   H = routeMix(H, static_cast<uint64_t>(Req.K));
+  // submit_ir routes purely by effective base key: a base and all its
+  // deltas must share a shard (the base registry is per-shard state), no
+  // matter what register counts or options each resubmission carries.
+  if (Req.K == ServiceRequest::Kind::SubmitIr)
+    return routeMix(H, Req.BaseKey ? Req.BaseKey
+                                   : submitIrBaseKey(Req.IrText));
   for (const std::string &Suite : Req.Suites)
     H = routeMixString(H, Suite);
   for (unsigned R : Req.Regs)

@@ -17,14 +17,15 @@
 ///
 /// The payload is UTF-8 JSON.  Requests carry a "type" field (ping, stats,
 /// allocate, submit_ir); responses identify themselves by "schema"
-/// ("layra-serve-pong/v1", "layra-serve-stats/v3", "layra-serve-error/v1",
+/// ("layra-serve-pong/v1", "layra-serve-stats/v4", "layra-serve-error/v1",
 /// or -- for allocation responses -- a verbatim "layra-driver-report/v1"
 /// document, byte-identical to what driver/ReportIO.h would write for a
 /// direct BatchDriver run of the same jobs).  Stats schemas are strict
 /// supersets of their predecessors: v2 added latency percentile p99, the
 /// full service-time histogram, and dispatcher utilization over v1; v3
-/// adds the rejected-request counter, the per-shard breakdown of the
-/// sharded serving core, and disk-cache counters (docs/PROTOCOL.md).
+/// added the rejected-request counter, the per-shard breakdown of the
+/// sharded serving core, and disk-cache counters; v4 adds the delta
+/// (warm-start) counters and disk_cache.touch_failures (docs/PROTOCOL.md).
 ///
 /// This header carries the pieces both sides share: frame encode/decode
 /// over fds and buffers, the parsed request representation, and the small
@@ -53,15 +54,16 @@ inline constexpr const char *kServeProtocolVersion = "layra-serve/v1";
 /// Response schema names.  Allocation responses instead carry the driver
 /// report schema ("layra-driver-report/v1", see driver/ReportIO.h).
 inline constexpr const char *kErrorSchema = "layra-serve-error/v1";
-/// Current stats schema.  v3 is a strict superset of v2 (which was a
-/// strict superset of v1): clients keyed on v2 field names keep working,
-/// they just see a different schema string plus the new members
-/// (requests.rejected, shards[], disk_cache).
-inline constexpr const char *kStatsSchema = "layra-serve-stats/v3";
+/// Current stats schema.  v4 is a strict superset of v3 (itself a strict
+/// superset of v2/v1): clients keyed on v3 field names keep working, they
+/// just see a different schema string plus the new members (the "delta"
+/// object and disk_cache.touch_failures).
+inline constexpr const char *kStatsSchema = "layra-serve-stats/v4";
 /// Historical stats schema names, kept so compatibility notes and tests
-/// can refer to them; the server no longer emits either.
+/// can refer to them; the server no longer emits any of these.
 inline constexpr const char *kStatsSchemaV1 = "layra-serve-stats/v1";
 inline constexpr const char *kStatsSchemaV2 = "layra-serve-stats/v2";
+inline constexpr const char *kStatsSchemaV3 = "layra-serve-stats/v3";
 inline constexpr const char *kPongSchema = "layra-serve-pong/v1";
 
 /// Frame geometry.
@@ -143,6 +145,14 @@ struct ServiceRequest {
   std::string IrText;
   /// SubmitIr: suite label in the report; default "submitted".
   std::string Name;
+  /// SubmitIr: optional "base" field -- the base key (16 lowercase hex
+  /// digits, formatBaseKey) of a previously submitted function this IR is
+  /// a small edit of.  The server warm-starts the solve from the retained
+  /// base; the response stays byte-identical to a from-scratch submit.
+  /// Empty = plain submission (which itself registers a base).
+  std::string Base;
+  /// Parsed form of Base; 0 when absent.
+  uint64_t BaseKey = 0;
 };
 
 /// Parses \p Payload into \p Out.  On failure returns false and fills
@@ -154,6 +164,20 @@ struct ServiceRequest {
 bool parseServiceRequest(std::string_view Payload, ServiceRequest &Out,
                          std::string &Error);
 
+/// The base key of a submitted function: a SplitMix64-style fold of the
+/// IR text bytes (exact algorithm in docs/PROTOCOL.md, so clients can
+/// compute it without a round trip).  Never returns 0 -- 0 is the
+/// driver's "no base" sentinel.  This key names the base a plain
+/// submit_ir registers and the "base" field of a delta resubmission.
+uint64_t submitIrBaseKey(const std::string &IrText);
+
+/// Renders \p Key as the wire form: exactly 16 lowercase hex digits.
+std::string formatBaseKey(uint64_t Key);
+
+/// Parses the wire form back; false unless \p Text is exactly 16
+/// lowercase hex digits encoding a nonzero key.
+bool parseBaseKey(const std::string &Text, uint64_t &Key);
+
 /// Content hash a request for shard routing.  Mixes every field that
 /// influences the response bytes (suites, register counts, class
 /// overrides, target, pipeline options, submitted IR, report knobs) with
@@ -161,6 +185,12 @@ bool parseServiceRequest(std::string_view Payload, ServiceRequest &Out,
 /// same work deterministically land on the same shard -- and therefore
 /// the same per-shard cache -- across connections and restarts.  Trace
 /// fields are deliberately excluded: tracing must not change routing.
+///
+/// submit_ir requests route purely by their effective base key (the
+/// "base" field when present, else submitIrBaseKey of the IR text): a
+/// base and every delta against it must land on the same shard, because
+/// the base registry is per-shard state.  Register counts and options
+/// deliberately do not spread a function's resubmissions across shards.
 uint64_t routeRequestHash(const ServiceRequest &Req);
 
 /// Builds the payload of an error response.  A non-empty \p TraceId adds

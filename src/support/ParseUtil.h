@@ -39,15 +39,16 @@ inline bool parseBoundedUnsigned(const char *Text, unsigned long Max,
   return true;
 }
 
-/// Parses \p Text as a strictly positive decimal duration in seconds (in
-/// (0, Max], fractions allowed) into \p Out.  Returns false -- leaving
-/// \p Out untouched -- for empty input, signs, trailing garbage, nan/inf,
-/// zero or negative values: "-5" must be a clean usage error, not a
-/// wrapped-around multi-year run.  The grammar is plain decimal only
-/// (digits and at most one '.'): strtod's extensions are rejected up
-/// front, so "0x10" is an error rather than silently 16 seconds and
-/// "1e3" an error rather than 1000.
-inline bool parsePositiveSeconds(const char *Text, double Max, double &Out) {
+/// Parses \p Text as a strictly positive plain-decimal real in (0, Max]
+/// into \p Out (fractions allowed).  Returns false -- leaving \p Out
+/// untouched -- for empty input, signs, trailing garbage, nan/inf, zero
+/// or negative values: "-5" must be a clean usage error, not a
+/// wrapped-around value.  The grammar is plain decimal only (digits and
+/// at most one '.'): strtod's extensions are rejected up front, so
+/// "0x10" is an error rather than silently 16 and "1e3" an error rather
+/// than 1000.  Used for any positive-real flag -- durations, rates --
+/// so each front end names its own bound and error message.
+inline bool parsePositiveReal(const char *Text, double Max, double &Out) {
   if (!Text)
     return false;
   bool SawDigit = false, SawDot = false;
@@ -70,6 +71,12 @@ inline bool parsePositiveSeconds(const char *Text, double Max, double &Out) {
     return false;
   Out = Value;
   return true;
+}
+
+/// Historic name for parsePositiveReal, kept for the duration flags that
+/// made the grammar: same strictness, seconds-flavoured documentation.
+inline bool parsePositiveSeconds(const char *Text, double Max, double &Out) {
+  return parsePositiveReal(Text, Max, Out);
 }
 
 /// Splits \p Text on commas, dropping empty segments ("a,,b" -> {a, b}).

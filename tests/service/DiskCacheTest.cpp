@@ -254,3 +254,30 @@ TEST(DiskCacheTest, UnusableDirectoryDegradesToNoOpMisses) {
   EXPECT_FALSE(Cache.lookup(1, Got));
   EXPECT_EQ(Cache.stats().Entries, 0u);
 }
+
+TEST(DiskCacheTest, FailedRecencyTouchIsCountedNotFatal) {
+  // The hit path refreshes each entry's mtime so LRU order survives a
+  // restart; on filesystems where that touch fails (read-only remounts,
+  // permission drift) the hit must still be served, with the failure
+  // visible in stats (the server exports it as disk_cache.touch_failures).
+  TempDir Dir;
+  DiskCache Cache(Dir.Path);
+  ASSERT_TRUE(Cache.valid()) << Cache.error();
+  TaskOutcome Stored = sampleOutcome(3);
+  Cache.store(0x42, Stored);
+
+  Cache.setTouchHookForTest(+[](const char *) { return false; });
+  TaskOutcome Got;
+  ASSERT_TRUE(Cache.lookup(0x42, Got)); // The hit itself is unaffected.
+  expectEqualOutcome(Got, Stored);
+  ASSERT_TRUE(Cache.lookup(0x42, Got));
+  DiskCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 2u);
+  EXPECT_EQ(S.TouchFailures, 2u);
+
+  // Recovery: once touches succeed again the counter stops moving.
+  Cache.setTouchHookForTest(nullptr);
+  ASSERT_TRUE(Cache.lookup(0x42, Got));
+  EXPECT_EQ(Cache.stats().TouchFailures, 2u);
+  EXPECT_EQ(Cache.stats().Hits, 3u);
+}

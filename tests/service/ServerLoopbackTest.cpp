@@ -434,6 +434,127 @@ TEST(ServerLoopbackTest, SubmitIrMatchesDirectDriverAndRejectsBadIr) {
   EXPECT_TRUE(Conn.ping(&Error)) << Error;
 }
 
+TEST(ServerLoopbackTest, SubmitIrDeltaWarmStartMatchesFreshSolveByteForByte) {
+  // The JIT resubmission path end to end, across shards: a plain submit
+  // registers a base on its home shard, a "base"-carrying resubmission
+  // warm-starts from it (counted in delta.hits), and the response bytes
+  // equal what a FRESH server answers for the same edited IR submitted
+  // from scratch.  (Resubmitting to the same server would trivially pass
+  // via the outcome cache; the fresh server is the honest reference.)
+  const char *BaseIr = "function jitted {\n"
+                       "entry:  ; depth=0 freq=1\n"
+                       "  %a = op\n"
+                       "  %b = op\n"
+                       "  br %b\n"
+                       "  ; succs=loop\n"
+                       "loop:  ; depth=1 freq=10 preds=entry,loop\n"
+                       "  %p = phi %a, %q\n"
+                       "  %q = op %p, %b\n"
+                       "  br %q\n"
+                       "  ; succs=loop,exit\n"
+                       "exit:  ; depth=0 freq=1 preds=loop\n"
+                       "  ret %p, %q\n"
+                       "}\n";
+  // Profile drift: the loop got hotter.  Structure is unchanged.
+  std::string EditedIr = BaseIr;
+  size_t Freq = EditedIr.find("freq=10");
+  ASSERT_NE(Freq, std::string::npos);
+  EditedIr.replace(Freq, 7, "freq=90");
+
+  TempDir Dir;
+  ServerOptions Opt;
+  Opt.UnixPath = Dir.socketPath("delta.sock");
+  Opt.Threads = kServerThreads;
+  Opt.Shards = 4; // Base and delta must co-reside on one shard.
+  Server S(Opt);
+  std::string Error;
+  ASSERT_TRUE(S.start(&Error)) << Error;
+
+  Client Conn = Client::connectToUnix(Opt.UnixPath, &Error);
+  ASSERT_TRUE(Conn.valid()) << Error;
+
+  ServiceRequest Req;
+  Req.K = ServiceRequest::Kind::SubmitIr;
+  Req.IrText = BaseIr;
+  Req.Regs = {3};
+  Req.Details = true;
+  std::string Response;
+  ASSERT_TRUE(Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+  EXPECT_FALSE(Client::isErrorResponse(Response));
+  EXPECT_EQ(S.stats().DeltaBases, 1u);
+
+  Req.IrText = EditedIr;
+  Req.Base = formatBaseKey(submitIrBaseKey(BaseIr));
+  std::string DeltaResponse;
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), DeltaResponse, &Error))
+      << Error;
+  EXPECT_FALSE(Client::isErrorResponse(DeltaResponse));
+  EXPECT_EQ(S.stats().DeltaHits, 1u);
+  EXPECT_EQ(S.stats().DeltaFallbacks, 0u);
+
+  // Reference: the same edited IR, submitted plain to a fresh server.
+  ServerOptions FreshOpt;
+  FreshOpt.UnixPath = Dir.socketPath("delta-fresh.sock");
+  FreshOpt.Threads = kServerThreads;
+  FreshOpt.Shards = 4;
+  Server Fresh(FreshOpt);
+  ASSERT_TRUE(Fresh.start(&Error)) << Error;
+  Client FreshConn = Client::connectToUnix(FreshOpt.UnixPath, &Error);
+  ASSERT_TRUE(FreshConn.valid()) << Error;
+  ServiceRequest FreshReq = Req;
+  FreshReq.Base.clear();
+  FreshReq.BaseKey = 0;
+  std::string FreshResponse;
+  ASSERT_TRUE(Conn.valid());
+  ASSERT_TRUE(FreshConn.call(Client::makeSubmitIrRequest(FreshReq),
+                             FreshResponse, &Error))
+      << Error;
+  EXPECT_EQ(DeltaResponse, FreshResponse);
+
+  // A structural edit under the same base falls back to a full solve --
+  // counted, answered, byte-equal to a fresh solve.
+  std::string Structural = EditedIr;
+  size_t Ret = Structural.find("  ret %p, %q");
+  ASSERT_NE(Ret, std::string::npos);
+  Structural.insert(Ret, "  %r = op %q\n");
+  Structural.replace(Structural.find("ret %p, %q"), 10, "ret %p, %r");
+  Req.IrText = Structural;
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), DeltaResponse, &Error))
+      << Error;
+  EXPECT_FALSE(Client::isErrorResponse(DeltaResponse));
+  EXPECT_EQ(S.stats().DeltaFallbacks, 1u);
+  FreshReq.IrText = Structural;
+  ASSERT_TRUE(FreshConn.call(Client::makeSubmitIrRequest(FreshReq),
+                             FreshResponse, &Error))
+      << Error;
+  EXPECT_EQ(DeltaResponse, FreshResponse);
+
+  // An unregistered base is a request error, not a silent full solve.
+  Req.Base = formatBaseKey(0xdeadbeefdeadbeefULL);
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+  EXPECT_TRUE(Client::isErrorResponse(Response));
+  EXPECT_NE(Response.find("base not found"), std::string::npos);
+  // ...and a malformed base key is rejected at parse time.
+  Req.Base = "not-a-key";
+  ASSERT_TRUE(
+      Conn.call(Client::makeSubmitIrRequest(Req), Response, &Error))
+      << Error;
+  EXPECT_TRUE(Client::isErrorResponse(Response));
+
+  // The v4 stats surface carries the delta counters.
+  std::string Payload;
+  ASSERT_TRUE(Conn.stats(Payload, &Error)) << Error;
+  EXPECT_NE(Payload.find("layra-serve-stats/v4"), std::string::npos);
+  EXPECT_NE(Payload.find("\"delta\""), std::string::npos);
+  EXPECT_NE(Payload.find("\"fallbacks\""), std::string::npos);
+  EXPECT_NE(Payload.find("\"touch_failures\""), std::string::npos);
+}
+
 TEST(ServerLoopbackTest, MalformedTrafficGetsErrorsWithoutKillingServer) {
   TempDir Dir;
   ServerOptions Opt;
